@@ -1,0 +1,25 @@
+/* A scatter-update loop: certain conflict under type-based aliasing,
+ * rare conflict under dependence profiling.  Compare:
+ *   dune exec bin/sptc.exe -- compile examples/src/histogram.c -c basic
+ *   dune exec bin/sptc.exe -- compile examples/src/histogram.c -c best
+ */
+int n = 30000;
+int table[8192];
+int keys[30000];
+int checksum;
+
+void main() {
+  int i;
+  srand(99);
+  for (i = 0; i < n; i = i + 1) { keys[i] = rand() & 8191; }
+  for (i = 0; i < 8192; i = i + 1) { table[i] = i; }
+  int acc = 0;
+  for (i = 0; i < n; i = i + 1) {
+    int k = keys[i];
+    int v = table[k];
+    table[k] = v * 2 + (k & 7) + 1;
+    acc = acc + (v & 15);
+  }
+  checksum = acc + table[0] + table[8191];
+  print_int(checksum);
+}

@@ -1,0 +1,29 @@
+/* A record-decode scan whose cursor advances by a data-dependent but
+ * almost-constant stride: software value prediction territory.
+ *   dune exec bin/sptc.exe -- compile examples/src/scan.c -c best
+ */
+int n = 40000;
+int data[40000];
+int out[40000];
+int checksum;
+
+void main() {
+  int i;
+  srand(2026);
+  for (i = 0; i < n; i = i + 1) { data[i] = rand() & 4095; }
+  int pos = 0;
+  int emitted = 0;
+  while (pos < n - 16) {
+    int v = data[pos] * 3 + data[pos + 1] * 5 + data[pos + 2] * 7;
+    int w = data[pos + 3] * 11 + data[pos + 4] * 13 + data[pos + 5];
+    int u = (v ^ w) + (v >> 3) + (w >> 5) + data[pos + 6] + data[pos + 7];
+    int q = u * 3 + v * w + (u & 255) + (v % 97) + (w % 89);
+    out[emitted & 32767] = v + w + u + q;
+    emitted = emitted + 1;
+    int step = 2;
+    if ((q & 2047) == 3) { step = 5; }
+    pos = pos + step;
+  }
+  checksum = emitted;
+  print_int(checksum);
+}

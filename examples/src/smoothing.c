@@ -1,0 +1,25 @@
+/* A smoothing kernel: the classic SPT-friendly loop.  Try:
+ *   dune exec bin/sptc.exe -- loops examples/src/smoothing.c
+ *   dune exec bin/sptc.exe -- compile examples/src/smoothing.c -c best
+ */
+int n = 20000;
+int prices[20000];
+int smoothed[20000];
+int checksum;
+
+void main() {
+  int i;
+  srand(7);
+  for (i = 0; i < n; i = i + 1) { prices[i] = 1000 + (rand() & 255); }
+  for (i = 2; i < n - 2; i = i + 1) {
+    smoothed[i] =
+      (prices[i - 2] + prices[i - 1] * 3 + prices[i] * 4 + prices[i + 1] * 3
+      + prices[i + 2]) / 12;
+  }
+  int peak = 0;
+  for (i = 0; i < n; i = i + 1) {
+    if (smoothed[i] > peak) { peak = smoothed[i]; }
+  }
+  checksum = peak + smoothed[n / 2];
+  print_int(checksum);
+}
