@@ -1,0 +1,199 @@
+(** [sptc] — the SPT compiler driver.
+
+    Subcommands:
+    - [run FILE]       interpret a MiniC program
+    - [dump-ir FILE]   print the IR (optionally in optimized SSA form)
+    - [loops FILE]     list loops with their dependence/cost analysis
+    - [compile FILE]   run the full cost-driven SPT pipeline and report
+    - [workload NAME]  evaluate one of the built-in SPEC-like workloads
+*)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let handle_errors f =
+  try f () with
+  | Spt_srclang.Lexer.Lex_error (msg, loc) ->
+    Format.eprintf "lexical error at %a: %s@." Spt_srclang.Ast.pp_loc loc msg;
+    exit 1
+  | Spt_srclang.Parser.Parse_error (msg, loc) ->
+    Format.eprintf "syntax error at %a: %s@." Spt_srclang.Ast.pp_loc loc msg;
+    exit 1
+  | Spt_srclang.Typecheck.Type_error (msg, loc) ->
+    Format.eprintf "type error at %a: %s@." Spt_srclang.Ast.pp_loc loc msg;
+    exit 1
+  | Spt_ir.Lower.Lower_error msg ->
+    Format.eprintf "lowering error: %s@." msg;
+    exit 1
+  | Spt_interp.Interp.Runtime_error msg ->
+    Format.eprintf "runtime error: %s@." msg;
+    exit 2
+
+(* ------------------------------------------------------------------ *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"MiniC source file")
+
+let config_arg =
+  let config_enum =
+    Arg.enum
+      (List.map (fun (c : Spt_driver.Config.t) -> (c.Spt_driver.Config.name, c))
+         Spt_driver.Config.all)
+  in
+  Arg.(
+    value
+    & opt config_enum Spt_driver.Config.best
+    & info [ "c"; "config" ] ~docv:"CONFIG"
+        ~doc:"Compiler configuration: basic, best or anticipated")
+
+let run_cmd =
+  let run file =
+    handle_errors (fun () ->
+        let r = Spt_interp.Interp.run_source (read_file file) in
+        print_string r.Spt_interp.Interp.output;
+        Format.printf "; %d instructions executed@." r.Spt_interp.Interp.dynamic_instrs)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Interpret a MiniC program")
+    Term.(const run $ file_arg)
+
+let dump_ir_cmd =
+  let ssa_flag =
+    Arg.(value & flag & info [ "ssa" ] ~doc:"Print in optimized SSA form")
+  in
+  let dump file ssa =
+    handle_errors (fun () ->
+        let prog = Spt_driver.Pipeline.front_end (read_file file) in
+        if ssa then Spt_driver.Pipeline.to_ssa prog;
+        print_endline (Spt_ir.Ir_pretty.program_to_string prog))
+  in
+  Cmd.v (Cmd.info "dump-ir" ~doc:"Print the three-address IR")
+    Term.(const dump $ file_arg $ ssa_flag)
+
+let loops_cmd =
+  let show file config =
+    handle_errors (fun () ->
+        let e = Spt_driver.Pipeline.evaluate ~config (read_file file) in
+        Format.printf "%-20s %-10s %8s %8s %10s  %s@." "loop" "origin" "body"
+          "trip" "cost" "decision";
+        List.iter
+          (fun (lr : Spt_driver.Pipeline.loop_record) ->
+            Format.printf "%-20s %-10s %8.0f %8.0f %10s  %s@."
+              (Printf.sprintf "%s@bb%d" lr.Spt_driver.Pipeline.lr_func
+                 lr.Spt_driver.Pipeline.lr_header)
+              (match lr.Spt_driver.Pipeline.lr_origin with
+              | Some `For -> "for"
+              | Some `While -> "while"
+              | Some `Do -> "do"
+              | None -> "?")
+              lr.Spt_driver.Pipeline.lr_body_size lr.Spt_driver.Pipeline.lr_trip
+              (match lr.Spt_driver.Pipeline.lr_cost with
+              | Some c -> Printf.sprintf "%.2f" c
+              | None -> "-")
+              (match lr.Spt_driver.Pipeline.lr_decision with
+              | Spt_driver.Pipeline.Selected ->
+                if lr.Spt_driver.Pipeline.lr_svp then "SPT loop (with SVP)"
+                else "SPT loop"
+              | Spt_driver.Pipeline.Rejected r ->
+                Spt_transform.Select.string_of_reason r))
+          e.Spt_driver.Pipeline.loops)
+  in
+  Cmd.v
+    (Cmd.info "loops" ~doc:"Analyze every loop and show the SPT decision")
+    Term.(const show $ file_arg $ config_arg)
+
+let compile_cmd =
+  let compile file config =
+    handle_errors (fun () ->
+        let e = Spt_driver.Pipeline.evaluate ~config (read_file file) in
+        let open Spt_driver.Pipeline in
+        Format.printf "configuration    : %s@." e.config_name;
+        Format.printf "outputs match    : %b@." e.outputs_match;
+        Format.printf "baseline cycles  : %.0f (IPC %.2f)@."
+          e.base.Spt_tlsim.Tls_machine.cycles e.base.Spt_tlsim.Tls_machine.ipc;
+        Format.printf "SPT cycles       : %.0f@." e.spt.Spt_tlsim.Tls_machine.cycles;
+        Format.printf "speedup          : %+.2f%%@." ((e.speedup -. 1.0) *. 100.0);
+        Format.printf "SPT loops        : %d@." e.n_spt_loops;
+        if e.n_spt_loops > 0 then begin
+          Format.printf "@.";
+          print_string (Spt_driver.Report.fig18 [ (Filename.basename file, e) ])
+        end)
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:"Run the cost-driven SPT pipeline and simulate the result")
+    Term.(const compile $ file_arg $ config_arg)
+
+let workload_cmd =
+  let name_arg =
+    let names = List.map (fun w -> w.Spt_workloads.Suite.name) Spt_workloads.Suite.all in
+    Arg.(
+      required
+      & pos 0 (some (enum (List.map (fun n -> (n, n)) names))) None
+      & info [] ~docv:"NAME" ~doc:"Workload name (bzip2, crafty, ...)")
+  in
+  let run name config =
+    handle_errors (fun () ->
+        let w = Spt_workloads.Suite.find name in
+        let e = Spt_driver.Pipeline.evaluate ~config w.Spt_workloads.Suite.source in
+        Format.printf "%s under %s: base IPC %.2f, speedup %+.2f%%, %d SPT loops@."
+          name e.Spt_driver.Pipeline.config_name
+          e.Spt_driver.Pipeline.base.Spt_tlsim.Tls_machine.ipc
+          ((e.Spt_driver.Pipeline.speedup -. 1.0) *. 100.0)
+          e.Spt_driver.Pipeline.n_spt_loops;
+        print_string (Spt_driver.Report.fig18 [ (name, e) ]))
+  in
+  Cmd.v
+    (Cmd.info "workload" ~doc:"Evaluate a built-in SPEC2000Int-like workload")
+    Term.(const run $ name_arg $ config_arg)
+
+let graph_cmd =
+  let kind_arg =
+    Arg.(
+      value
+      & opt (enum [ ("dep", `Dep); ("cost", `Cost) ]) `Dep
+      & info [ "k"; "kind" ] ~docv:"KIND" ~doc:"Graph kind: dep or cost")
+  in
+  let show file kind =
+    handle_errors (fun () ->
+        let prog = Spt_driver.Pipeline.front_end (read_file file) in
+        Spt_driver.Pipeline.to_ssa prog;
+        let eff = Spt_depgraph.Effects.compute prog in
+        (* the hottest-looking loop: largest static body *)
+        let best = ref None in
+        List.iter
+          (fun (_, f) ->
+            List.iter
+              (fun (l : Spt_ir.Loops.loop) ->
+                let size =
+                  Spt_ir.Loops.Iset.fold
+                    (fun bid acc -> acc + Spt_ir.Ir.block_size (Spt_ir.Ir.block f bid))
+                    l.Spt_ir.Loops.body 0
+                in
+                match !best with
+                | Some (_, _, s) when s >= size -> ()
+                | _ -> best := Some (f, l, size))
+              (Spt_ir.Loops.find f))
+          prog.Spt_ir.Ir.funcs;
+        match !best with
+        | None -> Format.eprintf "no loops found@."
+        | Some (f, l, _) ->
+          let g = Spt_depgraph.Depgraph.build eff f l in
+          (match kind with
+          | `Dep -> print_string (Spt_depgraph.Depgraph.to_dot g)
+          | `Cost ->
+            print_string (Spt_cost.Cost_model.to_dot (Spt_cost.Cost_model.build g))))
+  in
+  Cmd.v
+    (Cmd.info "graph"
+       ~doc:"Emit the dependence or cost graph of the largest loop as Graphviz DOT")
+    Term.(const show $ file_arg $ kind_arg)
+
+let () =
+  let doc = "cost-driven speculative parallelization (PLDI 2004 reproduction)" in
+  let info = Cmd.info "sptc" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; dump_ir_cmd; loops_cmd; compile_cmd; workload_cmd; graph_cmd ]))

@@ -1,0 +1,1 @@
+examples/depprofile_demo.ml: Format List Option Printf Spt_driver Spt_transform

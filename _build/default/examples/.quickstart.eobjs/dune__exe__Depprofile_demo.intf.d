@@ -1,0 +1,1 @@
+examples/depprofile_demo.mli:

@@ -1,0 +1,1 @@
+examples/paper_example.ml: Cost_model Format Hashtbl List Option Printf Spt_cost Spt_driver Spt_transform

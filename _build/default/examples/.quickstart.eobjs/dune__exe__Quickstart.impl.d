@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Option Printf Spt_driver Spt_tlsim Spt_transform

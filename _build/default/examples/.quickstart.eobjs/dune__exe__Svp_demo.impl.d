@@ -1,0 +1,1 @@
+examples/svp_demo.ml: Format List Option Spt_driver

@@ -1,0 +1,1 @@
+examples/svp_demo.mli:

@@ -1,0 +1,65 @@
+(** Data-dependence profiling demo (§7.3).
+
+    A table-update loop whose writes and reads touch the same array but
+    almost never the same element across consecutive iterations.  A
+    type-based static view (the `basic` compilation, which is all the
+    paper's baseline compiler has on pointer-rich C) must assume a
+    certain conflict and prices speculation out; the dependence
+    profiler measures the real cross-iteration probability and the
+    `best` compilation parallelizes the loop.
+
+    Run with: dune exec examples/depprofile_demo.exe *)
+
+let source =
+  {|
+int n = 30000;
+int table[8192];
+int keys[30000];
+int checksum;
+
+void main() {
+  int i;
+  srand(99);
+  for (i = 0; i < n; i = i + 1) { keys[i] = rand() & 8191; }
+  for (i = 0; i < 8192; i = i + 1) { table[i] = i; }
+
+  /* scatter-update: the write index is data-dependent, conflicts
+     between consecutive iterations are ~1/8192 */
+  int acc = 0;
+  for (i = 0; i < n; i = i + 1) {
+    int k = keys[i];
+    int v = table[k];
+    table[k] = v * 2 + (k & 7) + 1;
+    acc = acc + (v & 15);
+  }
+  checksum = acc + table[0] + table[8191];
+  print_int(checksum);
+}
+|}
+
+let describe label (e : Spt_driver.Pipeline.eval) =
+  let open Spt_driver.Pipeline in
+  Format.printf "%-28s speedup %+6.1f%%  SPT loops %d@." label
+    ((e.speedup -. 1.0) *. 100.0)
+    e.n_spt_loops;
+  List.iter
+    (fun lr ->
+      if lr.lr_weight > 100000 then
+        Format.printf "    hot loop %s@@bb%d: %s@." lr.lr_func lr.lr_header
+          (match lr.lr_decision with
+          | Selected ->
+            Printf.sprintf "selected (cost %.2f)"
+              (Option.value ~default:0.0 lr.lr_cost)
+          | Rejected r -> Spt_transform.Select.string_of_reason r))
+    e.loops
+
+let () =
+  Format.printf "=== Dependence profiling separates rare from certain conflicts ===@.@.";
+  describe "basic (type-based alias):"
+    (Spt_driver.Pipeline.evaluate ~config:Spt_driver.Config.basic source);
+  Format.printf "@.";
+  describe "best (dependence profile):"
+    (Spt_driver.Pipeline.evaluate ~config:Spt_driver.Config.best source);
+  Format.printf
+    "@.The loop is identical; only the compiler's knowledge of how often@.\
+     table[k] actually collides across iterations changed.@."

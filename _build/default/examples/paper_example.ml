@@ -1,0 +1,105 @@
+(** The paper's worked examples, replayed.
+
+    1. Fig. 5/6: the dependence/cost-graph example whose partition
+       {D pre-fork} has misspeculation cost 0.58 (§4.2.5), evaluated
+       with the paper's exact propagation rule.
+    2. Fig. 2: the [cost0 += fabs(error[i][j] - p[j])] loop, compiled
+       end to end: the framework moves the induction update into the
+       pre-fork region exactly as the paper's transformed code does
+       (the [temp_i] pattern appears as a coalesced carried register).
+
+    Run with: dune exec examples/paper_example.exe *)
+
+open Spt_cost
+
+let fig5 () =
+  Format.printf "=== Fig. 5/6: misspeculation cost of the worked example ===@.@.";
+  (* nodes A..F; D, E, F are the violation candidates *)
+  let a, b, c, d, e, f = (0, 1, 2, 3, 4, 5) in
+  let name = [ (a, "A"); (b, "B"); (c, "C"); (d, "D"); (e, "E"); (f, "F") ] in
+  let pseudo = Cost_model.pseudo_of_vc in
+  let initial =
+    [
+      { Cost_model.gsrc = pseudo d; gdst = a; gprob = 0.2 };
+      { Cost_model.gsrc = pseudo e; gdst = b; gprob = 0.1 };
+      { Cost_model.gsrc = pseudo f; gdst = c; gprob = 0.2 };
+    ]
+  in
+  let intra =
+    [
+      { Cost_model.gsrc = b; gdst = c; gprob = 0.5 };
+      { Cost_model.gsrc = c; gdst = e; gprob = 1.0 };
+    ]
+  in
+  (* partition: only D in the pre-fork region *)
+  let vc_prob p = if Cost_model.vc_of_pseudo p = d then 0.0 else 1.0 in
+  let v =
+    Cost_model.compute ~combine:`Independent ~op_nodes:[ a; b; c; d; e; f ]
+      ~vc_pseudo:(List.map pseudo [ d; e; f ])
+      ~initial ~intra ~vc_prob ()
+  in
+  let get n = Option.value ~default:0.0 (Hashtbl.find_opt v n) in
+  List.iter
+    (fun (n, nm) -> Format.printf "  v(%s) = %.2f@." nm (get n))
+    name;
+  let total = List.fold_left (fun acc (n, _) -> acc +. get n) 0.0 name in
+  Format.printf "  misspeculation cost (unit operation costs) = %.2f@." total;
+  Format.printf "  paper's value: 0.58@.@."
+
+let fig2_source =
+  (* the paper's Fig. 2 loop, with error[i][j] linearized (MiniC arrays
+     are one-dimensional) and a driver around it *)
+  {|
+int N = 120;
+float error[14400];
+float p[120];
+float cost_total;
+
+void main() {
+  int i = 0;
+  int k;
+  srand(1);
+  for (k = 0; k < 14400; k = k + 1) {
+    error[k] = float_of_int(rand() & 255) * 0.01;
+  }
+  for (k = 0; k < 120; k = k + 1) {
+    p[k] = float_of_int(rand() & 255) * 0.01;
+  }
+  float cost = 0.0;
+  while (i < N) {
+    float cost0 = 0.0;
+    int j;
+    for (j = 0; j < i; j = j + 1) {
+      cost0 = cost0 + fabs(error[i * 120 + j] - p[j]);
+    }
+    cost = cost + cost0;
+    i = i + 1;
+  }
+  cost_total = cost;
+  print_float(cost);
+}
+|}
+
+let fig2 () =
+  Format.printf "=== Fig. 2: SPT transformation of the paper's loop ===@.@.";
+  let e = Spt_driver.Pipeline.evaluate ~config:Spt_driver.Config.best fig2_source in
+  let open Spt_driver.Pipeline in
+  Format.printf "output preserved: %b@." e.outputs_match;
+  List.iter
+    (fun lr ->
+      Format.printf "  loop %s@@bb%d: %s@." lr.lr_func lr.lr_header
+        (match lr.lr_decision with
+        | Selected ->
+          Printf.sprintf
+            "transformed into an SPT loop (cost %.2f, pre-fork %d ops) — the \
+             induction update moved before SPT_FORK, as in Fig. 2(b)"
+            (Option.value ~default:0.0 lr.lr_cost)
+            (Option.value ~default:0 lr.lr_prefork_size)
+        | Rejected r -> Spt_transform.Select.string_of_reason r))
+    e.loops;
+  Format.printf "speedup over the non-SPT base: %+.1f%%@."
+    ((e.speedup -. 1.0) *. 100.0)
+
+let () =
+  fig5 ();
+  fig2 ()

@@ -1,0 +1,1 @@
+lib/cost/cost_model.ml: Depgraph Float Format Hashtbl Int Ir Ir_pretty List Option Printf Set Spt_depgraph Spt_ir Spt_util

@@ -1,0 +1,1 @@
+lib/cost/cost_model.mli: Depgraph Hashtbl Int Set Spt_depgraph

@@ -1,0 +1,273 @@
+(** The misspeculation cost model (§4.2).
+
+    Given a loop's annotated dependence graph, a *cost graph* is built
+    once per loop: a pseudo-node per violation candidate, initial edges
+    from each pseudo-node to the readers of its cross-iteration
+    dependences (annotated with the cross-dependence probability), and
+    the intra-iteration true-dependence closure of those readers (the
+    propagation of re-execution inside the speculative iteration).
+
+    Evaluating a partition then:
+    1. sets each pseudo-node's re-execution probability to 0 when its
+       violation candidate sits in the pre-fork region, and to its
+       violation probability otherwise (§4.2.3 steps 1 & 3);
+    2. propagates in topological order with the independence
+       approximation [x := 1 − (1−x)(1 − r·v(p))] (§4.2.3 step 4);
+    3. sums [v(c) · Cost(c)] over operation nodes outside the pre-fork
+       region (§4.2.4).
+
+    The generic core ({!compute}) is exposed separately so the paper's
+    Fig. 5/6 worked example (cost 0.58) can be replayed on a hand-built
+    graph, and so the ablation benchmark can swap the combination rule. *)
+
+open Spt_ir
+open Spt_depgraph
+module Iset = Set.Make (Int)
+
+(** How re-execution probabilities combine.
+
+    [`Independent] is the paper's §4.2.3 node-level recurrence,
+    [x := 1 − (1−x)(1 − r·v(p))], which assumes predecessors
+    misspeculate independently.  On reconvergent graphs (the stacked
+    diamonds an unrolled loop produces) one violation candidate's
+    influence arrives over several *correlated* paths and the rule
+    counts it repeatedly, inflating the estimate — the conservative
+    over-estimation the paper itself observes in Fig. 19.
+
+    [`Per_seed] (the default here) propagates each violation
+    candidate's probability separately with max-product path strength
+    (one cause counted once, however many paths it takes) and combines
+    *across* candidates with the independence rule.  It coincides with
+    the paper's rule whenever paths do not reconverge — in particular
+    on the paper's Fig. 5/6 worked example.
+
+    [`Max_rule] is an ablation lower-bound variant. *)
+type combine = [ `Independent | `Max_rule | `Per_seed ]
+
+(* ------------------------------------------------------------------ *)
+(* Generic core over abstract node ids *)
+
+type gedge = { gsrc : int; gdst : int; gprob : float }
+
+(** [compute] returns the re-execution probability of every node.
+
+    [nodes] must be closed under [initial] and [intra] edge endpoints;
+    pseudo-nodes are the [vcs] (given by id), all ids distinct from
+    operation ids.  [intra] edges must be acyclic. *)
+let compute ?(combine = `Independent) ~op_nodes ~vc_pseudo ~initial ~intra
+    ~vc_prob () : (int, float) Hashtbl.t =
+  let all_nodes = vc_pseudo @ op_nodes in
+  let succs_tbl = Hashtbl.create 64 in
+  let preds_tbl = Hashtbl.create 64 in
+  let push tbl k v =
+    Hashtbl.replace tbl k (v :: Option.value ~default:[] (Hashtbl.find_opt tbl k))
+  in
+  List.iter
+    (fun e ->
+      push succs_tbl e.gsrc e.gdst;
+      push preds_tbl e.gdst e)
+    (initial @ intra);
+  let succs n = Option.value ~default:[] (Hashtbl.find_opt succs_tbl n) in
+  let order = Spt_util.Topo_sort.sort ~nodes:all_nodes ~succs in
+  let v = Hashtbl.create 64 in
+  List.iter (fun n -> Hashtbl.replace v n (vc_prob n)) vc_pseudo;
+  List.iter
+    (fun n ->
+      if not (Hashtbl.mem v n) then begin
+        let x =
+          List.fold_left
+            (fun x e ->
+              let vp = Option.value ~default:0.0 (Hashtbl.find_opt v e.gsrc) in
+              match combine with
+              | `Independent | `Per_seed ->
+                1.0 -. ((1.0 -. x) *. (1.0 -. (e.gprob *. vp)))
+              | `Max_rule -> Float.max x (e.gprob *. vp))
+            0.0
+            (Option.value ~default:[] (Hashtbl.find_opt preds_tbl n))
+        in
+        Hashtbl.replace v n x
+      end)
+    order;
+  v
+
+(** Per-seed evaluation: for every violation candidate pseudo-node,
+    propagate its probability with max-product path strength, then
+    combine candidates independently at each node. *)
+let compute_per_seed ~op_nodes ~vc_pseudo ~initial ~intra ~vc_prob () :
+    (int, float) Hashtbl.t =
+  let all_nodes = vc_pseudo @ op_nodes in
+  let succs_tbl = Hashtbl.create 64 in
+  let preds_tbl = Hashtbl.create 64 in
+  let push tbl k v =
+    Hashtbl.replace tbl k (v :: Option.value ~default:[] (Hashtbl.find_opt tbl k))
+  in
+  List.iter
+    (fun e ->
+      push succs_tbl e.gsrc e.gdst;
+      push preds_tbl e.gdst e)
+    (initial @ intra);
+  let succs n = Option.value ~default:[] (Hashtbl.find_opt succs_tbl n) in
+  let order = Spt_util.Topo_sort.sort ~nodes:all_nodes ~succs in
+  let v = Hashtbl.create 64 in
+  List.iter (fun n -> Hashtbl.replace v n 1.0) op_nodes;
+  (* v starts as the survival product Π (1 - p_s · reach_s) *)
+  List.iter
+    (fun seed ->
+      let p_seed = vc_prob seed in
+      if p_seed > 0.0 then begin
+        let reach = Hashtbl.create 64 in
+        Hashtbl.replace reach seed 1.0;
+        List.iter
+          (fun n ->
+            if n <> seed && not (List.mem n vc_pseudo) then begin
+              let r =
+                List.fold_left
+                  (fun acc e ->
+                    match Hashtbl.find_opt reach e.gsrc with
+                    | Some rs -> Float.max acc (rs *. e.gprob)
+                    | None -> acc)
+                  0.0
+                  (Option.value ~default:[] (Hashtbl.find_opt preds_tbl n))
+              in
+              if r > 0.0 then Hashtbl.replace reach n r
+            end)
+          order;
+        Hashtbl.iter
+          (fun n r ->
+            if n <> seed then
+              let cur = Option.value ~default:1.0 (Hashtbl.find_opt v n) in
+              Hashtbl.replace v n (cur *. (1.0 -. (p_seed *. r))))
+          reach
+      end)
+    vc_pseudo;
+  List.iter
+    (fun n ->
+      let surv = Option.value ~default:1.0 (Hashtbl.find_opt v n) in
+      Hashtbl.replace v n (1.0 -. surv))
+    op_nodes;
+  List.iter (fun s -> Hashtbl.replace v s (vc_prob s)) vc_pseudo;
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Cost graph over a Depgraph *)
+
+type t = {
+  graph : Depgraph.t;
+  vcs : int list;  (** violation candidates, sorted *)
+  op_nodes : int list;  (** operation nodes in the cost graph *)
+  initial : gedge list;  (** pseudo(vc) -> reader edges *)
+  intra : gedge list;  (** propagation edges among operations *)
+}
+
+(* pseudo-node ids never collide with instruction iids, which are
+   non-negative *)
+let pseudo_of_vc iid = -iid - 1
+let vc_of_pseudo p = -p - 1
+let is_pseudo n = n < 0
+
+let build (graph : Depgraph.t) =
+  let vcs = Depgraph.violation_candidates graph in
+  let initial =
+    List.map
+      (fun (e : Depgraph.edge) ->
+        { gsrc = pseudo_of_vc e.Depgraph.src; gdst = e.Depgraph.dst; gprob = e.Depgraph.prob })
+      (Depgraph.cross_edges graph)
+  in
+  (* operation nodes: readers of initial edges, closed under
+     intra-iteration true-dependence successors (§4.2.2) *)
+  let intra_all = Depgraph.intra_true_edges graph in
+  let succs_of = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Depgraph.edge) ->
+      Hashtbl.replace succs_of e.Depgraph.src
+        (e :: Option.value ~default:[] (Hashtbl.find_opt succs_of e.Depgraph.src)))
+    intra_all;
+  let in_graph = Hashtbl.create 64 in
+  let rec close iid =
+    if not (Hashtbl.mem in_graph iid) then begin
+      Hashtbl.replace in_graph iid ();
+      List.iter
+        (fun (e : Depgraph.edge) -> close e.Depgraph.dst)
+        (Option.value ~default:[] (Hashtbl.find_opt succs_of iid))
+    end
+  in
+  List.iter (fun e -> close e.gdst) initial;
+  let op_nodes =
+    List.filter (fun iid -> Hashtbl.mem in_graph iid) graph.Depgraph.nodes
+  in
+  let intra =
+    List.filter_map
+      (fun (e : Depgraph.edge) ->
+        if Hashtbl.mem in_graph e.Depgraph.src && Hashtbl.mem in_graph e.Depgraph.dst
+        then
+          Some { gsrc = e.Depgraph.src; gdst = e.Depgraph.dst; gprob = e.Depgraph.prob }
+        else None)
+      intra_all
+  in
+  { graph; vcs; op_nodes; initial; intra }
+
+(* ------------------------------------------------------------------ *)
+(* Partition evaluation *)
+
+(** Re-execution probability of every operation node of the cost graph
+    for the partition whose pre-fork *statement* set is [prefork]
+    (instruction iids, as produced by {!Partition.closure}). *)
+let reexec_probs ?(combine = `Per_seed) t ~prefork =
+  let vc_pseudo = List.map pseudo_of_vc t.vcs in
+  let vc_prob p =
+    let vc = vc_of_pseudo p in
+    if Iset.mem vc prefork then 0.0 else Depgraph.violation_prob t.graph vc
+  in
+  let v =
+    match combine with
+    | `Per_seed ->
+      compute_per_seed ~op_nodes:t.op_nodes ~vc_pseudo ~initial:t.initial
+        ~intra:t.intra ~vc_prob ()
+    | (`Independent | `Max_rule) as combine ->
+      compute ~combine ~op_nodes:t.op_nodes ~vc_pseudo ~initial:t.initial
+        ~intra:t.intra ~vc_prob ()
+  in
+  (* operations in the pre-fork region execute before the fork and
+     cannot be misspeculated *)
+  Iset.iter (fun iid -> if Hashtbl.mem v iid then Hashtbl.replace v iid 0.0) prefork;
+  v
+
+(** Misspeculation cost of a partition (§4.2.4): expected amount of
+    re-executed computation per speculative iteration, in elementary
+    operation units. *)
+let misspeculation_cost ?combine t ~prefork =
+  let v = reexec_probs ?combine t ~prefork in
+  List.fold_left
+    (fun acc iid ->
+      if is_pseudo iid || Iset.mem iid prefork then acc
+      else
+        let p = Option.value ~default:0.0 (Hashtbl.find_opt v iid) in
+        let i = Depgraph.instr t.graph iid in
+        (* Cost(c) weighted by executions per iteration: an operation
+           in a nested loop re-executes once per inner trip *)
+        acc
+        +. p *. float_of_int (Ir.op_cost i.Ir.kind)
+           *. Depgraph.freq t.graph iid)
+    0.0 t.op_nodes
+
+(** Cost graph rendered to DOT, mirroring Fig. 6 (pseudo-nodes boxed as
+    ellipses). *)
+let to_dot t =
+  let g = Spt_util.Dot.create "costgraph" in
+  List.iter
+    (fun vc ->
+      Spt_util.Dot.add_node ~shape:"ellipse" g ~id:(pseudo_of_vc vc)
+        ~label:(Printf.sprintf "VC' i%d" vc))
+    t.vcs;
+  List.iter
+    (fun iid ->
+      let i = Depgraph.instr t.graph iid in
+      Spt_util.Dot.add_node g ~id:iid
+        ~label:(Format.asprintf "i%d: %a" iid Ir_pretty.pp_kind i.Ir.kind))
+    t.op_nodes;
+  List.iter
+    (fun e ->
+      Spt_util.Dot.add_edge g ~src:e.gsrc ~dst:e.gdst
+        ~label:(Printf.sprintf "%.2f" e.gprob))
+    (t.initial @ t.intra);
+  Spt_util.Dot.render g

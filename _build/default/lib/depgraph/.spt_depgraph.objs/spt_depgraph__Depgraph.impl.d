@@ -1,0 +1,1 @@
+lib/depgraph/depgraph.ml: Cfg Dep_profile Dominance Edge_profile Effects Float Format Hashtbl Int Ir Ir_pretty List Loops Option Printf Set Spt_ir Spt_profile Spt_util

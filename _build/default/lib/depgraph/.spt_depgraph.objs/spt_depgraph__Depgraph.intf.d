@@ -1,0 +1,1 @@
+lib/depgraph/depgraph.mli: Dep_profile Edge_profile Effects Hashtbl Int Ir Loops Set Spt_ir Spt_profile

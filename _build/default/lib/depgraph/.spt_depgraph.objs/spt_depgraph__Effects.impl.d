@@ -1,0 +1,1 @@
+lib/depgraph/effects.ml: Hashtbl Int Ir List Set Spt_ir

@@ -1,0 +1,1 @@
+lib/depgraph/effects.mli: Hashtbl Int Ir Set Spt_ir

@@ -1,0 +1,104 @@
+(** Annotated data-dependence graph of one loop body (§4.1 of the
+    paper).
+
+    Nodes are the loop-body instructions ("operations", §4.2.2); edges
+    carry a kind, a cross-iteration flag and a probability.  Register
+    true dependences come from SSA def-use chains (the cross-iteration
+    ones are the loop-header phi operands defined inside the body);
+    memory dependences connect may-aliasing store/load pairs with
+    profiled or static probabilities; anti/output dependences are the
+    §5 code-motion legality constraints; control dependences link each
+    branch's condition to the instructions and join phis it selects. *)
+
+open Spt_ir
+open Spt_profile
+module Iset : module type of Set.Make (Int)
+
+type dep_kind = Reg_true | Mem_true | Mem_anti | Mem_output | Control
+
+val string_of_kind : dep_kind -> string
+
+type edge = { src : int; dst : int; kind : dep_kind; cross : bool; prob : float }
+
+type config = {
+  dep_profile : Dep_profile.t option;
+      (** profiled dependence probabilities (§7.3); [None] = static *)
+  edge_profile : Edge_profile.t option;
+      (** execution frequencies for violation probabilities (§4.2.3) *)
+  static_mem_prob : float;
+      (** probability of may-aliasing pairs without profile data *)
+  include_control : bool;  (** put control edges in the graph *)
+  violation_overrides : (int * float) list;
+      (** per-instruction violation-probability overrides (SVP
+          registers its predicted carried values here, §7.2) *)
+  alias_model : [ `Exact | `Type_based ];
+      (** [`Type_based] mimics ORC's type-based disambiguation on
+          pointer-rich C: same-typed regions may alias (the paper's
+          `basic` compilation) *)
+  sym_ty : int -> Ir.ty option;  (** element type per region sid *)
+}
+
+val default_config : config
+
+type t = {
+  func : Ir.func;
+  loop : Loops.loop;
+  config : config;
+  nodes : int list;  (** instruction iids, in body order *)
+  instr_tbl : (int, Ir.instr * int * int) Hashtbl.t;
+      (** iid -> (instruction, block, position) *)
+  edges : edge list;
+  succs : (int, edge list) Hashtbl.t;
+  preds : (int, edge list) Hashtbl.t;
+  exec_prob : (int, float) Hashtbl.t;
+  freq : (int, float) Hashtbl.t;
+  header_phis : int list;
+  violation_tbl : (int, float) Hashtbl.t;
+}
+
+(** Lookups over graph nodes.  @raise Invalid_argument outside the body. *)
+val instr : t -> int -> Ir.instr
+
+val block_of : t -> int -> int
+val mem : t -> int -> bool
+val succs : t -> int -> edge list
+val preds : t -> int -> edge list
+
+(** Probability the node executes in an iteration (capped at 1). *)
+val exec_prob : t -> int -> float
+
+(** Uncapped executions per iteration (> 1 inside nested loops); the
+    cost model weighs Cost(c) by this. *)
+val freq : t -> int -> float
+
+(** Control dependences of the loop's one-iteration body DAG: block ->
+    controlling branch blocks.  Exposed for the SPT transformation. *)
+val control_deps : Ir.func -> Loops.loop -> (int, int list) Hashtbl.t
+
+(** Build the annotated graph of [loop] in [f] (which must be in SSA
+    form), using [effects] for call summaries. *)
+val build : ?config:config -> Effects.t -> Ir.func -> Loops.loop -> t
+
+(** Cross-iteration true-dependence edges. *)
+val cross_edges : t -> edge list
+
+(** Violation candidates (§4.2.1): sources of cross-iteration true
+    dependences, sorted. *)
+val violation_candidates : t -> int list
+
+(** Intra-iteration edges constraining code motion (true, anti, output,
+    control) — the §5 legality closure runs over these. *)
+val motion_edges : t -> edge list
+
+(** Intra-iteration *true* dependence edges — the propagation edges of
+    the cost graph. *)
+val intra_true_edges : t -> edge list
+
+(** Violation probability of a node (§4.2.3 step 1): how often per
+    iteration it executes and modifies its result; conditional-update
+    join phis get the modifying arms' probability, and registered
+    overrides win. *)
+val violation_prob : t -> int -> float
+
+(** Render to Graphviz DOT (dashed = cross-iteration, as in Fig. 5). *)
+val to_dot : t -> string

@@ -1,0 +1,148 @@
+(** Static memory-effect summaries per function.
+
+    For every function, which global regions it may read or write,
+    directly or through callees, and which of its own array-parameter
+    slots it may access.  The summaries feed the dependence graph: a
+    call instruction inside a loop body behaves as an opaque operation
+    reading/writing its summary, exactly how ORC's type-based alias
+    view treats unanalyzed calls — the imprecision the paper's Fig. 19
+    discussion attributes its cost-estimation outliers to.
+
+    Builtins with hidden state get pseudo-regions: the LCG behind
+    [rand]/[srand] is a read-write location (so [rand] in a loop is a
+    genuine cross-iteration dependence, as in real programs), and the
+    output stream behind the print builtins is modelled the same way to
+    pin ordering. *)
+
+open Spt_ir
+module Iset = Set.Make (Int)
+
+(** Pseudo region ids for builtin state. *)
+let rng_region = -1
+
+let io_region = -2
+
+type summary = {
+  sym_reads : Iset.t;  (** region sids, possibly pseudo ids *)
+  sym_writes : Iset.t;
+  param_reads : Iset.t;  (** own array-parameter slots *)
+  param_writes : Iset.t;
+}
+
+let empty =
+  {
+    sym_reads = Iset.empty;
+    sym_writes = Iset.empty;
+    param_reads = Iset.empty;
+    param_writes = Iset.empty;
+  }
+
+let union a b =
+  {
+    sym_reads = Iset.union a.sym_reads b.sym_reads;
+    sym_writes = Iset.union a.sym_writes b.sym_writes;
+    param_reads = Iset.union a.param_reads b.param_reads;
+    param_writes = Iset.union a.param_writes b.param_writes;
+  }
+
+let equal a b =
+  Iset.equal a.sym_reads b.sym_reads
+  && Iset.equal a.sym_writes b.sym_writes
+  && Iset.equal a.param_reads b.param_reads
+  && Iset.equal a.param_writes b.param_writes
+
+let builtin_summary name =
+  if List.mem name Ir.pure_builtins then empty
+  else
+    match name with
+    | "rand" | "srand" ->
+      {
+        empty with
+        sym_reads = Iset.singleton rng_region;
+        sym_writes = Iset.singleton rng_region;
+      }
+    | "print_int" | "print_float" ->
+      {
+        empty with
+        sym_reads = Iset.singleton io_region;
+        sym_writes = Iset.singleton io_region;
+      }
+    | _ -> empty
+
+type t = (string, summary) Hashtbl.t
+
+let find (t : t) name =
+  match Hashtbl.find_opt t name with
+  | Some s -> s
+  | None -> builtin_summary name
+
+(* Effects of one instruction given the current summary table.
+   [record ~read region] folds a region access into the summary under
+   construction. *)
+let instr_effects (t : t) (acc : summary) (i : Ir.instr) =
+  let record ~write acc = function
+    | Ir.Rsym s ->
+      if write then { acc with sym_writes = Iset.add s.Ir.sid acc.sym_writes }
+      else { acc with sym_reads = Iset.add s.Ir.sid acc.sym_reads }
+    | Ir.Rparam (slot, _) ->
+      if write then { acc with param_writes = Iset.add slot acc.param_writes }
+      else { acc with param_reads = Iset.add slot acc.param_reads }
+  in
+  match i.Ir.kind with
+  | Ir.Load (_, r, _) -> record ~write:false acc r
+  | Ir.Store (r, _, _) -> record ~write:true acc r
+  | Ir.Call (_, callee, args) ->
+    let cs = find t callee in
+    (* callee's global effects propagate as-is *)
+    let acc =
+      {
+        acc with
+        sym_reads = Iset.union acc.sym_reads cs.sym_reads;
+        sym_writes = Iset.union acc.sym_writes cs.sym_writes;
+      }
+    in
+    (* callee's parameter effects expand through the actual arguments *)
+    let arr_args =
+      List.filteri (fun _ a -> match a with Ir.Aarr _ -> true | _ -> false) args
+      |> List.map (function Ir.Aarr r -> r | _ -> assert false)
+    in
+    List.fold_left
+      (fun acc (slot, r) ->
+        let acc =
+          if Iset.mem slot cs.param_reads then record ~write:false acc r else acc
+        in
+        if Iset.mem slot cs.param_writes then record ~write:true acc r else acc)
+      acc
+      (List.mapi (fun slot r -> (slot, r)) arr_args)
+  | _ -> acc
+
+let func_summary t (f : Ir.func) =
+  List.fold_left
+    (fun acc bid ->
+      List.fold_left (fun acc i -> instr_effects t acc i) acc
+        (Ir.block f bid).Ir.instrs)
+    empty (Ir.block_ids f)
+
+(** Compute summaries for every function in [program] (fixpoint over
+    the call graph, handling recursion). *)
+let compute (program : Ir.program) : t =
+  let t : t = Hashtbl.create 32 in
+  List.iter (fun (name, _) -> Hashtbl.replace t name empty) program.Ir.funcs;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (name, f) ->
+        let s = func_summary t f in
+        if not (equal s (find t name)) then begin
+          Hashtbl.replace t name s;
+          changed := true
+        end)
+      program.Ir.funcs
+  done;
+  t
+
+(** Effects of a single call instruction at its call site, expanded
+    through its actual array arguments.  Returned as the summary of a
+    phantom one-instruction function. *)
+let call_site_effects (t : t) (i : Ir.instr) = instr_effects t empty i

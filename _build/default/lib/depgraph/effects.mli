@@ -1,0 +1,40 @@
+(** Static memory-effect summaries per function: which global regions a
+    function may read or write, directly or through callees, and which
+    of its own array-parameter slots it touches.  Builtins with hidden
+    state use pseudo-region ids ([rand]'s LCG, the print stream), so a
+    [rand] in a loop is a genuine cross-iteration dependence. *)
+
+open Spt_ir
+module Iset : module type of Set.Make (Int)
+
+(** Pseudo region ids for builtin state. *)
+val rng_region : int
+
+val io_region : int
+
+type summary = {
+  sym_reads : Iset.t;  (** region sids, possibly pseudo ids *)
+  sym_writes : Iset.t;
+  param_reads : Iset.t;  (** own array-parameter slots *)
+  param_writes : Iset.t;
+}
+
+val empty : summary
+val union : summary -> summary -> summary
+val equal : summary -> summary -> bool
+
+(** Summary of a builtin by name. *)
+val builtin_summary : string -> summary
+
+type t = (string, summary) Hashtbl.t
+
+(** Summary of [name], falling back to the builtin table. *)
+val find : t -> string -> summary
+
+(** Fixpoint summaries for every function of the program (handles
+    recursion). *)
+val compute : Ir.program -> t
+
+(** Effects of a single call instruction, expanded through its actual
+    array arguments. *)
+val call_site_effects : t -> Ir.instr -> summary

@@ -1,0 +1,1 @@
+lib/driver/config.ml: List Printf Select Spt_tlsim Spt_transform Unroll

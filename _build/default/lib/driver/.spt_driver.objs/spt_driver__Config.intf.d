@@ -1,0 +1,1 @@
+lib/driver/config.mli: Select Spt_tlsim Spt_transform Unroll

@@ -1,0 +1,1 @@
+lib/driver/pipeline.mli: Config Ir Select Spt_ir Spt_profile Spt_tlsim Spt_transform Tls_machine Unroll

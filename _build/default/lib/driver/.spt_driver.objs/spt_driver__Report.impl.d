@@ -1,0 +1,1 @@
+lib/driver/report.ml: Float List Option Pipeline Printf Spt_tlsim Spt_transform Spt_util Spt_workloads Stats Table Tls_machine

@@ -1,0 +1,1 @@
+lib/driver/report.mli: Pipeline

@@ -1,0 +1,76 @@
+(** The two-pass SPT compilation pipeline (§3.2, Fig. 4) and the
+    evaluation harness around it: front end → unrolling → SSA +
+    clean-up → profiling → pass 1 (optimal partition per loop) → SVP on
+    costly loops with re-profiling → pass 2 (global selection, SPT
+    transformation) → SSA destruction with carried-register coalescing
+    → TLS simulation against the non-SPT baseline. *)
+
+open Spt_ir
+open Spt_transform
+open Spt_tlsim
+
+type decision = Selected | Rejected of Select.reject_reason
+
+(** One analyzed loop, as reported by the compilation (the Fig. 15–19
+    record). *)
+type loop_record = {
+  lr_func : string;
+  lr_header : int;
+  lr_origin : Ir.loop_origin option;
+  lr_body_size : float;  (** dynamic operations per iteration, callees included *)
+  lr_static_size : int;
+  lr_trip : float;  (** profiled average trip count *)
+  lr_weight : int;  (** dynamic operations inside the loop *)
+  lr_decision : decision;
+  lr_cost : float option;  (** optimal misspeculation cost *)
+  lr_prefork_size : int option;
+  lr_loop_id : int option;  (** simulator id when transformed *)
+  lr_svp : bool;  (** value prediction was applied *)
+}
+
+(** Result of evaluating one program under one configuration. *)
+type eval = {
+  config_name : string;
+  base : Tls_machine.result;
+  spt : Tls_machine.result;
+  speedup : float;  (** base cycles / SPT cycles *)
+  loops : loop_record list;
+  outputs_match : bool;  (** transformed output equals the baseline's *)
+  n_spt_loops : int;
+}
+
+(** Parse, type-check and lower MiniC source. *)
+val front_end : string -> Ir.program
+
+(** SSA-construct and optimize every function, in place. *)
+val to_ssa : Ir.program -> unit
+
+(** Destruct SSA and clean up, in place. *)
+val out_of_ssa : ?phi_primed:(int -> Ir.var option) -> Ir.program -> unit
+
+(** The non-SPT O3-style baseline build (Table 1's reference), with the
+    same unrolling/inlining as the SPT build it is compared against so
+    speedups measure speculation. *)
+val compile_base :
+  ?unroll:Unroll.policy -> ?inline:bool -> string -> Ir.program
+
+(** Run the edge, dependence and value profilers in one interpreter
+    pass. *)
+val profile_all :
+  ?value_targets:Spt_profile.Value_profile.target list ->
+  Ir.program ->
+  max_steps:int ->
+  Spt_profile.Edge_profile.t * Spt_profile.Dep_profile.t * Spt_profile.Value_profile.t
+
+(** A fully SPT-compiled program with its simulator registrations and
+    per-loop records. *)
+type spt_compilation = {
+  program : Ir.program;
+  spt_loops : Tls_machine.spt_loop list;
+  records : loop_record list;
+}
+
+val compile_spt : Config.t -> string -> spt_compilation
+
+(** Compile both ways, simulate both, compare. *)
+val evaluate : ?config:Config.t -> string -> eval

@@ -1,0 +1,405 @@
+(** Experiment reporting: regenerates every table and figure of §8 from
+    evaluation results.
+
+    Each [table1] … [fig19] function renders one experiment as an
+    aligned text table (see EXPERIMENTS.md for the paper-vs-measured
+    record); [fig18_rows]/[fig19_points] expose the raw per-loop series
+    for tests and for correlation statistics. *)
+
+open Spt_tlsim
+open Spt_util
+
+let pct x = Printf.sprintf "%+.1f%%" ((x -. 1.0) *. 100.0)
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: IPC of the non-SPT base reference *)
+
+let table1 (results : (string * Pipeline.eval) list) =
+  let t =
+    Table.create
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right ]
+      [ "program"; "IPC (sim)"; "IPC (paper)"; "cycles" ]
+  in
+  List.iter
+    (fun (name, (e : Pipeline.eval)) ->
+      let paper =
+        match List.assoc_opt name Spt_workloads.Suite.paper_ipc with
+        | Some v -> Printf.sprintf "%.2f" v
+        | None -> "-"
+      in
+      Table.add_row t
+        [
+          name;
+          Printf.sprintf "%.2f" e.Pipeline.base.Tls_machine.ipc;
+          paper;
+          Printf.sprintf "%.0f" e.Pipeline.base.Tls_machine.cycles;
+        ])
+    results;
+  Table.render t
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 14: program speedups under the three compilations *)
+
+let fig14 (per_config : (string * (string * Pipeline.eval) list) list) =
+  let configs = List.map fst per_config in
+  let t =
+    Table.create
+      ~aligns:(Table.Left :: List.map (fun _ -> Table.Right) configs)
+      ("program" :: configs)
+  in
+  let programs =
+    match per_config with [] -> [] | (_, rs) :: _ -> List.map fst rs
+  in
+  List.iter
+    (fun prog ->
+      Table.add_row t
+        (prog
+        :: List.map
+             (fun (_, rs) ->
+               match List.assoc_opt prog rs with
+               | Some e -> pct e.Pipeline.speedup
+               | None -> "-")
+             per_config))
+    programs;
+  let avg rs =
+    Stats.mean (List.map (fun (_, e) -> e.Pipeline.speedup) rs) |> pct
+  in
+  Table.add_row t ("average" :: List.map (fun (_, rs) -> avg rs) per_config);
+  Table.render t
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 15: breakdown of loop candidates *)
+
+type breakdown = {
+  total : int;
+  valid : int;
+  many_vcs : int;
+  small_body : int;
+  large_body : int;
+  small_trip : int;
+  high_cost : int;
+  untransformable : int;
+  nested : int;
+}
+
+let breakdown_of (loops : Pipeline.loop_record list) =
+  let z =
+    {
+      total = 0;
+      valid = 0;
+      many_vcs = 0;
+      small_body = 0;
+      large_body = 0;
+      small_trip = 0;
+      high_cost = 0;
+      untransformable = 0;
+      nested = 0;
+    }
+  in
+  List.fold_left
+    (fun acc (lr : Pipeline.loop_record) ->
+      let acc = { acc with total = acc.total + 1 } in
+      match lr.Pipeline.lr_decision with
+      | Pipeline.Selected -> { acc with valid = acc.valid + 1 }
+      | Pipeline.Rejected r -> (
+        match Spt_transform.Select.bucket_of_reason r with
+        | `Many_vcs -> { acc with many_vcs = acc.many_vcs + 1 }
+        | `Small_body -> { acc with small_body = acc.small_body + 1 }
+        | `Large_body -> { acc with large_body = acc.large_body + 1 }
+        | `Small_trip -> { acc with small_trip = acc.small_trip + 1 }
+        | `High_cost -> { acc with high_cost = acc.high_cost + 1 }
+        | `Untransformable -> { acc with untransformable = acc.untransformable + 1 }
+        | `Nested -> { acc with nested = acc.nested + 1 }))
+    z loops
+
+let fig15 (results : (string * Pipeline.eval) list) =
+  let t =
+    Table.create
+      ~aligns:(Table.Left :: List.init 9 (fun _ -> Table.Right))
+      [
+        "program"; "loops"; "valid"; "many-VCs"; "small-body"; "large-body";
+        "small-trip"; "high-cost"; "untransf"; "nested";
+      ]
+  in
+  let totals = ref (breakdown_of []) in
+  List.iter
+    (fun (name, (e : Pipeline.eval)) ->
+      let b = breakdown_of e.Pipeline.loops in
+      totals :=
+        {
+          total = !totals.total + b.total;
+          valid = !totals.valid + b.valid;
+          many_vcs = !totals.many_vcs + b.many_vcs;
+          small_body = !totals.small_body + b.small_body;
+          large_body = !totals.large_body + b.large_body;
+          small_trip = !totals.small_trip + b.small_trip;
+          high_cost = !totals.high_cost + b.high_cost;
+          untransformable = !totals.untransformable + b.untransformable;
+          nested = !totals.nested + b.nested;
+        };
+      Table.add_row t
+        [
+          name;
+          string_of_int b.total;
+          string_of_int b.valid;
+          string_of_int b.many_vcs;
+          string_of_int b.small_body;
+          string_of_int b.large_body;
+          string_of_int b.small_trip;
+          string_of_int b.high_cost;
+          string_of_int b.untransformable;
+          string_of_int b.nested;
+        ])
+    results;
+  let b = !totals in
+  let pctof n = if b.total = 0 then "0%" else Printf.sprintf "%d%%" (100 * n / b.total) in
+  Table.add_row t
+    [
+      "share"; "100%"; pctof b.valid; pctof b.many_vcs; pctof b.small_body;
+      pctof b.large_body; pctof b.small_trip; pctof b.high_cost;
+      pctof b.untransformable; pctof b.nested;
+    ];
+  Table.render t
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 16: runtime coverage of SPT loops and loop counts *)
+
+let fig16 (results : (string * Pipeline.eval) list) =
+  let t =
+    Table.create
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right ]
+      [ "program"; "SPT coverage"; "max loop coverage"; "#SPT loops" ]
+  in
+  let covs = ref [] and maxes = ref [] and counts = ref [] in
+  List.iter
+    (fun (name, (e : Pipeline.eval)) ->
+      let cov =
+        if e.Pipeline.spt.Tls_machine.cycles > 0.0 then
+          e.Pipeline.spt.Tls_machine.spt_cycles_total
+          /. e.Pipeline.spt.Tls_machine.cycles
+        else 0.0
+      in
+      let max_cov =
+        if e.Pipeline.base.Tls_machine.cycles > 0.0 then
+          e.Pipeline.base.Tls_machine.eligible_loop_cycles
+          /. e.Pipeline.base.Tls_machine.cycles
+        else 0.0
+      in
+      covs := cov :: !covs;
+      maxes := max_cov :: !maxes;
+      counts := float_of_int e.Pipeline.n_spt_loops :: !counts;
+      Table.add_row t
+        [
+          name;
+          Printf.sprintf "%.0f%%" (100.0 *. cov);
+          Printf.sprintf "%.0f%%" (100.0 *. max_cov);
+          string_of_int e.Pipeline.n_spt_loops;
+        ])
+    results;
+  Table.add_row t
+    [
+      "average";
+      Printf.sprintf "%.0f%%" (100.0 *. Stats.mean !covs);
+      Printf.sprintf "%.0f%%" (100.0 *. Stats.mean !maxes);
+      Printf.sprintf "%.1f" (Stats.mean !counts);
+    ];
+  Table.render t
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 17: SPT loop body sizes and pre-fork fractions *)
+
+let selected_loops (e : Pipeline.eval) =
+  List.filter
+    (fun (lr : Pipeline.loop_record) -> lr.Pipeline.lr_decision = Pipeline.Selected)
+    e.Pipeline.loops
+
+let fig17 (results : (string * Pipeline.eval) list) =
+  let t =
+    Table.create
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right ]
+      [ "program"; "avg body size"; "avg pre-fork"; "pre-fork %" ]
+  in
+  let all_sizes = ref [] and all_pf = ref [] in
+  List.iter
+    (fun (name, e) ->
+      let sel = selected_loops e in
+      let sizes = List.map (fun lr -> lr.Pipeline.lr_body_size) sel in
+      let pfs =
+        List.filter_map
+          (fun lr ->
+            Option.map float_of_int lr.Pipeline.lr_prefork_size)
+          sel
+      in
+      all_sizes := sizes @ !all_sizes;
+      all_pf := pfs @ !all_pf;
+      if sel = [] then Table.add_row t [ name; "-"; "-"; "-" ]
+      else
+        Table.add_row t
+          [
+            name;
+            Printf.sprintf "%.0f" (Stats.mean sizes);
+            Printf.sprintf "%.1f" (Stats.mean pfs);
+            Printf.sprintf "%.0f%%"
+              (100.0 *. Stats.mean pfs /. Float.max 1.0 (Stats.mean sizes));
+          ])
+    results;
+  (match (!all_sizes, !all_pf) with
+  | [], _ | _, [] -> ()
+  | sizes, pfs ->
+    Table.add_row t
+      [
+        "average";
+        Printf.sprintf "%.0f" (Stats.mean sizes);
+        Printf.sprintf "%.1f" (Stats.mean pfs);
+        Printf.sprintf "%.0f%%"
+          (100.0 *. Stats.mean pfs /. Float.max 1.0 (Stats.mean sizes));
+      ]);
+  Table.render t
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 18: per-loop misspeculation ratio and loop speedup *)
+
+type fig18_row = {
+  f18_program : string;
+  f18_loop : string;
+  f18_misspec_ratio : float;  (** re-executed / speculated computation *)
+  f18_loop_speedup : float;
+  f18_violated_pair_ratio : float;
+}
+
+let fig18_rows (results : (string * Pipeline.eval) list) =
+  List.concat_map
+    (fun (name, (e : Pipeline.eval)) ->
+      List.filter_map
+        (fun (lr : Pipeline.loop_record) ->
+          match lr.Pipeline.lr_loop_id with
+          | Some id -> (
+            match List.assoc_opt id e.Pipeline.spt.Tls_machine.loop_metrics with
+            | Some lm when lm.Tls_machine.lm_iterations > 0 ->
+              let misspec =
+                if lm.Tls_machine.lm_spec_units > 0.0 then
+                  lm.Tls_machine.lm_reexec_units /. lm.Tls_machine.lm_spec_units
+                else 0.0
+              in
+              let speedup =
+                if lm.Tls_machine.lm_spt_cycles > 0.0 then
+                  lm.Tls_machine.lm_serial_est /. lm.Tls_machine.lm_spt_cycles
+                else 1.0
+              in
+              let vr =
+                if lm.Tls_machine.lm_pairs > 0 then
+                  float_of_int lm.Tls_machine.lm_violated_pairs
+                  /. float_of_int lm.Tls_machine.lm_pairs
+                else 0.0
+              in
+              Some
+                {
+                  f18_program = name;
+                  f18_loop =
+                    Printf.sprintf "%s@bb%d" lr.Pipeline.lr_func
+                      lr.Pipeline.lr_header;
+                  f18_misspec_ratio = misspec;
+                  f18_loop_speedup = speedup;
+                  f18_violated_pair_ratio = vr;
+                }
+            | _ -> None)
+          | None -> None)
+        e.Pipeline.loops)
+    results
+
+let fig18 results =
+  let rows = fig18_rows results in
+  let t =
+    Table.create
+      ~aligns:[ Table.Left; Table.Left; Table.Right; Table.Right; Table.Right ]
+      [ "program"; "loop"; "misspec ratio"; "loop speedup"; "violated pairs" ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [
+          r.f18_program;
+          r.f18_loop;
+          Printf.sprintf "%.1f%%" (100.0 *. r.f18_misspec_ratio);
+          pct r.f18_loop_speedup;
+          Printf.sprintf "%.1f%%" (100.0 *. r.f18_violated_pair_ratio);
+        ])
+    rows;
+  (match rows with
+  | [] -> ()
+  | _ ->
+    Table.add_row t
+      [
+        "average";
+        "";
+        Printf.sprintf "%.1f%%"
+          (100.0 *. Stats.mean (List.map (fun r -> r.f18_misspec_ratio) rows));
+        pct (Stats.mean (List.map (fun r -> r.f18_loop_speedup) rows));
+        Printf.sprintf "%.1f%%"
+          (100.0
+          *. Stats.mean (List.map (fun r -> r.f18_violated_pair_ratio) rows));
+      ]);
+  Table.render t
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 19: estimated misspeculation cost vs actual re-execution ratio *)
+
+type fig19_point = {
+  f19_program : string;
+  f19_loop : string;
+  f19_estimated : float;  (** cost / body size — per-iteration fraction *)
+  f19_actual : float;  (** measured re-execution ratio *)
+}
+
+let fig19_points (results : (string * Pipeline.eval) list) =
+  List.concat_map
+    (fun (name, (e : Pipeline.eval)) ->
+      List.filter_map
+        (fun (lr : Pipeline.loop_record) ->
+          match (lr.Pipeline.lr_loop_id, lr.Pipeline.lr_cost) with
+          | Some id, Some cost -> (
+            match List.assoc_opt id e.Pipeline.spt.Tls_machine.loop_metrics with
+            | Some lm when lm.Tls_machine.lm_spec_units > 0.0 ->
+              Some
+                {
+                  f19_program = name;
+                  f19_loop =
+                    Printf.sprintf "%s@bb%d" lr.Pipeline.lr_func
+                      lr.Pipeline.lr_header;
+                  f19_estimated = cost /. Float.max 1.0 lr.Pipeline.lr_body_size;
+                  f19_actual =
+                    lm.Tls_machine.lm_reexec_units /. lm.Tls_machine.lm_spec_units;
+                }
+            | _ -> None)
+          | _ -> None)
+        e.Pipeline.loops)
+    results
+
+let fig19 results =
+  let pts = fig19_points results in
+  let t =
+    Table.create
+      ~aligns:[ Table.Left; Table.Left; Table.Right; Table.Right ]
+      [ "program"; "loop"; "estimated cost"; "actual re-exec" ]
+  in
+  List.iter
+    (fun p ->
+      Table.add_row t
+        [
+          p.f19_program;
+          p.f19_loop;
+          Printf.sprintf "%.3f" p.f19_estimated;
+          Printf.sprintf "%.3f" p.f19_actual;
+        ])
+    pts;
+  let corr =
+    match pts with
+    | [] | [ _ ] -> 0.0
+    | _ ->
+      Stats.pearson
+        (List.map (fun p -> p.f19_estimated) pts)
+        (List.map (fun p -> p.f19_actual) pts)
+  in
+  Table.render t
+  ^ Printf.sprintf "correlation (Pearson): %.2f  (points: %d)\n" corr
+      (List.length pts)

@@ -1,0 +1,63 @@
+(** Experiment reporting: renders each of §8's tables and figures from
+    evaluation results as aligned text tables (what `bench/main.exe`
+    prints and EXPERIMENTS.md records). *)
+
+(** Table 1: base-reference IPC per program, next to the paper's. *)
+val table1 : (string * Pipeline.eval) list -> string
+
+(** Fig. 14: per-program speedups for each configuration
+    ([(config name, per-program results)] outer list). *)
+val fig14 : (string * (string * Pipeline.eval) list) list -> string
+
+(** Fig. 15 buckets. *)
+type breakdown = {
+  total : int;
+  valid : int;
+  many_vcs : int;
+  small_body : int;
+  large_body : int;
+  small_trip : int;
+  high_cost : int;
+  untransformable : int;
+  nested : int;
+}
+
+val breakdown_of : Pipeline.loop_record list -> breakdown
+
+(** Fig. 15: breakdown of loop candidates by decision. *)
+val fig15 : (string * Pipeline.eval) list -> string
+
+(** Fig. 16: SPT runtime coverage, maximum eligible-loop coverage and
+    loop counts. *)
+val fig16 : (string * Pipeline.eval) list -> string
+
+(** Fig. 17: SPT loop body sizes and pre-fork fractions. *)
+val fig17 : (string * Pipeline.eval) list -> string
+
+(** One Fig. 18 row. *)
+type fig18_row = {
+  f18_program : string;
+  f18_loop : string;
+  f18_misspec_ratio : float;
+  f18_loop_speedup : float;
+  f18_violated_pair_ratio : float;
+}
+
+val fig18_rows : (string * Pipeline.eval) list -> fig18_row list
+
+(** Fig. 18: per-loop misspeculation ratio and speedup. *)
+val fig18 : (string * Pipeline.eval) list -> string
+
+(** One Fig. 19 point. *)
+type fig19_point = {
+  f19_program : string;
+  f19_loop : string;
+  f19_estimated : float;
+  f19_actual : float;
+}
+
+val fig19_points : (string * Pipeline.eval) list -> fig19_point list
+
+(** Fig. 19: estimated cost vs actual re-execution, with the Pearson
+    correlation. *)
+val fig19 : (string * Pipeline.eval) list -> string

@@ -1,0 +1,1 @@
+lib/interp/interp.ml: Array Buffer Eval Float Format Int64 Ir Layout List Lower Printf Spt_ir Spt_srclang Spt_util

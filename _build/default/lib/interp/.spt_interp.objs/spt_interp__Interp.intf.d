@@ -1,0 +1,1 @@
+lib/interp/interp.mli: Eval Ir Spt_ir

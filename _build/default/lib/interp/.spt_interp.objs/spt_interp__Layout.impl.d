@@ -1,0 +1,1 @@
+lib/interp/layout.ml: Hashtbl Ir List Printf Spt_ir

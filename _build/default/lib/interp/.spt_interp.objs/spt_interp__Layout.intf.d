@@ -1,0 +1,1 @@
+lib/interp/layout.mli: Ir Spt_ir

@@ -1,0 +1,376 @@
+(** Reference interpreter for the IR, with instrumentation hooks.
+
+    The interpreter is the ground truth for program semantics: the
+    SPT-transformed program must print the same output and return the
+    same value as the original (SPT_FORK/SPT_KILL are sequential
+    no-ops), which the test-suite checks for every workload.
+
+    The hooks expose the full dynamic event stream — executed
+    instructions with their register/memory effects, block entries and
+    taken control-flow edges — on which all three profilers (§4.1,
+    §7.2, §7.3) and the trace-driven TLS timing simulator are built. *)
+
+open Spt_ir
+
+type value = Eval.value
+
+(** Register and memory effects of one executed instruction.  Addresses
+    are element-granular (see {!Layout.element_address}). *)
+type effects = {
+  loads : (int * value) list;  (** (address, value read) *)
+  stores : (int * value) list;  (** (address, value written) *)
+  defs : (Ir.var * value) list;
+  uses : (Ir.var * value) list;
+}
+
+let no_effects = { loads = []; stores = []; defs = []; uses = [] }
+
+type hooks = {
+  on_instr : Ir.func -> int -> Ir.instr -> effects -> unit;
+      (** [on_instr f bid i eff] fires after [i] (in block [bid] of [f])
+          executes.  Instructions inside callees fire with their own
+          function/blocks. *)
+  on_block : Ir.func -> int -> unit;  (** block entry *)
+  on_edge : Ir.func -> src:int -> dst:int -> unit;  (** taken CFG edge *)
+  on_branch : Ir.func -> int -> taken:bool -> unit;
+      (** conditional branch outcome in block [bid] *)
+  on_enter : Ir.func -> unit;  (** function entry (after the caller's
+      [on_instr] for the call instruction) *)
+  on_exit : Ir.func -> unit;  (** function return *)
+}
+
+let null_hooks =
+  {
+    on_instr = (fun _ _ _ _ -> ());
+    on_block = (fun _ _ -> ());
+    on_edge = (fun _ ~src:_ ~dst:_ -> ());
+    on_branch = (fun _ _ ~taken:_ -> ());
+    on_enter = (fun _ -> ());
+    on_exit = (fun _ -> ());
+  }
+
+(** Fan one event stream out to several consumers (profilers compose). *)
+let combine_hooks hs =
+  {
+    on_instr = (fun f b i e -> List.iter (fun h -> h.on_instr f b i e) hs);
+    on_block = (fun f b -> List.iter (fun h -> h.on_block f b) hs);
+    on_edge = (fun f ~src ~dst -> List.iter (fun h -> h.on_edge f ~src ~dst) hs);
+    on_branch = (fun f b ~taken -> List.iter (fun h -> h.on_branch f b ~taken) hs);
+    on_enter = (fun f -> List.iter (fun h -> h.on_enter f) hs);
+    on_exit = (fun f -> List.iter (fun h -> h.on_exit f) hs);
+  }
+
+exception Runtime_error of string
+
+let error fmt = Format.kasprintf (fun m -> raise (Runtime_error m)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Machine state *)
+
+type frame = {
+  func : Ir.func;
+  regs : value option array;  (** indexed by vid; [None] = uninitialized *)
+  arr_args : Ir.sym array;  (** array-parameter slots resolved to regions *)
+}
+
+type state = {
+  program : Ir.program;
+  layout : Layout.t;
+  mem : value array;  (** element-granular flat memory *)
+  mutable rng : int64;  (** LCG state for the [rand] builtin *)
+  out : Buffer.t;
+  mutable steps : int;
+  mutable block_entries : int;
+  max_steps : int;
+  hooks : hooks;
+}
+
+type result = {
+  return_value : value option;
+  output : string;
+  dynamic_instrs : int;
+}
+
+let lcg_next st =
+  (* Numerical Recipes LCG; deterministic across runs *)
+  st.rng <- Int64.add (Int64.mul st.rng 6364136223846793005L) 1442695040888963407L;
+  Int64.shift_right_logical st.rng 33
+
+let init_memory layout (globals : Ir.sym list) =
+  let mem = Array.make (Layout.total_elements layout) (Eval.Vi 0L) in
+  List.iter
+    (fun (s : Ir.sym) ->
+      let base = Layout.element_address layout s 0 in
+      for i = 0 to s.Ir.ssize - 1 do
+        mem.(base + i) <- Eval.zero_of_ty s.Ir.selt
+      done;
+      match s.Ir.sinit with
+      | Some vals ->
+        List.iteri
+          (fun i n ->
+            if i < s.Ir.ssize then
+              mem.(base + i) <-
+                (match s.Ir.selt with
+                | Ir.I64 -> Eval.Vi n
+                | Ir.F64 -> Eval.Vf (Int64.to_float n)))
+          vals
+      | None -> ())
+    globals;
+  mem
+
+(* resolve a region to the concrete global it denotes in this frame *)
+let resolve_region frame = function
+  | Ir.Rsym s -> s
+  | Ir.Rparam (slot, name) ->
+    if slot < Array.length frame.arr_args then frame.arr_args.(slot)
+    else error "unbound array parameter %s" name
+
+let read_reg frame v =
+  match frame.regs.(v.Ir.vid) with
+  | Some x -> x
+  | None -> error "read of uninitialized register %s.%d in %s" v.Ir.vname v.Ir.vid frame.func.Ir.fname
+
+let write_reg frame v x = frame.regs.(v.Ir.vid) <- Some x
+
+let read_operand frame = function
+  | Ir.Reg v -> read_reg frame v
+  | Ir.Imm_i n -> Eval.Vi n
+  | Ir.Imm_f f -> Eval.Vf f
+
+let mem_read st frame region idx =
+  let s = resolve_region frame region in
+  if idx < 0 || idx >= s.Ir.ssize then
+    error "out-of-bounds read %s[%d] (size %d)" s.Ir.sname idx s.Ir.ssize;
+  let a = Layout.element_address st.layout s idx in
+  (a, st.mem.(a))
+
+let mem_write st frame region idx v =
+  let s = resolve_region frame region in
+  if idx < 0 || idx >= s.Ir.ssize then
+    error "out-of-bounds write %s[%d] (size %d)" s.Ir.sname idx s.Ir.ssize;
+  let a = Layout.element_address st.layout s idx in
+  st.mem.(a) <- v;
+  a
+
+let as_int = function
+  | Eval.Vi n -> Int64.to_int n
+  | Eval.Vf _ -> error "expected integer value"
+
+(* ------------------------------------------------------------------ *)
+(* Builtins *)
+
+let exec_builtin st name (args : value list) : value option =
+  match (name, args) with
+  | "abs", [ Eval.Vi a ] -> Some (Eval.Vi (Int64.abs a))
+  | "min", [ Eval.Vi a; Eval.Vi b ] -> Some (Eval.Vi (min a b))
+  | "max", [ Eval.Vi a; Eval.Vi b ] -> Some (Eval.Vi (max a b))
+  | "fmin", [ Eval.Vf a; Eval.Vf b ] -> Some (Eval.Vf (Float.min a b))
+  | "fmax", [ Eval.Vf a; Eval.Vf b ] -> Some (Eval.Vf (Float.max a b))
+  | "rand", [] -> Some (Eval.Vi (lcg_next st))
+  | "srand", [ Eval.Vi seed ] ->
+    st.rng <- seed;
+    None
+  | "print_int", [ Eval.Vi n ] ->
+    Buffer.add_string st.out (Int64.to_string n);
+    Buffer.add_char st.out '\n';
+    None
+  | "print_float", [ Eval.Vf f ] ->
+    Buffer.add_string st.out (Printf.sprintf "%.6g" f);
+    Buffer.add_char st.out '\n';
+    None
+  | _ -> error "bad builtin call %s/%d" name (List.length args)
+
+(* ------------------------------------------------------------------ *)
+(* Execution *)
+
+let rec exec_call st (callee : Ir.func) (scalar_args : value list)
+    (array_args : Ir.sym list) : value option =
+  let frame =
+    {
+      func = callee;
+      regs = Array.make (Spt_util.Idgen.peek callee.Ir.var_gen) None;
+      arr_args = Array.of_list array_args;
+    }
+  in
+  (* bind scalar parameters *)
+  let rec bind params args =
+    match (params, args) with
+    | [], [] -> ()
+    | Ir.Pscalar v :: ps, a :: rest ->
+      write_reg frame v a;
+      bind ps rest
+    | Ir.Parray _ :: ps, args -> bind ps args
+    | _ -> error "arity mismatch calling %s" callee.Ir.fname
+  in
+  bind callee.Ir.fparams scalar_args;
+  st.hooks.on_enter callee;
+  let ret = exec_blocks st frame callee.Ir.entry ~prev:(-1) in
+  st.hooks.on_exit callee;
+  ret
+
+and exec_blocks st frame bid ~prev : value option =
+  let b = Ir.block frame.func bid in
+  st.block_entries <- st.block_entries + 1;
+  st.hooks.on_block frame.func bid;
+  if prev >= 0 then st.hooks.on_edge frame.func ~src:prev ~dst:bid;
+  (* phis evaluate in parallel against the incoming edge *)
+  let phis, rest =
+    List.partition (fun (i : Ir.instr) -> Ir.is_phi i.Ir.kind) b.Ir.instrs
+  in
+  let phi_values =
+    List.map
+      (fun (i : Ir.instr) ->
+        match i.Ir.kind with
+        | Ir.Phi (d, ins) -> (
+          match List.assoc_opt prev ins with
+          | Some o ->
+            let v = read_operand frame o in
+            (i, d, o, v)
+          | None -> error "phi in bb%d has no operand for predecessor bb%d" bid prev)
+        | _ -> assert false)
+      phis
+  in
+  List.iter
+    (fun ((i : Ir.instr), d, o, v) ->
+      write_reg frame d v;
+      st.steps <- st.steps + 1;
+      let uses = match o with Ir.Reg u -> [ (u, v) ] | _ -> [] in
+      st.hooks.on_instr frame.func bid i
+        { no_effects with defs = [ (d, v) ]; uses })
+    phi_values;
+  List.iter (fun i -> exec_instr st frame bid i) rest;
+  if st.steps + st.block_entries > st.max_steps then
+    error "step limit exceeded (%d)" st.max_steps;
+  match b.Ir.term with
+  | Ir.Jump next -> exec_blocks st frame next ~prev:bid
+  | Ir.Br (c, t, e) ->
+    let cv = read_operand frame c in
+    let taken = Eval.is_truthy cv in
+    st.hooks.on_branch frame.func bid ~taken;
+    exec_blocks st frame (if taken then t else e) ~prev:bid
+  | Ir.Ret None -> None
+  | Ir.Ret (Some o) -> Some (read_operand frame o)
+
+and exec_instr st frame bid (i : Ir.instr) =
+  st.steps <- st.steps + 1;
+  let fire eff = st.hooks.on_instr frame.func bid i eff in
+  match i.Ir.kind with
+  | Ir.Move (d, o) ->
+    let v = read_operand frame o in
+    write_reg frame d v;
+    fire
+      {
+        no_effects with
+        defs = [ (d, v) ];
+        uses = (match o with Ir.Reg u -> [ (u, v) ] | _ -> []);
+      }
+  | Ir.Unop (d, op, o) ->
+    let a = read_operand frame o in
+    let v = Eval.eval_unop op a in
+    write_reg frame d v;
+    fire
+      {
+        no_effects with
+        defs = [ (d, v) ];
+        uses = (match o with Ir.Reg u -> [ (u, a) ] | _ -> []);
+      }
+  | Ir.Binop (d, op, oa, ob) ->
+    let a = read_operand frame oa and b = read_operand frame ob in
+    let v =
+      try Eval.eval_binop op a b
+      with Eval.Division_by_zero -> error "division by zero"
+    in
+    write_reg frame d v;
+    let uses =
+      List.filter_map
+        (fun (o, x) -> match o with Ir.Reg u -> Some (u, x) | _ -> None)
+        [ (oa, a); (ob, b) ]
+    in
+    fire { no_effects with defs = [ (d, v) ]; uses }
+  | Ir.Load (d, region, idx_op) ->
+    let idx = as_int (read_operand frame idx_op) in
+    let addr, v = mem_read st frame region idx in
+    write_reg frame d v;
+    let uses =
+      match idx_op with
+      | Ir.Reg u -> [ (u, Eval.Vi (Int64.of_int idx)) ]
+      | _ -> []
+    in
+    fire { no_effects with loads = [ (addr, v) ]; defs = [ (d, v) ]; uses }
+  | Ir.Store (region, idx_op, src) ->
+    let idx = as_int (read_operand frame idx_op) in
+    let v = read_operand frame src in
+    let addr = mem_write st frame region idx v in
+    let uses =
+      List.filter_map
+        (fun (o, x) -> match o with Ir.Reg u -> Some (u, x) | _ -> None)
+        [ (idx_op, Eval.Vi (Int64.of_int idx)); (src, v) ]
+    in
+    fire { no_effects with stores = [ (addr, v) ]; uses }
+  | Ir.Call (dst, name, args) -> (
+    let scalar_args =
+      List.filter_map
+        (function Ir.Aop o -> Some (read_operand frame o) | Ir.Aarr _ -> None)
+        args
+    in
+    let array_args =
+      List.filter_map
+        (function
+          | Ir.Aarr r -> Some (resolve_region frame r)
+          | Ir.Aop _ -> None)
+        args
+    in
+    let uses =
+      List.filter_map
+        (function
+          | Ir.Aop (Ir.Reg u) -> Some (u, read_reg frame u)
+          | _ -> None)
+        args
+    in
+    match List.assoc_opt name st.program.Ir.funcs with
+    | Some callee ->
+      (* fire the call event before the callee's own events *)
+      fire { no_effects with uses };
+      let ret = exec_call st callee scalar_args array_args in
+      (match (dst, ret) with
+      | Some d, Some v -> write_reg frame d v
+      | Some _, None -> error "call to %s returned no value" name
+      | None, _ -> ())
+    | None -> (
+      let ret = exec_builtin st name scalar_args in
+      match (dst, ret) with
+      | Some d, Some v ->
+        write_reg frame d v;
+        fire { no_effects with defs = [ (d, v) ]; uses }
+      | Some _, None -> error "builtin %s returned no value" name
+      | None, _ -> fire { no_effects with uses }))
+  | Ir.Phi _ -> error "phi outside block head"
+  | Ir.Spt_fork _ | Ir.Spt_kill _ -> fire no_effects
+
+(* ------------------------------------------------------------------ *)
+(* Entry points *)
+
+let run ?(hooks = null_hooks) ?(max_steps = 200_000_000) (program : Ir.program) =
+  let layout = Layout.build program.Ir.globals in
+  let st =
+    {
+      program;
+      layout;
+      mem = init_memory layout program.Ir.globals;
+      rng = 88172645463325252L;
+      out = Buffer.create 256;
+      steps = 0;
+      block_entries = 0;
+      max_steps;
+      hooks;
+    }
+  in
+  let mainf = Ir.func_of_program program "main" in
+  let return_value = exec_call st mainf [] [] in
+  { return_value; output = Buffer.contents st.out; dynamic_instrs = st.steps }
+
+(** Compile MiniC source all the way and run it (no optimization). *)
+let run_source ?hooks ?max_steps src =
+  let ast = Spt_srclang.Typecheck.parse_and_check src in
+  let prog = Lower.lower_program ast in
+  run ?hooks ?max_steps prog

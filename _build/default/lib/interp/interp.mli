@@ -1,0 +1,57 @@
+(** Reference interpreter for the IR, with instrumentation hooks.
+
+    The interpreter is the ground truth for program semantics: an
+    SPT-transformed program must print the same output as the original
+    ([SPT_FORK]/[SPT_KILL] are sequential no-ops).  The hooks expose
+    the full dynamic event stream on which the profilers (§4.1, §7.2,
+    §7.3) and the trace-driven TLS timing machine are built. *)
+
+open Spt_ir
+
+type value = Eval.value
+
+(** Register and memory effects of one executed instruction.  Addresses
+    are element-granular (see {!Layout.element_address}). *)
+type effects = {
+  loads : (int * value) list;  (** (address, value read) *)
+  stores : (int * value) list;  (** (address, value written) *)
+  defs : (Ir.var * value) list;
+  uses : (Ir.var * value) list;
+}
+
+val no_effects : effects
+
+type hooks = {
+  on_instr : Ir.func -> int -> Ir.instr -> effects -> unit;
+      (** fires after each instruction; callee instructions fire with
+          their own function and blocks *)
+  on_block : Ir.func -> int -> unit;  (** block entry *)
+  on_edge : Ir.func -> src:int -> dst:int -> unit;  (** taken CFG edge *)
+  on_branch : Ir.func -> int -> taken:bool -> unit;
+      (** conditional-branch outcome in the given block *)
+  on_enter : Ir.func -> unit;  (** function entry (after the caller's
+      [on_instr] for the call instruction) *)
+  on_exit : Ir.func -> unit;  (** function return *)
+}
+
+val null_hooks : hooks
+
+(** Fan one event stream out to several consumers. *)
+val combine_hooks : hooks list -> hooks
+
+exception Runtime_error of string
+
+type result = {
+  return_value : value option;
+  output : string;  (** everything the print builtins wrote *)
+  dynamic_instrs : int;
+}
+
+(** Execute [main].  Deterministic: the [rand] builtin is a fixed-seed
+    LCG ([srand] reseeds it).
+    @raise Runtime_error on out-of-bounds access, division by zero or
+    exceeding [max_steps]. *)
+val run : ?hooks:hooks -> ?max_steps:int -> Ir.program -> result
+
+(** Front-end convenience: parse, type-check, lower and run. *)
+val run_source : ?hooks:hooks -> ?max_steps:int -> string -> result

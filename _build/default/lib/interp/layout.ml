@@ -1,0 +1,41 @@
+open Spt_ir
+(** Memory layout: assigns every global region a base byte address in a
+    flat address space.
+
+    Elements are 8 bytes (both [i64] and [f64]); regions are aligned to
+    cache-line boundaries (64 bytes) so the TLS simulator's cache model
+    sees realistic conflict behaviour and two regions never share a
+    line. *)
+
+let element_size = 8
+let line_size = 64
+
+type t = {
+  bases : (int, int) Hashtbl.t;  (** sid -> base byte address *)
+  total_bytes : int;
+}
+
+let build (globals : Ir.sym list) =
+  let bases = Hashtbl.create 64 in
+  let cursor = ref line_size (* keep address 0 unused *) in
+  List.iter
+    (fun (s : Ir.sym) ->
+      let aligned = (!cursor + line_size - 1) / line_size * line_size in
+      Hashtbl.replace bases s.Ir.sid aligned;
+      cursor := aligned + (s.Ir.ssize * element_size))
+    globals;
+  { bases; total_bytes = !cursor }
+
+let base t (s : Ir.sym) =
+  match Hashtbl.find_opt t.bases s.Ir.sid with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "Layout.base: unknown region %s" s.Ir.sname)
+
+(** Byte address of element [idx] of region [s]. *)
+let address t s idx = base t s + (idx * element_size)
+
+(** Element-granular address (byte address / 8), the unit the shadow
+    memory and dependence profiler use. *)
+let element_address t s idx = address t s idx / element_size
+
+let total_elements t = (t.total_bytes + element_size - 1) / element_size

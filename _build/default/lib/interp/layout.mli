@@ -1,0 +1,25 @@
+(** Memory layout: assigns every global region a base byte address in a
+    flat address space.  Elements are 8 bytes; regions are aligned to
+    cache-line boundaries so two regions never share a line. *)
+
+open Spt_ir
+
+val element_size : int
+val line_size : int
+
+type t
+
+val build : Ir.sym list -> t
+
+(** Base byte address of a region.
+    @raise Invalid_argument for unknown regions. *)
+val base : t -> Ir.sym -> int
+
+(** Byte address of element [idx]. *)
+val address : t -> Ir.sym -> int -> int
+
+(** Element-granular address (byte address / 8): the unit used by the
+    interpreter's effects, the shadow memory and the TLS machine. *)
+val element_address : t -> Ir.sym -> int -> int
+
+val total_elements : t -> int

@@ -1,0 +1,1 @@
+lib/ir/cfg.ml: Hashtbl Int Ir List Map Set

@@ -1,0 +1,1 @@
+lib/ir/dominance.ml: Cfg Int List Map Printf

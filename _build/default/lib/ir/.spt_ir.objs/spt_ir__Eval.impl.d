@@ -1,0 +1,1 @@
+lib/ir/eval.ml: Float Format Int64 Ir Printf

@@ -1,0 +1,1 @@
+lib/ir/eval.mli: Format Ir

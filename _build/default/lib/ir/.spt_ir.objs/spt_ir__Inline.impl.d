@@ -1,0 +1,1 @@
+lib/ir/inline.ml: Hashtbl Int Ir List Map Option

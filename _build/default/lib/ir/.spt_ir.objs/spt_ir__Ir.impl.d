@@ -1,0 +1,1 @@
+lib/ir/ir.ml: Format Hashtbl List Map Printf Set Spt_util

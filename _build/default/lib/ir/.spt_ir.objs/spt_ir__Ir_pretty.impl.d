@@ -1,0 +1,1 @@
+lib/ir/ir_pretty.ml: Format Ir List

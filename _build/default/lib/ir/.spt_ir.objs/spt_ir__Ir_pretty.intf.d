@@ -1,0 +1,1 @@
+lib/ir/ir_pretty.mli: Format Ir

@@ -1,0 +1,1 @@
+lib/ir/liveness.ml: Cfg Int Ir List Map

@@ -1,0 +1,1 @@
+lib/ir/loops.ml: Array Cfg Dominance Hashtbl Int Ir List Set

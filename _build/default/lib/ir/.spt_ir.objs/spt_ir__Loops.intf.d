@@ -1,0 +1,1 @@
+lib/ir/loops.mli: Int Ir Set

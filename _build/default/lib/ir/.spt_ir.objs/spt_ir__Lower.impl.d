@@ -1,0 +1,1 @@
+lib/ir/lower.ml: Ast Cfg Format Hashtbl Ir List Option Spt_srclang Spt_util

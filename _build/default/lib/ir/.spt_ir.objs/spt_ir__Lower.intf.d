@@ -1,0 +1,1 @@
+lib/ir/lower.mli: Ir Spt_srclang

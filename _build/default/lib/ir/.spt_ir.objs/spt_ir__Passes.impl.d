@@ -1,0 +1,1 @@
+lib/ir/passes.ml: Cfg Eval Hashtbl Int Ir List Map Option Set

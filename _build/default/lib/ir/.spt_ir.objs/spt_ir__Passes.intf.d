@@ -1,0 +1,1 @@
+lib/ir/passes.mli: Ir

@@ -1,0 +1,1 @@
+lib/ir/ssa.ml: Cfg Dominance Format Hashtbl Int Ir List Liveness Map Set String

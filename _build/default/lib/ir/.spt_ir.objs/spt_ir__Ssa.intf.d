@@ -1,0 +1,1 @@
+lib/ir/ssa.mli: Ir

@@ -1,0 +1,40 @@
+(** Control-flow-graph utilities over {!Ir.func}: successor/predecessor
+    views, reverse postorder, reachability clean-up, edge splitting and
+    preheader insertion.  Analyses recompute on demand; nothing is
+    cached inside the IR. *)
+
+type t
+
+val of_func : Ir.func -> t
+val successors : t -> int -> int list
+val predecessors : t -> int -> int list
+
+(** Reverse postorder from the entry; reachable blocks only. *)
+val reverse_postorder : t -> int list
+
+val entry : t -> int
+
+(** Delete blocks unreachable from the entry, dropping phi operands
+    from removed predecessors; returns how many were removed. *)
+val remove_unreachable : Ir.func -> int
+
+(** Redirect the [old_dst] successor(s) of the block's terminator. *)
+val retarget_term : Ir.block -> old_dst:int -> new_dst:int -> unit
+
+(** Rewrite phi operands arriving from [old_pred] to come from
+    [new_pred]. *)
+val retarget_phis : Ir.block -> old_pred:int -> new_pred:int -> unit
+
+(** Insert a fresh empty block on the edge [src -> dst] (phis in [dst]
+    retargeted); returns the new block. *)
+val split_edge : Ir.func -> src:int -> dst:int -> Ir.block
+
+(** Split every critical edge (multi-successor source into
+    multi-predecessor destination); required before SSA destruction.
+    Returns the number of edges split. *)
+val split_critical_edges : Ir.func -> int
+
+(** Ensure [header] has a unique predecessor outside the loop (an
+    [in_loop] predicate over block ids defines the loop); returns the
+    preheader's id. *)
+val ensure_preheader : Ir.func -> header:int -> in_loop:(int -> bool) -> int

@@ -1,0 +1,108 @@
+(** Dominator tree and dominance frontiers, via the Cooper–Harvey–
+    Kennedy iterative algorithm over reverse postorder.
+
+    Used by SSA construction (phi placement at dominance frontiers) and
+    by the loop finder (back-edge detection). *)
+
+module Imap = Map.Make (Int)
+
+type t = {
+  idom : int Imap.t;  (** immediate dominator; the entry maps to itself *)
+  children : int list Imap.t;  (** dominator-tree children *)
+  frontier : int list Imap.t;  (** dominance frontier per block *)
+  rpo_number : int Imap.t;
+}
+
+let idom t bid =
+  match Imap.find_opt bid t.idom with
+  | Some d -> d
+  | None -> invalid_arg (Printf.sprintf "Dominance.idom: unreachable block %d" bid)
+
+let children t bid = try Imap.find bid t.children with Not_found -> []
+let frontier t bid = try Imap.find bid t.frontier with Not_found -> []
+
+(** [dominates t a b] — does [a] dominate [b]?  Reflexive. *)
+let dominates t a b =
+  let rec walk b = if b = a then true else
+    match Imap.find_opt b t.idom with
+    | Some d when d <> b -> walk d
+    | _ -> false
+  in
+  walk b
+
+let compute (cfg : Cfg.t) =
+  let rpo = Cfg.reverse_postorder cfg in
+  let entry = Cfg.entry cfg in
+  let rpo_number =
+    List.fold_left
+      (fun (i, m) bid -> (i + 1, Imap.add bid i m))
+      (0, Imap.empty) rpo
+    |> snd
+  in
+  let number bid = Imap.find bid rpo_number in
+  let idom = ref (Imap.singleton entry entry) in
+  let intersect a b =
+    (* Walk up the current idom approximation; lower rpo number = closer
+       to the entry. *)
+    let rec go a b =
+      if a = b then a
+      else if number a > number b then go (Imap.find a !idom) b
+      else go a (Imap.find b !idom)
+    in
+    go a b
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun bid ->
+        if bid <> entry then begin
+          let processed_preds =
+            List.filter
+              (fun p -> Imap.mem p !idom && Imap.mem p rpo_number)
+              (Cfg.predecessors cfg bid)
+          in
+          match processed_preds with
+          | [] -> ()
+          | first :: rest ->
+            let new_idom = List.fold_left intersect first rest in
+            (match Imap.find_opt bid !idom with
+            | Some old when old = new_idom -> ()
+            | _ ->
+              idom := Imap.add bid new_idom !idom;
+              changed := true)
+        end)
+      rpo
+  done;
+  let idom = !idom in
+  let children =
+    Imap.fold
+      (fun bid d acc ->
+        if bid = d then acc
+        else
+          let existing = try Imap.find d acc with Not_found -> [] in
+          Imap.add d (existing @ [ bid ]) acc)
+      idom Imap.empty
+  in
+  (* Dominance frontiers (Cooper-Harvey-Kennedy): for each join block,
+     walk each predecessor's dominator chain up to the join's idom. *)
+  let frontier = ref Imap.empty in
+  List.iter
+    (fun bid ->
+      let preds = List.filter (fun p -> Imap.mem p idom) (Cfg.predecessors cfg bid) in
+      if List.length preds >= 2 then
+        List.iter
+          (fun p ->
+            let stop = Imap.find bid idom in
+            let rec walk runner =
+              if runner <> stop then begin
+                let existing = try Imap.find runner !frontier with Not_found -> [] in
+                if not (List.mem bid existing) then
+                  frontier := Imap.add runner (existing @ [ bid ]) !frontier;
+                walk (Imap.find runner idom)
+              end
+            in
+            walk p)
+          preds)
+    rpo;
+  { idom; children; frontier = !frontier; rpo_number }

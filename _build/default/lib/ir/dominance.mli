@@ -1,0 +1,20 @@
+(** Dominator tree and dominance frontiers (Cooper–Harvey–Kennedy).
+    Used by SSA construction (phi placement) and loop detection (back
+    edges); validated against brute force in the test-suite. *)
+
+type t
+
+val compute : Cfg.t -> t
+
+(** Immediate dominator; the entry maps to itself.
+    @raise Invalid_argument on unreachable blocks. *)
+val idom : t -> int -> int
+
+(** Dominator-tree children. *)
+val children : t -> int -> int list
+
+(** Dominance frontier. *)
+val frontier : t -> int -> int list
+
+(** [dominates t a b] — reflexive dominance. *)
+val dominates : t -> int -> int -> bool

@@ -1,0 +1,86 @@
+(** Evaluation of IR operations on constant values.
+
+    Shared by the constant-folding pass and the interpreter so compile
+    time and run time agree exactly on arithmetic (64-bit wrapping
+    integers, IEEE doubles, shift counts masked to 6 bits, comparisons
+    producing 0/1). *)
+
+type value = Vi of int64 | Vf of float
+
+exception Division_by_zero
+
+let pp fmt = function
+  | Vi n -> Format.fprintf fmt "%Ld" n
+  | Vf f -> Format.fprintf fmt "%.6g" f
+
+let zero_of_ty = function Ir.I64 -> Vi 0L | Ir.F64 -> Vf 0.0
+
+let ty_of_value = function Vi _ -> Ir.I64 | Vf _ -> Ir.F64
+
+let of_operand = function
+  | Ir.Imm_i n -> Some (Vi n)
+  | Ir.Imm_f f -> Some (Vf f)
+  | Ir.Reg _ -> None
+
+let to_operand = function Vi n -> Ir.Imm_i n | Vf f -> Ir.Imm_f f
+
+let is_truthy = function Vi 0L -> false | Vi _ -> true | Vf f -> f <> 0.0
+
+let bool_val b = Vi (if b then 1L else 0L)
+
+let eval_binop op a b =
+  match (op, a, b) with
+  | Ir.Add, Vi x, Vi y -> Vi (Int64.add x y)
+  | Ir.Sub, Vi x, Vi y -> Vi (Int64.sub x y)
+  | Ir.Mul, Vi x, Vi y -> Vi (Int64.mul x y)
+  | Ir.Div, Vi _, Vi 0L -> raise Division_by_zero
+  | Ir.Div, Vi x, Vi y -> Vi (Int64.div x y)
+  | Ir.Rem, Vi _, Vi 0L -> raise Division_by_zero
+  | Ir.Rem, Vi x, Vi y -> Vi (Int64.rem x y)
+  | Ir.And, Vi x, Vi y -> Vi (Int64.logand x y)
+  | Ir.Or, Vi x, Vi y -> Vi (Int64.logor x y)
+  | Ir.Xor, Vi x, Vi y -> Vi (Int64.logxor x y)
+  | Ir.Shl, Vi x, Vi y -> Vi (Int64.shift_left x (Int64.to_int y land 63))
+  | Ir.Shr, Vi x, Vi y -> Vi (Int64.shift_right x (Int64.to_int y land 63))
+  | Ir.Lt, Vi x, Vi y -> bool_val (x < y)
+  | Ir.Le, Vi x, Vi y -> bool_val (x <= y)
+  | Ir.Gt, Vi x, Vi y -> bool_val (x > y)
+  | Ir.Ge, Vi x, Vi y -> bool_val (x >= y)
+  | Ir.Eq, Vi x, Vi y -> bool_val (x = y)
+  | Ir.Ne, Vi x, Vi y -> bool_val (x <> y)
+  | Ir.Add, Vf x, Vf y -> Vf (x +. y)
+  | Ir.Sub, Vf x, Vf y -> Vf (x -. y)
+  | Ir.Mul, Vf x, Vf y -> Vf (x *. y)
+  | Ir.Div, Vf x, Vf y -> Vf (x /. y)
+  | Ir.Lt, Vf x, Vf y -> bool_val (x < y)
+  | Ir.Le, Vf x, Vf y -> bool_val (x <= y)
+  | Ir.Gt, Vf x, Vf y -> bool_val (x > y)
+  | Ir.Ge, Vf x, Vf y -> bool_val (x >= y)
+  | Ir.Eq, Vf x, Vf y -> bool_val (x = y)
+  | Ir.Ne, Vf x, Vf y -> bool_val (x <> y)
+  | _ ->
+    invalid_arg
+      (Printf.sprintf "Eval.eval_binop: ill-typed %s" (Ir.string_of_binop op))
+
+let eval_unop op a =
+  match (op, a) with
+  | Ir.Neg, Vi x -> Vi (Int64.neg x)
+  | Ir.Neg, Vf x -> Vf (-.x)
+  | Ir.Bnot, Vi x -> Vi (Int64.lognot x)
+  | Ir.I2f, Vi x -> Vf (Int64.to_float x)
+  | Ir.F2i, Vf x -> Vi (Int64.of_float x)
+  | Ir.Fabs, Vf x -> Vf (Float.abs x)
+  | Ir.Fsqrt, Vf x -> Vf (sqrt x)
+  | _ ->
+    invalid_arg
+      (Printf.sprintf "Eval.eval_unop: ill-typed %s" (Ir.string_of_unop op))
+
+(** Pure builtins evaluable at compile time. *)
+let eval_pure_builtin name args =
+  match (name, args) with
+  | "min", [ Vi a; Vi b ] -> Some (Vi (min a b))
+  | "max", [ Vi a; Vi b ] -> Some (Vi (max a b))
+  | "fmin", [ Vf a; Vf b ] -> Some (Vf (Float.min a b))
+  | "fmax", [ Vf a; Vf b ] -> Some (Vf (Float.max a b))
+  | "abs", [ Vi a ] -> Some (Vi (Int64.abs a))
+  | _ -> None

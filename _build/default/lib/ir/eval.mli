@@ -1,0 +1,31 @@
+(** Evaluation of IR operations on constant values, shared by the
+    constant folder and the interpreter so compile time and run time
+    agree exactly (64-bit wrapping integers, IEEE doubles, shift counts
+    masked to 6 bits, comparisons producing 0/1). *)
+
+type value = Vi of int64 | Vf of float
+
+exception Division_by_zero
+
+val pp : Format.formatter -> value -> unit
+val zero_of_ty : Ir.ty -> value
+val ty_of_value : value -> Ir.ty
+
+(** [Some] for immediates, [None] for registers. *)
+val of_operand : Ir.operand -> value option
+
+val to_operand : value -> Ir.operand
+
+(** C truthiness: nonzero. *)
+val is_truthy : value -> bool
+
+val bool_val : bool -> value
+
+(** @raise Division_by_zero on integer division/remainder by zero.
+    @raise Invalid_argument on ill-typed operand combinations. *)
+val eval_binop : Ir.binop -> value -> value -> value
+
+val eval_unop : Ir.unop -> value -> value
+
+(** Compile-time evaluation of pure builtins ([abs], [min], ...). *)
+val eval_pure_builtin : string -> value list -> value option

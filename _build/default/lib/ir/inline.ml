@@ -1,0 +1,212 @@
+(** Function inlining on the (non-SSA) IR.
+
+    The paper's framework leaves calls opaque — its cost model treats a
+    call as one operation with a conservative memory summary, and the
+    Fig. 19 outliers are loops whose calls "modify and use global
+    variables unknown to the caller loops".  Inlining small callees is
+    the classic remedy (Tsai et al. use it for superthreaded
+    partitioning); this pass is provided as an *extension* the driver
+    can switch on to measure exactly that effect.
+
+    Call sites are inlined when the callee is small (static size under
+    the threshold), not (mutually) recursive and not [main].  Inlining
+    runs before unrolling and SSA construction, so the callee's loops
+    become first-class candidates of the enclosing function. *)
+
+module Imap = Map.Make (Int)
+
+type policy = {
+  max_callee_size : int;  (** static elementary-operation bound *)
+  max_rounds : int;  (** bounds transitive inlining *)
+}
+
+let default_policy = { max_callee_size = 120; max_rounds = 3 }
+
+let func_size (f : Ir.func) =
+  List.fold_left
+    (fun acc bid -> acc + Ir.block_size (Ir.block f bid))
+    0 (Ir.block_ids f)
+
+(* functions on a cycle of the call graph (self- or mutual recursion) *)
+let recursive_functions (prog : Ir.program) =
+  let callees name =
+    match List.assoc_opt name prog.Ir.funcs with
+    | None -> []
+    | Some f ->
+      List.concat_map
+        (fun bid ->
+          List.filter_map
+            (fun (i : Ir.instr) ->
+              match i.Ir.kind with
+              | Ir.Call (_, callee, _) when List.mem_assoc callee prog.Ir.funcs ->
+                Some callee
+              | _ -> None)
+            (Ir.block f bid).Ir.instrs)
+        (Ir.block_ids f)
+  in
+  List.filter
+    (fun (name, _) ->
+      (* can [name] reach itself? *)
+      let seen = Hashtbl.create 8 in
+      let rec reachable from =
+        List.exists
+          (fun c ->
+            c = name
+            ||
+            if Hashtbl.mem seen c then false
+            else begin
+              Hashtbl.replace seen c ();
+              reachable c
+            end)
+          (callees from)
+      in
+      reachable name)
+    prog.Ir.funcs
+  |> List.map fst
+
+(* Inline one call site: the call [ci] at position [pos] of block [bid]
+   in [caller], calling [callee].  Returns true on success. *)
+let inline_site (caller : Ir.func) (callee : Ir.func) ~bid ~pos =
+  let b = Ir.block caller bid in
+  let call_instr = List.nth b.Ir.instrs pos in
+  let dst, args =
+    match call_instr.Ir.kind with
+    | Ir.Call (dst, _, args) -> (dst, args)
+    | _ -> invalid_arg "Inline.inline_site: not a call"
+  in
+  (* fresh caller variables for every callee variable *)
+  let var_map : (int, Ir.var) Hashtbl.t = Hashtbl.create 32 in
+  let remap_var v =
+    match Hashtbl.find_opt var_map v.Ir.vid with
+    | Some v' -> v'
+    | None ->
+      let v' = Ir.fresh_var caller ~name:(callee.Ir.fname ^ "_" ^ v.Ir.vname) ~ty:v.Ir.vty in
+      Hashtbl.replace var_map v.Ir.vid v';
+      v'
+  in
+  let remap_operand = function
+    | Ir.Reg v -> Ir.Reg (remap_var v)
+    | o -> o
+  in
+  (* array-parameter slots resolve to the actual regions at this site *)
+  let arr_args =
+    List.filter_map (function Ir.Aarr r -> Some r | Ir.Aop _ -> None) args
+  in
+  let remap_region = function
+    | Ir.Rsym s -> Ir.Rsym s
+    | Ir.Rparam (slot, name) -> (
+      match List.nth_opt arr_args slot with
+      | Some r -> r
+      | None -> invalid_arg ("Inline: unbound array param " ^ name))
+  in
+  (* clone callee blocks *)
+  let block_map =
+    List.fold_left
+      (fun acc cb -> Imap.add cb (Ir.add_block caller).Ir.bid acc)
+      Imap.empty (Ir.block_ids callee)
+  in
+  (* continuation: the rest of the call block *)
+  let cont = Ir.add_block caller in
+  cont.Ir.instrs <- List.filteri (fun k _ -> k > pos) b.Ir.instrs;
+  cont.Ir.term <- b.Ir.term;
+  let remap_kind k =
+    let k = Ir.map_kind_operands remap_operand k in
+    match k with
+    | Ir.Load (d, r, idx) -> Ir.Load (remap_var d, remap_region r, idx)
+    | Ir.Store (r, idx, src) -> Ir.Store (remap_region r, idx, src)
+    | Ir.Call (d, name, cargs) ->
+      Ir.Call
+        ( Option.map remap_var d,
+          name,
+          List.map
+            (function Ir.Aarr r -> Ir.Aarr (remap_region r) | a -> a)
+            cargs )
+    | Ir.Move (d, o) -> Ir.Move (remap_var d, o)
+    | Ir.Unop (d, op, o) -> Ir.Unop (remap_var d, op, o)
+    | Ir.Binop (d, op, a, c) -> Ir.Binop (remap_var d, op, a, c)
+    | Ir.Phi (d, ins) ->
+      Ir.Phi (remap_var d, List.map (fun (p, o) -> (Imap.find p block_map, o)) ins)
+    | (Ir.Spt_fork _ | Ir.Spt_kill _) as k -> k
+  in
+  Imap.iter
+    (fun old_bid new_bid ->
+      let src = Ir.block callee old_bid in
+      let dst_blk = Ir.block caller new_bid in
+      dst_blk.Ir.loop_origin <- src.Ir.loop_origin;
+      dst_blk.Ir.instrs <-
+        List.map (fun (i : Ir.instr) -> Ir.mk_instr caller (remap_kind i.Ir.kind)) src.Ir.instrs;
+      dst_blk.Ir.term <-
+        (match src.Ir.term with
+        | Ir.Jump t -> Ir.Jump (Imap.find t block_map)
+        | Ir.Br (c, t, e) ->
+          Ir.Br (remap_operand c, Imap.find t block_map, Imap.find e block_map)
+        | Ir.Ret ret ->
+          (* return becomes an assignment to the call's destination plus
+             a jump to the continuation *)
+          (match (dst, ret) with
+          | Some d, Some o ->
+            Ir.append_instr dst_blk (Ir.mk_instr caller (Ir.Move (d, remap_operand o)))
+          | _ -> ());
+          Ir.Jump cont.Ir.bid))
+    block_map;
+  (* the call block: keep the prefix, bind scalar parameters, jump in *)
+  b.Ir.instrs <- List.filteri (fun k _ -> k < pos) b.Ir.instrs;
+  let scalar_args =
+    List.filter_map (function Ir.Aop o -> Some o | Ir.Aarr _ -> None) args
+  in
+  let rec bind params sargs =
+    match (params, sargs) with
+    | [], [] -> ()
+    | Ir.Pscalar v :: ps, a :: rest ->
+      Ir.append_instr b (Ir.mk_instr caller (Ir.Move (remap_var v, a)));
+      bind ps rest
+    | Ir.Parray _ :: ps, rest -> bind ps rest
+    | _ -> invalid_arg "Inline: arity mismatch"
+  in
+  bind callee.Ir.fparams scalar_args;
+  b.Ir.term <- Ir.Jump (Imap.find callee.Ir.entry block_map)
+
+(** Inline eligible call sites across [prog] (in place).  Returns the
+    number of call sites inlined. *)
+let run ?(policy = default_policy) (prog : Ir.program) =
+  let recursive = recursive_functions prog in
+  let eligible name =
+    match List.assoc_opt name prog.Ir.funcs with
+    | Some callee ->
+      name <> "main"
+      && (not (List.mem name recursive))
+      && func_size callee <= policy.max_callee_size
+    | None -> false
+  in
+  let inlined = ref 0 in
+  for _round = 1 to policy.max_rounds do
+    List.iter
+      (fun (caller_name, caller) ->
+        let progressed = ref true in
+        while !progressed do
+          progressed := false;
+          let site =
+            List.find_map
+              (fun bid ->
+                let b = Ir.block caller bid in
+                List.find_mapi
+                  (fun pos (i : Ir.instr) ->
+                    match i.Ir.kind with
+                    | Ir.Call (_, callee, _)
+                      when callee <> caller_name && eligible callee ->
+                      Some (bid, pos, callee)
+                    | _ -> None)
+                  b.Ir.instrs)
+              (Ir.block_ids caller)
+          in
+          match site with
+          | Some (bid, pos, callee_name) ->
+            let callee = List.assoc callee_name prog.Ir.funcs in
+            inline_site caller callee ~bid ~pos;
+            incr inlined;
+            progressed := true
+          | None -> ()
+        done)
+      prog.Ir.funcs
+  done;
+  !inlined

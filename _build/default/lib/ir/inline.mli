@@ -1,0 +1,22 @@
+(** Function inlining on the non-SSA IR (extension; see
+    {!Spt_driver.Config.best_inline}).  Small, non-recursive callees
+    are cloned into their call sites with array-parameter slots rebound
+    to the actual regions, so the callee's loops and memory behaviour
+    become first-class in the caller's analysis. *)
+
+type policy = {
+  max_callee_size : int;  (** static elementary-operation bound *)
+  max_rounds : int;  (** bounds transitive inlining *)
+}
+
+val default_policy : policy
+
+(** Static function size in elementary operations. *)
+val func_size : Ir.func -> int
+
+(** Functions on a call-graph cycle (never inlined). *)
+val recursive_functions : Ir.program -> string list
+
+(** Inline eligible call sites across the program, in place; returns
+    how many sites were inlined. *)
+val run : ?policy:policy -> Ir.program -> int

@@ -1,0 +1,318 @@
+(** The mid-level three-address IR the SPT framework operates on.
+
+    Design notes, mirroring the paper's setting:
+
+    - Every instruction is an *operation* in the sense of §4.2.2: the
+      cost-graph nodes of the misspeculation cost model are exactly IR
+      instructions, so instruction granularity is the cost granularity.
+    - Scalars live in virtual registers ([var]); all memory traffic goes
+      through named regions ([region]) with explicit [Load]/[Store],
+      which keeps the dependence machinery simple and exact.
+    - Scalar global variables are size-1 regions, so cross-iteration
+      dependences through globals are ordinary memory dependences.
+    - [Spt_fork]/[Spt_kill] are the paper's SPT instructions.  They are
+      sequential no-ops: an SPT-transformed program is still an ordinary
+      sequential program (which the interpreter checks), and only the
+      TLS timing simulator gives the fork a meaning.
+    - Loop headers carry the *source origin* of the loop ([`For],
+      [`While], [`Do]) because ORC can only unroll DO loops (§7.1) and
+      the Fig. 15 loop-breakdown experiment depends on the distinction. *)
+
+type ty = I64 | F64
+
+let string_of_ty = function I64 -> "i64" | F64 -> "f64"
+
+type var = { vid : int; vname : string; vty : ty }
+
+let pp_var fmt v = Format.fprintf fmt "%%%s.%d" v.vname v.vid
+
+module Var = struct
+  type t = var
+
+  let compare a b = compare a.vid b.vid
+  let equal a b = a.vid = b.vid
+  let hash a = a.vid
+end
+
+module Vset = Set.Make (Var)
+module Vmap = Map.Make (Var)
+
+(** A named memory region: a global array or a size-1 global scalar. *)
+type sym = {
+  sid : int;
+  sname : string;
+  selt : ty;
+  ssize : int;
+  sinit : int64 list option;  (** integer initializer (converted for F64) *)
+}
+
+(** Base of a memory access: a concrete region, or the [n]-th array
+    parameter of the enclosing function (bound to a region at call
+    time). *)
+type region = Rsym of sym | Rparam of int * string
+
+let pp_region fmt = function
+  | Rsym s -> Format.fprintf fmt "@%s" s.sname
+  | Rparam (i, name) -> Format.fprintf fmt "@param%d:%s" i name
+
+type operand = Reg of var | Imm_i of int64 | Imm_f of float
+
+let pp_operand fmt = function
+  | Reg v -> pp_var fmt v
+  | Imm_i n -> Format.fprintf fmt "%Ld" n
+  | Imm_f f -> Format.fprintf fmt "%h" f
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Shr
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+
+let string_of_binop = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Rem -> "rem"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Shl -> "shl"
+  | Shr -> "shr"
+  | Lt -> "lt"
+  | Le -> "le"
+  | Gt -> "gt"
+  | Ge -> "ge"
+  | Eq -> "eq"
+  | Ne -> "ne"
+
+let is_comparison = function
+  | Lt | Le | Gt | Ge | Eq | Ne -> true
+  | Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr -> false
+
+type unop = Neg | Bnot | I2f | F2i | Fabs | Fsqrt
+
+let string_of_unop = function
+  | Neg -> "neg"
+  | Bnot -> "bnot"
+  | I2f -> "i2f"
+  | F2i -> "f2i"
+  | Fabs -> "fabs"
+  | Fsqrt -> "fsqrt"
+
+(** A call argument: a scalar operand or an array region. *)
+type arg = Aop of operand | Aarr of region
+
+type kind =
+  | Move of var * operand
+  | Unop of var * unop * operand
+  | Binop of var * binop * operand * operand
+  | Load of var * region * operand  (** dst := region[idx] *)
+  | Store of region * operand * operand  (** region[idx] := src *)
+  | Call of var option * string * arg list
+  | Phi of var * (int * operand) list  (** (predecessor bid, value) — SSA only *)
+  | Spt_fork of int  (** loop id; spawns a speculative thread for the next iteration *)
+  | Spt_kill of int  (** loop id; kills any running speculative thread *)
+
+type instr = { iid : int; mutable kind : kind }
+
+type term = Jump of int | Br of operand * int * int | Ret of operand option
+
+type loop_origin = [ `For | `While | `Do ]
+
+type block = {
+  bid : int;
+  mutable instrs : instr list;
+  mutable term : term;
+  mutable loop_origin : loop_origin option;
+      (** set on loop header blocks during lowering *)
+}
+
+type func = {
+  fname : string;
+  fparams : fparam list;
+  fret : ty option;
+  mutable entry : int;
+  blocks : (int, block) Hashtbl.t;
+  var_gen : Spt_util.Idgen.t;
+  instr_gen : Spt_util.Idgen.t;
+  blk_gen : Spt_util.Idgen.t;
+}
+
+and fparam = Pscalar of var | Parray of int * string * ty
+    (** [Parray (slot, name, elt)] — slot indexes the function's array
+        parameters in declaration order *)
+
+type program = { globals : sym list; funcs : (string * func) list }
+
+(* ------------------------------------------------------------------ *)
+(* Construction helpers *)
+
+let create_func ~name ~params ~ret =
+  {
+    fname = name;
+    fparams = params;
+    fret = ret;
+    entry = -1;
+    blocks = Hashtbl.create 32;
+    var_gen = Spt_util.Idgen.create ();
+    instr_gen = Spt_util.Idgen.create ();
+    blk_gen = Spt_util.Idgen.create ();
+  }
+
+let fresh_var f ~name ~ty = { vid = Spt_util.Idgen.fresh f.var_gen; vname = name; vty = ty }
+
+let mk_instr f kind = { iid = Spt_util.Idgen.fresh f.instr_gen; kind }
+
+let add_block f =
+  let bid = Spt_util.Idgen.fresh f.blk_gen in
+  let b = { bid; instrs = []; term = Ret None; loop_origin = None } in
+  Hashtbl.replace f.blocks bid b;
+  b
+
+let block f bid =
+  match Hashtbl.find_opt f.blocks bid with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "Ir.block: no block %d in %s" bid f.fname)
+
+let remove_block f bid = Hashtbl.remove f.blocks bid
+
+let block_ids f =
+  Hashtbl.fold (fun bid _ acc -> bid :: acc) f.blocks [] |> List.sort compare
+
+let append_instr b i = b.instrs <- b.instrs @ [ i ]
+let prepend_instr b i = b.instrs <- i :: b.instrs
+
+(* ------------------------------------------------------------------ *)
+(* Structural queries *)
+
+let def_of_kind = function
+  | Move (d, _) | Unop (d, _, _) | Binop (d, _, _, _) | Load (d, _, _) | Phi (d, _)
+    -> Some d
+  | Call (d, _, _) -> d
+  | Store _ | Spt_fork _ | Spt_kill _ -> None
+
+let operand_uses_of_kind = function
+  | Move (_, a) | Unop (_, _, a) -> [ a ]
+  | Binop (_, _, a, b) -> [ a; b ]
+  | Load (_, _, idx) -> [ idx ]
+  | Store (_, idx, src) -> [ idx; src ]
+  | Call (_, _, args) ->
+    List.filter_map (function Aop o -> Some o | Aarr _ -> None) args
+  | Phi (_, ins) -> List.map snd ins
+  | Spt_fork _ | Spt_kill _ -> []
+
+let reg_uses_of_kind k =
+  List.filter_map
+    (function Reg v -> Some v | Imm_i _ | Imm_f _ -> None)
+    (operand_uses_of_kind k)
+
+(** Memory region read by the instruction, if any.  Calls are handled
+    separately by the effects analysis. *)
+let load_region = function Load (_, r, _) -> Some r | _ -> None
+
+let store_region = function Store (r, _, _) -> Some r | _ -> None
+
+let call_regions = function
+  | Call (_, _, args) ->
+    List.filter_map (function Aarr r -> Some r | Aop _ -> None) args
+  | _ -> []
+
+let is_call = function Call _ -> true | _ -> false
+let is_phi = function Phi _ -> true | _ -> false
+
+(** Names of builtins that neither read nor write program-visible
+    memory (pure value functions). *)
+let pure_builtins = [ "abs"; "min"; "max"; "fmin"; "fmax" ]
+
+(** Builtins with internal state or I/O; these pin instructions in
+    place and act as opaque violation sources. *)
+let impure_builtins = [ "rand"; "srand"; "print_int"; "print_float" ]
+
+let term_operand = function
+  | Br (c, _, _) -> Some c
+  | Ret (Some o) -> Some o
+  | Jump _ | Ret None -> None
+
+let term_succs = function
+  | Jump b -> [ b ]
+  | Br (_, t, e) -> if t = e then [ t ] else [ t; e ]
+  | Ret _ -> []
+
+(* ------------------------------------------------------------------ *)
+(* Operand substitution *)
+
+let subst_operand map o = match o with Reg v -> map v | Imm_i _ | Imm_f _ -> o
+
+(** [map_kind_operands f k] applies [f] to every operand read by [k]
+    (not to the defined variable). *)
+let map_kind_operands f = function
+  | Move (d, a) -> Move (d, f a)
+  | Unop (d, op, a) -> Unop (d, op, f a)
+  | Binop (d, op, a, b) -> Binop (d, op, f a, f b)
+  | Load (d, r, idx) -> Load (d, r, f idx)
+  | Store (r, idx, src) -> Store (r, f idx, f src)
+  | Call (d, callee, args) ->
+    Call (d, callee, List.map (function Aop o -> Aop (f o) | Aarr r -> Aarr r) args)
+  | Phi (d, ins) -> Phi (d, List.map (fun (b, o) -> (b, f o)) ins)
+  | (Spt_fork _ | Spt_kill _) as k -> k
+
+let map_term_operand f = function
+  | Br (c, t, e) -> Br (f c, t, e)
+  | Ret (Some o) -> Ret (Some (f o))
+  | (Jump _ | Ret None) as t -> t
+
+(** [replace_def k d'] renames the defined variable of [k] to [d']. *)
+let replace_def k d' =
+  match k with
+  | Move (_, a) -> Move (d', a)
+  | Unop (_, op, a) -> Unop (d', op, a)
+  | Binop (_, op, a, b) -> Binop (d', op, a, b)
+  | Load (_, r, idx) -> Load (d', r, idx)
+  | Call (Some _, callee, args) -> Call (Some d', callee, args)
+  | Phi (_, ins) -> Phi (d', ins)
+  | Call (None, _, _) | Store _ | Spt_fork _ | Spt_kill _ ->
+    invalid_arg "Ir.replace_def: instruction defines nothing"
+
+(* ------------------------------------------------------------------ *)
+(* Operation cost — Cost(c) in the misspeculation cost model (§4.2.4),
+   "amount of computation in node c", in elementary-operation units.
+   These are compile-time weights, distinct from the simulator's
+   latencies. *)
+
+let op_cost = function
+  | Move _ | Phi _ -> 1
+  | Unop (_, (Neg | Bnot | I2f | F2i | Fabs), _) -> 1
+  | Unop (_, Fsqrt, _) -> 10
+  | Binop (_, (Mul | Div | Rem), _, _) -> 4
+  | Binop _ -> 1
+  | Load _ -> 2
+  | Store _ -> 2
+  | Call _ -> 8
+  | Spt_fork _ | Spt_kill _ -> 0
+
+(** Static size of a block in elementary operations (terminator counts
+    as one). *)
+let block_size b = 1 + List.fold_left (fun acc i -> acc + op_cost i.kind) 0 b.instrs
+
+let func_of_program prog name =
+  match List.assoc_opt name prog.funcs with
+  | Some f -> f
+  | None -> invalid_arg (Printf.sprintf "Ir.func_of_program: no function %s" name)
+
+let find_sym prog name =
+  match List.find_opt (fun s -> s.sname = name) prog.globals with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Ir.find_sym: no global %s" name)

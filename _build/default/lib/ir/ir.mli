@@ -1,0 +1,189 @@
+(** The mid-level three-address IR the SPT framework operates on.
+
+    Every instruction is an *operation* in the paper's §4.2.2 sense:
+    cost-graph nodes are exactly IR instructions.  Scalars live in
+    virtual registers; all memory traffic goes through named regions
+    with explicit loads and stores; scalar globals are size-1 regions,
+    so cross-iteration dependences through globals are ordinary memory
+    dependences.  [Spt_fork]/[Spt_kill] are the paper's SPT
+    instructions and are sequential no-ops — only the TLS timing
+    machine gives the fork a meaning. *)
+
+type ty = I64 | F64
+
+val string_of_ty : ty -> string
+
+(** A virtual register, unique per function by [vid]. *)
+type var = { vid : int; vname : string; vty : ty }
+
+val pp_var : Format.formatter -> var -> unit
+
+module Var : sig
+  type t = var
+
+  val compare : t -> t -> int
+  val equal : t -> t -> bool
+  val hash : t -> int
+end
+
+module Vset : Set.S with type elt = var
+module Vmap : Map.S with type key = var
+
+(** A named memory region: a global array or a size-1 global scalar. *)
+type sym = {
+  sid : int;
+  sname : string;
+  selt : ty;
+  ssize : int;
+  sinit : int64 list option;  (** integer initializer (converted for F64) *)
+}
+
+(** Base of a memory access: a concrete region, or the [n]-th array
+    parameter of the enclosing function (bound at call time). *)
+type region = Rsym of sym | Rparam of int * string
+
+val pp_region : Format.formatter -> region -> unit
+
+type operand = Reg of var | Imm_i of int64 | Imm_f of float
+
+val pp_operand : Format.formatter -> operand -> unit
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Shr
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+
+val string_of_binop : binop -> string
+val is_comparison : binop -> bool
+
+type unop = Neg | Bnot | I2f | F2i | Fabs | Fsqrt
+
+val string_of_unop : unop -> string
+
+(** A call argument: a scalar operand or an array region. *)
+type arg = Aop of operand | Aarr of region
+
+type kind =
+  | Move of var * operand
+  | Unop of var * unop * operand
+  | Binop of var * binop * operand * operand
+  | Load of var * region * operand  (** dst := region[idx] *)
+  | Store of region * operand * operand  (** region[idx] := src *)
+  | Call of var option * string * arg list
+  | Phi of var * (int * operand) list
+      (** (predecessor bid, value) — SSA form only *)
+  | Spt_fork of int  (** loop id; spawns the next-iteration thread *)
+  | Spt_kill of int  (** loop id; kills any running speculative thread *)
+
+type instr = { iid : int; mutable kind : kind }
+
+type term = Jump of int | Br of operand * int * int | Ret of operand option
+
+type loop_origin = [ `Do | `For | `While ]
+
+type block = {
+  bid : int;
+  mutable instrs : instr list;
+  mutable term : term;
+  mutable loop_origin : loop_origin option;
+      (** set on loop-header blocks during lowering; drives the
+          DO-loops-only unrolling policy (§7.1) *)
+}
+
+type func = {
+  fname : string;
+  fparams : fparam list;
+  fret : ty option;
+  mutable entry : int;
+  blocks : (int, block) Hashtbl.t;
+  var_gen : Spt_util.Idgen.t;
+  instr_gen : Spt_util.Idgen.t;
+  blk_gen : Spt_util.Idgen.t;
+}
+
+and fparam =
+  | Pscalar of var
+  | Parray of int * string * ty
+      (** (slot, name, element type): slot indexes the function's array
+          parameters in declaration order *)
+
+type program = { globals : sym list; funcs : (string * func) list }
+
+(** {2 Construction} *)
+
+val create_func : name:string -> params:fparam list -> ret:ty option -> func
+val fresh_var : func -> name:string -> ty:ty -> var
+val mk_instr : func -> kind -> instr
+val add_block : func -> block
+
+(** @raise Invalid_argument for unknown block ids. *)
+val block : func -> int -> block
+
+val remove_block : func -> int -> unit
+
+(** All block ids, sorted. *)
+val block_ids : func -> int list
+
+val append_instr : block -> instr -> unit
+val prepend_instr : block -> instr -> unit
+
+(** {2 Structural queries} *)
+
+val def_of_kind : kind -> var option
+val operand_uses_of_kind : kind -> operand list
+val reg_uses_of_kind : kind -> var list
+val load_region : kind -> region option
+val store_region : kind -> region option
+val call_regions : kind -> region list
+val is_call : kind -> bool
+val is_phi : kind -> bool
+
+(** Builtins that neither read nor write program-visible memory. *)
+val pure_builtins : string list
+
+(** Builtins with internal state or I/O. *)
+val impure_builtins : string list
+
+val term_operand : term -> operand option
+val term_succs : term -> int list
+
+(** {2 Rewriting} *)
+
+(** Keep register operands as-is ([map] receives every read operand). *)
+val subst_operand : (var -> operand) -> operand -> operand
+
+(** Apply [f] to every operand read by the kind (not the definition). *)
+val map_kind_operands : (operand -> operand) -> kind -> kind
+
+val map_term_operand : (operand -> operand) -> term -> term
+
+(** Rename the defined variable.
+    @raise Invalid_argument if the kind defines nothing. *)
+val replace_def : kind -> var -> kind
+
+(** {2 Sizes} *)
+
+(** Compile-time weight of one operation — Cost(c) in §4.2.4, distinct
+    from the simulator's latencies. *)
+val op_cost : kind -> int
+
+(** Static block size in elementary operations (terminator counts 1). *)
+val block_size : block -> int
+
+(** @raise Invalid_argument for unknown names. *)
+val func_of_program : program -> string -> func
+
+val find_sym : program -> string -> sym

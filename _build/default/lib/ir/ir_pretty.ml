@@ -1,0 +1,88 @@
+(** Textual rendering of the IR, for debugging, the [sptc dump-ir]
+    command, and golden tests. *)
+
+open Format
+
+let pp_arg fmt = function
+  | Ir.Aop o -> Ir.pp_operand fmt o
+  | Ir.Aarr r -> Ir.pp_region fmt r
+
+let pp_kind fmt = function
+  | Ir.Move (d, o) -> fprintf fmt "%a := %a" Ir.pp_var d Ir.pp_operand o
+  | Ir.Unop (d, op, o) ->
+    fprintf fmt "%a := %s %a" Ir.pp_var d (Ir.string_of_unop op) Ir.pp_operand o
+  | Ir.Binop (d, op, a, b) ->
+    fprintf fmt "%a := %s %a, %a" Ir.pp_var d (Ir.string_of_binop op)
+      Ir.pp_operand a Ir.pp_operand b
+  | Ir.Load (d, r, idx) ->
+    fprintf fmt "%a := load %a[%a]" Ir.pp_var d Ir.pp_region r Ir.pp_operand idx
+  | Ir.Store (r, idx, src) ->
+    fprintf fmt "store %a[%a] := %a" Ir.pp_region r Ir.pp_operand idx
+      Ir.pp_operand src
+  | Ir.Call (None, callee, args) ->
+    fprintf fmt "call %s(%a)" callee
+      (pp_print_list ~pp_sep:(fun fmt () -> fprintf fmt ", ") pp_arg)
+      args
+  | Ir.Call (Some d, callee, args) ->
+    fprintf fmt "%a := call %s(%a)" Ir.pp_var d callee
+      (pp_print_list ~pp_sep:(fun fmt () -> fprintf fmt ", ") pp_arg)
+      args
+  | Ir.Phi (d, ins) ->
+    fprintf fmt "%a := phi %a" Ir.pp_var d
+      (pp_print_list
+         ~pp_sep:(fun fmt () -> fprintf fmt ", ")
+         (fun fmt (b, o) -> fprintf fmt "[bb%d: %a]" b Ir.pp_operand o))
+      ins
+  | Ir.Spt_fork l -> fprintf fmt "spt_fork loop%d" l
+  | Ir.Spt_kill l -> fprintf fmt "spt_kill loop%d" l
+
+let pp_instr fmt (i : Ir.instr) = fprintf fmt "i%d: %a" i.Ir.iid pp_kind i.Ir.kind
+
+let pp_term fmt = function
+  | Ir.Jump b -> fprintf fmt "jump bb%d" b
+  | Ir.Br (c, t, e) -> fprintf fmt "br %a, bb%d, bb%d" Ir.pp_operand c t e
+  | Ir.Ret None -> fprintf fmt "ret"
+  | Ir.Ret (Some o) -> fprintf fmt "ret %a" Ir.pp_operand o
+
+let pp_block fmt (b : Ir.block) =
+  let origin =
+    match b.Ir.loop_origin with
+    | Some `For -> " ; for-loop header"
+    | Some `While -> " ; while-loop header"
+    | Some `Do -> " ; do-loop header"
+    | None -> ""
+  in
+  fprintf fmt "@[<v 2>bb%d:%s" b.Ir.bid origin;
+  List.iter (fun i -> fprintf fmt "@,%a" pp_instr i) b.Ir.instrs;
+  fprintf fmt "@,%a@]" pp_term b.Ir.term
+
+let pp_param fmt = function
+  | Ir.Pscalar v -> fprintf fmt "%a: %s" Ir.pp_var v (Ir.string_of_ty v.Ir.vty)
+  | Ir.Parray (slot, name, ty) ->
+    fprintf fmt "%s: %s[] (slot %d)" name (Ir.string_of_ty ty) slot
+
+let pp_func fmt (f : Ir.func) =
+  fprintf fmt "@[<v>func %s(%a)%s {  ; entry bb%d@," f.Ir.fname
+    (pp_print_list ~pp_sep:(fun fmt () -> fprintf fmt ", ") pp_param)
+    f.Ir.fparams
+    (match f.Ir.fret with
+    | None -> ""
+    | Some ty -> " -> " ^ Ir.string_of_ty ty)
+    f.Ir.entry;
+  List.iter
+    (fun bid -> fprintf fmt "%a@," pp_block (Ir.block f bid))
+    (Ir.block_ids f);
+  fprintf fmt "}@]"
+
+let pp_sym fmt (s : Ir.sym) =
+  fprintf fmt "global @%s : %s[%d]" s.Ir.sname (Ir.string_of_ty s.Ir.selt)
+    s.Ir.ssize
+
+let pp_program fmt (p : Ir.program) =
+  fprintf fmt "@[<v>";
+  List.iter (fun s -> fprintf fmt "%a@," pp_sym s) p.Ir.globals;
+  List.iter (fun (_, f) -> fprintf fmt "@,%a@," pp_func f) p.Ir.funcs;
+  fprintf fmt "@]"
+
+let func_to_string f = asprintf "%a" pp_func f
+let program_to_string p = asprintf "%a" pp_program p

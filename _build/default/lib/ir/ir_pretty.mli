@@ -1,0 +1,14 @@
+(** Textual rendering of the IR, for debugging, golden tests and the
+    [sptc dump-ir] command. *)
+
+val pp_arg : Format.formatter -> Ir.arg -> unit
+val pp_kind : Format.formatter -> Ir.kind -> unit
+val pp_instr : Format.formatter -> Ir.instr -> unit
+val pp_term : Format.formatter -> Ir.term -> unit
+val pp_block : Format.formatter -> Ir.block -> unit
+val pp_param : Format.formatter -> Ir.fparam -> unit
+val pp_func : Format.formatter -> Ir.func -> unit
+val pp_sym : Format.formatter -> Ir.sym -> unit
+val pp_program : Format.formatter -> Ir.program -> unit
+val func_to_string : Ir.func -> string
+val program_to_string : Ir.program -> string

@@ -1,0 +1,103 @@
+(** Backward live-variable analysis over the CFG.
+
+    Used by dead-code elimination, by SSA destruction sanity checks,
+    and by the SPT machinery to find the scalars that are live around a
+    loop's back edge (the carriers of cross-iteration register
+    dependences). *)
+
+module Imap = Map.Make (Int)
+
+type t = {
+  live_in : Ir.Vset.t Imap.t;
+  live_out : Ir.Vset.t Imap.t;
+}
+
+let live_in t bid = try Imap.find bid t.live_in with Not_found -> Ir.Vset.empty
+let live_out t bid = try Imap.find bid t.live_out with Not_found -> Ir.Vset.empty
+
+(* Per-block [use] (read before any write in the block) and [def]
+   (written) sets.  Phi uses are charged to the *predecessor* edge: a
+   phi's operands are live-out of the corresponding predecessors, not
+   live-in of the phi's block; phi defs are ordinary defs. *)
+let block_use_def (b : Ir.block) =
+  let use = ref Ir.Vset.empty and def = ref Ir.Vset.empty in
+  let see_use v = if not (Ir.Vset.mem v !def) then use := Ir.Vset.add v !use in
+  List.iter
+    (fun (i : Ir.instr) ->
+      (match i.Ir.kind with
+      | Ir.Phi _ -> ()  (* handled on edges *)
+      | k -> List.iter see_use (Ir.reg_uses_of_kind k));
+      match Ir.def_of_kind i.Ir.kind with
+      | Some d -> def := Ir.Vset.add d !def
+      | None -> ())
+    b.Ir.instrs;
+  (match Ir.term_operand b.Ir.term with
+  | Some (Ir.Reg v) -> see_use v
+  | _ -> ());
+  (!use, !def)
+
+(* Variables that [succ]'s phis read along the edge from [pred]. *)
+let phi_uses_on_edge (f : Ir.func) ~pred ~succ =
+  List.fold_left
+    (fun acc (i : Ir.instr) ->
+      match i.Ir.kind with
+      | Ir.Phi (_, ins) ->
+        List.fold_left
+          (fun acc (p, o) ->
+            match o with
+            | Ir.Reg v when p = pred -> Ir.Vset.add v acc
+            | _ -> acc)
+          acc ins
+      | _ -> acc)
+    Ir.Vset.empty (Ir.block f succ).Ir.instrs
+
+let phi_defs (b : Ir.block) =
+  List.fold_left
+    (fun acc (i : Ir.instr) ->
+      match i.Ir.kind with
+      | Ir.Phi (d, _) -> Ir.Vset.add d acc
+      | _ -> acc)
+    Ir.Vset.empty b.Ir.instrs
+
+let compute (f : Ir.func) =
+  let cfg = Cfg.of_func f in
+  let bids = Cfg.reverse_postorder cfg in
+  let use_def =
+    List.fold_left
+      (fun acc bid -> Imap.add bid (block_use_def (Ir.block f bid)) acc)
+      Imap.empty bids
+  in
+  let live_in = ref Imap.empty and live_out = ref Imap.empty in
+  let get m bid = try Imap.find bid !m with Not_found -> Ir.Vset.empty in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    (* iterate in postorder (reverse of rpo) for fast convergence *)
+    List.iter
+      (fun bid ->
+        let out =
+          List.fold_left
+            (fun acc succ ->
+              let succ_in = get live_in succ in
+              (* phi defs of succ are not live on the edge; phi uses are *)
+              let succ_in =
+                Ir.Vset.diff succ_in (phi_defs (Ir.block f succ))
+              in
+              Ir.Vset.union acc
+                (Ir.Vset.union succ_in (phi_uses_on_edge f ~pred:bid ~succ)))
+            Ir.Vset.empty (Cfg.successors cfg bid)
+        in
+        let use, def = Imap.find bid use_def in
+        let inn = Ir.Vset.union use (Ir.Vset.diff out def) in
+        (* phi defs are defs, already in def; phi operands excluded above *)
+        if not (Ir.Vset.equal out (get live_out bid)) then begin
+          live_out := Imap.add bid out !live_out;
+          changed := true
+        end;
+        if not (Ir.Vset.equal inn (get live_in bid)) then begin
+          live_in := Imap.add bid inn !live_in;
+          changed := true
+        end)
+      (List.rev bids)
+  done;
+  { live_in = !live_in; live_out = !live_out }

@@ -1,0 +1,9 @@
+(** Backward live-variable analysis.  Phi operands count as uses on
+    their predecessor edges (live-out of the predecessor, not live-in
+    of the phi's block); phi definitions are ordinary definitions. *)
+
+type t
+
+val compute : Ir.func -> t
+val live_in : t -> int -> Ir.Vset.t
+val live_out : t -> int -> Ir.Vset.t

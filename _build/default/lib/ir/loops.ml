@@ -1,0 +1,135 @@
+(** Natural-loop detection.
+
+    A back edge is an edge [latch -> header] where [header] dominates
+    [latch]; its natural loop is the set of blocks that can reach the
+    latch without passing through the header.  Loops sharing a header
+    are merged.  The loop nest is recovered by body-set inclusion.
+
+    Each loop carries the source origin of its header ([`For], [`While]
+    or [`Do]) recorded by the lowering pass; unrolling policy (§7.1)
+    and the Fig. 15 breakdown depend on it. *)
+
+module Iset = Set.Make (Int)
+
+type loop = {
+  header : int;
+  body : Iset.t;  (** includes the header *)
+  latches : int list;  (** sources of back edges *)
+  exits : (int * int) list;  (** (inside block, outside successor) edges *)
+  origin : Ir.loop_origin option;
+  depth : int;  (** nesting depth, 1 = outermost *)
+  parent : int option;  (** index of enclosing loop in the result list *)
+}
+
+let in_loop l bid = Iset.mem bid l.body
+
+(** All natural loops of [f], outermost first (by increasing depth,
+    ties by header id).  Indices into the returned list are stable and
+    used as loop ids by the SPT pipeline. *)
+let find (f : Ir.func) =
+  let cfg = Cfg.of_func f in
+  let dom = Dominance.compute cfg in
+  let rpo = Cfg.reverse_postorder cfg in
+  let reachable = Iset.of_list rpo in
+  (* back edges *)
+  let back_edges =
+    List.concat_map
+      (fun bid ->
+        List.filter_map
+          (fun succ ->
+            if Iset.mem succ reachable && Dominance.dominates dom succ bid then
+              Some (bid, succ)
+            else None)
+          (Cfg.successors cfg bid))
+      rpo
+  in
+  (* group by header *)
+  let by_header = Hashtbl.create 8 in
+  List.iter
+    (fun (latch, header) ->
+      let existing = try Hashtbl.find by_header header with Not_found -> [] in
+      Hashtbl.replace by_header header (latch :: existing))
+    back_edges;
+  let natural_body header latches =
+    let body = ref (Iset.singleton header) in
+    let rec add bid =
+      if not (Iset.mem bid !body) then begin
+        body := Iset.add bid !body;
+        List.iter add (Cfg.predecessors cfg bid)
+      end
+    in
+    List.iter add latches;
+    !body
+  in
+  let raw =
+    Hashtbl.fold
+      (fun header latches acc ->
+        let body = natural_body header latches in
+        let exits =
+          Iset.fold
+            (fun bid acc ->
+              List.fold_left
+                (fun acc succ ->
+                  if Iset.mem succ body then acc else (bid, succ) :: acc)
+                acc
+                (Cfg.successors cfg bid))
+            body []
+        in
+        ( header,
+          body,
+          List.sort compare latches,
+          List.sort compare exits,
+          (Ir.block f header).Ir.loop_origin )
+        :: acc)
+      by_header []
+  in
+  (* sort outermost (largest body) first so parents precede children *)
+  let raw =
+    List.sort
+      (fun (h1, b1, _, _, _) (h2, b2, _, _, _) ->
+        match compare (Iset.cardinal b2) (Iset.cardinal b1) with
+        | 0 -> compare h1 h2
+        | c -> c)
+      raw
+  in
+  let arr = Array.of_list raw in
+  let n = Array.length arr in
+  let parent = Array.make n None in
+  let depth = Array.make n 1 in
+  for i = 0 to n - 1 do
+    let _, body_i, _, _, _ = arr.(i) in
+    (* the innermost strictly-enclosing loop is the smallest superset *)
+    let best = ref None in
+    for j = 0 to n - 1 do
+      if i <> j then begin
+        let _, body_j, _, _, _ = arr.(j) in
+        if Iset.subset body_i body_j && not (Iset.equal body_i body_j) then
+          match !best with
+          | None -> best := Some j
+          | Some k ->
+            let _, body_k, _, _, _ = arr.(k) in
+            if Iset.cardinal body_j < Iset.cardinal body_k then best := Some j
+      end
+    done;
+    parent.(i) <- !best
+  done;
+  (* depths: walk parent chains *)
+  for i = 0 to n - 1 do
+    let rec d j = match parent.(j) with None -> 1 | Some p -> 1 + d p in
+    depth.(i) <- d i
+  done;
+  List.init n (fun i ->
+      let header, body, latches, exits, origin = arr.(i) in
+      { header; body; latches; exits; origin; depth = depth.(i); parent = parent.(i) })
+
+(** Innermost loops only (no other loop nested inside). *)
+let innermost loops =
+  List.filter
+    (fun l ->
+      not
+        (List.exists
+           (fun l' ->
+             l' != l && Iset.subset l'.body l.body
+             && not (Iset.equal l'.body l.body))
+           loops))
+    loops

@@ -1,0 +1,25 @@
+(** Natural-loop detection: back edges via dominance, bodies by
+    backward reachability, nests by body inclusion.  Loop headers carry
+    the source origin recorded at lowering ([`For] / [`While] / [`Do]),
+    which drives the DO-loops-only unrolling policy (§7.1) and the
+    Fig. 15 breakdown. *)
+
+module Iset : module type of Set.Make (Int)
+
+type loop = {
+  header : int;
+  body : Iset.t;  (** includes the header *)
+  latches : int list;  (** sources of back edges *)
+  exits : (int * int) list;  (** (inside block, outside successor) *)
+  origin : Ir.loop_origin option;
+  depth : int;  (** nesting depth, 1 = outermost *)
+  parent : int option;  (** index of the enclosing loop in the result *)
+}
+
+val in_loop : loop -> int -> bool
+
+(** All natural loops of the function, parents before children. *)
+val find : Ir.func -> loop list
+
+(** Loops with no other loop nested inside. *)
+val innermost : loop list -> loop list

@@ -1,0 +1,504 @@
+(** Lowering from the type-checked MiniC AST to the three-address IR.
+
+    Conventions:
+    - global scalars become size-1 memory regions, global arrays become
+      regions of their declared size;
+    - locals and parameters live in virtual registers; the IR is not
+      SSA at this point (assignments re-write the same register);
+    - [&&] and [||] are short-circuit and introduce control flow;
+    - each loop's header block is tagged with its source origin so the
+      unroller can implement ORC's DO-loops-only policy (§7.1);
+    - non-constant global-scalar initializers are evaluated at the top
+      of [main]. *)
+
+open Spt_srclang
+
+exception Lower_error of string
+
+let error fmt = Format.kasprintf (fun m -> raise (Lower_error m)) fmt
+
+type binding = Bvar of Ir.var | Barr of Ir.region
+
+type env = {
+  globals : (string, Ir.sym) Hashtbl.t;
+  sigs : (string, (Ast.ty * string) list * Ast.ty) Hashtbl.t;
+  f : Ir.func;
+  mutable cur : Ir.block;
+  mutable scopes : (string, binding) Hashtbl.t list;
+  mutable break_targets : int list;
+  mutable continue_targets : int list;
+}
+
+let ir_ty = function
+  | Ast.Tint -> Ir.I64
+  | Ast.Tfloat -> Ir.F64
+  | t -> error "ir_ty: unexpected type %s" (Ast.string_of_ty t)
+
+let push_scope env = env.scopes <- Hashtbl.create 16 :: env.scopes
+let pop_scope env =
+  match env.scopes with
+  | [] -> error "pop_scope: empty"
+  | _ :: rest -> env.scopes <- rest
+
+let bind env name b =
+  match env.scopes with
+  | [] -> error "bind: no scope"
+  | scope :: _ -> Hashtbl.replace scope name b
+
+let lookup env name =
+  let rec in_scopes = function
+    | [] -> None
+    | scope :: rest -> (
+      match Hashtbl.find_opt scope name with
+      | Some b -> Some b
+      | None -> in_scopes rest)
+  in
+  match in_scopes env.scopes with
+  | Some b -> b
+  | None -> (
+    match Hashtbl.find_opt env.globals name with
+    | Some sym -> Barr (Ir.Rsym sym)
+    | None -> error "unbound name %s" name)
+
+let emit env kind =
+  let i = Ir.mk_instr env.f kind in
+  Ir.append_instr env.cur i;
+  i
+
+let start_block env b = env.cur <- b
+
+let fresh env name ty = Ir.fresh_var env.f ~name ~ty
+
+let expr_ty (e : Ast.expr) =
+  match e.Ast.ety with
+  | Some t -> t
+  | None -> error "expression missing type annotation (run Typecheck first)"
+
+(* ------------------------------------------------------------------ *)
+(* Expressions *)
+
+let rec lower_expr env (e : Ast.expr) : Ir.operand =
+  match e.Ast.edesc with
+  | Ast.Int_lit n -> Ir.Imm_i n
+  | Ast.Float_lit f -> Ir.Imm_f f
+  | Ast.Var name -> (
+    match lookup env name with
+    | Bvar v -> Ir.Reg v
+    | Barr (Ir.Rsym sym) when sym.Ir.ssize = 1 ->
+      (* global scalar *)
+      let d = fresh env name sym.Ir.selt in
+      let _ = emit env (Ir.Load (d, Ir.Rsym sym, Ir.Imm_i 0L)) in
+      Ir.Reg d
+    | Barr _ -> error "array %s used as scalar" name)
+  | Ast.Index (name, idx) -> (
+    let idx_op = lower_expr env idx in
+    match lookup env name with
+    | Barr region ->
+      let elt =
+        match region with
+        | Ir.Rsym s -> s.Ir.selt
+        | Ir.Rparam _ -> ir_ty (match expr_ty e with t -> t)
+      in
+      let d = fresh env name elt in
+      let _ = emit env (Ir.Load (d, region, idx_op)) in
+      Ir.Reg d
+    | Bvar _ -> error "scalar %s indexed as array" name)
+  | Ast.Unary (op, sub) -> lower_unary env e op sub
+  | Ast.Binary ((Ast.Land | Ast.Lor) as op, l, r) -> lower_shortcircuit env op l r
+  | Ast.Binary (op, l, r) ->
+    let lo = lower_expr env l in
+    let ro = lower_expr env r in
+    let ty = ir_ty (expr_ty e) in
+    let d = fresh env "t" ty in
+    let irop = ir_binop op in
+    let _ = emit env (Ir.Binop (d, irop, lo, ro)) in
+    Ir.Reg d
+  | Ast.Call (name, args) -> (
+    match lower_call env name args with
+    | Some op -> op
+    | None -> error "void call %s used as expression" name)
+
+and ir_binop = function
+  | Ast.Add -> Ir.Add
+  | Ast.Sub -> Ir.Sub
+  | Ast.Mul -> Ir.Mul
+  | Ast.Div -> Ir.Div
+  | Ast.Mod -> Ir.Rem
+  | Ast.Lt -> Ir.Lt
+  | Ast.Le -> Ir.Le
+  | Ast.Gt -> Ir.Gt
+  | Ast.Ge -> Ir.Ge
+  | Ast.Eq -> Ir.Eq
+  | Ast.Ne -> Ir.Ne
+  | Ast.Band -> Ir.And
+  | Ast.Bor -> Ir.Or
+  | Ast.Bxor -> Ir.Xor
+  | Ast.Shl -> Ir.Shl
+  | Ast.Shr -> Ir.Shr
+  | Ast.Land | Ast.Lor -> error "short-circuit operator lowered as binop"
+
+and lower_unary env e op sub =
+  let so = lower_expr env sub in
+  let ty = ir_ty (expr_ty e) in
+  let d = fresh env "t" ty in
+  (match op with
+  | Ast.Neg -> ignore (emit env (Ir.Unop (d, Ir.Neg, so)))
+  | Ast.Bnot -> ignore (emit env (Ir.Unop (d, Ir.Bnot, so)))
+  | Ast.Lnot -> ignore (emit env (Ir.Binop (d, Ir.Eq, so, Ir.Imm_i 0L))));
+  Ir.Reg d
+
+(* result := (l != 0) then evaluate r, else constant — classic
+   short-circuit shape with a join block. *)
+and lower_shortcircuit env op l r =
+  let lo = lower_expr env l in
+  let lbool = fresh env "sc" Ir.I64 in
+  let _ = emit env (Ir.Binop (lbool, Ir.Ne, lo, Ir.Imm_i 0L)) in
+  let res = fresh env "sc" Ir.I64 in
+  let eval_r = Ir.add_block env.f in
+  let join = Ir.add_block env.f in
+  let lhs_blk = env.cur in
+  (match op with
+  | Ast.Land -> env.cur.Ir.term <- Ir.Br (Ir.Reg lbool, eval_r.Ir.bid, join.Ir.bid)
+  | Ast.Lor -> env.cur.Ir.term <- Ir.Br (Ir.Reg lbool, join.Ir.bid, eval_r.Ir.bid)
+  | _ -> assert false);
+  start_block env eval_r;
+  let ro = lower_expr env r in
+  let rbool = fresh env "sc" Ir.I64 in
+  let _ = emit env (Ir.Binop (rbool, Ir.Ne, ro, Ir.Imm_i 0L)) in
+  let _ = emit env (Ir.Move (res, Ir.Reg rbool)) in
+  let r_exit_blk = env.cur in
+  r_exit_blk.Ir.term <- Ir.Jump join.Ir.bid;
+  (* On the short-circuit path the result is the constant decided by
+     the operator.  We cannot place the Move before the branch (res
+     must be single-purpose for both paths), so the join uses a phi
+     shape encoded as: constant move in a dedicated block. *)
+  let const_blk = Ir.add_block env.f in
+  let const_val = match op with Ast.Land -> 0L | Ast.Lor -> 1L | _ -> 0L in
+  Ir.append_instr const_blk (Ir.mk_instr env.f (Ir.Move (res, Ir.Imm_i const_val)));
+  const_blk.Ir.term <- Ir.Jump join.Ir.bid;
+  (* retarget the short-circuit edge through the constant block *)
+  (match lhs_blk.Ir.term with
+  | Ir.Br (c, t, e) ->
+    let t = if t = join.Ir.bid then const_blk.Ir.bid else t in
+    let e = if e = join.Ir.bid then const_blk.Ir.bid else e in
+    lhs_blk.Ir.term <- Ir.Br (c, t, e)
+  | _ -> assert false);
+  start_block env join;
+  Ir.Reg res
+
+and lower_call env name args : Ir.operand option =
+  (* builtin unops get dedicated IR operations *)
+  let unop_builtin op =
+    let a = lower_expr env (List.hd args) in
+    let rty = match op with Ir.F2i -> Ir.I64 | Ir.I2f | Ir.Fabs | Ir.Fsqrt -> Ir.F64 | _ -> Ir.I64 in
+    let d = fresh env name rty in
+    let _ = emit env (Ir.Unop (d, op, a)) in
+    Some (Ir.Reg d)
+  in
+  match name with
+  | "fabs" -> unop_builtin Ir.Fabs
+  | "sqrt" -> unop_builtin Ir.Fsqrt
+  | "int_of_float" -> unop_builtin Ir.F2i
+  | "float_of_int" -> unop_builtin Ir.I2f
+  | _ ->
+    let param_tys, ret_ty =
+      match Hashtbl.find_opt env.sigs name with
+      | Some (params, ret) -> (List.map fst params, ret)
+      | None -> (
+        match List.assoc_opt name Ast.builtins with
+        | Some (ps, r) -> (ps, r)
+        | None -> error "unknown function %s" name)
+    in
+    let ir_args =
+      List.map2
+        (fun (arg : Ast.expr) pty ->
+          match pty with
+          | Ast.Tarr _ -> (
+            match arg.Ast.edesc with
+            | Ast.Var aname -> (
+              match lookup env aname with
+              | Barr region -> Ir.Aarr region
+              | Bvar _ -> error "scalar %s passed as array" aname)
+            | _ -> error "array argument must be a name")
+          | _ -> Ir.Aop (lower_expr env arg))
+        args param_tys
+    in
+    (match ret_ty with
+    | Ast.Tvoid ->
+      let _ = emit env (Ir.Call (None, name, ir_args)) in
+      None
+    | rty ->
+      let d = fresh env name (ir_ty rty) in
+      let _ = emit env (Ir.Call (Some d, name, ir_args)) in
+      Some (Ir.Reg d))
+
+(* ------------------------------------------------------------------ *)
+(* Statements *)
+
+let lower_assign env lv (rhs : Ir.operand) =
+  match lv with
+  | Ast.Lvar name -> (
+    match lookup env name with
+    | Bvar v -> ignore (emit env (Ir.Move (v, rhs)))
+    | Barr (Ir.Rsym sym) when sym.Ir.ssize = 1 ->
+      ignore (emit env (Ir.Store (Ir.Rsym sym, Ir.Imm_i 0L, rhs)))
+    | Barr _ -> error "cannot assign to array %s" name)
+  | Ast.Lindex (name, idx) -> (
+    let idx_op = lower_expr env idx in
+    match lookup env name with
+    | Barr region -> ignore (emit env (Ir.Store (region, idx_op, rhs)))
+    | Bvar _ -> error "scalar %s indexed as array" name)
+
+let rec lower_stmt env (s : Ast.stmt) =
+  match s.Ast.sdesc with
+  | Ast.Decl (ty, name, init) ->
+    let v = fresh env name (ir_ty ty) in
+    bind env name (Bvar v);
+    let rhs =
+      match init with
+      | Some e -> lower_expr env e
+      | None -> ( match ir_ty ty with Ir.I64 -> Ir.Imm_i 0L | Ir.F64 -> Ir.Imm_f 0.0)
+    in
+    ignore (emit env (Ir.Move (v, rhs)))
+  | Ast.Assign (lv, e) ->
+    let rhs = lower_expr env e in
+    lower_assign env lv rhs
+  | Ast.If (cond, then_b, else_b) ->
+    let c = lower_expr env cond in
+    let then_blk = Ir.add_block env.f in
+    let join = Ir.add_block env.f in
+    let else_blk = if else_b = [] then join else Ir.add_block env.f in
+    env.cur.Ir.term <- Ir.Br (c, then_blk.Ir.bid, else_blk.Ir.bid);
+    start_block env then_blk;
+    lower_block env then_b;
+    env.cur.Ir.term <- Ir.Jump join.Ir.bid;
+    if else_b <> [] then begin
+      start_block env else_blk;
+      lower_block env else_b;
+      env.cur.Ir.term <- Ir.Jump join.Ir.bid
+    end;
+    start_block env join
+  | Ast.While (cond, body) -> lower_loop env ~origin:`While ~cond:(Some cond) ~body ~step:None
+  | Ast.For (init, cond, step, body) ->
+    push_scope env;
+    Option.iter (lower_stmt env) init;
+    lower_loop env ~origin:`For ~cond ~body ~step;
+    pop_scope env
+  | Ast.Do_while (body, cond) -> lower_do_while env body cond
+  | Ast.Return None -> begin
+    env.cur.Ir.term <- Ir.Ret None;
+    (* unreachable continuation *)
+    start_block env (Ir.add_block env.f)
+  end
+  | Ast.Return (Some e) ->
+    let o = lower_expr env e in
+    env.cur.Ir.term <- Ir.Ret (Some o);
+    start_block env (Ir.add_block env.f)
+  | Ast.Expr_stmt { Ast.edesc = Ast.Call (name, args); _ } ->
+    ignore (lower_call env name args)
+  | Ast.Expr_stmt e -> ignore (lower_expr env e)
+  | Ast.Break -> (
+    match env.break_targets with
+    | [] -> error "break outside loop"
+    | target :: _ ->
+      env.cur.Ir.term <- Ir.Jump target;
+      start_block env (Ir.add_block env.f))
+  | Ast.Continue -> (
+    match env.continue_targets with
+    | [] -> error "continue outside loop"
+    | target :: _ ->
+      env.cur.Ir.term <- Ir.Jump target;
+      start_block env (Ir.add_block env.f))
+  | Ast.Block body ->
+    push_scope env;
+    lower_block env body;
+    pop_scope env
+
+and lower_block env body = List.iter (lower_stmt env) body
+
+(* header: evaluate cond (possibly multi-block for short-circuit), Br
+   body/exit; body; step; back edge to header. *)
+and lower_loop env ~origin ~cond ~body ~step =
+  let header = Ir.add_block env.f in
+  header.Ir.loop_origin <- Some origin;
+  env.cur.Ir.term <- Ir.Jump header.Ir.bid;
+  start_block env header;
+  let body_blk = Ir.add_block env.f in
+  let exit_blk = Ir.add_block env.f in
+  (match cond with
+  | Some c ->
+    let c_op = lower_expr env c in
+    env.cur.Ir.term <- Ir.Br (c_op, body_blk.Ir.bid, exit_blk.Ir.bid)
+  | None -> env.cur.Ir.term <- Ir.Jump body_blk.Ir.bid);
+  (* step target: a dedicated latch block so [continue] executes the step *)
+  let latch = Ir.add_block env.f in
+  env.break_targets <- exit_blk.Ir.bid :: env.break_targets;
+  env.continue_targets <- latch.Ir.bid :: env.continue_targets;
+  start_block env body_blk;
+  push_scope env;
+  lower_block env body;
+  pop_scope env;
+  env.cur.Ir.term <- Ir.Jump latch.Ir.bid;
+  env.break_targets <- List.tl env.break_targets;
+  env.continue_targets <- List.tl env.continue_targets;
+  start_block env latch;
+  Option.iter (lower_stmt env) step;
+  env.cur.Ir.term <- Ir.Jump header.Ir.bid;
+  start_block env exit_blk
+
+and lower_do_while env body cond =
+  let body_blk = Ir.add_block env.f in
+  body_blk.Ir.loop_origin <- Some `Do;
+  env.cur.Ir.term <- Ir.Jump body_blk.Ir.bid;
+  let exit_blk = Ir.add_block env.f in
+  let latch = Ir.add_block env.f in
+  env.break_targets <- exit_blk.Ir.bid :: env.break_targets;
+  env.continue_targets <- latch.Ir.bid :: env.continue_targets;
+  start_block env body_blk;
+  push_scope env;
+  lower_block env body;
+  pop_scope env;
+  env.cur.Ir.term <- Ir.Jump latch.Ir.bid;
+  env.break_targets <- List.tl env.break_targets;
+  env.continue_targets <- List.tl env.continue_targets;
+  start_block env latch;
+  let c = lower_expr env cond in
+  env.cur.Ir.term <- Ir.Br (c, body_blk.Ir.bid, exit_blk.Ir.bid);
+  start_block env exit_blk
+
+(* ------------------------------------------------------------------ *)
+(* Functions and programs *)
+
+let lower_fundef globals sigs (fd : Ast.fundef) =
+  let ret = match fd.Ast.fret with Ast.Tvoid -> None | t -> Some (ir_ty t) in
+  let f = Ir.create_func ~name:fd.Ast.fname ~params:[] ~ret in
+  let slot = ref 0 in
+  let fparams =
+    List.map
+      (fun (ty, name) ->
+        match ty with
+        | Ast.Tarr elt ->
+          let p = Ir.Parray (!slot, name, ir_ty elt) in
+          incr slot;
+          p
+        | ty -> Ir.Pscalar (Ir.fresh_var f ~name ~ty:(ir_ty ty)))
+      fd.Ast.fparams
+  in
+  let f = { f with Ir.fparams = fparams } in
+  let entry = Ir.add_block f in
+  f.Ir.entry <- entry.Ir.bid;
+  let env =
+    {
+      globals;
+      sigs;
+      f;
+      cur = entry;
+      scopes = [];
+      break_targets = [];
+      continue_targets = [];
+    }
+  in
+  push_scope env;
+  List.iter
+    (function
+      | Ir.Pscalar v -> bind env v.Ir.vname (Bvar v)
+      | Ir.Parray (slot, name, _) -> bind env name (Barr (Ir.Rparam (slot, name))))
+    fparams;
+  lower_block env fd.Ast.fbody;
+  (* implicit return *)
+  (match env.cur.Ir.term with
+  | Ir.Ret _ -> ()
+  | _ ->
+    env.cur.Ir.term <-
+      (match ret with
+      | None -> Ir.Ret None
+      | Some Ir.I64 -> Ir.Ret (Some (Ir.Imm_i 0L))
+      | Some Ir.F64 -> Ir.Ret (Some (Ir.Imm_f 0.0))));
+  pop_scope env;
+  ignore (Cfg.remove_unreachable f);
+  f
+
+(** Lower a type-checked program.  Non-constant global-scalar
+    initializers are evaluated at the top of [main]. *)
+let lower_program (prog : Ast.program) : Ir.program =
+  let sym_gen = Spt_util.Idgen.create () in
+  let globals = Hashtbl.create 64 in
+  let deferred_inits = ref [] in
+  let syms =
+    List.map
+      (fun g ->
+        match g with
+        | Ast.Gscalar (ty, name, init) ->
+          let sym =
+            {
+              Ir.sid = Spt_util.Idgen.fresh sym_gen;
+              sname = name;
+              selt = ir_ty ty;
+              ssize = 1;
+              sinit = None;
+            }
+          in
+          (match init with
+          | Some { Ast.edesc = Ast.Int_lit n; _ } ->
+            Hashtbl.replace globals name { sym with Ir.sinit = Some [ n ] };
+            ()
+          | Some e -> deferred_inits := (sym, e) :: !deferred_inits
+          | None -> ());
+          (match Hashtbl.find_opt globals name with
+          | Some s -> s
+          | None ->
+            Hashtbl.replace globals name sym;
+            sym)
+        | Ast.Garray (ty, name, size, init) ->
+          let sym =
+            {
+              Ir.sid = Spt_util.Idgen.fresh sym_gen;
+              sname = name;
+              selt = ir_ty ty;
+              ssize = size;
+              sinit = init;
+            }
+          in
+          Hashtbl.replace globals name sym;
+          sym)
+      prog.Ast.globals
+  in
+  (* re-read table so constant-folded scalar syms are used *)
+  let syms = List.map (fun s -> Hashtbl.find globals s.Ir.sname) syms in
+  let sigs = Hashtbl.create 64 in
+  List.iter
+    (fun (fd : Ast.fundef) ->
+      Hashtbl.replace sigs fd.Ast.fname (fd.Ast.fparams, fd.Ast.fret))
+    prog.Ast.funcs;
+  let funcs =
+    List.map (fun fd -> (fd.Ast.fname, lower_fundef globals sigs fd)) prog.Ast.funcs
+  in
+  (* prepend deferred global initializers to main *)
+  (match List.assoc_opt "main" funcs with
+  | Some mainf ->
+    let entry = Ir.block mainf mainf.Ir.entry in
+    let env =
+      {
+        globals;
+        sigs;
+        f = mainf;
+        cur = entry;
+        scopes = [ Hashtbl.create 4 ];
+        break_targets = [];
+        continue_targets = [];
+      }
+    in
+    let saved = entry.Ir.instrs in
+    entry.Ir.instrs <- [];
+    List.iter
+      (fun (sym, e) ->
+        let o = lower_expr env e in
+        ignore (emit env (Ir.Store (Ir.Rsym sym, Ir.Imm_i 0L, o))))
+      (List.rev !deferred_inits);
+    (* initializer expressions must be straight-line (no && / ||) so
+       that they stay inside the entry block *)
+    if env.cur.Ir.bid <> entry.Ir.bid then
+      error "global initializers may not contain short-circuit operators";
+    env.cur.Ir.instrs <- env.cur.Ir.instrs @ saved
+  | None -> ());
+  { Ir.globals = syms; funcs }

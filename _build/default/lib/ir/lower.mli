@@ -1,0 +1,14 @@
+(** Lowering from the type-checked MiniC AST to the three-address IR.
+
+    Global scalars become size-1 memory regions (so cross-iteration
+    dependences through globals are ordinary memory dependences);
+    locals and parameters live in virtual registers; [&&]/[||] are
+    short-circuit; loop headers are tagged with their source origin for
+    the DO-loops-only unrolling policy (§7.1). *)
+
+exception Lower_error of string
+
+(** Lower a type-checked program.
+    @raise Lower_error on internal inconsistencies (e.g. a program that
+    skipped {!Spt_srclang.Typecheck.check}). *)
+val lower_program : Spt_srclang.Ast.program -> Ir.program

@@ -1,0 +1,31 @@
+(** Scalar clean-up passes, standing in for the paper's "O3 level"
+    baseline optimization (§8) and for ORC's post-transformation copy
+    propagation / dead-code elimination (§6.2).
+
+    Each pass returns whether it changed anything; [optimize_ssa] runs
+    them to a bounded fixpoint and requires SSA form. *)
+
+(** Fold constant operations and constant branches (drops the dead
+    edge's phi operands). *)
+val fold_constants : Ir.func -> bool
+
+(** Replace uses of copies with their sources (SSA only). *)
+val propagate_copies : Ir.func -> bool
+
+(** Degenerate phis (all operands equal, ignoring self-references)
+    become copies. *)
+val simplify_phis : Ir.func -> bool
+
+(** Mark-and-sweep DCE from side-effecting roots (SSA only). *)
+val eliminate_dead_code : Ir.func -> bool
+
+(** Remove unreachable blocks, merge straight-line pairs, skip empty
+    forwarding blocks. *)
+val simplify_cfg : Ir.func -> bool
+
+(** SSA-level fixpoint clean-up. *)
+val optimize_ssa : ?max_rounds:int -> Ir.func -> unit
+
+(** Clean-up safe on non-SSA code (after destruction): constant/branch
+    folding and CFG simplification only. *)
+val optimize_nonssa : Ir.func -> unit

@@ -1,0 +1,303 @@
+(** SSA construction and destruction.
+
+    Construction is the standard pruned algorithm: phi functions are
+    placed at the iterated dominance frontier of each variable's
+    definition blocks, restricted to blocks where the variable is live
+    in, followed by a renaming walk over the dominator tree.
+
+    Destruction uses Sreedhar's Method I: after splitting critical
+    edges, each phi [x0 = phi(x1 … xn)] becomes a fresh variable [x0']
+    with a copy [x0' := xi] at the end of each predecessor and a copy
+    [x0 := x0'] replacing the phi.  This is immune to the lost-copy and
+    swap problems, at the price of extra copies that the clean-up
+    passes then shrink.
+
+    The paper's SPT transformation runs between these two phases: in
+    SSA form, moving a statement into the pre-fork region is plain code
+    motion, and the temporary variables of the paper's Figs. 10–11
+    materialize automatically during destruction. *)
+
+module Imap = Map.Make (Int)
+module Iset = Set.Make (Int)
+
+(* ------------------------------------------------------------------ *)
+(* Construction *)
+
+let construct (f : Ir.func) =
+  ignore (Cfg.remove_unreachable f);
+  let cfg = Cfg.of_func f in
+  let dom = Dominance.compute cfg in
+  let live = Liveness.compute f in
+  let bids = Cfg.reverse_postorder cfg in
+  (* definition sites per variable (vid-keyed) *)
+  let def_blocks : (int, Iset.t) Hashtbl.t = Hashtbl.create 64 in
+  let var_of_vid : (int, Ir.var) Hashtbl.t = Hashtbl.create 64 in
+  let note_def v bid =
+    Hashtbl.replace var_of_vid v.Ir.vid v;
+    let s = try Hashtbl.find def_blocks v.Ir.vid with Not_found -> Iset.empty in
+    Hashtbl.replace def_blocks v.Ir.vid (Iset.add bid s)
+  in
+  List.iter
+    (fun bid ->
+      List.iter
+        (fun (i : Ir.instr) ->
+          match Ir.def_of_kind i.Ir.kind with
+          | Some d -> note_def d bid
+          | None -> ())
+        (Ir.block f bid).Ir.instrs)
+    bids;
+  List.iter
+    (function
+      | Ir.Pscalar v -> note_def v f.Ir.entry
+      | Ir.Parray _ -> ())
+    f.Ir.fparams;
+  (* phi placement at iterated dominance frontiers, pruned by liveness *)
+  let phi_for : (int * int, Ir.instr) Hashtbl.t = Hashtbl.create 64 in
+  (* (bid, vid) -> phi instr; phi's original variable recorded here *)
+  let phi_orig : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  (* phi iid -> original vid *)
+  Hashtbl.iter
+    (fun vid defs ->
+      let v = Hashtbl.find var_of_vid vid in
+      let work = ref (Iset.elements defs) in
+      let placed = ref Iset.empty in
+      let ever = ref defs in
+      while !work <> [] do
+        let b = List.hd !work in
+        work := List.tl !work;
+        List.iter
+          (fun y ->
+            if (not (Iset.mem y !placed)) && Ir.Vset.mem v (Liveness.live_in live y)
+            then begin
+              placed := Iset.add y !placed;
+              let preds = Cfg.predecessors cfg y in
+              let phi =
+                Ir.mk_instr f (Ir.Phi (v, List.map (fun p -> (p, Ir.Reg v)) preds))
+              in
+              Hashtbl.replace phi_for (y, vid) phi;
+              Hashtbl.replace phi_orig phi.Ir.iid vid;
+              Ir.prepend_instr (Ir.block f y) phi;
+              if not (Iset.mem y !ever) then begin
+                ever := Iset.add y !ever;
+                work := y :: !work
+              end
+            end)
+          (Dominance.frontier dom b)
+      done)
+    (Hashtbl.copy def_blocks);
+  (* renaming *)
+  let stacks : (int, Ir.var list) Hashtbl.t = Hashtbl.create 64 in
+  let needs_entry_default : (int, Ir.var) Hashtbl.t = Hashtbl.create 8 in
+  let top vid =
+    match Hashtbl.find_opt stacks vid with
+    | Some (v :: _) -> v
+    | _ ->
+      (* use of a variable with no dominating definition: materialize a
+         zero definition in the entry block *)
+      let orig = Hashtbl.find var_of_vid vid in
+      Hashtbl.replace needs_entry_default vid orig;
+      orig
+  in
+  let push vid v =
+    let s = try Hashtbl.find stacks vid with Not_found -> [] in
+    Hashtbl.replace stacks vid (v :: s)
+  in
+  let pop vid =
+    match Hashtbl.find_opt stacks vid with
+    | Some (_ :: rest) -> Hashtbl.replace stacks vid rest
+    | _ -> ()
+  in
+  let rename_use o =
+    match o with
+    | Ir.Reg v when Hashtbl.mem var_of_vid v.Ir.vid -> Ir.Reg (top v.Ir.vid)
+    | o -> o
+  in
+  (* parameters keep their own names as the initial definitions *)
+  List.iter
+    (function
+      | Ir.Pscalar v -> push v.Ir.vid v
+      | Ir.Parray _ -> ())
+    f.Ir.fparams;
+  let rec rename bid =
+    let b = Ir.block f bid in
+    let pushed = ref [] in
+    List.iter
+      (fun (i : Ir.instr) ->
+        match i.Ir.kind with
+        | Ir.Phi (_, ins) ->
+          let vid = Hashtbl.find phi_orig i.Ir.iid in
+          let orig = Hashtbl.find var_of_vid vid in
+          let fresh = Ir.fresh_var f ~name:orig.Ir.vname ~ty:orig.Ir.vty in
+          i.Ir.kind <- Ir.Phi (fresh, ins);
+          push vid fresh;
+          pushed := vid :: !pushed
+        | k -> (
+          let k = Ir.map_kind_operands rename_use k in
+          match Ir.def_of_kind k with
+          | Some d when Hashtbl.mem var_of_vid d.Ir.vid ->
+            let fresh = Ir.fresh_var f ~name:d.Ir.vname ~ty:d.Ir.vty in
+            i.Ir.kind <- Ir.replace_def k fresh;
+            push d.Ir.vid fresh;
+            pushed := d.Ir.vid :: !pushed
+          | _ -> i.Ir.kind <- k))
+      b.Ir.instrs;
+    b.Ir.term <- Ir.map_term_operand rename_use b.Ir.term;
+    (* fill phi operands of successors for the edge from this block *)
+    List.iter
+      (fun succ ->
+        List.iter
+          (fun (i : Ir.instr) ->
+            match i.Ir.kind with
+            | Ir.Phi (d, ins) when Hashtbl.mem phi_orig i.Ir.iid ->
+              let vid = Hashtbl.find phi_orig i.Ir.iid in
+              i.Ir.kind <-
+                Ir.Phi
+                  ( d,
+                    List.map
+                      (fun (p, o) -> if p = bid then (p, Ir.Reg (top vid)) else (p, o))
+                      ins )
+            | _ -> ())
+          (Ir.block f succ).Ir.instrs)
+      (Cfg.successors cfg bid);
+    List.iter rename (Dominance.children dom bid);
+    List.iter pop !pushed
+  in
+  rename f.Ir.entry;
+  (* entry defaults for (rare) uses without dominating defs *)
+  Hashtbl.iter
+    (fun _ orig ->
+      let zero =
+        match orig.Ir.vty with Ir.I64 -> Ir.Imm_i 0L | Ir.F64 -> Ir.Imm_f 0.0
+      in
+      Ir.prepend_instr (Ir.block f f.Ir.entry)
+        (Ir.mk_instr f (Ir.Move (orig, zero))))
+    needs_entry_default
+
+(* ------------------------------------------------------------------ *)
+(* Destruction *)
+
+(** Destroy SSA form.  [phi_primed] optionally overrides the fresh
+    intermediate variable used for a given phi (keyed by the phi's
+    defined vid): the software-value-prediction transform uses it to
+    coalesce a loop-carried variable with its pre-fork prediction
+    register so that the common-case write of the carried register
+    happens *before* the fork (Fig. 13).  Callers supplying an override
+    are responsible for non-interference. *)
+let destruct ?(phi_primed = fun _ -> None) (f : Ir.func) =
+  ignore (Cfg.split_critical_edges f);
+  let bids = Ir.block_ids f in
+  List.iter
+    (fun bid ->
+      let b = Ir.block f bid in
+      let phis, rest =
+        List.partition (fun (i : Ir.instr) -> Ir.is_phi i.Ir.kind) b.Ir.instrs
+      in
+      if phis <> [] then begin
+        let replacements =
+          List.map
+            (fun (i : Ir.instr) ->
+              match i.Ir.kind with
+              | Ir.Phi (d, ins) ->
+                let primed =
+                  match phi_primed d.Ir.vid with
+                  | Some v -> v
+                  | None -> Ir.fresh_var f ~name:(d.Ir.vname ^ "_c") ~ty:d.Ir.vty
+                in
+                (* copies at predecessor ends *)
+                List.iter
+                  (fun (p, o) ->
+                    let pb = Ir.block f p in
+                    pb.Ir.instrs <-
+                      pb.Ir.instrs @ [ Ir.mk_instr f (Ir.Move (primed, o)) ])
+                  ins;
+                (i, Ir.Move (d, Ir.Reg primed))
+              | _ -> assert false)
+            phis
+        in
+        List.iter (fun ((i : Ir.instr), k) -> i.Ir.kind <- k) replacements;
+        b.Ir.instrs <- phis @ rest
+      end)
+    bids
+
+(* ------------------------------------------------------------------ *)
+(* Validation *)
+
+(** Check the SSA invariants: every variable has at most one static
+    definition, every non-phi use is dominated by its definition, and
+    every phi has exactly one operand per predecessor.  Returns [Error]
+    with a description of the first violation. *)
+let check (f : Ir.func) =
+  let cfg = Cfg.of_func f in
+  let dom = Dominance.compute cfg in
+  let def_site : (int, int * int) Hashtbl.t = Hashtbl.create 64 in
+  (* vid -> (bid, position); params at (-1, 0) *)
+  let err = ref None in
+  let fail fmt = Format.kasprintf (fun m -> if !err = None then err := Some m) fmt in
+  List.iter
+    (function
+      | Ir.Pscalar v -> Hashtbl.replace def_site v.Ir.vid (-1, 0)
+      | Ir.Parray _ -> ())
+    f.Ir.fparams;
+  List.iter
+    (fun bid ->
+      List.iteri
+        (fun pos (i : Ir.instr) ->
+          match Ir.def_of_kind i.Ir.kind with
+          | Some d ->
+            if Hashtbl.mem def_site d.Ir.vid then
+              fail "variable %s.%d defined twice" d.Ir.vname d.Ir.vid
+            else Hashtbl.replace def_site d.Ir.vid (bid, pos)
+          | None -> ())
+        (Ir.block f bid).Ir.instrs)
+    (Cfg.reverse_postorder cfg);
+  let dominates_use ~def_bid ~def_pos ~use_bid ~use_pos =
+    if def_bid = -1 then true
+    else if def_bid = use_bid then def_pos < use_pos
+    else Dominance.dominates dom def_bid use_bid
+  in
+  let check_use ~bid ~pos v =
+    match Hashtbl.find_opt def_site v.Ir.vid with
+    | None -> fail "use of undefined variable %s.%d in bb%d" v.Ir.vname v.Ir.vid bid
+    | Some (db, dp) ->
+      if not (dominates_use ~def_bid:db ~def_pos:dp ~use_bid:bid ~use_pos:pos)
+      then
+        fail "use of %s.%d in bb%d not dominated by its definition in bb%d"
+          v.Ir.vname v.Ir.vid bid db
+  in
+  List.iter
+    (fun bid ->
+      let b = Ir.block f bid in
+      let preds = Cfg.predecessors cfg bid in
+      List.iteri
+        (fun pos (i : Ir.instr) ->
+          match i.Ir.kind with
+          | Ir.Phi (_, ins) ->
+            let ps = List.map fst ins in
+            if List.sort compare ps <> List.sort compare preds then
+              fail "phi in bb%d has operands %s but predecessors %s" bid
+                (String.concat "," (List.map string_of_int ps))
+                (String.concat "," (List.map string_of_int preds));
+            (* each operand must be dominated at the end of its pred *)
+            List.iter
+              (fun (p, o) ->
+                match o with
+                | Ir.Reg v -> (
+                  match Hashtbl.find_opt def_site v.Ir.vid with
+                  | None ->
+                    fail "phi operand %s.%d undefined" v.Ir.vname v.Ir.vid
+                  | Some (db, _) ->
+                    if db <> -1 && not (Dominance.dominates dom db p) then
+                      fail
+                        "phi operand %s.%d (from bb%d) not dominated by def bb%d"
+                        v.Ir.vname v.Ir.vid p db)
+                | _ -> ())
+              ins
+          | k ->
+            List.iter (check_use ~bid ~pos) (Ir.reg_uses_of_kind k))
+        b.Ir.instrs;
+      match Ir.term_operand b.Ir.term with
+      | Some (Ir.Reg v) ->
+        check_use ~bid ~pos:(List.length b.Ir.instrs) v
+      | _ -> ())
+    (Cfg.reverse_postorder cfg);
+  match !err with None -> Ok () | Some m -> Error m

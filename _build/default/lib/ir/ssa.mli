@@ -1,0 +1,24 @@
+(** SSA construction (pruned, dominance-frontier based) and destruction
+    (Sreedhar Method I: critical-edge splitting plus per-phi
+    intermediate copies, immune to the lost-copy and swap problems).
+
+    The SPT transformation works between the two phases: in SSA form,
+    moving a statement into the pre-fork region is plain code motion,
+    and the paper's Fig. 10–11 temporaries materialize during
+    destruction. *)
+
+(** Convert [f] to pruned SSA form, in place. *)
+val construct : Ir.func -> unit
+
+(** Destroy SSA form, in place.  [phi_primed] optionally overrides the
+    intermediate variable of a phi (keyed by its defined vid): the SPT
+    driver coalesces loop-carried variables with their pre-fork
+    definitions so the carried register is written before the fork
+    (Fig. 2's [temp_i], and the SVP prediction register of Fig. 13).
+    Callers supplying overrides are responsible for non-interference. *)
+val destruct : ?phi_primed:(int -> Ir.var option) -> Ir.func -> unit
+
+(** Validate the SSA invariants (single static definitions, dominating
+    definitions, phi/predecessor agreement); [Error] describes the
+    first violation. *)
+val check : Ir.func -> (unit, string) result

@@ -1,0 +1,1 @@
+lib/partition/partition.ml: Array Cost_model Depgraph Float Fun Hashtbl Int Ir List Loops Option Set Spt_cost Spt_depgraph Spt_ir Spt_util

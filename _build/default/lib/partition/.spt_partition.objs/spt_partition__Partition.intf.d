@@ -1,0 +1,1 @@
+lib/partition/partition.mli: Depgraph Hashtbl Int Set Spt_cost Spt_depgraph

@@ -1,0 +1,1 @@
+lib/profile/dep_profile.ml: Hashtbl Interp Ir List Loops Option Spt_interp Spt_ir

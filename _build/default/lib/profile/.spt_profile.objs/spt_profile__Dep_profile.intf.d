@@ -1,0 +1,1 @@
+lib/profile/dep_profile.mli: Interp Ir Spt_interp Spt_ir

@@ -1,0 +1,1 @@
+lib/profile/edge_profile.ml: Cfg Hashtbl Interp Ir List Loops Option Spt_interp Spt_ir

@@ -1,0 +1,1 @@
+lib/profile/edge_profile.mli: Interp Ir Loops Spt_interp Spt_ir

@@ -1,0 +1,1 @@
+lib/profile/value_profile.ml: Eval Hashtbl Int64 Interp Ir List Option Printf Spt_interp Spt_ir Sys

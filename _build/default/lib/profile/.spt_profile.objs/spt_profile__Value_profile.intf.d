@@ -1,0 +1,1 @@
+lib/profile/value_profile.mli: Interp Spt_interp

@@ -1,0 +1,227 @@
+(** Data-dependence profiling (§7.3).
+
+    A shadow memory records, for every element address, the last write
+    together with its attribution to every loop active at the time: the
+    loop instance, the iteration number, and the *owner* instruction —
+    the loop-body instruction responsible for the access at that loop's
+    nesting level (the access itself, or the call instruction through
+    which it happened, so dependences flowing through callees surface
+    at the call site exactly as in ORC's summary view).
+
+    On every load, matching records yield dependence events classified
+    as intra-iteration, cross-iteration at distance 1, or farther.  The
+    probability attached to a W→R edge is
+    [events(W→R) / executions(W)], the paper's definition: "for every N
+    writes at W, only pN reads will access the same memory location at
+    R" (§4.1). *)
+
+open Spt_ir
+open Spt_interp
+
+type loop_key = string * int  (** function name, loop header bid *)
+
+type dep_kind = Intra | Cross1 | Cross_far
+
+(* ------------------------------------------------------------------ *)
+(* Runtime structures *)
+
+type loop_frame = {
+  key : loop_key;
+  instance : int;
+  mutable iteration : int;
+  body : Loops.Iset.t;
+}
+
+type call_frame = {
+  cf_func : Ir.func;
+  mutable pending_call : int;  (** iid of the call instruction currently
+                                   executing in this frame, or -1 *)
+  mutable loop_frames : loop_frame list;  (** innermost first *)
+}
+
+type write_record = {
+  wr_key : loop_key;
+  wr_instance : int;
+  wr_iteration : int;
+  wr_owner : int;  (** owner instruction iid at that loop's level *)
+}
+
+type t = {
+  loops_of : (string, (int, Loops.Iset.t) Hashtbl.t) Hashtbl.t;
+      (** function -> header bid -> body set *)
+  shadow : (int, write_record list) Hashtbl.t;
+  mutable stack : call_frame list;
+  instance_gen : (loop_key, int) Hashtbl.t;
+  dep_counts : (loop_key * int * int * dep_kind, int) Hashtbl.t;
+      (** (loop, writer owner, reader owner, kind) -> events *)
+  w_execs : (loop_key * int, int) Hashtbl.t;
+      (** (loop, owner) -> write executions *)
+}
+
+let create (program : Ir.program) =
+  let loops_of = Hashtbl.create 16 in
+  List.iter
+    (fun (name, f) ->
+      let tbl = Hashtbl.create 8 in
+      List.iter
+        (fun (l : Loops.loop) -> Hashtbl.replace tbl l.Loops.header l.Loops.body)
+        (Loops.find f);
+      Hashtbl.replace loops_of name tbl)
+    program.Ir.funcs;
+  {
+    loops_of;
+    shadow = Hashtbl.create 4096;
+    stack = [];
+    instance_gen = Hashtbl.create 64;
+    dep_counts = Hashtbl.create 1024;
+    w_execs = Hashtbl.create 256;
+  }
+
+let bump tbl key =
+  Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+let fresh_instance t key =
+  let n = 1 + Option.value ~default:0 (Hashtbl.find_opt t.instance_gen key) in
+  Hashtbl.replace t.instance_gen key n;
+  n
+
+(* ------------------------------------------------------------------ *)
+(* Hook bodies *)
+
+let on_enter t f =
+  t.stack <- { cf_func = f; pending_call = -1; loop_frames = [] } :: t.stack
+
+let on_exit t _f = match t.stack with [] -> () | _ :: rest -> t.stack <- rest
+
+let on_block t f bid =
+  match t.stack with
+  | [] -> ()
+  | frame :: _ ->
+    (* leave loops whose body no longer contains this block *)
+    frame.loop_frames <-
+      List.filter (fun lf -> Loops.Iset.mem bid lf.body) frame.loop_frames;
+    (* entering or continuing a loop whose header this is *)
+    (match Hashtbl.find_opt t.loops_of f.Ir.fname with
+    | None -> ()
+    | Some tbl -> (
+      match Hashtbl.find_opt tbl bid with
+      | None -> ()
+      | Some body -> (
+        let key = (f.Ir.fname, bid) in
+        match frame.loop_frames with
+        | lf :: _ when lf.key = key -> lf.iteration <- lf.iteration + 1
+        | _ ->
+          frame.loop_frames <-
+            {
+              key;
+              instance = fresh_instance t key;
+              iteration = 0;
+              body;
+            }
+            :: frame.loop_frames)))
+
+(* The owner chain: every active loop frame across the call stack,
+   paired with the instruction that represents the current event at
+   that loop's level. *)
+let owner_chain t (i : Ir.instr) =
+  match t.stack with
+  | [] -> []
+  | top :: deeper ->
+    let at_top = List.map (fun lf -> (lf, i.Ir.iid)) top.loop_frames in
+    let at_deeper =
+      List.concat_map
+        (fun frame ->
+          List.map (fun lf -> (lf, frame.pending_call)) frame.loop_frames)
+        deeper
+    in
+    at_top @ at_deeper
+
+let on_instr t _f _bid (i : Ir.instr) (eff : Interp.effects) =
+  (match i.Ir.kind with
+  | Ir.Call _ -> (
+    match t.stack with [] -> () | frame :: _ -> frame.pending_call <- i.Ir.iid)
+  | _ -> ());
+  if eff.Interp.loads <> [] || eff.Interp.stores <> [] then begin
+    let chain = owner_chain t i in
+    (* loads first: a load and store by the same instruction (impossible
+       in this IR, but calls could) would see the previous writer *)
+    List.iter
+      (fun (addr, _) ->
+        match Hashtbl.find_opt t.shadow addr with
+        | None -> ()
+        | Some records ->
+          List.iter
+            (fun (lf, owner) ->
+              match
+                List.find_opt
+                  (fun wr -> wr.wr_key = lf.key && wr.wr_instance = lf.instance)
+                  records
+              with
+              | None -> ()
+              | Some wr ->
+                let kind =
+                  if wr.wr_iteration = lf.iteration then Intra
+                  else if lf.iteration - wr.wr_iteration = 1 then Cross1
+                  else Cross_far
+                in
+                bump t.dep_counts (lf.key, wr.wr_owner, owner, kind))
+            chain)
+      eff.Interp.loads;
+    List.iter
+      (fun (addr, _) ->
+        let records =
+          List.map
+            (fun (lf, owner) ->
+              bump t.w_execs (lf.key, owner);
+              {
+                wr_key = lf.key;
+                wr_instance = lf.instance;
+                wr_iteration = lf.iteration;
+                wr_owner = owner;
+              })
+            chain
+        in
+        Hashtbl.replace t.shadow addr records)
+      eff.Interp.stores
+  end
+
+let hooks t =
+  {
+    Interp.null_hooks with
+    Interp.on_enter = on_enter t;
+    on_exit = on_exit t;
+    on_block = on_block t;
+    on_instr = on_instr t;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Queries *)
+
+let dep_events t key ~w ~r kind =
+  Option.value ~default:0 (Hashtbl.find_opt t.dep_counts (key, w, r, kind))
+
+let write_executions t key ~w =
+  Option.value ~default:0 (Hashtbl.find_opt t.w_execs (key, w))
+
+(** Profiled probability of the dependence edge [w -> r] of the given
+    kind, or [None] when [w] was never seen writing in this loop. *)
+let dep_prob t key ~w ~r kind =
+  let execs = write_executions t key ~w in
+  if execs = 0 then None
+  else Some (min 1.0 (float_of_int (dep_events t key ~w ~r kind) /. float_of_int execs))
+
+(** All (writer, reader, probability) triples observed in [key] for the
+    given kind, writer/reader as owner instruction iids. *)
+let pairs t key kind =
+  Hashtbl.fold
+    (fun (k, w, r, kd) count acc ->
+      if k = key && kd = kind && count > 0 then
+        let execs = write_executions t key ~w in
+        if execs > 0 then
+          (w, r, min 1.0 (float_of_int count /. float_of_int execs)) :: acc
+        else acc
+      else acc)
+    t.dep_counts []
+
+(** True when [key] was observed executing at all. *)
+let observed t key = Hashtbl.mem t.instance_gen key

@@ -1,0 +1,36 @@
+(** Data-dependence profiling (§7.3).
+
+    A shadow memory tracks, per element address, the last write with
+    its attribution to every active loop (instance, iteration, and
+    *owner* instruction — the loop-body instruction responsible at that
+    nesting level, so dependences through callees surface at the call
+    site).  Loads yield dependence events classified by iteration
+    distance; the probability of a W→R edge is
+    [events(W→R) / executions(W)], the paper's §4.1 definition. *)
+
+open Spt_ir
+open Spt_interp
+
+type loop_key = string * int  (** function name, loop header bid *)
+
+type dep_kind = Intra | Cross1 | Cross_far
+
+type t
+
+val create : Ir.program -> t
+val hooks : t -> Interp.hooks
+
+(** Raw event and execution counts. *)
+val dep_events : t -> loop_key -> w:int -> r:int -> dep_kind -> int
+
+val write_executions : t -> loop_key -> w:int -> int
+
+(** Profiled probability of the dependence edge [w -> r], or [None]
+    when [w] was never seen writing in this loop. *)
+val dep_prob : t -> loop_key -> w:int -> r:int -> dep_kind -> float option
+
+(** All (writer, reader, probability) triples observed for the kind. *)
+val pairs : t -> loop_key -> dep_kind -> (int * int * float) list
+
+(** True when the loop executed during profiling. *)
+val observed : t -> loop_key -> bool

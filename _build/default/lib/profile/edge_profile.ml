@@ -1,0 +1,80 @@
+(** Control-flow edge profiling (§4.1, §8: "the basic compilation used
+    only control flow edge profiling").
+
+    Counts block executions and taken edges per function.  From these
+    the cost model derives per-iteration block execution probabilities
+    (the violation probabilities of §4.2.3 step 1 and the reaching
+    probabilities that scale cost-graph edges), and the loop selector
+    derives average trip counts (§6.1 criterion 4). *)
+
+open Spt_ir
+open Spt_interp
+
+type key = string * int  (* function name, block id *)
+type ekey = string * int * int
+
+type t = {
+  blocks : (key, int) Hashtbl.t;
+  edges : (ekey, int) Hashtbl.t;
+  entries : (string, int) Hashtbl.t;  (** function call counts *)
+}
+
+let create () =
+  { blocks = Hashtbl.create 256; edges = Hashtbl.create 256; entries = Hashtbl.create 32 }
+
+let bump tbl key = Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+let hooks t =
+  {
+    Interp.null_hooks with
+    Interp.on_block = (fun f bid -> bump t.blocks (f.Ir.fname, bid));
+    on_edge = (fun f ~src ~dst -> bump t.edges (f.Ir.fname, src, dst));
+    on_enter = (fun f -> bump t.entries f.Ir.fname);
+  }
+
+let block_count t (f : Ir.func) bid =
+  Option.value ~default:0 (Hashtbl.find_opt t.blocks (f.Ir.fname, bid))
+
+let edge_count t (f : Ir.func) ~src ~dst =
+  Option.value ~default:0 (Hashtbl.find_opt t.edges (f.Ir.fname, src, dst))
+
+let call_count t (f : Ir.func) =
+  Option.value ~default:0 (Hashtbl.find_opt t.entries f.Ir.fname)
+
+(** Probability that [bid] executes in an iteration of [loop]
+    (executions of [bid] per execution of the loop header).  1.0 when
+    no profile data is available (static fallback). *)
+let exec_prob_in_loop t (f : Ir.func) (loop : Loops.loop) bid =
+  let h = block_count t f loop.Loops.header in
+  if h = 0 then 1.0
+  else
+    let c = block_count t f bid in
+    min 1.0 (float_of_int c /. float_of_int h)
+
+(** Number of times [loop] was entered from outside. *)
+let loop_entries t (f : Ir.func) (loop : Loops.loop) =
+  let cfg = Cfg.of_func f in
+  List.fold_left
+    (fun acc p ->
+      if Loops.in_loop loop p then acc
+      else acc + edge_count t f ~src:p ~dst:loop.Loops.header)
+    (* a loop whose header is the function entry is entered on call *)
+    (if loop.Loops.header = f.Ir.entry then call_count t f else 0)
+    (Cfg.predecessors cfg loop.Loops.header)
+
+(** Average number of header executions per entry — the profile-based
+    iteration count of §6.1 criterion 4.  Falls back to [default] with
+    no data. *)
+let avg_trip_count ?(default = 10.0) t (f : Ir.func) (loop : Loops.loop) =
+  let entries = loop_entries t f loop in
+  if entries = 0 then default
+  else float_of_int (block_count t f loop.Loops.header) /. float_of_int entries
+
+(** Fraction of all profiled block executions (weighted by static block
+    size) spent inside [loop] — a cheap static-dynamic coverage proxy
+    used in reports. *)
+let weight_of_loop t (f : Ir.func) (loop : Loops.loop) =
+  Loops.Iset.fold
+    (fun bid acc ->
+      acc + (block_count t f bid * Ir.block_size (Ir.block f bid)))
+    loop.Loops.body 0

@@ -1,0 +1,32 @@
+(** Control-flow edge profiling (§4.1; the paper's basic compilation
+    uses only this).  Counts block executions, taken edges and function
+    entries; derived queries feed violation probabilities and the §6.1
+    iteration-count criterion. *)
+
+open Spt_ir
+open Spt_interp
+
+type t
+
+val create : unit -> t
+
+(** Hooks to attach to an interpreter run (composable via
+    {!Spt_interp.Interp.combine_hooks}). *)
+val hooks : t -> Interp.hooks
+
+val block_count : t -> Ir.func -> int -> int
+val edge_count : t -> Ir.func -> src:int -> dst:int -> int
+val call_count : t -> Ir.func -> int
+
+(** Probability that the block executes in one iteration of [loop]
+    (capped at 1); 1.0 without data. *)
+val exec_prob_in_loop : t -> Ir.func -> Loops.loop -> int -> float
+
+(** Number of times [loop] was entered from outside. *)
+val loop_entries : t -> Ir.func -> Loops.loop -> int
+
+(** Average header executions per entry (§6.1 criterion 4). *)
+val avg_trip_count : ?default:float -> t -> Ir.func -> Loops.loop -> float
+
+(** Dynamic operation count spent inside the loop's own blocks. *)
+val weight_of_loop : t -> Ir.func -> Loops.loop -> int

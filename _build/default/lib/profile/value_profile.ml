@@ -1,0 +1,105 @@
+(** Software-value-prediction profiling (§7.2).
+
+    Pass 1 identifies critical violation candidates whose cost is
+    unacceptably high; this profiler then watches the values those
+    instructions define, one observation per execution, and fits a
+    stride predictor: value(n+1) = value(n) + c.  A stride of 0 is a
+    last-value predictor.  The SPT transformation inserts prediction
+    code only when the best stride's hit rate clears the [min_hit_rate]
+    bar, mirroring the paper's "if the values are found to be
+    predictable, and both the corresponding value-prediction overhead
+    and the mis-prediction cost are acceptably low". *)
+
+open Spt_ir
+open Spt_interp
+
+type target = { tfunc : string; tiid : int }
+
+type series = {
+  mutable last : int64 option;
+  mutable instance_mark : int;  (** reset marker: new loop instance *)
+  strides : (int64, int) Hashtbl.t;
+  mutable transitions : int;
+}
+
+type t = {
+  targets : (string * int, series) Hashtbl.t;
+  mutable current_marks : (string, int) Hashtbl.t;
+      (** function -> generation counter bumped on function entry, used
+          to cut series across separate activations *)
+}
+
+let create targets =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun { tfunc; tiid } ->
+      Hashtbl.replace tbl (tfunc, tiid)
+        { last = None; instance_mark = -1; strides = Hashtbl.create 8; transitions = 0 })
+    targets;
+  { targets = tbl; current_marks = Hashtbl.create 16 }
+
+let bump tbl key =
+  Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+let hooks t =
+  {
+    Interp.null_hooks with
+    Interp.on_enter =
+      (fun f ->
+        bump t.current_marks f.Ir.fname);
+    on_instr =
+      (fun f _bid i eff ->
+        match Hashtbl.find_opt t.targets (f.Ir.fname, i.Ir.iid) with
+        | None -> ()
+        | Some s -> (
+          match eff.Interp.defs with
+          | (_, Eval.Vi v) :: _ ->
+            let mark =
+              Option.value ~default:0 (Hashtbl.find_opt t.current_marks f.Ir.fname)
+            in
+            (match s.last with
+            | Some prev when s.instance_mark = mark ->
+              if Sys.getenv_opt "SPT_VP_DEBUG" <> None && s.transitions < 8 then
+                Printf.eprintf "[vp] %s i%d v=%Ld prev=%Ld\n%!" f.Ir.fname
+                  i.Ir.iid v prev;
+              bump s.strides (Int64.sub v prev);
+              s.transitions <- s.transitions + 1
+            | _ -> ());
+            s.last <- Some v;
+            s.instance_mark <- mark
+          | _ -> ()));
+  }
+
+type prediction = {
+  stride : int64;
+  hit_rate : float;
+  observations : int;
+}
+
+(** Best stride predictor for a target, if any observations exist. *)
+let best_prediction t ~func ~iid =
+  match Hashtbl.find_opt t.targets (func, iid) with
+  | None -> None
+  | Some s ->
+    if s.transitions = 0 then None
+    else
+      let stride, count =
+        Hashtbl.fold
+          (fun stride count (bs, bc) ->
+            if count > bc then (stride, count) else (bs, bc))
+          s.strides (0L, 0)
+      in
+      Some
+        {
+          stride;
+          hit_rate = float_of_int count /. float_of_int s.transitions;
+          observations = s.transitions;
+        }
+
+(** Default acceptance bar for inserting prediction code. *)
+let min_hit_rate = 0.9
+
+let predictable ?(threshold = min_hit_rate) t ~func ~iid =
+  match best_prediction t ~func ~iid with
+  | Some p when p.hit_rate >= threshold && p.observations >= 8 -> Some p
+  | _ -> None

@@ -1,0 +1,1 @@
+lib/srclang/ast.ml: Format List

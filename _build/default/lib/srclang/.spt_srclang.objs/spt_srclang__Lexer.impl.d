@@ -1,0 +1,1 @@
+lib/srclang/lexer.ml: Ast Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/srclang/lexer.mli: Ast

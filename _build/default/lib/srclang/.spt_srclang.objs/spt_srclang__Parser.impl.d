@@ -1,0 +1,1 @@
+lib/srclang/parser.ml: Ast Int64 Lexer List Printf

@@ -1,0 +1,1 @@
+lib/srclang/parser.mli: Ast

@@ -1,0 +1,1 @@
+lib/srclang/src_pretty.ml: Ast Format Int64 List String

@@ -1,0 +1,1 @@
+lib/srclang/src_pretty.mli: Ast Format

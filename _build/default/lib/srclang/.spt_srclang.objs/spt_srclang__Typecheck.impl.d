@@ -1,0 +1,1 @@
+lib/srclang/typecheck.ml: Ast Format Hashtbl List Option Parser

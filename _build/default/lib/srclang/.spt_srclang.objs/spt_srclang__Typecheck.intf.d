@@ -1,0 +1,1 @@
+lib/srclang/typecheck.mli: Ast

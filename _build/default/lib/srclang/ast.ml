@@ -1,0 +1,147 @@
+(** Abstract syntax of MiniC, the small C-like source language the SPT
+    framework compiles.
+
+    MiniC deliberately covers exactly what the paper's loop-level
+    speculative parallelization needs: integer and floating scalars,
+    global fixed-size arrays (through which all cross-iteration memory
+    dependences flow), functions, and structured control flow ([if],
+    [while], [for], [do]/[while]).  The distinction between [for] and
+    [while] loops is preserved through lowering because the paper's ORC
+    back end can only unroll DO loops (§7.1) — a fact the Fig. 15
+    breakdown depends on. *)
+
+type loc = { line : int; col : int }
+
+let no_loc = { line = 0; col = 0 }
+
+let pp_loc fmt { line; col } = Format.fprintf fmt "%d:%d" line col
+
+type ty =
+  | Tint
+  | Tfloat
+  | Tarr of ty  (** element type; arrays are 1-D, int or float *)
+  | Tvoid
+
+let rec string_of_ty = function
+  | Tint -> "int"
+  | Tfloat -> "float"
+  | Tarr t -> string_of_ty t ^ "[]"
+  | Tvoid -> "void"
+
+type unop = Neg | Lnot | Bnot
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | Land
+  | Lor
+  | Band
+  | Bor
+  | Bxor
+  | Shl
+  | Shr
+
+let string_of_unop = function Neg -> "-" | Lnot -> "!" | Bnot -> "~"
+
+let string_of_binop = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "=="
+  | Ne -> "!="
+  | Land -> "&&"
+  | Lor -> "||"
+  | Band -> "&"
+  | Bor -> "|"
+  | Bxor -> "^"
+  | Shl -> "<<"
+  | Shr -> ">>"
+
+type expr = {
+  edesc : expr_desc;
+  eloc : loc;
+  mutable ety : ty option;  (** filled in by {!Typecheck} *)
+}
+
+and expr_desc =
+  | Int_lit of int64
+  | Float_lit of float
+  | Var of string
+  | Index of string * expr  (** [a[e]] — the base is always a named array *)
+  | Call of string * expr list
+  | Unary of unop * expr
+  | Binary of binop * expr * expr
+
+type lvalue = Lvar of string | Lindex of string * expr
+
+type stmt = { sdesc : stmt_desc; sloc : loc }
+
+and stmt_desc =
+  | Decl of ty * string * expr option
+  | Assign of lvalue * expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Do_while of stmt list * expr
+  | For of stmt option * expr option * stmt option * stmt list
+      (** init / condition / step / body.  Lowered loops keep a
+          [`For]-origin tag so DO-loop unrolling can find them. *)
+  | Return of expr option
+  | Expr_stmt of expr
+  | Break
+  | Continue
+  | Block of stmt list
+
+type global =
+  | Gscalar of ty * string * expr option
+  | Garray of ty * string * int * int64 list option
+      (** element type, name, length, optional integer initializer *)
+
+type fundef = {
+  fname : string;
+  fparams : (ty * string) list;
+  fret : ty;
+  fbody : stmt list;
+  floc : loc;
+}
+
+type program = { globals : global list; funcs : fundef list }
+
+let mk_expr ?(loc = no_loc) edesc = { edesc; eloc = loc; ety = None }
+let mk_stmt ?(loc = no_loc) sdesc = { sdesc; sloc = loc }
+
+(** Names of the built-in functions available without declaration.
+    [rand] is a deterministic LCG so profiling and measurement runs see
+    identical behaviour; [srand] reseeds it. *)
+let builtins =
+  [
+    ("fabs", ([ Tfloat ], Tfloat));
+    ("sqrt", ([ Tfloat ], Tfloat));
+    ("abs", ([ Tint ], Tint));
+    ("min", ([ Tint; Tint ], Tint));
+    ("max", ([ Tint; Tint ], Tint));
+    ("fmin", ([ Tfloat; Tfloat ], Tfloat));
+    ("fmax", ([ Tfloat; Tfloat ], Tfloat));
+    ("int_of_float", ([ Tfloat ], Tint));
+    ("float_of_int", ([ Tint ], Tfloat));
+    ("rand", ([], Tint));
+    ("srand", ([ Tint ], Tvoid));
+    ("print_int", ([ Tint ], Tvoid));
+    ("print_float", ([ Tfloat ], Tvoid));
+  ]
+
+let is_builtin name = List.mem_assoc name builtins

@@ -1,0 +1,294 @@
+(** Hand-written lexer for MiniC.
+
+    Produces a token stream with source locations.  Comments are C
+    style ([/* ... */] and [// ...]).  Integer literals are 64-bit
+    decimals (optionally hex with [0x]); float literals require a
+    decimal point. *)
+
+type token =
+  | INT_LIT of int64
+  | FLOAT_LIT of float
+  | IDENT of string
+  | KW_INT
+  | KW_FLOAT
+  | KW_VOID
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_DO
+  | KW_FOR
+  | KW_RETURN
+  | KW_BREAK
+  | KW_CONTINUE
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | ASSIGN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQ
+  | NE
+  | AMPAMP
+  | BARBAR
+  | AMP
+  | BAR
+  | CARET
+  | BANG
+  | TILDE
+  | SHL
+  | SHR
+  | PLUSPLUS
+  | MINUSMINUS
+  | PLUSEQ
+  | MINUSEQ
+  | EOF
+
+let keyword_table =
+  [
+    ("int", KW_INT);
+    ("float", KW_FLOAT);
+    ("void", KW_VOID);
+    ("if", KW_IF);
+    ("else", KW_ELSE);
+    ("while", KW_WHILE);
+    ("do", KW_DO);
+    ("for", KW_FOR);
+    ("return", KW_RETURN);
+    ("break", KW_BREAK);
+    ("continue", KW_CONTINUE);
+  ]
+
+let string_of_token = function
+  | INT_LIT n -> Int64.to_string n
+  | FLOAT_LIT f -> string_of_float f
+  | IDENT s -> s
+  | KW_INT -> "int"
+  | KW_FLOAT -> "float"
+  | KW_VOID -> "void"
+  | KW_IF -> "if"
+  | KW_ELSE -> "else"
+  | KW_WHILE -> "while"
+  | KW_DO -> "do"
+  | KW_FOR -> "for"
+  | KW_RETURN -> "return"
+  | KW_BREAK -> "break"
+  | KW_CONTINUE -> "continue"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | SEMI -> ";"
+  | COMMA -> ","
+  | ASSIGN -> "="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | EQ -> "=="
+  | NE -> "!="
+  | AMPAMP -> "&&"
+  | BARBAR -> "||"
+  | AMP -> "&"
+  | BAR -> "|"
+  | CARET -> "^"
+  | BANG -> "!"
+  | TILDE -> "~"
+  | SHL -> "<<"
+  | SHR -> ">>"
+  | PLUSPLUS -> "++"
+  | MINUSMINUS -> "--"
+  | PLUSEQ -> "+="
+  | MINUSEQ -> "-="
+  | EOF -> "<eof>"
+
+exception Lex_error of string * Ast.loc
+
+type t = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;  (** offset of the beginning of the current line *)
+}
+
+let create src = { src; pos = 0; line = 1; bol = 0 }
+
+let loc t = { Ast.line = t.line; col = t.pos - t.bol + 1 }
+
+let error t msg = raise (Lex_error (msg, loc t))
+
+let peek_char t = if t.pos >= String.length t.src then None else Some t.src.[t.pos]
+
+let peek_char2 t =
+  if t.pos + 1 >= String.length t.src then None else Some t.src.[t.pos + 1]
+
+let advance t =
+  (match peek_char t with
+  | Some '\n' ->
+    t.line <- t.line + 1;
+    t.bol <- t.pos + 1
+  | _ -> ());
+  t.pos <- t.pos + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+let is_hex_digit c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+let rec skip_ws_and_comments t =
+  match peek_char t with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance t;
+    skip_ws_and_comments t
+  | Some '/' -> (
+    match peek_char2 t with
+    | Some '/' ->
+      while peek_char t <> None && peek_char t <> Some '\n' do
+        advance t
+      done;
+      skip_ws_and_comments t
+    | Some '*' ->
+      advance t;
+      advance t;
+      let rec skip () =
+        match (peek_char t, peek_char2 t) with
+        | Some '*', Some '/' ->
+          advance t;
+          advance t
+        | Some _, _ ->
+          advance t;
+          skip ()
+        | None, _ -> error t "unterminated comment"
+      in
+      skip ();
+      skip_ws_and_comments t
+    | _ -> ())
+  | _ -> ()
+
+let lex_number t =
+  let start = t.pos in
+  if peek_char t = Some '0' && (peek_char2 t = Some 'x' || peek_char2 t = Some 'X')
+  then begin
+    advance t;
+    advance t;
+    let hstart = t.pos in
+    while (match peek_char t with Some c -> is_hex_digit c | None -> false) do
+      advance t
+    done;
+    if t.pos = hstart then error t "malformed hex literal";
+    let s = String.sub t.src start (t.pos - start) in
+    INT_LIT (Int64.of_string s)
+  end
+  else begin
+    while (match peek_char t with Some c -> is_digit c | None -> false) do
+      advance t
+    done;
+    let is_float =
+      peek_char t = Some '.'
+      && (match peek_char2 t with Some c -> is_digit c | None -> false)
+    in
+    if is_float then begin
+      advance t;
+      while (match peek_char t with Some c -> is_digit c | None -> false) do
+        advance t
+      done;
+      (* optional exponent *)
+      (match peek_char t with
+      | Some ('e' | 'E') ->
+        advance t;
+        (match peek_char t with
+        | Some ('+' | '-') -> advance t
+        | _ -> ());
+        while (match peek_char t with Some c -> is_digit c | None -> false) do
+          advance t
+        done
+      | _ -> ());
+      FLOAT_LIT (float_of_string (String.sub t.src start (t.pos - start)))
+    end
+    else INT_LIT (Int64.of_string (String.sub t.src start (t.pos - start)))
+  end
+
+let lex_ident t =
+  let start = t.pos in
+  while (match peek_char t with Some c -> is_ident_char c | None -> false) do
+    advance t
+  done;
+  let s = String.sub t.src start (t.pos - start) in
+  match List.assoc_opt s keyword_table with Some kw -> kw | None -> IDENT s
+
+(** [next t] is the next token together with its start location. *)
+let next t =
+  skip_ws_and_comments t;
+  let l = loc t in
+  let tok =
+    match peek_char t with
+    | None -> EOF
+    | Some c when is_digit c -> lex_number t
+    | Some c when is_ident_start c -> lex_ident t
+    | Some c ->
+      let two tok = advance t; advance t; tok in
+      let one tok = advance t; tok in
+      (match (c, peek_char2 t) with
+      | '<', Some '=' -> two LE
+      | '<', Some '<' -> two SHL
+      | '<', _ -> one LT
+      | '>', Some '=' -> two GE
+      | '>', Some '>' -> two SHR
+      | '>', _ -> one GT
+      | '=', Some '=' -> two EQ
+      | '=', _ -> one ASSIGN
+      | '!', Some '=' -> two NE
+      | '!', _ -> one BANG
+      | '&', Some '&' -> two AMPAMP
+      | '&', _ -> one AMP
+      | '|', Some '|' -> two BARBAR
+      | '|', _ -> one BAR
+      | '+', Some '+' -> two PLUSPLUS
+      | '+', Some '=' -> two PLUSEQ
+      | '+', _ -> one PLUS
+      | '-', Some '-' -> two MINUSMINUS
+      | '-', Some '=' -> two MINUSEQ
+      | '-', _ -> one MINUS
+      | '*', _ -> one STAR
+      | '/', _ -> one SLASH
+      | '%', _ -> one PERCENT
+      | '^', _ -> one CARET
+      | '~', _ -> one TILDE
+      | '(', _ -> one LPAREN
+      | ')', _ -> one RPAREN
+      | '{', _ -> one LBRACE
+      | '}', _ -> one RBRACE
+      | '[', _ -> one LBRACKET
+      | ']', _ -> one RBRACKET
+      | ';', _ -> one SEMI
+      | ',', _ -> one COMMA
+      | c, _ -> error t (Printf.sprintf "unexpected character %C" c))
+  in
+  (tok, l)
+
+(** Tokenize the entire input (including the final [EOF]). *)
+let tokenize src =
+  let t = create src in
+  let rec go acc =
+    let tok, l = next t in
+    if tok = EOF then List.rev ((tok, l) :: acc) else go ((tok, l) :: acc)
+  in
+  go []

@@ -1,0 +1,69 @@
+(** Hand-written lexer for MiniC: C-style comments, decimal/hex integer
+    literals, float literals with a decimal point and optional
+    exponent. *)
+
+type token =
+  | INT_LIT of int64
+  | FLOAT_LIT of float
+  | IDENT of string
+  | KW_INT
+  | KW_FLOAT
+  | KW_VOID
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_DO
+  | KW_FOR
+  | KW_RETURN
+  | KW_BREAK
+  | KW_CONTINUE
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | ASSIGN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQ
+  | NE
+  | AMPAMP
+  | BARBAR
+  | AMP
+  | BAR
+  | CARET
+  | BANG
+  | TILDE
+  | SHL
+  | SHR
+  | PLUSPLUS
+  | MINUSMINUS
+  | PLUSEQ
+  | MINUSEQ
+  | EOF
+
+val string_of_token : token -> string
+
+exception Lex_error of string * Ast.loc
+
+(** Incremental interface. *)
+type t
+
+val create : string -> t
+
+(** Next token with its start location.
+    @raise Lex_error on malformed input. *)
+val next : t -> token * Ast.loc
+
+(** Tokenize the whole input, including the final [EOF]. *)
+val tokenize : string -> (token * Ast.loc) list

@@ -1,0 +1,438 @@
+(** Recursive-descent parser for MiniC.
+
+    Precedence climbing for expressions with C's operator precedences.
+    The grammar is LL(2): the only look-ahead beyond one token is
+    distinguishing declarations from expression statements and array
+    declarators. *)
+
+exception Parse_error of string * Ast.loc
+
+type t = { mutable toks : (Lexer.token * Ast.loc) list }
+
+let create toks = { toks }
+
+let peek p =
+  match p.toks with
+  | [] -> (Lexer.EOF, Ast.no_loc)
+  | tl :: _ -> tl
+
+let peek2 p =
+  match p.toks with
+  | _ :: tl :: _ -> tl
+  | _ -> (Lexer.EOF, Ast.no_loc)
+
+let advance p = match p.toks with [] -> () | _ :: rest -> p.toks <- rest
+
+let error p msg =
+  let tok, loc = peek p in
+  raise
+    (Parse_error
+       (Printf.sprintf "%s (found %S)" msg (Lexer.string_of_token tok), loc))
+
+let expect p tok =
+  let found, _ = peek p in
+  if found = tok then advance p
+  else error p (Printf.sprintf "expected %S" (Lexer.string_of_token tok))
+
+let expect_ident p =
+  match peek p with
+  | Lexer.IDENT s, _ ->
+    advance p;
+    s
+  | _ -> error p "expected identifier"
+
+(* ------------------------------------------------------------------ *)
+(* Types *)
+
+let is_type_start = function
+  | Lexer.KW_INT | Lexer.KW_FLOAT | Lexer.KW_VOID -> true
+  | _ -> false
+
+let parse_base_type p =
+  match peek p with
+  | Lexer.KW_INT, _ ->
+    advance p;
+    Ast.Tint
+  | Lexer.KW_FLOAT, _ ->
+    advance p;
+    Ast.Tfloat
+  | Lexer.KW_VOID, _ ->
+    advance p;
+    Ast.Tvoid
+  | _ -> error p "expected type"
+
+(* ------------------------------------------------------------------ *)
+(* Expressions: precedence climbing *)
+
+let binop_of_token = function
+  | Lexer.STAR -> Some (Ast.Mul, 10)
+  | Lexer.SLASH -> Some (Ast.Div, 10)
+  | Lexer.PERCENT -> Some (Ast.Mod, 10)
+  | Lexer.PLUS -> Some (Ast.Add, 9)
+  | Lexer.MINUS -> Some (Ast.Sub, 9)
+  | Lexer.SHL -> Some (Ast.Shl, 8)
+  | Lexer.SHR -> Some (Ast.Shr, 8)
+  | Lexer.LT -> Some (Ast.Lt, 7)
+  | Lexer.LE -> Some (Ast.Le, 7)
+  | Lexer.GT -> Some (Ast.Gt, 7)
+  | Lexer.GE -> Some (Ast.Ge, 7)
+  | Lexer.EQ -> Some (Ast.Eq, 6)
+  | Lexer.NE -> Some (Ast.Ne, 6)
+  | Lexer.AMP -> Some (Ast.Band, 5)
+  | Lexer.CARET -> Some (Ast.Bxor, 4)
+  | Lexer.BAR -> Some (Ast.Bor, 3)
+  | Lexer.AMPAMP -> Some (Ast.Land, 2)
+  | Lexer.BARBAR -> Some (Ast.Lor, 1)
+  | _ -> None
+
+let rec parse_expr p = parse_binary p 0
+
+and parse_binary p min_prec =
+  let lhs = parse_unary p in
+  let rec loop lhs =
+    let tok, loc = peek p in
+    match binop_of_token tok with
+    | Some (op, prec) when prec >= min_prec ->
+      advance p;
+      let rhs = parse_binary p (prec + 1) in
+      loop (Ast.mk_expr ~loc (Ast.Binary (op, lhs, rhs)))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_unary p =
+  let tok, loc = peek p in
+  match tok with
+  | Lexer.MINUS ->
+    advance p;
+    Ast.mk_expr ~loc (Ast.Unary (Ast.Neg, parse_unary p))
+  | Lexer.BANG ->
+    advance p;
+    Ast.mk_expr ~loc (Ast.Unary (Ast.Lnot, parse_unary p))
+  | Lexer.TILDE ->
+    advance p;
+    Ast.mk_expr ~loc (Ast.Unary (Ast.Bnot, parse_unary p))
+  | _ -> parse_primary p
+
+and parse_primary p =
+  let tok, loc = peek p in
+  match tok with
+  | Lexer.INT_LIT n ->
+    advance p;
+    Ast.mk_expr ~loc (Ast.Int_lit n)
+  | Lexer.FLOAT_LIT f ->
+    advance p;
+    Ast.mk_expr ~loc (Ast.Float_lit f)
+  | Lexer.LPAREN ->
+    advance p;
+    let e = parse_expr p in
+    expect p Lexer.RPAREN;
+    e
+  | Lexer.IDENT name -> (
+    advance p;
+    match peek p with
+    | Lexer.LPAREN, _ ->
+      advance p;
+      let args = parse_args p in
+      expect p Lexer.RPAREN;
+      Ast.mk_expr ~loc (Ast.Call (name, args))
+    | Lexer.LBRACKET, _ ->
+      advance p;
+      let idx = parse_expr p in
+      expect p Lexer.RBRACKET;
+      Ast.mk_expr ~loc (Ast.Index (name, idx))
+    | _ -> Ast.mk_expr ~loc (Ast.Var name))
+  | _ -> error p "expected expression"
+
+and parse_args p =
+  match peek p with
+  | Lexer.RPAREN, _ -> []
+  | _ ->
+    let rec go acc =
+      let e = parse_expr p in
+      match peek p with
+      | Lexer.COMMA, _ ->
+        advance p;
+        go (e :: acc)
+      | _ -> List.rev (e :: acc)
+    in
+    go []
+
+(* ------------------------------------------------------------------ *)
+(* Statements *)
+
+let parse_lvalue p =
+  let name = expect_ident p in
+  match peek p with
+  | Lexer.LBRACKET, _ ->
+    advance p;
+    let idx = parse_expr p in
+    expect p Lexer.RBRACKET;
+    Ast.Lindex (name, idx)
+  | _ -> Ast.Lvar name
+
+(* Simple statements usable in for-headers: declarations, assignments,
+   increments, and calls — no control flow, no trailing semicolon. *)
+let rec parse_simple p =
+  let _, loc = peek p in
+  if is_type_start (fst (peek p)) then begin
+    let ty = parse_base_type p in
+    let name = expect_ident p in
+    let init =
+      match peek p with
+      | Lexer.ASSIGN, _ ->
+        advance p;
+        Some (parse_expr p)
+      | _ -> None
+    in
+    Ast.mk_stmt ~loc (Ast.Decl (ty, name, init))
+  end
+  else
+    match (peek p, peek2 p) with
+    | (Lexer.IDENT _, _), (Lexer.ASSIGN, _)
+    | (Lexer.IDENT _, _), (Lexer.LBRACKET, _) -> parse_assign_like p loc
+    | (Lexer.IDENT _, _), (Lexer.PLUSPLUS, _)
+    | (Lexer.IDENT _, _), (Lexer.MINUSMINUS, _)
+    | (Lexer.IDENT _, _), (Lexer.PLUSEQ, _)
+    | (Lexer.IDENT _, _), (Lexer.MINUSEQ, _) -> parse_assign_like p loc
+    | _ ->
+      let e = parse_expr p in
+      Ast.mk_stmt ~loc (Ast.Expr_stmt e)
+
+and parse_assign_like p loc =
+  let lv = parse_lvalue p in
+  let lv_expr () =
+    match lv with
+    | Ast.Lvar v -> Ast.mk_expr ~loc (Ast.Var v)
+    | Ast.Lindex (a, i) -> Ast.mk_expr ~loc (Ast.Index (a, i))
+  in
+  match peek p with
+  | Lexer.ASSIGN, _ ->
+    advance p;
+    let e = parse_expr p in
+    Ast.mk_stmt ~loc (Ast.Assign (lv, e))
+  | Lexer.PLUSPLUS, _ ->
+    advance p;
+    let one = Ast.mk_expr ~loc (Ast.Int_lit 1L) in
+    Ast.mk_stmt ~loc (Ast.Assign (lv, Ast.mk_expr ~loc (Ast.Binary (Ast.Add, lv_expr (), one))))
+  | Lexer.MINUSMINUS, _ ->
+    advance p;
+    let one = Ast.mk_expr ~loc (Ast.Int_lit 1L) in
+    Ast.mk_stmt ~loc (Ast.Assign (lv, Ast.mk_expr ~loc (Ast.Binary (Ast.Sub, lv_expr (), one))))
+  | Lexer.PLUSEQ, _ ->
+    advance p;
+    let e = parse_expr p in
+    Ast.mk_stmt ~loc (Ast.Assign (lv, Ast.mk_expr ~loc (Ast.Binary (Ast.Add, lv_expr (), e))))
+  | Lexer.MINUSEQ, _ ->
+    advance p;
+    let e = parse_expr p in
+    Ast.mk_stmt ~loc (Ast.Assign (lv, Ast.mk_expr ~loc (Ast.Binary (Ast.Sub, lv_expr (), e))))
+  | _ -> error p "expected assignment operator"
+
+let rec parse_stmt p =
+  let tok, loc = peek p in
+  match tok with
+  | Lexer.LBRACE ->
+    advance p;
+    let body = parse_stmts p in
+    expect p Lexer.RBRACE;
+    Ast.mk_stmt ~loc (Ast.Block body)
+  | Lexer.KW_IF ->
+    advance p;
+    expect p Lexer.LPAREN;
+    let cond = parse_expr p in
+    expect p Lexer.RPAREN;
+    let then_b = parse_stmt_as_block p in
+    let else_b =
+      match peek p with
+      | Lexer.KW_ELSE, _ ->
+        advance p;
+        parse_stmt_as_block p
+      | _ -> []
+    in
+    Ast.mk_stmt ~loc (Ast.If (cond, then_b, else_b))
+  | Lexer.KW_WHILE ->
+    advance p;
+    expect p Lexer.LPAREN;
+    let cond = parse_expr p in
+    expect p Lexer.RPAREN;
+    let body = parse_stmt_as_block p in
+    Ast.mk_stmt ~loc (Ast.While (cond, body))
+  | Lexer.KW_DO ->
+    advance p;
+    let body = parse_stmt_as_block p in
+    expect p Lexer.KW_WHILE;
+    expect p Lexer.LPAREN;
+    let cond = parse_expr p in
+    expect p Lexer.RPAREN;
+    expect p Lexer.SEMI;
+    Ast.mk_stmt ~loc (Ast.Do_while (body, cond))
+  | Lexer.KW_FOR ->
+    advance p;
+    expect p Lexer.LPAREN;
+    let init =
+      match peek p with
+      | Lexer.SEMI, _ -> None
+      | _ -> Some (parse_simple p)
+    in
+    expect p Lexer.SEMI;
+    let cond =
+      match peek p with Lexer.SEMI, _ -> None | _ -> Some (parse_expr p)
+    in
+    expect p Lexer.SEMI;
+    let step =
+      match peek p with
+      | Lexer.RPAREN, _ -> None
+      | _ -> Some (parse_simple p)
+    in
+    expect p Lexer.RPAREN;
+    let body = parse_stmt_as_block p in
+    Ast.mk_stmt ~loc (Ast.For (init, cond, step, body))
+  | Lexer.KW_RETURN ->
+    advance p;
+    let e =
+      match peek p with Lexer.SEMI, _ -> None | _ -> Some (parse_expr p)
+    in
+    expect p Lexer.SEMI;
+    Ast.mk_stmt ~loc (Ast.Return e)
+  | Lexer.KW_BREAK ->
+    advance p;
+    expect p Lexer.SEMI;
+    Ast.mk_stmt ~loc Ast.Break
+  | Lexer.KW_CONTINUE ->
+    advance p;
+    expect p Lexer.SEMI;
+    Ast.mk_stmt ~loc Ast.Continue
+  | _ ->
+    let s = parse_simple p in
+    expect p Lexer.SEMI;
+    s
+
+and parse_stmt_as_block p =
+  match parse_stmt p with
+  | { Ast.sdesc = Ast.Block body; _ } -> body
+  | s -> [ s ]
+
+and parse_stmts p =
+  match peek p with
+  | Lexer.RBRACE, _ | Lexer.EOF, _ -> []
+  | _ ->
+    let s = parse_stmt p in
+    s :: parse_stmts p
+
+(* ------------------------------------------------------------------ *)
+(* Top level: globals and functions *)
+
+let parse_init_list p =
+  expect p Lexer.LBRACE;
+  let rec go acc =
+    match peek p with
+    | Lexer.RBRACE, _ ->
+      advance p;
+      List.rev acc
+    | Lexer.INT_LIT n, _ -> (
+      advance p;
+      match peek p with
+      | Lexer.COMMA, _ ->
+        advance p;
+        go (n :: acc)
+      | _ -> go (n :: acc))
+    | Lexer.MINUS, _ -> (
+      advance p;
+      match peek p with
+      | Lexer.INT_LIT n, _ -> (
+        advance p;
+        let n = Int64.neg n in
+        match peek p with
+        | Lexer.COMMA, _ ->
+          advance p;
+          go (n :: acc)
+        | _ -> go (n :: acc))
+      | _ -> error p "expected integer in initializer")
+    | _ -> error p "expected integer in initializer"
+  in
+  go []
+
+let parse_param p =
+  let base = parse_base_type p in
+  let name = expect_ident p in
+  match peek p with
+  | Lexer.LBRACKET, _ ->
+    advance p;
+    expect p Lexer.RBRACKET;
+    (Ast.Tarr base, name)
+  | _ -> (base, name)
+
+let parse_params p =
+  match peek p with
+  | Lexer.RPAREN, _ -> []
+  | Lexer.KW_VOID, _ when fst (peek2 p) = Lexer.RPAREN ->
+    advance p;
+    []
+  | _ ->
+    let rec go acc =
+      let prm = parse_param p in
+      match peek p with
+      | Lexer.COMMA, _ ->
+        advance p;
+        go (prm :: acc)
+      | _ -> List.rev (prm :: acc)
+    in
+    go []
+
+let parse_toplevel p =
+  let loc = snd (peek p) in
+  let base = parse_base_type p in
+  let name = expect_ident p in
+  match peek p with
+  | Lexer.LPAREN, _ ->
+    advance p;
+    let params = parse_params p in
+    expect p Lexer.RPAREN;
+    expect p Lexer.LBRACE;
+    let body = parse_stmts p in
+    expect p Lexer.RBRACE;
+    `Func { Ast.fname = name; fparams = params; fret = base; fbody = body; floc = loc }
+  | Lexer.LBRACKET, _ -> (
+    advance p;
+    let size =
+      match peek p with
+      | Lexer.INT_LIT n, _ ->
+        advance p;
+        Int64.to_int n
+      | _ -> error p "expected array size"
+    in
+    expect p Lexer.RBRACKET;
+    match peek p with
+    | Lexer.ASSIGN, _ ->
+      advance p;
+      let init = parse_init_list p in
+      expect p Lexer.SEMI;
+      `Global (Ast.Garray (base, name, size, Some init))
+    | _ ->
+      expect p Lexer.SEMI;
+      `Global (Ast.Garray (base, name, size, None)))
+  | Lexer.ASSIGN, _ ->
+    advance p;
+    let e = parse_expr p in
+    expect p Lexer.SEMI;
+    `Global (Ast.Gscalar (base, name, Some e))
+  | Lexer.SEMI, _ ->
+    advance p;
+    `Global (Ast.Gscalar (base, name, None))
+  | _ -> error p "expected function or global declaration"
+
+(** Parse a complete MiniC program from source text.
+    @raise Lexer.Lex_error on lexical errors.
+    @raise Parse_error on syntax errors. *)
+let parse_program src =
+  let p = create (Lexer.tokenize src) in
+  let rec go globals funcs =
+    match peek p with
+    | Lexer.EOF, _ -> { Ast.globals = List.rev globals; funcs = List.rev funcs }
+    | _ -> (
+      match parse_toplevel p with
+      | `Global g -> go (g :: globals) funcs
+      | `Func f -> go globals (f :: funcs))
+  in
+  go [] []

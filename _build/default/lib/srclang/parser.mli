@@ -1,0 +1,9 @@
+(** Recursive-descent parser for MiniC (precedence climbing with C's
+    operator precedences). *)
+
+exception Parse_error of string * Ast.loc
+
+(** Parse a complete program.
+    @raise Lexer.Lex_error on lexical errors.
+    @raise Parse_error on syntax errors. *)
+val parse_program : string -> Ast.program

@@ -1,0 +1,104 @@
+(** Pretty-printer for MiniC ASTs.
+
+    Round-trips with the parser: [Parser.parse_program (to_string p)]
+    yields a structurally equal program (a property the test-suite
+    checks with qcheck-generated programs). *)
+
+open Format
+
+let rec pp_expr fmt (e : Ast.expr) =
+  match e.Ast.edesc with
+  | Ast.Int_lit n -> fprintf fmt "%Ld" n
+  | Ast.Float_lit f ->
+    (* Keep a decimal point so the literal re-lexes as a float. *)
+    let s = sprintf "%.17g" f in
+    if String.contains s '.' || String.contains s 'e' || String.contains s 'n'
+    then fprintf fmt "%s" s
+    else fprintf fmt "%s.0" s
+  | Ast.Var v -> fprintf fmt "%s" v
+  | Ast.Index (a, i) -> fprintf fmt "%s[%a]" a pp_expr i
+  | Ast.Call (f, args) ->
+    fprintf fmt "%s(%a)" f
+      (pp_print_list ~pp_sep:(fun fmt () -> fprintf fmt ", ") pp_expr)
+      args
+  | Ast.Unary (op, sub) -> fprintf fmt "%s(%a)" (Ast.string_of_unop op) pp_expr sub
+  | Ast.Binary (op, l, r) ->
+    fprintf fmt "(%a %s %a)" pp_expr l (Ast.string_of_binop op) pp_expr r
+
+let pp_lvalue fmt = function
+  | Ast.Lvar v -> fprintf fmt "%s" v
+  | Ast.Lindex (a, i) -> fprintf fmt "%s[%a]" a pp_expr i
+
+let rec pp_stmt fmt (s : Ast.stmt) =
+  match s.Ast.sdesc with
+  | Ast.Decl (ty, name, None) -> fprintf fmt "%s %s;" (Ast.string_of_ty ty) name
+  | Ast.Decl (ty, name, Some e) ->
+    fprintf fmt "%s %s = %a;" (Ast.string_of_ty ty) name pp_expr e
+  | Ast.Assign (lv, e) -> fprintf fmt "%a = %a;" pp_lvalue lv pp_expr e
+  | Ast.If (c, t, []) ->
+    fprintf fmt "@[<v 2>if (%a) {%a@]@,}" pp_expr c pp_block t
+  | Ast.If (c, t, e) ->
+    fprintf fmt "@[<v 2>if (%a) {%a@]@,@[<v 2>} else {%a@]@,}" pp_expr c
+      pp_block t pp_block e
+  | Ast.While (c, body) ->
+    fprintf fmt "@[<v 2>while (%a) {%a@]@,}" pp_expr c pp_block body
+  | Ast.Do_while (body, c) ->
+    fprintf fmt "@[<v 2>do {%a@]@,} while (%a);" pp_block body pp_expr c
+  | Ast.For (init, cond, step, body) ->
+    let pp_opt_simple fmt = function
+      | None -> ()
+      | Some s -> pp_simple fmt s
+    in
+    let pp_opt_expr fmt = function None -> () | Some e -> pp_expr fmt e in
+    fprintf fmt "@[<v 2>for (%a; %a; %a) {%a@]@,}" pp_opt_simple init
+      pp_opt_expr cond pp_opt_simple step pp_block body
+  | Ast.Return None -> fprintf fmt "return;"
+  | Ast.Return (Some e) -> fprintf fmt "return %a;" pp_expr e
+  | Ast.Expr_stmt e -> fprintf fmt "%a;" pp_expr e
+  | Ast.Break -> fprintf fmt "break;"
+  | Ast.Continue -> fprintf fmt "continue;"
+  | Ast.Block body -> fprintf fmt "@[<v 2>{%a@]@,}" pp_block body
+
+(* A simple statement inside a for-header: same as pp_stmt but without
+   the trailing semicolon. *)
+and pp_simple fmt (s : Ast.stmt) =
+  let str = asprintf "%a" pp_stmt s in
+  let str =
+    if String.length str > 0 && str.[String.length str - 1] = ';' then
+      String.sub str 0 (String.length str - 1)
+    else str
+  in
+  pp_print_string fmt str
+
+and pp_block fmt body =
+  List.iter (fun s -> fprintf fmt "@,%a" pp_stmt s) body
+
+let pp_global fmt = function
+  | Ast.Gscalar (ty, name, None) ->
+    fprintf fmt "%s %s;" (Ast.string_of_ty ty) name
+  | Ast.Gscalar (ty, name, Some e) ->
+    fprintf fmt "%s %s = %a;" (Ast.string_of_ty ty) name pp_expr e
+  | Ast.Garray (ty, name, size, None) ->
+    fprintf fmt "%s %s[%d];" (Ast.string_of_ty ty) name size
+  | Ast.Garray (ty, name, size, Some init) ->
+    fprintf fmt "%s %s[%d] = {%s};" (Ast.string_of_ty ty) name size
+      (String.concat ", " (List.map Int64.to_string init))
+
+let pp_param fmt (ty, name) =
+  match ty with
+  | Ast.Tarr elt -> fprintf fmt "%s %s[]" (Ast.string_of_ty elt) name
+  | ty -> fprintf fmt "%s %s" (Ast.string_of_ty ty) name
+
+let pp_fundef fmt (f : Ast.fundef) =
+  fprintf fmt "@[<v 2>%s %s(%a) {%a@]@,}" (Ast.string_of_ty f.Ast.fret)
+    f.Ast.fname
+    (pp_print_list ~pp_sep:(fun fmt () -> fprintf fmt ", ") pp_param)
+    f.Ast.fparams pp_block f.Ast.fbody
+
+let pp_program fmt (p : Ast.program) =
+  fprintf fmt "@[<v>";
+  List.iter (fun g -> fprintf fmt "%a@," pp_global g) p.Ast.globals;
+  List.iter (fun f -> fprintf fmt "@,%a@," pp_fundef f) p.Ast.funcs;
+  fprintf fmt "@]"
+
+let to_string p = asprintf "%a" pp_program p

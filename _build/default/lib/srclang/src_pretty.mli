@@ -1,0 +1,10 @@
+(** Pretty-printer for MiniC ASTs; round-trips with the parser (checked
+    by property tests). *)
+
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_lvalue : Format.formatter -> Ast.lvalue -> unit
+val pp_stmt : Format.formatter -> Ast.stmt -> unit
+val pp_global : Format.formatter -> Ast.global -> unit
+val pp_fundef : Format.formatter -> Ast.fundef -> unit
+val pp_program : Format.formatter -> Ast.program -> unit
+val to_string : Ast.program -> string

@@ -1,0 +1,282 @@
+(** Type checker for MiniC.
+
+    Checks and annotates the AST in place ([ety] fields).  The type
+    system is deliberately rigid — no implicit int/float conversion
+    except through the [int_of_float]/[float_of_int] builtins — because
+    the IR keeps integer and float registers apart and the dependence
+    machinery relies on every operation having one unambiguous type. *)
+
+exception Type_error of string * Ast.loc
+
+let error loc fmt =
+  Format.kasprintf (fun msg -> raise (Type_error (msg, loc))) fmt
+
+type env = {
+  globals : (string, Ast.ty) Hashtbl.t;
+  funcs : (string, Ast.ty list * Ast.ty) Hashtbl.t;
+  mutable scopes : (string, Ast.ty) Hashtbl.t list;  (** innermost first *)
+  mutable current_ret : Ast.ty;
+  mutable loop_depth : int;
+}
+
+let push_scope env = env.scopes <- Hashtbl.create 16 :: env.scopes
+let pop_scope env =
+  match env.scopes with
+  | [] -> invalid_arg "Typecheck.pop_scope: no scope"
+  | _ :: rest -> env.scopes <- rest
+
+let declare_local env loc name ty =
+  match env.scopes with
+  | [] -> invalid_arg "Typecheck.declare_local: no scope"
+  | scope :: _ ->
+    if Hashtbl.mem scope name then error loc "redeclaration of %s" name;
+    Hashtbl.replace scope name ty
+
+let lookup_var env loc name =
+  let rec in_scopes = function
+    | [] -> None
+    | scope :: rest -> (
+      match Hashtbl.find_opt scope name with
+      | Some ty -> Some ty
+      | None -> in_scopes rest)
+  in
+  match in_scopes env.scopes with
+  | Some ty -> ty
+  | None -> (
+    match Hashtbl.find_opt env.globals name with
+    | Some ty -> ty
+    | None -> error loc "undeclared variable %s" name)
+
+let is_scalar = function Ast.Tint | Ast.Tfloat -> true | _ -> false
+
+let rec check_expr env (e : Ast.expr) : Ast.ty =
+  let ty = check_expr_desc env e in
+  e.ety <- Some ty;
+  ty
+
+and check_expr_desc env e =
+  let loc = e.Ast.eloc in
+  match e.Ast.edesc with
+  | Ast.Int_lit _ -> Ast.Tint
+  | Ast.Float_lit _ -> Ast.Tfloat
+  | Ast.Var name -> (
+    match lookup_var env loc name with
+    | (Ast.Tint | Ast.Tfloat) as ty -> ty
+    | ty -> error loc "%s has type %s, not a scalar" name (Ast.string_of_ty ty))
+  | Ast.Index (name, idx) -> (
+    let ity = check_expr env idx in
+    if ity <> Ast.Tint then error loc "array index must be int";
+    match lookup_var env loc name with
+    | Ast.Tarr elt -> elt
+    | ty -> error loc "%s has type %s, not an array" name (Ast.string_of_ty ty))
+  | Ast.Call (name, args) ->
+    let param_tys, ret =
+      match List.assoc_opt name Ast.builtins with
+      | Some (ps, r) -> (ps, r)
+      | None -> (
+        match Hashtbl.find_opt env.funcs name with
+        | Some sg -> sg
+        | None -> error loc "undeclared function %s" name)
+    in
+    if List.length args <> List.length param_tys then
+      error loc "%s expects %d arguments, got %d" name (List.length param_tys)
+        (List.length args);
+    List.iter2
+      (fun arg pty ->
+        match pty with
+        | Ast.Tarr elt -> (
+          (* Arrays are passed by name only. *)
+          match arg.Ast.edesc with
+          | Ast.Var aname -> (
+            match lookup_var env arg.Ast.eloc aname with
+            | Ast.Tarr aelt when aelt = elt -> arg.Ast.ety <- Some (Ast.Tarr aelt)
+            | ty ->
+              error arg.Ast.eloc
+                "argument %s to %s has type %s, expected %s array" aname name
+                (Ast.string_of_ty ty) (Ast.string_of_ty elt))
+          | _ -> error arg.Ast.eloc "array argument to %s must be a name" name)
+        | pty ->
+          let aty = check_expr env arg in
+          if aty <> pty then
+            error arg.Ast.eloc "argument to %s has type %s, expected %s" name
+              (Ast.string_of_ty aty) (Ast.string_of_ty pty))
+      args param_tys;
+    ret
+  | Ast.Unary (op, sub) -> (
+    let sty = check_expr env sub in
+    match (op, sty) with
+    | Ast.Neg, (Ast.Tint | Ast.Tfloat) -> sty
+    | Ast.Lnot, Ast.Tint -> Ast.Tint
+    | Ast.Bnot, Ast.Tint -> Ast.Tint
+    | _ ->
+      error loc "operator %s cannot be applied to %s" (Ast.string_of_unop op)
+        (Ast.string_of_ty sty))
+  | Ast.Binary (op, l, r) -> (
+    let lt = check_expr env l and rt = check_expr env r in
+    if lt <> rt then
+      error loc "operands of %s have mismatched types %s and %s"
+        (Ast.string_of_binop op) (Ast.string_of_ty lt) (Ast.string_of_ty rt);
+    match op with
+    | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div ->
+      if is_scalar lt then lt
+      else error loc "arithmetic on non-scalar type %s" (Ast.string_of_ty lt)
+    | Ast.Mod | Ast.Band | Ast.Bor | Ast.Bxor | Ast.Shl | Ast.Shr | Ast.Land
+    | Ast.Lor ->
+      if lt = Ast.Tint then Ast.Tint
+      else error loc "%s requires int operands" (Ast.string_of_binop op)
+    | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne ->
+      if is_scalar lt then Ast.Tint
+      else error loc "comparison of non-scalar type %s" (Ast.string_of_ty lt))
+
+let check_lvalue env loc = function
+  | Ast.Lvar name -> (
+    match lookup_var env loc name with
+    | (Ast.Tint | Ast.Tfloat) as ty -> ty
+    | ty -> error loc "cannot assign to %s of type %s" name (Ast.string_of_ty ty))
+  | Ast.Lindex (name, idx) -> (
+    let ity = check_expr env idx in
+    if ity <> Ast.Tint then error loc "array index must be int";
+    match lookup_var env loc name with
+    | Ast.Tarr elt -> elt
+    | ty -> error loc "%s has type %s, not an array" name (Ast.string_of_ty ty))
+
+let rec check_stmt env (s : Ast.stmt) =
+  let loc = s.Ast.sloc in
+  match s.Ast.sdesc with
+  | Ast.Decl (ty, name, init) ->
+    if not (is_scalar ty) then
+      error loc "local %s must be scalar (arrays are global-only)" name;
+    (match init with
+    | Some e ->
+      let ety = check_expr env e in
+      if ety <> ty then
+        error loc "initializer of %s has type %s, expected %s" name
+          (Ast.string_of_ty ety) (Ast.string_of_ty ty)
+    | None -> ());
+    declare_local env loc name ty
+  | Ast.Assign (lv, e) ->
+    let lty = check_lvalue env loc lv in
+    let ety = check_expr env e in
+    if lty <> ety then
+      error loc "assignment of %s value to %s lvalue" (Ast.string_of_ty ety)
+        (Ast.string_of_ty lty)
+  | Ast.If (cond, then_b, else_b) ->
+    let cty = check_expr env cond in
+    if cty <> Ast.Tint then error loc "condition must be int";
+    check_block env then_b;
+    check_block env else_b
+  | Ast.While (cond, body) ->
+    let cty = check_expr env cond in
+    if cty <> Ast.Tint then error loc "condition must be int";
+    env.loop_depth <- env.loop_depth + 1;
+    check_block env body;
+    env.loop_depth <- env.loop_depth - 1
+  | Ast.Do_while (body, cond) ->
+    env.loop_depth <- env.loop_depth + 1;
+    check_block env body;
+    env.loop_depth <- env.loop_depth - 1;
+    let cty = check_expr env cond in
+    if cty <> Ast.Tint then error loc "condition must be int"
+  | Ast.For (init, cond, step, body) ->
+    push_scope env;
+    Option.iter (check_stmt env) init;
+    Option.iter
+      (fun c ->
+        if check_expr env c <> Ast.Tint then error loc "condition must be int")
+      cond;
+    env.loop_depth <- env.loop_depth + 1;
+    check_block env body;
+    env.loop_depth <- env.loop_depth - 1;
+    Option.iter (check_stmt env) step;
+    pop_scope env
+  | Ast.Return None ->
+    if env.current_ret <> Ast.Tvoid then error loc "missing return value"
+  | Ast.Return (Some e) ->
+    let ety = check_expr env e in
+    if ety <> env.current_ret then
+      error loc "return type %s, expected %s" (Ast.string_of_ty ety)
+        (Ast.string_of_ty env.current_ret)
+  | Ast.Expr_stmt e -> ignore (check_expr env e)
+  | Ast.Break | Ast.Continue ->
+    if env.loop_depth = 0 then error loc "break/continue outside loop"
+  | Ast.Block body -> check_block env body
+
+and check_block env body =
+  push_scope env;
+  List.iter (check_stmt env) body;
+  pop_scope env
+
+let check_fundef env (f : Ast.fundef) =
+  env.current_ret <- f.Ast.fret;
+  env.loop_depth <- 0;
+  push_scope env;
+  List.iter
+    (fun (ty, name) ->
+      (match ty with
+      | Ast.Tint | Ast.Tfloat | Ast.Tarr Ast.Tint | Ast.Tarr Ast.Tfloat -> ()
+      | _ -> error f.Ast.floc "parameter %s has invalid type" name);
+      declare_local env f.Ast.floc name ty)
+    f.Ast.fparams;
+  List.iter (check_stmt env) f.Ast.fbody;
+  pop_scope env
+
+(** Type-check a whole program in place.  The program must define a
+    [main] function with no parameters.
+    @raise Type_error on any violation. *)
+let check (prog : Ast.program) =
+  let env =
+    {
+      globals = Hashtbl.create 64;
+      funcs = Hashtbl.create 64;
+      scopes = [];
+      current_ret = Ast.Tvoid;
+      loop_depth = 0;
+    }
+  in
+  List.iter
+    (fun g ->
+      let name, ty =
+        match g with
+        | Ast.Gscalar (ty, name, init) ->
+          if not (is_scalar ty) then
+            error Ast.no_loc "global scalar %s must be int or float" name;
+          (match init with
+          | Some e ->
+            let ety = check_expr env e in
+            if ety <> ty then
+              error e.Ast.eloc "initializer type mismatch for %s" name
+          | None -> ());
+          (name, ty)
+        | Ast.Garray (ty, name, size, init) ->
+          if not (is_scalar ty) then
+            error Ast.no_loc "array %s must hold int or float" name;
+          if size <= 0 then error Ast.no_loc "array %s has size %d" name size;
+          (match init with
+          | Some vals when List.length vals > size ->
+            error Ast.no_loc "too many initializers for %s" name
+          | _ -> ());
+          (name, Ast.Tarr ty)
+      in
+      if Hashtbl.mem env.globals name then
+        error Ast.no_loc "redeclaration of global %s" name;
+      Hashtbl.replace env.globals name ty)
+    prog.Ast.globals;
+  List.iter
+    (fun (f : Ast.fundef) ->
+      if Hashtbl.mem env.funcs f.Ast.fname || Ast.is_builtin f.Ast.fname then
+        error f.Ast.floc "redeclaration of function %s" f.Ast.fname;
+      Hashtbl.replace env.funcs f.Ast.fname
+        (List.map fst f.Ast.fparams, f.Ast.fret))
+    prog.Ast.funcs;
+  (match Hashtbl.find_opt env.funcs "main" with
+  | Some ([], _) -> ()
+  | Some _ -> error Ast.no_loc "main must take no parameters"
+  | None -> error Ast.no_loc "program has no main function");
+  List.iter (check_fundef env) prog.Ast.funcs
+
+(** [parse_and_check src] is the front-end entry point: lex, parse and
+    type-check [src]. *)
+let parse_and_check src =
+  let prog = Parser.parse_program src in
+  check prog;
+  prog

@@ -1,0 +1,14 @@
+(** Type checker for MiniC.  Deliberately rigid — no implicit int/float
+    conversion — because the IR keeps integer and float registers apart
+    and the dependence machinery relies on unambiguous operation
+    types. *)
+
+exception Type_error of string * Ast.loc
+
+(** Check and annotate the AST in place ([ety] fields).  Programs must
+    define a parameterless [main].
+    @raise Type_error on any violation. *)
+val check : Ast.program -> unit
+
+(** Front-end entry point: lex, parse and type-check. *)
+val parse_and_check : string -> Ast.program

@@ -1,0 +1,1 @@
+lib/tlsim/branch_pred.ml: Array

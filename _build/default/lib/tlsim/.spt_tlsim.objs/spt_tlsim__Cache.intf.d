@@ -1,0 +1,1 @@
+lib/tlsim/cache.mli:

@@ -1,0 +1,1 @@
+lib/tlsim/tls_machine.ml: Array Branch_pred Cache Eval Float Hashtbl Int Interp Ir List Loops Map Option Printf Set Spt_interp Spt_ir Sys

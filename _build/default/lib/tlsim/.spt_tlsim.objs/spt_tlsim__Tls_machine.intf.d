@@ -1,0 +1,1 @@
+lib/tlsim/tls_machine.mli: Cache Int Set Spt_ir

@@ -1,0 +1,39 @@
+(** Bimodal branch predictor with 2-bit saturating counters, one table
+    per core.  Misprediction penalty is 5 cycles (§8). *)
+
+type t = {
+  counters : int array;  (** 0..3; >=2 predicts taken *)
+  mutable predictions : int;
+  mutable mispredictions : int;
+}
+
+let table_size = 4096
+
+let create () =
+  { counters = Array.make table_size 1; predictions = 0; mispredictions = 0 }
+
+let mispredict_penalty = 5
+
+(* hash a (function, block) site into the table *)
+let index ~site = ((site * 2654435761) land max_int) mod table_size
+
+(** Record one dynamic branch outcome; returns the penalty in cycles
+    (0 on correct prediction). *)
+let access t ~site ~taken =
+  let i = index ~site in
+  let predicted_taken = t.counters.(i) >= 2 in
+  t.predictions <- t.predictions + 1;
+  let penalty =
+    if predicted_taken = taken then 0
+    else begin
+      t.mispredictions <- t.mispredictions + 1;
+      mispredict_penalty
+    end
+  in
+  t.counters.(i) <-
+    (if taken then min 3 (t.counters.(i) + 1) else max 0 (t.counters.(i) - 1));
+  penalty
+
+let misprediction_rate t =
+  if t.predictions = 0 then 0.0
+  else float_of_int t.mispredictions /. float_of_int t.predictions

@@ -1,0 +1,13 @@
+(** Bimodal branch predictor: 2-bit saturating counters, 5-cycle
+    misprediction penalty (§8). *)
+
+type t
+
+val create : unit -> t
+val mispredict_penalty : int
+
+(** Record one dynamic outcome for the branch site; returns the penalty
+    in cycles (0 on a correct prediction). *)
+val access : t -> site:int -> taken:bool -> int
+
+val misprediction_rate : t -> float

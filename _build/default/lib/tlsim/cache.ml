@@ -1,0 +1,119 @@
+(** Set-associative LRU cache hierarchy for the TLS machine.
+
+    Two in-order cores with private L1 data caches share the L2/L3
+    levels and memory, with Itanium2-like sizes and latencies (§8: "the
+    memory/cache hierarchy has the same configuration and latencies as
+    the Intel Itanium2 systems").  Addresses are byte addresses; the
+    simulator multiplies element addresses by 8. *)
+
+type level_config = {
+  size_bytes : int;
+  ways : int;
+  line_bytes : int;
+  hit_latency : int;
+}
+
+type config = {
+  l1 : level_config;
+  l2 : level_config;
+  l3 : level_config;
+  memory_latency : int;
+}
+
+let itanium2_config =
+  {
+    l1 = { size_bytes = 16 * 1024; ways = 4; line_bytes = 64; hit_latency = 1 };
+    l2 = { size_bytes = 256 * 1024; ways = 8; line_bytes = 128; hit_latency = 5 };
+    l3 = { size_bytes = 3 * 1024 * 1024; ways = 12; line_bytes = 128; hit_latency = 12 };
+    memory_latency = 150;
+  }
+
+(* One cache level: per-set arrays of tags with LRU stamps. *)
+type level = {
+  cfg : level_config;
+  sets : int;
+  tags : int array array;  (** [set][way]; -1 = invalid *)
+  stamps : int array array;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let make_level cfg =
+  let sets = max 1 (cfg.size_bytes / (cfg.ways * cfg.line_bytes)) in
+  {
+    cfg;
+    sets;
+    tags = Array.init sets (fun _ -> Array.make cfg.ways (-1));
+    stamps = Array.init sets (fun _ -> Array.make cfg.ways 0);
+    tick = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+(* true on hit; on miss the line is installed *)
+let access_level lvl addr =
+  let line = addr / lvl.cfg.line_bytes in
+  let set = line mod lvl.sets in
+  let tags = lvl.tags.(set) and stamps = lvl.stamps.(set) in
+  lvl.tick <- lvl.tick + 1;
+  let rec find w =
+    if w >= lvl.cfg.ways then None
+    else if tags.(w) = line then Some w
+    else find (w + 1)
+  in
+  match find 0 with
+  | Some w ->
+    stamps.(w) <- lvl.tick;
+    lvl.hits <- lvl.hits + 1;
+    true
+  | None ->
+    lvl.misses <- lvl.misses + 1;
+    (* evict LRU *)
+    let victim = ref 0 in
+    for w = 1 to lvl.cfg.ways - 1 do
+      if stamps.(w) < stamps.(!victim) then victim := w
+    done;
+    tags.(!victim) <- line;
+    stamps.(!victim) <- lvl.tick;
+    false
+
+type t = {
+  config : config;
+  l1s : level array;  (** one per core *)
+  l2 : level;
+  l3 : level;
+}
+
+let create ?(config = itanium2_config) ~cores () =
+  {
+    config;
+    l1s = Array.init cores (fun _ -> make_level config.l1);
+    l2 = make_level config.l2;
+    l3 = make_level config.l3;
+  }
+
+(** Latency in cycles of an access by [core] to byte address [addr].
+    Lower levels are filled on a miss (inclusive hierarchy). *)
+let access t ~core addr =
+  let l1 = t.l1s.(core) in
+  if access_level l1 addr then t.config.l1.hit_latency
+  else if access_level t.l2 addr then t.config.l2.hit_latency
+  else if access_level t.l3 addr then t.config.l3.hit_latency
+  else t.config.memory_latency
+
+type stats = { l1_hit_rate : float; l2_hit_rate : float; l3_hit_rate : float }
+
+let hit_rate lvl =
+  let total = lvl.hits + lvl.misses in
+  if total = 0 then 1.0 else float_of_int lvl.hits /. float_of_int total
+
+let stats t =
+  {
+    l1_hit_rate =
+      (let h = Array.fold_left (fun acc l -> acc + l.hits) 0 t.l1s in
+       let m = Array.fold_left (fun acc l -> acc + l.misses) 0 t.l1s in
+       if h + m = 0 then 1.0 else float_of_int h /. float_of_int (h + m));
+    l2_hit_rate = hit_rate t.l2;
+    l3_hit_rate = hit_rate t.l3;
+  }

@@ -1,0 +1,30 @@
+(** Set-associative LRU cache hierarchy: private L1s under shared
+    L2/L3, with Itanium2-like sizes and latencies (§8). *)
+
+type level_config = {
+  size_bytes : int;
+  ways : int;
+  line_bytes : int;
+  hit_latency : int;
+}
+
+type config = {
+  l1 : level_config;
+  l2 : level_config;
+  l3 : level_config;
+  memory_latency : int;
+}
+
+val itanium2_config : config
+
+type t
+
+val create : ?config:config -> cores:int -> unit -> t
+
+(** Latency in cycles of an access by [core] to a byte address; all
+    levels are filled on a miss. *)
+val access : t -> core:int -> int -> int
+
+type stats = { l1_hit_rate : float; l2_hit_rate : float; l3_hit_rate : float }
+
+val stats : t -> stats

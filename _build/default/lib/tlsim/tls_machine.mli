@@ -1,0 +1,66 @@
+(** The synthetic two-core TLS machine (§8 of the paper).
+
+    A trace-driven timing simulator: program semantics come from the
+    sequential interpreter (SPT instructions are sequential no-ops);
+    this machine consumes the dynamic event stream and computes cycles
+    under the paper's execution model — a main core plus one
+    speculative core, in-order issue, a shared Itanium2-like cache
+    hierarchy, a bimodal branch predictor, 6-cycle fork and 5-cycle
+    commit overheads, value-based register validation, address/time-
+    based memory validation, and serial re-execution of the
+    misspeculated slice. *)
+
+module Iset : module type of Set.Make (Int)
+
+type config = {
+  fork_overhead : float;  (** cycles to spawn a speculative thread (paper: 6) *)
+  commit_overhead : float;  (** cycles to commit its results (paper: 5) *)
+  issue_width : float;  (** in-order issue width (2) *)
+  cache : Cache.config;
+  max_eligible_body : int;
+      (** loop-size bound for the "maximum coverage" metric (paper: 1000) *)
+  min_eligible_body : int;
+}
+
+val default_config : config
+
+(** A speculatively parallelized loop, as registered by the driver
+    after the SPT transformation. *)
+type spt_loop = { sl_id : int; sl_fname : string; sl_header : int; sl_body : Iset.t }
+
+(** Per-SPT-loop counters collected during simulation. *)
+type loop_metrics = {
+  mutable lm_instances : int;  (** times the loop was entered *)
+  mutable lm_iterations : int;
+  mutable lm_pairs : int;  (** (main, speculative) iteration pairs *)
+  mutable lm_violated_pairs : int;
+  mutable lm_reexec_units : float;  (** re-executed computation, op units *)
+  mutable lm_spec_units : float;  (** speculated computation, op units *)
+  mutable lm_spt_cycles : float;  (** wall cycles inside the loop *)
+  mutable lm_serial_est : float;  (** serial-equivalent work cycles *)
+  mutable lm_forks : int;
+  mutable lm_reg_violations : int;
+  mutable lm_mem_violations : int;
+}
+
+type result = {
+  cycles : float;
+  instrs : int;
+  ipc : float;
+  cache_stats : Cache.stats;
+  branch_mispredict_rate : float;
+  loop_metrics : (int * loop_metrics) list;  (** per SPT loop id *)
+  spt_cycles_total : float;  (** cycles spent inside SPT loop instances *)
+  eligible_loop_cycles : float;
+      (** cycles attributable to loops within the eligible size bounds
+          (Fig. 16's maximum coverage), measured on a base run *)
+  static_loop_cycles : ((string * int) * float) list;
+      (** wall cycles per static loop (function, header) *)
+  output : string;  (** the program's printed output, for equivalence checks *)
+}
+
+(** Simulate [program].  [spt_loops] lists the speculatively
+    parallelized loops of the (transformed) program; leave it empty for
+    the non-SPT baseline timing (Table 1). *)
+val run :
+  ?config:config -> ?spt_loops:spt_loop list -> ?max_steps:int -> Spt_ir.Ir.program -> result

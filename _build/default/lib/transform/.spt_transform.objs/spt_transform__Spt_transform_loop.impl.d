@@ -1,0 +1,1 @@
+lib/transform/spt_transform_loop.ml: Cfg Depgraph Hashtbl Int Ir List Loops Option Set Spt_depgraph Spt_ir

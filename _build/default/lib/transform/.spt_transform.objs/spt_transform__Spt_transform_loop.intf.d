@@ -1,0 +1,1 @@
+lib/transform/spt_transform_loop.mli: Depgraph Int Ir Loops Set Spt_depgraph Spt_ir

@@ -1,0 +1,1 @@
+lib/transform/svp.ml: Cfg Hashtbl Int Ir List Loops Set Spt_ir

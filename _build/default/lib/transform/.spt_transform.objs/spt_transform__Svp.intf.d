@@ -1,0 +1,1 @@
+lib/transform/svp.mli: Ir Loops Spt_ir

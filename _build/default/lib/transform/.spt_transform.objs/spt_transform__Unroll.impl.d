@@ -1,0 +1,1 @@
+lib/transform/unroll.ml: Cfg Hashtbl Int Ir List Loops Map Spt_ir

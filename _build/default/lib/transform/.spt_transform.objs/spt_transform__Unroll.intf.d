@@ -1,0 +1,1 @@
+lib/transform/unroll.mli: Ir Loops Spt_ir

@@ -1,0 +1,88 @@
+(** SPT loop selection (§3.2, §6.1).
+
+    Pass 1's *initial selection* applies the cheap structural criteria
+    (body size bounds, profiled iteration count) to every loop before
+    the expensive partition search runs; pass 2's *final selection*
+    applies the cost and pre-fork-size criteria to the optimal
+    partition and resolves nesting (at most one loop per nest is
+    speculatively parallelized, preferring the better candidate).
+
+    Rejection reasons are preserved — they are the Fig. 15 breakdown. *)
+
+type thresholds = {
+  min_body_size : int;
+      (** §6.1 criterion 3a: amortize the fork overhead *)
+  max_body_size : int;
+      (** §6.1 criterion 3b: hardware buffering limit (paper: 1000) *)
+  min_trip_count : float;  (** §6.1 criterion 4 (paper: 2) *)
+  cost_fraction : float;
+      (** §6.1 criterion 1: cost must be below this fraction of the
+          loop body size *)
+  prefork_fraction : float;  (** §6.1 criterion 2 *)
+}
+
+let default_thresholds =
+  {
+    min_body_size = 60;
+    max_body_size = 1000;
+    min_trip_count = 2.0;
+    cost_fraction = 0.12;
+    prefork_fraction = 0.34;
+  }
+
+type reject_reason =
+  | Body_too_small
+  | Body_too_large
+  | Trip_count_too_small
+  | Too_many_vcs of int
+  | Cost_too_high of float
+  | Prefork_too_large of int
+  | Not_transformable of string
+  | Nested_conflict
+      (** a better loop in the same nest was selected instead *)
+
+let string_of_reason = function
+  | Body_too_small -> "body too small"
+  | Body_too_large -> "body too large"
+  | Trip_count_too_small -> "iteration count too small"
+  | Too_many_vcs n -> Printf.sprintf "too many violation candidates (%d)" n
+  | Cost_too_high c -> Printf.sprintf "misspeculation cost too high (%.1f)" c
+  | Prefork_too_large n -> Printf.sprintf "pre-fork region too large (%d)" n
+  | Not_transformable s -> "not transformable: " ^ s
+  | Nested_conflict -> "conflicting loop in the same nest selected"
+
+(** Bucket used by the Fig. 15 breakdown. *)
+let bucket_of_reason = function
+  | Body_too_small -> `Small_body
+  | Body_too_large -> `Large_body
+  | Trip_count_too_small -> `Small_trip
+  | Too_many_vcs _ -> `Many_vcs
+  | Cost_too_high _ | Prefork_too_large _ -> `High_cost
+  | Not_transformable _ -> `Untransformable
+  | Nested_conflict -> `Nested
+
+(** Initial (pass 1) structural screening. *)
+let initial_check th ~body_size ~trip_count =
+  if body_size < th.min_body_size then Error Body_too_small
+  else if body_size > th.max_body_size then Error Body_too_large
+  else if trip_count < th.min_trip_count then Error Trip_count_too_small
+  else Ok ()
+
+(** Final (pass 2) criteria on the optimal partition. *)
+let final_check th ~body_size ~cost ~prefork_size =
+  if cost > th.cost_fraction *. float_of_int body_size then
+    Error (Cost_too_high cost)
+  else if
+    float_of_int prefork_size > th.prefork_fraction *. float_of_int body_size
+  then Error (Prefork_too_large prefork_size)
+  else Ok ()
+
+(** Expected per-loop-instance benefit estimate used to rank loops in
+    the same nest: speculative overlap minus misspeculation and
+    sequential pre-fork losses, per iteration, scaled by coverage
+    weight.  Crude but monotone in the quantities that matter. *)
+let benefit ~body_size ~cost ~prefork_size ~trip_count ~weight =
+  let body = float_of_int body_size in
+  let overlap = (body -. float_of_int prefork_size) /. 2.0 in
+  let per_iter = overlap -. cost in
+  per_iter *. Float.min trip_count 1000.0 *. weight /. Float.max body 1.0

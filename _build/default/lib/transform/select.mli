@@ -1,0 +1,54 @@
+(** SPT loop selection criteria (§3.2 pass 1 screening, §6.1 final
+    criteria) and the rejection taxonomy behind Fig. 15. *)
+
+type thresholds = {
+  min_body_size : int;  (** §6.1-3a: amortize the fork overhead *)
+  max_body_size : int;  (** §6.1-3b: hardware buffering (paper: 1000) *)
+  min_trip_count : float;  (** §6.1-4 (paper: 2) *)
+  cost_fraction : float;  (** §6.1-1: cost below this fraction of body *)
+  prefork_fraction : float;  (** §6.1-2 *)
+}
+
+val default_thresholds : thresholds
+
+type reject_reason =
+  | Body_too_small
+  | Body_too_large
+  | Trip_count_too_small
+  | Too_many_vcs of int
+  | Cost_too_high of float
+  | Prefork_too_large of int
+  | Not_transformable of string
+  | Nested_conflict
+      (** a better loop in the same nest was transformed instead *)
+
+val string_of_reason : reject_reason -> string
+
+(** Bucketing used by the Fig. 15 breakdown. *)
+val bucket_of_reason :
+  reject_reason ->
+  [ `Small_body | `Large_body | `Small_trip | `Many_vcs | `High_cost
+  | `Untransformable | `Nested ]
+
+(** Cheap structural screening applied to every loop in pass 1. *)
+val initial_check :
+  thresholds -> body_size:int -> trip_count:float -> (unit, reject_reason) result
+
+(** Final criteria on a loop's optimal partition (pass 2). *)
+val final_check :
+  thresholds ->
+  body_size:int ->
+  cost:float ->
+  prefork_size:int ->
+  (unit, reject_reason) result
+
+(** Expected-benefit estimate used to rank loops competing in one nest:
+    speculative overlap minus misspeculation and pre-fork serialization,
+    weighted by trip count and profile weight. *)
+val benefit :
+  body_size:int ->
+  cost:float ->
+  prefork_size:int ->
+  trip_count:float ->
+  weight:float ->
+  float

@@ -1,0 +1,47 @@
+(** The SPT loop transformation (§6.2 of the paper).
+
+    Given a loop (in SSA form) and a pre-fork statement set from
+    {!Spt_partition.Partition}, opens a pre-fork region at the top of
+    the iteration (after the exit test for while/for loops, Fig. 2),
+    moves the statements there — replicating branch structure for
+    conditional statements (Fig. 12) and exit-test guard chains for
+    unrolled bodies — and inserts [SPT_FORK] / [SPT_KILL].
+
+    After this pass the function is no longer strict SSA; run
+    {!Spt_ir.Ssa.destruct} (passing {!info}'s [coalesce] pairs through
+    [phi_primed]) before anything that assumes SSA. *)
+
+open Spt_ir
+open Spt_depgraph
+module Iset : module type of Set.Make (Int)
+
+type reject =
+  | Inner_loop_stmt  (** the pre-fork set reaches into a nested loop *)
+  | Unsupported_shape of string
+
+val string_of_reject : reject -> string
+
+type info = {
+  loop_id : int;
+  header : int;  (** unchanged header bid *)
+  fork_block : int;  (** block holding the SPT_FORK *)
+  moved : Iset.t;  (** iids moved into the pre-fork region *)
+  effective_prefork : Iset.t;
+      (** moved plus header statements — everything before the fork *)
+  coalesce : (int * Ir.var) list;
+      (** (header-phi vid, latch-operand var) pairs whose definition
+          moved pre-fork; SSA destruction must coalesce them so the
+          carried register is written before the fork (the paper's
+          [temp_i]) *)
+}
+
+(** Blocks of loops strictly nested inside [loop] — statements there
+    cannot move (exposed for the driver's search filter). *)
+val inner_loop_blocks : Ir.func -> Loops.loop -> Loops.Iset.t
+
+(** Apply the transformation in place.  [graph] must be the dependence
+    graph the partition was computed on.  All rejection checks run
+    before any mutation, so a failed [apply] leaves the function
+    untouched and may be retried with a different partition. *)
+val apply :
+  Ir.func -> Depgraph.t -> prefork:Iset.t -> loop_id:int -> (info, reject) result

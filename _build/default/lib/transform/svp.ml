@@ -1,0 +1,166 @@
+(** Software value prediction (§7.2, Fig. 13).
+
+    For a loop-carried scalar whose successive values follow a stride
+    (profiled by {!Spt_profile.Value_profile}), the rewrite
+
+    - inserts a prediction [xp := x1 + stride] at the top of the body,
+      which the driver then forces into the pre-fork region;
+    - splits the back edge and inserts the check-and-recover diamond:
+      [if (carried != xp) carried := carried] — concretely a compare, a
+      recovery arm, and a join phi [xsel = phi(ok: xp, rec: carried)];
+    - retargets the header phi's back-edge operand to [xsel].
+
+    At SSA-destruction time both the header phi and the join phi are
+    coalesced onto [xp] (via [Ssa.destruct ~phi_primed]); the carried
+    register is then *written before the fork* with the predicted
+    value, so the speculative thread reads a usually-correct value from
+    its forked context.  On a correct prediction the post-fork writes
+    to that register are value-identical copies, which the TLS
+    machine's value-based register validation does not count as
+    violations; on a misprediction the recovery arm writes the true
+    value and a genuine violation (plus its re-execution) occurs —
+    exactly the paper's "software check and recovery code to detect and
+    correct potential value mis-prediction". *)
+
+open Spt_ir
+module Iset = Set.Make (Int)
+
+(** One applied prediction. *)
+type applied = {
+  target_phi : int;  (** iid of the header phi being predicted *)
+  predict_iid : int;  (** iid of the prediction instruction [xp := x1+c] *)
+  sel_phi_iid : int;  (** iid of the check-join phi *)
+  sel_phi_vid : int;  (** vid defined by the check-join phi *)
+  header_phi_vid : int;  (** vid defined by the header phi *)
+  primed : Ir.var;  (** xp — coalescing target for both phis *)
+  recover_block : int;  (** bid of the recovery arm (profiled for the
+                            misprediction rate) *)
+  stride : int64;
+}
+
+(** Candidate carried variables of [loop]: header phis of integer type
+    whose back-edge operand is defined inside the loop.  Returns
+    [(phi iid, defining iid of the carried value)] pairs — the defining
+    instructions are what the value profiler should watch. *)
+let candidates (f : Ir.func) (loop : Loops.loop) =
+  let latch_set = Iset.of_list loop.Loops.latches in
+  let def_site = Hashtbl.create 64 in
+  Loops.Iset.iter
+    (fun bid ->
+      List.iter
+        (fun (i : Ir.instr) ->
+          match Ir.def_of_kind i.Ir.kind with
+          | Some d -> Hashtbl.replace def_site d.Ir.vid i.Ir.iid
+          | None -> ())
+        (Ir.block f bid).Ir.instrs)
+    loop.Loops.body;
+  List.filter_map
+    (fun (i : Ir.instr) ->
+      match i.Ir.kind with
+      | Ir.Phi (d, ins) when d.Ir.vty = Ir.I64 -> (
+        let latch_def =
+          List.find_map
+            (fun (p, o) ->
+              match o with
+              | Ir.Reg v when Iset.mem p latch_set ->
+                Hashtbl.find_opt def_site v.Ir.vid
+              | _ -> None)
+            ins
+        in
+        match latch_def with
+        | Some def_iid -> Some (i.Ir.iid, def_iid)
+        | None -> None)
+      | _ -> None)
+    (Ir.block f loop.Loops.header).Ir.instrs
+
+(** Apply the prediction rewrite to one header phi.  The function must
+    be in SSA form; the loop must have a single latch.  Returns [None]
+    when the shape does not allow the rewrite. *)
+let apply (f : Ir.func) (loop : Loops.loop) ~(phi_iid : int) ~(stride : int64) :
+    applied option =
+  match loop.Loops.latches with
+  | [ latch ] -> (
+    let header = Ir.block f loop.Loops.header in
+    let phi_instr =
+      List.find_opt (fun (i : Ir.instr) -> i.Ir.iid = phi_iid) header.Ir.instrs
+    in
+    match phi_instr with
+    | Some ({ Ir.kind = Ir.Phi (d, ins); _ } as phi) when d.Ir.vty = Ir.I64 -> (
+      match List.assoc_opt latch ins with
+      | Some (Ir.Reg carried) ->
+        (* prediction at the top of the body: right after the header's
+           in-loop continuation begins.  We simply prepend it to the
+           header's (unique) in-loop successor when the header holds the
+           exit test, or append after the phis otherwise; either spot is
+           executed exactly once per iteration and dominated by the phi. *)
+        let xp = Ir.fresh_var f ~name:(d.Ir.vname ^ "_pred") ~ty:Ir.I64 in
+        let predict = Ir.mk_instr f (Ir.Binop (xp, Ir.Add, Ir.Reg d, Ir.Imm_i stride)) in
+        let in_loop_succs =
+          List.filter
+            (fun s -> Loops.Iset.mem s loop.Loops.body && s <> loop.Loops.header)
+            (Ir.term_succs header.Ir.term)
+        in
+        (match in_loop_succs with
+        | [ body_entry ] ->
+          (* insert on the header -> body_entry edge so conditional
+             headers stay intact *)
+          let mid = Cfg.split_edge f ~src:loop.Loops.header ~dst:body_entry in
+          Ir.append_instr mid predict
+        | _ ->
+          (* single-block or unconditional header: after the phis *)
+          let phis, rest =
+            List.partition (fun (i : Ir.instr) -> Ir.is_phi i.Ir.kind) header.Ir.instrs
+          in
+          header.Ir.instrs <- phis @ (predict :: rest));
+        (* check-and-recover diamond on the back edge *)
+        let chk = Cfg.split_edge f ~src:latch ~dst:loop.Loops.header in
+        let ck = Ir.fresh_var f ~name:(d.Ir.vname ^ "_mp") ~ty:Ir.I64 in
+        Ir.append_instr chk (Ir.mk_instr f (Ir.Binop (ck, Ir.Ne, Ir.Reg carried, Ir.Reg xp)));
+        let rec_blk = Ir.add_block f in
+        let join = Ir.add_block f in
+        rec_blk.Ir.term <- Ir.Jump join.Ir.bid;
+        join.Ir.term <- Ir.Jump loop.Loops.header;
+        chk.Ir.term <- Ir.Br (Ir.Reg ck, rec_blk.Ir.bid, join.Ir.bid);
+        let xsel = Ir.fresh_var f ~name:(d.Ir.vname ^ "_sel") ~ty:Ir.I64 in
+        let sel_phi =
+          Ir.mk_instr f
+            (Ir.Phi (xsel, [ (chk.Ir.bid, Ir.Reg xp); (rec_blk.Ir.bid, Ir.Reg carried) ]))
+        in
+        Ir.prepend_instr join sel_phi;
+        (* every header phi's back-edge operand now arrives via the join *)
+        Cfg.retarget_phis header ~old_pred:chk.Ir.bid ~new_pred:join.Ir.bid;
+        (* and the predicted phi's carried value becomes the selection *)
+        (match phi.Ir.kind with
+        | Ir.Phi (d', ins') ->
+          phi.Ir.kind <-
+            Ir.Phi
+              ( d',
+                List.map
+                  (fun (p, o) ->
+                    if p = join.Ir.bid then (p, Ir.Reg xsel) else (p, o))
+                  ins' )
+        | _ -> assert false);
+        ignore ins;
+        Some
+          {
+            target_phi = phi_iid;
+            predict_iid = predict.Ir.iid;
+            sel_phi_iid = sel_phi.Ir.iid;
+            sel_phi_vid = xsel.Ir.vid;
+            header_phi_vid = d.Ir.vid;
+            primed = xp;
+            recover_block = rec_blk.Ir.bid;
+            stride;
+          }
+      | _ -> None)
+    | _ -> None)
+  | _ -> None
+
+(** The [phi_primed] function to pass to {!Spt_ir.Ssa.destruct} for a
+    function whose loops carry the given applied predictions. *)
+let phi_primed (applied : applied list) vid =
+  List.find_map
+    (fun a ->
+      if vid = a.sel_phi_vid || vid = a.header_phi_vid then Some a.primed
+      else None)
+    applied

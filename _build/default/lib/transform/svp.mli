@@ -1,0 +1,41 @@
+(** Software value prediction (§7.2, Fig. 13).
+
+    For a loop-carried scalar with a profiled stride, {!apply} inserts
+    a prediction at the top of the body and a check-and-recover diamond
+    on the back edge, retargeting the header phi through the selection.
+    The driver then (1) forces the prediction instruction into the
+    pre-fork region and (2) coalesces both phis onto the prediction
+    register at SSA destruction ({!phi_primed}), so the carried
+    register is written *before* the fork with the predicted value; on
+    a correct prediction the post-fork writes are value-identical
+    copies, which the TLS machine's value-based register validation
+    does not count as violations. *)
+
+open Spt_ir
+
+type applied = {
+  target_phi : int;  (** iid of the predicted header phi *)
+  predict_iid : int;  (** iid of [xp := x + stride] — force pre-fork *)
+  sel_phi_iid : int;  (** iid of the check-join phi (the new violation
+                          candidate; override its violation probability
+                          with the misprediction rate) *)
+  sel_phi_vid : int;
+  header_phi_vid : int;
+  primed : Ir.var;  (** the prediction register both phis coalesce onto *)
+  recover_block : int;  (** profiled for the misprediction rate *)
+  stride : int64;
+}
+
+(** Carried integer scalars of [loop]: [(header phi iid, defining iid of
+    the carried value)] pairs — the defining instructions are the value
+    profiler's targets. *)
+val candidates : Ir.func -> Loops.loop -> (int * int) list
+
+(** Rewrite one carried phi; [None] when the shape does not allow it
+    (multiple latches, non-integer, …).  The function must be in SSA
+    form. *)
+val apply : Ir.func -> Loops.loop -> phi_iid:int -> stride:int64 -> applied option
+
+(** The [phi_primed] function for {!Spt_ir.Ssa.destruct} covering all
+    predictions applied to one function. *)
+val phi_primed : applied list -> int -> Ir.var option

@@ -1,0 +1,31 @@
+(** Loop unrolling (§7.1).
+
+    Runs on the pre-SSA IR (as ORC's LNO runs before WOPT): the whole
+    loop — exit tests included — is cloned and chained through the back
+    edge, which is legal for any shape and iteration count.  Policy
+    mirrors the paper: only [`For]-origin loops by default (ORC "can
+    only unroll DO loops"); while/do loops with [unroll_while], the
+    `anticipated best` configuration's headline technique. *)
+
+open Spt_ir
+
+type policy = {
+  min_body_size : int;  (** unroll until the body reaches this size *)
+  max_factor : int;
+  unroll_while : bool;
+}
+
+val default_policy : policy
+
+(** Static body size in elementary operations. *)
+val loop_body_size : Ir.func -> Loops.loop -> int
+
+(** Unroll [l] by [factor >= 2].  The function must not be in SSA form.
+    @raise Invalid_argument on SSA input or factor < 2. *)
+val unroll_loop : Ir.func -> Loops.loop -> factor:int -> unit
+
+(** Factor chosen by [policy] for this loop; 1 = leave alone. *)
+val factor_for : Ir.func -> Loops.loop -> policy -> int
+
+(** Unroll every eligible innermost loop; returns how many. *)
+val run : Ir.func -> policy -> int

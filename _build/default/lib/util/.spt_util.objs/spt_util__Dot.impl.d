@@ -1,0 +1,1 @@
+lib/util/dot.ml: Buffer Fun List Printf String

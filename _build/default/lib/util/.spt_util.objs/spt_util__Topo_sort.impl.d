@@ -1,0 +1,1 @@
+lib/util/topo_sort.ml: Array Hashtbl Int List Set

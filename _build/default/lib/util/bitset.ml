@@ -1,0 +1,69 @@
+(** Fixed-capacity bitsets over small integer universes.
+
+    The branch-and-bound partition search (§5.2) represents candidate
+    pre-fork regions as subsets of the violation-candidate universe
+    (at most 30 elements, the paper's skip threshold), so a single-word
+    or small-array bitset keeps the search allocation-free. *)
+
+type t = { capacity : int; words : int array }
+
+let word_bits = Sys.int_size
+
+let create capacity =
+  if capacity < 0 then invalid_arg "Bitset.create: negative capacity";
+  let nwords = max 1 ((capacity + word_bits - 1) / word_bits) in
+  { capacity; words = Array.make nwords 0 }
+
+let check t i =
+  if i < 0 || i >= t.capacity then invalid_arg "Bitset: index out of range"
+
+let copy t = { capacity = t.capacity; words = Array.copy t.words }
+
+let add t i =
+  check t i;
+  let w = i / word_bits and b = i mod word_bits in
+  t.words.(w) <- t.words.(w) lor (1 lsl b)
+
+let remove t i =
+  check t i;
+  let w = i / word_bits and b = i mod word_bits in
+  t.words.(w) <- t.words.(w) land lnot (1 lsl b)
+
+let mem t i =
+  check t i;
+  let w = i / word_bits and b = i mod word_bits in
+  t.words.(w) land (1 lsl b) <> 0
+
+let cardinal t =
+  let count_word w =
+    let rec go w acc = if w = 0 then acc else go (w lsr 1) (acc + (w land 1)) in
+    go w 0
+  in
+  Array.fold_left (fun acc w -> acc + count_word w) 0 t.words
+
+let capacity t = t.capacity
+
+let iter f t =
+  for i = 0 to t.capacity - 1 do
+    if mem t i then f i
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let elements t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+let subset a b =
+  if a.capacity <> b.capacity then invalid_arg "Bitset.subset: capacity mismatch";
+  Array.for_all2 (fun wa wb -> wa land lnot wb = 0) a.words b.words
+
+let equal a b = a.capacity = b.capacity && a.words = b.words
+
+let of_list capacity xs =
+  let t = create capacity in
+  List.iter (add t) xs;
+  t

@@ -1,0 +1,42 @@
+(** Mutable fixed-capacity bitsets over [0 .. capacity-1], used by the
+    partition search to represent candidate pre-fork regions. *)
+
+type t
+
+(** [create n] is the empty set over universe [0..n-1].
+    @raise Invalid_argument if [n < 0]. *)
+val create : int -> t
+
+(** Deep copy. *)
+val copy : t -> t
+
+(** Indexed operations raise [Invalid_argument] outside [0..capacity-1]. *)
+val add : t -> int -> unit
+
+val remove : t -> int -> unit
+val mem : t -> int -> bool
+
+(** Number of members. *)
+val cardinal : t -> int
+
+(** Universe size given at creation. *)
+val capacity : t -> int
+
+(** Iterate members in increasing order. *)
+val iter : (int -> unit) -> t -> unit
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+(** Members in increasing order. *)
+val elements : t -> int list
+
+val is_empty : t -> bool
+
+(** [subset a b] is true iff every member of [a] is in [b].
+    @raise Invalid_argument on capacity mismatch. *)
+val subset : t -> t -> bool
+
+val equal : t -> t -> bool
+
+(** [of_list n xs] is the set over [0..n-1] containing [xs]. *)
+val of_list : int -> int list -> t

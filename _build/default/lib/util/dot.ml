@@ -1,0 +1,53 @@
+(** Graphviz DOT rendering for the graphs built by the framework (CFGs,
+    dependence graphs, cost graphs, VC-dep graphs).  Purely a debugging
+    and documentation aid; nothing in the pipeline depends on it. *)
+
+type node = { id : int; label : string; shape : string }
+type edge = { src : int; dst : int; elabel : string; style : string }
+
+type t = { name : string; mutable nodes : node list; mutable edges : edge list }
+
+let create name = { name; nodes = []; edges = [] }
+
+let add_node ?(shape = "box") g ~id ~label =
+  g.nodes <- { id; label; shape } :: g.nodes
+
+let add_edge ?(label = "") ?(style = "solid") g ~src ~dst =
+  g.edges <- { src; dst; elabel = label; style } :: g.edges
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n" g.name);
+  Buffer.add_string buf "  node [fontname=\"monospace\"];\n";
+  List.iter
+    (fun n ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\", shape=%s];\n" n.id
+           (escape n.label) n.shape))
+    (List.rev g.nodes);
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d -> n%d [label=\"%s\", style=%s];\n" e.src e.dst
+           (escape e.elabel) e.style))
+    (List.rev g.edges);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let to_file g path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (render g))

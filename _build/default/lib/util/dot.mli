@@ -1,0 +1,22 @@
+(** Graphviz DOT rendering for framework graphs (debug/doc aid). *)
+
+type t
+
+(** [create name] is an empty digraph called [name]. *)
+val create : string -> t
+
+(** [add_node ?shape g ~id ~label] adds node [id]; default shape
+    ["box"].  Adding the same id twice renders two nodes — callers keep
+    ids unique. *)
+val add_node : ?shape:string -> t -> id:int -> label:string -> unit
+
+(** [add_edge ?label ?style g ~src ~dst] adds a directed edge; default
+    style ["solid"] (the dependence-graph printers use ["dashed"] for
+    cross-iteration edges, matching the paper's figures). *)
+val add_edge : ?label:string -> ?style:string -> t -> src:int -> dst:int -> unit
+
+(** Render to DOT syntax. *)
+val render : t -> string
+
+(** Write the rendered graph to a file. *)
+val to_file : t -> string -> unit

@@ -1,0 +1,19 @@
+(** Monotonic integer id generators.
+
+    Every graph-like structure in the framework (CFG nodes, IR
+    instructions, dependence edges, …) is keyed by a small integer id.
+    A generator hands out fresh ids starting from 0 and can be reset,
+    which the test-suite uses to obtain reproducible ids. *)
+
+type t = { mutable next : int }
+
+let create () = { next = 0 }
+
+let fresh t =
+  let id = t.next in
+  t.next <- id + 1;
+  id
+
+let peek t = t.next
+
+let reset t = t.next <- 0

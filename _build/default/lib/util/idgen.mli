@@ -1,0 +1,17 @@
+(** Monotonic integer id generators used to key graph nodes and IR
+    instructions throughout the framework. *)
+
+type t
+
+(** [create ()] is a fresh generator whose first id is [0]. *)
+val create : unit -> t
+
+(** [fresh t] returns the next unused id and advances the generator. *)
+val fresh : t -> int
+
+(** [peek t] is the id that the next [fresh] call would return. *)
+val peek : t -> int
+
+(** [reset t] restarts the generator at [0]; used by tests for
+    reproducible ids. *)
+val reset : t -> unit

@@ -1,0 +1,66 @@
+(** Small descriptive-statistics helpers used by the reporting layer
+    and the benchmark harness (averages, geometric means for speedups,
+    Pearson correlation for the Fig. 19 scatter). *)
+
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let geomean = function
+  | [] -> 0.0
+  | xs ->
+    let n = float_of_int (List.length xs) in
+    let log_sum =
+      List.fold_left
+        (fun acc x ->
+          if x <= 0.0 then invalid_arg "Stats.geomean: non-positive value"
+          else acc +. log x)
+        0.0 xs
+    in
+    exp (log_sum /. n)
+
+let variance xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let m = mean xs in
+    let n = float_of_int (List.length xs) in
+    List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs /. n
+
+let stddev xs = sqrt (variance xs)
+
+let pearson xs ys =
+  if List.length xs <> List.length ys then
+    invalid_arg "Stats.pearson: length mismatch";
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let mx = mean xs and my = mean ys in
+    let num, dx2, dy2 =
+      List.fold_left2
+        (fun (num, dx2, dy2) x y ->
+          let dx = x -. mx and dy = y -. my in
+          (num +. (dx *. dy), dx2 +. (dx *. dx), dy2 +. (dy *. dy)))
+        (0.0, 0.0, 0.0) xs ys
+    in
+    if dx2 = 0.0 || dy2 = 0.0 then 0.0 else num /. sqrt (dx2 *. dy2)
+
+let percentile p xs =
+  match List.sort compare xs with
+  | [] -> 0.0
+  | sorted ->
+    let n = List.length sorted in
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = min (n - 1) (lo + 1) in
+    let frac = rank -. float_of_int lo in
+    let nth i = List.nth sorted i in
+    (nth lo *. (1.0 -. frac)) +. (nth hi *. frac)
+
+let minimum = function
+  | [] -> invalid_arg "Stats.minimum: empty"
+  | x :: xs -> List.fold_left min x xs
+
+let maximum = function
+  | [] -> invalid_arg "Stats.maximum: empty"
+  | x :: xs -> List.fold_left max x xs

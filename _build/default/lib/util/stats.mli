@@ -1,0 +1,29 @@
+(** Descriptive statistics for the reporting and benchmarking layers. *)
+
+(** Arithmetic mean; [0.] on the empty list. *)
+val mean : float list -> float
+
+(** Geometric mean; [0.] on the empty list.
+    @raise Invalid_argument on non-positive values. *)
+val geomean : float list -> float
+
+(** Population variance; [0.] on lists shorter than 2. *)
+val variance : float list -> float
+
+(** Population standard deviation. *)
+val stddev : float list -> float
+
+(** Pearson correlation coefficient of two equal-length series;
+    [0.] when either series is constant or too short.
+    @raise Invalid_argument on length mismatch. *)
+val pearson : float list -> float list -> float
+
+(** [percentile p xs] is the linear-interpolated [p]-th percentile
+    (0–100) of [xs]; [0.] on the empty list. *)
+val percentile : float -> float list -> float
+
+(** @raise Invalid_argument on the empty list. *)
+val minimum : float list -> float
+
+(** @raise Invalid_argument on the empty list. *)
+val maximum : float list -> float

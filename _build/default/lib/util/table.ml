@@ -1,0 +1,63 @@
+(** Plain-text table rendering for experiment reports.
+
+    The benchmark harness prints every reproduced table/figure as an
+    aligned ASCII table so `bench_output.txt` is directly comparable to
+    the paper's tables. *)
+
+type align = Left | Right
+
+type t = {
+  headers : string list;
+  aligns : align list;
+  mutable rows : string list list; (* reversed *)
+}
+
+let create ?aligns headers =
+  let aligns =
+    match aligns with
+    | Some a ->
+      if List.length a <> List.length headers then
+        invalid_arg "Table.create: aligns/headers length mismatch";
+      a
+    | None -> List.map (fun _ -> Right) headers
+  in
+  { headers; aligns; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.headers then
+    invalid_arg "Table.add_row: wrong arity";
+  t.rows <- row :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.headers :: rows in
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)))
+    all;
+  let buf = Buffer.create 256 in
+  let render_row row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad (List.nth t.aligns i) widths.(i) cell))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  render_row t.headers;
+  Buffer.add_string buf
+    (String.concat "  "
+       (Array.to_list (Array.map (fun w -> String.make w '-') widths)));
+  Buffer.add_char buf '\n';
+  List.iter render_row rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)

@@ -1,0 +1,16 @@
+(** Aligned ASCII tables for experiment reports. *)
+
+type align = Left | Right
+
+type t
+
+(** [create ?aligns headers] is an empty table; default alignment is
+    [Right] for every column.
+    @raise Invalid_argument if [aligns] has the wrong arity. *)
+val create : ?aligns:align list -> string list -> t
+
+(** @raise Invalid_argument if the row arity differs from the header. *)
+val add_row : t -> string list -> unit
+
+val render : t -> string
+val print : t -> unit

@@ -1,0 +1,64 @@
+(** Topological sorting of integer-keyed directed graphs.
+
+    The cost model (§4.2.3 of the paper) and the VC-dependence graph
+    (§5.1) both require a topological order before probabilities are
+    propagated or the partition search starts.  Graphs are given as an
+    adjacency function over an explicit node list so that callers never
+    need to copy their structures. *)
+
+exception Cycle of int list
+
+(* Kahn's algorithm over an explicit node universe.  We keep the
+   resulting order stable with respect to the input node order: among
+   ready nodes the one earliest in [nodes] is emitted first, which makes
+   topological numbers deterministic across runs. *)
+let sort ~nodes ~succs =
+  let n = List.length nodes in
+  let index = Hashtbl.create (2 * n) in
+  List.iteri (fun i v -> Hashtbl.replace index v i) nodes;
+  let indeg = Array.make n 0 in
+  List.iter
+    (fun v ->
+      List.iter
+        (fun w ->
+          match Hashtbl.find_opt index w with
+          | Some j -> indeg.(j) <- indeg.(j) + 1
+          | None -> invalid_arg "Topo_sort.sort: edge to unknown node")
+        (succs v))
+    nodes;
+  let module Iset = Set.Make (Int) in
+  let ready = ref Iset.empty in
+  List.iteri (fun i _ -> if indeg.(i) = 0 then ready := Iset.add i !ready) nodes;
+  let arr = Array.of_list nodes in
+  let out = ref [] in
+  let emitted = ref 0 in
+  while not (Iset.is_empty !ready) do
+    let i = Iset.min_elt !ready in
+    ready := Iset.remove i !ready;
+    let v = arr.(i) in
+    out := v :: !out;
+    incr emitted;
+    List.iter
+      (fun w ->
+        let j = Hashtbl.find index w in
+        indeg.(j) <- indeg.(j) - 1;
+        if indeg.(j) = 0 then ready := Iset.add j !ready)
+      (succs v)
+  done;
+  if !emitted <> n then begin
+    let leftover =
+      List.filteri (fun i _ -> indeg.(i) > 0) (List.mapi (fun i _ -> i) nodes)
+      |> List.map (fun i -> arr.(i))
+    in
+    raise (Cycle leftover)
+  end;
+  List.rev !out
+
+let order ~nodes ~succs =
+  let sorted = sort ~nodes ~succs in
+  let tbl = Hashtbl.create (2 * List.length nodes) in
+  List.iteri (fun i v -> Hashtbl.replace tbl v i) sorted;
+  fun v ->
+    match Hashtbl.find_opt tbl v with
+    | Some i -> i
+    | None -> invalid_arg "Topo_sort.order: unknown node"

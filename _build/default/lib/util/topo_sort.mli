@@ -1,0 +1,16 @@
+(** Topological sorting of integer-keyed directed graphs. *)
+
+(** Raised when the graph contains a cycle; carries the nodes that could
+    not be ordered. *)
+exception Cycle of int list
+
+(** [sort ~nodes ~succs] is [nodes] in a topological order of the edge
+    relation [succs] (edges point from earlier to later).  The order is
+    deterministic: ties are broken by position in [nodes].
+    @raise Cycle if the graph is cyclic.
+    @raise Invalid_argument if [succs] mentions a node outside [nodes]. *)
+val sort : nodes:int list -> succs:(int -> int list) -> int list
+
+(** [order ~nodes ~succs] returns a function mapping each node to its
+    topological number (0-based).  Convenience wrapper over [sort]. *)
+val order : nodes:int list -> succs:(int -> int list) -> int -> int

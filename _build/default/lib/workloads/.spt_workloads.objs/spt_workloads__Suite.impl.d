@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: List Printf W_bzip2 W_crafty W_gap W_gcc W_gzip W_mcf W_parser W_twolf W_vortex W_vpr

@@ -1,0 +1,1 @@
+lib/workloads/w_gcc.ml:

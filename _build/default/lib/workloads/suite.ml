@@ -1,0 +1,39 @@
+(** The workload registry: ten synthetic MiniC benchmarks named after
+    and modelled on the SPEC2000Int programs the paper evaluates
+    (eon and perlbmk were excluded there too, §8 footnote 4). *)
+
+type workload = { name : string; source : string }
+
+let all : workload list =
+  [
+    { name = W_bzip2.name; source = W_bzip2.source };
+    { name = W_crafty.name; source = W_crafty.source };
+    { name = W_gap.name; source = W_gap.source };
+    { name = W_gcc.name; source = W_gcc.source };
+    { name = W_gzip.name; source = W_gzip.source };
+    { name = W_mcf.name; source = W_mcf.source };
+    { name = W_parser.name; source = W_parser.source };
+    { name = W_twolf.name; source = W_twolf.source };
+    { name = W_vortex.name; source = W_vortex.source };
+    { name = W_vpr.name; source = W_vpr.source };
+  ]
+
+let find name =
+  match List.find_opt (fun w -> w.name = name) all with
+  | Some w -> w
+  | None -> invalid_arg (Printf.sprintf "Suite.find: unknown workload %s" name)
+
+(** Table 1's reference IPC values, for the EXPERIMENTS comparison. *)
+let paper_ipc =
+  [
+    ("bzip2", 1.69);
+    ("crafty", 1.49);
+    ("gap", 1.30);
+    ("gcc", 1.33);
+    ("gzip", 1.77);
+    ("mcf", 0.44);
+    ("parser", 1.30);
+    ("twolf", 1.05);
+    ("vortex", 0.56);
+    ("vpr", 1.22);
+  ]

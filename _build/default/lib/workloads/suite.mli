@@ -1,0 +1,13 @@
+(** The workload registry: ten synthetic MiniC benchmarks named after
+    and modelled on the SPEC2000Int programs the paper evaluates
+    (eon and perlbmk were excluded there too, §8). *)
+
+type workload = { name : string; source : string }
+
+val all : workload list
+
+(** @raise Invalid_argument on unknown names. *)
+val find : string -> workload
+
+(** Table 1's reference IPC values, for the EXPERIMENTS comparison. *)
+val paper_ipc : (string * float) list

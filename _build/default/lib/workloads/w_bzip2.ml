@@ -1,0 +1,98 @@
+(** bzip2-like workload: move-to-front coding plus run-length and
+    frequency accounting over a block.
+
+    - The MTF loop carries a true dependence through the whole 64-entry
+      table every iteration (scan + shift): speculation cannot help, but
+      the code is pure register/L1 traffic, giving bzip2's high IPC.
+    - The run-length pass reads the MTF output stream with only an
+      index/accumulator carried — cheap to reorder pre-fork.
+    - The frequency pass updates [freq[sym]] where consecutive symbols
+      rarely collide: profiled cross-iteration probability is low, the
+      type-based view is a certain conflict — a `best`-vs-`basic`
+      separator. *)
+
+let name = "bzip2"
+
+let source =
+  {|
+int BLOCK = 24576;
+int data[24576];
+int mtf_out[24576];
+int mtf_tab[64];
+int freq[64];
+int rle[24576];
+int checksum;
+
+void fill_block() {
+  int i = 0;
+  srand(777);
+  while (i < BLOCK) {
+    int r = rand() & 4095;
+    /* skewed symbol distribution: small symbols dominate */
+    if (r < 2048) { data[i] = r & 7; }
+    else {
+      if (r < 3584) { data[i] = r & 15; }
+      else { data[i] = r & 63; }
+    }
+    i = i + 1;
+  }
+}
+
+void mtf_encode() {
+  int i;
+  int j;
+  for (i = 0; i < 64; i = i + 1) { mtf_tab[i] = i; }
+  for (i = 0; i < BLOCK; i = i + 1) {
+    int sym = data[i];
+    int p = 0;
+    while (mtf_tab[p] != sym) { p = p + 1; }
+    mtf_out[i] = p;
+    j = p;
+    while (j > 0) {
+      mtf_tab[j] = mtf_tab[j - 1];
+      j = j - 1;
+    }
+    mtf_tab[0] = sym;
+  }
+}
+
+int run_lengths() {
+  int i;
+  int runs = 0;
+  int cur = -1;
+  int len = 0;
+  for (i = 0; i < BLOCK; i = i + 1) {
+    if (mtf_out[i] == cur) { len = len + 1; }
+    else {
+      rle[runs & 24575] = len;
+      runs = runs + 1;
+      cur = mtf_out[i];
+      len = 1;
+    }
+  }
+  return runs;
+}
+
+void count_freqs() {
+  int i;
+  for (i = 0; i < 64; i = i + 1) { freq[i] = 0; }
+  for (i = 0; i < BLOCK; i = i + 1) {
+    int s = mtf_out[i];
+    freq[s] = freq[s] + 1;
+  }
+}
+
+void main() {
+  int i;
+  int total = 0;
+  fill_block();
+  mtf_encode();
+  total = run_lengths();
+  count_freqs();
+  for (i = 0; i < 64; i = i + 1) {
+    total = total + freq[i] * i;
+  }
+  checksum = total;
+  print_int(checksum);
+}
+|}

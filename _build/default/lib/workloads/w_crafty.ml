@@ -1,0 +1,94 @@
+(** crafty-like workload: bitboard move generation and evaluation.
+
+    Register-dominated 64-bit logic (shifts, masks, popcounts) over a
+    small board state — crafty's signature high-IPC profile.  The move
+    scoring loop carries only an accumulating evaluation (a reduction)
+    and a conditional best-move update, so the cost model prices it
+    cheaply once profiling is in; the attack-table update loop writes a
+    small table with genuine frequent conflicts and stays sequential. *)
+
+let name = "crafty"
+
+let source =
+  {|
+int NMOVES = 8192;
+int ROUNDS = 6;
+int move_from[8192];
+int move_to[8192];
+int piece_at[64];
+int attack[64];
+int score_tab[8192];
+int checksum;
+
+int popcount(int x) {
+  int c = 0;
+  while (x != 0) {
+    x = x & (x - 1);
+    c = c + 1;
+  }
+  return c;
+}
+
+void init_board() {
+  int i;
+  srand(424242);
+  for (i = 0; i < 64; i = i + 1) {
+    piece_at[i] = rand() & 7;
+    attack[i] = 0;
+  }
+  /* deterministic move mixing: pure arithmetic and stores, exactly
+     the shape even type-based analysis can clear */
+  for (i = 0; i < NMOVES; i = i + 1) {
+    int m = (i * 2654435761) & 2147483647;
+    move_from[i] = (m >> 8) & 63;
+    move_to[i] = (m >> 14) & 63;
+  }
+}
+
+int score_move(int f, int t) {
+  int occ = piece_at[f] * 8 + piece_at[t];
+  int ray = (1 << (t & 31)) | (1 << (f & 31));
+  int mob = popcount(ray & 2147483647);
+  return occ * 16 + mob * 4 - ((f ^ t) & 15);
+}
+
+void main() {
+  int r;
+  int i;
+  int total = 0;
+  init_board();
+  for (r = 0; r < ROUNDS; r = r + 1) {
+    int best = -1000000;
+    int bestm = -1;
+    int acc = 0;
+    /* move scoring: reduction + conditional best update */
+    for (i = 0; i < NMOVES; i = i + 1) {
+      int s = score_move(move_from[i], move_to[i]);
+      score_tab[i] = s;
+      acc = acc + s;
+      if (s > best) {
+        best = s;
+        bestm = i;
+      }
+    }
+    /* attack-table update: small table, frequent same-slot conflicts */
+    for (i = 0; i < NMOVES; i = i + 1) {
+      int sq = move_to[i] & 63;
+      attack[sq] = attack[sq] + (score_tab[i] & 15);
+    }
+    total = total + acc + best + bestm + attack[r & 63];
+    piece_at[r & 63] = (piece_at[r & 63] + 1) & 7;
+    /* quiescence probe: a serial hash-chained walk through the attack
+       table, like the transposition-table probes dominating real
+       search — each step depends on the last, nothing to speculate */
+    int h = bestm & 63;
+    int probe;
+    for (probe = 0; probe < 150000; probe = probe + 1) {
+      h = (h * 131 + attack[h & 63] + probe) & 63;
+      total = total + (h & 1);
+    }
+  }
+  checksum = total;
+  print_int(checksum);
+}
+|}

@@ -1,0 +1,99 @@
+(** gap-like workload: computer-algebra kernels — modular vector
+    arithmetic with division (gap's IPC sits around 1.3 because of the
+    integer divide latency), a polynomial evaluation with a serial
+    Horner recurrence, and an order-counting loop whose only carried
+    state is a counter reduction. *)
+
+let name = "gap"
+
+let source =
+  {|
+int N = 32768;
+int P = 40961;
+int va[32768];
+int vb[32768];
+int vc[32768];
+int checksum;
+
+void fill() {
+  int i;
+  srand(31337);
+  for (i = 0; i < N; i = i + 1) {
+    va[i] = rand() % 40961;
+    vb[i] = 1 + (rand() % 40960);
+  }
+}
+
+void main() {
+  int i;
+  int total = 0;
+  int horner = 0;
+  int orders = 0;
+  fill();
+  /* modular vector combine: independent iterations, divisions keep the
+     pipeline busy — parallelizable once profiling clears the arrays */
+  for (i = 0; i < N; i = i + 1) {
+    int x = (va[i] * 7 + vb[i]) & 65535;
+    int y = (va[i] / vb[i]) + (x & 255);
+    int z = x + y;
+    if (z >= P) { z = z - P; }
+    vc[i] = z;
+  }
+  /* Horner evaluation: strict serial recurrence, several passes —
+     the bulk of gap's runtime is this kind of carried arithmetic */
+  int rep;
+  for (rep = 0; rep < 8; rep = rep + 1) {
+    for (i = 0; i < N; i = i + 1) {
+      horner = (horner * 31 + va[i]) & 65535;
+    }
+  }
+  /* order counting: a small-bodied while loop — only while-loop
+     unrolling (anticipated) can lift it over the size bar */
+  i = 0;
+  while (i < N) {
+    if (vc[i] < va[i]) {
+      orders = orders + 1;
+    }
+    i = i + 1;
+  }
+  for (i = 0; i < N; i = i + 1) {
+    total = total + vc[i];
+  }
+  /* spectral accumulation: 32 independent carried accumulators -- more
+     violation candidates than the partition search will take on
+     (the paper skips loops with too many candidates, 5.2.1) */
+  int s0 = 0; int s1 = 0; int s2 = 0; int s3 = 0;
+  int s4 = 0; int s5 = 0; int s6 = 0; int s7 = 0;
+  int u0 = 0; int u1 = 0; int u2 = 0; int u3 = 0;
+  int u4 = 0; int u5 = 0; int u6 = 0; int u7 = 0;
+  int w0 = 0; int w1 = 0; int w2 = 0; int w3 = 0;
+  int w4 = 0; int w5 = 0; int w6 = 0; int w7 = 0;
+  int x0 = 0; int x1 = 0; int x2 = 0; int x3 = 0;
+  int x4 = 0; int x5 = 0; int x6 = 0; int x7 = 0;
+  for (i = 0; i < 4096; i = i + 1) {
+    int v = va[i];
+    s0 = s0 + (v & 1);       s1 = s1 + (v & 2);
+    s2 = s2 + (v & 4);       s3 = s3 + (v & 8);
+    s4 = s4 + (v & 16);      s5 = s5 + (v & 32);
+    s6 = s6 + (v & 64);      s7 = s7 + (v & 128);
+    u0 = u0 + (v & 256);     u1 = u1 + (v & 512);
+    u2 = u2 + (v & 1024);    u3 = u3 + (v & 2048);
+    u4 = u4 + (v & 4096);    u5 = u5 + (v & 8192);
+    u6 = u6 ^ v;             u7 = u7 | (v & 3);
+    w0 = w0 + (v >> 1);      w1 = w1 + (v >> 2);
+    w2 = w2 + (v >> 3);      w3 = w3 + (v >> 4);
+    w4 = w4 + (v >> 5);      w5 = w5 + (v >> 6);
+    w6 = w6 + (v >> 7);      w7 = w7 + (v >> 8);
+    x0 = x0 ^ (v << 1);      x1 = x1 ^ (v << 2);
+    x2 = x2 + (v % 5);       x3 = x3 + (v % 7);
+    x4 = x4 + (v % 11);      x5 = x5 + (v % 13);
+    x6 = x6 + (v * 3);       x7 = x7 + (v * 5);
+  }
+  total = total + s0 + s1 + s2 + s3 + s4 + s5 + s6 + s7
+        + u0 + u1 + u2 + u3 + u4 + u5 + u6 + u7
+        + w0 + w1 + w2 + w3 + w4 + w5 + w6 + w7
+        + x0 + x1 + x2 + x3 + x4 + x5 + x6 + x7;
+  checksum = (total % P) + horner * 100000 + orders;
+  print_int(checksum);
+}
+|}

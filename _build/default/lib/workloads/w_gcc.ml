@@ -1,0 +1,107 @@
+(** gcc-like workload: compiler-pass kernels — a liveness-style bitset
+    dataflow sweep (word-wise OR/AND over block sets, iterated to a
+    fixpoint), a peephole scan with a small rewrite table, and a symbol
+    hashing pass.  Many smallish for-loop bodies, the profile the real
+    gcc shows: lots of loops below the SPT body-size bar until
+    unrolling lifts them. *)
+
+let name = "gcc"
+
+let source =
+  {|
+int NBLOCKS = 1024;
+int WORDS = 8;
+int ROUNDS = 3;
+int live_in[8192];
+int live_out[8192];
+int gen_set[8192];
+int kill_set[8192];
+int succ1[1024];
+int succ2[1024];
+int insn[16384];
+int symtab[2048];
+int checksum;
+
+void init_cfg() {
+  int b;
+  int w;
+  int i;
+  srand(2718);
+  for (b = 0; b < NBLOCKS; b = b + 1) {
+    succ1[b] = rand() & 1023;
+    succ2[b] = rand() & 1023;
+    for (w = 0; w < WORDS; w = w + 1) {
+      gen_set[b * 8 + w] = rand();
+      kill_set[b * 8 + w] = rand();
+      live_in[b * 8 + w] = 0;
+      live_out[b * 8 + w] = 0;
+    }
+  }
+  for (i = 0; i < 16384; i = i + 1) { insn[i] = rand() & 255; }
+  for (i = 0; i < 2048; i = i + 1) { symtab[i] = 0; }
+}
+
+/* macro expansion: a serial rewrite cursor, the sequential heart of a
+   real compiler front end */
+int expand(int reps) {
+  int r;
+  int state = 1;
+  for (r = 0; r < reps; r = r + 1) {
+    state = (state * 33 + insn[state & 16383] + r) & 1048575;
+  }
+  return state;
+}
+
+void unused_init_tail() {
+  int i;
+  for (i = 0; i < 2048; i = i + 1) { symtab[i] = 0; }
+}
+
+void main() {
+  int r;
+  int b;
+  int w;
+  int i;
+  int total = 0;
+  init_cfg();
+  total = total + expand(220000);
+  /* dataflow sweep: per-block word loop; blocks independent within a
+     round (reads of live_in from successors are rarely the block just
+     written) */
+  for (r = 0; r < ROUNDS; r = r + 1) {
+    for (b = 0; b < NBLOCKS; b = b + 1) {
+      int s1 = succ1[b];
+      int s2 = succ2[b];
+      for (w = 0; w < WORDS; w = w + 1) {
+        int out = live_in[s1 * 8 + w] | live_in[s2 * 8 + w];
+        live_out[b * 8 + w] = out;
+        live_in[b * 8 + w] = gen_set[b * 8 + w] | (out & ~kill_set[b * 8 + w]);
+      }
+    }
+  }
+  /* peephole scan: pattern-match consecutive opcode pairs — a
+     small-bodied while loop, out of reach without while-loop unrolling */
+  int rewrites = 0;
+  i = 0;
+  while (i + 1 < 16384) {
+    int a = insn[i];
+    int c = insn[i + 1];
+    if ((a & 15) == 3 && (c & 15) == 5) {
+      insn[i] = 240 | (a >> 4);
+      rewrites = rewrites + 1;
+    }
+    i = i + 1;
+  }
+  /* symbol hashing: histogram with occasional bucket conflicts */
+  for (i = 0; i < 16384; i = i + 1) {
+    int h = (insn[i] * 131 + (i & 255)) & 2047;
+    symtab[h] = symtab[h] + 1;
+  }
+  for (b = 0; b < NBLOCKS; b = b + 1) {
+    total = total + live_in[b * 8] + live_out[b * 8 + 7];
+  }
+  for (i = 0; i < 2048; i = i + 1) { total = total + symtab[i] * (i & 7); }
+  checksum = total + rewrites;
+  print_int(checksum);
+}
+|}

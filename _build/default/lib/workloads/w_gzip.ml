@@ -1,0 +1,115 @@
+(** gzip-like workload: LZ77 match finding over a pseudo-random byte
+    buffer with hash-head chains.
+
+    Loop characters (mirroring the real gzip's deflate inner loops):
+    - the match-scan loop advances a cursor by the found match length —
+      usually 1 (literal), so the cursor is stride-predictable and a
+      prime software-value-prediction target (§7.2);
+    - the hash-head update writes [head[h]] each iteration and reads it
+      the next, but almost always at a *different* hash — a
+      low-probability cross-iteration memory dependence that only
+      dependence profiling can expose (type-based analysis sees a
+      certain conflict);
+    - the chain-walk is a small while loop, untouched without while-loop
+      unrolling (Fig. 15's "too small" bucket).
+
+    Working set is L1/L2-resident, register traffic dominates: high
+    IPC, like the real gzip's 1.77. *)
+
+let name = "gzip"
+
+let source =
+  {|
+int WINDOW = 16384;
+int HMASK = 1023;
+int buf[16384];
+int head[1024];
+int prev[16384];
+int match_len[16384];
+int checksum;
+
+int hash3(int a, int b, int c) {
+  return ((a * 131 + b) * 131 + c) & 1023;
+}
+
+int longest_match(int pos, int cand, int limit) {
+  int len = 0;
+  while (len < limit) {
+    if (buf[cand + len] != buf[pos + len]) {
+      return len;
+    }
+    len = len + 1;
+  }
+  return len;
+}
+
+void fill_input() {
+  int i = 0;
+  srand(12345);
+  while (i < WINDOW) {
+    /* mostly-random bytes with occasional repeated motifs, so matches
+       exist but literals dominate: the scan cursor usually advances by
+       exactly 1, which is what makes it value-predictable */
+    int r = rand() & 255;
+    if ((r & 31) == 0) { r = 7; }
+    buf[i] = r;
+    i = i + 1;
+  }
+}
+
+void main() {
+  int pos;
+  int emitted = 0;
+  fill_input();
+  for (pos = 0; pos < 1024; pos = pos + 1) { head[pos] = -1; }
+  pos = 0;
+  /* deflate scan: cursor advances by the match length (usually 1) */
+  while (pos < WINDOW - 64) {
+    int h = hash3(buf[pos], buf[pos + 1], buf[pos + 2]);
+    int cand = head[h];
+    int best = 1;
+    int depth = 0;
+    while (cand >= 0 && depth < 8) {
+      int l = longest_match(pos, cand, 16);
+      if (l > best) { best = l; }
+      cand = prev[cand & 1023];
+      depth = depth + 1;
+    }
+    match_len[pos] = best;
+    prev[pos & 1023] = head[h];
+    head[h] = pos;
+    emitted = emitted + 1;
+    pos = pos + best;
+  }
+  /* histogram of match lengths: a small-bodied while loop — invisible
+     to DO-loop unrolling, so only the anticipated compilation can lift
+     it over the body-size bar */
+  pos = 0;
+  while (pos < WINDOW - 64) {
+    int l = match_len[pos];
+    int slot = (l * 37 + (pos & 255)) & 1023;
+    head[slot] = head[slot] + prev[pos & 1023];
+    pos = pos + 1;
+  }
+  checksum = emitted;
+  for (pos = 0; pos < 1024; pos = pos + 1) {
+    checksum = checksum + head[pos];
+  }
+  /* adler-style rolling checksum: a strict serial recurrence through
+     s1/s2 with a modulus — never speculatable, like the real gzip's
+     crc pass */
+  int s1 = 1;
+  int s2 = 0;
+  int rep;
+  for (rep = 0; rep < 22; rep = rep + 1) {
+    for (pos = 0; pos < WINDOW; pos = pos + 1) {
+      s1 = s1 + buf[pos];
+      if (s1 >= 65521) { s1 = s1 - 65521; }
+      s2 = s2 + s1;
+      if (s2 >= 65521) { s2 = s2 - 65521; }
+    }
+  }
+  checksum = checksum + s2 * 65536 + s1;
+  print_int(checksum);
+}
+|}

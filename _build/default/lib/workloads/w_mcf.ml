@@ -1,0 +1,78 @@
+(** mcf-like workload: minimum-cost-flow network simplex skeleton.
+
+    Two loop characters from the real mcf:
+    - pointer chasing over an 8 MB successor array (far beyond L3):
+      [j = next[j]] is a genuinely serial, unpredictable recurrence —
+      no configuration can speculate it, and the memory misses crush
+      IPC to mcf's signature ~0.44;
+    - the arc-scan loop computes reduced costs from three parallel
+      arrays with only a running-minimum reduction carried across
+      iterations — a violation candidate whose re-execution slice is
+      tiny, so the cost model prices it low and the loop parallelizes
+      once dependence profiling clears the false arc-array conflicts. *)
+
+let name = "mcf"
+
+let source =
+  {|
+int NODES = 262144;
+int ARCS = 262144;
+int nxt[262144];
+int cost[262144];
+int pot[262144];
+int from_n[262144];
+int to_n[262144];
+int red[262144];
+int checksum;
+
+void build_graph() {
+  int i = 0;
+  srand(999);
+  while (i < NODES) {
+    nxt[i] = rand() & 262143;
+    cost[i] = (rand() & 4095) - 2048;
+    pot[i] = rand() & 1023;
+    from_n[i] = rand() & 262143;
+    to_n[i] = rand() & 262143;
+    i = i + 1;
+  }
+}
+
+int chase(int start, int steps) {
+  int j = start;
+  int acc = 0;
+  int k = 0;
+  while (k < steps) {
+    acc = acc + cost[j];
+    j = (nxt[j] + k * 40503) & 262143;
+    k = k + 1;
+  }
+  return acc + j;
+}
+
+void main() {
+  int best;
+  int besti;
+  int i;
+  int total = 0;
+  build_graph();
+  /* pointer chase: serial recurrence, memory bound */
+  total = total + chase(7, 100000);
+  /* arc scan: reduced-cost computation with a min reduction */
+  best = 1000000;
+  besti = -1;
+  for (i = 0; i < ARCS; i = i + 1) {
+    int rc = cost[i] - pot[from_n[i]] + pot[to_n[i]];
+    red[i] = rc;
+    if (rc < best) {
+      best = rc;
+      besti = i;
+    }
+  }
+  total = total + best + besti;
+  /* a second chase after repricing */
+  total = total + chase(best & 262143, 70000);
+  checksum = total;
+  print_int(checksum);
+}
+|}

@@ -1,0 +1,78 @@
+(** parser-like workload: dictionary-driven tokenization.
+
+    The token scan advances a cursor by each token's length — lengths
+    cluster hard around one value, so the cursor is exactly the
+    [x = bar(x)] software-value-prediction case of the paper's Fig. 13.
+    Dictionary probing walks small hash chains (while loops, unrollable
+    only in the anticipated configuration), and the link-counting pass
+    carries a genuine serial chain through [links]. *)
+
+let name = "parser"
+
+let source =
+  {|
+int TEXT = 32768;
+int text[32768];
+int dict_head[512];
+int dict_next[2048];
+int dict_word[2048];
+int token_out[32768];
+int links[2048];
+int checksum;
+
+void build_dict() {
+  int i;
+  srand(555);
+  for (i = 0; i < 512; i = i + 1) { dict_head[i] = -1; }
+  for (i = 0; i < 2048; i = i + 1) {
+    int h = rand() & 511;
+    dict_word[i] = rand() & 65535;
+    dict_next[i] = dict_head[h];
+    dict_head[h] = i;
+    links[i] = 0;
+  }
+  for (i = 0; i < TEXT; i = i + 1) {
+    /* words of length 4 with rare length-7 outliers */
+    text[i] = rand() & 65535;
+  }
+}
+
+int lookup(int w) {
+  int h = w & 511;
+  int e = dict_head[h];
+  int depth = 0;
+  while (e >= 0 && depth < 6) {
+    if (dict_word[e] == w) { return e; }
+    e = dict_next[e];
+    depth = depth + 1;
+  }
+  return -1;
+}
+
+void main() {
+  int pos = 0;
+  int ntok = 0;
+  int i;
+  int total = 0;
+  build_dict();
+  /* token scan: cursor advances by token length (usually 4) */
+  while (pos < TEXT - 8) {
+    int w = text[pos] ^ (text[pos + 1] & 255);
+    int e = lookup(w);
+    int len = 4;
+    if ((w & 1023) == 9) { len = 7; }
+    token_out[ntok & 32767] = e;
+    ntok = ntok + 1;
+    pos = pos + len;
+  }
+  /* link counting: serial chain through the dictionary */
+  int cur = 0;
+  for (i = 0; i < 90000; i = i + 1) {
+    links[cur] = links[cur] + 1;
+    cur = (dict_word[cur] + links[cur]) & 2047;
+  }
+  for (i = 0; i < 2048; i = i + 1) { total = total + links[i]; }
+  checksum = total + ntok;
+  print_int(checksum);
+}
+|}

@@ -1,0 +1,94 @@
+(** twolf-like workload: simulated-annealing standard-cell placement.
+
+    The accept/reject sweep is the real twolf's hot shape: compute a
+    wirelength delta from coordinate arrays, accept the move only when
+    it helps (or a pseudo-random threshold fires), and write the
+    coordinates back *conditionally* — so the store→load cross-iteration
+    probability is genuinely low, but a type-based view must assume a
+    certain conflict: the workload that separates `best` from `basic`.
+    The cost accumulator itself is a carried reduction.  The [rand]
+    calls pin a serial thread through the LCG, as in any annealer. *)
+
+let name = "twolf"
+
+let source =
+  {|
+int NCELLS = 4096;
+int SWEEPS = 5;
+int xpos[4096];
+int ypos[4096];
+int net_a[4096];
+int net_b[4096];
+int rng_tab[4096];
+int checksum;
+
+void init_place() {
+  int i;
+  srand(11);
+  for (i = 0; i < NCELLS; i = i + 1) {
+    xpos[i] = rand() & 1023;
+    ypos[i] = rand() & 1023;
+    net_a[i] = rand() & 4095;
+    net_b[i] = rand() & 4095;
+    rng_tab[i] = rand() & 16383;
+  }
+}
+
+int wire_cost(int c) {
+  int ax = xpos[net_a[c] & 4095];
+  int ay = ypos[net_a[c] & 4095];
+  int bx = xpos[net_b[c] & 4095];
+  int by = ypos[net_b[c] & 4095];
+  return abs(ax - bx) + abs(ay - by);
+}
+
+void main() {
+  int s;
+  int c;
+  int total_cost = 0;
+  int accepts = 0;
+  init_place();
+  for (s = 0; s < SWEEPS; s = s + 1) {
+    int threshold = 200 - s * 40;
+    for (c = 0; c < NCELLS; c = c + 1) {
+      int before = wire_cost(c);
+      int nx = (xpos[c] + rng_tab[(c + s * 7) & 4095]) & 1023;
+      int ny = (ypos[c] + rng_tab[(c * 3 + s) & 4095]) & 1023;
+      int ox = xpos[c];
+      int oy = ypos[c];
+      xpos[c] = nx;
+      ypos[c] = ny;
+      int after = wire_cost(c);
+      int delta = after - before;
+      if (delta > threshold) {
+        /* reject: restore */
+        xpos[c] = ox;
+        ypos[c] = oy;
+      }
+      else {
+        accepts = accepts + 1;
+        total_cost = total_cost + delta;
+      }
+    }
+  }
+  /* displacement audit: small-bodied while loop over the cells,
+     below the body-size bar until while-loop unrolling lifts it */
+  int d = 0;
+  int c2 = 0;
+  while (c2 < 30000) {
+    d = d + abs(xpos[c2 & 4095] - ypos[(c2 * 7) & 4095]);
+    c2 = c2 + 1;
+  }
+  /* net-order refinement: every step draws from the annealer's RNG, a
+     serial thread through the generator state that pins the loop just
+     as in the real annealer's move selection */
+  int t;
+  int h = 1;
+  for (t = 0; t < 150000; t = t + 1) {
+    int r = rand();
+    h = (h + (r & 255) + rng_tab[(h + t) & 4095]) & 16383;
+  }
+  checksum = total_cost + accepts * 1000 + (h & 7) + (d & 15);
+  print_int(checksum);
+}
+|}

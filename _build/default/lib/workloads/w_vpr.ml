@@ -1,0 +1,86 @@
+(** vpr-like workload: FPGA place-and-route cost sweeps.
+
+    Floating-point bounding-box cost evaluation over nets (float adds,
+    multiplies and a square root per net), a conditional best-swap
+    update (a reduction the cost model prices low), and a routing-cost
+    relaxation whose channel-occupancy array carries rare genuine
+    conflicts.  Mixed int/float at a mid working set: vpr's ~1.2 IPC. *)
+
+let name = "vpr"
+
+let source =
+  {|
+int NNETS = 16384;
+int PASSES = 3;
+int nx[16384];
+int ny[16384];
+int mx[16384];
+int my[16384];
+int chan[1024];
+float cost_tab[16384];
+float wt[256];
+int checksum;
+
+void init_nets() {
+  int i;
+  srand(60601);
+  for (i = 0; i < NNETS; i = i + 1) {
+    nx[i] = rand() & 255;
+    ny[i] = rand() & 255;
+    mx[i] = rand() & 255;
+    my[i] = rand() & 255;
+  }
+  for (i = 0; i < 1024; i = i + 1) { chan[i] = 0; }
+  for (i = 0; i < 256; i = i + 1) { wt[i] = 1.0 + float_of_int(rand() & 7) * 0.125; }
+}
+
+void main() {
+  int p;
+  int i;
+  float total = 0.0;
+  int moved = 0;
+  init_nets();
+  for (p = 0; p < PASSES; p = p + 1) {
+    float best = 1000000.0;
+    /* bounding-box cost: float math per net, best-cost reduction */
+    for (i = 0; i < NNETS; i = i + 1) {
+      float dx = float_of_int(abs(nx[i] - mx[i]));
+      float dy = float_of_int(abs(ny[i] - my[i]));
+      /* the weight-table read and the cost-table write are both float
+         accesses: type-based disambiguation must assume they conflict,
+         so only the profiled compilations parallelize this loop */
+      float c = (sqrt(dx * dx + dy * dy) + dx * 0.35 + dy * 0.35) * wt[i & 255];
+      cost_tab[i] = c;
+      if (c < best) { best = c; }
+    }
+    /* channel relaxation: occasional same-channel conflicts */
+    for (i = 0; i < NNETS; i = i + 1) {
+      int ch = (nx[i] * 4 + (ny[i] >> 6)) & 1023;
+      if (cost_tab[i] > 100.0) {
+        chan[ch] = chan[ch] + 1;
+        moved = moved + 1;
+      }
+    }
+    total = total + best;
+  }
+  for (i = 0; i < 1024; i = i + 1) { moved = moved + chan[i]; }
+  /* overflow audit: small-bodied while loop over the nets, reachable
+     only through while-loop unrolling */
+  int over = 0;
+  i = 0;
+  while (i < NNETS) {
+    over = over + ((nx[i] ^ my[i]) & 3);
+    i = i + 1;
+  }
+  moved = moved + over;
+  /* maze-route expansion: a serial wavefront through the channel
+     graph, each step keyed by the last — the router's sequential core */
+  int node = 7;
+  for (i = 0; i < 650000; i = i + 1) {
+    node = (node * 5 + chan[node & 1023] + (i & 31)) & 65535;
+    moved = moved + (node & 1);
+  }
+  checksum = int_of_float(total * 1000.0) + moved;
+  print_int(checksum);
+}
+|}

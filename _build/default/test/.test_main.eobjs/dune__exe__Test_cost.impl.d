@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest Cost_model Float Fun Gen Hashtbl Int List Option Printf QCheck QCheck_alcotest Set Spt_cost Spt_depgraph Spt_ir Spt_partition Spt_srclang

@@ -1,0 +1,1 @@
+test/test_depgraph.ml: Alcotest Depgraph Effects Format Int Ir Ir_pretty List Loops Lower Passes Printf Set Spt_depgraph Spt_interp Spt_ir Spt_profile Spt_srclang Ssa String

@@ -1,0 +1,1 @@
+test/test_driver.ml: Alcotest Config List Option Pipeline Printexc Printf Report Spt_driver Spt_srclang Spt_tlsim Spt_workloads String

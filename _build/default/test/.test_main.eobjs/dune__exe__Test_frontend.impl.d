@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Ast Format Int64 Lexer List Parser Printf QCheck QCheck_alcotest Spt_srclang Src_pretty Typecheck

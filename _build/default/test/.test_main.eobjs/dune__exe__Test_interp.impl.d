@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Eval Int64 Interp Ir List Lower Printf QCheck QCheck_alcotest Spt_interp Spt_ir Spt_srclang String

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Cfg Dominance Gen Hashtbl Inline Ir List Liveness Loops Lower Passes Printf QCheck QCheck_alcotest Spt_interp Spt_ir Spt_srclang Ssa String

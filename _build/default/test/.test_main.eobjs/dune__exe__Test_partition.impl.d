@@ -1,0 +1,1 @@
+test/test_partition.ml: Alcotest Depgraph Effects Int Ir List Loops Lower Partition Passes Printf Set Spt_cost Spt_depgraph Spt_ir Spt_partition Spt_srclang Ssa

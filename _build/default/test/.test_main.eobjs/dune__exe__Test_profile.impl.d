@@ -1,0 +1,1 @@
+test/test_profile.ml: Alcotest Dep_profile Edge_profile Float Ir List Loops Lower Option Printf Spt_interp Spt_ir Spt_profile Spt_srclang Spt_transform Ssa Value_profile

@@ -1,0 +1,1 @@
+test/test_tlsim.ml: Alcotest Branch_pred Cache Int List Lower Printf Set Spt_driver Spt_ir Spt_srclang Spt_tlsim Tls_machine

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Bitset Dot Gen Idgen List Option QCheck QCheck_alcotest Spt_util Stats String Table Topo_sort

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Config Lazy List Pipeline Printf Spt_driver Spt_tlsim Spt_util Spt_workloads

@@ -1,0 +1,242 @@
+(** Cost-model tests, centered on the paper's worked example.
+
+    Fig. 5's dependence graph: nodes A..F; intra-iteration edges
+    D'→A (0.2), E'→B (0.1), B→C (0.5), F'→C (0.2), C→E (1); violation
+    candidates D, E, F.  For the partition with only D pre-fork the
+    paper computes v(A)=0, v(B)=0.1, v(C)=0.24, v(D)=v(F)=0, v(E)=0.24,
+    and a misspeculation cost of 0.58 with unit operation costs
+    (§4.2.5). *)
+
+open Spt_cost
+
+(* node ids: A=0 B=1 C=2 D=3 E=4 F=5; pseudo ids via Cost_model *)
+let a = 0
+let b = 1
+let c = 2
+let d = 3
+let e = 4
+let f = 5
+
+let pseudo = Cost_model.pseudo_of_vc
+
+let fig5_initial =
+  [
+    { Cost_model.gsrc = pseudo d; gdst = a; gprob = 0.2 };
+    { Cost_model.gsrc = pseudo e; gdst = b; gprob = 0.1 };
+    { Cost_model.gsrc = pseudo f; gdst = c; gprob = 0.2 };
+  ]
+
+let fig5_intra =
+  [
+    { Cost_model.gsrc = b; gdst = c; gprob = 0.5 };
+    { Cost_model.gsrc = c; gdst = e; gprob = 1.0 };
+  ]
+
+let fig5_probs ~combine ~prefork_d =
+  let vc_prob p =
+    let vc = Cost_model.vc_of_pseudo p in
+    if prefork_d && vc = d then 0.0 else 1.0
+  in
+  let op_nodes = [ a; b; c; d; e; f ] in
+  let vc_pseudo = List.map pseudo [ d; e; f ] in
+  match combine with
+  | `Per_seed ->
+    Cost_model.compute_per_seed ~op_nodes ~vc_pseudo ~initial:fig5_initial
+      ~intra:fig5_intra ~vc_prob ()
+  | (`Independent | `Max_rule) as combine ->
+    Cost_model.compute ~combine ~op_nodes ~vc_pseudo ~initial:fig5_initial
+      ~intra:fig5_intra ~vc_prob ()
+
+let feq = Alcotest.float 1e-9
+
+let check_fig5 combine () =
+  let v = fig5_probs ~combine ~prefork_d:true in
+  let get n = Option.value ~default:(-1.0) (Hashtbl.find_opt v n) in
+  Alcotest.check feq "v(A)" 0.0 (get a);
+  Alcotest.check feq "v(B)" 0.1 (get b);
+  Alcotest.check feq "v(C)" 0.24 (get c);
+  Alcotest.check feq "v(D)" 0.0 (get d);
+  Alcotest.check feq "v(E)" 0.24 (get e);
+  Alcotest.check feq "v(F)" 0.0 (get f);
+  (* unit costs: total = 0.58, the paper's number *)
+  let total = List.fold_left (fun acc n -> acc +. get n) 0.0 [ a; b; c; d; e; f ] in
+  Alcotest.check feq "cost = 0.58" 0.58 total
+
+(* the example has no reconvergent paths, so the paper's rule and the
+   per-seed refinement agree exactly *)
+let test_fig5_paper_rule = check_fig5 `Independent
+let test_fig5_per_seed = check_fig5 `Per_seed
+
+let test_fig5_empty_prefork () =
+  let v = fig5_probs ~combine:`Independent ~prefork_d:false in
+  let get n = Option.value ~default:(-1.0) (Hashtbl.find_opt v n) in
+  (* with D speculated too, v(A) = 0.2 and downstream costs grow *)
+  Alcotest.check feq "v(A) with D speculative" 0.2 (get a);
+  Alcotest.(check bool) "cost grows" true
+    (let total p =
+       let v = fig5_probs ~combine:`Independent ~prefork_d:p in
+       List.fold_left
+         (fun acc n -> acc +. Option.value ~default:0.0 (Hashtbl.find_opt v n))
+         0.0 [ a; b; c; d; e; f ]
+     in
+     total false > total true)
+
+(* on a reconvergent diamond, `Independent` double-counts one seed while
+   `Per_seed` does not *)
+let test_reconvergence_overestimate () =
+  let s = 9 in
+  let initial = [ { Cost_model.gsrc = pseudo s; gdst = 0; gprob = 1.0 } ] in
+  let intra =
+    [
+      { Cost_model.gsrc = 0; gdst = 1; gprob = 1.0 };
+      { Cost_model.gsrc = 0; gdst = 2; gprob = 1.0 };
+      { Cost_model.gsrc = 1; gdst = 3; gprob = 1.0 };
+      { Cost_model.gsrc = 2; gdst = 3; gprob = 1.0 };
+    ]
+  in
+  let vc_prob _ = 0.5 in
+  let v_ind =
+    Cost_model.compute ~combine:`Independent ~op_nodes:[ 0; 1; 2; 3 ]
+      ~vc_pseudo:[ pseudo s ] ~initial ~intra ~vc_prob ()
+  in
+  let v_seed =
+    Cost_model.compute_per_seed ~op_nodes:[ 0; 1; 2; 3 ] ~vc_pseudo:[ pseudo s ]
+      ~initial ~intra ~vc_prob ()
+  in
+  let at tbl n = Option.value ~default:0.0 (Hashtbl.find_opt tbl n) in
+  Alcotest.check feq "per-seed: one cause counted once" 0.5 (at v_seed 3);
+  Alcotest.check feq "independent: double-counted" 0.75 (at v_ind 3);
+  Alcotest.(check bool) "independent is an over-estimate" true
+    (at v_ind 3 > at v_seed 3)
+
+(* end-to-end monotonicity on a real loop: moving more violation
+   candidates pre-fork never increases the cost (the property the
+   branch-and-bound pruning relies on, §5) *)
+let build_loop_cm () =
+  let src =
+    {|
+int n = 50;
+int a[50];
+int b[50];
+void main() {
+  int i = 0;
+  int s = 0;
+  while (i < n) {
+    a[i] = b[i] + s;
+    s = s + a[i];
+    i = i + 1;
+  }
+  print_int(s);
+}
+|}
+  in
+  let prog =
+    Spt_ir.Lower.lower_program (Spt_srclang.Typecheck.parse_and_check src)
+  in
+  let f = Spt_ir.Ir.func_of_program prog "main" in
+  Spt_ir.Ssa.construct f;
+  Spt_ir.Passes.optimize_ssa f;
+  let eff = Spt_depgraph.Effects.compute prog in
+  let l = List.hd (Spt_ir.Loops.find f) in
+  let g = Spt_depgraph.Depgraph.build eff f l in
+  (g, Cost_model.build g)
+
+module Iset = Set.Make (Int)
+
+let test_monotonicity () =
+  let g, cm = build_loop_cm () in
+  let vcs = Spt_depgraph.Depgraph.violation_candidates g in
+  Alcotest.(check bool) "has VCs" true (vcs <> []);
+  let anc = Spt_partition.Partition.ancestors g in
+  let cost set =
+    Cost_model.misspeculation_cost cm
+      ~prefork:(Spt_partition.Partition.closure g ~anc (Iset.of_list set))
+  in
+  (* grow the prefix of VCs: cost must be non-increasing *)
+  let rec grow prefix rest prev =
+    Alcotest.(check bool)
+      (Printf.sprintf "monotone at %d VCs" (List.length prefix))
+      true
+      (cost prefix <= prev +. 1e-9);
+    match rest with
+    | [] -> ()
+    | vc :: rest -> grow (vc :: prefix) rest (cost prefix)
+  in
+  grow [] vcs infinity
+
+let test_empty_partition_cost_positive () =
+  let _, cm = build_loop_cm () in
+  let c = Cost_model.misspeculation_cost cm ~prefork:Iset.empty in
+  Alcotest.(check bool) "speculating everything costs something" true (c > 0.0)
+
+(* properties on random DAGs: both rules stay within [0,1]; on a
+   single-seed *tree* (every node has at most one predecessor, so no
+   path reconvergence) the two rules coincide exactly *)
+let prop_rules_agree_on_trees =
+  QCheck.Test.make ~count:100 ~name:"rules agree on single-seed trees; both in [0,1]"
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 1 9) (int_range 0 9))
+        (float_range 0.1 1.0))
+    (fun (parents, p_seed) ->
+      (* node k+1's parent is parents[k] clamped below k+1: a tree rooted
+         at node 0, which is the only seed *)
+      let n = List.length parents + 1 in
+      let intra =
+        List.mapi
+          (fun k parent ->
+            { Cost_model.gsrc = min parent k; gdst = k + 1; gprob = 0.6 })
+          parents
+      in
+      let initial = [ { Cost_model.gsrc = pseudo 0; gdst = 0; gprob = 0.9 } ] in
+      let op_nodes = List.init n Fun.id in
+      let vc_pseudo = [ pseudo 0 ] in
+      let vc_prob _ = p_seed in
+      let vi =
+        Cost_model.compute ~combine:`Independent ~op_nodes ~vc_pseudo ~initial
+          ~intra ~vc_prob ()
+      in
+      let vs =
+        Cost_model.compute_per_seed ~op_nodes ~vc_pseudo ~initial ~intra ~vc_prob ()
+      in
+      List.for_all
+        (fun k ->
+          let a = Option.value ~default:0.0 (Hashtbl.find_opt vi k) in
+          let b = Option.value ~default:0.0 (Hashtbl.find_opt vs k) in
+          a >= -1e-9 && a <= 1.0 +. 1e-9 && Float.abs (a -. b) < 1e-9)
+        op_nodes)
+
+let suite =
+  [
+    Alcotest.test_case "Fig 5/6 worked example (paper rule)" `Quick test_fig5_paper_rule;
+    Alcotest.test_case "Fig 5/6 worked example (per-seed)" `Quick test_fig5_per_seed;
+    Alcotest.test_case "Fig 5 empty pre-fork" `Quick test_fig5_empty_prefork;
+    Alcotest.test_case "reconvergence over-estimate" `Quick test_reconvergence_overestimate;
+    Alcotest.test_case "cost monotone in pre-fork set" `Quick test_monotonicity;
+    Alcotest.test_case "empty partition costs" `Quick test_empty_partition_cost_positive;
+    QCheck_alcotest.to_alcotest prop_rules_agree_on_trees;
+  ]
+
+(* the total cost of any partition is bounded by the loop's dynamic
+   weight: v(c) <= 1 per node, each weighted by Cost(c) x freq(c) *)
+let test_cost_bounded_by_body () =
+  let g, cm = build_loop_cm () in
+  let bound =
+    List.fold_left
+      (fun acc iid ->
+        acc
+        +. (float_of_int
+              (Spt_ir.Ir.op_cost (Spt_depgraph.Depgraph.instr g iid).Spt_ir.Ir.kind)
+           *. Spt_depgraph.Depgraph.freq g iid))
+      0.0 g.Spt_depgraph.Depgraph.nodes
+  in
+  List.iter
+    (fun combine ->
+      let c = Cost_model.misspeculation_cost ~combine cm ~prefork:Iset.empty in
+      Alcotest.(check bool)
+        (Printf.sprintf "cost %.1f within body bound %.1f" c bound)
+        true
+        (c <= bound +. 1e-6 && c >= 0.0))
+    [ `Per_seed; `Independent; `Max_rule ]
+
+let suite = suite @ [ Alcotest.test_case "cost bounded by body" `Quick test_cost_bounded_by_body ]

@@ -1,0 +1,208 @@
+(** Tests for the MiniC front end: lexer, parser, type checker and the
+    pretty-printer round-trip. *)
+
+open Spt_srclang
+
+let lex_kinds src = List.map fst (Lexer.tokenize src)
+
+let test_lexer_basics () =
+  Alcotest.(check int) "token count" 6 (List.length (lex_kinds "int x = 42;"));
+  (match lex_kinds "0x10 3.5 2.5e2" with
+  | [ Lexer.INT_LIT 16L; Lexer.FLOAT_LIT 3.5; Lexer.FLOAT_LIT 250.0; Lexer.EOF ]
+    -> ()
+  | _ -> Alcotest.fail "unexpected number lexing");
+  match lex_kinds "a<=b >> c && !d" with
+  | [ Lexer.IDENT "a"; Lexer.LE; Lexer.IDENT "b"; Lexer.SHR; Lexer.IDENT "c";
+      Lexer.AMPAMP; Lexer.BANG; Lexer.IDENT "d"; Lexer.EOF ] -> ()
+  | _ -> Alcotest.fail "operator lexing"
+
+let test_lexer_comments () =
+  match lex_kinds "x /* multi \n line */ y // eol\n z" with
+  | [ Lexer.IDENT "x"; Lexer.IDENT "y"; Lexer.IDENT "z"; Lexer.EOF ] -> ()
+  | _ -> Alcotest.fail "comments skipped"
+
+let test_lexer_error () =
+  match Lexer.tokenize "int @" with
+  | exception Lexer.Lex_error (_, loc) ->
+    Alcotest.(check int) "error column" 5 loc.Ast.col
+  | _ -> Alcotest.fail "expected lex error"
+
+let parse src = Parser.parse_program src
+
+let test_parser_precedence () =
+  let p = parse "void main() { int x = 1 + 2 * 3 < 7 & 1; }" in
+  match (List.hd p.Ast.funcs).Ast.fbody with
+  | [ { Ast.sdesc = Ast.Decl (Ast.Tint, "x", Some e); _ } ] ->
+    (* ((1 + (2*3)) < 7) & 1 *)
+    let str = Format.asprintf "%a" Src_pretty.pp_expr e in
+    Alcotest.(check string) "precedence" "(((1 + (2 * 3)) < 7) & 1)" str
+  | _ -> Alcotest.fail "unexpected parse"
+
+let test_parser_dangling_else () =
+  let p = parse "void main() { if (1) if (2) return; else return; }" in
+  match (List.hd p.Ast.funcs).Ast.fbody with
+  | [ { Ast.sdesc = Ast.If (_, [ { Ast.sdesc = Ast.If (_, _, inner_else); _ } ], outer_else); _ } ] ->
+    Alcotest.(check int) "else binds to inner if" 1 (List.length inner_else);
+    Alcotest.(check int) "outer if has no else" 0 (List.length outer_else)
+  | _ -> Alcotest.fail "unexpected dangling-else parse"
+
+let test_parser_for_sugar () =
+  let p = parse "void main() { int i; for (i = 0; i < 3; i++) { } }" in
+  match (List.hd p.Ast.funcs).Ast.fbody with
+  | [ _decl; { Ast.sdesc = Ast.For (Some _, Some _, Some step, _); _ } ] -> (
+    match step.Ast.sdesc with
+    | Ast.Assign (Ast.Lvar "i", { Ast.edesc = Ast.Binary (Ast.Add, _, _); _ }) -> ()
+    | _ -> Alcotest.fail "i++ should desugar to i = i + 1")
+  | _ -> Alcotest.fail "unexpected for parse"
+
+let test_parser_globals () =
+  let p = parse "int a[4] = {1, -2, 3}; float f; int g = 7; void main() { }" in
+  match p.Ast.globals with
+  | [ Ast.Garray (Ast.Tint, "a", 4, Some [ 1L; -2L; 3L ]);
+      Ast.Gscalar (Ast.Tfloat, "f", None);
+      Ast.Gscalar (Ast.Tint, "g", Some _) ] -> ()
+  | _ -> Alcotest.fail "unexpected globals"
+
+let test_parser_error () =
+  match parse "void main() { int = 3; }" with
+  | exception Parser.Parse_error (_, _) -> ()
+  | _ -> Alcotest.fail "expected parse error"
+
+let typecheck_ok src = ignore (Typecheck.parse_and_check src)
+
+let typecheck_fails src =
+  match Typecheck.parse_and_check src with
+  | exception Typecheck.Type_error (_, _) -> ()
+  | _ -> Alcotest.fail ("expected type error in: " ^ src)
+
+let test_typecheck_accepts () =
+  typecheck_ok
+    {|
+int g;
+float fs;
+int arr[10];
+int helper(int x, int a[]) { return x + a[0]; }
+void main() {
+  int i = 0;
+  float f = 1.5;
+  while (i < 10) { arr[i] = helper(i, arr); i = i + 1; }
+  fs = f * 2.0;
+  g = i;
+}
+|}
+
+let test_typecheck_rejects () =
+  typecheck_fails "void main() { x = 1; }";
+  typecheck_fails "void main() { int x = 1.5; }";
+  typecheck_fails "void main() { int x = 1 + 2.0; }";
+  typecheck_fails "int a[3]; void main() { a = 1; }";
+  typecheck_fails "void main() { break; }";
+  typecheck_fails "int f() { return; } void main() { }";
+  typecheck_fails "void main() { int x = 1; int x = 2; }";
+  typecheck_fails "int f(int x) { return x; } void main() { f(1, 2); }";
+  typecheck_fails "void f() { } void f() { } void main() { }";
+  typecheck_fails "int g; int g; void main() { }";
+  typecheck_fails "void nomain() { }"
+
+let test_typecheck_array_args () =
+  typecheck_ok
+    "int a[4]; int f(int b[]) { return b[0]; } void main() { int x = f(a); }";
+  typecheck_fails
+    "float a[4]; int f(int b[]) { return b[0]; } void main() { int x = f(a); }";
+  typecheck_fails "int f(int b[]) { return b[0]; } void main() { int x = f(1); }"
+
+(* pretty-printer round trip on a fixed, feature-rich program *)
+let test_roundtrip () =
+  let src =
+    {|
+int n = 64;
+int a[64];
+float acc;
+
+int step(int x, int y) { return (x * 3 + y) % 17; }
+
+void main() {
+  int i;
+  float f = 0.0;
+  for (i = 0; i < n; i = i + 1) { a[i] = step(i, i + 1); }
+  i = 0;
+  while (i < n && a[i] >= 0) {
+    if (a[i] > 8) { f = f + 1.0; } else { f = f - 0.5; }
+    i = i + 1;
+  }
+  do { i = i - 2; } while (i > 0);
+  acc = f;
+  print_float(f);
+}
+|}
+  in
+  let p1 = Typecheck.parse_and_check src in
+  let printed = Src_pretty.to_string p1 in
+  let p2 = Parser.parse_program printed in
+  let printed2 = Src_pretty.to_string p2 in
+  Alcotest.(check string) "pretty fixpoint" printed printed2
+
+(* qcheck: random expressions round-trip through the printer/parser *)
+let gen_expr =
+  let open QCheck.Gen in
+  sized (fun n ->
+      fix
+        (fun self n ->
+          if n <= 0 then
+            oneof
+              [
+                map (fun i -> Ast.mk_expr (Ast.Int_lit (Int64.of_int i))) (int_range 0 100);
+                return (Ast.mk_expr (Ast.Var "x"));
+              ]
+          else
+            let sub = self (n / 2) in
+            oneof
+              [
+                map2
+                  (fun op (l, r) -> Ast.mk_expr (Ast.Binary (op, l, r)))
+                  (oneofl
+                     [ Ast.Add; Ast.Sub; Ast.Mul; Ast.Div; Ast.Lt; Ast.Eq; Ast.Band; Ast.Shl ])
+                  (pair sub sub);
+                map (fun e -> Ast.mk_expr (Ast.Unary (Ast.Neg, e))) sub;
+                map (fun e -> Ast.mk_expr (Ast.Unary (Ast.Bnot, e))) sub;
+              ])
+        n)
+
+let rec expr_equal (a : Ast.expr) (b : Ast.expr) =
+  match (a.Ast.edesc, b.Ast.edesc) with
+  | Ast.Int_lit x, Ast.Int_lit y -> x = y
+  | Ast.Var x, Ast.Var y -> x = y
+  | Ast.Unary (o1, e1), Ast.Unary (o2, e2) -> o1 = o2 && expr_equal e1 e2
+  | Ast.Binary (o1, l1, r1), Ast.Binary (o2, l2, r2) ->
+    o1 = o2 && expr_equal l1 l2 && expr_equal r1 r2
+  | _ -> false
+
+let prop_expr_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"expression print/parse round-trip"
+    (QCheck.make ~print:(Format.asprintf "%a" Src_pretty.pp_expr) gen_expr)
+    (fun e ->
+      let src =
+        Printf.sprintf "void main() { int x = 1; int y = %s; }"
+          (Format.asprintf "%a" Src_pretty.pp_expr e)
+      in
+      match Parser.parse_program src with
+      | { Ast.funcs = [ { Ast.fbody = [ _; { Ast.sdesc = Ast.Decl (_, _, Some e'); _ } ]; _ } ]; _ }
+        -> expr_equal e e'
+      | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "lexer basics" `Quick test_lexer_basics;
+    Alcotest.test_case "lexer comments" `Quick test_lexer_comments;
+    Alcotest.test_case "lexer error location" `Quick test_lexer_error;
+    Alcotest.test_case "parser precedence" `Quick test_parser_precedence;
+    Alcotest.test_case "dangling else" `Quick test_parser_dangling_else;
+    Alcotest.test_case "for sugar" `Quick test_parser_for_sugar;
+    Alcotest.test_case "globals" `Quick test_parser_globals;
+    Alcotest.test_case "parse error" `Quick test_parser_error;
+    Alcotest.test_case "typecheck accepts" `Quick test_typecheck_accepts;
+    Alcotest.test_case "typecheck rejects" `Quick test_typecheck_rejects;
+    Alcotest.test_case "array arguments" `Quick test_typecheck_array_args;
+    Alcotest.test_case "pretty round-trip" `Quick test_roundtrip;
+    QCheck_alcotest.to_alcotest prop_expr_roundtrip;
+  ]

@@ -1,0 +1,266 @@
+(** Interpreter semantics tests: arithmetic, control flow, memory,
+    calls, builtins, runtime errors and the instrumentation hooks. *)
+
+open Spt_ir
+open Spt_interp
+
+let run src = Interp.run_source src
+
+let output src = (run src).Interp.output
+
+let check_out name src expected =
+  Alcotest.(check string) name expected (output src)
+
+let test_arith () =
+  check_out "int arithmetic"
+    {|
+void main() {
+  print_int(7 + 3 * 2);
+  print_int(7 / 2);
+  print_int(-7 % 3);
+  print_int(1 << 10);
+  print_int(255 & 15);
+  print_int(5 ^ 3);
+  print_int(~0);
+}
+|}
+    "13\n3\n-1\n1024\n15\n6\n-1\n"
+
+let test_float () =
+  check_out "float arithmetic"
+    {|
+void main() {
+  float x = 1.5;
+  float y = x * 4.0 - 2.0;
+  print_float(y);
+  print_float(sqrt(16.0));
+  print_float(fabs(0.0 - 3.25));
+  print_int(int_of_float(y));
+  print_float(float_of_int(7));
+}
+|}
+    "4\n4\n3.25\n4\n7\n"
+
+let test_comparisons_and_logic () =
+  check_out "comparisons and short-circuit"
+    {|
+int trace;
+int bump(int v) { trace = trace + 1; return v; }
+void main() {
+  print_int(1 < 2);
+  print_int(2 <= 1);
+  print_int(1 == 1 && 2 != 2);
+  /* short-circuit: bump must not run */
+  trace = 0;
+  int r = 0 && bump(1);
+  print_int(r);
+  print_int(trace);
+  r = 1 || bump(1);
+  print_int(r);
+  print_int(trace);
+}
+|}
+    "1\n0\n0\n0\n0\n1\n0\n"
+
+let test_control_flow () =
+  check_out "loops and branches"
+    {|
+void main() {
+  int s = 0;
+  int i;
+  for (i = 0; i < 10; i = i + 1) {
+    if (i % 2 == 0) { continue; }
+    if (i > 7) { break; }
+    s = s + i;
+  }
+  print_int(s);
+  int j = 3;
+  do { s = s + j; j = j - 1; } while (j > 0);
+  print_int(s);
+  while (j < 2) { j = j + 1; }
+  print_int(j);
+}
+|}
+    "16\n22\n2\n"
+
+let test_arrays_and_globals () =
+  check_out "arrays, initialized globals"
+    {|
+int n = 5;
+int a[5] = {10, 20, 30};
+float fa[3];
+void main() {
+  int i;
+  int s = 0;
+  for (i = 0; i < n; i = i + 1) { s = s + a[i]; }
+  print_int(s);
+  fa[2] = 1.25;
+  print_float(fa[2] + fa[0]);
+}
+|}
+    "60\n1.25\n"
+
+let test_calls () =
+  check_out "recursion and array parameters"
+    {|
+int buf[8];
+int fib(int n) {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+void fill(int a[], int n) {
+  int i;
+  for (i = 0; i < n; i = i + 1) { a[i] = i * i; }
+}
+void main() {
+  print_int(fib(10));
+  fill(buf, 8);
+  print_int(buf[7]);
+}
+|}
+    "55\n49\n"
+
+let test_rand_deterministic () =
+  let src =
+    {|
+void main() {
+  srand(42);
+  print_int(rand() & 1023);
+  print_int(rand() & 1023);
+}
+|}
+  in
+  Alcotest.(check string) "deterministic rand" (output src) (output src)
+
+let expect_error src fragment =
+  match run src with
+  | exception Interp.Runtime_error msg ->
+    if
+      not
+        (let flen = String.length fragment in
+         let rec scan i =
+           i + flen <= String.length msg
+           && (String.sub msg i flen = fragment || scan (i + 1))
+         in
+         scan 0)
+    then Alcotest.fail (Printf.sprintf "error %S does not mention %S" msg fragment)
+  | _ -> Alcotest.fail "expected runtime error"
+
+let test_runtime_errors () =
+  expect_error "void main() { int x = 1 / 0; print_int(x); }" "division";
+  expect_error "int a[3]; void main() { a[3] = 1; }" "out-of-bounds";
+  expect_error "int a[3]; void main() { print_int(a[-1]); }" "out-of-bounds"
+
+let test_step_limit () =
+  match Interp.run_source ~max_steps:1000 "void main() { while (1) { } }" with
+  | exception Interp.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "expected step limit"
+
+let test_spt_instrs_are_nops () =
+  (* hand-build: a loop with SPT_FORK/KILL must behave sequentially *)
+  let ast = Spt_srclang.Typecheck.parse_and_check
+    "void main() { int i = 0; while (i < 3) { i = i + 1; } print_int(i); }" in
+  let prog = Lower.lower_program ast in
+  let f = Ir.func_of_program prog "main" in
+  (* prepend a fork to every block: still a sequential no-op *)
+  List.iter
+    (fun bid -> Ir.prepend_instr (Ir.block f bid) (Ir.mk_instr f (Ir.Spt_fork 0)))
+    (Ir.block_ids f);
+  let r = Interp.run prog in
+  Alcotest.(check string) "forks are no-ops" "3\n" r.Interp.output
+
+let test_hooks_fire () =
+  let instrs = ref 0 and blocks = ref 0 and edges = ref 0 in
+  let branches = ref 0 and enters = ref 0 and exits = ref 0 in
+  let hooks =
+    {
+      Interp.on_instr = (fun _ _ _ _ -> incr instrs);
+      on_block = (fun _ _ -> incr blocks);
+      on_edge = (fun _ ~src:_ ~dst:_ -> incr edges);
+      on_branch = (fun _ _ ~taken:_ -> incr branches);
+      on_enter = (fun _ -> incr enters);
+      on_exit = (fun _ -> incr exits);
+    }
+  in
+  let ast =
+    Spt_srclang.Typecheck.parse_and_check
+      {|
+int f(int x) { return x + 1; }
+void main() {
+  int i = 0;
+  while (i < 4) { i = f(i); }
+  print_int(i);
+}
+|}
+  in
+  let prog = Lower.lower_program ast in
+  let r = Interp.run ~hooks prog in
+  Alcotest.(check string) "output" "4\n" r.Interp.output;
+  Alcotest.(check int) "instr events equal dynamic count" r.Interp.dynamic_instrs !instrs;
+  Alcotest.(check bool) "blocks fired" true (!blocks > 0);
+  Alcotest.(check bool) "edges fired" true (!edges > 0);
+  Alcotest.(check int) "branch per loop test" 5 !branches;
+  Alcotest.(check int) "enter main + 4 calls" 5 !enters;
+  Alcotest.(check int) "exit count" 5 !exits
+
+let test_effects_content () =
+  (* the store/load effects must carry element addresses and values *)
+  let stores = ref [] and loads = ref [] in
+  let hooks =
+    {
+      Interp.null_hooks with
+      Interp.on_instr =
+        (fun _ _ _ eff ->
+          stores := eff.Interp.stores @ !stores;
+          loads := eff.Interp.loads @ !loads);
+    }
+  in
+  let ast =
+    Spt_srclang.Typecheck.parse_and_check
+      "int a[4]; void main() { a[2] = 7; print_int(a[2]); }"
+  in
+  let prog = Lower.lower_program ast in
+  ignore (Interp.run ~hooks prog);
+  (match !stores with
+  | [ (addr, Eval.Vi 7L) ] -> Alcotest.(check bool) "addr positive" true (addr > 0)
+  | _ -> Alcotest.fail "expected exactly one store of 7");
+  match !loads with
+  | [ (_, Eval.Vi 7L) ] -> ()
+  | _ -> Alcotest.fail "expected exactly one load of 7"
+
+(* property: wrapping 64-bit arithmetic agrees between interpreter and
+   OCaml Int64 on random operand pairs *)
+let prop_arith_agrees =
+  QCheck.Test.make ~count:200 ~name:"interpreter arithmetic matches Int64"
+    QCheck.(pair (int_range (-10000) 10000) (int_range 1 10000))
+    (fun (a, b) ->
+      let src =
+        Printf.sprintf
+          "void main() { print_int(%d + %d); print_int(%d * %d); print_int(%d / %d); print_int(%d %% %d); }"
+          a b a b a b a b
+      in
+      let expected =
+        Printf.sprintf "%Ld\n%Ld\n%Ld\n%Ld\n"
+          Int64.(add (of_int a) (of_int b))
+          Int64.(mul (of_int a) (of_int b))
+          Int64.(div (of_int a) (of_int b))
+          Int64.(rem (of_int a) (of_int b))
+      in
+      output src = expected)
+
+let suite =
+  [
+    Alcotest.test_case "integer arithmetic" `Quick test_arith;
+    Alcotest.test_case "float arithmetic" `Quick test_float;
+    Alcotest.test_case "comparisons and logic" `Quick test_comparisons_and_logic;
+    Alcotest.test_case "control flow" `Quick test_control_flow;
+    Alcotest.test_case "arrays and globals" `Quick test_arrays_and_globals;
+    Alcotest.test_case "calls" `Quick test_calls;
+    Alcotest.test_case "deterministic rand" `Quick test_rand_deterministic;
+    Alcotest.test_case "runtime errors" `Quick test_runtime_errors;
+    Alcotest.test_case "step limit" `Quick test_step_limit;
+    Alcotest.test_case "SPT instrs are no-ops" `Quick test_spt_instrs_are_nops;
+    Alcotest.test_case "hooks fire" `Quick test_hooks_fire;
+    Alcotest.test_case "effects content" `Quick test_effects_content;
+    QCheck_alcotest.to_alcotest prop_arith_agrees;
+  ]

@@ -1,0 +1,578 @@
+(** IR-level tests: lowering, CFG utilities, dominance, loop detection,
+    liveness, SSA construction/validation/destruction and the clean-up
+    passes — including the semantic-preservation property through the
+    whole SSA round trip on generated programs. *)
+
+open Spt_ir
+
+let compile src = Lower.lower_program (Spt_srclang.Typecheck.parse_and_check src)
+
+let main_of prog = Ir.func_of_program prog "main"
+
+let loop_src =
+  {|
+int n = 10;
+int a[10];
+void main() {
+  int i = 0;
+  int s = 0;
+  while (i < n) {
+    if (a[i] > 0) { s = s + a[i]; }
+    i = i + 1;
+  }
+  print_int(s);
+}
+|}
+
+let test_lowering_shape () =
+  let prog = compile loop_src in
+  let f = main_of prog in
+  (* a while-loop header exists and carries its origin tag *)
+  let headers =
+    List.filter
+      (fun bid -> (Ir.block f bid).Ir.loop_origin = Some `While)
+      (Ir.block_ids f)
+  in
+  Alcotest.(check int) "one while header" 1 (List.length headers);
+  (* scalar globals lower to size-1 regions *)
+  let n_sym = Ir.find_sym prog "n" in
+  Alcotest.(check int) "scalar global is size 1" 1 n_sym.Ir.ssize;
+  Alcotest.(check int) "array size" 10 (Ir.find_sym prog "a").Ir.ssize
+
+let test_cfg_succs_preds () =
+  let prog = compile loop_src in
+  let f = main_of prog in
+  let cfg = Cfg.of_func f in
+  List.iter
+    (fun bid ->
+      List.iter
+        (fun s ->
+          Alcotest.(check bool)
+            (Printf.sprintf "pred link bb%d->bb%d" bid s)
+            true
+            (List.mem bid (Cfg.predecessors cfg s)))
+        (Cfg.successors cfg bid))
+    (Cfg.reverse_postorder cfg);
+  Alcotest.(check int) "entry first in rpo" f.Ir.entry
+    (List.hd (Cfg.reverse_postorder cfg))
+
+let test_unreachable_removal () =
+  let prog = compile "void main() { return; print_int(1); }" in
+  let f = main_of prog in
+  let cfg = Cfg.of_func f in
+  (* lowering creates an unreachable continuation; it must be gone *)
+  Alcotest.(check int) "all blocks reachable"
+    (List.length (Cfg.reverse_postorder cfg))
+    (List.length (Ir.block_ids f))
+
+let test_dominance () =
+  let prog = compile loop_src in
+  let f = main_of prog in
+  let cfg = Cfg.of_func f in
+  let dom = Dominance.compute cfg in
+  (* the entry dominates everything *)
+  List.iter
+    (fun bid ->
+      Alcotest.(check bool)
+        (Printf.sprintf "entry dom bb%d" bid)
+        true
+        (Dominance.dominates dom f.Ir.entry bid))
+    (Cfg.reverse_postorder cfg);
+  (* dominance is reflexive and antisymmetric on distinct blocks *)
+  let rpo = Cfg.reverse_postorder cfg in
+  List.iter
+    (fun a ->
+      Alcotest.(check bool) "reflexive" true (Dominance.dominates dom a a);
+      List.iter
+        (fun b ->
+          if a <> b && Dominance.dominates dom a b then
+            Alcotest.(check bool) "antisymmetric" false (Dominance.dominates dom b a))
+        rpo)
+    rpo
+
+let test_loops_nesting () =
+  let prog =
+    compile
+      {|
+void main() {
+  int i;
+  int j;
+  int s = 0;
+  for (i = 0; i < 4; i = i + 1) {
+    for (j = 0; j < 4; j = j + 1) { s = s + i * j; }
+  }
+  while (s > 0) { s = s - 3; }
+  print_int(s);
+}
+|}
+  in
+  let f = main_of prog in
+  let loops = Loops.find f in
+  Alcotest.(check int) "three loops" 3 (List.length loops);
+  let depths = List.sort compare (List.map (fun l -> l.Loops.depth) loops) in
+  Alcotest.(check (list int)) "nesting depths" [ 1; 1; 2 ] depths;
+  let inner = Loops.innermost loops in
+  Alcotest.(check int) "two innermost" 2 (List.length inner);
+  (* the inner for-loop body is contained in the outer's *)
+  let outer = List.find (fun l -> l.Loops.depth = 1 && l.Loops.origin = Some `For) loops in
+  let nested = List.find (fun l -> l.Loops.depth = 2) loops in
+  Alcotest.(check bool) "containment" true
+    (Loops.Iset.subset nested.Loops.body outer.Loops.body);
+  Alcotest.(check bool) "parent link" true (nested.Loops.parent <> None)
+
+let test_loop_exits_latches () =
+  let prog = compile loop_src in
+  let f = main_of prog in
+  match Loops.find f with
+  | [ l ] ->
+    Alcotest.(check int) "one latch" 1 (List.length l.Loops.latches);
+    Alcotest.(check bool) "has exit" true (List.length l.Loops.exits >= 1);
+    List.iter
+      (fun (inside, outside) ->
+        Alcotest.(check bool) "exit src inside" true (Loops.in_loop l inside);
+        Alcotest.(check bool) "exit dst outside" false (Loops.in_loop l outside))
+      l.Loops.exits
+  | ls -> Alcotest.fail (Printf.sprintf "expected 1 loop, got %d" (List.length ls))
+
+let test_liveness () =
+  let prog = compile loop_src in
+  let f = main_of prog in
+  let live = Liveness.compute f in
+  (* find the loop header: i and s are live around the back edge *)
+  match Loops.find f with
+  | [ l ] ->
+    let live_in = Liveness.live_in live l.Loops.header in
+    let names =
+      List.sort_uniq compare
+        (List.map (fun v -> v.Ir.vname) (Ir.Vset.elements live_in))
+    in
+    Alcotest.(check bool) "i live at header" true (List.mem "i" names);
+    Alcotest.(check bool) "s live at header" true (List.mem "s" names)
+  | _ -> Alcotest.fail "expected one loop"
+
+let test_ssa_construct_valid () =
+  let prog = compile loop_src in
+  List.iter
+    (fun (name, f) ->
+      Ssa.construct f;
+      match Ssa.check f with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail (name ^ ": " ^ m))
+    prog.Ir.funcs
+
+let test_ssa_phis_at_header () =
+  let prog = compile loop_src in
+  let f = main_of prog in
+  Ssa.construct f;
+  match Loops.find f with
+  | [ l ] ->
+    let phis =
+      List.filter
+        (fun (i : Ir.instr) -> Ir.is_phi i.Ir.kind)
+        (Ir.block f l.Loops.header).Ir.instrs
+    in
+    (* i and s are carried; the header needs phis for both *)
+    Alcotest.(check bool) "at least two phis" true (List.length phis >= 2)
+  | _ -> Alcotest.fail "expected one loop"
+
+let test_ssa_checker_catches_double_def () =
+  let prog = compile "void main() { int x = 1; print_int(x); }" in
+  let f = main_of prog in
+  Ssa.construct f;
+  (* corrupt: duplicate a defining instruction *)
+  let entry = Ir.block f f.Ir.entry in
+  let dup =
+    List.find_map
+      (fun (i : Ir.instr) ->
+        match Ir.def_of_kind i.Ir.kind with Some _ -> Some i | None -> None)
+      entry.Ir.instrs
+  in
+  (match dup with
+  | Some i -> Ir.append_instr entry (Ir.mk_instr f i.Ir.kind)
+  | None -> Alcotest.fail "no def found");
+  match Ssa.check f with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "checker should reject double definition"
+
+let run_prog prog = (Spt_interp.Interp.run prog).Spt_interp.Interp.output
+
+let test_ssa_roundtrip_semantics () =
+  let src =
+    {|
+int n = 30;
+int a[30];
+int fsum(int k) {
+  int s = 0;
+  int i;
+  for (i = 0; i < k; i = i + 1) { s = s + a[i]; }
+  return s;
+}
+void main() {
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    if (i % 3 == 0) { a[i] = i * 2; } else { a[i] = i - 1; }
+  }
+  print_int(fsum(n));
+  int x = 0;
+  int y = 1;
+  while (x < 10) {
+    int t = x;
+    x = y;
+    y = t + y;
+  }
+  print_int(x);
+  print_int(y);
+}
+|}
+  in
+  let reference = run_prog (compile src) in
+  let prog = compile src in
+  List.iter (fun (_, f) -> Ssa.construct f) prog.Ir.funcs;
+  Alcotest.(check string) "SSA form runs identically" reference (run_prog prog);
+  List.iter (fun (_, f) -> Passes.optimize_ssa f) prog.Ir.funcs;
+  Alcotest.(check string) "optimized SSA runs identically" reference (run_prog prog);
+  List.iter (fun (_, f) -> Ssa.destruct f; Passes.optimize_nonssa f) prog.Ir.funcs;
+  Alcotest.(check string) "destructed form runs identically" reference (run_prog prog)
+
+let test_constant_folding () =
+  let prog = compile "void main() { int x = 2 + 3 * 4; print_int(x); }" in
+  let f = main_of prog in
+  Ssa.construct f;
+  Passes.optimize_ssa f;
+  (* after folding + copy-prop + dce, no Binop should survive *)
+  let binops =
+    List.concat_map
+      (fun bid ->
+        List.filter
+          (fun (i : Ir.instr) ->
+            match i.Ir.kind with Ir.Binop _ -> true | _ -> false)
+          (Ir.block f bid).Ir.instrs)
+      (Ir.block_ids f)
+  in
+  Alcotest.(check int) "binops folded away" 0 (List.length binops)
+
+let test_dce_keeps_side_effects () =
+  let prog =
+    compile
+      "int g; void main() { int dead = 1 + 2; g = 7; print_int(g); }"
+  in
+  let f = main_of prog in
+  Ssa.construct f;
+  Passes.optimize_ssa f;
+  Alcotest.(check string) "still prints" "7\n" (run_prog prog)
+
+let test_branch_folding () =
+  let prog = compile "void main() { if (1 < 2) { print_int(1); } else { print_int(2); } }" in
+  let f = main_of prog in
+  Ssa.construct f;
+  Passes.optimize_ssa f;
+  let has_br =
+    List.exists
+      (fun bid ->
+        match (Ir.block f bid).Ir.term with Ir.Br _ -> true | _ -> false)
+      (Ir.block_ids f)
+  in
+  Alcotest.(check bool) "constant branch folded" false has_br;
+  Alcotest.(check string) "output" "1\n" (run_prog prog)
+
+(* random-program property: full pipeline preserves semantics.  The
+   generator builds structured programs from a small statement grammar
+   (guarded array accesses so no OOB). *)
+let gen_program =
+  let open QCheck.Gen in
+  let var_names = [ "x"; "y"; "z" ] in
+  let gen_atom =
+    oneof
+      [
+        map (fun i -> Printf.sprintf "%d" i) (int_range 0 20);
+        oneofl var_names;
+        map (fun i -> Printf.sprintf "a[%d]" i) (int_range 0 7);
+      ]
+  in
+  let gen_expr =
+    gen_atom >>= fun a ->
+    gen_atom >>= fun b ->
+    oneofl [ "+"; "-"; "*"; "&"; "^"; "<"; "==" ] >>= fun op ->
+    return (Printf.sprintf "(%s %s %s)" a op b)
+  in
+  let gen_stmt =
+    gen_expr >>= fun e ->
+    oneof
+      [
+        (oneofl var_names >>= fun v -> return (Printf.sprintf "%s = %s;" v e));
+        (int_range 0 7 >>= fun i -> return (Printf.sprintf "a[%d] = %s;" i e));
+        (gen_expr >>= fun c ->
+         oneofl var_names >>= fun v ->
+         return (Printf.sprintf "if (%s) { %s = %s; }" c v e));
+      ]
+  in
+  list_size (int_range 1 12) gen_stmt >>= fun stmts ->
+  gen_expr >>= fun last ->
+  int_range 1 6 >>= fun trip ->
+  return
+    (Printf.sprintf
+       {|
+int a[8];
+void main() {
+  int x = 1;
+  int y = 2;
+  int z = 3;
+  int k;
+  for (k = 0; k < %d; k = k + 1) {
+    %s
+  }
+  print_int(%s);
+  print_int(x + y * 3 + z * 7 + a[0] + a[7] * 2);
+}
+|}
+       trip (String.concat "\n    " stmts) last)
+
+let prop_pipeline_preserves_semantics =
+  QCheck.Test.make ~count:60 ~name:"SSA+opt+destruct preserves semantics"
+    (QCheck.make ~print:(fun s -> s) gen_program)
+    (fun src ->
+      let reference = run_prog (compile src) in
+      let prog = compile src in
+      List.iter
+        (fun (_, f) ->
+          Ssa.construct f;
+          (match Ssa.check f with
+          | Ok () -> ()
+          | Error m -> QCheck.Test.fail_report ("ssa check: " ^ m));
+          Passes.optimize_ssa f;
+          Ssa.destruct f;
+          Passes.optimize_nonssa f)
+        prog.Ir.funcs;
+      run_prog prog = reference)
+
+let suite =
+  [
+    Alcotest.test_case "lowering shape" `Quick test_lowering_shape;
+    Alcotest.test_case "cfg succ/pred" `Quick test_cfg_succs_preds;
+    Alcotest.test_case "unreachable removal" `Quick test_unreachable_removal;
+    Alcotest.test_case "dominance" `Quick test_dominance;
+    Alcotest.test_case "loop nesting" `Quick test_loops_nesting;
+    Alcotest.test_case "loop exits/latches" `Quick test_loop_exits_latches;
+    Alcotest.test_case "liveness" `Quick test_liveness;
+    Alcotest.test_case "ssa valid" `Quick test_ssa_construct_valid;
+    Alcotest.test_case "ssa header phis" `Quick test_ssa_phis_at_header;
+    Alcotest.test_case "ssa checker" `Quick test_ssa_checker_catches_double_def;
+    Alcotest.test_case "ssa round-trip semantics" `Quick test_ssa_roundtrip_semantics;
+    Alcotest.test_case "constant folding" `Quick test_constant_folding;
+    Alcotest.test_case "dce keeps effects" `Quick test_dce_keeps_side_effects;
+    Alcotest.test_case "branch folding" `Quick test_branch_folding;
+    QCheck_alcotest.to_alcotest prop_pipeline_preserves_semantics;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Function inlining (extension pass) *)
+
+let inline_src =
+  {|
+int a[32];
+int g;
+int twice(int x) { return x * 2; }
+int addg(int x) { g = g + x; return g; }
+int rec_f(int n) { if (n <= 0) { return 0; } return n + rec_f(n - 1); }
+void main() {
+  int i;
+  g = 0;
+  for (i = 0; i < 32; i = i + 1) { a[i] = twice(i) + addg(i & 3); }
+  print_int(rec_f(10));
+  print_int(g + a[31]);
+}
+|}
+
+let test_inline_semantics () =
+  let reference = run_prog (compile inline_src) in
+  let prog = compile inline_src in
+  let n = Inline.run prog in
+  Alcotest.(check bool) "inlined some sites" true (n >= 2);
+  Alcotest.(check string) "semantics preserved" reference (run_prog prog);
+  (* and the result still survives the whole SSA pipeline *)
+  List.iter
+    (fun (_, f) ->
+      Ssa.construct f;
+      (match Ssa.check f with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail ("post-inline SSA: " ^ m));
+      Passes.optimize_ssa f;
+      Ssa.destruct f;
+      Passes.optimize_nonssa f)
+    prog.Ir.funcs;
+  Alcotest.(check string) "post-pipeline semantics" reference (run_prog prog)
+
+let test_inline_skips_recursion () =
+  let prog = compile inline_src in
+  ignore (Inline.run prog);
+  (* rec_f must still be called somewhere (not inlined away) *)
+  let f = main_of prog in
+  let still_calls_rec =
+    List.exists
+      (fun bid ->
+        List.exists
+          (fun (i : Ir.instr) ->
+            match i.Ir.kind with
+            | Ir.Call (_, "rec_f", _) -> true
+            | _ -> false)
+          (Ir.block f bid).Ir.instrs)
+      (Ir.block_ids f)
+  in
+  Alcotest.(check bool) "recursive callee kept as a call" true still_calls_rec
+
+let test_inline_array_params () =
+  let src =
+    {|
+int a[16];
+int b[16];
+int sum3(int v[], int k) { return v[k] + v[k + 1] + v[k + 2]; }
+void main() {
+  int i;
+  for (i = 0; i < 16; i = i + 1) { a[i] = i * i; b[i] = i + 1; }
+  print_int(sum3(a, 4) + sum3(b, 7));
+}
+|}
+  in
+  let reference = run_prog (compile src) in
+  let prog = compile src in
+  let n = Inline.run prog in
+  Alcotest.(check bool) "array-param sites inlined" true (n >= 2);
+  Alcotest.(check string) "regions rebound correctly" reference (run_prog prog)
+
+let inline_suite =
+  [
+    Alcotest.test_case "inline semantics" `Quick test_inline_semantics;
+    Alcotest.test_case "inline skips recursion" `Quick test_inline_skips_recursion;
+    Alcotest.test_case "inline array params" `Quick test_inline_array_params;
+  ]
+
+let suite = suite @ inline_suite
+
+(* ------------------------------------------------------------------ *)
+(* CFG surgery utilities *)
+
+let test_split_edge () =
+  let prog = compile loop_src in
+  let f = main_of prog in
+  let reference = run_prog (compile loop_src) in
+  let cfg = Cfg.of_func f in
+  (* split every edge once; semantics must be unchanged *)
+  let edges =
+    List.concat_map
+      (fun src -> List.map (fun dst -> (src, dst)) (Cfg.successors cfg src))
+      (Cfg.reverse_postorder cfg)
+  in
+  List.iter (fun (src, dst) -> ignore (Cfg.split_edge f ~src ~dst)) edges;
+  Alcotest.(check string) "split edges preserve semantics" reference (run_prog prog)
+
+let test_split_critical_edges () =
+  let prog = compile loop_src in
+  let f = main_of prog in
+  ignore (Cfg.split_critical_edges f);
+  (* afterwards no edge is critical *)
+  let cfg = Cfg.of_func f in
+  List.iter
+    (fun src ->
+      let succs = Cfg.successors cfg src in
+      if List.length succs >= 2 then
+        List.iter
+          (fun dst ->
+            Alcotest.(check bool)
+              (Printf.sprintf "edge bb%d->bb%d not critical" src dst)
+              true
+              (List.length (Cfg.predecessors cfg dst) < 2))
+          succs)
+    (Cfg.reverse_postorder cfg)
+
+let test_layout () =
+  let prog = compile "int a[5]; float b[3]; int c; void main() { c = 1; }" in
+  let layout = Spt_interp.Layout.build prog.Ir.globals in
+  let a = Ir.find_sym prog "a" and b = Ir.find_sym prog "b" and c = Ir.find_sym prog "c" in
+  (* regions are line-aligned and non-overlapping *)
+  List.iter
+    (fun s ->
+      Alcotest.(check int)
+        (s.Ir.sname ^ " line aligned")
+        0
+        (Spt_interp.Layout.address layout s 0 mod Spt_interp.Layout.line_size))
+    [ a; b; c ];
+  let range s =
+    ( Spt_interp.Layout.address layout s 0,
+      Spt_interp.Layout.address layout s (s.Ir.ssize - 1) + 8 )
+  in
+  let disjoint (l1, h1) (l2, h2) = h1 <= l2 || h2 <= l1 in
+  Alcotest.(check bool) "a/b disjoint" true (disjoint (range a) (range b));
+  Alcotest.(check bool) "b/c disjoint" true (disjoint (range b) (range c));
+  Alcotest.(check bool) "element addresses dense" true
+    (Spt_interp.Layout.element_address layout a 1
+    = Spt_interp.Layout.element_address layout a 0 + 1)
+
+let cfg_suite =
+  [
+    Alcotest.test_case "split edge" `Quick test_split_edge;
+    Alcotest.test_case "split critical edges" `Quick test_split_critical_edges;
+    Alcotest.test_case "memory layout" `Quick test_layout;
+  ]
+
+let suite = suite @ cfg_suite
+
+(* property: Cooper-Harvey-Kennedy dominators match brute force on
+   random CFGs.  Brute force: a dominates b iff b is unreachable from
+   the entry once a is removed. *)
+let prop_dominance_bruteforce =
+  QCheck.Test.make ~count:80 ~name:"dominance matches brute force on random CFGs"
+    QCheck.(list_of_size (Gen.int_range 0 14) (pair (int_range 0 7) (int_range 0 7)))
+    (fun raw_edges ->
+      (* build a function with 8 blocks whose terminators encode the
+         random edges (up to 2 successors each; extras dropped) *)
+      let f = Ir.create_func ~name:"rand" ~params:[] ~ret:None in
+      let blocks = Array.init 8 (fun _ -> Ir.add_block f) in
+      f.Ir.entry <- blocks.(0).Ir.bid;
+      let succs = Array.make 8 [] in
+      List.iter
+        (fun (a, b) ->
+          if List.length succs.(a) < 2 && not (List.mem b succs.(a)) then
+            succs.(a) <- b :: succs.(a))
+        raw_edges;
+      Array.iteri
+        (fun k ss ->
+          let cond = Ir.fresh_var f ~name:"c" ~ty:Ir.I64 in
+          ignore cond;
+          blocks.(k).Ir.term <-
+            (match ss with
+            | [] -> Ir.Ret None
+            | [ s ] -> Ir.Jump blocks.(s).Ir.bid
+            | [ s1; s2 ] -> Ir.Br (Ir.Imm_i 1L, blocks.(s1).Ir.bid, blocks.(s2).Ir.bid)
+            | _ -> assert false))
+        succs;
+      let cfg = Cfg.of_func f in
+      let dom = Dominance.compute cfg in
+      let reachable = Cfg.reverse_postorder cfg in
+      (* brute force reachability avoiding [cut] *)
+      let reaches_avoiding cut target =
+        let seen = Hashtbl.create 8 in
+        let rec go bid =
+          bid = target
+          ||
+          if Hashtbl.mem seen bid || bid = cut then false
+          else begin
+            Hashtbl.replace seen bid ();
+            List.exists go (Ir.term_succs (Ir.block f bid).Ir.term)
+          end
+        in
+        f.Ir.entry <> cut && go f.Ir.entry
+      in
+      List.for_all
+        (fun a ->
+          List.for_all
+            (fun b ->
+              let brute =
+                a = b || (a = f.Ir.entry) || not (reaches_avoiding a b)
+              in
+              Dominance.dominates dom a b = brute)
+            reachable)
+        reachable)
+
+let suite =
+  suite
+  @ [ QCheck_alcotest.to_alcotest prop_dominance_bruteforce ]

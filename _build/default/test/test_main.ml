@@ -1,0 +1,16 @@
+let () =
+  Alcotest.run "spt"
+    [
+      ("util", Test_util.suite);
+      ("frontend", Test_frontend.suite);
+      ("interp", Test_interp.suite);
+      ("ir", Test_ir.suite);
+      ("cost", Test_cost.suite);
+      ("depgraph", Test_depgraph.suite);
+      ("partition", Test_partition.suite);
+      ("transform", Test_transform.suite);
+      ("profile", Test_profile.suite);
+      ("tlsim", Test_tlsim.suite);
+      ("driver", Test_driver.suite);
+      ("workloads", Test_workloads.suite);
+    ]

@@ -1,0 +1,217 @@
+(** Partition-search tests (§5): closure legality, VC-dep graph search,
+    the Fig. 8/9 search space, pruning vs exhaustive equivalence, and
+    the too-many-candidates skip. *)
+
+open Spt_ir
+open Spt_depgraph
+open Spt_partition
+module Iset = Set.Make (Int)
+
+let build ?(config = Depgraph.default_config) src =
+  let prog = Lower.lower_program (Spt_srclang.Typecheck.parse_and_check src) in
+  let f = Ir.func_of_program prog "main" in
+  Ssa.construct f;
+  Passes.optimize_ssa f;
+  let eff = Effects.compute prog in
+  let l = List.hd (Loops.find f) in
+  (f, Depgraph.build ~config eff f l)
+
+let induction_loop =
+  {|
+int n = 40;
+int a[40];
+int b[40];
+void main() {
+  int i = 0;
+  while (i < n) {
+    a[i] = b[i] * 2 + 1;
+    i = i + 1;
+  }
+  print_int(a[7]);
+}
+|}
+
+let test_closure_contains_ancestors () =
+  let _, g = build induction_loop in
+  let anc = Partition.ancestors g in
+  List.iter
+    (fun vc ->
+      let cl = anc vc in
+      Alcotest.(check bool) "vc in own closure" true (Iset.mem vc cl);
+      (* every register operand defined in the loop must be in the closure *)
+      Iset.iter
+        (fun iid ->
+          List.iter
+            (fun v ->
+              let def =
+                List.find_opt
+                  (fun j ->
+                    match Ir.def_of_kind (Depgraph.instr g j).Ir.kind with
+                    | Some d -> Ir.Var.equal d v
+                    | None -> false)
+                  g.Depgraph.nodes
+              in
+              match def with
+              | Some j ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "closure closed under deps (%d needs %d)" iid j)
+                  true (Iset.mem j cl)
+              | None -> ())
+            (Ir.reg_uses_of_kind (Depgraph.instr g iid).Ir.kind))
+        cl)
+    (Depgraph.violation_candidates g)
+
+let test_search_moves_induction () =
+  let _, g = build induction_loop in
+  let cm = Spt_cost.Cost_model.build g in
+  match Partition.search cm g with
+  | Partition.Found r ->
+    (* the only carried value is i: the optimal partition moves it and
+       reaches (near-)zero cost with a tiny pre-fork region *)
+    Alcotest.(check bool) "cost near zero" true (r.Partition.cost < 0.5);
+    Alcotest.(check bool) "pre-fork small" true (r.Partition.prefork_size <= 8);
+    Alcotest.(check bool) "chose at least one VC" true
+      (not (Iset.is_empty r.Partition.chosen_vcs));
+    Alcotest.(check bool) "search exhausted" true r.Partition.exhausted
+  | Partition.Too_many_vcs _ -> Alcotest.fail "unexpected VC explosion"
+
+let test_empty_partition_feasible () =
+  (* a loop with an unmovable carried value (memory recurrence): the
+     search still returns something (possibly the empty pre-fork) *)
+  let _, g =
+    build
+      {|
+int n = 40;
+int a[40];
+void main() {
+  int i = 1;
+  while (i < n) {
+    a[i] = a[i - 1] + a[i];
+    i = i + 1;
+  }
+  print_int(a[39]);
+}
+|}
+  in
+  let cm = Spt_cost.Cost_model.build g in
+  match Partition.search cm g with
+  | Partition.Found r -> Alcotest.(check bool) "cost positive" true (r.Partition.cost > 0.0)
+  | Partition.Too_many_vcs _ -> Alcotest.fail "unexpected VC explosion"
+
+let test_pruning_equals_exhaustive () =
+  (* the two pruning heuristics must not change the optimum (§5.2.1) *)
+  let srcs =
+    [
+      induction_loop;
+      {|
+int n = 40;
+int a[40];
+int b[40];
+int c[40];
+void main() {
+  int i = 0;
+  int s = 0;
+  int t = 1;
+  while (i < n) {
+    s = s + a[i];
+    t = (t * 3) & 1023;
+    b[i] = s + t;
+    c[i] = b[i] * 2;
+    i = i + 1;
+  }
+  print_int(s + t);
+}
+|};
+    ]
+  in
+  List.iter
+    (fun src ->
+      let _, g = build src in
+      let cm = Spt_cost.Cost_model.build g in
+      let body = Partition.body_size g in
+      let opts use_pruning =
+        { (Partition.default_options ~body_size:body) with Partition.use_pruning }
+      in
+      match
+        ( Partition.search ~options:(Some (opts true)) cm g,
+          Partition.search ~options:(Some (opts false)) cm g )
+      with
+      | Partition.Found pruned, Partition.Found full ->
+        Alcotest.(check (float 1e-9))
+          "same optimal cost" full.Partition.cost pruned.Partition.cost;
+        Alcotest.(check bool) "pruned explores no more nodes" true
+          (pruned.Partition.nodes_explored <= full.Partition.nodes_explored)
+      | _ -> Alcotest.fail "searches disagree on feasibility")
+    srcs
+
+let test_too_many_vcs () =
+  let _, g = build induction_loop in
+  let cm = Spt_cost.Cost_model.build g in
+  let opts =
+    { (Partition.default_options ~body_size:(Partition.body_size g)) with Partition.max_vcs = 0 }
+  in
+  match Partition.search ~options:(Some opts) cm g with
+  | Partition.Too_many_vcs n -> Alcotest.(check bool) "count reported" true (n > 0)
+  | Partition.Found _ -> Alcotest.fail "expected Too_many_vcs"
+
+let test_size_threshold_respected () =
+  let _, g = build induction_loop in
+  let cm = Spt_cost.Cost_model.build g in
+  let opts =
+    {
+      (Partition.default_options ~body_size:(Partition.body_size g)) with
+      Partition.prefork_size_limit = 0;
+    }
+  in
+  match Partition.search ~options:(Some opts) cm g with
+  | Partition.Found r ->
+    Alcotest.(check int) "forced to the empty partition" 0 r.Partition.prefork_size
+  | Partition.Too_many_vcs _ -> Alcotest.fail "unexpected"
+
+(* Fig. 8/9: with three violation candidates D, E, F and the VC-dep
+   edge D->E, the search space has exactly the 7 subsets closed under
+   predecessors ({},{D},{E}x -- E requires D...).  We verify the
+   explored-node count: subsets of {D,E,F} where E implies D:
+   {}, {D}, {F}, {D,E}, {D,F}, {D,E,F} -> 6 nodes. *)
+let test_fig8_search_space () =
+  let _, g =
+    build
+      {|
+int n = 40;
+int a[40];
+void main() {
+  int i = 0;
+  int d = 0;
+  int e = 0;
+  while (i < n) {
+    d = d + 2;
+    e = e + d;
+    a[i] = e;
+    i = i + 1;
+  }
+  print_int(e);
+}
+|}
+  in
+  (* VCs: i, d, e with e dependent on d *)
+  let cm = Spt_cost.Cost_model.build g in
+  match Partition.search cm g with
+  | Partition.Found r ->
+    Alcotest.(check bool) "all three movable" true (r.Partition.cost < 0.5);
+    (* universe: subsets of {i, d, e} with e=>d: 6 subsets *)
+    Alcotest.(check bool)
+      (Printf.sprintf "explored %d nodes (expected <= 6)" r.Partition.nodes_explored)
+      true
+      (r.Partition.nodes_explored <= 6)
+  | Partition.Too_many_vcs _ -> Alcotest.fail "unexpected"
+
+let suite =
+  [
+    Alcotest.test_case "closure closed under deps" `Quick test_closure_contains_ancestors;
+    Alcotest.test_case "search moves induction" `Quick test_search_moves_induction;
+    Alcotest.test_case "empty partition feasible" `Quick test_empty_partition_feasible;
+    Alcotest.test_case "pruning = exhaustive" `Quick test_pruning_equals_exhaustive;
+    Alcotest.test_case "too many VCs skip" `Quick test_too_many_vcs;
+    Alcotest.test_case "size threshold" `Quick test_size_threshold_respected;
+    Alcotest.test_case "Fig 8/9 search space" `Quick test_fig8_search_space;
+  ]

@@ -1,0 +1,257 @@
+(** TLS machine tests: cache behaviour, branch predictor, baseline
+    timing sanity, and the speculative execution engine's violation
+    detection and speedup behaviour on controlled loops. *)
+
+open Spt_ir
+open Spt_tlsim
+module Iset = Set.Make (Int)
+
+let test_cache_lru () =
+  let c = Cache.create ~cores:1 () in
+  (* first touch misses all the way to memory; second hits L1 *)
+  Alcotest.(check int) "cold miss" 150 (Cache.access c ~core:0 4096);
+  Alcotest.(check int) "warm hit" 1 (Cache.access c ~core:0 4096);
+  (* same line (64B): also a hit *)
+  Alcotest.(check int) "same line" 1 (Cache.access c ~core:0 (4096 + 32));
+  (* evict by touching many conflicting lines *)
+  let cfg = Cache.itanium2_config in
+  let sets = cfg.Cache.l1.Cache.size_bytes / (cfg.Cache.l1.Cache.ways * cfg.Cache.l1.Cache.line_bytes) in
+  for k = 1 to cfg.Cache.l1.Cache.ways + 1 do
+    ignore (Cache.access c ~core:0 (4096 + (k * sets * cfg.Cache.l1.Cache.line_bytes)))
+  done;
+  Alcotest.(check bool) "evicted from L1" true (Cache.access c ~core:0 4096 > 1)
+
+let test_cache_hierarchy_order () =
+  let c = Cache.create ~cores:1 () in
+  ignore (Cache.access c ~core:0 0);
+  let stats = Cache.stats c in
+  Alcotest.(check bool) "stats well-formed" true
+    (stats.Cache.l1_hit_rate >= 0.0 && stats.Cache.l1_hit_rate <= 1.0)
+
+let test_branch_predictor () =
+  let bp = Branch_pred.create () in
+  (* an always-taken branch converges to zero penalty *)
+  let penalties = List.init 20 (fun _ -> Branch_pred.access bp ~site:7 ~taken:true) in
+  Alcotest.(check int) "steady state predicts taken" 0 (List.nth penalties 19);
+  (* alternate: roughly half mispredict *)
+  let bp2 = Branch_pred.create () in
+  let total =
+    List.fold_left ( + ) 0
+      (List.init 100 (fun k -> Branch_pred.access bp2 ~site:3 ~taken:(k mod 2 = 0)))
+  in
+  Alcotest.(check bool) "alternating hurts" true (total >= 40 * Branch_pred.mispredict_penalty)
+
+let compile src = Lower.lower_program (Spt_srclang.Typecheck.parse_and_check src)
+
+let test_baseline_ipc_sane () =
+  let prog =
+    compile
+      {|
+int n = 2000;
+int a[2000];
+void main() {
+  int i;
+  int s = 0;
+  for (i = 0; i < n; i = i + 1) { a[i] = i * 3; s = s + a[i]; }
+  print_int(s);
+}
+|}
+  in
+  let r = Tls_machine.run prog in
+  Alcotest.(check bool) "cycles positive" true (r.Tls_machine.cycles > 0.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "IPC in-order range (%.2f)" r.Tls_machine.ipc)
+    true
+    (r.Tls_machine.ipc > 0.2 && r.Tls_machine.ipc <= 2.0)
+
+let test_memory_bound_lower_ipc () =
+  let small =
+    compile
+      {|
+int a[512];
+void main() {
+  int i;
+  int s = 0;
+  for (i = 0; i < 40000; i = i + 1) { s = s + a[i & 511]; }
+  print_int(s);
+}
+|}
+  in
+  let big =
+    compile
+      {|
+int a[524288];
+void main() {
+  int i;
+  int s = 0;
+  int j = 17;
+  for (i = 0; i < 40000; i = i + 1) {
+    j = (j * 40503 + 1) & 524287;
+    s = s + a[j];
+  }
+  print_int(s);
+}
+|}
+  in
+  let r_small = Tls_machine.run small in
+  let r_big = Tls_machine.run big in
+  Alcotest.(check bool)
+    (Printf.sprintf "misses lower IPC (%.2f vs %.2f)" r_small.Tls_machine.ipc
+       r_big.Tls_machine.ipc)
+    true
+    (r_big.Tls_machine.ipc < r_small.Tls_machine.ipc *. 0.6)
+
+(* helper: run the full driver on a source and return (eval, metrics of
+   the first SPT loop if any) *)
+let evaluate ?(config = Spt_driver.Config.best) src =
+  Spt_driver.Pipeline.evaluate ~config src
+
+let test_parallel_loop_speeds_up () =
+  let e =
+    evaluate
+      {|
+int n = 4000;
+int a[4000];
+int b[4000];
+void main() {
+  int i;
+  for (i = 0; i < n; i = i + 1) { b[i] = i * 7; }
+  for (i = 0; i < n; i = i + 1) { a[i] = b[i] * 3 + (b[i] >> 2); }
+  print_int(a[3999]);
+}
+|}
+  in
+  Alcotest.(check bool) "outputs match" true e.Spt_driver.Pipeline.outputs_match;
+  Alcotest.(check bool) "selected loops" true (e.Spt_driver.Pipeline.n_spt_loops >= 1);
+  Alcotest.(check bool)
+    (Printf.sprintf "speedup %.2f > 1.1" e.Spt_driver.Pipeline.speedup)
+    true
+    (e.Spt_driver.Pipeline.speedup > 1.1)
+
+let test_serial_loop_not_hurt () =
+  (* a strict recurrence: the compiler should either reject the loop or
+     at worst leave performance nearly untouched *)
+  let e =
+    evaluate
+      {|
+int n = 30000;
+int a[256];
+void main() {
+  int i;
+  int x = 1;
+  for (i = 0; i < n; i = i + 1) { x = (x * 75 + a[x & 255]) & 65535; }
+  print_int(x);
+}
+|}
+  in
+  Alcotest.(check bool) "outputs match" true e.Spt_driver.Pipeline.outputs_match;
+  Alcotest.(check bool)
+    (Printf.sprintf "no harm (%.3f)" e.Spt_driver.Pipeline.speedup)
+    true
+    (e.Spt_driver.Pipeline.speedup > 0.97)
+
+let test_violations_detected () =
+  (* a memory recurrence at distance 1 with a juicy-looking body: if the
+     compiler (mis)selects it, the machine must report violations; if it
+     rejects it, there is nothing to check *)
+  let e =
+    evaluate
+      {|
+int n = 20000;
+int a[20000];
+void main() {
+  int i;
+  for (i = 1; i < n; i = i + 1) {
+    a[i] = a[i - 1] * 3 + i;
+  }
+  print_int(a[19999]);
+}
+|}
+  in
+  Alcotest.(check bool) "outputs match" true e.Spt_driver.Pipeline.outputs_match;
+  List.iter
+    (fun (_, lm) ->
+      if lm.Tls_machine.lm_pairs > 100 then
+        Alcotest.(check bool) "recurrence violates" true
+          (lm.Tls_machine.lm_violated_pairs > lm.Tls_machine.lm_pairs / 2))
+    e.Spt_driver.Pipeline.spt.Tls_machine.loop_metrics
+
+let test_svp_loop_wins () =
+  (* carried cursor with data-dependent but near-constant stride plus a
+     heavy body: only SVP makes this loop profitable *)
+  let src =
+    {|
+int n = 30000;
+int a[30000];
+int out[30000];
+void main() {
+  int i;
+  srand(31);
+  for (i = 0; i < n; i = i + 1) { a[i] = rand() & 4095; }
+  int pos = 0;
+  int emitted = 0;
+  while (pos < n - 16) {
+    int v = a[pos] * 3 + a[pos + 1] * 5 + a[pos + 2];
+    int w = a[pos + 3] * 7 + a[pos + 4] * 11 + a[pos + 5] * 13;
+    int u = (v ^ w) + (v >> 3) + (w >> 5) + a[pos + 6] + a[pos + 7];
+    int q = u * 3 + v * w + (u & 255) + (v % 97) + (w % 89);
+    out[emitted & 16383] = v + w + u + q;
+    emitted = emitted + 1;
+    int step = 2;
+    if ((q & 2047) == 3) { step = 5; }
+    pos = pos + step;
+  }
+  print_int(emitted);
+}
+|}
+  in
+  let e = evaluate src in
+  Alcotest.(check bool) "outputs match" true e.Spt_driver.Pipeline.outputs_match;
+  Alcotest.(check bool) "svp loop selected" true (e.Spt_driver.Pipeline.n_spt_loops >= 1);
+  Alcotest.(check bool)
+    (Printf.sprintf "wins (%.2f)" e.Spt_driver.Pipeline.speedup)
+    true
+    (e.Spt_driver.Pipeline.speedup > 1.15);
+  (* and it really was a value-predicted loop *)
+  Alcotest.(check bool) "svp recorded" true
+    (List.exists
+       (fun lr -> lr.Spt_driver.Pipeline.lr_svp)
+       e.Spt_driver.Pipeline.loops)
+
+let test_coverage_metrics () =
+  let e =
+    evaluate
+      {|
+int n = 3000;
+int a[3000];
+void main() {
+  int i;
+  for (i = 0; i < n; i = i + 1) { a[i] = i * 3 + (i >> 1); }
+  print_int(a[2999]);
+}
+|}
+  in
+  let spt = e.Spt_driver.Pipeline.spt in
+  if e.Spt_driver.Pipeline.n_spt_loops >= 1 then begin
+    Alcotest.(check bool) "spt cycles accounted" true
+      (spt.Tls_machine.spt_cycles_total > 0.0);
+    Alcotest.(check bool) "coverage <= total" true
+      (spt.Tls_machine.spt_cycles_total <= spt.Tls_machine.cycles)
+  end;
+  Alcotest.(check bool) "eligible coverage sane" true
+    (e.Spt_driver.Pipeline.base.Tls_machine.eligible_loop_cycles
+    <= e.Spt_driver.Pipeline.base.Tls_machine.cycles +. 1.0)
+
+let suite =
+  [
+    Alcotest.test_case "cache LRU" `Quick test_cache_lru;
+    Alcotest.test_case "cache stats" `Quick test_cache_hierarchy_order;
+    Alcotest.test_case "branch predictor" `Quick test_branch_predictor;
+    Alcotest.test_case "baseline IPC sane" `Quick test_baseline_ipc_sane;
+    Alcotest.test_case "memory-bound IPC" `Quick test_memory_bound_lower_ipc;
+    Alcotest.test_case "parallel loop speeds up" `Slow test_parallel_loop_speeds_up;
+    Alcotest.test_case "serial loop not hurt" `Slow test_serial_loop_not_hurt;
+    Alcotest.test_case "violations detected" `Slow test_violations_detected;
+    Alcotest.test_case "SVP loop wins" `Slow test_svp_loop_wins;
+    Alcotest.test_case "coverage metrics" `Slow test_coverage_metrics;
+  ]

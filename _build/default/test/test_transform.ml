@@ -1,0 +1,430 @@
+(** Transformation tests: the SPT loop transformation must preserve
+    program semantics on a corpus covering plain motion, conditional
+    regions, exit-guard chains (unrolled loops), SVP rewrites and the
+    unroller — plus structural checks (fork placement, kill insertion,
+    coalescing pairs). *)
+
+open Spt_ir
+open Spt_transform
+module Iset = Set.Make (Int)
+
+let compile src = Lower.lower_program (Spt_srclang.Typecheck.parse_and_check src)
+
+let run prog = (Spt_interp.Interp.run prog).Spt_interp.Interp.output
+
+(* transform every feasible loop of main with its optimal partition and
+   check semantic equivalence; returns how many loops were transformed *)
+let transform_all ?(unroll = false) src =
+  let reference = run (compile src) in
+  let prog = compile src in
+  if unroll then
+    List.iter
+      (fun (_, f) -> ignore (Unroll.run f Unroll.default_policy))
+      prog.Ir.funcs;
+  List.iter
+    (fun (_, f) ->
+      Ssa.construct f;
+      Passes.optimize_ssa f)
+    prog.Ir.funcs;
+  let eff = Spt_depgraph.Effects.compute prog in
+  let transformed = ref 0 in
+  let coalesce : (string, (int * Ir.var) list) Hashtbl.t = Hashtbl.create 4 in
+  List.iter
+    (fun (name, f) ->
+      List.iter
+        (fun l ->
+          let g = Spt_depgraph.Depgraph.build eff f l in
+          let cm = Spt_cost.Cost_model.build g in
+          match Spt_partition.Partition.search cm g with
+          | Spt_partition.Partition.Found r -> (
+            match
+              Spt_transform_loop.apply f g
+                ~prefork:
+                  (Spt_partition.Partition.Iset.fold Iset.add
+                     r.Spt_partition.Partition.prefork Iset.empty)
+                ~loop_id:!transformed
+            with
+            | Ok info ->
+              incr transformed;
+              Hashtbl.replace coalesce name
+                (info.Spt_transform_loop.coalesce
+                @ Option.value ~default:[] (Hashtbl.find_opt coalesce name))
+            | Error _ -> ())
+          | Spt_partition.Partition.Too_many_vcs _ -> ())
+        (* innermost loops only: they are pairwise disjoint, so earlier
+           transforms leave later graphs valid *)
+        (Loops.innermost (Loops.find f)))
+    prog.Ir.funcs;
+  List.iter
+    (fun (name, f) ->
+      let pairs = Option.value ~default:[] (Hashtbl.find_opt coalesce name) in
+      Ssa.destruct ~phi_primed:(fun vid -> List.assoc_opt vid pairs) f;
+      Passes.optimize_nonssa f)
+    prog.Ir.funcs;
+  let out = run prog in
+  Alcotest.(check string) "semantics preserved" reference out;
+  !transformed
+
+let test_plain_motion () =
+  let n =
+    transform_all
+      {|
+int n = 50;
+int a[50];
+int b[50];
+void main() {
+  int i = 0;
+  int s = 0;
+  while (i < n) {
+    a[i] = b[i] * 3 + 1;
+    s = s + a[i];
+    i = i + 1;
+  }
+  print_int(s);
+}
+|}
+  in
+  Alcotest.(check bool) "transformed the loop" true (n >= 1)
+
+let test_conditional_region () =
+  let n =
+    transform_all
+      {|
+int n = 60;
+int a[60];
+void main() {
+  int i;
+  int best = -100;
+  int flips = 0;
+  srand(9);
+  for (i = 0; i < n; i = i + 1) { a[i] = (rand() & 255) - 128; }
+  for (i = 0; i < n; i = i + 1) {
+    if (a[i] > best) { best = a[i]; flips = flips + 1; }
+  }
+  print_int(best * 1000 + flips);
+}
+|}
+  in
+  Alcotest.(check bool) "conditional loop handled" true (n >= 1)
+
+let test_guard_chains_unrolled () =
+  let n =
+    transform_all ~unroll:true
+      {|
+int n = 100;
+int a[100];
+int b[100];
+void main() {
+  int i;
+  int s = 0;
+  for (i = 0; i < n; i = i + 1) { b[i] = i * 7; }
+  for (i = 0; i < n; i = i + 1) {
+    a[i] = b[i] + 1;
+    if (a[i] > 50) { s = s + 1; }
+  }
+  print_int(s);
+}
+|}
+  in
+  Alcotest.(check bool) "unrolled loops transformed" true (n >= 1)
+
+let test_do_while_and_nested () =
+  ignore
+    (transform_all
+       {|
+int n = 30;
+int a[30];
+void main() {
+  int i = 0;
+  do {
+    int j = 0;
+    while (j < 4) { a[(i + j) % 30] = i + j; j = j + 1; }
+    i = i + 1;
+  } while (i < n);
+  print_int(a[7] + a[29]);
+}
+|})
+
+let test_break_and_calls () =
+  ignore
+    (transform_all
+       {|
+int n = 80;
+int a[80];
+int f(int x) { return x * x % 97; }
+void main() {
+  int i = 0;
+  int s = 0;
+  while (i < n) {
+    a[i] = f(i);
+    s = s + a[i];
+    if (s > 2000) { break; }
+    i = i + 1;
+  }
+  print_int(s + i);
+}
+|})
+
+(* structural checks on one transformed loop *)
+let test_structure () =
+  let src =
+    {|
+int n = 50;
+int a[50];
+void main() {
+  int i = 0;
+  while (i < n) {
+    a[i] = i * 2;
+    i = i + 1;
+  }
+  print_int(a[49]);
+}
+|}
+  in
+  let prog = compile src in
+  let f = Ir.func_of_program prog "main" in
+  Ssa.construct f;
+  Passes.optimize_ssa f;
+  let eff = Spt_depgraph.Effects.compute prog in
+  let l = List.hd (Loops.find f) in
+  let g = Spt_depgraph.Depgraph.build eff f l in
+  let cm = Spt_cost.Cost_model.build g in
+  match Spt_partition.Partition.search cm g with
+  | Spt_partition.Partition.Too_many_vcs _ -> Alcotest.fail "unexpected"
+  | Spt_partition.Partition.Found r -> (
+    match
+      Spt_transform_loop.apply f g
+        ~prefork:
+          (Spt_partition.Partition.Iset.fold Iset.add
+             r.Spt_partition.Partition.prefork Iset.empty)
+        ~loop_id:7
+    with
+    | Error rej -> Alcotest.fail (Spt_transform_loop.string_of_reject rej)
+    | Ok info ->
+      (* exactly one fork with the right id, in the fork block *)
+      let forks =
+        List.concat_map
+          (fun bid ->
+            List.filter_map
+              (fun (i : Ir.instr) ->
+                match i.Ir.kind with
+                | Ir.Spt_fork id -> Some (bid, id)
+                | _ -> None)
+              (Ir.block f bid).Ir.instrs)
+          (Ir.block_ids f)
+      in
+      Alcotest.(check (list (pair int int)))
+        "one fork in the fork block"
+        [ (info.Spt_transform_loop.fork_block, 7) ]
+        forks;
+      (* at least one kill, outside the loop body *)
+      let kills =
+        List.concat_map
+          (fun bid ->
+            List.filter_map
+              (fun (i : Ir.instr) ->
+                match i.Ir.kind with Ir.Spt_kill 7 -> Some bid | _ -> None)
+              (Ir.block f bid).Ir.instrs)
+          (Ir.block_ids f)
+      in
+      Alcotest.(check bool) "kill inserted" true (kills <> []);
+      (* the loop survives with the same header, containing the fork *)
+      let loops = Loops.find f in
+      let l' =
+        List.find (fun l -> l.Loops.header = info.Spt_transform_loop.header) loops
+      in
+      Alcotest.(check bool) "fork block inside loop" true
+        (Loops.Iset.mem info.Spt_transform_loop.fork_block l'.Loops.body);
+      (* moved statements imply coalescing pairs for carried defs *)
+      Alcotest.(check bool) "induction coalesced" true
+        (info.Spt_transform_loop.coalesce <> []))
+
+let test_unroll_semantics () =
+  let srcs =
+    [
+      (* for loop with remainder *)
+      "int n = 13; int a[13]; void main() { int i; int s = 0; for (i = 0; i < n; i = i + 1) { a[i] = i; s = s + a[i]; } print_int(s); }";
+      (* while loop (only unrolled with unroll_while) *)
+      "int n = 29; void main() { int i = 0; int s = 0; while (i < n) { s = s + i * i; i = i + 1; } print_int(s); }";
+      (* loop with break *)
+      "int n = 40; void main() { int i = 0; int s = 0; while (i < n) { s = s + i; if (s > 100) { break; } i = i + 1; } print_int(s + i); }";
+      (* nested *)
+      "void main() { int i; int j; int s = 0; for (i = 0; i < 9; i = i + 1) { for (j = 0; j < 7; j = j + 1) { s = s + i * j; } } print_int(s); }";
+    ]
+  in
+  List.iter
+    (fun src ->
+      let reference = run (compile src) in
+      List.iter
+        (fun unroll_while ->
+          let prog = compile src in
+          let policy =
+            { Unroll.min_body_size = 200; max_factor = 4; unroll_while }
+          in
+          List.iter (fun (_, f) -> ignore (Unroll.run f policy)) prog.Ir.funcs;
+          Alcotest.(check string) "unrolled semantics" reference (run prog))
+        [ false; true ])
+    srcs
+
+let test_unroll_policy () =
+  (* DO loops unroll by default; while loops only with unroll_while *)
+  let src =
+    "int n = 64; void main() { int i = 0; while (i < n) { i = i + 1; } print_int(i); }"
+  in
+  let count_blocks prog =
+    List.length (Ir.block_ids (Ir.func_of_program prog "main"))
+  in
+  let p1 = compile src in
+  List.iter (fun (_, f) -> ignore (Unroll.run f Unroll.default_policy)) p1.Ir.funcs;
+  let p2 = compile src in
+  List.iter
+    (fun (_, f) ->
+      ignore (Unroll.run f { Unroll.default_policy with Unroll.unroll_while = true }))
+    p2.Ir.funcs;
+  Alcotest.(check bool) "while untouched by default" true
+    (count_blocks p1 < count_blocks p2)
+
+let test_svp_rewrite_semantics () =
+  let src =
+    {|
+int n = 200;
+int a[200];
+void main() {
+  int i = 0;
+  int x = 0;
+  while (i < n) {
+    a[i] = x;
+    x = x + 3;
+    i = i + 1;
+  }
+  print_int(x + a[199]);
+}
+|}
+  in
+  let reference = run (compile src) in
+  let prog = compile src in
+  List.iter
+    (fun (_, f) ->
+      Ssa.construct f;
+      Passes.optimize_ssa f)
+    prog.Ir.funcs;
+  let f = Ir.func_of_program prog "main" in
+  let l = List.hd (Loops.find f) in
+  let applied =
+    List.filter_map
+      (fun (phi_iid, _) -> Svp.apply f l ~phi_iid ~stride:3L)
+      (Svp.candidates f l)
+  in
+  Alcotest.(check bool) "svp applied to carried ints" true (List.length applied >= 1);
+  List.iter
+    (fun (_, fn) ->
+      Ssa.destruct ~phi_primed:(Svp.phi_primed applied) fn;
+      Passes.optimize_nonssa fn)
+    prog.Ir.funcs;
+  Alcotest.(check string) "SVP semantics (correct stride)" reference (run prog)
+
+let test_svp_wrong_stride_still_correct () =
+  (* prediction misses every time; recovery must keep semantics *)
+  let src =
+    {|
+int n = 100;
+void main() {
+  int i = 0;
+  int x = 1;
+  while (i < n) {
+    x = (x * 5 + 1) & 4095;
+    i = i + 1;
+  }
+  print_int(x);
+}
+|}
+  in
+  let reference = run (compile src) in
+  let prog = compile src in
+  List.iter
+    (fun (_, f) ->
+      Ssa.construct f;
+      Passes.optimize_ssa f)
+    prog.Ir.funcs;
+  let f = Ir.func_of_program prog "main" in
+  let l = List.hd (Loops.find f) in
+  let applied =
+    List.filter_map
+      (fun (phi_iid, _) -> Svp.apply f l ~phi_iid ~stride:42L)
+      (Svp.candidates f l)
+  in
+  Alcotest.(check bool) "applied" true (applied <> []);
+  List.iter
+    (fun (_, fn) ->
+      Ssa.destruct ~phi_primed:(Svp.phi_primed applied) fn;
+      Passes.optimize_nonssa fn)
+    prog.Ir.funcs;
+  Alcotest.(check string) "SVP semantics (wrong stride)" reference (run prog)
+
+(* random loop programs through partition+transform end to end *)
+let gen_loop_program =
+  let open QCheck.Gen in
+  let atom =
+    oneof
+      [
+        map string_of_int (int_range 0 9);
+        oneofl [ "x"; "y"; "i" ];
+        map (fun k -> Printf.sprintf "a[(i + %d) %% 16]" k) (int_range 0 15);
+      ]
+  in
+  let expr =
+    atom >>= fun l ->
+    atom >>= fun r ->
+    oneofl [ "+"; "-"; "*"; "&"; "^" ] >>= fun op ->
+    return (Printf.sprintf "(%s %s %s)" l op r)
+  in
+  let stmt =
+    expr >>= fun e ->
+    oneof
+      [
+        (oneofl [ "x"; "y" ] >>= fun v -> return (Printf.sprintf "%s = %s;" v e));
+        (int_range 0 15 >>= fun k -> return (Printf.sprintf "a[(i * 3 + %d) %% 16] = %s;" k e));
+        (expr >>= fun c -> return (Printf.sprintf "if (%s) { y = %s; }" c e));
+      ]
+  in
+  list_size (int_range 2 8) stmt >>= fun body ->
+  int_range 3 20 >>= fun trip ->
+  return
+    (Printf.sprintf
+       {|
+int a[16];
+void main() {
+  int i = 0;
+  int x = 1;
+  int y = 2;
+  while (i < %d) {
+    %s
+    i = i + 1;
+  }
+  print_int(x + y * 5 + a[3] + a[11] * 9 + i);
+}
+|}
+       trip
+       (String.concat "\n    " body))
+
+let prop_transform_preserves_semantics =
+  QCheck.Test.make ~count:40 ~name:"SPT transform preserves semantics (random loops)"
+    (QCheck.make ~print:(fun s -> s) gen_loop_program)
+    (fun src ->
+      ignore (transform_all src);
+      true)
+
+let suite =
+  [
+    Alcotest.test_case "plain motion" `Quick test_plain_motion;
+    Alcotest.test_case "conditional region" `Quick test_conditional_region;
+    Alcotest.test_case "guard chains (unrolled)" `Quick test_guard_chains_unrolled;
+    Alcotest.test_case "do-while and nested" `Quick test_do_while_and_nested;
+    Alcotest.test_case "break and calls" `Quick test_break_and_calls;
+    Alcotest.test_case "fork/kill structure" `Quick test_structure;
+    Alcotest.test_case "unroll semantics" `Quick test_unroll_semantics;
+    Alcotest.test_case "unroll policy" `Quick test_unroll_policy;
+    Alcotest.test_case "SVP rewrite (correct stride)" `Quick test_svp_rewrite_semantics;
+    Alcotest.test_case "SVP rewrite (wrong stride)" `Quick test_svp_wrong_stride_still_correct;
+    QCheck_alcotest.to_alcotest prop_transform_preserves_semantics;
+  ]

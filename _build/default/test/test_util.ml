@@ -1,0 +1,168 @@
+(** Tests for [Spt_util]: id generation, topological sorting, statistics,
+    bitsets and table rendering. *)
+
+open Spt_util
+
+let check = Alcotest.check
+
+let test_idgen () =
+  let g = Idgen.create () in
+  check Alcotest.int "first id" 0 (Idgen.fresh g);
+  check Alcotest.int "second id" 1 (Idgen.fresh g);
+  check Alcotest.int "peek" 2 (Idgen.peek g);
+  Idgen.reset g;
+  check Alcotest.int "after reset" 0 (Idgen.fresh g)
+
+let test_topo_linear () =
+  let succs = function 0 -> [ 1 ] | 1 -> [ 2 ] | _ -> [] in
+  check
+    (Alcotest.list Alcotest.int)
+    "linear order" [ 0; 1; 2 ]
+    (Topo_sort.sort ~nodes:[ 2; 0; 1 ] ~succs)
+
+let test_topo_diamond () =
+  let succs = function 0 -> [ 1; 2 ] | 1 -> [ 3 ] | 2 -> [ 3 ] | _ -> [] in
+  let order = Topo_sort.sort ~nodes:[ 0; 1; 2; 3 ] ~succs in
+  let pos x = Option.get (List.find_index (( = ) x) order) in
+  Alcotest.(check bool) "0 before 1" true (pos 0 < pos 1);
+  Alcotest.(check bool) "0 before 2" true (pos 0 < pos 2);
+  Alcotest.(check bool) "1 before 3" true (pos 1 < pos 3);
+  Alcotest.(check bool) "2 before 3" true (pos 2 < pos 3)
+
+let test_topo_cycle () =
+  let succs = function 0 -> [ 1 ] | 1 -> [ 0 ] | _ -> [] in
+  Alcotest.check_raises "cycle detected" (Topo_sort.Cycle [ 0; 1 ]) (fun () ->
+      ignore (Topo_sort.sort ~nodes:[ 0; 1 ] ~succs))
+
+let test_topo_order_fn () =
+  let succs = function 0 -> [ 1 ] | _ -> [] in
+  let order = Topo_sort.order ~nodes:[ 0; 1 ] ~succs in
+  Alcotest.(check bool) "order respects edge" true (order 0 < order 1)
+
+let feq = Alcotest.float 1e-9
+
+let test_stats_mean () =
+  check feq "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  check feq "empty mean" 0.0 (Stats.mean [])
+
+let test_stats_geomean () =
+  check feq "geomean" 2.0 (Stats.geomean [ 1.0; 4.0 ]);
+  Alcotest.check_raises "geomean rejects nonpositive"
+    (Invalid_argument "Stats.geomean: non-positive value") (fun () ->
+      ignore (Stats.geomean [ 1.0; 0.0 ]))
+
+let test_stats_pearson () =
+  check feq "perfect correlation" 1.0
+    (Stats.pearson [ 1.0; 2.0; 3.0 ] [ 2.0; 4.0; 6.0 ]);
+  check feq "perfect anticorrelation" (-1.0)
+    (Stats.pearson [ 1.0; 2.0; 3.0 ] [ 3.0; 2.0; 1.0 ]);
+  check feq "constant series" 0.0 (Stats.pearson [ 1.0; 2.0 ] [ 5.0; 5.0 ])
+
+let test_stats_percentile () =
+  check feq "median" 2.0 (Stats.percentile 50.0 [ 3.0; 1.0; 2.0 ]);
+  check feq "min" 1.0 (Stats.percentile 0.0 [ 3.0; 1.0; 2.0 ]);
+  check feq "max" 3.0 (Stats.percentile 100.0 [ 3.0; 1.0; 2.0 ])
+
+let test_bitset_basics () =
+  let s = Bitset.create 100 in
+  Alcotest.(check bool) "initially empty" true (Bitset.is_empty s);
+  Bitset.add s 0;
+  Bitset.add s 63;
+  Bitset.add s 64;
+  Bitset.add s 99;
+  Alcotest.(check int) "cardinal" 4 (Bitset.cardinal s);
+  Alcotest.(check bool) "mem 63" true (Bitset.mem s 63);
+  Alcotest.(check bool) "not mem 62" false (Bitset.mem s 62);
+  Bitset.remove s 63;
+  Alcotest.(check bool) "removed" false (Bitset.mem s 63);
+  check
+    (Alcotest.list Alcotest.int)
+    "elements sorted" [ 0; 64; 99 ] (Bitset.elements s)
+
+let test_bitset_subset () =
+  let a = Bitset.of_list 10 [ 1; 2 ] in
+  let b = Bitset.of_list 10 [ 1; 2; 3 ] in
+  Alcotest.(check bool) "a subset b" true (Bitset.subset a b);
+  Alcotest.(check bool) "b not subset a" false (Bitset.subset b a);
+  let c = Bitset.copy a in
+  Alcotest.(check bool) "copy equal" true (Bitset.equal a c);
+  Bitset.add c 5;
+  Alcotest.(check bool) "copy independent" false (Bitset.equal a c)
+
+let test_bitset_bounds () =
+  let s = Bitset.create 4 in
+  Alcotest.check_raises "out of range" (Invalid_argument "Bitset: index out of range")
+    (fun () -> Bitset.add s 4)
+
+let test_table () =
+  let t = Table.create ~aligns:[ Table.Left; Table.Right ] [ "name"; "n" ] in
+  Table.add_row t [ "a"; "1" ];
+  Table.add_row t [ "bb"; "22" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "contains header" true
+    (String.length s > 0 && String.sub s 0 4 = "name");
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: wrong arity")
+    (fun () -> Table.add_row t [ "x" ])
+
+let test_dot () =
+  let g = Dot.create "g" in
+  Dot.add_node g ~id:1 ~label:"a \"quoted\"";
+  Dot.add_edge g ~src:1 ~dst:1 ~label:"self";
+  let s = Dot.render g in
+  Alcotest.(check bool) "digraph header" true
+    (String.sub s 0 9 = "digraph g");
+  Alcotest.(check bool) "escapes quotes" true
+    (let rec contains i =
+       i + 2 <= String.length s
+       && (String.sub s i 2 = "\\\"" || contains (i + 1))
+     in
+     contains 0)
+
+(* property: topological sort output is a permutation respecting edges *)
+let prop_topo_sort_valid =
+  QCheck.Test.make ~count:100 ~name:"topo sort respects random DAG edges"
+    QCheck.(list_of_size (Gen.int_range 1 15) (pair small_nat small_nat))
+    (fun pairs ->
+      (* build a DAG by orienting edges from smaller to larger node *)
+      let nodes = List.sort_uniq compare (List.concat_map (fun (a, b) -> [ a; b ]) pairs) in
+      match nodes with
+      | [] -> true
+      | _ ->
+        let edges =
+          List.filter_map
+            (fun (a, b) ->
+              if a < b then Some (a, b) else if b < a then Some (b, a) else None)
+            pairs
+        in
+        let succs n = List.filter_map (fun (a, b) -> if a = n then Some b else None) edges in
+        let order = Spt_util.Topo_sort.sort ~nodes ~succs in
+        let pos x = Option.get (List.find_index (( = ) x) order) in
+        List.length order = List.length nodes
+        && List.for_all (fun (a, b) -> pos a < pos b) edges)
+
+let prop_bitset_elements =
+  QCheck.Test.make ~count:100 ~name:"bitset elements round-trip"
+    QCheck.(list_of_size (Gen.int_range 0 30) (int_range 0 199))
+    (fun xs ->
+      let s = Spt_util.Bitset.of_list 200 xs in
+      Spt_util.Bitset.elements s = List.sort_uniq compare xs)
+
+let suite =
+  [
+    Alcotest.test_case "idgen" `Quick test_idgen;
+    Alcotest.test_case "topo linear" `Quick test_topo_linear;
+    Alcotest.test_case "topo diamond" `Quick test_topo_diamond;
+    Alcotest.test_case "topo cycle" `Quick test_topo_cycle;
+    Alcotest.test_case "topo order fn" `Quick test_topo_order_fn;
+    Alcotest.test_case "stats mean" `Quick test_stats_mean;
+    Alcotest.test_case "stats geomean" `Quick test_stats_geomean;
+    Alcotest.test_case "stats pearson" `Quick test_stats_pearson;
+    Alcotest.test_case "stats percentile" `Quick test_stats_percentile;
+    Alcotest.test_case "bitset basics" `Quick test_bitset_basics;
+    Alcotest.test_case "bitset subset/copy" `Quick test_bitset_subset;
+    Alcotest.test_case "bitset bounds" `Quick test_bitset_bounds;
+    Alcotest.test_case "table render" `Quick test_table;
+    Alcotest.test_case "dot render" `Quick test_dot;
+    QCheck_alcotest.to_alcotest prop_topo_sort_valid;
+    QCheck_alcotest.to_alcotest prop_bitset_elements;
+  ]

@@ -1,0 +1,107 @@
+(** Workload regression tests: each synthetic benchmark must keep the
+    qualitative character it was built for (Table 1's IPC ordering and
+    the presence/absence of speculative parallelism), with generous
+    bounds so legitimate simulator tweaks don't thrash. *)
+
+open Spt_driver
+
+let base_results =
+  lazy
+    (List.map
+       (fun w ->
+         let prog =
+           Pipeline.compile_base w.Spt_workloads.Suite.source
+         in
+         (w.Spt_workloads.Suite.name, Spt_tlsim.Tls_machine.run prog))
+       Spt_workloads.Suite.all)
+
+let ipc name =
+  (List.assoc name (Lazy.force base_results)).Spt_tlsim.Tls_machine.ipc
+
+let test_ipc_ranges () =
+  (* loose absolute windows around the Table 1 targets *)
+  List.iter
+    (fun (name, lo, hi) ->
+      let v = ipc name in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s IPC %.2f in [%.2f, %.2f]" name v lo hi)
+        true
+        (v >= lo && v <= hi))
+    [
+      ("bzip2", 1.3, 2.0);
+      ("crafty", 1.2, 1.9);
+      ("gzip", 1.2, 1.9);
+      ("mcf", 0.2, 0.6);
+      ("vortex", 0.4, 0.9);
+      ("twolf", 0.9, 1.5);
+      ("vpr", 0.9, 1.6);
+      ("parser", 0.9, 1.6);
+    ]
+
+let test_ipc_ordering () =
+  (* the memory-bound codes sit clearly below the register-heavy ones *)
+  Alcotest.(check bool) "mcf lowest" true (ipc "mcf" < ipc "vortex");
+  Alcotest.(check bool) "vortex below gzip" true (ipc "vortex" < ipc "gzip");
+  Alcotest.(check bool) "vortex below bzip2" true (ipc "vortex" < ipc "bzip2");
+  Alcotest.(check bool) "mcf below everything" true
+    (List.for_all
+       (fun (n, r) ->
+         n = "mcf" || r.Spt_tlsim.Tls_machine.ipc > ipc "mcf")
+       (Lazy.force base_results))
+
+let test_deterministic () =
+  (* two independent base compiles+runs of the same workload agree *)
+  let w = Spt_workloads.Suite.find "parser" in
+  let run () =
+    (Spt_tlsim.Tls_machine.run (Pipeline.compile_base w.Spt_workloads.Suite.source))
+      .Spt_tlsim.Tls_machine.output
+  in
+  Alcotest.(check string) "deterministic" (run ()) (run ())
+
+let test_speculation_profile () =
+  (* bzip2's MTF core is serial: best gains stay small.  gzip's scan is
+     the SVP showcase: best must find at least one SPT loop and win. *)
+  let eval name config =
+    Pipeline.evaluate ~config (Spt_workloads.Suite.find name).Spt_workloads.Suite.source
+  in
+  let gzip = eval "gzip" Config.best in
+  Alcotest.(check bool) "gzip best finds loops" true (gzip.Pipeline.n_spt_loops >= 1);
+  Alcotest.(check bool)
+    (Printf.sprintf "gzip best wins (%.2f)" gzip.Pipeline.speedup)
+    true
+    (gzip.Pipeline.speedup > 1.08);
+  Alcotest.(check bool) "gzip used SVP" true
+    (List.exists (fun lr -> lr.Pipeline.lr_svp) gzip.Pipeline.loops);
+  let bzip2 = eval "bzip2" Config.best in
+  Alcotest.(check bool)
+    (Printf.sprintf "bzip2 stays near baseline (%.2f)" bzip2.Pipeline.speedup)
+    true
+    (bzip2.Pipeline.speedup > 0.97 && bzip2.Pipeline.speedup < 1.10)
+
+let test_basic_finds_little () =
+  (* the paper's conclusion: type-based aliasing plus edge profiling is
+     not enough to identify speculative parallelism *)
+  let speedups =
+    List.map
+      (fun w ->
+        (Pipeline.evaluate ~config:Config.basic w.Spt_workloads.Suite.source)
+          .Pipeline.speedup)
+      (List.filter
+         (fun w ->
+           List.mem w.Spt_workloads.Suite.name [ "gzip"; "twolf"; "vpr" ])
+         Spt_workloads.Suite.all)
+  in
+  let avg = Spt_util.Stats.mean speedups in
+  Alcotest.(check bool)
+    (Printf.sprintf "basic average near zero (%.3f)" avg)
+    true
+    (avg > 0.97 && avg < 1.05)
+
+let suite =
+  [
+    Alcotest.test_case "IPC ranges" `Slow test_ipc_ranges;
+    Alcotest.test_case "IPC ordering" `Slow test_ipc_ordering;
+    Alcotest.test_case "deterministic" `Slow test_deterministic;
+    Alcotest.test_case "speculation profile" `Slow test_speculation_profile;
+    Alcotest.test_case "basic finds little" `Slow test_basic_finds_little;
+  ]
