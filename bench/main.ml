@@ -5,12 +5,16 @@
 
     Run with: dune exec bench/main.exe
     (set SPT_BENCH_QUICK=1 for a reduced run: three workloads, no
-    microbenchmarks) *)
+    microbenchmarks; SPT_BENCH_JSON overrides the machine-readable
+    summary path, default BENCH_results.json) *)
 
 open Spt_driver
 module Tls = Spt_tlsim.Tls_machine
 
 let quick = Sys.getenv_opt "SPT_BENCH_QUICK" <> None
+
+let json_path =
+  Option.value ~default:"BENCH_results.json" (Sys.getenv_opt "SPT_BENCH_JSON")
 
 let workloads =
   if quick then
@@ -284,9 +288,30 @@ let microbench () =
 (* ------------------------------------------------------------------ *)
 
 let () =
+  (* the counter dump in the JSON summary needs the registry live *)
+  Spt_obs.Metrics.set_enabled true;
   section "Evaluating the workloads under 3 compiler configurations";
   let per_config = evaluate_all () in
   let best = List.assoc "best" per_config in
+
+  (* machine-readable summary next to the text tables, one entry per
+     configuration; counters are cumulative over the whole run *)
+  Spt_obs.Json.to_file json_path
+    (Spt_obs.Json.Obj
+       [
+         ("schema", Spt_obs.Json.Str "spt-bench-v1");
+         ("quick", Spt_obs.Json.Bool quick);
+         ( "configs",
+           Spt_obs.Json.List
+             (List.map
+                (fun (cname, results) ->
+                  match Report.metrics_json results with
+                  | Spt_obs.Json.Obj fields ->
+                    Spt_obs.Json.Obj (("config", Spt_obs.Json.Str cname) :: fields)
+                  | other -> other)
+                per_config) );
+       ]);
+  Printf.printf "\nmachine-readable summary written to %s\n" json_path;
 
   section
     "Table 1: IPC of the non-SPT base reference (the IR has no no-ops to exclude)";

@@ -1,0 +1,51 @@
+#!/bin/sh
+# Smoke test for the observability pipeline: build + unit tests, then
+# one traced/metered compile, failing if the artifacts are malformed or
+# missing the counters the experiment scripts consume.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build @runtest"
+dune build @runtest
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+trace="$tmpdir/trace.json"
+metrics="$tmpdir/metrics.json"
+
+echo "== sptc compile examples/src/histogram.c (--trace, --metrics)"
+dune exec bin/sptc.exe -- compile examples/src/histogram.c -c best \
+  --trace "$trace" --metrics "$metrics" --log-level warn
+
+fail() {
+  echo "smoke: FAIL: $1" >&2
+  exit 1
+}
+
+require_key() {
+  # JSON keys are always rendered quoted, so a fixed-string grep works
+  grep -q "\"$2\"" "$1" || fail "$1 lacks key \"$2\""
+}
+
+[ -s "$trace" ] || fail "trace file missing or empty"
+[ -s "$metrics" ] || fail "metrics file missing or empty"
+
+require_key "$trace" traceEvents
+require_key "$trace" dur
+for name in frontend ssa.construct profile pass1.analyze pass2.select \
+  transform simulate.base simulate.spt; do
+  require_key "$trace" "$name"
+done
+
+require_key "$metrics" spt-metrics-v1
+for name in speedup outputs_match \
+  pipeline.pass1_candidates pipeline.pass2_selected \
+  partition.nodes_explored partition.pruned_by_bound \
+  partition.pruned_by_threshold cost.graph_nodes depgraph.edges \
+  svp.candidates_tried svp.applied tlsim.misspeculations tlsim.kills \
+  interp.steps; do
+  require_key "$metrics" "$name"
+done
+
+echo "smoke: OK ($(grep -c '"name"' "$trace") trace events)"

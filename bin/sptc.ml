@@ -33,6 +33,9 @@ let handle_errors f =
   | Spt_interp.Interp.Runtime_error msg ->
     Format.eprintf "runtime error: %s@." msg;
     exit 2
+  | Sys_error msg ->
+    Format.eprintf "error: %s@." msg;
+    exit 1
 
 (* ------------------------------------------------------------------ *)
 
@@ -50,6 +53,63 @@ let config_arg =
     & opt config_enum Spt_driver.Config.best
     & info [ "c"; "config" ] ~docv:"CONFIG"
         ~doc:"Compiler configuration: basic, best or anticipated")
+
+(* ------------------------------------------------------------------ *)
+(* Observability flags: --trace, --metrics, --log-level *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace_events JSON of the pipeline phases to $(docv) \
+           (open in chrome://tracing, Perfetto or speedscope)")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write a machine-readable JSON summary (speedup, loop breakdown, \
+           full counter dump) to $(docv)")
+
+let log_level_arg =
+  let level_conv =
+    Arg.conv
+      ( (fun s ->
+          match Spt_obs.Log.level_of_string s with
+          | Ok l -> Ok l
+          | Error msg -> Error (`Msg msg)),
+        fun ppf l -> Format.pp_print_string ppf (Spt_obs.Log.string_of_level l)
+      )
+  in
+  Arg.(
+    value
+    & opt (some level_conv) None
+    & info [ "log-level" ] ~docv:"LEVEL"
+        ~doc:
+          "Log verbosity: error, warn, info or debug (overrides the SPT_LOG \
+           and SPT_DEBUG environment variables)")
+
+(** Apply the observability flags; returns a [finish] function to call
+    after the work, which writes the requested artifact files. *)
+let setup_obs trace metrics log_level =
+  Option.iter Spt_obs.Log.set_level log_level;
+  if trace <> None then Spt_obs.Trace.set_enabled true;
+  if metrics <> None then Spt_obs.Metrics.set_enabled true;
+  fun (results : (string * Spt_driver.Pipeline.eval) list) ->
+    Option.iter
+      (fun path ->
+        Spt_obs.Json.to_file path (Spt_driver.Report.metrics_json results);
+        Spt_obs.Log.info "metrics written to %s" path)
+      metrics;
+    Option.iter
+      (fun path ->
+        Spt_obs.Trace.to_file path;
+        Spt_obs.Log.info "trace written to %s" path)
+      trace
 
 let run_cmd =
   let run file =
@@ -107,8 +167,9 @@ let loops_cmd =
     Term.(const show $ file_arg $ config_arg)
 
 let compile_cmd =
-  let compile file config =
+  let compile file config trace metrics log_level =
     handle_errors (fun () ->
+        let finish = setup_obs trace metrics log_level in
         let e = Spt_driver.Pipeline.evaluate ~config (read_file file) in
         let open Spt_driver.Pipeline in
         Format.printf "configuration    : %s@." e.config_name;
@@ -121,12 +182,15 @@ let compile_cmd =
         if e.n_spt_loops > 0 then begin
           Format.printf "@.";
           print_string (Spt_driver.Report.fig18 [ (Filename.basename file, e) ])
-        end)
+        end;
+        finish [ (Filename.basename file, e) ])
   in
   Cmd.v
     (Cmd.info "compile"
        ~doc:"Run the cost-driven SPT pipeline and simulate the result")
-    Term.(const compile $ file_arg $ config_arg)
+    Term.(
+      const compile $ file_arg $ config_arg $ trace_arg $ metrics_arg
+      $ log_level_arg)
 
 let workload_cmd =
   let name_arg =
@@ -136,8 +200,9 @@ let workload_cmd =
       & pos 0 (some (enum (List.map (fun n -> (n, n)) names))) None
       & info [] ~docv:"NAME" ~doc:"Workload name (bzip2, crafty, ...)")
   in
-  let run name config =
+  let run name config trace metrics log_level =
     handle_errors (fun () ->
+        let finish = setup_obs trace metrics log_level in
         let w = Spt_workloads.Suite.find name in
         let e = Spt_driver.Pipeline.evaluate ~config w.Spt_workloads.Suite.source in
         Format.printf "%s under %s: base IPC %.2f, speedup %+.2f%%, %d SPT loops@."
@@ -145,11 +210,14 @@ let workload_cmd =
           e.Spt_driver.Pipeline.base.Spt_tlsim.Tls_machine.ipc
           ((e.Spt_driver.Pipeline.speedup -. 1.0) *. 100.0)
           e.Spt_driver.Pipeline.n_spt_loops;
-        print_string (Spt_driver.Report.fig18 [ (name, e) ]))
+        print_string (Spt_driver.Report.fig18 [ (name, e) ]);
+        finish [ (name, e) ])
   in
   Cmd.v
     (Cmd.info "workload" ~doc:"Evaluate a built-in SPEC2000Int-like workload")
-    Term.(const run $ name_arg $ config_arg)
+    Term.(
+      const run $ name_arg $ config_arg $ trace_arg $ metrics_arg
+      $ log_level_arg)
 
 let graph_cmd =
   let kind_arg =

@@ -24,6 +24,11 @@ open Spt_ir
 open Spt_depgraph
 module Iset = Set.Make (Int)
 
+(* observability counters (no-ops unless metrics are enabled) *)
+let m_builds = Spt_obs.Metrics.counter "cost.builds"
+let m_graph_nodes = Spt_obs.Metrics.counter "cost.graph_nodes"
+let m_evaluations = Spt_obs.Metrics.counter "cost.evaluations"
+
 (** How re-execution probabilities combine.
 
     [`Independent] is the paper's §4.2.3 node-level recurrence,
@@ -204,6 +209,8 @@ let build (graph : Depgraph.t) =
         else None)
       intra_all
   in
+  Spt_obs.Metrics.inc m_builds;
+  Spt_obs.Metrics.add m_graph_nodes (List.length op_nodes);
   { graph; vcs; op_nodes; initial; intra }
 
 (* ------------------------------------------------------------------ *)
@@ -236,6 +243,7 @@ let reexec_probs ?(combine = `Per_seed) t ~prefork =
     re-executed computation per speculative iteration, in elementary
     operation units. *)
 let misspeculation_cost ?combine t ~prefork =
+  Spt_obs.Metrics.inc m_evaluations;
   let v = reexec_probs ?combine t ~prefork in
   List.fold_left
     (fun acc iid ->

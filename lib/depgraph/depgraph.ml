@@ -24,6 +24,11 @@ open Spt_ir
 open Spt_profile
 module Iset = Set.Make (Int)
 
+(* observability counters (no-ops unless metrics are enabled) *)
+let m_builds = Spt_obs.Metrics.counter "depgraph.builds"
+let m_nodes = Spt_obs.Metrics.counter "depgraph.nodes"
+let m_edges = Spt_obs.Metrics.counter "depgraph.edges"
+
 type dep_kind = Reg_true | Mem_true | Mem_anti | Mem_output | Control
 
 let string_of_kind = function
@@ -598,6 +603,9 @@ let build ?(config = default_config) effects_tbl (f : Ir.func) (loop : Loops.loo
           | _ -> ())
         nodes
     end);
+  Spt_obs.Metrics.inc m_builds;
+  Spt_obs.Metrics.add m_nodes (List.length nodes);
+  Spt_obs.Metrics.add m_edges (List.length edges);
   {
     func = f;
     loop;

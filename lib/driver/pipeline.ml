@@ -18,6 +18,18 @@ open Spt_partition
 open Spt_transform
 open Spt_tlsim
 module Iset = Set.Make (Int)
+module Obs = Spt_obs
+
+(* observability: phase spans cover every stage below; these counters
+   summarize the two passes and the SVP phase (no-ops unless metrics
+   are enabled) *)
+let m_pass1_candidates = Obs.Metrics.counter "pipeline.pass1_candidates"
+let m_pass1_rejects = Obs.Metrics.counter "pipeline.pass1_rejects"
+let m_pass2_selected = Obs.Metrics.counter "pipeline.pass2_selected"
+let m_pass2_rejects = Obs.Metrics.counter "pipeline.pass2_rejects"
+let m_svp_tried = Obs.Metrics.counter "svp.candidates_tried"
+let m_svp_applied = Obs.Metrics.counter "svp.applied"
+let m_transform_retries = Obs.Metrics.counter "pipeline.transform_retries"
 
 type decision = Selected | Rejected of Select.reject_reason
 
@@ -49,21 +61,25 @@ type eval = {
 (* ------------------------------------------------------------------ *)
 (* Shared pipeline steps *)
 
-let front_end src = Lower.lower_program (Typecheck.parse_and_check src)
+let front_end src =
+  Obs.Trace.span "frontend" (fun () ->
+      Lower.lower_program (Typecheck.parse_and_check src))
 
 let to_ssa (prog : Ir.program) =
-  List.iter
-    (fun (_, f) ->
-      Ssa.construct f;
-      Passes.optimize_ssa f)
-    prog.Ir.funcs
+  Obs.Trace.span "ssa.construct" (fun () ->
+      List.iter
+        (fun (_, f) ->
+          Ssa.construct f;
+          Passes.optimize_ssa f)
+        prog.Ir.funcs)
 
 let out_of_ssa ?(phi_primed = fun _ -> None) (prog : Ir.program) =
-  List.iter
-    (fun (_, f) ->
-      Ssa.destruct ~phi_primed f;
-      Passes.optimize_nonssa f)
-    prog.Ir.funcs
+  Obs.Trace.span "ssa.destruct" (fun () ->
+      List.iter
+        (fun (_, f) ->
+          Ssa.destruct ~phi_primed f;
+          Passes.optimize_nonssa f)
+        prog.Ir.funcs)
 
 (** The non-SPT O3 baseline build (Table 1's reference).  It applies
     the same loop unrolling as the SPT build it is compared against, so
@@ -78,15 +94,16 @@ let compile_base ?(unroll = Unroll.default_policy) ?(inline = false) src =
 
 (* run all profilers over [prog] in one interpreter pass *)
 let profile_all ?(value_targets = []) (prog : Ir.program) ~max_steps =
-  let ep = Edge_profile.create () in
-  let dp = Dep_profile.create prog in
-  let vp = Value_profile.create value_targets in
-  let hooks =
-    Spt_interp.Interp.combine_hooks
-      [ Edge_profile.hooks ep; Dep_profile.hooks dp; Value_profile.hooks vp ]
-  in
-  let _ = Spt_interp.Interp.run ~hooks ~max_steps prog in
-  (ep, dp, vp)
+  Obs.Trace.span "profile" (fun () ->
+      let ep = Edge_profile.create () in
+      let dp = Dep_profile.create prog in
+      let vp = Value_profile.create value_targets in
+      let hooks =
+        Spt_interp.Interp.combine_hooks
+          [ Edge_profile.hooks ep; Dep_profile.hooks dp; Value_profile.hooks vp ]
+      in
+      let _ = Spt_interp.Interp.run ~hooks ~max_steps prog in
+      (ep, dp, vp))
 
 (* average dynamic cost of one invocation of each function, callees
    included (fixpoint over the call graph) — the speculative thread
@@ -175,6 +192,7 @@ type candidate = {
 
 let analyze (config : Config.t) effects_tbl ep dp ~overrides (prog : Ir.program)
     : candidate list * loop_record list =
+  Obs.Trace.span "pass1.analyze" @@ fun () ->
   let sym_ty =
     let tbl = Hashtbl.create 32 in
     List.iter (fun (s : Ir.sym) -> Hashtbl.replace tbl s.Ir.sid s.Ir.selt)
@@ -279,6 +297,9 @@ let analyze (config : Config.t) effects_tbl ep dp ~overrides (prog : Ir.program)
                 :: !candidates))
         (Loops.find f))
     prog.Ir.funcs;
+  (* cumulative over both analysis rounds when SVP re-analyzes *)
+  Obs.Metrics.add m_pass1_candidates (List.length !candidates);
+  Obs.Metrics.add m_pass1_rejects (List.length !records);
   (List.rev !candidates, List.rev !records)
 
 (* ------------------------------------------------------------------ *)
@@ -293,12 +314,17 @@ type spt_compilation = {
 let profile_steps = 100_000_000
 
 let compile_spt (config : Config.t) src : spt_compilation =
+  Obs.Trace.span "compile.spt" @@ fun () ->
   let prog = front_end src in
-  if config.Config.inline then ignore (Inline.run prog);
+  if config.Config.inline then
+    Obs.Trace.span "inline" (fun () -> ignore (Inline.run prog));
   (* SPT loop unrolling happens before SSA, like ORC's LNO *)
-  List.iter (fun (_, f) -> ignore (Unroll.run f config.Config.unroll)) prog.Ir.funcs;
+  Obs.Trace.span "unroll" (fun () ->
+      List.iter
+        (fun (_, f) -> ignore (Unroll.run f config.Config.unroll))
+        prog.Ir.funcs);
   to_ssa prog;
-  let effects_tbl = Effects.compute prog in
+  let effects_tbl = Obs.Trace.span "effects" (fun () -> Effects.compute prog) in
   (* value-profile targets: carried defs of every loop *)
   let value_targets =
     List.concat_map
@@ -322,6 +348,7 @@ let compile_spt (config : Config.t) src : spt_compilation =
   let svp_applied : (string, Svp.applied list) Hashtbl.t = Hashtbl.create 8 in
   let svp_loops : (string * int, unit) Hashtbl.t = Hashtbl.create 8 in
   if config.Config.use_svp then begin
+    Obs.Trace.span "svp" @@ fun () ->
     List.iter
       (fun c ->
         match c.c_partition with
@@ -334,6 +361,7 @@ let compile_spt (config : Config.t) src : spt_compilation =
           (* costly loop: try predicting its carried values *)
           List.iter
             (fun (phi_iid, def_iid) ->
+              Obs.Metrics.inc m_svp_tried;
               let trivially_movable =
                 match (Depgraph.instr c.c_graph def_iid).Ir.kind with
                 | Ir.Binop (_, (Ir.Add | Ir.Sub), Ir.Reg _, Ir.Imm_i _)
@@ -376,16 +404,15 @@ let compile_spt (config : Config.t) src : spt_compilation =
                                  ~cost:tr.Partition.cost
                                  ~prefork_size:tr.Partition.prefork_size)
                           in
-                          if Sys.getenv_opt "SPT_DEBUG" <> None then
-                            Printf.eprintf
-                              "[svp] %s@bb%d def=%d (%s) stride=%Ld hit=%.2f \
-                               trial_cost=%.1f prefork=%d body=%.0f -> %b\n%!"
-                              c.c_func.Ir.fname c.c_loop.Loops.header def_iid
-                              (Format.asprintf "%a" Ir_pretty.pp_kind
-                                 (Depgraph.instr c.c_graph def_iid).Ir.kind)
-                              pred.Value_profile.stride
-                              pred.Value_profile.hit_rate tr.Partition.cost
-                              tr.Partition.prefork_size c.c_body_size ok;
+                          Obs.Log.debug
+                            "[svp] %s@bb%d def=%d (%s) stride=%Ld hit=%.2f \
+                             trial_cost=%.1f prefork=%d body=%.0f -> %b"
+                            c.c_func.Ir.fname c.c_loop.Loops.header def_iid
+                            (Format.asprintf "%a" Ir_pretty.pp_kind
+                               (Depgraph.instr c.c_graph def_iid).Ir.kind)
+                            pred.Value_profile.stride
+                            pred.Value_profile.hit_rate tr.Partition.cost
+                            tr.Partition.prefork_size c.c_body_size ok;
                           ok
                         | Partition.Too_many_vcs _ -> false) -> (
                   match
@@ -393,6 +420,7 @@ let compile_spt (config : Config.t) src : spt_compilation =
                       ~stride:pred.Value_profile.stride
                   with
                   | Some applied ->
+                    Obs.Metrics.inc m_svp_applied;
                     Hashtbl.replace svp_applied c.c_func.Ir.fname
                       (applied
                       :: Option.value ~default:[]
@@ -410,6 +438,7 @@ let compile_spt (config : Config.t) src : spt_compilation =
     if Hashtbl.length svp_applied = 0 then (ep, dp, candidates, rejected)
     else begin
       (* the rewrites added blocks: re-profile and re-analyze *)
+      Obs.Trace.span "svp.reprofile" @@ fun () ->
       let ep, dp, _ = profile_all prog ~max_steps:profile_steps in
       (* violation overrides: the SVP'd carried value misspeculates only
          at the profiled misprediction frequency — measured directly as
@@ -456,6 +485,7 @@ let compile_spt (config : Config.t) src : spt_compilation =
   (* ---- pass 2: final selection ---- *)
   let th = config.Config.thresholds in
   let evaluated =
+    Obs.Trace.span "pass2.select" @@ fun () ->
     List.map
       (fun c ->
         match c.c_partition with
@@ -512,13 +542,16 @@ let compile_spt (config : Config.t) src : spt_compilation =
   (* process by decreasing benefit; a loop only yields to a conflicting
      loop that actually got *transformed*, so a transform failure does
      not doom the rivals it out-ranked *)
+  Obs.Trace.span "transform" (fun () ->
   List.iter
     (fun ((c, (r : Partition.result)) as cand) ->
-      if List.exists (fun (c', _, _) -> conflicts (c', r) cand) !transformed then
+      if List.exists (fun (c', _, _) -> conflicts (c', r) cand) !transformed then begin
+        Obs.Metrics.inc m_pass2_rejects;
         transform_records :=
           record_of c (Rejected Select.Nested_conflict) (Some r.Partition.cost)
             (Some r.Partition.prefork_size) None
           :: !transform_records
+      end
       else begin
         (* force the SVP prediction instructions into the pre-fork set *)
         let with_svp prefork =
@@ -543,6 +576,7 @@ let compile_spt (config : Config.t) src : spt_compilation =
             (* the optimal partition is untransformable: re-search with
                the offending candidates excluded and — still respecting
                the selection thresholds — try the runner-up partition *)
+            Obs.Metrics.inc m_transform_retries;
             let inner =
               Spt_transform_loop.inner_loop_blocks c.c_func c.c_loop
             in
@@ -574,23 +608,25 @@ let compile_spt (config : Config.t) src : spt_compilation =
               | Ok info -> Ok (r2, info)
               | Error rej -> Error rej)
             | Partition.Found r2 ->
-              if Sys.getenv_opt "SPT_DEBUG" <> None then
-                Printf.eprintf
-                  "[retry] %s@bb%d filtered partition fails selection:                    cost=%.1f prefork=%d body=%.0f\n%!"
-                  c.c_func.Ir.fname c.c_loop.Loops.header r2.Partition.cost
-                  r2.Partition.prefork_size c.c_body_size;
+              Obs.Log.debug
+                "[retry] %s@bb%d filtered partition fails selection: \
+                 cost=%.1f prefork=%d body=%.0f"
+                c.c_func.Ir.fname c.c_loop.Loops.header r2.Partition.cost
+                r2.Partition.prefork_size c.c_body_size;
               Error first_rej
             | Partition.Too_many_vcs _ -> Error first_rej)
         in
         match outcome with
         | Ok (r_used, info) ->
           incr loop_id_gen;
+          Obs.Metrics.inc m_pass2_selected;
           transformed := (c, r_used, info) :: !transformed;
           transform_records :=
             record_of c Selected (Some r_used.Partition.cost)
               (Some r_used.Partition.prefork_size) (Some loop_id)
             :: !transform_records
         | Error rej ->
+          Obs.Metrics.inc m_pass2_rejects;
           transform_records :=
             record_of c
               (Rejected
@@ -600,8 +636,11 @@ let compile_spt (config : Config.t) src : spt_compilation =
               (Some r.Partition.prefork_size) None
             :: !transform_records
       end)
-    sorted;
+    sorted);
   (* records for loops that failed final selection *)
+  Obs.Metrics.add m_pass2_rejects
+    (List.length
+       (List.filter (fun (_, v) -> Result.is_error v) evaluated));
   let final_rejects =
     List.filter_map
       (fun (c, v) ->
@@ -642,11 +681,12 @@ let compile_spt (config : Config.t) src : spt_compilation =
       | Some v -> Some v
       | None -> List.assoc_opt vid pairs
   in
-  List.iter
-    (fun (name, f) ->
-      Ssa.destruct ~phi_primed:(phi_primed_for name) f;
-      Passes.optimize_nonssa f)
-    prog.Ir.funcs;
+  Obs.Trace.span "ssa.destruct" (fun () ->
+      List.iter
+        (fun (name, f) ->
+          Ssa.destruct ~phi_primed:(phi_primed_for name) f;
+          Passes.optimize_nonssa f)
+        prog.Ir.funcs);
   (* ---- register the transformed loops with the simulator ---- *)
   let spt_loops =
     List.filter_map
@@ -681,14 +721,23 @@ let compile_spt (config : Config.t) src : spt_compilation =
 
 let evaluate ?(config = Config.best) src : eval =
   let base_prog =
-    compile_base ~unroll:config.Config.unroll ~inline:config.Config.inline src
+    Obs.Trace.span "compile.base" (fun () ->
+        compile_base ~unroll:config.Config.unroll ~inline:config.Config.inline
+          src)
   in
-  let base = Tls_machine.run ~config:config.Config.sim base_prog in
+  let base =
+    Obs.Trace.span "simulate.base" (fun () ->
+        Tls_machine.run ~config:config.Config.sim base_prog)
+  in
   let spt = compile_spt config src in
   let spt_res =
-    Tls_machine.run ~config:config.Config.sim ~spt_loops:spt.spt_loops
-      spt.program
+    Obs.Trace.span "simulate.spt" (fun () ->
+        Tls_machine.run ~config:config.Config.sim ~spt_loops:spt.spt_loops
+          spt.program)
   in
+  Obs.Log.info "evaluate[%s]: base=%.0f cycles, spt=%.0f cycles, %d SPT loops"
+    config.Config.name base.Tls_machine.cycles spt_res.Tls_machine.cycles
+    (List.length spt.spt_loops);
   {
     config_name = config.Config.name;
     base;

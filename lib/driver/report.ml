@@ -403,3 +403,114 @@ let fig19 results =
   Table.render t
   ^ Printf.sprintf "correlation (Pearson): %.2f  (points: %d)\n" corr
       (List.length pts)
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable summaries (the --metrics / BENCH_*.json payload) *)
+
+module Json = Spt_obs.Json
+
+let json_opt of_v = function None -> Json.Null | Some v -> of_v v
+
+let loop_json (e : Pipeline.eval) (lr : Pipeline.loop_record) =
+  let runtime =
+    match lr.Pipeline.lr_loop_id with
+    | None -> []
+    | Some id -> (
+      match List.assoc_opt id e.Pipeline.spt.Tls_machine.loop_metrics with
+      | None -> []
+      | Some lm ->
+        [
+          ("iterations", Json.Int lm.Tls_machine.lm_iterations);
+          ("pairs", Json.Int lm.Tls_machine.lm_pairs);
+          ("violated_pairs", Json.Int lm.Tls_machine.lm_violated_pairs);
+          ("reg_violations", Json.Int lm.Tls_machine.lm_reg_violations);
+          ("mem_violations", Json.Int lm.Tls_machine.lm_mem_violations);
+          ( "misspec_ratio",
+            Json.Float
+              (if lm.Tls_machine.lm_spec_units > 0.0 then
+                 lm.Tls_machine.lm_reexec_units /. lm.Tls_machine.lm_spec_units
+               else 0.0) );
+          ( "loop_speedup",
+            Json.Float
+              (if lm.Tls_machine.lm_spt_cycles > 0.0 then
+                 lm.Tls_machine.lm_serial_est /. lm.Tls_machine.lm_spt_cycles
+               else 1.0) );
+        ])
+  in
+  Json.Obj
+    ([
+       ("func", Json.Str lr.Pipeline.lr_func);
+       ("header", Json.Int lr.Pipeline.lr_header);
+       ( "origin",
+         match lr.Pipeline.lr_origin with
+         | Some `For -> Json.Str "for"
+         | Some `While -> Json.Str "while"
+         | Some `Do -> Json.Str "do"
+         | None -> Json.Null );
+       ("body_size", Json.Float lr.Pipeline.lr_body_size);
+       ("static_size", Json.Int lr.Pipeline.lr_static_size);
+       ("trip", Json.Float lr.Pipeline.lr_trip);
+       ("weight", Json.Int lr.Pipeline.lr_weight);
+       ( "decision",
+         match lr.Pipeline.lr_decision with
+         | Pipeline.Selected -> Json.Str "selected"
+         | Pipeline.Rejected r ->
+           Json.Str (Spt_transform.Select.string_of_reason r) );
+       ("cost", json_opt (fun c -> Json.Float c) lr.Pipeline.lr_cost);
+       ( "prefork_size",
+         json_opt (fun s -> Json.Int s) lr.Pipeline.lr_prefork_size );
+       ("loop_id", json_opt (fun i -> Json.Int i) lr.Pipeline.lr_loop_id);
+       ("svp", Json.Bool lr.Pipeline.lr_svp);
+     ]
+    @ runtime)
+
+let breakdown_json b =
+  Json.Obj
+    [
+      ("total", Json.Int b.total);
+      ("valid", Json.Int b.valid);
+      ("many_vcs", Json.Int b.many_vcs);
+      ("small_body", Json.Int b.small_body);
+      ("large_body", Json.Int b.large_body);
+      ("small_trip", Json.Int b.small_trip);
+      ("high_cost", Json.Int b.high_cost);
+      ("untransformable", Json.Int b.untransformable);
+      ("nested", Json.Int b.nested);
+    ]
+
+let eval_json ~name (e : Pipeline.eval) =
+  Json.Obj
+    [
+      ("name", Json.Str name);
+      ("config", Json.Str e.Pipeline.config_name);
+      ("speedup", Json.Float e.Pipeline.speedup);
+      ("outputs_match", Json.Bool e.Pipeline.outputs_match);
+      ("n_spt_loops", Json.Int e.Pipeline.n_spt_loops);
+      ( "base",
+        Json.Obj
+          [
+            ("cycles", Json.Float e.Pipeline.base.Tls_machine.cycles);
+            ("instrs", Json.Int e.Pipeline.base.Tls_machine.instrs);
+            ("ipc", Json.Float e.Pipeline.base.Tls_machine.ipc);
+          ] );
+      ( "spt",
+        Json.Obj
+          [
+            ("cycles", Json.Float e.Pipeline.spt.Tls_machine.cycles);
+            ("instrs", Json.Int e.Pipeline.spt.Tls_machine.instrs);
+            ("ipc", Json.Float e.Pipeline.spt.Tls_machine.ipc);
+            ( "spt_cycles_total",
+              Json.Float e.Pipeline.spt.Tls_machine.spt_cycles_total );
+          ] );
+      ("breakdown", breakdown_json (breakdown_of e.Pipeline.loops));
+      ("loops", Json.List (List.map (loop_json e) e.Pipeline.loops));
+    ]
+
+let metrics_json (results : (string * Pipeline.eval) list) =
+  Json.Obj
+    [
+      ("schema", Json.Str "spt-metrics-v1");
+      ( "workloads",
+        Json.List (List.map (fun (name, e) -> eval_json ~name e) results) );
+      ("counters", Spt_obs.Metrics.to_json ());
+    ]

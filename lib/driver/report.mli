@@ -61,3 +61,14 @@ val fig19_points : (string * Pipeline.eval) list -> fig19_point list
 (** Fig. 19: estimated cost vs actual re-execution, with the Pearson
     correlation. *)
 val fig19 : (string * Pipeline.eval) list -> string
+
+(** One evaluation as a JSON object: speedup, cycle counts, the
+    Fig. 15 breakdown and the per-loop records (with runtime
+    misspeculation metrics where the loop was transformed). *)
+val eval_json : name:string -> Pipeline.eval -> Spt_obs.Json.t
+
+(** Machine-readable summary of a result set — the [sptc compile
+    --metrics] / bench [BENCH_*.json] payload: a [workloads] array of
+    {!eval_json} objects plus a [counters] dump of the full
+    {!Spt_obs.Metrics} registry. *)
+val metrics_json : (string * Pipeline.eval) list -> Spt_obs.Json.t

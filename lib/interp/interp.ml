@@ -350,6 +350,11 @@ and exec_instr st frame bid (i : Ir.instr) =
 (* ------------------------------------------------------------------ *)
 (* Entry points *)
 
+(* observability counters (no-ops unless metrics are enabled); charged
+   once per run so the interpreter loop itself stays untouched *)
+let m_runs = Spt_obs.Metrics.counter "interp.runs"
+let m_steps = Spt_obs.Metrics.counter "interp.steps"
+
 let run ?(hooks = null_hooks) ?(max_steps = 200_000_000) (program : Ir.program) =
   let layout = Layout.build program.Ir.globals in
   let st =
@@ -367,6 +372,8 @@ let run ?(hooks = null_hooks) ?(max_steps = 200_000_000) (program : Ir.program) 
   in
   let mainf = Ir.func_of_program program "main" in
   let return_value = exec_call st mainf [] [] in
+  Spt_obs.Metrics.inc m_runs;
+  Spt_obs.Metrics.add m_steps st.steps;
   { return_value; output = Buffer.contents st.out; dynamic_instrs = st.steps }
 
 (** Compile MiniC source all the way and run it (no optimization). *)

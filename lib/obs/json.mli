@@ -1,0 +1,30 @@
+(** A minimal JSON tree, writer and reader.
+
+    The observability layer emits machine-readable artifacts — Chrome
+    [trace_events] files, metrics dumps, bench summaries — and the test
+    suite parses them back to assert well-formedness, so both
+    directions live here rather than behind an external dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Render to a string.  [minify:false] (the default) indents nested
+    structures two spaces per level.  Non-finite floats render as
+    [null], keeping the output always loadable. *)
+val to_string : ?minify:bool -> t -> string
+
+(** Parse a complete JSON document.  [Error msg] carries the byte
+    offset of the failure. *)
+val of_string : string -> (t, string) result
+
+(** [member key j] is the value bound to [key] when [j] is an object. *)
+val member : string -> t -> t option
+
+(** Write [to_string j] (plus a trailing newline) to [path]. *)
+val to_file : string -> t -> unit

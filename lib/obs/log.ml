@@ -1,0 +1,47 @@
+type level = Error | Warn | Info | Debug
+
+let rank = function Error -> 0 | Warn -> 1 | Info -> 2 | Debug -> 3
+
+let string_of_level = function
+  | Error -> "error"
+  | Warn -> "warn"
+  | Info -> "info"
+  | Debug -> "debug"
+
+let level_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "error" | "err" -> Ok Error
+  | "warn" | "warning" -> Ok Warn
+  | "info" -> Ok Info
+  | "debug" -> Ok Debug
+  | other -> Error (Printf.sprintf "unknown log level %S" other)
+
+let initial_level () =
+  match Sys.getenv_opt "SPT_LOG" with
+  | Some s -> ( match level_of_string s with Ok l -> l | Error _ -> Warn)
+  | None -> (
+    (* the historical debug switch stays an alias for SPT_LOG=debug *)
+    match Sys.getenv_opt "SPT_DEBUG" with
+    | Some ("" | "0") | None -> Warn
+    | Some _ -> Debug)
+
+let current = ref (initial_level ())
+let set_level l = current := l
+let level () = !current
+let enabled l = rank l <= rank !current
+
+let logf l fmt =
+  if enabled l then
+    Printf.kfprintf
+      (fun oc ->
+        output_char oc '\n';
+        flush oc)
+      stderr
+      ("[spt:%s] " ^^ fmt)
+      (string_of_level l)
+  else Printf.ifprintf stderr fmt
+
+let err fmt = logf Error fmt
+let warn fmt = logf Warn fmt
+let info fmt = logf Info fmt
+let debug fmt = logf Debug fmt

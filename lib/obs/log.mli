@@ -1,0 +1,28 @@
+(** Leveled logging for the SPT pipeline.
+
+    One global level gates four [Printf]-style entry points writing to
+    [stderr].  The initial level comes from the environment at program
+    start: [SPT_LOG=error|warn|info|debug], with the historical
+    [SPT_DEBUG=1] kept working as an alias for [SPT_LOG=debug]; the
+    [sptc --log-level] flag overrides both via {!set_level}.
+
+    A disabled call costs one load and one branch before any formatting
+    happens ([Printf.ifprintf] never renders its arguments). *)
+
+type level = Error | Warn | Info | Debug
+
+(** Default level when the environment says nothing: [Warn]. *)
+val set_level : level -> unit
+
+val level : unit -> level
+val enabled : level -> bool
+
+val string_of_level : level -> string
+
+(** Accepts the four level names, case-insensitive. *)
+val level_of_string : string -> (level, string) result
+
+val err : ('a, out_channel, unit) format -> 'a
+val warn : ('a, out_channel, unit) format -> 'a
+val info : ('a, out_channel, unit) format -> 'a
+val debug : ('a, out_channel, unit) format -> 'a

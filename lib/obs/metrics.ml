@@ -1,0 +1,105 @@
+type counter = { mutable c : int }
+type gauge = { mutable g : float }
+
+type histogram = {
+  mutable hn : int;
+  mutable hsum : float;
+  mutable hmin : float;
+  mutable hmax : float;
+}
+
+type metric = C of counter | G of gauge | H of histogram
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let on = ref false
+let set_enabled b = on := b
+let enabled () = !on
+
+let counter name =
+  match Hashtbl.find_opt registry name with
+  | Some (C c) -> c
+  | Some _ -> invalid_arg (Printf.sprintf "Metrics: %S is not a counter" name)
+  | None ->
+    let c = { c = 0 } in
+    Hashtbl.replace registry name (C c);
+    c
+
+let gauge name =
+  match Hashtbl.find_opt registry name with
+  | Some (G g) -> g
+  | Some _ -> invalid_arg (Printf.sprintf "Metrics: %S is not a gauge" name)
+  | None ->
+    let g = { g = 0.0 } in
+    Hashtbl.replace registry name (G g);
+    g
+
+let histogram name =
+  match Hashtbl.find_opt registry name with
+  | Some (H h) -> h
+  | Some _ -> invalid_arg (Printf.sprintf "Metrics: %S is not a histogram" name)
+  | None ->
+    let h = { hn = 0; hsum = 0.0; hmin = infinity; hmax = neg_infinity } in
+    Hashtbl.replace registry name (H h);
+    h
+
+let inc c = if !on then c.c <- c.c + 1
+let add c n = if !on then c.c <- c.c + n
+let set g x = if !on then g.g <- x
+
+let observe h x =
+  if !on then begin
+    h.hn <- h.hn + 1;
+    h.hsum <- h.hsum +. x;
+    if x < h.hmin then h.hmin <- x;
+    if x > h.hmax then h.hmax <- x
+  end
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of { hcount : int; hsum : float; hmin : float; hmax : float }
+
+let value_of = function
+  | C c -> Counter c.c
+  | G g -> Gauge g.g
+  | H h -> Histogram { hcount = h.hn; hsum = h.hsum; hmin = h.hmin; hmax = h.hmax }
+
+let snapshot () =
+  Hashtbl.fold (fun name m acc -> (name, value_of m) :: acc) registry []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let get name = Option.map value_of (Hashtbl.find_opt registry name)
+
+let reset () =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | C c -> c.c <- 0
+      | G g -> g.g <- 0.0
+      | H h ->
+        h.hn <- 0;
+        h.hsum <- 0.0;
+        h.hmin <- infinity;
+        h.hmax <- neg_infinity)
+    registry
+
+let to_json () =
+  Json.Obj
+    (List.map
+       (fun (name, v) ->
+         ( name,
+           match v with
+           | Counter c -> Json.Int c
+           | Gauge g -> Json.Float g
+           | Histogram { hcount; hsum; hmin; hmax } ->
+             Json.Obj
+               [
+                 ("count", Json.Int hcount);
+                 ("sum", Json.Float hsum);
+                 ("min", Json.Float (if hcount = 0 then 0.0 else hmin));
+                 ("max", Json.Float (if hcount = 0 then 0.0 else hmax));
+                 ( "mean",
+                   Json.Float
+                     (if hcount = 0 then 0.0 else hsum /. float_of_int hcount) );
+               ] ))
+       (snapshot ()))

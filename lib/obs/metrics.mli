@@ -1,0 +1,53 @@
+(** Global registry of named counters, gauges and histograms.
+
+    Instrumented code creates a handle once, at module initialization
+    ([let m_nodes = Metrics.counter "partition.nodes_explored"]), and
+    updates it on the hot path.  When the registry is disabled (the
+    default) an update is one load and one branch — no allocation, no
+    hashing — so permanently instrumenting the branch-and-bound search
+    or the interpreter costs nothing in production runs.
+
+    Handles are interned by name: two [counter "x"] calls share state.
+    Registration happens at handle creation regardless of the enabled
+    flag, so a metrics dump always lists the full catalogue (untouched
+    metrics report zero). *)
+
+type counter
+type gauge
+type histogram
+
+(** Disabled by default; [sptc --metrics] and the test suite turn it
+    on. *)
+val set_enabled : bool -> unit
+
+val enabled : unit -> bool
+
+val counter : string -> counter
+val inc : counter -> unit
+val add : counter -> int -> unit
+
+val gauge : string -> gauge
+val set : gauge -> float -> unit
+
+val histogram : string -> histogram
+val observe : histogram -> float -> unit
+
+(** A metric's current value.  Histograms expose count/sum/min/max
+    (and therefore the mean); [hmin]/[hmax] are meaningless when
+    [hcount = 0]. *)
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of { hcount : int; hsum : float; hmin : float; hmax : float }
+
+(** All registered metrics, sorted by name. *)
+val snapshot : unit -> (string * value) list
+
+val get : string -> value option
+
+(** Zero every value; registrations survive. *)
+val reset : unit -> unit
+
+(** Object mapping each metric name to its value; histograms become
+    [{"count":..,"sum":..,"min":..,"max":..,"mean":..}]. *)
+val to_json : unit -> Json.t

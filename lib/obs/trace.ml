@@ -1,0 +1,98 @@
+let on = ref false
+let set_enabled b = on := b
+let enabled () = !on
+
+(* timestamps are microseconds since the first event of the process, so
+   they stay well within an OCaml int and read as small numbers in the
+   viewer *)
+let epoch = ref None
+
+let now_us () =
+  let t = Unix.gettimeofday () in
+  let e =
+    match !epoch with
+    | Some e -> e
+    | None ->
+      epoch := Some t;
+      t
+  in
+  (t -. e) *. 1e6
+
+(* events are stored newest-first and reversed on export *)
+let recorded : Json.t list ref = ref []
+let depth = ref 0
+
+let event ?(cat = "spt") ~ph ~name ~ts fields =
+  Json.Obj
+    ([
+       ("name", Json.Str name);
+       ("cat", Json.Str cat);
+       ("ph", Json.Str ph);
+       ("ts", Json.Float ts);
+       ("pid", Json.Int 1);
+       ("tid", Json.Int 1);
+     ]
+    @ fields)
+
+let span ?cat name f =
+  if not !on then f ()
+  else begin
+    let ts = now_us () in
+    let d = !depth in
+    incr depth;
+    Fun.protect
+      ~finally:(fun () ->
+        decr depth;
+        let dur = now_us () -. ts in
+        recorded :=
+          event ?cat ~ph:"X" ~name ~ts
+            [
+              ("dur", Json.Float dur);
+              ("args", Json.Obj [ ("depth", Json.Int d) ]);
+            ]
+          :: !recorded)
+      f
+  end
+
+let instant ?cat name =
+  if !on then
+    recorded :=
+      event ?cat ~ph:"i" ~name ~ts:(now_us ())
+        [ ("s", Json.Str "t") ]
+      :: !recorded
+
+let ts_of = function
+  | Json.Obj fields -> (
+    match List.assoc_opt "ts" fields with Some (Json.Float t) -> t | _ -> 0.0)
+  | _ -> 0.0
+
+(* ties (spans opened within the same microsecond) break by nesting
+   depth so a parent still precedes its children *)
+let depth_of = function
+  | Json.Obj fields -> (
+    match List.assoc_opt "args" fields with
+    | Some (Json.Obj args) -> (
+      match List.assoc_opt "depth" args with Some (Json.Int d) -> d | _ -> 0)
+    | _ -> 0)
+  | _ -> 0
+
+let events () =
+  List.stable_sort
+    (fun a b ->
+      match compare (ts_of a) (ts_of b) with
+      | 0 -> compare (depth_of a) (depth_of b)
+      | c -> c)
+    (List.rev !recorded)
+
+let to_json () =
+  Json.Obj
+    [
+      ("traceEvents", Json.List (events ()));
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+let reset () =
+  recorded := [];
+  depth := 0
+
+let to_file path = Json.to_file path (to_json ())

@@ -1,0 +1,34 @@
+(** Phase spans with a Chrome [trace_events] exporter.
+
+    [span "pass1.analyze" f] times [f ()] on the wall clock and, when
+    tracing is enabled, records one complete event (["ph":"X"]) with
+    microsecond [ts]/[dur] fields.  Spans nest by dynamic extent —
+    opening [sptc compile --trace t.json]'s output in a trace viewer
+    (chrome://tracing, Perfetto, speedscope) shows the pipeline stages
+    stacked under the whole compilation.
+
+    When disabled (the default), [span] runs its thunk through one
+    branch of overhead and records nothing. *)
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+(** [span ?cat name f] runs [f ()], recording a complete event over its
+    extent.  The event is recorded even when [f] raises. *)
+val span : ?cat:string -> string -> (unit -> 'a) -> 'a
+
+(** A zero-duration instant event (["ph":"i"]), for marking moments. *)
+val instant : ?cat:string -> string -> unit
+
+(** Recorded events in chronological start order (oldest first). *)
+val events : unit -> Json.t list
+
+(** The full [{"traceEvents": [...], "displayTimeUnit": "ms"}] object
+    Chrome-compatible viewers load. *)
+val to_json : unit -> Json.t
+
+(** Forget all recorded events. *)
+val reset : unit -> unit
+
+(** [to_file path] writes {!to_json} to [path]. *)
+val to_file : string -> unit

@@ -21,6 +21,16 @@ open Spt_depgraph
 open Spt_cost
 module Iset = Set.Make (Int)
 
+(* observability: search-effort counters (no-ops unless metrics are
+   enabled; the handles are interned once at module load) *)
+let m_searches = Spt_obs.Metrics.counter "partition.searches"
+let m_nodes = Spt_obs.Metrics.counter "partition.nodes_explored"
+let m_pruned_threshold = Spt_obs.Metrics.counter "partition.pruned_by_threshold"
+let m_pruned_bound = Spt_obs.Metrics.counter "partition.pruned_by_bound"
+let m_too_many_vcs = Spt_obs.Metrics.counter "partition.too_many_vcs"
+let m_budget_hits = Spt_obs.Metrics.counter "partition.budget_hits"
+let h_vcs = Spt_obs.Metrics.histogram "partition.vcs_per_loop"
+
 (* ------------------------------------------------------------------ *)
 (* Statement closure *)
 
@@ -133,6 +143,10 @@ type result = {
   prefork_size : int;
   body : int;  (** loop body size in operations *)
   nodes_explored : int;
+  pruned_by_threshold : int;
+      (** subtrees cut by heuristic 1 (pre-fork size monotonicity) *)
+  pruned_by_bound : int;
+      (** subtrees cut by heuristic 2 (optimistic cost bound) *)
   exhausted : bool;  (** search completed within the node budget *)
 }
 
@@ -157,9 +171,16 @@ let search ?(options = None) (cm : Cost_model.t) (g : Depgraph.t) : outcome =
   in
   let vcg = build_vc_graph_of g ~anc g_filtered_vcs in
   let n = Array.length vcg.vcs in
-  if n > opts.max_vcs then Too_many_vcs n
+  Spt_obs.Metrics.inc m_searches;
+  Spt_obs.Metrics.observe h_vcs (float_of_int n);
+  if n > opts.max_vcs then begin
+    Spt_obs.Metrics.inc m_too_many_vcs;
+    Too_many_vcs n
+  end
   else begin
     let explored = ref 0 in
+    let cut_threshold = ref 0 in
+    let cut_bound = ref 0 in
     let best = ref None in
     let budget_hit = ref false in
     let eval vcs_set =
@@ -187,6 +208,7 @@ let search ?(options = None) (cm : Cost_model.t) (g : Depgraph.t) : outcome =
           best := Some (vcs_set, prefork, cost, psize);
         (* heuristic 1: size is monotone — an oversize partition cannot
            have feasible descendants *)
+        if (not feasible) && opts.use_pruning then incr cut_threshold;
         if feasible || not opts.use_pruning then begin
           (* heuristic 2: optimistic bound with every addable VC moved *)
           let addable =
@@ -212,6 +234,7 @@ let search ?(options = None) (cm : Cost_model.t) (g : Depgraph.t) : outcome =
               let _, _, lb_cost = eval full_set in
               lb_cost > bcost +. 1e-12
           in
+          if skip_subtree then incr cut_bound;
           if not skip_subtree then
             List.iter
               (fun i ->
@@ -224,6 +247,10 @@ let search ?(options = None) (cm : Cost_model.t) (g : Depgraph.t) : outcome =
       end
     in
     dfs Iset.empty Iset.empty (-1);
+    Spt_obs.Metrics.add m_nodes !explored;
+    Spt_obs.Metrics.add m_pruned_threshold !cut_threshold;
+    Spt_obs.Metrics.add m_pruned_bound !cut_bound;
+    if !budget_hit then Spt_obs.Metrics.inc m_budget_hits;
     match !best with
     | Some (vcs_set, prefork, cost, psize) ->
       Found
@@ -234,6 +261,8 @@ let search ?(options = None) (cm : Cost_model.t) (g : Depgraph.t) : outcome =
           prefork_size = psize;
           body = bsize;
           nodes_explored = !explored;
+          pruned_by_threshold = !cut_threshold;
+          pruned_by_bound = !cut_bound;
           exhausted = not !budget_hit;
         }
     | None ->

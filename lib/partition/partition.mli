@@ -59,6 +59,10 @@ type result = {
   prefork_size : int;
   body : int;  (** loop body size in operations *)
   nodes_explored : int;
+  pruned_by_threshold : int;
+      (** subtrees cut by heuristic 1 (pre-fork size monotonicity) *)
+  pruned_by_bound : int;
+      (** subtrees cut by heuristic 2 (optimistic cost bound) *)
   exhausted : bool;  (** completed within the node budget *)
 }
 

@@ -35,6 +35,15 @@ open Spt_interp
 module Imap = Map.Make (Int)
 module Iset = Set.Make (Int)
 
+(* observability counters (no-ops unless metrics are enabled) *)
+let m_instances = Spt_obs.Metrics.counter "tlsim.instances"
+let m_iterations = Spt_obs.Metrics.counter "tlsim.iterations"
+let m_forks = Spt_obs.Metrics.counter "tlsim.forks"
+let m_misspeculations = Spt_obs.Metrics.counter "tlsim.misspeculations"
+let m_kills = Spt_obs.Metrics.counter "tlsim.kills"
+let m_reg_violations = Spt_obs.Metrics.counter "tlsim.reg_violations"
+let m_mem_violations = Spt_obs.Metrics.counter "tlsim.mem_violations"
+
 type config = {
   fork_overhead : float;
   commit_overhead : float;
@@ -247,7 +256,8 @@ let run_pair m (st : spt_state) (mi : ev array) (si : ev array option) =
           m.clock <- m.clock +. cfg.fork_overhead;
           fork_time := Some m.clock;
           fork_snapshot := st.regfile;
-          lm.lm_forks <- lm.lm_forks + 1
+          lm.lm_forks <- lm.lm_forks + 1;
+          Spt_obs.Metrics.inc m_forks
         end
         else begin
           let c = instr_cost m ~core:0 ~base:e.base ~loads:e.loads in
@@ -272,9 +282,11 @@ let run_pair m (st : spt_state) (mi : ev array) (si : ev array option) =
   (* --- speculative core executes si from the fork point --- *)
   match (si, !fork_time) with
   | None, _ | _, None ->
-    (* no partner or no fork: any buffered partner runs serially *)
+    (* no partner or no fork: any buffered partner runs serially — the
+       speculative thread, if any, is killed at the loop boundary *)
     (match si with
     | Some si ->
+      Spt_obs.Metrics.inc m_kills;
       Array.iter
         (fun ev ->
           match ev with
@@ -330,6 +342,7 @@ let run_pair m (st : spt_state) (mi : ev array) (si : ev array option) =
                     if fork_v <> v then begin
                       mis := true;
                       lm.lm_reg_violations <- lm.lm_reg_violations + 1;
+                      Spt_obs.Metrics.inc m_reg_violations;
                       if Sys.getenv_opt "SPT_TRACE_VIOL" <> None then
                         Printf.eprintf "[viol] reg vid=%d\n%!" vid
                     end
@@ -350,7 +363,8 @@ let run_pair m (st : spt_state) (mi : ev array) (si : ev array option) =
                 match Hashtbl.find_opt post_stores addr with
                 | Some t_store when t_store > !s_clock ->
                   mis := true;
-                  lm.lm_mem_violations <- lm.lm_mem_violations + 1
+                  lm.lm_mem_violations <- lm.lm_mem_violations + 1;
+                  Spt_obs.Metrics.inc m_mem_violations
                 | _ -> ()))
             e.loads;
           if !mis then begin
@@ -372,7 +386,10 @@ let run_pair m (st : spt_state) (mi : ev array) (si : ev array option) =
               e.defs)
       si;
     let s_end = !s_clock in
-    if !violated then lm.lm_violated_pairs <- lm.lm_violated_pairs + 1;
+    if !violated then begin
+      lm.lm_violated_pairs <- lm.lm_violated_pairs + 1;
+      Spt_obs.Metrics.inc m_misspeculations
+    end;
     lm.lm_reexec_units <- lm.lm_reexec_units +. !reexec_units;
     lm.lm_spec_units <-
       lm.lm_spec_units +. Array.fold_left (fun acc ev -> acc +. ev_units ev) 0.0 si;
@@ -388,6 +405,7 @@ let finish_iteration m st =
     st.cur <- [];
     st.cur_nonempty <- false;
     st.s_metrics.lm_iterations <- st.s_metrics.lm_iterations + 1;
+    Spt_obs.Metrics.inc m_iterations;
     match st.pending with
     | None -> st.pending <- Some it
     | Some mi ->
@@ -560,6 +578,7 @@ let hooks m =
       | Some sl ->
         let lm = Hashtbl.find m.metrics sl.sl_id in
         lm.lm_instances <- lm.lm_instances + 1;
+        Spt_obs.Metrics.inc m_instances;
         m.mode <-
           Spt
             {

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "spt"
     [
       ("util", Test_util.suite);
+      ("obs", Test_obs.suite);
       ("frontend", Test_frontend.suite);
       ("interp", Test_interp.suite);
       ("ir", Test_ir.suite);

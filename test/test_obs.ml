@@ -1,0 +1,328 @@
+(** Tests for the observability layer ([Spt_obs]): the JSON tree,
+    metrics registry, trace spans, leveled logging — and one pipeline
+    run asserting that the instrumentation wired through the compiler
+    actually fires. *)
+
+module Json = Spt_obs.Json
+module Metrics = Spt_obs.Metrics
+module Trace = Spt_obs.Trace
+module Log = Spt_obs.Log
+
+(* The registry and trace buffer are global; every test restores the
+   disabled default so the rest of the suite runs uninstrumented. *)
+let with_metrics f =
+  Metrics.set_enabled true;
+  Metrics.reset ();
+  Fun.protect ~finally:(fun () -> Metrics.set_enabled false) f
+
+let with_trace f =
+  Trace.set_enabled true;
+  Trace.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.set_enabled false;
+      Trace.reset ())
+    f
+
+(* ------------------------------------------------------------------ *)
+(* JSON *)
+
+let test_json_roundtrip () =
+  let doc =
+    Json.Obj
+      [
+        ("null", Json.Null);
+        ("bools", Json.List [ Json.Bool true; Json.Bool false ]);
+        ("int", Json.Int (-42));
+        ("floats", Json.List [ Json.Float 2.0; Json.Float 3.14159; Json.Float 1e-9 ]);
+        ("str", Json.Str "line\none \"quoted\" \\ tab\there");
+        ("empty", Json.Obj [ ("l", Json.List []); ("o", Json.Obj []) ]);
+      ]
+  in
+  List.iter
+    (fun minify ->
+      match Json.of_string (Json.to_string ~minify doc) with
+      | Ok doc' ->
+        Alcotest.(check bool)
+          (Printf.sprintf "roundtrip (minify=%b)" minify)
+          true (doc = doc')
+      | Error msg -> Alcotest.fail ("reparse failed: " ^ msg))
+    [ false; true ]
+
+let test_json_parse () =
+  (match Json.of_string {| {"a": [1, 2.5, "Aé"], "b": null} |} with
+  | Ok j ->
+    Alcotest.(check bool) "int stays int" true (Json.member "a" j
+      |> Option.map (function Json.List (x :: _) -> x = Json.Int 1 | _ -> false)
+      = Some true);
+    (match Json.member "a" j with
+    | Some (Json.List [ _; _; Json.Str s ]) ->
+      Alcotest.(check string) "unicode escapes decode to UTF-8" "A\xc3\xa9" s
+    | _ -> Alcotest.fail "unexpected shape")
+  | Error msg -> Alcotest.fail msg);
+  List.iter
+    (fun bad ->
+      match Json.of_string bad with
+      | Ok _ -> Alcotest.fail (Printf.sprintf "%S should not parse" bad)
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\" 1}"; "nul"; "1 2"; "\"unterminated" ]
+
+let test_json_nonfinite () =
+  match Json.of_string (Json.to_string (Json.List [ Json.Float nan; Json.Float infinity ])) with
+  | Ok j -> Alcotest.(check bool) "non-finite floats load as null" true
+      (j = Json.List [ Json.Null; Json.Null ])
+  | Error msg -> Alcotest.fail msg
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+
+let test_counter_accumulation () =
+  with_metrics @@ fun () ->
+  let c = Metrics.counter "test.counter" in
+  Metrics.inc c;
+  Metrics.inc c;
+  Metrics.add c 40;
+  Alcotest.(check bool) "counter sums" true
+    (Metrics.get "test.counter" = Some (Metrics.Counter 42));
+  (* handles are interned: a second handle shares state *)
+  Metrics.inc (Metrics.counter "test.counter");
+  Alcotest.(check bool) "interned" true
+    (Metrics.get "test.counter" = Some (Metrics.Counter 43))
+
+let test_histogram_accumulation () =
+  with_metrics @@ fun () ->
+  let h = Metrics.histogram "test.histogram" in
+  List.iter (Metrics.observe h) [ 4.0; 1.0; 7.0 ];
+  (match Metrics.get "test.histogram" with
+  | Some (Metrics.Histogram { hcount; hsum; hmin; hmax }) ->
+    Alcotest.(check int) "count" 3 hcount;
+    Alcotest.(check (float 1e-9)) "sum" 12.0 hsum;
+    Alcotest.(check (float 1e-9)) "min" 1.0 hmin;
+    Alcotest.(check (float 1e-9)) "max" 7.0 hmax
+  | _ -> Alcotest.fail "histogram value missing");
+  let g = Metrics.gauge "test.gauge" in
+  Metrics.set g 2.5;
+  Alcotest.(check bool) "gauge" true
+    (Metrics.get "test.gauge" = Some (Metrics.Gauge 2.5))
+
+let test_kind_mismatch () =
+  ignore (Metrics.counter "test.kind");
+  match Metrics.histogram "test.kind" with
+  | _ -> Alcotest.fail "re-registering under another kind must fail"
+  | exception Invalid_argument _ -> ()
+
+let test_disabled_noop () =
+  Metrics.set_enabled false;
+  let c = Metrics.counter "test.disabled" in
+  Metrics.reset ();
+  Metrics.inc c;
+  Metrics.add c 10;
+  Alcotest.(check bool) "updates ignored while disabled" true
+    (Metrics.get "test.disabled" = Some (Metrics.Counter 0));
+  (* registration still lists the metric in the catalogue *)
+  Alcotest.(check bool) "still registered" true
+    (List.mem_assoc "test.disabled" (Metrics.snapshot ()))
+
+let test_reset_keeps_registrations () =
+  with_metrics @@ fun () ->
+  let c = Metrics.counter "test.reset" in
+  Metrics.inc c;
+  Metrics.reset ();
+  Alcotest.(check bool) "zeroed but present" true
+    (Metrics.get "test.reset" = Some (Metrics.Counter 0))
+
+(* ------------------------------------------------------------------ *)
+(* Trace *)
+
+let depth_of ev =
+  match Json.member "args" ev with
+  | Some args -> (
+    match Json.member "depth" args with Some (Json.Int d) -> d | _ -> -1)
+  | None -> -1
+
+let test_span_nesting () =
+  with_trace @@ fun () ->
+  let r =
+    Trace.span "outer" (fun () ->
+        Trace.span "inner" (fun () -> 7) + 10)
+  in
+  Alcotest.(check int) "span returns the thunk's value" 17 r;
+  let evs = Trace.events () in
+  Alcotest.(check int) "two events" 2 (List.length evs);
+  (* chronological order: outer opened first *)
+  let names =
+    List.map
+      (fun ev ->
+        match Json.member "name" ev with Some (Json.Str s) -> s | _ -> "?")
+      evs
+  in
+  Alcotest.(check (list string)) "start order" [ "outer"; "inner" ] names;
+  Alcotest.(check (list int)) "nesting depth" [ 0; 1 ] (List.map depth_of evs);
+  (* every event is a well-formed Chrome complete event *)
+  List.iter
+    (fun ev ->
+      Alcotest.(check bool) "ph = X" true (Json.member "ph" ev = Some (Json.Str "X"));
+      List.iter
+        (fun key ->
+          Alcotest.(check bool) (key ^ " present") true
+            (Json.member key ev <> None))
+        [ "name"; "cat"; "ts"; "dur"; "pid"; "tid" ])
+    evs
+
+let test_span_exception () =
+  with_trace @@ fun () ->
+  (try Trace.span "boom" (fun () -> failwith "boom") with Failure _ -> ());
+  Alcotest.(check int) "event recorded despite raise" 1
+    (List.length (Trace.events ()))
+
+let test_trace_json_wellformed () =
+  with_trace @@ fun () ->
+  Trace.span "a" (fun () -> Trace.instant "mark");
+  match Json.of_string (Json.to_string (Trace.to_json ())) with
+  | Ok j -> (
+    match Json.member "traceEvents" j with
+    | Some (Json.List evs) -> Alcotest.(check int) "both events exported" 2 (List.length evs)
+    | _ -> Alcotest.fail "traceEvents missing")
+  | Error msg -> Alcotest.fail ("trace JSON does not reparse: " ^ msg)
+
+let test_disabled_trace_noop () =
+  Trace.set_enabled false;
+  Trace.reset ();
+  Alcotest.(check int) "disabled span records nothing"
+    5 (Trace.span "quiet" (fun () -> 5));
+  Alcotest.(check int) "no events" 0 (List.length (Trace.events ()))
+
+(* ------------------------------------------------------------------ *)
+(* Log *)
+
+let test_log_levels () =
+  let saved = Log.level () in
+  Fun.protect ~finally:(fun () -> Log.set_level saved) @@ fun () ->
+  Log.set_level Log.Warn;
+  Alcotest.(check bool) "warn on at warn" true (Log.enabled Log.Warn);
+  Alcotest.(check bool) "info off at warn" false (Log.enabled Log.Info);
+  Log.set_level Log.Debug;
+  Alcotest.(check bool) "info on at debug" true (Log.enabled Log.Info);
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) "name roundtrips" true
+        (Log.level_of_string (Log.string_of_level l) = Ok l))
+    [ Log.Error; Log.Warn; Log.Info; Log.Debug ];
+  Alcotest.(check bool) "case-insensitive" true
+    (Log.level_of_string "DEBUG" = Ok Log.Debug);
+  Alcotest.(check bool) "unknown rejected" true
+    (Result.is_error (Log.level_of_string "loud"))
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline integration: the counters wired through the compiler fire *)
+
+let obs_program =
+  {|
+int n = 1200;
+int a[1200];
+int b[1200];
+int hist[64];
+int checksum;
+
+int mixer(int x) { return (x * 73 + 11) & 1023; }
+
+void main() {
+  int i;
+  srand(17);
+  for (i = 0; i < n; i = i + 1) { b[i] = rand() & 1023; }
+  for (i = 0; i < n; i = i + 1) { a[i] = mixer(b[i]) + (b[i] >> 3); }
+  for (i = 0; i < 64; i = i + 1) { hist[i] = 0; }
+  for (i = 0; i < n; i = i + 1) {
+    int h = a[i] & 63;
+    hist[h] = hist[h] + 1;
+  }
+  checksum = hist[0] + hist[63] + a[n - 1];
+  print_int(checksum);
+}
+|}
+
+let counter_value name =
+  match Metrics.get name with
+  | Some (Metrics.Counter v) -> v
+  | _ -> Alcotest.fail (name ^ " is not a registered counter")
+
+let test_pipeline_counters () =
+  with_metrics @@ fun () ->
+  let e =
+    Spt_driver.Pipeline.evaluate ~config:Spt_driver.Config.best obs_program
+  in
+  Alcotest.(check bool) "outputs match" true e.Spt_driver.Pipeline.outputs_match;
+  Alcotest.(check bool) "something selected" true
+    (e.Spt_driver.Pipeline.n_spt_loops > 0);
+  (* pass-1 / pass-2 bookkeeping *)
+  Alcotest.(check bool) "pass-1 saw candidates" true
+    (counter_value "pipeline.pass1_candidates" > 0);
+  Alcotest.(check bool) "pass-2 selected" true
+    (counter_value "pipeline.pass2_selected" > 0);
+  (* the stages underneath actually ran *)
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " fired") true (counter_value name > 0))
+    [
+      "partition.searches";
+      "partition.nodes_explored";
+      "cost.graph_nodes";
+      "depgraph.edges";
+      "interp.steps";
+      "tlsim.instances";
+      "tlsim.iterations";
+    ];
+  (* the full catalogue is present even where this program scores zero *)
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " registered") true
+        (Metrics.get name <> None))
+    [
+      "partition.pruned_by_bound";
+      "partition.pruned_by_threshold";
+      "svp.candidates_tried";
+      "svp.applied";
+      "tlsim.misspeculations";
+      "tlsim.kills";
+    ];
+  (* and the machine-readable report carries it all, re-loadable *)
+  let report = Spt_driver.Report.metrics_json [ ("obs", e) ] in
+  match Json.of_string (Json.to_string report) with
+  | Error msg -> Alcotest.fail ("metrics JSON does not reparse: " ^ msg)
+  | Ok j ->
+    Alcotest.(check bool) "schema tag" true
+      (Json.member "schema" j = Some (Json.Str "spt-metrics-v1"));
+    let counters =
+      match Json.member "counters" j with
+      | Some c -> c
+      | None -> Alcotest.fail "counters object missing"
+    in
+    List.iter
+      (fun name ->
+        Alcotest.(check bool) (name ^ " in dump") true
+          (Json.member name counters <> None))
+      [
+        "pipeline.pass1_candidates";
+        "pipeline.pass2_selected";
+        "partition.nodes_explored";
+        "svp.candidates_tried";
+        "tlsim.misspeculations";
+      ]
+
+let suite =
+  [
+    Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json parse" `Quick test_json_parse;
+    Alcotest.test_case "json non-finite" `Quick test_json_nonfinite;
+    Alcotest.test_case "counter accumulation" `Quick test_counter_accumulation;
+    Alcotest.test_case "histogram accumulation" `Quick test_histogram_accumulation;
+    Alcotest.test_case "kind mismatch" `Quick test_kind_mismatch;
+    Alcotest.test_case "disabled metrics no-op" `Quick test_disabled_noop;
+    Alcotest.test_case "reset keeps registrations" `Quick test_reset_keeps_registrations;
+    Alcotest.test_case "span nesting" `Quick test_span_nesting;
+    Alcotest.test_case "span on exception" `Quick test_span_exception;
+    Alcotest.test_case "trace json wellformed" `Quick test_trace_json_wellformed;
+    Alcotest.test_case "disabled trace no-op" `Quick test_disabled_trace_noop;
+    Alcotest.test_case "log levels" `Quick test_log_levels;
+    Alcotest.test_case "pipeline counters" `Slow test_pipeline_counters;
+  ]
