@@ -48,4 +48,24 @@ for name in speedup outputs_match \
   require_key "$metrics" "$name"
 done
 
+echo "== sptc run examples/src/histogram.c --parallel (runtime smoke)"
+dune exec bin/sptc.exe -- run examples/src/histogram.c -c best \
+  --parallel --jobs 2 --log-level warn \
+  || fail "parallel run failed (oracle mismatch or crash)"
+
+echo "== bench quick run (spt-bench-v2 summary)"
+bench_json="$tmpdir/bench.json"
+SPT_BENCH_QUICK=1 SPT_BENCH_JSON="$bench_json" dune exec bench/main.exe \
+  > "$tmpdir/bench.out" 2>&1 || {
+  tail -n 30 "$tmpdir/bench.out" >&2
+  fail "bench run failed"
+}
+
+[ -s "$bench_json" ] || fail "bench summary missing or empty"
+require_key "$bench_json" spt-bench-v2
+for name in parallel measured_speedup predicted_speedup jobs runtime \
+  forks commits; do
+  require_key "$bench_json" "$name"
+done
+
 echo "smoke: OK ($(grep -c '"name"' "$trace") trace events)"

@@ -10,6 +10,10 @@
 
 open Cmdliner
 
+(* one version string for the tool and every subcommand, so both
+   [sptc --version] and [sptc run --version] answer *)
+let version = "1.1.0"
+
 let read_file path =
   let ic = open_in_bin path in
   Fun.protect
@@ -32,7 +36,7 @@ let handle_errors f =
     exit 1
   | Spt_interp.Interp.Runtime_error msg ->
     Format.eprintf "runtime error: %s@." msg;
-    exit 2
+    exit 1
   | Sys_error msg ->
     Format.eprintf "error: %s@." msg;
     exit 1
@@ -99,10 +103,11 @@ let setup_obs trace metrics log_level =
   Option.iter Spt_obs.Log.set_level log_level;
   if trace <> None then Spt_obs.Trace.set_enabled true;
   if metrics <> None then Spt_obs.Metrics.set_enabled true;
-  fun (results : (string * Spt_driver.Pipeline.eval) list) ->
+  fun ?(parallel = []) (results : (string * Spt_driver.Pipeline.eval) list) ->
     Option.iter
       (fun path ->
-        Spt_obs.Json.to_file path (Spt_driver.Report.metrics_json results);
+        Spt_obs.Json.to_file path
+          (Spt_driver.Report.metrics_json ~parallel results);
         Spt_obs.Log.info "metrics written to %s" path)
       metrics;
     Option.iter
@@ -112,14 +117,77 @@ let setup_obs trace metrics log_level =
       trace
 
 let run_cmd =
-  let run file =
-    handle_errors (fun () ->
-        let r = Spt_interp.Interp.run_source (read_file file) in
-        print_string r.Spt_interp.Interp.output;
-        Format.printf "; %d instructions executed@." r.Spt_interp.Interp.dynamic_instrs)
+  let parallel_flag =
+    Arg.(
+      value & flag
+      & info [ "parallel" ]
+          ~doc:
+            "SPT-compile the program and execute it for real on the \
+             speculative multicore runtime (OCaml 5 domains), with a \
+             sequential-equivalence oracle")
   in
-  Cmd.v (Cmd.info "run" ~doc:"Interpret a MiniC program")
-    Term.(const run $ file_arg)
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for $(b,--parallel) (defaults to $(b,SPT_JOBS) \
+             or 1)")
+  in
+  let run file parallel jobs config trace metrics log_level =
+    handle_errors (fun () ->
+        let finish = setup_obs trace metrics log_level in
+        if not parallel then begin
+          let r = Spt_interp.Interp.run_source (read_file file) in
+          print_string r.Spt_interp.Interp.output;
+          Format.printf "; %d instructions executed@."
+            r.Spt_interp.Interp.dynamic_instrs;
+          finish []
+        end
+        else begin
+          let pr =
+            Spt_driver.Pipeline.run_parallel ~config ?jobs (read_file file)
+          in
+          let open Spt_runtime.Runtime in
+          let r = pr.Spt_driver.Pipeline.pr_runtime in
+          print_string r.output;
+          Format.printf
+            "; %d instructions committed on %d worker(s), %d SPT loop(s)@."
+            r.dynamic_instrs pr.Spt_driver.Pipeline.pr_jobs
+            pr.Spt_driver.Pipeline.pr_n_loops;
+          List.iter
+            (fun (lid, s) ->
+              Format.printf
+                "; loop %d: %d forks, %d commits, %d violations, %d faults, \
+                 %d kills, %d despeculations@."
+                lid s.forks s.commits s.violations s.faults s.kills s.despecs)
+            r.stats;
+          Format.printf
+            "; wall %.3fs vs %.3fs sequential (measured speedup %.2fx)@."
+            r.wall_time pr.Spt_driver.Pipeline.pr_seq_wall
+            pr.Spt_driver.Pipeline.pr_measured_speedup;
+          let finish () =
+            finish ~parallel:[ (Filename.basename file, r) ] []
+          in
+          match r.oracle with
+          | `Match ->
+            Format.printf "; oracle: parallel run matches sequential@.";
+            finish ()
+          | `Skipped -> finish ()
+          | `Mismatch m ->
+            Format.eprintf "oracle FAILED: %s@." m;
+            finish ();
+            exit 1
+        end)
+  in
+  Cmd.v
+    (Cmd.info "run" ~version
+       ~doc:
+         "Interpret a MiniC program, or execute it speculatively in parallel")
+    Term.(
+      const run $ file_arg $ parallel_flag $ jobs_arg $ config_arg $ trace_arg
+      $ metrics_arg $ log_level_arg)
 
 let dump_ir_cmd =
   let ssa_flag =
@@ -131,7 +199,7 @@ let dump_ir_cmd =
         if ssa then Spt_driver.Pipeline.to_ssa prog;
         print_endline (Spt_ir.Ir_pretty.program_to_string prog))
   in
-  Cmd.v (Cmd.info "dump-ir" ~doc:"Print the three-address IR")
+  Cmd.v (Cmd.info "dump-ir" ~version ~doc:"Print the three-address IR")
     Term.(const dump $ file_arg $ ssa_flag)
 
 let loops_cmd =
@@ -163,7 +231,7 @@ let loops_cmd =
           e.Spt_driver.Pipeline.loops)
   in
   Cmd.v
-    (Cmd.info "loops" ~doc:"Analyze every loop and show the SPT decision")
+    (Cmd.info "loops" ~version ~doc:"Analyze every loop and show the SPT decision")
     Term.(const show $ file_arg $ config_arg)
 
 let compile_cmd =
@@ -186,7 +254,7 @@ let compile_cmd =
         finish [ (Filename.basename file, e) ])
   in
   Cmd.v
-    (Cmd.info "compile"
+    (Cmd.info "compile" ~version
        ~doc:"Run the cost-driven SPT pipeline and simulate the result")
     Term.(
       const compile $ file_arg $ config_arg $ trace_arg $ metrics_arg
@@ -214,7 +282,7 @@ let workload_cmd =
         finish [ (name, e) ])
   in
   Cmd.v
-    (Cmd.info "workload" ~doc:"Evaluate a built-in SPEC2000Int-like workload")
+    (Cmd.info "workload" ~version ~doc:"Evaluate a built-in SPEC2000Int-like workload")
     Term.(
       const run $ name_arg $ config_arg $ trace_arg $ metrics_arg
       $ log_level_arg)
@@ -257,11 +325,21 @@ let graph_cmd =
             print_string (Spt_cost.Cost_model.to_dot (Spt_cost.Cost_model.build g))))
   in
   Cmd.v
-    (Cmd.info "graph"
+    (Cmd.info "graph" ~version
        ~doc:"Emit the dependence or cost graph of the largest loop as Graphviz DOT")
     Term.(const show $ file_arg $ kind_arg)
 
 let () =
   let doc = "cost-driven speculative parallelization (PLDI 2004 reproduction)" in
-  let info = Cmd.info "sptc" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; dump_ir_cmd; loops_cmd; compile_cmd; workload_cmd; graph_cmd ]))
+  let info = Cmd.info "sptc" ~version ~doc in
+  let group =
+    Cmd.group info
+      [ run_cmd; dump_ir_cmd; loops_cmd; compile_cmd; workload_cmd; graph_cmd ]
+  in
+  (* distinct exit codes: 0 = success, 2 = usage error, 1 = compile/run
+     error (the latter via [handle_errors], which exits directly) *)
+  exit
+    (match Cmd.eval_value group with
+    | Ok (`Ok ()) | Ok `Help | Ok `Version -> 0
+    | Error (`Parse | `Term) -> 2
+    | Error `Exn -> 1)

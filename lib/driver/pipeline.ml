@@ -750,3 +750,69 @@ let evaluate ?(config = Config.best) src : eval =
     outputs_match = String.equal base.Tls_machine.output spt_res.Tls_machine.output;
     n_spt_loops = List.length spt.spt_loops;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Parallel execution on the speculative runtime *)
+
+type parallel_run = {
+  pr_jobs : int;
+  pr_n_loops : int;  (** SPT loops handed to the runtime *)
+  pr_seq_wall : float;  (** sequential interpreter wall time, seconds *)
+  pr_measured_speedup : float;  (** sequential wall / parallel wall *)
+  pr_runtime : Spt_runtime.Runtime.result;
+}
+
+let run_parallel ?(config = Config.best) ?jobs ?runtime_config src :
+    parallel_run =
+  let spt = compile_spt config src in
+  let loops =
+    List.map
+      (fun (sl : Tls_machine.spt_loop) ->
+        {
+          Spt_runtime.Runtime.ls_id = sl.Tls_machine.sl_id;
+          ls_fname = sl.Tls_machine.sl_fname;
+          ls_header = sl.Tls_machine.sl_header;
+        })
+      spt.spt_loops
+  in
+  let rcfg =
+    let base =
+      match runtime_config with
+      | Some c -> c
+      | None -> Spt_runtime.Runtime.default_config ()
+    in
+    match jobs with
+    | Some j ->
+      let j = max 1 j in
+      { base with Spt_runtime.Runtime.jobs = j; window = 2 * j }
+    | None -> base
+  in
+  (* measured-speedup baseline: the same program run sequentially
+     (markers are no-ops), on this machine, right now *)
+  let t0 = Unix.gettimeofday () in
+  let _seq = Obs.Trace.span "run.sequential" (fun () ->
+      Spt_interp.Interp.run ~max_steps:rcfg.Spt_runtime.Runtime.max_steps
+        spt.program) in
+  let pr_seq_wall = Unix.gettimeofday () -. t0 in
+  let r =
+    Obs.Trace.span "run.parallel" (fun () ->
+        Spt_runtime.Runtime.run ~config:rcfg ~loops spt.program)
+  in
+  Obs.Log.info
+    "run_parallel: %d SPT loops, jobs=%d, seq %.3fs vs par %.3fs, oracle %s"
+    (List.length loops) rcfg.Spt_runtime.Runtime.jobs pr_seq_wall
+    r.Spt_runtime.Runtime.wall_time
+    (match r.Spt_runtime.Runtime.oracle with
+    | `Match -> "match"
+    | `Mismatch m -> "MISMATCH: " ^ m
+    | `Skipped -> "skipped");
+  {
+    pr_jobs = rcfg.Spt_runtime.Runtime.jobs;
+    pr_n_loops = List.length loops;
+    pr_seq_wall;
+    pr_measured_speedup =
+      (if r.Spt_runtime.Runtime.wall_time > 0.0 then
+         pr_seq_wall /. r.Spt_runtime.Runtime.wall_time
+       else 1.0);
+    pr_runtime = r;
+  }

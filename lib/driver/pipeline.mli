@@ -74,3 +74,24 @@ val compile_spt : Config.t -> string -> spt_compilation
 
 (** Compile both ways, simulate both, compare. *)
 val evaluate : ?config:Config.t -> string -> eval
+
+(** An SPT compilation executed for real on the speculative runtime
+    ({!Spt_runtime.Runtime}), next to a sequential run of the same
+    program for the measured (wall-clock) speedup. *)
+type parallel_run = {
+  pr_jobs : int;
+  pr_n_loops : int;  (** SPT loops handed to the runtime *)
+  pr_seq_wall : float;  (** sequential interpreter wall time, seconds *)
+  pr_measured_speedup : float;  (** sequential wall / parallel wall *)
+  pr_runtime : Spt_runtime.Runtime.result;
+}
+
+(** Compile with [config], then execute on OCaml 5 domains.
+    [runtime_config] replaces the default runtime configuration; [jobs]
+    then overrides its worker count (else [SPT_JOBS] / 1). *)
+val run_parallel :
+  ?config:Config.t ->
+  ?jobs:int ->
+  ?runtime_config:Spt_runtime.Runtime.config ->
+  string ->
+  parallel_run

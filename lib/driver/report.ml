@@ -506,11 +506,27 @@ let eval_json ~name (e : Pipeline.eval) =
       ("loops", Json.List (List.map (loop_json e) e.Pipeline.loops));
     ]
 
-let metrics_json (results : (string * Pipeline.eval) list) =
+let metrics_json ?(parallel = []) (results : (string * Pipeline.eval) list) =
+  let runtime_field =
+    if parallel = [] then []
+    else
+      [
+        ( "runtime",
+          Json.List
+            (List.map
+               (fun (name, (r : Spt_runtime.Runtime.result)) ->
+                 match Spt_runtime.Runtime.stats_json r with
+                 | Json.Obj fields ->
+                   Json.Obj (("workload", Json.Str name) :: fields)
+                 | other -> other)
+               parallel) );
+      ]
+  in
   Json.Obj
-    [
-      ("schema", Json.Str "spt-metrics-v1");
-      ( "workloads",
-        Json.List (List.map (fun (name, e) -> eval_json ~name e) results) );
-      ("counters", Spt_obs.Metrics.to_json ());
-    ]
+    ([
+       ("schema", Json.Str "spt-metrics-v1");
+       ( "workloads",
+         Json.List (List.map (fun (name, e) -> eval_json ~name e) results) );
+     ]
+    @ runtime_field
+    @ [ ("counters", Spt_obs.Metrics.to_json ()) ])

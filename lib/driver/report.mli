@@ -70,5 +70,11 @@ val eval_json : name:string -> Pipeline.eval -> Spt_obs.Json.t
 (** Machine-readable summary of a result set — the [sptc compile
     --metrics] / bench [BENCH_*.json] payload: a [workloads] array of
     {!eval_json} objects plus a [counters] dump of the full
-    {!Spt_obs.Metrics} registry. *)
-val metrics_json : (string * Pipeline.eval) list -> Spt_obs.Json.t
+    {!Spt_obs.Metrics} registry.  [parallel] adds a [runtime] array
+    with the speculative-runtime counters (forks, commits, kills,
+    violations, despeculations, per-loop wall time) of real parallel
+    runs. *)
+val metrics_json :
+  ?parallel:(string * Spt_runtime.Runtime.result) list ->
+  (string * Pipeline.eval) list ->
+  Spt_obs.Json.t

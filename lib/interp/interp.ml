@@ -8,7 +8,16 @@
     The hooks expose the full dynamic event stream — executed
     instructions with their register/memory effects, block entries and
     taken control-flow edges — on which all three profilers (§4.1,
-    §7.2, §7.3) and the trace-driven TLS timing simulator are built. *)
+    §7.2, §7.3) and the trace-driven TLS timing simulator are built.
+
+    Beyond the classic [run] entry point, the interpreter exposes a
+    *machine* API used by {!Spt_runtime}: explicit machines ([make]),
+    pluggable memory/RNG/output backends ([memio]), per-frame register
+    indirection ([regio]), and instruction-granular segment execution
+    with resumable cursors ([exec_segment]).  That is what lets the
+    speculative runtime execute pre-fork and post-fork slices of a loop
+    iteration on different domains against versioned state while
+    reusing this interpreter's semantics verbatim. *)
 
 open Spt_ir
 
@@ -65,36 +74,29 @@ exception Runtime_error of string
 let error fmt = Format.kasprintf (fun m -> raise (Runtime_error m)) fmt
 
 (* ------------------------------------------------------------------ *)
-(* Machine state *)
+(* Pluggable state backends *)
 
-type frame = {
-  func : Ir.func;
-  regs : value option array;  (** indexed by vid; [None] = uninitialized *)
-  arr_args : Ir.sym array;  (** array-parameter slots resolved to regions *)
+(** Memory, RNG and output backend of a machine.  The default backend
+    ([store_memio]) operates on a flat array, an LCG cell and a buffer;
+    the speculative runtime substitutes versioned views. *)
+type memio = {
+  mio_load : int -> value;  (** element-granular address *)
+  mio_store : int -> value -> unit;
+  mio_rng : unit -> int64;  (** current LCG state *)
+  mio_set_rng : int64 -> unit;
+  mio_print : string -> unit;  (** output of the print builtins *)
 }
 
-type state = {
-  program : Ir.program;
-  layout : Layout.t;
-  mem : value array;  (** element-granular flat memory *)
-  mutable rng : int64;  (** LCG state for the [rand] builtin *)
-  out : Buffer.t;
-  mutable steps : int;
-  mutable block_entries : int;
-  max_steps : int;
-  hooks : hooks;
+(** Register backend for a single frame.  [rio_get] returns [None] for
+    uninitialized registers. *)
+type regio = {
+  rio_get : Ir.var -> value option;
+  rio_set : Ir.var -> value -> unit;
 }
 
-type result = {
-  return_value : value option;
-  output : string;
-  dynamic_instrs : int;
-}
-
-let lcg_next st =
-  (* Numerical Recipes LCG; deterministic across runs *)
-  st.rng <- Int64.add (Int64.mul st.rng 6364136223846793005L) 1442695040888963407L;
-  Int64.shift_right_logical st.rng 33
+(** The concrete default backend: flat element-granular memory, the
+    fixed-seed LCG and the output buffer. *)
+type store = { smem : value array; mutable srng : int64; sout : Buffer.t }
 
 let init_memory layout (globals : Ir.sym list) =
   let mem = Array.make (Layout.total_elements layout) (Eval.Vi 0L) in
@@ -118,6 +120,103 @@ let init_memory layout (globals : Ir.sym list) =
     globals;
   mem
 
+let initial_rng = 88172645463325252L
+
+let new_store layout (program : Ir.program) =
+  {
+    smem = init_memory layout program.Ir.globals;
+    srng = initial_rng;
+    sout = Buffer.create 256;
+  }
+
+let store_memio st =
+  {
+    mio_load = (fun a -> st.smem.(a));
+    mio_store = (fun a v -> st.smem.(a) <- v);
+    mio_rng = (fun () -> st.srng);
+    mio_set_rng = (fun r -> st.srng <- r);
+    mio_print = Buffer.add_string st.sout;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Machine state *)
+
+type frame = {
+  func : Ir.func;
+  regs : value option array;  (** indexed by vid; [None] = uninitialized *)
+  arr_args : Ir.sym array;  (** array-parameter slots resolved to regions *)
+  frio : regio option;
+      (** register indirection; when set, [regs] is never touched *)
+}
+
+(** Position within a frame: block, incoming edge, and the index of the
+    next instruction to execute among the block's *non-phi*
+    instructions.  [cpos = 0] means a fresh block entry (phis pending);
+    any [cpos > 0] resumes after the phis. *)
+type cursor = { cbid : int; cprev : int; cpos : int }
+
+type marker = [ `Fork of int | `Kill of int ]
+
+type seg_stop =
+  | Seg_marker of marker * cursor
+      (** an SPT marker executed in the segment's own frame; the cursor
+          points just past it *)
+  | Seg_stop_block of cursor
+      (** control is about to enter [stop_block]; the cursor points at
+          its start (phis not yet evaluated) *)
+  | Seg_return of value option
+
+(** What a marker handler tells the executing frame to do next. *)
+type marker_action =
+  | Proceed  (** markers are sequential no-ops: continue in place *)
+  | Jump_to of cursor  (** resume this frame at the given cursor *)
+  | Return_now of value option  (** unwind the frame with this value *)
+
+type state = {
+  program : Ir.program;
+  layout : Layout.t;
+  memio : memio;
+  mutable steps : int;
+  mutable block_entries : int;
+  max_steps : int;
+  hooks : hooks;
+  mutable on_marker :
+    (state -> frame -> marker -> cursor -> marker_action) option;
+}
+
+type result = {
+  return_value : value option;
+  output : string;
+  dynamic_instrs : int;
+}
+
+let make ?(hooks = null_hooks) ?(max_steps = 200_000_000) ~memio
+    (program : Ir.program) =
+  {
+    program;
+    layout = Layout.build program.Ir.globals;
+    memio;
+    steps = 0;
+    block_entries = 0;
+    max_steps;
+    hooks;
+    on_marker = None;
+  }
+
+let layout st = st.layout
+let steps st = st.steps
+let set_marker_handler st h = st.on_marker <- h
+
+let lcg_next st =
+  (* Numerical Recipes LCG; deterministic across runs *)
+  let r =
+    Int64.add
+      (Int64.mul (st.memio.mio_rng ()) 6364136223846793005L)
+      1442695040888963407L
+  in
+  st.memio.mio_set_rng r;
+  Int64.shift_right_logical r 33
+
 (* resolve a region to the concrete global it denotes in this frame *)
 let resolve_region frame = function
   | Ir.Rsym s -> s
@@ -126,11 +225,24 @@ let resolve_region frame = function
     else error "unbound array parameter %s" name
 
 let read_reg frame v =
-  match frame.regs.(v.Ir.vid) with
+  let stored =
+    match frame.frio with
+    | Some r -> r.rio_get v
+    | None -> frame.regs.(v.Ir.vid)
+  in
+  match stored with
   | Some x -> x
-  | None -> error "read of uninitialized register %s.%d in %s" v.Ir.vname v.Ir.vid frame.func.Ir.fname
+  | None ->
+    error "read of uninitialized register %s.%d in %s" v.Ir.vname v.Ir.vid
+      frame.func.Ir.fname
 
-let write_reg frame v x = frame.regs.(v.Ir.vid) <- Some x
+let write_reg frame v x =
+  match frame.frio with
+  | Some r -> r.rio_set v x
+  | None -> frame.regs.(v.Ir.vid) <- Some x
+
+let mk_frame func ~arr_args ~regio =
+  { func; regs = [||]; arr_args; frio = Some regio }
 
 let read_operand frame = function
   | Ir.Reg v -> read_reg frame v
@@ -142,14 +254,14 @@ let mem_read st frame region idx =
   if idx < 0 || idx >= s.Ir.ssize then
     error "out-of-bounds read %s[%d] (size %d)" s.Ir.sname idx s.Ir.ssize;
   let a = Layout.element_address st.layout s idx in
-  (a, st.mem.(a))
+  (a, st.memio.mio_load a)
 
 let mem_write st frame region idx v =
   let s = resolve_region frame region in
   if idx < 0 || idx >= s.Ir.ssize then
     error "out-of-bounds write %s[%d] (size %d)" s.Ir.sname idx s.Ir.ssize;
   let a = Layout.element_address st.layout s idx in
-  st.mem.(a) <- v;
+  st.memio.mio_store a v;
   a
 
 let as_int = function
@@ -168,15 +280,13 @@ let exec_builtin st name (args : value list) : value option =
   | "fmax", [ Eval.Vf a; Eval.Vf b ] -> Some (Eval.Vf (Float.max a b))
   | "rand", [] -> Some (Eval.Vi (lcg_next st))
   | "srand", [ Eval.Vi seed ] ->
-    st.rng <- seed;
+    st.memio.mio_set_rng seed;
     None
   | "print_int", [ Eval.Vi n ] ->
-    Buffer.add_string st.out (Int64.to_string n);
-    Buffer.add_char st.out '\n';
+    st.memio.mio_print (Int64.to_string n ^ "\n");
     None
   | "print_float", [ Eval.Vf f ] ->
-    Buffer.add_string st.out (Printf.sprintf "%.6g" f);
-    Buffer.add_char st.out '\n';
+    st.memio.mio_print (Printf.sprintf "%.6g\n" f);
     None
   | _ -> error "bad builtin call %s/%d" name (List.length args)
 
@@ -190,6 +300,7 @@ let rec exec_call st (callee : Ir.func) (scalar_args : value list)
       func = callee;
       regs = Array.make (Spt_util.Idgen.peek callee.Ir.var_gen) None;
       arr_args = Array.of_list array_args;
+      frio = None;
     }
   in
   (* bind scalar parameters *)
@@ -204,52 +315,117 @@ let rec exec_call st (callee : Ir.func) (scalar_args : value list)
   in
   bind callee.Ir.fparams scalar_args;
   st.hooks.on_enter callee;
-  let ret = exec_blocks st frame callee.Ir.entry ~prev:(-1) in
+  let ret = run_frame st frame ~entry:callee.Ir.entry in
   st.hooks.on_exit callee;
   ret
 
-and exec_blocks st frame bid ~prev : value option =
-  let b = Ir.block frame.func bid in
-  st.block_entries <- st.block_entries + 1;
-  st.hooks.on_block frame.func bid;
-  if prev >= 0 then st.hooks.on_edge frame.func ~src:prev ~dst:bid;
-  (* phis evaluate in parallel against the incoming edge *)
+(** Drive a frame from [entry] to its return, dispatching SPT markers
+    to the machine's handler (markers are no-ops when there is none). *)
+and run_frame st frame ~entry : value option =
+  let watch = st.on_marker <> None in
+  let rec go cur =
+    match exec_segment st frame ?stop_block:None ~watch_markers:watch cur with
+    | Seg_return v -> v
+    | Seg_stop_block _ -> assert false (* no stop_block was given *)
+    | Seg_marker (m, after) -> (
+      match st.on_marker with
+      | None -> go after
+      | Some handler -> (
+        match handler st frame m after with
+        | Proceed -> go after
+        | Jump_to c -> go c
+        | Return_now v -> v))
+  in
+  go { cbid = entry; cprev = -1; cpos = 0 }
+
+(** Execute the frame from [cur] until a marker fires in this frame
+    (if [watch_markers]), control is about to enter [stop_block], or
+    the frame returns.  Calls recurse and run to completion inside the
+    segment; markers inside callees do not stop it. *)
+and exec_segment st frame ?stop_block ~watch_markers (cur : cursor) : seg_stop
+    =
+  let b = Ir.block frame.func cur.cbid in
+  let bid = cur.cbid and prev = cur.cprev in
+  (* phis evaluate in parallel against the incoming edge, on fresh
+     block entry only; a resumed cursor indexes past them *)
   let phis, rest =
     List.partition (fun (i : Ir.instr) -> Ir.is_phi i.Ir.kind) b.Ir.instrs
   in
-  let phi_values =
-    List.map
-      (fun (i : Ir.instr) ->
-        match i.Ir.kind with
-        | Ir.Phi (d, ins) -> (
-          match List.assoc_opt prev ins with
-          | Some o ->
-            let v = read_operand frame o in
-            (i, d, o, v)
-          | None -> error "phi in bb%d has no operand for predecessor bb%d" bid prev)
-        | _ -> assert false)
-      phis
+  if cur.cpos = 0 then begin
+    st.block_entries <- st.block_entries + 1;
+    st.hooks.on_block frame.func bid;
+    if prev >= 0 then st.hooks.on_edge frame.func ~src:prev ~dst:bid;
+    let phi_values =
+      List.map
+        (fun (i : Ir.instr) ->
+          match i.Ir.kind with
+          | Ir.Phi (d, ins) -> (
+            match List.assoc_opt prev ins with
+            | Some o ->
+              let v = read_operand frame o in
+              (i, d, o, v)
+            | None ->
+              error "phi in bb%d has no operand for predecessor bb%d" bid prev)
+          | _ -> assert false)
+        phis
+    in
+    List.iter
+      (fun ((i : Ir.instr), d, o, v) ->
+        write_reg frame d v;
+        st.steps <- st.steps + 1;
+        let uses = match o with Ir.Reg u -> [ (u, v) ] | _ -> [] in
+        st.hooks.on_instr frame.func bid i
+          { no_effects with defs = [ (d, v) ]; uses })
+      phi_values
+  end;
+  let rec exec_rest pos = function
+    | [] -> None
+    | (i : Ir.instr) :: tl -> (
+      match i.Ir.kind with
+      | Ir.Spt_fork id | Ir.Spt_kill id ->
+        st.steps <- st.steps + 1;
+        st.hooks.on_instr frame.func bid i no_effects;
+        let m =
+          match i.Ir.kind with
+          | Ir.Spt_fork _ -> `Fork id
+          | _ -> `Kill id
+        in
+        if watch_markers then
+          Some (Seg_marker (m, { cbid = bid; cprev = prev; cpos = pos + 1 }))
+        else exec_rest (pos + 1) tl
+      | _ ->
+        exec_instr st frame bid i;
+        exec_rest (pos + 1) tl)
   in
-  List.iter
-    (fun ((i : Ir.instr), d, o, v) ->
-      write_reg frame d v;
-      st.steps <- st.steps + 1;
-      let uses = match o with Ir.Reg u -> [ (u, v) ] | _ -> [] in
-      st.hooks.on_instr frame.func bid i
-        { no_effects with defs = [ (d, v) ]; uses })
-    phi_values;
-  List.iter (fun i -> exec_instr st frame bid i) rest;
-  if st.steps + st.block_entries > st.max_steps then
-    error "step limit exceeded (%d)" st.max_steps;
-  match b.Ir.term with
-  | Ir.Jump next -> exec_blocks st frame next ~prev:bid
-  | Ir.Br (c, t, e) ->
-    let cv = read_operand frame c in
-    let taken = Eval.is_truthy cv in
-    st.hooks.on_branch frame.func bid ~taken;
-    exec_blocks st frame (if taken then t else e) ~prev:bid
-  | Ir.Ret None -> None
-  | Ir.Ret (Some o) -> Some (read_operand frame o)
+  let tail =
+    let rec drop n l =
+      if n <= 0 then l
+      else match l with [] -> [] | _ :: t -> drop (n - 1) t
+    in
+    drop cur.cpos rest
+  in
+  match exec_rest cur.cpos tail with
+  | Some stop -> stop
+  | None -> (
+    if st.steps + st.block_entries > st.max_steps then
+      error "step limit exceeded (%d)" st.max_steps;
+    let continue next =
+      match stop_block with
+      | Some sb when next = sb ->
+        Seg_stop_block { cbid = next; cprev = bid; cpos = 0 }
+      | _ ->
+        exec_segment st frame ?stop_block ~watch_markers
+          { cbid = next; cprev = bid; cpos = 0 }
+    in
+    match b.Ir.term with
+    | Ir.Jump next -> continue next
+    | Ir.Br (c, t, e) ->
+      let cv = read_operand frame c in
+      let taken = Eval.is_truthy cv in
+      st.hooks.on_branch frame.func bid ~taken;
+      continue (if taken then t else e)
+    | Ir.Ret None -> Seg_return None
+    | Ir.Ret (Some o) -> Seg_return (Some (read_operand frame o)))
 
 and exec_instr st frame bid (i : Ir.instr) =
   st.steps <- st.steps + 1;
@@ -347,6 +523,8 @@ and exec_instr st frame bid (i : Ir.instr) =
   | Ir.Phi _ -> error "phi outside block head"
   | Ir.Spt_fork _ | Ir.Spt_kill _ -> fire no_effects
 
+let call = exec_call
+
 (* ------------------------------------------------------------------ *)
 (* Entry points *)
 
@@ -357,24 +535,28 @@ let m_steps = Spt_obs.Metrics.counter "interp.steps"
 
 let run ?(hooks = null_hooks) ?(max_steps = 200_000_000) (program : Ir.program) =
   let layout = Layout.build program.Ir.globals in
+  let store = new_store layout program in
   let st =
     {
       program;
       layout;
-      mem = init_memory layout program.Ir.globals;
-      rng = 88172645463325252L;
-      out = Buffer.create 256;
+      memio = store_memio store;
       steps = 0;
       block_entries = 0;
       max_steps;
       hooks;
+      on_marker = None;
     }
   in
   let mainf = Ir.func_of_program program "main" in
   let return_value = exec_call st mainf [] [] in
   Spt_obs.Metrics.inc m_runs;
   Spt_obs.Metrics.add m_steps st.steps;
-  { return_value; output = Buffer.contents st.out; dynamic_instrs = st.steps }
+  {
+    return_value;
+    output = Buffer.contents store.sout;
+    dynamic_instrs = st.steps;
+  }
 
 (** Compile MiniC source all the way and run it (no optimization). *)
 let run_source ?hooks ?max_steps src =

@@ -1,0 +1,60 @@
+type t = {
+  mutable domains : unit Domain.t array;
+  q : (unit -> unit) Queue.t;
+  mu : Mutex.t;
+  cond : Condition.t;
+  mutable stopping : bool;
+}
+
+let rec worker t () =
+  Mutex.lock t.mu;
+  while Queue.is_empty t.q && not t.stopping do
+    Condition.wait t.cond t.mu
+  done;
+  if Queue.is_empty t.q then (* stopping and drained *)
+    Mutex.unlock t.mu
+  else begin
+    let job = Queue.pop t.q in
+    Mutex.unlock t.mu;
+    (try job () with _ -> ());
+    worker t ()
+  end
+
+let create ~jobs =
+  let t =
+    {
+      domains = [||];
+      q = Queue.create ();
+      mu = Mutex.create ();
+      cond = Condition.create ();
+      stopping = false;
+    }
+  in
+  t.domains <- Array.init (max 1 jobs) (fun _ -> Domain.spawn (worker t));
+  t
+
+let size t = Array.length t.domains
+
+let submit t job =
+  Mutex.lock t.mu;
+  if t.stopping then begin
+    Mutex.unlock t.mu;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  Queue.push job t.q;
+  Condition.signal t.cond;
+  Mutex.unlock t.mu
+
+let queued t =
+  Mutex.lock t.mu;
+  let n = Queue.length t.q in
+  Mutex.unlock t.mu;
+  n
+
+let shutdown t =
+  Mutex.lock t.mu;
+  let was_stopping = t.stopping in
+  t.stopping <- true;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mu;
+  if not was_stopping then Array.iter Domain.join t.domains

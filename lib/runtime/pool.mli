@@ -1,0 +1,24 @@
+(** A reusable fixed-size pool of OCaml 5 domains.
+
+    No external dependencies: [Domain] plus [Mutex]/[Condition] over a
+    FIFO job queue.  Jobs are [unit -> unit] thunks; any exception a
+    job raises is swallowed (callers that care report completion
+    through their own channel, as {!Runtime} does with task statuses). *)
+
+type t
+
+(** [create ~jobs] spawns [max 1 jobs] worker domains. *)
+val create : jobs:int -> t
+
+(** Number of worker domains. *)
+val size : t -> int
+
+(** Enqueue a job.  @raise Invalid_argument after [shutdown]. *)
+val submit : t -> (unit -> unit) -> unit
+
+(** Jobs submitted and not yet picked up by a worker. *)
+val queued : t -> int
+
+(** Drain the queue (remaining jobs still run), stop the workers and
+    join their domains.  Idempotent. *)
+val shutdown : t -> unit

@@ -1,0 +1,477 @@
+module Interp = Spt_interp.Interp
+module Layout = Spt_interp.Layout
+module Ir = Spt_ir.Ir
+module Obs = Spt_obs
+
+type loop_spec = { ls_id : int; ls_fname : string; ls_header : int }
+
+type config = {
+  jobs : int;
+  window : int;
+  despec_after : int;
+  spec_fuel : int;
+  max_steps : int;
+  oracle : bool;
+}
+
+let default_jobs () =
+  match Sys.getenv_opt "SPT_JOBS" with
+  | Some s -> ( try max 1 (int_of_string (String.trim s)) with _ -> 1)
+  | None -> 1
+
+let default_config () =
+  let jobs = default_jobs () in
+  {
+    jobs;
+    window = 2 * jobs;
+    despec_after = 3;
+    spec_fuel = 2_000_000;
+    max_steps = 200_000_000;
+    oracle = true;
+  }
+
+type loop_stats = {
+  mutable forks : int;
+  mutable commits : int;
+  mutable violations : int;
+  mutable faults : int;
+  mutable kills : int;
+  mutable despecs : int;
+  mutable serial_reexecs : int;
+  mutable iters : int;
+  mutable wall : float;
+}
+
+(* global observability counters (no-ops unless metrics are enabled);
+   only ever touched from the sequential thread *)
+let m_forks = Obs.Metrics.counter "runtime.forks"
+let m_commits = Obs.Metrics.counter "runtime.commits"
+let m_kills = Obs.Metrics.counter "runtime.kills"
+let m_violations = Obs.Metrics.counter "runtime.violations"
+let m_faults = Obs.Metrics.counter "runtime.faults"
+let m_despecs = Obs.Metrics.counter "runtime.despeculations"
+let m_serial = Obs.Metrics.counter "runtime.serial_reexecs"
+
+(* where execution of a task (or its serial replay) sequentially ends *)
+type stop =
+  | Looped of Interp.cursor  (** back at the loop header *)
+  | Forked of Interp.cursor  (** past this loop's SPT_FORK (P tasks) *)
+  | Exited of Interp.cursor  (** past this loop's SPT_KILL *)
+  | Returned of Interp.value option
+
+type outcome = Stopped of stop * int (* speculative steps *) | Fault of string
+type status = Pending | Finished of outcome
+
+type task = {
+  tkind : [ `P | `S ];
+  tview : Specmem.view;
+  tstart : Interp.cursor;
+  mutable tstatus : status;
+}
+
+type rt = {
+  program : Ir.program;
+  cfg : config;
+  pool : Pool.t;
+  store : Interp.store;
+  master : Interp.state;
+  mu : Mutex.t;
+  cond : Condition.t;
+  specs : (int, loop_spec) Hashtbl.t;
+  despec : (int, unit) Hashtbl.t;
+  stats : (int, loop_stats) Hashtbl.t;
+  mutable committed_steps : int;
+}
+
+let loop_stats rt lid =
+  match Hashtbl.find_opt rt.stats lid with
+  | Some s -> s
+  | None ->
+    let s =
+      {
+        forks = 0;
+        commits = 0;
+        violations = 0;
+        faults = 0;
+        kills = 0;
+        despecs = 0;
+        serial_reexecs = 0;
+        iters = 0;
+        wall = 0.0;
+      }
+    in
+    Hashtbl.replace rt.stats lid s;
+    s
+
+(* ------------------------------------------------------------------ *)
+(* Task execution (workers and the speculative P runs on main) *)
+
+(* Drive a fresh machine over the view from [start] until this loop's
+   next fork, its kill, the header, or a return.  Markers of other
+   loops are sequential no-ops.  All exceptions — out-of-bounds reads
+   through stale speculative state, uninitialized registers, the
+   [spec_fuel] step limit — surface as [Fault] and cost only a serial
+   replay. *)
+let run_task rt ~(frame : Interp.frame) ~header ~lid view start : outcome =
+  try
+    let tm =
+      Interp.make ~max_steps:rt.cfg.spec_fuel ~memio:(Specmem.memio view)
+        rt.program
+    in
+    let tframe =
+      Interp.mk_frame frame.Interp.func ~arr_args:frame.Interp.arr_args
+        ~regio:(Specmem.regio view)
+    in
+    let rec go cur =
+      match
+        Interp.exec_segment tm tframe ~stop_block:header ~watch_markers:true
+          cur
+      with
+      | Interp.Seg_stop_block c -> Stopped (Looped c, Interp.steps tm)
+      | Interp.Seg_return v -> Stopped (Returned v, Interp.steps tm)
+      | Interp.Seg_marker (`Fork id, after) when id = lid ->
+        Stopped (Forked after, Interp.steps tm)
+      | Interp.Seg_marker (`Kill id, after) when id = lid ->
+        Stopped (Exited after, Interp.steps tm)
+      | Interp.Seg_marker (_, after) -> go after
+    in
+    go start
+  with e -> Fault (Printexc.to_string e)
+
+(* Serial recovery: replay the task's segment on master state, in the
+   engaged frame, on the master machine (its marker handler is not
+   consulted by [exec_segment], so no re-entry).  Genuine program
+   errors propagate from here exactly as a sequential run would. *)
+let serial_reexec rt ~(frame : Interp.frame) ~header ~lid start : stop =
+  let rec go cur =
+    match
+      Interp.exec_segment rt.master frame ~stop_block:header
+        ~watch_markers:true cur
+    with
+    | Interp.Seg_stop_block c -> Looped c
+    | Interp.Seg_return v -> Returned v
+    | Interp.Seg_marker (`Fork id, after) when id = lid -> Forked after
+    | Interp.Seg_marker (`Kill id, after) when id = lid -> Exited after
+    | Interp.Seg_marker (_, after) -> go after
+  in
+  go start
+
+let wait_for rt task =
+  Mutex.lock rt.mu;
+  let rec go () =
+    match task.tstatus with
+    | Finished o -> o
+    | Pending ->
+      Condition.wait rt.cond rt.mu;
+      go ()
+  in
+  let o = go () in
+  Mutex.unlock rt.mu;
+  o
+
+(* ------------------------------------------------------------------ *)
+(* The per-loop scheduler *)
+
+(* Runs the whole loop: pipelines P/S tasks, commits them in sequential
+   order, recovers serially from misspeculation, and returns where the
+   sequential thread resumes. *)
+let run_spt_loop rt (frame : Interp.frame) (spec : loop_spec)
+    (after0 : Interp.cursor) : Interp.marker_action =
+  let t0 = Unix.gettimeofday () in
+  let lid = spec.ls_id in
+  let header = spec.ls_header in
+  let st = loop_stats rt lid in
+  let master =
+    {
+      Specmem.m_mem = rt.store.Interp.smem;
+      m_regs = frame.Interp.regs;
+      m_rng_get = (fun () -> rt.store.Interp.srng);
+      m_rng_set = (fun r -> rt.store.Interp.srng <- r);
+      m_out = rt.store.Interp.sout;
+    }
+  in
+  let pending : task Queue.t = Queue.create () in
+  (* tail of the pre-fork view chain: tasks see all earlier P writes,
+     and no S writes — that independence IS the speculation *)
+  let chain = ref None in
+  let consec = ref 0 in
+  let filling = ref true in
+  let finish = ref None in
+  let last_pos = ref after0 in
+  let spawn_s start =
+    let view = Specmem.create ?parent:!chain master in
+    let t = { tkind = `S; tview = view; tstart = start; tstatus = Pending } in
+    Queue.push t pending;
+    st.forks <- st.forks + 1;
+    Obs.Metrics.inc m_forks;
+    Pool.submit rt.pool (fun () ->
+        let o = run_task rt ~frame ~header ~lid view start in
+        Mutex.lock rt.mu;
+        t.tstatus <- Finished o;
+        Condition.broadcast rt.cond;
+        Mutex.unlock rt.mu)
+  in
+  (* the sequential thread itself speculates the next pre-fork segment
+     while the workers chew on the post-fork ones *)
+  let run_p () =
+    let view = Specmem.create ?parent:!chain master in
+    let start = { Interp.cbid = header; cprev = -1; cpos = 0 } in
+    let t = { tkind = `P; tview = view; tstart = start; tstatus = Pending } in
+    st.forks <- st.forks + 1;
+    Obs.Metrics.inc m_forks;
+    let o = run_task rt ~frame ~header ~lid view start in
+    t.tstatus <- Finished o;
+    Queue.push t pending;
+    match o with
+    | Stopped (Forked after, _) ->
+      chain := Some view;
+      spawn_s after
+    | _ ->
+      (* predicted exit, divergence or fault: stop extending *)
+      filling := false
+  in
+  spawn_s after0;
+  while !finish = None && not (Queue.is_empty pending) do
+    while !filling && Queue.length pending < rt.cfg.window do
+      run_p ()
+    done;
+    let head = Queue.pop pending in
+    let outcome = wait_for rt head in
+    (* resolve the head to its definitive sequential stop *)
+    let stop, clean =
+      match outcome with
+      | Stopped (stop, steps) when Result.is_ok (Specmem.validate head.tview)
+        ->
+        Specmem.commit head.tview;
+        rt.committed_steps <- rt.committed_steps + steps;
+        st.commits <- st.commits + 1;
+        Obs.Metrics.inc m_commits;
+        consec := 0;
+        (stop, true)
+      | Stopped _ | Fault _ ->
+        (match outcome with
+        | Fault msg ->
+          st.faults <- st.faults + 1;
+          Obs.Metrics.inc m_faults;
+          Obs.Log.debug "[runtime] loop %d: speculative fault: %s" lid msg
+        | Stopped _ ->
+          st.violations <- st.violations + 1;
+          Obs.Metrics.inc m_violations);
+        incr consec;
+        st.serial_reexecs <- st.serial_reexecs + 1;
+        Obs.Metrics.inc m_serial;
+        (serial_reexec rt ~frame ~header ~lid head.tstart, false)
+    in
+    if head.tkind = `S then st.iters <- st.iters + 1;
+    if !consec >= rt.cfg.despec_after && not (Hashtbl.mem rt.despec lid)
+    then begin
+      Hashtbl.replace rt.despec lid ();
+      st.despecs <- st.despecs + 1;
+      Obs.Metrics.inc m_despecs;
+      Obs.Log.info
+        "[runtime] loop %d despeculated after %d consecutive misspeculations"
+        lid !consec;
+      filling := false
+    end;
+    (* did the head end the way downstream speculation assumed? *)
+    let downstream_ok =
+      match (head.tkind, stop) with
+      | `S, Looped _ -> true
+      | `P, Forked after -> (
+        (* a committed P stopped exactly as speculated; a replayed one
+           must still have forked at the same point for its S (spawned
+           from the speculative cursor) to stand *)
+        clean
+        ||
+        match outcome with
+        | Stopped (Forked safter, _) ->
+          safter.Interp.cbid = after.Interp.cbid
+          && safter.Interp.cpos = after.Interp.cpos
+        | _ -> false)
+      | _ -> false
+    in
+    if downstream_ok then
+      last_pos :=
+        (match stop with
+        | Looped c | Forked c | Exited c -> c
+        | Returned _ -> !last_pos)
+    else begin
+      (* control diverged: kill everything speculated beyond this
+         point (abandoned workers finish into dead views) *)
+      let killed = Queue.length pending in
+      if killed > 0 then begin
+        st.kills <- st.kills + killed;
+        Obs.Metrics.add m_kills killed
+      end;
+      Queue.clear pending;
+      finish :=
+        Some
+          (match stop with
+          | Returned v -> Interp.Return_now v
+          | Exited c | Looped c | Forked c -> Interp.Jump_to c)
+    end
+  done;
+  st.wall <- st.wall +. (Unix.gettimeofday () -. t0);
+  match !finish with
+  | Some action -> action
+  | None ->
+    (* drained cleanly (despeculation wind-down): resume where the last
+       committed task left off; if that is the header the next SPT_FORK
+       re-enters the scheduler *)
+    Interp.Jump_to !last_pos
+
+(* ------------------------------------------------------------------ *)
+(* Whole-program execution *)
+
+let func_has_phis (f : Ir.func) =
+  List.exists
+    (fun bid ->
+      List.exists
+        (fun (i : Ir.instr) -> Ir.is_phi i.Ir.kind)
+        (Ir.block f bid).Ir.instrs)
+    (Ir.block_ids f)
+
+type result = {
+  output : string;
+  return_value : Interp.value option;
+  heap_digest : string;
+  dynamic_instrs : int;
+  wall_time : float;
+  stats : (int * loop_stats) list;
+  oracle : [ `Match | `Mismatch of string | `Skipped ];
+}
+
+let heap_digest (store : Interp.store) =
+  Digest.to_hex
+    (Digest.string
+       (Marshal.to_string (store.Interp.smem, store.Interp.srng) []))
+
+let opt_value_eq a b =
+  match (a, b) with
+  | None, None -> true
+  | Some x, Some y -> Specmem.value_eq x y
+  | _ -> false
+
+let stats_json (r : result) =
+  let module J = Obs.Json in
+  J.Obj
+    [
+      ("wall_time_s", J.Float r.wall_time);
+      ("dynamic_instrs", J.Int r.dynamic_instrs);
+      ("heap_digest", J.Str r.heap_digest);
+      ( "oracle",
+        J.Str
+          (match r.oracle with
+          | `Match -> "match"
+          | `Mismatch m -> "mismatch: " ^ m
+          | `Skipped -> "skipped") );
+      ( "loops",
+        J.List
+          (List.map
+             (fun (lid, s) ->
+               J.Obj
+                 [
+                   ("loop_id", J.Int lid);
+                   ("forks", J.Int s.forks);
+                   ("commits", J.Int s.commits);
+                   ("violations", J.Int s.violations);
+                   ("faults", J.Int s.faults);
+                   ("kills", J.Int s.kills);
+                   ("despeculations", J.Int s.despecs);
+                   ("serial_reexecs", J.Int s.serial_reexecs);
+                   ("iters", J.Int s.iters);
+                   ("wall_s", J.Float s.wall);
+                 ])
+             r.stats) );
+    ]
+
+let sequential_reference cfg layout program =
+  let store = Interp.new_store layout program in
+  let m =
+    Interp.make ~max_steps:cfg.max_steps ~memio:(Interp.store_memio store)
+      program
+  in
+  let ret = Interp.call m (Ir.func_of_program program "main") [] [] in
+  (ret, Buffer.contents store.Interp.sout, heap_digest store)
+
+let run ?config ?(loops = []) (program : Ir.program) : result =
+  let cfg = match config with Some c -> c | None -> default_config () in
+  let specs = Hashtbl.create 8 in
+  List.iter
+    (fun ls ->
+      match List.assoc_opt ls.ls_fname program.Ir.funcs with
+      | Some f when not (func_has_phis f) -> Hashtbl.replace specs ls.ls_id ls
+      | Some _ ->
+        Obs.Log.warn
+          "[runtime] loop %d in %s not speculated: function still in SSA"
+          ls.ls_id ls.ls_fname
+      | None -> ())
+    loops;
+  let layout = Layout.build program.Ir.globals in
+  let store = Interp.new_store layout program in
+  let master =
+    Interp.make ~max_steps:cfg.max_steps ~memio:(Interp.store_memio store)
+      program
+  in
+  let rt =
+    {
+      program;
+      cfg;
+      pool = Pool.create ~jobs:cfg.jobs;
+      store;
+      master;
+      mu = Mutex.create ();
+      cond = Condition.create ();
+      specs;
+      despec = Hashtbl.create 4;
+      stats = Hashtbl.create 4;
+      committed_steps = 0;
+    }
+  in
+  Interp.set_marker_handler master
+    (Some
+       (fun _st frame marker after ->
+         match marker with
+         | `Kill _ -> Interp.Proceed
+         | `Fork id -> (
+           match Hashtbl.find_opt rt.specs id with
+           | Some spec
+             when (not (Hashtbl.mem rt.despec id))
+                  && String.equal frame.Interp.func.Ir.fname spec.ls_fname ->
+             run_spt_loop rt frame spec after
+           | _ -> Interp.Proceed)));
+  let t0 = Unix.gettimeofday () in
+  let return_value =
+    Fun.protect
+      ~finally:(fun () -> Pool.shutdown rt.pool)
+      (fun () -> Interp.call master (Ir.func_of_program program "main") [] [])
+  in
+  let wall_time = Unix.gettimeofday () -. t0 in
+  let output = Buffer.contents store.Interp.sout in
+  let digest = heap_digest store in
+  let oracle =
+    if not cfg.oracle then `Skipped
+    else begin
+      let sret, sout, sdigest = sequential_reference cfg layout program in
+      if not (String.equal sout output) then
+        `Mismatch
+          (Printf.sprintf "output differs (%d bytes vs %d sequential)"
+             (String.length output) (String.length sout))
+      else if not (opt_value_eq sret return_value) then
+        `Mismatch "return value differs"
+      else if not (String.equal sdigest digest) then
+        `Mismatch "final heap differs"
+      else `Match
+    end
+  in
+  {
+    output;
+    return_value;
+    heap_digest = digest;
+    dynamic_instrs = Interp.steps master + rt.committed_steps;
+    wall_time;
+    stats =
+      List.sort compare
+        (Hashtbl.fold (fun k v acc -> (k, v) :: acc) rt.stats []);
+    oracle;
+  }

@@ -1,0 +1,68 @@
+(** The speculative scheduler: executes an SPT-transformed program on
+    OCaml 5 domains with genuine fork / validate / commit / kill.
+
+    One iteration of an SPT loop splits at its [SPT_FORK] into a
+    pre-fork task P (the violation candidates the partitioner moved
+    up) and a post-fork task S (the rest of the body).  The sequential
+    thread commits in order P₀ S₀ P₁ S₁ …; P₀ runs non-speculatively,
+    each Sₖ is forked onto the worker pool, and the sequential thread
+    immediately runs Pₖ₊₁ speculatively — the assumption, exactly the
+    paper's §3 execution model, being that pre-fork work of the next
+    iteration is independent of the previous iteration's post-fork
+    work.  Every task runs against a {!Specmem.view}; at its turn it
+    is validated and committed, or — on a read violation or a
+    speculative fault — killed and re-executed serially on master
+    state.  A loop that misspeculates [despec_after] times in a row is
+    de-speculated for the rest of the run. *)
+
+module Interp = Spt_interp.Interp
+
+(** A transformed loop, as registered by the driver: the id carried by
+    its [SPT_FORK]/[SPT_KILL] markers, its function and its header
+    block in the final (post-SSA-destruction) CFG. *)
+type loop_spec = { ls_id : int; ls_fname : string; ls_header : int }
+
+type config = {
+  jobs : int;  (** worker domains (≥ 1) *)
+  window : int;  (** max speculative tasks in flight *)
+  despec_after : int;  (** consecutive misspeculations before the valve *)
+  spec_fuel : int;  (** step budget of one speculative task *)
+  max_steps : int;  (** overall sequential step budget *)
+  oracle : bool;  (** check against a sequential reference run *)
+}
+
+(** [jobs] honours [SPT_JOBS]; window is [2 * jobs]. *)
+val default_config : unit -> config
+
+(** Mutable per-loop counters, in the paper's §3 vocabulary. *)
+type loop_stats = {
+  mutable forks : int;  (** speculative tasks started (P and S) *)
+  mutable commits : int;  (** tasks validated and committed *)
+  mutable violations : int;  (** validation failures *)
+  mutable faults : int;  (** speculative runtime faults *)
+  mutable kills : int;  (** tasks discarded on control divergence *)
+  mutable despecs : int;  (** de-speculation valve trips *)
+  mutable serial_reexecs : int;  (** serial recoveries *)
+  mutable iters : int;  (** loop iterations retired *)
+  mutable wall : float;  (** seconds spent inside the loop *)
+}
+
+type result = {
+  output : string;
+  return_value : Interp.value option;
+  heap_digest : string;  (** of final memory + RNG state *)
+  dynamic_instrs : int;  (** committed work only (retries excluded) *)
+  wall_time : float;
+  stats : (int * loop_stats) list;  (** per loop id *)
+  oracle : [ `Match | `Mismatch of string | `Skipped ];
+}
+
+val stats_json : result -> Spt_obs.Json.t
+
+(** Execute [main].  Loops whose function still contains phis are
+    silently despeculated (the runtime targets post-SSA-destruction
+    code).  The worker pool lives for the duration of the call.
+    @raise Interp.Runtime_error as the sequential interpreter does
+    (speculative faults do not escape — they trigger re-execution). *)
+val run :
+  ?config:config -> ?loops:loop_spec list -> Spt_ir.Ir.program -> result

@@ -1,0 +1,164 @@
+module Interp = Spt_interp.Interp
+module Eval = Spt_ir.Eval
+
+type master = {
+  m_mem : Interp.value array;
+  m_regs : Interp.value option array;
+  m_rng_get : unit -> int64;
+  m_rng_set : int64 -> unit;
+  m_out : Buffer.t;
+}
+
+type view = {
+  parent : view option;
+  master : master;
+  mem_w : (int, Interp.value) Hashtbl.t;
+  mem_r : (int, Interp.value) Hashtbl.t;  (* first-read log *)
+  reg_w : (int, Interp.value) Hashtbl.t;  (* keyed by vid *)
+  reg_r : (int, Interp.value) Hashtbl.t;
+  mutable rng_r : int64 option;  (* first LCG state observed *)
+  mutable rng_w : int64 option;  (* last LCG state written *)
+  vout : Buffer.t;
+  committed : bool Atomic.t;
+}
+
+let create ?parent master =
+  {
+    parent;
+    master;
+    mem_w = Hashtbl.create 16;
+    mem_r = Hashtbl.create 16;
+    reg_w = Hashtbl.create 16;
+    reg_r = Hashtbl.create 16;
+    rng_r = None;
+    rng_w = None;
+    vout = Buffer.create 64;
+    committed = Atomic.make false;
+  }
+
+let is_committed v = Atomic.get v.committed
+
+let value_eq a b =
+  match (a, b) with
+  | Eval.Vi x, Eval.Vi y -> Int64.equal x y
+  | Eval.Vf x, Eval.Vf y ->
+    Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+  | _ -> false
+
+(* Walk uncommitted ancestors for a buffered value.  Ancestor tables
+   are immutable once the ancestor task finished (views chain only
+   through completed pre-fork tasks), and [committed] is set with
+   release ordering after the master writes, so a [true] here means
+   the master already holds the ancestor's values. *)
+let rec chain_find sel v =
+  match v with
+  | None -> None
+  | Some v ->
+    if Atomic.get v.committed then None
+    else (
+      match sel v with Some _ as r -> r | None -> chain_find sel v.parent)
+
+let mem_load v a =
+  match Hashtbl.find_opt v.mem_w a with
+  | Some x -> x
+  | None -> (
+    match Hashtbl.find_opt v.mem_r a with
+    | Some x -> x (* self-consistency: repeat reads see the first *)
+    | None ->
+      let x =
+        match chain_find (fun p -> Hashtbl.find_opt p.mem_w a) v.parent with
+        | Some x -> x
+        | None -> v.master.m_mem.(a) (* racy but memory-safe; validated *)
+      in
+      Hashtbl.replace v.mem_r a x;
+      x)
+
+let mem_store v a x = Hashtbl.replace v.mem_w a x
+
+let reg_get v (var : Spt_ir.Ir.var) =
+  let vid = var.Spt_ir.Ir.vid in
+  match Hashtbl.find_opt v.reg_w vid with
+  | Some x -> Some x
+  | None -> (
+    match Hashtbl.find_opt v.reg_r vid with
+    | Some x -> Some x
+    | None -> (
+      match chain_find (fun p -> Hashtbl.find_opt p.reg_w vid) v.parent with
+      | Some x ->
+        Hashtbl.replace v.reg_r vid x;
+        Some x
+      | None -> (
+        match v.master.m_regs.(vid) with
+        | Some x ->
+          Hashtbl.replace v.reg_r vid x;
+          Some x
+        | None ->
+          (* uninitialized so far: the task will fault and be
+             re-executed serially, no need to log *)
+          None)))
+
+let reg_set v (var : Spt_ir.Ir.var) x = Hashtbl.replace v.reg_w var.Spt_ir.Ir.vid x
+
+let rng_read v =
+  match v.rng_w with
+  | Some s -> s
+  | None -> (
+    match v.rng_r with
+    | Some s -> s
+    | None ->
+      let s =
+        match chain_find (fun p -> p.rng_w) v.parent with
+        | Some s -> s
+        | None -> v.master.m_rng_get ()
+      in
+      v.rng_r <- Some s;
+      s)
+
+let rng_write v s = v.rng_w <- Some s
+
+let memio v =
+  {
+    Interp.mio_load = mem_load v;
+    mio_store = mem_store v;
+    mio_rng = (fun () -> rng_read v);
+    mio_set_rng = rng_write v;
+    mio_print = Buffer.add_string v.vout;
+  }
+
+let regio v = { Interp.rio_get = reg_get v; rio_set = reg_set v }
+
+let validate v =
+  let bad = ref None in
+  Hashtbl.iter
+    (fun a x ->
+      if !bad = None && not (value_eq v.master.m_mem.(a) x) then
+        bad := Some (Printf.sprintf "mem[%d]" a))
+    v.mem_r;
+  Hashtbl.iter
+    (fun vid x ->
+      if !bad = None then
+        match v.master.m_regs.(vid) with
+        | Some y when value_eq x y -> ()
+        | _ -> bad := Some (Printf.sprintf "reg %%%d" vid))
+    v.reg_r;
+  (match v.rng_r with
+  | Some s when !bad = None && not (Int64.equal s (v.master.m_rng_get ())) ->
+    bad := Some "rng"
+  | _ -> ());
+  match !bad with
+  | None -> Ok ()
+  | Some what -> Error (what ^ " changed under speculation")
+
+let commit v =
+  Hashtbl.iter (fun a x -> v.master.m_mem.(a) <- x) v.mem_w;
+  Hashtbl.iter (fun vid x -> v.master.m_regs.(vid) <- Some x) v.reg_w;
+  (match v.rng_w with Some s -> v.master.m_rng_set s | None -> ());
+  Buffer.add_buffer v.master.m_out v.vout;
+  (* release: readers that observe the flag observe the writes above *)
+  Atomic.set v.committed true
+
+let footprint v =
+  let rng_r = if v.rng_r = None then 0 else 1 in
+  let rng_w = if v.rng_w = None then 0 else 1 in
+  ( Hashtbl.length v.mem_r + Hashtbl.length v.reg_r + rng_r,
+    Hashtbl.length v.mem_w + Hashtbl.length v.reg_w + rng_w )

@@ -1,0 +1,65 @@
+(** Speculative store buffer: versioned views of the master state.
+
+    Each speculative task executes against a {!view}: writes are
+    buffered per-task, reads are logged the first time an address (or
+    register, or the RNG) is observed, and resolution goes
+
+    {v own writes → own read log → uncommitted ancestor views → master v}
+
+    The ancestor chain holds only {e pre-fork} views of earlier
+    iterations — never post-fork views; their independence is exactly
+    the paper's speculation assumption, checked at commit time.
+
+    [validate] replays the read log against the master state.  Because
+    views are validated and committed strictly in sequential order, a
+    view that validates observed precisely the values sequential
+    execution would have produced, so committing its write buffer
+    (and buffered output) preserves sequential semantics regardless of
+    any races during the speculative run.  OCaml 5's memory model makes
+    the racy master reads memory-safe; any stale value they return is
+    caught here.  Validation is by value (bit-level for floats), which
+    subsumes address-based conflict detection. *)
+
+module Interp = Spt_interp.Interp
+
+(** The authoritative sequential state a loop speculates against: the
+    flat memory and output buffer of the engaged {!Interp.store} and
+    the register file of the engaged frame. *)
+type master = {
+  m_mem : Interp.value array;
+  m_regs : Interp.value option array;
+  m_rng_get : unit -> int64;
+  m_rng_set : int64 -> unit;
+  m_out : Buffer.t;
+}
+
+type view
+
+(** [create ?parent master] opens a fresh view.  [parent] is the most
+    recent pre-fork view of the chain (its own parents included);
+    committed ancestors are skipped during reads since their effects
+    already reached master. *)
+val create : ?parent:view -> master -> view
+
+(** Backends routing a task's execution through the view. *)
+val memio : view -> Interp.memio
+
+val regio : view -> Interp.regio
+
+(** Replay the read log against master.  [Error] describes the first
+    stale observation. *)
+val validate : view -> (unit, string) result
+
+(** Apply the write buffer and buffered output to master and mark the
+    view committed (release-ordered: readers that see the flag see the
+    master writes).  Must only be called after [validate], from the
+    sequential thread, in order. *)
+val commit : view -> unit
+
+val is_committed : view -> bool
+
+(** (reads, writes) logged so far — memory + registers + RNG. *)
+val footprint : view -> int * int
+
+(** Bit-level value equality (NaN-safe, [-0.] ≠ [0.]). *)
+val value_eq : Interp.value -> Interp.value -> bool

@@ -1,0 +1,83 @@
+(** Driver exit-code contract: 0 = success, 2 = usage error,
+    1 = compile or run error.  Exercises the installed [sptc] binary
+    (a declared test dependency, see [test/dune]). *)
+
+(* cwd is _build/default/test under [dune runtest], the workspace root
+   under [dune exec test/test_main.exe] *)
+let sptc =
+  let candidates =
+    [ "../bin/sptc.exe"; "_build/default/bin/sptc.exe"; "bin/sptc.exe" ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> "../bin/sptc.exe"
+
+let exec args =
+  Sys.command (Filename.quote_command sptc args ^ " >/dev/null 2>&1")
+
+let with_source contents f =
+  let path = Filename.temp_file "sptc_cli" ".c" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out path in
+      output_string oc contents;
+      close_out oc;
+      f path)
+
+let ok_src = {|
+void main() {
+  print_int(42);
+}
+|}
+
+let test_version () =
+  Alcotest.(check int) "--version exits 0" 0 (exec [ "--version" ]);
+  Alcotest.(check int) "run --version exits 0" 0 (exec [ "run"; "--version" ])
+
+let test_success () =
+  with_source ok_src (fun path ->
+      Alcotest.(check int) "run exits 0" 0 (exec [ "run"; path ]))
+
+let test_usage_errors () =
+  Alcotest.(check int) "unknown subcommand" 2 (exec [ "frobnicate" ]);
+  Alcotest.(check int) "missing FILE" 2 (exec [ "run" ]);
+  with_source ok_src (fun path ->
+      Alcotest.(check int) "unknown flag" 2
+        (exec [ "run"; path; "--no-such-flag" ]))
+
+let test_compile_errors () =
+  with_source "int main( { return }" (fun path ->
+      Alcotest.(check int) "syntax error exits 1" 1 (exec [ "run"; path ]));
+  with_source {|
+void main() {
+  print_int(1.5);
+}
+|} (fun path ->
+      Alcotest.(check int) "type error exits 1" 1 (exec [ "run"; path ]))
+
+let test_runtime_errors () =
+  with_source {|
+int a[4];
+void main() {
+  int i = 9;
+  print_int(a[i]);
+}
+|}
+    (fun path ->
+      Alcotest.(check int) "out-of-bounds exits 1" 1 (exec [ "run"; path ]))
+
+let test_parallel_run () =
+  with_source ok_src (fun path ->
+      Alcotest.(check int) "run --parallel exits 0" 0
+        (exec [ "run"; path; "--parallel"; "--jobs"; "2" ]))
+
+let suite =
+  [
+    Alcotest.test_case "--version" `Quick test_version;
+    Alcotest.test_case "success exit 0" `Quick test_success;
+    Alcotest.test_case "usage errors exit 2" `Quick test_usage_errors;
+    Alcotest.test_case "compile errors exit 1" `Quick test_compile_errors;
+    Alcotest.test_case "runtime errors exit 1" `Quick test_runtime_errors;
+    Alcotest.test_case "parallel run exit 0" `Quick test_parallel_run;
+  ]

@@ -13,5 +13,7 @@ let () =
       ("profile", Test_profile.suite);
       ("tlsim", Test_tlsim.suite);
       ("driver", Test_driver.suite);
+      ("runtime", Test_runtime.suite);
+      ("cli", Test_cli.suite);
       ("workloads", Test_workloads.suite);
     ]

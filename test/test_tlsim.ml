@@ -21,6 +21,47 @@ let test_cache_lru () =
   done;
   Alcotest.(check bool) "evicted from L1" true (Cache.access c ~core:0 4096 > 1)
 
+let test_cache_lru_eviction_order () =
+  let c = Cache.create ~cores:1 () in
+  let l1 = Cache.itanium2_config.Cache.l1 in
+  (* byte stride between addresses that share an L1 set *)
+  let stride = l1.Cache.size_bytes / l1.Cache.ways in
+  (* fill every way of set 0: A0..A3, oldest first *)
+  for k = 0 to l1.Cache.ways - 1 do
+    ignore (Cache.access c ~core:0 (k * stride))
+  done;
+  (* refresh A0, leaving A1 the least recently used *)
+  Alcotest.(check int) "A0 hits" 1 (Cache.access c ~core:0 0);
+  (* a fifth conflicting line must evict exactly the LRU way (A1) *)
+  ignore (Cache.access c ~core:0 (l1.Cache.ways * stride));
+  Alcotest.(check int) "A0 survives (was refreshed)" 1 (Cache.access c ~core:0 0);
+  Alcotest.(check int) "A2 survives" 1 (Cache.access c ~core:0 (2 * stride));
+  Alcotest.(check int) "A3 survives" 1 (Cache.access c ~core:0 (3 * stride));
+  (* A1 fell to the shared L2 *)
+  Alcotest.(check int) "A1 evicted to L2" 5 (Cache.access c ~core:0 stride)
+
+let test_cache_cross_core_sharing () =
+  let cfg = Cache.itanium2_config in
+  let c = Cache.create ~cores:3 () in
+  (* core 0 pulls a line into every level *)
+  Alcotest.(check int) "cold miss to memory" cfg.Cache.memory_latency
+    (Cache.access c ~core:0 0);
+  (* core 1 misses its private L1 but hits the shared L2 *)
+  Alcotest.(check int) "shared L2 hit from another core"
+    cfg.Cache.l2.Cache.hit_latency
+    (Cache.access c ~core:1 0);
+  Alcotest.(check int) "then cached privately" 1 (Cache.access c ~core:1 0);
+  (* evict the line from L2 with [ways] fresh conflicting lines (they
+     spread across L3 sets, so it survives in L3) *)
+  let l2_stride = cfg.Cache.l2.Cache.size_bytes / cfg.Cache.l2.Cache.ways in
+  for k = 1 to cfg.Cache.l2.Cache.ways do
+    ignore (Cache.access c ~core:0 (k * l2_stride))
+  done;
+  (* a third core that never touched the line finds it in shared L3 *)
+  Alcotest.(check int) "shared L3 hit from a third core"
+    cfg.Cache.l3.Cache.hit_latency
+    (Cache.access c ~core:2 0)
+
 let test_cache_hierarchy_order () =
   let c = Cache.create ~cores:1 () in
   ignore (Cache.access c ~core:0 0);
@@ -245,6 +286,10 @@ void main() {
 let suite =
   [
     Alcotest.test_case "cache LRU" `Quick test_cache_lru;
+    Alcotest.test_case "cache LRU eviction order" `Quick
+      test_cache_lru_eviction_order;
+    Alcotest.test_case "cache cross-core sharing" `Quick
+      test_cache_cross_core_sharing;
     Alcotest.test_case "cache stats" `Quick test_cache_hierarchy_order;
     Alcotest.test_case "branch predictor" `Quick test_branch_predictor;
     Alcotest.test_case "baseline IPC sane" `Quick test_baseline_ipc_sane;
