@@ -1,0 +1,60 @@
+#!/bin/sh
+# Smoke test for the compilation service: run `sptc batch` twice over
+# the example programs with a fresh cache directory and check that the
+# second (warm) run hits the artifact cache for >= 90% of the files and
+# finishes faster than the first (cold) run.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build bin/sptc.exe"
+dune build bin/sptc.exe
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+cache="$tmpdir/cache"
+cold="$tmpdir/cold.json"
+warm="$tmpdir/warm.json"
+
+fail() {
+  echo "cache_smoke: FAIL: $1" >&2
+  exit 1
+}
+
+# pull a top-level numeric field out of a pretty-printed spt-batch-v1
+# summary ("key": value)
+field() {
+  sed -n "s/^.*\"$2\": *\([0-9.]*\).*$/\1/p" "$1" | head -n 1
+}
+
+echo "== cold batch over examples/src (fresh --cache-dir)"
+dune exec bin/sptc.exe -- batch examples/src/*.c \
+  --cache-dir "$cache" --summary "$cold" --log-level warn
+
+echo "== warm batch over the same files"
+dune exec bin/sptc.exe -- batch examples/src/*.c \
+  --cache-dir "$cache" --summary "$warm" --log-level warn
+
+for f in "$cold" "$warm"; do
+  [ -s "$f" ] || fail "summary $f missing or empty"
+  grep -q '"spt-batch-v1"' "$f" || fail "$f lacks the spt-batch-v1 schema tag"
+done
+
+files=$(field "$warm" files)
+hits=$(field "$warm" cache_hits)
+failed=$(field "$warm" failed)
+timed_out=$(field "$warm" timed_out)
+cold_wall=$(field "$cold" wall_s)
+warm_wall=$(field "$warm" wall_s)
+
+[ "$failed" = 0 ] || fail "warm run reported $failed failure(s)"
+[ "$timed_out" = 0 ] || fail "warm run reported $timed_out timeout(s)"
+
+# >= 90% hits: 10 * hits >= 9 * files
+[ "$((10 * hits))" -ge "$((9 * files))" ] \
+  || fail "warm hit rate too low: $hits/$files"
+
+awk "BEGIN { exit !($warm_wall < $cold_wall) }" \
+  || fail "warm batch ($warm_wall s) not faster than cold ($cold_wall s)"
+
+echo "cache_smoke: OK ($hits/$files hits; cold ${cold_wall}s -> warm ${warm_wall}s)"

@@ -13,8 +13,24 @@ module Tls = Spt_tlsim.Tls_machine
 
 let quick = Sys.getenv_opt "SPT_BENCH_QUICK" <> None
 
+(* the summary lands next to dune-project (the committed baseline lives
+   there) wherever the harness is invoked from *)
+let repo_root () =
+  let rec up dir =
+    if Sys.file_exists (Filename.concat dir "dune-project") then Some dir
+    else
+      let parent = Filename.dirname dir in
+      if parent = dir then None else up parent
+  in
+  up (Sys.getcwd ())
+
 let json_path =
-  Option.value ~default:"BENCH_results.json" (Sys.getenv_opt "SPT_BENCH_JSON")
+  match Sys.getenv_opt "SPT_BENCH_JSON" with
+  | Some p -> p
+  | None ->
+    Filename.concat
+      (Option.value ~default:(Sys.getcwd ()) (repo_root ()))
+      "BENCH_results.json"
 
 let workloads =
   if quick then
@@ -359,22 +375,7 @@ let () =
 
   (* machine-readable summary next to the text tables, one entry per
      configuration; counters are cumulative over the whole run *)
-  Spt_obs.Json.to_file json_path
-    (Spt_obs.Json.Obj
-       [
-         ("schema", Spt_obs.Json.Str "spt-bench-v2");
-         ("quick", Spt_obs.Json.Bool quick);
-         ( "configs",
-           Spt_obs.Json.List
-             (List.map
-                (fun (cname, results) ->
-                  match Report.metrics_json results with
-                  | Spt_obs.Json.Obj fields ->
-                    Spt_obs.Json.Obj (("config", Spt_obs.Json.Str cname) :: fields)
-                  | other -> other)
-                per_config) );
-         ("parallel", Spt_obs.Json.List parallel);
-       ]);
+  Spt_obs.Json.to_file json_path (Report.bench_json ~quick ~per_config ~parallel);
   Printf.printf "\nmachine-readable summary written to %s\n" json_path;
 
   section

@@ -53,9 +53,11 @@ dune exec bin/sptc.exe -- run examples/src/histogram.c -c best \
   --parallel --jobs 2 --log-level warn \
   || fail "parallel run failed (oracle mismatch or crash)"
 
-echo "== bench quick run (spt-bench-v2 summary)"
-bench_json="$tmpdir/bench.json"
-SPT_BENCH_QUICK=1 SPT_BENCH_JSON="$bench_json" dune exec bench/main.exe \
+echo "== bench quick run (spt-bench-v2 summary at the repo root)"
+# no SPT_BENCH_JSON override: the default must land next to dune-project,
+# where the committed BENCH_results.json baseline lives
+bench_json="BENCH_results.json"
+SPT_BENCH_QUICK=1 dune exec bench/main.exe \
   > "$tmpdir/bench.out" 2>&1 || {
   tail -n 30 "$tmpdir/bench.out" >&2
   fail "bench run failed"

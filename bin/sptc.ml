@@ -6,13 +6,17 @@
     - [loops FILE]     list loops with their dependence/cost analysis
     - [compile FILE]   run the full cost-driven SPT pipeline and report
     - [workload NAME]  evaluate one of the built-in SPEC-like workloads
+    - [batch FILES…]   compile many programs concurrently, cache-warm
+    - [serve]          line-delimited JSON compile service on stdin
 *)
 
 open Cmdliner
+module Json = Spt_obs.Json
 
 (* one version string for the tool and every subcommand, so both
-   [sptc --version] and [sptc run --version] answer *)
-let version = "1.1.0"
+   [sptc --version] and [sptc run --version] answer; it is also mixed
+   into artifact-cache keys, so bumping it invalidates stale caches *)
+let version = Spt_service.Cached.tool_version
 
 let read_file path =
   let ic = open_in_bin path in
@@ -59,6 +63,28 @@ let config_arg =
         ~doc:"Compiler configuration: basic, best or anticipated")
 
 (* ------------------------------------------------------------------ *)
+(* Artifact-cache flags: --cache-dir, --no-cache *)
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Artifact-cache directory (default: $(b,SPT_CACHE_DIR), \
+           $(b,XDG_CACHE_HOME)/spt or ~/.cache/spt)")
+
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:"Disable the artifact cache (always recompile, never store)")
+
+let make_cache ~cache_dir ~no_cache =
+  if no_cache then Spt_service.Artifact_cache.no_cache ()
+  else Spt_service.Artifact_cache.create ?dir:cache_dir ()
+
+(* ------------------------------------------------------------------ *)
 (* Observability flags: --trace, --metrics, --log-level *)
 
 let trace_arg =
@@ -98,16 +124,18 @@ let log_level_arg =
            and SPT_DEBUG environment variables)")
 
 (** Apply the observability flags; returns a [finish] function to call
-    after the work, which writes the requested artifact files. *)
+    after the work, which writes the requested artifact files.  [finish]
+    takes already-rendered {!Spt_driver.Report.eval_json} objects so
+    cache-warm paths (which have no live [Pipeline.eval]) can feed
+    [--metrics] too. *)
 let setup_obs trace metrics log_level =
   Option.iter Spt_obs.Log.set_level log_level;
   if trace <> None then Spt_obs.Trace.set_enabled true;
   if metrics <> None then Spt_obs.Metrics.set_enabled true;
-  fun ?(parallel = []) (results : (string * Spt_driver.Pipeline.eval) list) ->
+  fun ?(runtime = []) (evals : Json.t list) ->
     Option.iter
       (fun path ->
-        Spt_obs.Json.to_file path
-          (Spt_driver.Report.metrics_json ~parallel results);
+        Json.to_file path (Spt_driver.Report.metrics_json_of ~runtime evals);
         Spt_obs.Log.info "metrics written to %s" path)
       metrics;
     Option.iter
@@ -168,7 +196,14 @@ let run_cmd =
             r.wall_time pr.Spt_driver.Pipeline.pr_seq_wall
             pr.Spt_driver.Pipeline.pr_measured_speedup;
           let finish () =
-            finish ~parallel:[ (Filename.basename file, r) ] []
+            finish
+              ~runtime:
+                [
+                  Json.prepend
+                    ("workload", Json.Str (Filename.basename file))
+                    (Spt_runtime.Runtime.stats_json r);
+                ]
+              []
           in
           match r.oracle with
           | `Match ->
@@ -235,30 +270,30 @@ let loops_cmd =
     Term.(const show $ file_arg $ config_arg)
 
 let compile_cmd =
-  let compile file config trace metrics log_level =
+  let compile file config cache_dir no_cache trace metrics log_level =
     handle_errors (fun () ->
         let finish = setup_obs trace metrics log_level in
-        let e = Spt_driver.Pipeline.evaluate ~config (read_file file) in
-        let open Spt_driver.Pipeline in
-        Format.printf "configuration    : %s@." e.config_name;
-        Format.printf "outputs match    : %b@." e.outputs_match;
-        Format.printf "baseline cycles  : %.0f (IPC %.2f)@."
-          e.base.Spt_tlsim.Tls_machine.cycles e.base.Spt_tlsim.Tls_machine.ipc;
-        Format.printf "SPT cycles       : %.0f@." e.spt.Spt_tlsim.Tls_machine.cycles;
-        Format.printf "speedup          : %+.2f%%@." ((e.speedup -. 1.0) *. 100.0);
-        Format.printf "SPT loops        : %d@." e.n_spt_loops;
-        if e.n_spt_loops > 0 then begin
-          Format.printf "@.";
-          print_string (Spt_driver.Report.fig18 [ (Filename.basename file, e) ])
-        end;
-        finish [ (Filename.basename file, e) ])
+        (* --trace wants the real per-phase spans, which a warm hit
+           would skip entirely — tracing always recompiles *)
+        let cache =
+          if trace <> None then Spt_service.Artifact_cache.no_cache ()
+          else make_cache ~cache_dir ~no_cache
+        in
+        let o =
+          Spt_service.Cached.compile ~cache ~config
+            ~name:(Filename.basename file) ~source:(read_file file)
+        in
+        print_string o.Spt_service.Cached.report_text;
+        finish [ o.Spt_service.Cached.eval ])
   in
   Cmd.v
     (Cmd.info "compile" ~version
-       ~doc:"Run the cost-driven SPT pipeline and simulate the result")
+       ~doc:
+         "Run the cost-driven SPT pipeline and simulate the result (warm \
+          results come from the artifact cache)")
     Term.(
-      const compile $ file_arg $ config_arg $ trace_arg $ metrics_arg
-      $ log_level_arg)
+      const compile $ file_arg $ config_arg $ cache_dir_arg $ no_cache_arg
+      $ trace_arg $ metrics_arg $ log_level_arg)
 
 let workload_cmd =
   let name_arg =
@@ -268,24 +303,190 @@ let workload_cmd =
       & pos 0 (some (enum (List.map (fun n -> (n, n)) names))) None
       & info [] ~docv:"NAME" ~doc:"Workload name (bzip2, crafty, ...)")
   in
-  let run name config trace metrics log_level =
+  let run name config cache_dir no_cache trace metrics log_level =
     handle_errors (fun () ->
         let finish = setup_obs trace metrics log_level in
+        let cache =
+          if trace <> None then Spt_service.Artifact_cache.no_cache ()
+          else make_cache ~cache_dir ~no_cache
+        in
         let w = Spt_workloads.Suite.find name in
-        let e = Spt_driver.Pipeline.evaluate ~config w.Spt_workloads.Suite.source in
-        Format.printf "%s under %s: base IPC %.2f, speedup %+.2f%%, %d SPT loops@."
-          name e.Spt_driver.Pipeline.config_name
-          e.Spt_driver.Pipeline.base.Spt_tlsim.Tls_machine.ipc
-          ((e.Spt_driver.Pipeline.speedup -. 1.0) *. 100.0)
-          e.Spt_driver.Pipeline.n_spt_loops;
-        print_string (Spt_driver.Report.fig18 [ (name, e) ]);
-        finish [ (name, e) ])
+        let o =
+          Spt_service.Cached.compile ~cache ~config ~name
+            ~source:w.Spt_workloads.Suite.source
+        in
+        (* no cache-status marker here: warm and cold runs must print
+           byte-identical reports *)
+        Format.printf "workload %s@." name;
+        print_string o.Spt_service.Cached.report_text;
+        finish [ o.Spt_service.Cached.eval ])
   in
   Cmd.v
     (Cmd.info "workload" ~version ~doc:"Evaluate a built-in SPEC2000Int-like workload")
     Term.(
-      const run $ name_arg $ config_arg $ trace_arg $ metrics_arg
-      $ log_level_arg)
+      const run $ name_arg $ config_arg $ cache_dir_arg $ no_cache_arg
+      $ trace_arg $ metrics_arg $ log_level_arg)
+
+let batch_cmd =
+  let files_arg =
+    Arg.(
+      non_empty & pos_all file []
+      & info [] ~docv:"FILES" ~doc:"MiniC source files")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker domains (defaults to $(b,SPT_JOBS) or 2)")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt float 600.0
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Per-file compile budget; a file over budget is reported \
+                timed out and the batch exits 1")
+  in
+  let summary_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "summary" ] ~docv:"FILE"
+          ~doc:
+            "Write a machine-readable batch summary (schema \
+             $(b,spt-batch-v1)) to $(docv)")
+  in
+  let result_json (file, outcome) =
+    match outcome with
+    | Spt_service.Batch.Done (o : Spt_service.Cached.outcome) ->
+      Json.Obj
+        [
+          ("file", Json.Str file);
+          ("status", Json.Str "ok");
+          ("cache_hit", Json.Bool o.Spt_service.Cached.hit);
+          ("key", Json.Str o.Spt_service.Cached.key);
+          ("elapsed_s", Json.Float o.Spt_service.Cached.elapsed_s);
+        ]
+    | Spt_service.Batch.Failed msg ->
+      Json.Obj
+        [
+          ("file", Json.Str file);
+          ("status", Json.Str "failed");
+          ("error", Json.Str msg);
+        ]
+    | Spt_service.Batch.Timed_out ->
+      Json.Obj [ ("file", Json.Str file); ("status", Json.Str "timed_out") ]
+  in
+  let run files config cache_dir no_cache jobs timeout_s summary metrics
+      log_level =
+    handle_errors (fun () ->
+        let finish = setup_obs None metrics log_level in
+        let cache = make_cache ~cache_dir ~no_cache in
+        let thunks =
+          List.map
+            (fun file () ->
+              Spt_service.Cached.compile ~cache ~config
+                ~name:(Filename.basename file) ~source:(read_file file))
+            files
+        in
+        let outcomes, bs = Spt_service.Batch.run ?jobs ~timeout_s thunks in
+        let results = List.mapi (fun i file -> (file, outcomes.(i))) files in
+        let evals =
+          List.filter_map
+            (function
+              | _, Spt_service.Batch.Done (o : Spt_service.Cached.outcome) ->
+                Some o.Spt_service.Cached.eval
+              | _ -> None)
+            results
+        in
+        List.iter
+          (fun (file, outcome) ->
+            match outcome with
+            | Spt_service.Batch.Done (o : Spt_service.Cached.outcome) ->
+              Format.printf "[%s] %-32s %8.3fs  %s@."
+                (if o.Spt_service.Cached.hit then "hit " else "miss")
+                file o.Spt_service.Cached.elapsed_s
+                (String.sub o.Spt_service.Cached.key 0 12)
+            | Spt_service.Batch.Failed msg ->
+              Format.printf "[FAIL] %-32s %s@." file msg
+            | Spt_service.Batch.Timed_out ->
+              Format.printf "[TIME] %-32s exceeded %.0fs@." file timeout_s)
+          results;
+        let cs = Spt_service.Artifact_cache.stats cache in
+        let lookups =
+          cs.Spt_service.Artifact_cache.hits
+          + cs.Spt_service.Artifact_cache.misses
+        in
+        let hit_rate =
+          if lookups = 0 then 0.0
+          else
+            float_of_int cs.Spt_service.Artifact_cache.hits
+            /. float_of_int lookups
+        in
+        Format.printf
+          "batch: %d file(s), %d ok, %d failed, %d timed out; %d hit(s) / %d \
+           miss(es); %d job(s)%s, %.3fs@."
+          bs.Spt_service.Batch.submitted bs.Spt_service.Batch.completed
+          bs.Spt_service.Batch.failed bs.Spt_service.Batch.timed_out
+          cs.Spt_service.Artifact_cache.hits
+          cs.Spt_service.Artifact_cache.misses bs.Spt_service.Batch.jobs
+          (if bs.Spt_service.Batch.degraded then " (degraded to sequential)"
+           else "")
+          bs.Spt_service.Batch.wall_s;
+        Option.iter
+          (fun path ->
+            Json.to_file path
+              (Json.Obj
+                 [
+                   ("schema", Json.Str "spt-batch-v1");
+                   ("files", Json.Int (List.length files));
+                   ("ok", Json.Int bs.Spt_service.Batch.completed);
+                   ("failed", Json.Int bs.Spt_service.Batch.failed);
+                   ("timed_out", Json.Int bs.Spt_service.Batch.timed_out);
+                   ( "cache_hits",
+                     Json.Int cs.Spt_service.Artifact_cache.hits );
+                   ( "cache_misses",
+                     Json.Int cs.Spt_service.Artifact_cache.misses );
+                   ("hit_rate", Json.Float hit_rate);
+                   ("jobs", Json.Int bs.Spt_service.Batch.jobs);
+                   ("degraded", Json.Bool bs.Spt_service.Batch.degraded);
+                   ( "max_queue_depth",
+                     Json.Int bs.Spt_service.Batch.max_queue_depth );
+                   ("wall_s", Json.Float bs.Spt_service.Batch.wall_s);
+                   ("results", Json.List (List.map result_json results));
+                   ("cache", Spt_service.Artifact_cache.stats_json cache);
+                   ("counters", Spt_obs.Metrics.to_json ());
+                 ]))
+          summary;
+        finish evals;
+        if
+          bs.Spt_service.Batch.failed > 0
+          || bs.Spt_service.Batch.timed_out > 0
+        then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "batch" ~version
+       ~doc:
+         "Compile many programs concurrently through the artifact cache; \
+          exits 1 if any file fails or times out")
+    Term.(
+      const run $ files_arg $ config_arg $ cache_dir_arg $ no_cache_arg
+      $ jobs_arg $ timeout_arg $ summary_arg $ metrics_arg $ log_level_arg)
+
+let serve_cmd =
+  let run cache_dir no_cache log_level =
+    handle_errors (fun () ->
+        Option.iter Spt_obs.Log.set_level log_level;
+        let cache = make_cache ~cache_dir ~no_cache in
+        let t = Spt_service.Server.create ~cache () in
+        Spt_service.Server.serve t stdin stdout)
+  in
+  Cmd.v
+    (Cmd.info "serve" ~version
+       ~doc:
+         "Serve compile requests as line-delimited JSON on stdin/stdout \
+          until a shutdown request or end of input")
+    Term.(const run $ cache_dir_arg $ no_cache_arg $ log_level_arg)
 
 let graph_cmd =
   let kind_arg =
@@ -334,7 +535,10 @@ let () =
   let info = Cmd.info "sptc" ~version ~doc in
   let group =
     Cmd.group info
-      [ run_cmd; dump_ir_cmd; loops_cmd; compile_cmd; workload_cmd; graph_cmd ]
+      [
+        run_cmd; dump_ir_cmd; loops_cmd; compile_cmd; workload_cmd; batch_cmd;
+        serve_cmd; graph_cmd;
+      ]
   in
   (* distinct exit codes: 0 = success, 2 = usage error, 1 = compile/run
      error (the latter via [handle_errors], which exits directly) *)

@@ -79,3 +79,9 @@ let by_name name =
   match List.find_opt (fun c -> c.name = name) all with
   | Some c -> c
   | None -> invalid_arg (Printf.sprintf "Config.by_name: unknown config %s" name)
+
+(* [t] is plain data (no closures), so the marshalled bytes are a
+   total, stable rendering of every field — any knob change, including
+   inside the nested simulator/cache configs, changes the digest *)
+let cache_key (c : t) =
+  Printf.sprintf "%s:%s" c.name (Digest.to_hex (Digest.string (Marshal.to_string c [])))

@@ -38,3 +38,9 @@ val all : t list
 
 (** @raise Invalid_argument on unknown names. *)
 val by_name : string -> t
+
+(** A stable token covering every knob that can change an analysis or
+    simulation result — the configuration half of an artifact-cache key
+    ({!Spt_service.Fingerprint}).  Two configurations share a token iff
+    all their fields are equal. *)
+val cache_key : t -> string

@@ -506,27 +506,64 @@ let eval_json ~name (e : Pipeline.eval) =
       ("loops", Json.List (List.map (loop_json e) e.Pipeline.loops));
     ]
 
-let metrics_json ?(parallel = []) (results : (string * Pipeline.eval) list) =
-  let runtime_field =
-    if parallel = [] then []
-    else
-      [
-        ( "runtime",
-          Json.List
-            (List.map
-               (fun (name, (r : Spt_runtime.Runtime.result)) ->
-                 match Spt_runtime.Runtime.stats_json r with
-                 | Json.Obj fields ->
-                   Json.Obj (("workload", Json.Str name) :: fields)
-                 | other -> other)
-               parallel) );
-      ]
-  in
+let metrics_json_of ?(runtime = []) (evals : Json.t list) =
   Json.Obj
     ([
        ("schema", Json.Str "spt-metrics-v1");
-       ( "workloads",
-         Json.List (List.map (fun (name, e) -> eval_json ~name e) results) );
+       ("workloads", Json.List evals);
      ]
-    @ runtime_field
+    @ (if runtime = [] then [] else [ ("runtime", Json.List runtime) ])
     @ [ ("counters", Spt_obs.Metrics.to_json ()) ])
+
+let metrics_json ?(parallel = []) (results : (string * Pipeline.eval) list) =
+  metrics_json_of
+    ~runtime:
+      (List.map
+         (fun (name, (r : Spt_runtime.Runtime.result)) ->
+           Json.prepend ("workload", Json.Str name)
+             (Spt_runtime.Runtime.stats_json r))
+         parallel)
+    (List.map (fun (name, e) -> eval_json ~name e) results)
+
+let bench_json ~quick ~per_config ~parallel =
+  Json.Obj
+    [
+      ("schema", Json.Str "spt-bench-v2");
+      ("quick", Json.Bool quick);
+      ( "configs",
+        Json.List
+          (List.map
+             (fun (cname, results) ->
+               Json.prepend ("config", Json.Str cname) (metrics_json results))
+             per_config) );
+      ("parallel", Json.List parallel);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* The [sptc compile] report text.
+
+   This is the one renderer of the human-readable compile summary: the
+   CLI prints it and the artifact cache stores it verbatim, so a warm
+   compile replays byte-identical output. *)
+
+let compile_text ~name (e : Pipeline.eval) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "configuration    : %s\n" e.Pipeline.config_name);
+  Buffer.add_string buf
+    (Printf.sprintf "outputs match    : %b\n" e.Pipeline.outputs_match);
+  Buffer.add_string buf
+    (Printf.sprintf "baseline cycles  : %.0f (IPC %.2f)\n"
+       e.Pipeline.base.Tls_machine.cycles e.Pipeline.base.Tls_machine.ipc);
+  Buffer.add_string buf
+    (Printf.sprintf "SPT cycles       : %.0f\n" e.Pipeline.spt.Tls_machine.cycles);
+  Buffer.add_string buf
+    (Printf.sprintf "speedup          : %+.2f%%\n"
+       ((e.Pipeline.speedup -. 1.0) *. 100.0));
+  Buffer.add_string buf
+    (Printf.sprintf "SPT loops        : %d\n" e.Pipeline.n_spt_loops);
+  if e.Pipeline.n_spt_loops > 0 then begin
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (fig18 [ (name, e) ])
+  end;
+  Buffer.contents buf

@@ -78,3 +78,22 @@ val metrics_json :
   ?parallel:(string * Spt_runtime.Runtime.result) list ->
   (string * Pipeline.eval) list ->
   Spt_obs.Json.t
+
+(** {!metrics_json} over already-rendered {!eval_json} objects (and
+    runtime-stats objects) — what cache-warm paths, which have no live
+    {!Pipeline.eval} value, feed to [--metrics]. *)
+val metrics_json_of : ?runtime:Spt_obs.Json.t list -> Spt_obs.Json.t list -> Spt_obs.Json.t
+
+(** The `spt-bench-v2` summary `bench/main.exe` writes: one
+    {!metrics_json} object per configuration plus the measured-speedup
+    records of the real parallel runs. *)
+val bench_json :
+  quick:bool ->
+  per_config:(string * (string * Pipeline.eval) list) list ->
+  parallel:Spt_obs.Json.t list ->
+  Spt_obs.Json.t
+
+(** The human-readable [sptc compile] summary.  The CLI prints this and
+    the artifact cache replays it verbatim on a warm hit, so cold and
+    warm compiles emit byte-identical reports. *)
+val compile_text : name:string -> Pipeline.eval -> string

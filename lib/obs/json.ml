@@ -91,6 +91,10 @@ let member key = function
   | Obj fields -> List.assoc_opt key fields
   | _ -> None
 
+let prepend field = function
+  | Obj fields -> Obj (field :: fields)
+  | other -> other
+
 (* ------------------------------------------------------------------ *)
 (* Reading: recursive descent *)
 

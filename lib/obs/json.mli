@@ -26,5 +26,11 @@ val of_string : string -> (t, string) result
 (** [member key j] is the value bound to [key] when [j] is an object. *)
 val member : string -> t -> t option
 
+(** [prepend (key, v) j] adds a leading field when [j] is an object and
+    returns [j] unchanged otherwise — the one way every emitter tags a
+    shared payload (bench configs, runtime stats, serve replies) with
+    its own discriminator field. *)
+val prepend : string * t -> t -> t
+
 (** Write [to_string j] (plus a trailing newline) to [path]. *)
 val to_file : string -> t -> unit

@@ -1,0 +1,184 @@
+(** Content-addressed artifact store — see artifact_cache.mli. *)
+
+module Json = Spt_obs.Json
+
+let schema = "spt-cache-v1"
+
+(* process-wide counters (no-ops unless metrics are enabled); per-cache
+   counts live in [t] so hit rates survive a disabled registry *)
+let m_hits = Spt_obs.Metrics.counter "service.cache.hits"
+let m_misses = Spt_obs.Metrics.counter "service.cache.misses"
+let m_stores = Spt_obs.Metrics.counter "service.cache.stores"
+let m_disk_errors = Spt_obs.Metrics.counter "service.cache.disk_errors"
+
+type stats = { hits : int; misses : int; stores : int }
+
+type t = {
+  cdir : string option;  (** [None] iff the cache is disabled *)
+  mem : (string, Json.t) Hashtbl.t;
+  mu : Mutex.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable stores : int;
+}
+
+let default_dir () =
+  match Sys.getenv_opt "SPT_CACHE_DIR" with
+  | Some d when d <> "" -> d
+  | _ ->
+    let base =
+      match Sys.getenv_opt "XDG_CACHE_HOME" with
+      | Some d when d <> "" -> d
+      | _ ->
+        Filename.concat
+          (Option.value ~default:"." (Sys.getenv_opt "HOME"))
+          ".cache"
+    in
+    Filename.concat base "spt"
+
+let make cdir =
+  {
+    cdir;
+    mem = Hashtbl.create 64;
+    mu = Mutex.create ();
+    hits = 0;
+    misses = 0;
+    stores = 0;
+  }
+
+let create ?dir () =
+  make (Some (match dir with Some d -> d | None -> default_dir ()))
+
+let no_cache () = make None
+let enabled t = t.cdir <> None
+let dir t = t.cdir
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+(* ------------------------------------------------------------------ *)
+(* Disk layer *)
+
+let rec mkdir_p d =
+  if not (Sys.file_exists d) then begin
+    mkdir_p (Filename.dirname d);
+    try Unix.mkdir d 0o755
+    with Unix.Unix_error ((Unix.EEXIST | Unix.EISDIR), _, _) -> ()
+  end
+
+(* keys are hex digests, but sanitize anyway: the key is data, never a
+   path component we trust *)
+let safe_key key =
+  String.map
+    (fun c ->
+      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> c | _ -> '_')
+    key
+
+let file_of t key =
+  match t.cdir with
+  | None -> None
+  | Some d -> Some (Filename.concat (Filename.concat d schema) (safe_key key ^ ".json"))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* a miss on *any* malfunction: absent, unreadable, unparsable, wrong
+   schema, wrong key (hash collision or tampering) *)
+let disk_find t key =
+  match file_of t key with
+  | None -> None
+  | Some path -> (
+    match Json.of_string (read_file path) with
+    | Ok entry
+      when Json.member "schema" entry = Some (Json.Str schema)
+           && Json.member "key" entry = Some (Json.Str key) ->
+      Json.member "payload" entry
+    | Ok _ | Error _ -> None
+    | exception _ -> None)
+
+let tmp_seq = Atomic.make 0
+
+let disk_store t key payload =
+  match file_of t key with
+  | None -> ()
+  | Some path -> (
+    try
+      mkdir_p (Filename.dirname path);
+      let tmp =
+        Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+          (Atomic.fetch_and_add tmp_seq 1)
+      in
+      let entry =
+        Json.Obj
+          [
+            ("schema", Json.Str schema);
+            ("key", Json.Str key);
+            ("payload", payload);
+          ]
+      in
+      let oc = open_out_bin tmp in
+      (try
+         output_string oc (Json.to_string ~minify:true entry);
+         output_char oc '\n';
+         close_out oc
+       with e ->
+         close_out_noerr oc;
+         raise e);
+      Sys.rename tmp path
+    with _ -> Spt_obs.Metrics.inc m_disk_errors)
+
+(* ------------------------------------------------------------------ *)
+
+let find t key =
+  if not (enabled t) then None
+  else
+    locked t (fun () ->
+        let found =
+          match Hashtbl.find_opt t.mem key with
+          | Some payload -> Some payload
+          | None -> (
+            match disk_find t key with
+            | Some payload ->
+              Hashtbl.replace t.mem key payload;
+              Some payload
+            | None -> None)
+        in
+        (match found with
+        | Some _ ->
+          t.hits <- t.hits + 1;
+          Spt_obs.Metrics.inc m_hits
+        | None ->
+          t.misses <- t.misses + 1;
+          Spt_obs.Metrics.inc m_misses);
+        found)
+
+let store t key payload =
+  if enabled t then
+    locked t (fun () ->
+        Hashtbl.replace t.mem key payload;
+        t.stores <- t.stores + 1;
+        Spt_obs.Metrics.inc m_stores;
+        disk_store t key payload)
+
+let stats t =
+  locked t (fun () -> { hits = t.hits; misses = t.misses; stores = t.stores })
+
+let stats_json t =
+  let s = stats t in
+  let looked_up = s.hits + s.misses in
+  Json.Obj
+    [
+      ("enabled", Json.Bool (enabled t));
+      ("dir", match t.cdir with Some d -> Json.Str d | None -> Json.Null);
+      ("hits", Json.Int s.hits);
+      ("misses", Json.Int s.misses);
+      ("stores", Json.Int s.stores);
+      ( "hit_rate",
+        Json.Float
+          (if looked_up = 0 then 0.0
+           else float_of_int s.hits /. float_of_int looked_up) );
+    ]

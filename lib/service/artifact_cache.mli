@@ -1,0 +1,50 @@
+(** Content-addressed store for compilation artifacts.
+
+    Entries are JSON payloads keyed by a {!Fingerprint} digest and kept
+    in two layers: an in-memory table (per process) and an on-disk
+    directory shared across processes ([$SPT_CACHE_DIR], else
+    [$XDG_CACHE_HOME/spt], else [~/.cache/spt]; overridable per cache
+    with [create ~dir]).
+
+    The store is *never* a source of failure: disk entries are written
+    atomically (write-temp-then-rename), and a corrupt, truncated,
+    unreadable or schema-mismatched entry simply reads as a miss.  All
+    operations are safe to call concurrently from multiple domains
+    (the {!Batch} scheduler does). *)
+
+(** On-disk entry format version; entries written under a different
+    schema are misses.  Bump when the envelope changes. *)
+val schema : string
+
+type t
+
+(** The resolved default directory ([$SPT_CACHE_DIR] >
+    [$XDG_CACHE_HOME/spt] > [~/.cache/spt]). *)
+val default_dir : unit -> string
+
+(** A live cache persisting under [dir] (default {!default_dir}). *)
+val create : ?dir:string -> unit -> t
+
+(** A disabled cache: [find] always misses without counting, [store]
+    is a no-op — the [--no-cache] object. *)
+val no_cache : unit -> t
+
+val enabled : t -> bool
+
+(** The backing directory, when enabled. *)
+val dir : t -> string option
+
+(** Look [key] up, memory first, then disk (a disk hit is promoted to
+    memory).  Counts a hit or a miss unless the cache is disabled. *)
+val find : t -> string -> Spt_obs.Json.t option
+
+(** Bind [key] to [payload] in memory and on disk.  Disk errors are
+    swallowed (counted on [service.cache.disk_errors]). *)
+val store : t -> string -> Spt_obs.Json.t -> unit
+
+type stats = { hits : int; misses : int; stores : int }
+
+val stats : t -> stats
+
+(** [{"enabled":…,"dir":…,"hits":…,"misses":…,"stores":…,"hit_rate":…}] *)
+val stats_json : t -> Spt_obs.Json.t

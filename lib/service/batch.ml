@@ -1,0 +1,111 @@
+(** Concurrent batch scheduler — see batch.mli. *)
+
+module Pool = Spt_runtime.Pool
+
+let m_submitted = Spt_obs.Metrics.counter "service.batch.jobs_submitted"
+let m_failed = Spt_obs.Metrics.counter "service.batch.jobs_failed"
+let m_timed_out = Spt_obs.Metrics.counter "service.batch.jobs_timed_out"
+let m_degraded = Spt_obs.Metrics.counter "service.batch.degraded_runs"
+let g_queue = Spt_obs.Metrics.gauge "service.batch.queue_depth"
+let h_latency = Spt_obs.Metrics.histogram "service.batch.job_latency_s"
+
+type 'a outcome = Done of 'a | Failed of string | Timed_out
+
+type stats = {
+  jobs : int;
+  submitted : int;
+  completed : int;
+  failed : int;
+  timed_out : int;
+  degraded : bool;
+  max_queue_depth : int;
+  wall_s : float;
+}
+
+let default_jobs () =
+  match Sys.getenv_opt "SPT_JOBS" with
+  | Some s -> ( match int_of_string_opt s with Some j when j > 0 -> j | _ -> 2)
+  | None -> 2
+
+let observe_run work =
+  let t0 = Unix.gettimeofday () in
+  let r = try Done (work ()) with e -> Failed (Printexc.to_string e) in
+  Spt_obs.Metrics.observe h_latency (Unix.gettimeofday () -. t0);
+  r
+
+let finish ~jobs ~degraded ~max_queue_depth ~t0 (results : _ outcome array) =
+  let count p = Array.fold_left (fun n r -> if p r then n + 1 else n) 0 results in
+  let failed = count (function Failed _ -> true | _ -> false) in
+  let timed_out = count (function Timed_out -> true | _ -> false) in
+  Spt_obs.Metrics.add m_failed failed;
+  Spt_obs.Metrics.add m_timed_out timed_out;
+  ( results,
+    {
+      jobs;
+      submitted = Array.length results;
+      completed = count (function Done _ -> true | _ -> false);
+      failed;
+      timed_out;
+      degraded;
+      max_queue_depth;
+      wall_s = Unix.gettimeofday () -. t0;
+    } )
+
+let run ?jobs ?(timeout_s = 600.0) thunks =
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  let n = List.length thunks in
+  let t0 = Unix.gettimeofday () in
+  Spt_obs.Metrics.add m_submitted n;
+  if n = 0 then
+    finish ~jobs ~degraded:false ~max_queue_depth:0 ~t0 [||]
+  else
+    match Pool.create ~jobs with
+    | exception _ ->
+      (* graceful degradation: no pool, run in the calling domain *)
+      Spt_obs.Metrics.inc m_degraded;
+      let results = Array.of_list (List.map observe_run thunks) in
+      finish ~jobs:1 ~degraded:true ~max_queue_depth:0 ~t0 results
+    | pool ->
+      let results = Array.make n None in
+      let mu = Mutex.create () in
+      List.iteri
+        (fun i work ->
+          Pool.submit pool (fun () ->
+              let r = observe_run work in
+              Mutex.lock mu;
+              (* a late worker must not resurrect a job already
+                 declared timed out *)
+              (match results.(i) with None -> results.(i) <- Some r | Some _ -> ());
+              Mutex.unlock mu))
+        thunks;
+      let deadline = t0 +. timeout_s in
+      let max_depth = ref (Pool.queued pool) in
+      let incomplete () =
+        Mutex.lock mu;
+        let k = Array.fold_left (fun k r -> if r = None then k + 1 else k) 0 results in
+        Mutex.unlock mu;
+        k
+      in
+      while incomplete () > 0 && Unix.gettimeofday () < deadline do
+        let d = Pool.queued pool in
+        if d > !max_depth then max_depth := d;
+        Spt_obs.Metrics.set g_queue (float_of_int d);
+        Unix.sleepf 0.01
+      done;
+      Spt_obs.Metrics.set g_queue 0.0;
+      Mutex.lock mu;
+      let any_timeout = ref false in
+      Array.iteri
+        (fun i r ->
+          if r = None then begin
+            any_timeout := true;
+            results.(i) <- Some Timed_out
+          end)
+        results;
+      Mutex.unlock mu;
+      (* join only when everything finished: [Pool.shutdown] drains the
+         queue and waits for running jobs, which would nullify the
+         timeout.  An abandoned pool's domains die with the process. *)
+      if not !any_timeout then Pool.shutdown pool;
+      finish ~jobs ~degraded:false ~max_queue_depth:!max_depth ~t0
+        (Array.map (function Some r -> r | None -> Timed_out) results)

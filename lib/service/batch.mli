@@ -1,0 +1,37 @@
+(** A concurrent job scheduler over the {!Spt_runtime.Pool} domain
+    pool, for fanning whole compilations (or any thunks) across cores.
+
+    All jobs are submitted up front; each carries a wall-clock budget
+    of [timeout_s] seconds from submission.  A job that raises is
+    [Failed]; a job still incomplete at its deadline is reported
+    [Timed_out] (OCaml domains cannot be preempted, so its worker keeps
+    running but any late result is discarded, and the pool is abandoned
+    to process exit instead of joined).  If the pool cannot be created
+    at all — domain spawning is the one thing here that can fail — the
+    scheduler degrades to running every job sequentially in the calling
+    domain, and says so in [stats.degraded].
+
+    Queue depth, job latency and failure counts are surfaced on the
+    [service.batch.*] metrics. *)
+
+type 'a outcome =
+  | Done of 'a
+  | Failed of string  (** the job raised; carries [Printexc.to_string] *)
+  | Timed_out
+
+type stats = {
+  jobs : int;  (** worker domains used (1 when degraded) *)
+  submitted : int;
+  completed : int;
+  failed : int;
+  timed_out : int;
+  degraded : bool;  (** pool creation failed; ran sequentially *)
+  max_queue_depth : int;
+  wall_s : float;
+}
+
+(** [run ~jobs ~timeout_s thunks] evaluates every thunk and returns the
+    outcomes in submission order.  [jobs] defaults to [$SPT_JOBS] or 2;
+    [timeout_s] defaults to 600. *)
+val run :
+  ?jobs:int -> ?timeout_s:float -> (unit -> 'a) list -> 'a outcome array * stats

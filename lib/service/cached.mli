@@ -1,0 +1,41 @@
+(** The memoized compilation entry point every service front end
+    ([sptc compile]/[batch]/[serve]) goes through.
+
+    The cache key is {!Fingerprint.key} over the lowered IR of the
+    source (so whitespace/comment edits still hit) plus the full
+    {!Spt_driver.Config.cache_key} and {!tool_version} (so a knob
+    change or a compiler upgrade misses).  The cached payload carries
+    everything a warm request must replay byte-identically: the
+    {!Spt_driver.Report.eval_json} object, the rendered
+    {!Spt_driver.Report.compile_text}, and the per-loop partition
+    artifacts (decision, optimal cost, pre-fork size) of pass 1/2. *)
+
+(** Mixed into every cache key; bump on releases that change analysis
+    results so stale artifacts become misses rather than lies. *)
+val tool_version : string
+
+(** Version of the cached payload envelope; a payload under a different
+    version is recompiled. *)
+val payload_schema : string
+
+type outcome = {
+  key : string;  (** the content-addressed cache key *)
+  hit : bool;
+  eval : Spt_obs.Json.t;  (** {!Spt_driver.Report.eval_json} payload *)
+  report_text : string;  (** {!Spt_driver.Report.compile_text} output *)
+  elapsed_s : float;  (** this request's latency, warm or cold *)
+}
+
+(** The cache key [compile] would use for [source] under [config] —
+    exposed for tests and for request de-duplication. *)
+val key_of : config:Spt_driver.Config.t -> string -> string
+
+(** Compile [source] (displayed as [name]) under [config], through
+    [cache].  Raises whatever the front end raises on invalid source;
+    cache malfunctions never raise (they recompute). *)
+val compile :
+  cache:Artifact_cache.t ->
+  config:Spt_driver.Config.t ->
+  name:string ->
+  source:string ->
+  outcome

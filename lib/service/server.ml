@@ -1,0 +1,204 @@
+(** Line-delimited JSON compile server — see server.mli. *)
+
+module Json = Spt_obs.Json
+open Spt_driver
+
+let m_requests = Spt_obs.Metrics.counter "service.server.requests"
+let m_errors = Spt_obs.Metrics.counter "service.server.errors"
+let h_latency = Spt_obs.Metrics.histogram "service.server.request_latency_s"
+
+type t = {
+  cache : Artifact_cache.t;
+  mutable requests : int;
+  mutable errors : int;
+  (* request-latency histogram, kept locally so [stats] works even with
+     the global metrics registry disabled *)
+  mutable lat_n : int;
+  mutable lat_sum : float;
+  mutable lat_min : float;
+  mutable lat_max : float;
+}
+
+let create ?cache () =
+  {
+    cache = (match cache with Some c -> c | None -> Artifact_cache.create ());
+    requests = 0;
+    errors = 0;
+    lat_n = 0;
+    lat_sum = 0.0;
+    lat_min = infinity;
+    lat_max = neg_infinity;
+  }
+
+let describe_error = function
+  | Spt_srclang.Lexer.Lex_error (msg, loc) ->
+    Format.asprintf "lexical error at %a: %s" Spt_srclang.Ast.pp_loc loc msg
+  | Spt_srclang.Parser.Parse_error (msg, loc) ->
+    Format.asprintf "syntax error at %a: %s" Spt_srclang.Ast.pp_loc loc msg
+  | Spt_srclang.Typecheck.Type_error (msg, loc) ->
+    Format.asprintf "type error at %a: %s" Spt_srclang.Ast.pp_loc loc msg
+  | Spt_ir.Lower.Lower_error msg -> "lowering error: " ^ msg
+  | Spt_interp.Interp.Runtime_error msg -> "runtime error: " ^ msg
+  | Sys_error msg -> msg
+  | Invalid_argument msg -> msg
+  | e -> Printexc.to_string e
+
+let str_member k j =
+  match Json.member k j with Some (Json.Str s) -> Some s | _ -> None
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let config_of req =
+  match str_member "config" req with
+  | None -> Config.best
+  | Some name -> Config.by_name name (* Invalid_argument -> error reply *)
+
+let observe t dt =
+  t.lat_n <- t.lat_n + 1;
+  t.lat_sum <- t.lat_sum +. dt;
+  if dt < t.lat_min then t.lat_min <- dt;
+  if dt > t.lat_max then t.lat_max <- dt;
+  Spt_obs.Metrics.observe h_latency dt
+
+let compile_reply ~op ~name (o : Cached.outcome) =
+  Json.Obj
+    [
+      ("ok", Json.Bool true);
+      ("op", Json.Str op);
+      ("name", Json.Str name);
+      ("key", Json.Str o.Cached.key);
+      ("cache_hit", Json.Bool o.Cached.hit);
+      ("elapsed_s", Json.Float o.Cached.elapsed_s);
+      ("report_text", Json.Str o.Cached.report_text);
+      ("eval", o.Cached.eval);
+    ]
+
+let stats_reply t =
+  Json.Obj
+    [
+      ("ok", Json.Bool true);
+      ("op", Json.Str "stats");
+      ("requests", Json.Int t.requests);
+      ("errors", Json.Int t.errors);
+      ("cache", Artifact_cache.stats_json t.cache);
+      ( "latency_s",
+        Json.Obj
+          [
+            ("count", Json.Int t.lat_n);
+            ("sum", Json.Float t.lat_sum);
+            ("min", Json.Float (if t.lat_n = 0 then 0.0 else t.lat_min));
+            ("max", Json.Float (if t.lat_n = 0 then 0.0 else t.lat_max));
+            ( "mean",
+              Json.Float
+                (if t.lat_n = 0 then 0.0
+                 else t.lat_sum /. float_of_int t.lat_n) );
+          ] );
+    ]
+
+let handle t req =
+  t.requests <- t.requests + 1;
+  Spt_obs.Metrics.inc m_requests;
+  let err msg =
+    t.errors <- t.errors + 1;
+    Spt_obs.Metrics.inc m_errors;
+    Json.Obj [ ("ok", Json.Bool false); ("error", Json.Str msg) ]
+  in
+  let with_id reply =
+    match Json.member "id" req with
+    | Some id -> Json.prepend ("id", id) reply
+    | None -> reply
+  in
+  let timed_compile ~op ~name ~source =
+    let t0 = Unix.gettimeofday () in
+    let reply =
+      match
+        Cached.compile ~cache:t.cache ~config:(config_of req) ~name ~source
+      with
+      | o -> compile_reply ~op ~name o
+      | exception e -> err (describe_error e)
+    in
+    observe t (Unix.gettimeofday () -. t0);
+    reply
+  in
+  let reply =
+    match str_member "op" req with
+    | Some "compile" -> (
+      match (str_member "source" req, str_member "file" req) with
+      | None, None -> err "compile: need a \"source\" or \"file\" field"
+      | Some _, Some _ -> err "compile: \"source\" and \"file\" are exclusive"
+      | Some source, None ->
+        let name = Option.value ~default:"<inline>" (str_member "name" req) in
+        timed_compile ~op:"compile" ~name ~source
+      | None, Some file -> (
+        let name =
+          Option.value ~default:(Filename.basename file)
+            (str_member "name" req)
+        in
+        match read_file file with
+        | source -> timed_compile ~op:"compile" ~name ~source
+        | exception Sys_error msg -> err msg))
+    | Some "workload" -> (
+      match str_member "name" req with
+      | None -> err "workload: need a \"name\" field"
+      | Some name -> (
+        match
+          List.find_opt
+            (fun w -> w.Spt_workloads.Suite.name = name)
+            Spt_workloads.Suite.all
+        with
+        | None -> err (Printf.sprintf "workload: unknown workload %S" name)
+        | Some w ->
+          timed_compile ~op:"workload" ~name
+            ~source:w.Spt_workloads.Suite.source))
+    | Some "stats" -> stats_reply t
+    | Some "shutdown" -> Json.Obj [ ("ok", Json.Bool true); ("op", Json.Str "shutdown") ]
+    | Some op -> err (Printf.sprintf "unknown op %S" op)
+    | None -> err "request must be an object with an \"op\" field"
+  in
+  match str_member "op" req with
+  | Some "shutdown" -> `Shutdown (with_id reply)
+  | _ -> `Reply (with_id reply)
+
+let handle_line t line =
+  let result =
+    match Json.of_string line with
+    | Ok req -> handle t req
+    | Error msg ->
+      t.requests <- t.requests + 1;
+      t.errors <- t.errors + 1;
+      Spt_obs.Metrics.inc m_requests;
+      Spt_obs.Metrics.inc m_errors;
+      `Reply
+        (Json.Obj
+           [ ("ok", Json.Bool false); ("error", Json.Str ("bad JSON: " ^ msg)) ])
+  in
+  match result with
+  | `Reply j -> `Reply (Json.to_string ~minify:true j)
+  | `Shutdown j -> `Shutdown (Json.to_string ~minify:true j)
+
+let serve t ic oc =
+  let emit line =
+    output_string oc line;
+    output_char oc '\n';
+    flush oc
+  in
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | line when String.trim line = "" -> loop ()
+    | line -> (
+      match handle_line t line with
+      | `Reply out ->
+        emit out;
+        loop ()
+      | `Shutdown out -> emit out)
+  in
+  Spt_obs.Log.info "serve: listening on stdin (cache %s)"
+    (match Artifact_cache.dir t.cache with
+    | Some d -> d
+    | None -> "disabled");
+  loop ()

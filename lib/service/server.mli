@@ -1,0 +1,34 @@
+(** [sptc serve] — a line-delimited JSON request/response loop over the
+    warm {!Artifact_cache}, so repeated compiles of the same source are
+    served from memoized artifacts.
+
+    One request per line, one minified-JSON reply per line.  Requests
+    are objects with an ["op"] field; an optional ["id"] field is
+    echoed into the reply for client-side correlation:
+
+    - [{"op":"compile","source":SRC}] or [{"op":"compile","file":PATH}]
+      — optional ["config"] (default "best") and ["name"]; replies with
+      [cache_hit], the cache [key], [elapsed_s], the report text and
+      the full eval JSON.
+    - [{"op":"workload","name":N}] — compile a built-in workload.
+    - [{"op":"stats"}] — request/error counts, cache hit/miss/rate and
+      the request-latency histogram.
+    - [{"op":"shutdown"}] — acknowledge and end the loop.
+
+    Malformed lines, unknown ops, missing fields and compile errors all
+    produce [{"ok":false,"error":…}] replies and keep the loop alive —
+    the server only stops on ["shutdown"] or end of input. *)
+
+type t
+
+val create : ?cache:Artifact_cache.t -> unit -> t
+
+(** Handle one decoded request. *)
+val handle : t -> Spt_obs.Json.t -> [ `Reply of Spt_obs.Json.t | `Shutdown of Spt_obs.Json.t ]
+
+(** Handle one raw request line (parse + {!handle} + minify). *)
+val handle_line : t -> string -> [ `Reply of string | `Shutdown of string ]
+
+(** Run the loop until ["shutdown"] or EOF.  Replies are flushed after
+    every line. *)
+val serve : t -> in_channel -> out_channel -> unit

@@ -15,6 +15,32 @@ let sptc =
 let exec args =
   Sys.command (Filename.quote_command sptc args ^ " >/dev/null 2>&1")
 
+(* like [exec], but keeps stderr so tests can check usage is printed *)
+let exec_stderr args =
+  let err = Filename.temp_file "sptc_cli" ".err" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove err with Sys_error _ -> ())
+    (fun () ->
+      let code =
+        Sys.command
+          (Filename.quote_command sptc args ^ " >/dev/null 2>" ^ Filename.quote err)
+      in
+      let ic = open_in_bin err in
+      let text =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      (code, text))
+
+let with_tmpdir f =
+  let dir = Filename.temp_file "sptc_cli" ".d" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () -> ignore (Sys.command (Filename.quote_command "rm" [ "-rf"; dir ])))
+    (fun () -> f dir)
+
 let with_source contents f =
   let path = Filename.temp_file "sptc_cli" ".c" in
   Fun.protect
@@ -42,9 +68,88 @@ let test_success () =
 let test_usage_errors () =
   Alcotest.(check int) "unknown subcommand" 2 (exec [ "frobnicate" ]);
   Alcotest.(check int) "missing FILE" 2 (exec [ "run" ]);
+  Alcotest.(check int) "batch without FILES" 2 (exec [ "batch" ]);
+  Alcotest.(check int) "serve rejects positional args" 2
+    (exec [ "serve"; "spurious" ]);
   with_source ok_src (fun path ->
       Alcotest.(check int) "unknown flag" 2
-        (exec [ "run"; path; "--no-such-flag" ]))
+        (exec [ "run"; path; "--no-such-flag" ]);
+      Alcotest.(check int) "batch unknown flag" 2
+        (exec [ "batch"; path; "--frobnicate" ]));
+  (* usage goes to stderr, not silently swallowed *)
+  let code, err = exec_stderr [ "frobnicate" ] in
+  Alcotest.(check int) "unknown subcommand exit" 2 code;
+  Alcotest.(check bool) "usage on stderr" true
+    (String.length err > 0
+    && (let lower = String.lowercase_ascii err in
+        let has needle =
+          let n = String.length needle and l = String.length lower in
+          let rec go i = i + n <= l && (String.sub lower i n = needle || go (i + 1)) in
+          go 0
+        in
+        has "usage" || has "sptc"))
+
+let test_batch_cache_roundtrip () =
+  with_source ok_src (fun path ->
+      with_tmpdir (fun dir ->
+          let cache = Filename.concat dir "cache" in
+          let summary = Filename.concat dir "summary.json" in
+          Alcotest.(check int) "cold batch exits 0" 0
+            (exec [ "batch"; path; "--cache-dir"; cache; "-j"; "1" ]);
+          Alcotest.(check int) "warm batch exits 0" 0
+            (exec
+               [
+                 "batch"; path; "--cache-dir"; cache; "-j"; "1"; "--summary";
+                 summary;
+               ]);
+          let text =
+            let ic = open_in_bin summary in
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () -> really_input_string ic (in_channel_length ic))
+          in
+          let j =
+            match Spt_obs.Json.of_string text with
+            | Ok j -> j
+            | Error msg -> Alcotest.failf "summary unparsable: %s" msg
+          in
+          let int_field k =
+            match Spt_obs.Json.member k j with
+            | Some (Spt_obs.Json.Int n) -> n
+            | _ -> Alcotest.failf "summary lacks int field %S" k
+          in
+          Alcotest.(check string)
+            "summary schema" "spt-batch-v1"
+            (match Spt_obs.Json.member "schema" j with
+            | Some (Spt_obs.Json.Str s) -> s
+            | _ -> "");
+          Alcotest.(check int) "warm run all hits" 1 (int_field "cache_hits");
+          Alcotest.(check int) "warm run no misses" 0 (int_field "cache_misses");
+          Alcotest.(check int) "no failures" 0 (int_field "failed")))
+
+let test_batch_bad_file_exits_1 () =
+  with_source "int main( { return }" (fun bad ->
+      with_tmpdir (fun dir ->
+          Alcotest.(check int) "syntax error in batch exits 1" 1
+            (exec [ "batch"; bad; "--cache-dir"; Filename.concat dir "c" ])))
+
+let test_serve_shutdown () =
+  with_tmpdir (fun dir ->
+      let code =
+        Sys.command
+          (Printf.sprintf "printf '%s\\n' | %s serve --cache-dir %s >/dev/null 2>&1"
+             "{\"op\":\"shutdown\"}" (Filename.quote sptc)
+             (Filename.quote (Filename.concat dir "cache")))
+      in
+      Alcotest.(check int) "serve exits 0 on shutdown" 0 code;
+      (* EOF without shutdown also ends the loop cleanly *)
+      let code =
+        Sys.command
+          (Printf.sprintf ": | %s serve --cache-dir %s >/dev/null 2>&1"
+             (Filename.quote sptc)
+             (Filename.quote (Filename.concat dir "cache")))
+      in
+      Alcotest.(check int) "serve exits 0 on EOF" 0 code)
 
 let test_compile_errors () =
   with_source "int main( { return }" (fun path ->
@@ -80,4 +185,7 @@ let suite =
     Alcotest.test_case "compile errors exit 1" `Quick test_compile_errors;
     Alcotest.test_case "runtime errors exit 1" `Quick test_runtime_errors;
     Alcotest.test_case "parallel run exit 0" `Quick test_parallel_run;
+    Alcotest.test_case "batch cache roundtrip" `Quick test_batch_cache_roundtrip;
+    Alcotest.test_case "batch bad file exit 1" `Quick test_batch_bad_file_exits_1;
+    Alcotest.test_case "serve shutdown/EOF exit 0" `Quick test_serve_shutdown;
   ]

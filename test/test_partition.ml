@@ -144,6 +144,88 @@ void main() {
       | _ -> Alcotest.fail "searches disagree on feasibility")
     srcs
 
+let test_search_matches_brute_force () =
+  (* the branch-and-bound optimum must equal a brute-force minimum over
+     *every* subset of the violation candidates.  Enumerating all 2^n
+     subsets (not just the predecessor-closed ones the search walks) is
+     exhaustive WLOG: the statement content of a partition is the
+     closure of its VC set, and closure(S) = closure(downward-closure S),
+     so every subset's cost is realized by some closed subset too. *)
+  let srcs =
+    [
+      induction_loop;
+      {|
+int n = 40;
+int a[40];
+int b[40];
+int c[40];
+void main() {
+  int i = 0;
+  int s = 0;
+  int t = 1;
+  while (i < n) {
+    s = s + a[i];
+    t = (t * 3) & 1023;
+    b[i] = s + t;
+    c[i] = b[i] * 2;
+    i = i + 1;
+  }
+  print_int(s + t);
+}
+|};
+      {|
+int n = 40;
+int a[40];
+void main() {
+  int i = 0;
+  int d = 0;
+  int e = 0;
+  while (i < n) {
+    d = d + 2;
+    e = e + d;
+    a[i] = e;
+    i = i + 1;
+  }
+  print_int(e);
+}
+|};
+    ]
+  in
+  List.iter
+    (fun src ->
+      let _, g = build src in
+      let cm = Spt_cost.Cost_model.build g in
+      let vcs = Array.of_list (Depgraph.violation_candidates g) in
+      let n = Array.length vcs in
+      Alcotest.(check bool)
+        (Printf.sprintf "%d candidates fit brute force" n)
+        true
+        (n >= 1 && n <= 12);
+      let anc = Partition.ancestors g in
+      let limit =
+        (Partition.default_options ~body_size:(Partition.body_size g))
+          .Partition.prefork_size_limit
+      in
+      (* the empty subset is always feasible, so the minimum exists *)
+      let best = ref infinity in
+      for mask = 0 to (1 lsl n) - 1 do
+        let subset = ref Iset.empty in
+        Array.iteri
+          (fun i vc -> if mask land (1 lsl i) <> 0 then subset := Iset.add vc !subset)
+          vcs;
+        let prefork = Partition.closure g ~anc !subset in
+        if Partition.size_of g prefork <= limit then begin
+          let cost = Spt_cost.Cost_model.misspeculation_cost cm ~prefork in
+          if cost < !best then best := cost
+        end
+      done;
+      match Partition.search cm g with
+      | Partition.Found r ->
+        Alcotest.(check (float 1e-9))
+          "pruned search finds the brute-force optimum" !best r.Partition.cost
+      | Partition.Too_many_vcs _ -> Alcotest.fail "unexpected VC explosion")
+    srcs
+
 let test_too_many_vcs () =
   let _, g = build induction_loop in
   let cm = Spt_cost.Cost_model.build g in
@@ -211,6 +293,8 @@ let suite =
     Alcotest.test_case "search moves induction" `Quick test_search_moves_induction;
     Alcotest.test_case "empty partition feasible" `Quick test_empty_partition_feasible;
     Alcotest.test_case "pruning = exhaustive" `Quick test_pruning_equals_exhaustive;
+    Alcotest.test_case "search = brute force over all subsets" `Quick
+      test_search_matches_brute_force;
     Alcotest.test_case "too many VCs skip" `Quick test_too_many_vcs;
     Alcotest.test_case "size threshold" `Quick test_size_threshold_respected;
     Alcotest.test_case "Fig 8/9 search space" `Quick test_fig8_search_space;

@@ -1,0 +1,339 @@
+(** Compilation-service tests: canonical fingerprints, the
+    content-addressed artifact cache (corruption always degrades to a
+    miss), the batch scheduler's outcome taxonomy, warm/cold compile
+    determinism and the serve request loop. *)
+
+module Json = Spt_obs.Json
+module Cache = Spt_service.Artifact_cache
+module Batch = Spt_service.Batch
+module Cached = Spt_service.Cached
+module Server = Spt_service.Server
+module Config = Spt_driver.Config
+
+let with_tmpdir f =
+  let dir = Filename.temp_file "spt_service" ".d" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Sys.command (Filename.quote_command "rm" [ "-rf"; dir ])))
+    (fun () -> f dir)
+
+let loop_src =
+  {|
+int n = 30;
+int a[30];
+int b[30];
+void main() {
+  int i = 0;
+  while (i < n) {
+    a[i] = b[i] * 2 + 1;
+    i = i + 1;
+  }
+  print_int(a[7]);
+}
+|}
+
+(* same program, different concrete syntax: comments, indentation,
+   blank lines *)
+let loop_src_reformatted =
+  {|
+int n = 30;
+int a[30];   /* output */
+int b[30];
+
+// the kernel
+void main() {
+      int i = 0;
+      while (i < n) { a[i] = b[i] * 2 + 1; i = i + 1; }
+
+
+      print_int(a[7]);
+}
+|}
+
+let tiny_src = "void main() { print_int(42); }"
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprints *)
+
+let test_fingerprint_layout_independent () =
+  let key = Cached.key_of ~config:Config.best in
+  Alcotest.(check string)
+    "whitespace/comment edits share a key" (key loop_src)
+    (key loop_src_reformatted);
+  Alcotest.(check bool)
+    "different programs differ" false
+    (key loop_src = key tiny_src)
+
+let test_fingerprint_config_sensitive () =
+  Alcotest.(check bool)
+    "config is part of the key" false
+    (Cached.key_of ~config:Config.best loop_src
+    = Cached.key_of ~config:Config.basic loop_src)
+
+let test_fingerprint_is_hex () =
+  let k = Cached.key_of ~config:Config.best tiny_src in
+  Alcotest.(check int) "32 hex chars" 32 (String.length k);
+  String.iter
+    (fun c ->
+      Alcotest.(check bool) "hex digit" true
+        (match c with 'a' .. 'f' | '0' .. '9' -> true | _ -> false))
+    k
+
+(* ------------------------------------------------------------------ *)
+(* Artifact cache *)
+
+let payload = Json.Obj [ ("x", Json.Int 1); ("y", Json.Str "two") ]
+let key = String.make 32 'a'
+
+let test_cache_roundtrip () =
+  with_tmpdir (fun dir ->
+      let c = Cache.create ~dir () in
+      Alcotest.(check bool) "initially a miss" true (Cache.find c key = None);
+      Cache.store c key payload;
+      Alcotest.(check bool) "memory hit" true (Cache.find c key = Some payload);
+      (* a second instance over the same directory hits from disk *)
+      let c2 = Cache.create ~dir () in
+      Alcotest.(check bool) "disk hit in a fresh process" true
+        (Cache.find c2 key = Some payload);
+      let s = Cache.stats c in
+      Alcotest.(check int) "one hit" 1 s.Cache.hits;
+      Alcotest.(check int) "one miss" 1 s.Cache.misses;
+      Alcotest.(check int) "one store" 1 s.Cache.stores)
+
+let entry_path dir = Filename.concat (Filename.concat dir Cache.schema) (key ^ ".json")
+
+let test_cache_corruption_is_a_miss () =
+  with_tmpdir (fun dir ->
+      let c = Cache.create ~dir () in
+      Cache.store c key payload;
+      (* truncate the on-disk entry mid-JSON *)
+      let oc = open_out_bin (entry_path dir) in
+      output_string oc "{\"schema\":\"spt-cache";
+      close_out oc;
+      let fresh = Cache.create ~dir () in
+      Alcotest.(check bool) "corrupt entry reads as a miss" true
+        (Cache.find fresh key = None))
+
+let test_cache_schema_mismatch_is_a_miss () =
+  with_tmpdir (fun dir ->
+      let c = Cache.create ~dir () in
+      Cache.store c key payload;
+      (* rewrite the entry under a future schema version *)
+      let oc = open_out_bin (entry_path dir) in
+      output_string oc
+        (Json.to_string ~minify:true
+           (Json.Obj
+              [
+                ("schema", Json.Str "spt-cache-v999");
+                ("key", Json.Str key);
+                ("payload", payload);
+              ]));
+      close_out oc;
+      let fresh = Cache.create ~dir () in
+      Alcotest.(check bool) "version-bumped entry reads as a miss" true
+        (Cache.find fresh key = None);
+      (* and a wrong-key entry (tampering / collision) too *)
+      let oc = open_out_bin (entry_path dir) in
+      output_string oc
+        (Json.to_string ~minify:true
+           (Json.Obj
+              [
+                ("schema", Json.Str Cache.schema);
+                ("key", Json.Str (String.make 32 'b'));
+                ("payload", payload);
+              ]));
+      close_out oc;
+      let fresh2 = Cache.create ~dir () in
+      Alcotest.(check bool) "wrong-key entry reads as a miss" true
+        (Cache.find fresh2 key = None))
+
+let test_no_cache () =
+  let c = Cache.no_cache () in
+  Alcotest.(check bool) "disabled" false (Cache.enabled c);
+  Cache.store c key payload;
+  Alcotest.(check bool) "never finds" true (Cache.find c key = None);
+  let s = Cache.stats c in
+  Alcotest.(check int) "counts nothing" 0 (s.Cache.hits + s.Cache.misses + s.Cache.stores)
+
+(* ------------------------------------------------------------------ *)
+(* Batch scheduler *)
+
+let test_batch_outcomes () =
+  let thunks =
+    [
+      (fun () -> 10);
+      (fun () -> failwith "boom");
+      (fun () -> 30);
+    ]
+  in
+  let outcomes, stats = Batch.run ~jobs:2 ~timeout_s:60.0 thunks in
+  (match outcomes.(0) with
+  | Batch.Done v -> Alcotest.(check int) "first result in order" 10 v
+  | _ -> Alcotest.fail "first thunk should be Done");
+  (match outcomes.(1) with
+  | Batch.Failed msg ->
+    Alcotest.(check bool) "failure carries the message" true
+      (String.length msg > 0)
+  | _ -> Alcotest.fail "second thunk should be Failed");
+  (match outcomes.(2) with
+  | Batch.Done v -> Alcotest.(check int) "third result in order" 30 v
+  | _ -> Alcotest.fail "third thunk should be Done");
+  Alcotest.(check int) "submitted" 3 stats.Batch.submitted;
+  Alcotest.(check int) "completed" 2 stats.Batch.completed;
+  Alcotest.(check int) "failed" 1 stats.Batch.failed;
+  Alcotest.(check int) "timed out" 0 stats.Batch.timed_out
+
+let test_batch_timeout () =
+  let outcomes, stats =
+    Batch.run ~jobs:1 ~timeout_s:0.2
+      [ (fun () -> Unix.sleepf 5.0); (fun () -> Unix.sleepf 5.0) ]
+  in
+  Alcotest.(check int) "both timed out" 2 stats.Batch.timed_out;
+  Array.iter
+    (fun o ->
+      Alcotest.(check bool) "outcome is Timed_out" true (o = Batch.Timed_out))
+    outcomes
+
+(* ------------------------------------------------------------------ *)
+(* Cached compiles: warm replays byte-identically *)
+
+let test_cached_compile_determinism () =
+  with_tmpdir (fun dir ->
+      let cache = Cache.create ~dir () in
+      let compile () =
+        Cached.compile ~cache ~config:Config.best ~name:"loop.c"
+          ~source:loop_src
+      in
+      let cold = compile () in
+      let warm = compile () in
+      Alcotest.(check bool) "cold is a miss" false cold.Cached.hit;
+      Alcotest.(check bool) "warm is a hit" true warm.Cached.hit;
+      Alcotest.(check string) "same key" cold.Cached.key warm.Cached.key;
+      Alcotest.(check string) "byte-identical report"
+        cold.Cached.report_text warm.Cached.report_text;
+      Alcotest.(check string) "byte-identical eval JSON"
+        (Json.to_string cold.Cached.eval)
+        (Json.to_string warm.Cached.eval);
+      (* a reformatted copy of the source is still warm *)
+      let reform =
+        Cached.compile ~cache ~config:Config.best ~name:"loop.c"
+          ~source:loop_src_reformatted
+      in
+      Alcotest.(check bool) "reformatted source hits" true reform.Cached.hit)
+
+let test_cached_compile_raises_on_bad_source () =
+  with_tmpdir (fun dir ->
+      let cache = Cache.create ~dir () in
+      let raised =
+        match
+          Cached.compile ~cache ~config:Config.best ~name:"bad.c"
+            ~source:"int ("
+        with
+        | _ -> false
+        | exception Spt_srclang.Parser.Parse_error _ -> true
+        | exception Spt_srclang.Lexer.Lex_error _ -> true
+      in
+      Alcotest.(check bool) "syntax errors propagate" true raised;
+      (* and failures are never cached *)
+      let s = Cache.stats cache in
+      Alcotest.(check int) "nothing stored" 0 s.Cache.stores)
+
+(* ------------------------------------------------------------------ *)
+(* Serve loop *)
+
+let reply_of = function
+  | `Reply j -> j
+  | `Shutdown j -> j
+
+let bool_member k j =
+  match Json.member k j with Some (Json.Bool b) -> Some b | _ -> None
+
+let test_server_compile_and_stats () =
+  with_tmpdir (fun dir ->
+      let t = Server.create ~cache:(Cache.create ~dir ()) () in
+      let req =
+        Json.Obj
+          [
+            ("op", Json.Str "compile");
+            ("source", Json.Str tiny_src);
+            ("name", Json.Str "tiny.c");
+            ("id", Json.Int 7);
+          ]
+      in
+      let r1 = reply_of (Server.handle t req) in
+      Alcotest.(check (option bool)) "first compile ok" (Some true)
+        (bool_member "ok" r1);
+      Alcotest.(check (option bool)) "first compile is cold" (Some false)
+        (bool_member "cache_hit" r1);
+      Alcotest.(check bool) "id echoed" true
+        (Json.member "id" r1 = Some (Json.Int 7));
+      let r2 = reply_of (Server.handle t req) in
+      Alcotest.(check (option bool)) "second compile is warm" (Some true)
+        (bool_member "cache_hit" r2);
+      let stats = reply_of (Server.handle t (Json.Obj [ ("op", Json.Str "stats") ])) in
+      Alcotest.(check bool) "stats counts requests" true
+        (match Json.member "requests" stats with
+        | Some (Json.Int n) -> n = 3
+        | _ -> false))
+
+let test_server_errors_keep_loop_alive () =
+  let t = Server.create ~cache:(Cache.no_cache ()) () in
+  let check_err name req =
+    match Server.handle t req with
+    | `Reply j ->
+      Alcotest.(check (option bool)) name (Some false) (bool_member "ok" j);
+      Alcotest.(check bool) (name ^ " has message") true
+        (match Json.member "error" j with Some (Json.Str _) -> true | _ -> false)
+    | `Shutdown _ -> Alcotest.fail (name ^ ": must not shut down")
+  in
+  check_err "unknown op" (Json.Obj [ ("op", Json.Str "frobnicate") ]);
+  check_err "missing op" (Json.Obj [ ("x", Json.Int 1) ]);
+  check_err "compile without source"
+    (Json.Obj [ ("op", Json.Str "compile") ]);
+  check_err "compile with both source and file"
+    (Json.Obj
+       [
+         ("op", Json.Str "compile");
+         ("source", Json.Str tiny_src);
+         ("file", Json.Str "x.c");
+       ]);
+  check_err "unknown workload"
+    (Json.Obj [ ("op", Json.Str "workload"); ("name", Json.Str "nope") ]);
+  check_err "compile error is a reply, not a crash"
+    (Json.Obj [ ("op", Json.Str "compile"); ("source", Json.Str "int (") ]);
+  (match Server.handle_line t "this is not json" with
+  | `Reply line ->
+    Alcotest.(check bool) "bad JSON is an error reply" true
+      (match Json.of_string line with
+      | Ok j -> bool_member "ok" j = Some false
+      | Error _ -> false)
+  | `Shutdown _ -> Alcotest.fail "bad JSON must not shut down");
+  match Server.handle t (Json.Obj [ ("op", Json.Str "shutdown") ]) with
+  | `Shutdown j ->
+    Alcotest.(check (option bool)) "shutdown acks" (Some true) (bool_member "ok" j)
+  | `Reply _ -> Alcotest.fail "shutdown must end the loop"
+
+let suite =
+  [
+    Alcotest.test_case "fingerprint layout-independent" `Quick
+      test_fingerprint_layout_independent;
+    Alcotest.test_case "fingerprint config-sensitive" `Quick
+      test_fingerprint_config_sensitive;
+    Alcotest.test_case "fingerprint is hex" `Quick test_fingerprint_is_hex;
+    Alcotest.test_case "cache roundtrip + persistence" `Quick test_cache_roundtrip;
+    Alcotest.test_case "corruption is a miss" `Quick test_cache_corruption_is_a_miss;
+    Alcotest.test_case "schema mismatch is a miss" `Quick
+      test_cache_schema_mismatch_is_a_miss;
+    Alcotest.test_case "no-cache object" `Quick test_no_cache;
+    Alcotest.test_case "batch outcomes in order" `Quick test_batch_outcomes;
+    Alcotest.test_case "batch timeout" `Quick test_batch_timeout;
+    Alcotest.test_case "cached compile determinism" `Quick
+      test_cached_compile_determinism;
+    Alcotest.test_case "cached compile raises on bad source" `Quick
+      test_cached_compile_raises_on_bad_source;
+    Alcotest.test_case "server compile + stats" `Quick test_server_compile_and_stats;
+    Alcotest.test_case "server errors keep loop alive" `Quick
+      test_server_errors_keep_loop_alive;
+  ]
