@@ -1,0 +1,60 @@
+#!/bin/sh
+# Smoke test for the profile-guided feedback loop: profile the demo
+# workload, run it on the speculative runtime exporting telemetry,
+# recompile with the profile, and check that the observed
+# misspeculation changed the partition decision (the statically
+# selected loop is rejected).  Then check `sptc adapt` drives the same
+# sequence to convergence on its own.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build bin/sptc.exe"
+dune build bin/sptc.exe
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+profile="$tmpdir/profile.json"
+adapt_json="$tmpdir/adapt.json"
+src=examples/src/feedback_loop.c
+
+fail() {
+  echo "feedback_smoke: FAIL: $1" >&2
+  exit 1
+}
+
+spt_loops() {
+  sed -n 's/^SPT loops *: *\([0-9]*\).*$/\1/p' "$1" | head -n 1
+}
+
+echo "== static compile (no profile)"
+dune exec bin/sptc.exe -- compile "$src" -c best --log-level warn \
+  > "$tmpdir/static.txt"
+static=$(spt_loops "$tmpdir/static.txt")
+[ "$static" -ge 1 ] || fail "static compile selected no SPT loop"
+
+echo "== capture edge/dep/value profiles"
+dune exec bin/sptc.exe -- profile "$src" --profile-out "$profile" \
+  --log-level warn
+grep -q '"spt-profile-v1"' "$profile" || fail "profile store lacks schema tag"
+
+echo "== parallel run exporting misspeculation telemetry"
+SPT_JOBS=2 dune exec bin/sptc.exe -- run "$src" --parallel -c best \
+  --profile-in "$profile" --feedback-out "$profile" --log-level warn \
+  > "$tmpdir/run.txt"
+grep -q 'violations' "$tmpdir/run.txt" || fail "run reported no statistics"
+
+echo "== profile-guided recompile"
+dune exec bin/sptc.exe -- compile "$src" -c best --profile-in "$profile" \
+  --log-level warn > "$tmpdir/guided.txt"
+guided=$(spt_loops "$tmpdir/guided.txt")
+[ "$guided" -lt "$static" ] \
+  || fail "feedback did not change the partition ($static -> $guided SPT loops)"
+
+echo "== sptc adapt converges"
+dune exec bin/sptc.exe -- adapt "$src" -j 2 --json "$adapt_json" \
+  --log-level warn > "$tmpdir/adapt.txt"
+grep -q 'converged: true' "$tmpdir/adapt.txt" || fail "adapt did not converge"
+grep -q '"spt-adapt-v1"' "$adapt_json" || fail "adapt JSON lacks schema tag"
+
+echo "feedback_smoke: OK (static $static SPT loop(s) -> guided $guided; adapt converged)"

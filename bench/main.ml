@@ -134,6 +134,153 @@ let measure_parallel best =
   List.map snd rows
 
 (* ------------------------------------------------------------------ *)
+(* Feedback: the static cost model's predicted misspeculation next to
+   what the runtime measured, and next to what a profile-guided
+   recompile (telemetry fed back through the persistent store's
+   save/load round-trip) predicts instead *)
+
+module Store = Spt_feedback.Profile_store
+module Telemetry = Spt_feedback.Telemetry
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let feedback_comparison () =
+  section "Feedback: static vs profile-guided misspeculation cost";
+  let demo =
+    let root = Option.value ~default:(Sys.getcwd ()) (repo_root ()) in
+    ( "feedback_loop",
+      read_file (Filename.concat root "examples/src/feedback_loop.c") )
+  in
+  let cases =
+    demo
+    :: List.filter_map
+         (fun w ->
+           if List.mem w.Spt_workloads.Suite.name [ "gzip"; "mcf" ] then
+             Some (w.Spt_workloads.Suite.name, w.Spt_workloads.Suite.source)
+           else None)
+         workloads
+  in
+  let t =
+    Spt_util.Table.create
+      ~aligns:
+        [
+          Spt_util.Table.Left; Spt_util.Table.Left; Spt_util.Table.Right;
+          Spt_util.Table.Right; Spt_util.Table.Right; Spt_util.Table.Left;
+        ]
+      [
+        "program"; "loop"; "static cost"; "observed rate"; "guided cost";
+        "guided decision";
+      ]
+  in
+  let rows =
+    List.concat_map
+      (fun (name, src) ->
+        let runtime_config =
+          { (Spt_runtime.Runtime.default_config ()) with oracle = false }
+        in
+        let pr = Pipeline.run_parallel ~jobs:parallel_jobs ~runtime_config src in
+        let store = Store.empty () in
+        let ep, dp, vp = Pipeline.profile_source src in
+        Store.absorb_profiles store ep dp vp;
+        Telemetry.record store pr.Pipeline.pr_spt pr.Pipeline.pr_runtime;
+        (* persistence round-trip: the bench exercises the on-disk path *)
+        let tmp = Filename.temp_file "spt_bench_profile" ".json" in
+        Store.save store tmp;
+        let store = Store.load tmp in
+        Sys.remove tmp;
+        let guided =
+          Pipeline.evaluate ~profile_seed:(Store.seed store)
+            ~observations:(Telemetry.observations store) src
+        in
+        List.filter_map
+          (fun (lr : Pipeline.loop_record) ->
+            match (lr.Pipeline.lr_decision, lr.Pipeline.lr_cost) with
+            | Pipeline.Selected, Some cost ->
+              let loop_label =
+                Printf.sprintf "%s@bb%d" lr.Pipeline.lr_func
+                  lr.Pipeline.lr_header
+              in
+              let static_frac =
+                Spt_cost.Cost_model.predicted_fraction ~cost
+                  ~body_size:lr.Pipeline.lr_body_size
+              in
+              let observed =
+                match lr.Pipeline.lr_loop_id with
+                | None -> 0.0
+                | Some lid -> (
+                  match
+                    List.assoc_opt lid
+                      pr.Pipeline.pr_runtime.Spt_runtime.Runtime.stats
+                  with
+                  | None -> 0.0
+                  | Some st ->
+                    let module R = Spt_runtime.Runtime in
+                    let bad =
+                      st.R.violations + st.R.faults + st.R.kills
+                    in
+                    float_of_int bad /. float_of_int (max 1 st.R.iters))
+              in
+              let grec =
+                List.find_opt
+                  (fun (g : Pipeline.loop_record) ->
+                    g.Pipeline.lr_func = lr.Pipeline.lr_func
+                    && g.Pipeline.lr_header = lr.Pipeline.lr_header)
+                  guided.Pipeline.loops
+              in
+              let guided_frac, guided_decision =
+                match grec with
+                | None -> (None, "-")
+                | Some g ->
+                  ( Option.map
+                      (fun c ->
+                        Spt_cost.Cost_model.predicted_fraction ~cost:c
+                          ~body_size:g.Pipeline.lr_body_size)
+                      g.Pipeline.lr_cost,
+                    match g.Pipeline.lr_decision with
+                    | Pipeline.Selected -> "selected"
+                    | Pipeline.Rejected r ->
+                      "rejected: " ^ Spt_transform.Select.string_of_reason r )
+              in
+              Spt_util.Table.add_row t
+                [
+                  name;
+                  loop_label;
+                  Printf.sprintf "%.3f" static_frac;
+                  Printf.sprintf "%.3f" observed;
+                  (match guided_frac with
+                  | Some f -> Printf.sprintf "%.3f" f
+                  | None -> "-");
+                  guided_decision;
+                ];
+              Some
+                (Spt_obs.Json.Obj
+                   [
+                     ("workload", Spt_obs.Json.Str name);
+                     ("loop", Spt_obs.Json.Str loop_label);
+                     ("static_cost_fraction", Spt_obs.Json.Float static_frac);
+                     ("observed_misspec_rate", Spt_obs.Json.Float observed);
+                     ( "guided_cost_fraction",
+                       match guided_frac with
+                       | Some f -> Spt_obs.Json.Float f
+                       | None -> Spt_obs.Json.Null );
+                     ("guided_decision", Spt_obs.Json.Str guided_decision);
+                   ])
+            | _ -> None)
+          pr.Pipeline.pr_spt.Pipeline.records)
+      cases
+  in
+  Spt_util.Table.print t;
+  print_endline
+    "(static cost: predicted misspeculation fraction of the body;\n\
+     observed: (violations+faults+kills)/iterations on the real runtime;\n\
+     guided: the same prediction after feeding the telemetry back)";
+  rows
+
+(* ------------------------------------------------------------------ *)
 (* Ablation 1: cost-combination rules (Independent vs Per_seed vs Max) *)
 
 let ablation_cost_rules () =
@@ -372,10 +519,12 @@ let () =
   let per_config = evaluate_all () in
   let best = List.assoc "best" per_config in
   let parallel = measure_parallel best in
+  let feedback = feedback_comparison () in
 
   (* machine-readable summary next to the text tables, one entry per
      configuration; counters are cumulative over the whole run *)
-  Spt_obs.Json.to_file json_path (Report.bench_json ~quick ~per_config ~parallel);
+  Spt_obs.Json.to_file json_path
+    (Report.bench_json ~quick ~per_config ~parallel ~feedback ());
   Printf.printf "\nmachine-readable summary written to %s\n" json_path;
 
   section

@@ -8,6 +8,8 @@
     - [workload NAME]  evaluate one of the built-in SPEC-like workloads
     - [batch FILES…]   compile many programs concurrently, cache-warm
     - [serve]          line-delimited JSON compile service on stdin
+    - [profile FILE]   persist edge/dep/value profiles to a store
+    - [adapt FILE]     compile → run → re-partition until convergence
 *)
 
 open Cmdliner
@@ -83,6 +85,22 @@ let no_cache_arg =
 let make_cache ~cache_dir ~no_cache =
   if no_cache then Spt_service.Artifact_cache.no_cache ()
   else Spt_service.Artifact_cache.create ?dir:cache_dir ()
+
+(* ------------------------------------------------------------------ *)
+(* Persistent-profile flags: --profile-in (guided compiles) *)
+
+let profile_in_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile-in" ] ~docv:"FILE"
+        ~doc:
+          "Seed the compilation from a persistent profile store \
+           ($(b,spt-profile-v1), written by $(b,sptc profile) / $(b,sptc run \
+           --feedback-out)); its runtime telemetry overrides diverging \
+           violation probabilities, and its digest keys the artifact cache")
+
+let load_profile profile_in = Option.map Spt_feedback.Profile_store.load profile_in
 
 (* ------------------------------------------------------------------ *)
 (* Observability flags: --trace, --metrics, --log-level *)
@@ -163,9 +181,24 @@ let run_cmd =
             "Worker domains for $(b,--parallel) (defaults to $(b,SPT_JOBS) \
              or 1)")
   in
-  let run file parallel jobs config trace metrics log_level =
+  let feedback_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "feedback-out" ] ~docv:"FILE"
+          ~doc:
+            "With $(b,--parallel): merge this run's per-loop misspeculation \
+             telemetry into the profile store at $(docv) (created when \
+             missing), for later profile-guided compiles")
+  in
+  let run file parallel jobs config profile_in feedback_out trace metrics
+      log_level =
     handle_errors (fun () ->
         let finish = setup_obs trace metrics log_level in
+        if (not parallel) && feedback_out <> None then begin
+          Format.eprintf "error: --feedback-out requires --parallel@.";
+          exit 2
+        end;
         if not parallel then begin
           let r = Spt_interp.Interp.run_source (read_file file) in
           print_string r.Spt_interp.Interp.output;
@@ -174,9 +207,26 @@ let run_cmd =
           finish []
         end
         else begin
-          let pr =
-            Spt_driver.Pipeline.run_parallel ~config ?jobs (read_file file)
+          let profile = load_profile profile_in in
+          let profile_seed = Option.map Spt_feedback.Profile_store.seed profile in
+          let observations =
+            Option.map Spt_feedback.Telemetry.observations profile
           in
+          let pr =
+            Spt_driver.Pipeline.run_parallel ~config ?jobs ?profile_seed
+              ?observations (read_file file)
+          in
+          Option.iter
+            (fun path ->
+              let store = Spt_feedback.Profile_store.load path in
+              Spt_feedback.Telemetry.record store
+                pr.Spt_driver.Pipeline.pr_spt
+                pr.Spt_driver.Pipeline.pr_runtime;
+              Spt_feedback.Profile_store.save store path;
+              Spt_obs.Log.info "feedback telemetry merged into %s (digest %s)"
+                path
+                (Spt_feedback.Profile_store.digest store))
+            feedback_out;
           let open Spt_runtime.Runtime in
           let r = pr.Spt_driver.Pipeline.pr_runtime in
           print_string r.output;
@@ -221,8 +271,9 @@ let run_cmd =
        ~doc:
          "Interpret a MiniC program, or execute it speculatively in parallel")
     Term.(
-      const run $ file_arg $ parallel_flag $ jobs_arg $ config_arg $ trace_arg
-      $ metrics_arg $ log_level_arg)
+      const run $ file_arg $ parallel_flag $ jobs_arg $ config_arg
+      $ profile_in_arg $ feedback_out_arg $ trace_arg $ metrics_arg
+      $ log_level_arg)
 
 let dump_ir_cmd =
   let ssa_flag =
@@ -270,7 +321,8 @@ let loops_cmd =
     Term.(const show $ file_arg $ config_arg)
 
 let compile_cmd =
-  let compile file config cache_dir no_cache trace metrics log_level =
+  let compile file config profile_in cache_dir no_cache trace metrics log_level
+      =
     handle_errors (fun () ->
         let finish = setup_obs trace metrics log_level in
         (* --trace wants the real per-phase spans, which a warm hit
@@ -281,7 +333,8 @@ let compile_cmd =
         in
         let o =
           Spt_service.Cached.compile ~cache ~config
-            ~name:(Filename.basename file) ~source:(read_file file)
+            ?profile:(load_profile profile_in)
+            ~name:(Filename.basename file) (read_file file)
         in
         print_string o.Spt_service.Cached.report_text;
         finish [ o.Spt_service.Cached.eval ])
@@ -292,8 +345,8 @@ let compile_cmd =
          "Run the cost-driven SPT pipeline and simulate the result (warm \
           results come from the artifact cache)")
     Term.(
-      const compile $ file_arg $ config_arg $ cache_dir_arg $ no_cache_arg
-      $ trace_arg $ metrics_arg $ log_level_arg)
+      const compile $ file_arg $ config_arg $ profile_in_arg $ cache_dir_arg
+      $ no_cache_arg $ trace_arg $ metrics_arg $ log_level_arg)
 
 let workload_cmd =
   let name_arg =
@@ -303,7 +356,7 @@ let workload_cmd =
       & pos 0 (some (enum (List.map (fun n -> (n, n)) names))) None
       & info [] ~docv:"NAME" ~doc:"Workload name (bzip2, crafty, ...)")
   in
-  let run name config cache_dir no_cache trace metrics log_level =
+  let run name config profile_in cache_dir no_cache trace metrics log_level =
     handle_errors (fun () ->
         let finish = setup_obs trace metrics log_level in
         let cache =
@@ -312,8 +365,9 @@ let workload_cmd =
         in
         let w = Spt_workloads.Suite.find name in
         let o =
-          Spt_service.Cached.compile ~cache ~config ~name
-            ~source:w.Spt_workloads.Suite.source
+          Spt_service.Cached.compile ~cache ~config
+            ?profile:(load_profile profile_in) ~name
+            w.Spt_workloads.Suite.source
         in
         (* no cache-status marker here: warm and cold runs must print
            byte-identical reports *)
@@ -324,8 +378,8 @@ let workload_cmd =
   Cmd.v
     (Cmd.info "workload" ~version ~doc:"Evaluate a built-in SPEC2000Int-like workload")
     Term.(
-      const run $ name_arg $ config_arg $ cache_dir_arg $ no_cache_arg
-      $ trace_arg $ metrics_arg $ log_level_arg)
+      const run $ name_arg $ config_arg $ profile_in_arg $ cache_dir_arg
+      $ no_cache_arg $ trace_arg $ metrics_arg $ log_level_arg)
 
 let batch_cmd =
   let files_arg =
@@ -377,16 +431,19 @@ let batch_cmd =
     | Spt_service.Batch.Timed_out ->
       Json.Obj [ ("file", Json.Str file); ("status", Json.Str "timed_out") ]
   in
-  let run files config cache_dir no_cache jobs timeout_s summary metrics
-      log_level =
+  let run files config profile_in cache_dir no_cache jobs timeout_s summary
+      metrics log_level =
     handle_errors (fun () ->
         let finish = setup_obs None metrics log_level in
         let cache = make_cache ~cache_dir ~no_cache in
+        (* one shared load: seeding only reads the store's tables, so
+           concurrent compiles are safe *)
+        let profile = load_profile profile_in in
         let thunks =
           List.map
             (fun file () ->
-              Spt_service.Cached.compile ~cache ~config
-                ~name:(Filename.basename file) ~source:(read_file file))
+              Spt_service.Cached.compile ~cache ~config ?profile
+                ~name:(Filename.basename file) (read_file file))
             files
         in
         let outcomes, bs = Spt_service.Batch.run ?jobs ~timeout_s thunks in
@@ -470,8 +527,9 @@ let batch_cmd =
          "Compile many programs concurrently through the artifact cache; \
           exits 1 if any file fails or times out")
     Term.(
-      const run $ files_arg $ config_arg $ cache_dir_arg $ no_cache_arg
-      $ jobs_arg $ timeout_arg $ summary_arg $ metrics_arg $ log_level_arg)
+      const run $ files_arg $ config_arg $ profile_in_arg $ cache_dir_arg
+      $ no_cache_arg $ jobs_arg $ timeout_arg $ summary_arg $ metrics_arg
+      $ log_level_arg)
 
 let serve_cmd =
   let run cache_dir no_cache log_level =
@@ -530,6 +588,102 @@ let graph_cmd =
        ~doc:"Emit the dependence or cost graph of the largest loop as Graphviz DOT")
     Term.(const show $ file_arg $ kind_arg)
 
+let profile_cmd =
+  let out_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "profile-out" ] ~docv:"FILE"
+          ~doc:
+            "Profile store to write; an existing store is merged into \
+             (counts add), so repeated runs behave as one longer profile")
+  in
+  let run file config out log_level =
+    handle_errors (fun () ->
+        Option.iter Spt_obs.Log.set_level log_level;
+        let ep, dp, vp =
+          Spt_driver.Pipeline.profile_source ~config (read_file file)
+        in
+        let store = Spt_feedback.Profile_store.load out in
+        Spt_feedback.Profile_store.absorb_profiles store ep dp vp;
+        Spt_feedback.Profile_store.save store out;
+        Format.printf "profile store %s: digest %s@." out
+          (Spt_feedback.Profile_store.digest store))
+  in
+  Cmd.v
+    (Cmd.info "profile" ~version
+       ~doc:
+         "Profile a MiniC program (edge / dependence / value) and persist the \
+          counts to a profile store for later profile-guided compiles")
+    Term.(const run $ file_arg $ config_arg $ out_arg $ log_level_arg)
+
+let adapt_cmd =
+  let iters_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "iters" ] ~docv:"N"
+          ~doc:"Maximum compile-run-repartition rounds (stops early once the \
+                partitions stop changing)")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker domains for the runtime (defaults to $(b,SPT_JOBS) or 1)")
+  in
+  let threshold_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "threshold" ] ~docv:"P"
+          ~doc:
+            "Divergence threshold: observed misspeculation probability must \
+             exceed the prediction by more than $(docv) to override it \
+             (default 0.1)")
+  in
+  let store_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "profile" ] ~docv:"FILE"
+          ~doc:
+            "Persistent profile store to continue from and write back \
+             (default: in-memory only)")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write a machine-readable summary (schema $(b,spt-adapt-v1))")
+  in
+  let run file config iters jobs threshold store_path json_out log_level =
+    handle_errors (fun () ->
+        Option.iter Spt_obs.Log.set_level log_level;
+        let store = Option.map Spt_feedback.Profile_store.load store_path in
+        let o =
+          Spt_feedback.Adapt.run ~config ?jobs ~iters ?threshold ?store
+            (read_file file)
+        in
+        print_string (Spt_feedback.Adapt.report o);
+        Option.iter
+          (fun path -> Spt_feedback.Profile_store.save o.Spt_feedback.Adapt.store path)
+          store_path;
+        Option.iter
+          (fun path -> Json.to_file path (Spt_feedback.Adapt.to_json o))
+          json_out)
+  in
+  Cmd.v
+    (Cmd.info "adapt" ~version
+       ~doc:
+         "Adaptive re-partitioning: compile, execute on the speculative \
+          runtime, fold the observed misspeculation back into the profile \
+          store and recompile, until the partitions converge")
+    Term.(
+      const run $ file_arg $ config_arg $ iters_arg $ jobs_arg $ threshold_arg
+      $ store_arg $ json_arg $ log_level_arg)
+
 let () =
   let doc = "cost-driven speculative parallelization (PLDI 2004 reproduction)" in
   let info = Cmd.info "sptc" ~version ~doc in
@@ -537,7 +691,7 @@ let () =
     Cmd.group info
       [
         run_cmd; dump_ir_cmd; loops_cmd; compile_cmd; workload_cmd; batch_cmd;
-        serve_cmd; graph_cmd;
+        serve_cmd; graph_cmd; profile_cmd; adapt_cmd;
       ]
   in
   (* distinct exit codes: 0 = success, 2 = usage error, 1 = compile/run

@@ -258,6 +258,12 @@ let misspeculation_cost ?combine t ~prefork =
            *. Depgraph.freq t.graph iid)
     0.0 t.op_nodes
 
+(** A partition cost normalized to the loop body: the predicted
+    per-iteration misspeculation fraction.  This is the model-side
+    quantity the Fig. 19 comparison and the feedback loop's divergence
+    detector both put next to observed runtime misspeculation. *)
+let predicted_fraction ~cost ~body_size = cost /. Float.max 1.0 body_size
+
 (** Cost graph rendered to DOT, mirroring Fig. 6 (pseudo-nodes boxed as
     ellipses). *)
 let to_dot t =

@@ -81,5 +81,11 @@ val reexec_probs : ?combine:combine -> t -> prefork:Iset.t -> (int, float) Hasht
     execution frequency. *)
 val misspeculation_cost : ?combine:combine -> t -> prefork:Iset.t -> float
 
+(** [cost / max 1 body_size] — the predicted per-iteration
+    misspeculation fraction, directly comparable to observed runtime
+    misspeculation rates (Fig. 19, and the feedback loop's divergence
+    detector). *)
+val predicted_fraction : cost:float -> body_size:float -> float
+
 (** Render the cost graph as Graphviz DOT (Fig. 6 style). *)
 val to_dot : t -> string

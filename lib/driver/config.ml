@@ -83,5 +83,11 @@ let by_name name =
 (* [t] is plain data (no closures), so the marshalled bytes are a
    total, stable rendering of every field — any knob change, including
    inside the nested simulator/cache configs, changes the digest *)
-let cache_key (c : t) =
-  Printf.sprintf "%s:%s" c.name (Digest.to_hex (Digest.string (Marshal.to_string c [])))
+let cache_key ?profile (c : t) =
+  let base =
+    Printf.sprintf "%s:%s" c.name
+      (Digest.to_hex (Digest.string (Marshal.to_string c [])))
+  in
+  match profile with
+  | Some digest -> base ^ ";profile=" ^ digest
+  | None -> base

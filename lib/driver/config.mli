@@ -42,5 +42,7 @@ val by_name : string -> t
 (** A stable token covering every knob that can change an analysis or
     simulation result — the configuration half of an artifact-cache key
     ({!Spt_service.Fingerprint}).  Two configurations share a token iff
-    all their fields are equal. *)
-val cache_key : t -> string
+    all their fields are equal.  [profile] appends the digest of the
+    persistent profile store seeding the compilation, so profile-guided
+    results never collide with cold ones. *)
+val cache_key : ?profile:string -> t -> string

@@ -30,8 +30,29 @@ let m_pass2_rejects = Obs.Metrics.counter "pipeline.pass2_rejects"
 let m_svp_tried = Obs.Metrics.counter "svp.candidates_tried"
 let m_svp_applied = Obs.Metrics.counter "svp.applied"
 let m_transform_retries = Obs.Metrics.counter "pipeline.transform_retries"
+let m_feedback_divergences = Obs.Metrics.counter "feedback.divergences"
 
 type decision = Selected | Rejected of Select.reject_reason
+
+(** Observed runtime behaviour of one transformed loop — the empirical
+    counterpart of the compile-time violation probabilities, fed back
+    into the analysis by the adaptive re-partitioning loop. *)
+type loop_obs = {
+  ob_iters : int;  (** iterations retired *)
+  ob_forks : int;
+  ob_commits : int;
+  ob_violations : int;  (** validation failures *)
+  ob_faults : int;  (** speculative faults *)
+  ob_kills : int;  (** tasks discarded behind a misspeculation *)
+  ob_serial_reexecs : int;
+  ob_stale_regions : (int * int) list;
+      (** validation failures per store region sid *)
+  ob_stale_other : int;  (** register / RNG failures (unattributable) *)
+}
+
+(** Minimum observed−predicted misspeculation-probability excess before
+    a feedback override replaces the compile-time estimate. *)
+let default_divergence_threshold = 0.1
 
 type loop_record = {
   lr_func : string;
@@ -46,6 +67,9 @@ type loop_record = {
   lr_prefork_size : int option;
   lr_loop_id : int option;  (** id when transformed *)
   lr_svp : bool;
+  lr_vcs : (int * int option * float) list;
+      (** violation candidates: (iid, store-region sid, effective v(c)) *)
+  lr_chosen : int list;  (** candidates moved pre-fork, when selected *)
 }
 
 type eval = {
@@ -179,6 +203,70 @@ let dynamic_body_size ep ~per_inv (f : Ir.func) (l : Loops.loop) =
 (* ------------------------------------------------------------------ *)
 (* Pass 1: per-loop analysis *)
 
+(* the global region a violation candidate's store writes, when it is a
+   store to a named region — the link between a compile-time candidate
+   and the runtime's per-region validation-failure counters *)
+let vc_region (g : Depgraph.t) vc =
+  match (Depgraph.instr g vc).Ir.kind with
+  | Ir.Store (Ir.Rsym s, _, _) -> Some s.Ir.sid
+  | _ -> None
+
+(* Replace compile-time violation probabilities whose runtime
+   counterpart came out higher than predicted by more than
+   [divergence].  A validation failure also kills every speculative
+   task in flight behind it, so the damage per failure is amplified by
+   the average backlog; the observed per-candidate probability scales
+   the raw stale rate accordingly.  Overrides only ever *raise* a
+   probability: a candidate the partitioner moved pre-fork cannot fail
+   validation, so its zero observed rate says nothing about its true
+   v(c) — correcting downward from it would oscillate. *)
+let apply_feedback ~divergence (graph : Depgraph.t) (ob : loop_obs) =
+  if ob.ob_iters = 0 then graph
+  else begin
+    let misspecs = ob.ob_violations + ob.ob_faults in
+    let amp =
+      float_of_int (misspecs + ob.ob_kills) /. float_of_int (max 1 misspecs)
+    in
+    let iters = float_of_int (max 1 ob.ob_iters) in
+    let rate n = Float.min 1.0 (amp *. (float_of_int n /. iters)) in
+    let other = rate ob.ob_stale_other in
+    let overrides =
+      List.filter_map
+        (fun vc ->
+          let observed =
+            match vc_region graph vc with
+            | Some sid ->
+              rate
+                (Option.value ~default:0
+                   (List.assoc_opt sid ob.ob_stale_regions))
+            | None -> other
+          in
+          let predicted = Depgraph.violation_prob graph vc in
+          if observed -. predicted > divergence then begin
+            Obs.Metrics.inc m_feedback_divergences;
+            Obs.Log.debug
+              "[feedback] %s@bb%d vc %d: predicted %.3f observed %.3f -> \
+               override"
+              graph.Depgraph.func.Ir.fname graph.Depgraph.loop.Loops.header vc
+              predicted observed;
+            Some (vc, observed)
+          end
+          else None)
+        (Depgraph.violation_candidates graph)
+    in
+    if overrides = [] then graph
+    else
+      {
+        graph with
+        Depgraph.config =
+          {
+            graph.Depgraph.config with
+            Depgraph.violation_overrides =
+              overrides @ graph.Depgraph.config.Depgraph.violation_overrides;
+          };
+      }
+  end
+
 type candidate = {
   c_func : Ir.func;
   c_loop : Loops.loop;
@@ -190,8 +278,8 @@ type candidate = {
   c_weight : int;
 }
 
-let analyze (config : Config.t) effects_tbl ep dp ~overrides (prog : Ir.program)
-    : candidate list * loop_record list =
+let analyze (config : Config.t) ~observations ~divergence effects_tbl ep dp
+    ~overrides (prog : Ir.program) : candidate list * loop_record list =
   Obs.Trace.span "pass1.analyze" @@ fun () ->
   let sym_ty =
     let tbl = Hashtbl.create 32 in
@@ -228,6 +316,8 @@ let analyze (config : Config.t) effects_tbl ep dp ~overrides (prog : Ir.program)
               lr_prefork_size = prefork;
               lr_loop_id = None;
               lr_svp = false;
+              lr_vcs = [];
+              lr_chosen = [];
             }
           in
           match
@@ -252,6 +342,16 @@ let analyze (config : Config.t) effects_tbl ep dp ~overrides (prog : Ir.program)
               }
             in
             let graph = Depgraph.build ~config:dg_config effects_tbl f l in
+            (* adaptive re-partitioning: observed misspeculation rates
+               override diverging compile-time estimates before the
+               cost graph is built *)
+            let graph =
+              match
+                List.assoc_opt (f.Ir.fname, l.Loops.header) observations
+              with
+              | Some ob -> apply_feedback ~divergence graph ob
+              | None -> graph
+            in
             let cm = Cost_model.build graph in
             (* the search only considers partitions the transformation
                can realize: a candidate whose dependence closure reaches
@@ -313,7 +413,34 @@ type spt_compilation = {
 
 let profile_steps = 100_000_000
 
-let compile_spt (config : Config.t) src : spt_compilation =
+(* value-profile targets: carried defs of every loop *)
+let svp_targets (prog : Ir.program) =
+  List.concat_map
+    (fun (name, f) ->
+      List.concat_map
+        (fun l ->
+          List.map
+            (fun (_, def_iid) -> { Value_profile.tfunc = name; tiid = def_iid })
+            (Svp.candidates f l))
+        (Loops.find f))
+    prog.Ir.funcs
+
+(* the front half of [compile_spt], up to and including profiling — the
+   program state the persistent profile store captures *)
+let profile_source ?(config = Config.best) src =
+  let prog = front_end src in
+  if config.Config.inline then
+    Obs.Trace.span "inline" (fun () -> ignore (Inline.run prog));
+  Obs.Trace.span "unroll" (fun () ->
+      List.iter
+        (fun (_, f) -> ignore (Unroll.run f config.Config.unroll))
+        prog.Ir.funcs);
+  to_ssa prog;
+  profile_all ~value_targets:(svp_targets prog) prog ~max_steps:profile_steps
+
+let compile_spt ?profile_seed ?(observations = [])
+    ?(divergence = default_divergence_threshold) (config : Config.t) src :
+    spt_compilation =
   Obs.Trace.span "compile.spt" @@ fun () ->
   let prog = front_end src in
   if config.Config.inline then
@@ -325,24 +452,19 @@ let compile_spt (config : Config.t) src : spt_compilation =
         prog.Ir.funcs);
   to_ssa prog;
   let effects_tbl = Obs.Trace.span "effects" (fun () -> Effects.compute prog) in
-  (* value-profile targets: carried defs of every loop *)
-  let value_targets =
-    List.concat_map
-      (fun (name, f) ->
-        List.concat_map
-          (fun l ->
-            List.map
-              (fun (_, def_iid) ->
-                { Value_profile.tfunc = name; tiid = def_iid })
-              (Svp.candidates f l))
-          (Loops.find f))
-      prog.Ir.funcs
+  let ep, dp, vp =
+    profile_all ~value_targets:(svp_targets prog) prog
+      ~max_steps:profile_steps
   in
-  let ep, dp, vp = profile_all ~value_targets prog ~max_steps:profile_steps in
+  (* persistent profiles: merge stored counts into the fresh profilers *)
+  (match profile_seed with Some seed -> seed ep dp vp | None -> ());
   let no_overrides : (string * int, (int * float) list) Hashtbl.t =
     Hashtbl.create 4
   in
-  let candidates, rejected = analyze config effects_tbl ep dp ~overrides:no_overrides prog in
+  let candidates, rejected =
+    analyze config ~observations ~divergence effects_tbl ep dp
+      ~overrides:no_overrides prog
+  in
   (* ---- SVP phase: rewrite costly loops with predictable carried
      values, then re-profile and re-analyze (§7.2) ---- *)
   let svp_applied : (string, Svp.applied list) Hashtbl.t = Hashtbl.create 8 in
@@ -439,7 +561,8 @@ let compile_spt (config : Config.t) src : spt_compilation =
     else begin
       (* the rewrites added blocks: re-profile and re-analyze *)
       Obs.Trace.span "svp.reprofile" @@ fun () ->
-      let ep, dp, _ = profile_all prog ~max_steps:profile_steps in
+      let ep, dp, vp = profile_all prog ~max_steps:profile_steps in
+      (match profile_seed with Some seed -> seed ep dp vp | None -> ());
       (* violation overrides: the SVP'd carried value misspeculates only
          at the profiled misprediction frequency — measured directly as
          the recovery arm's execution probability *)
@@ -477,7 +600,10 @@ let compile_spt (config : Config.t) src : spt_compilation =
               | None -> ())
             applied_list)
         svp_applied;
-      let candidates, rejected = analyze config effects_tbl ep dp ~overrides prog in
+      let candidates, rejected =
+        analyze config ~observations ~divergence effects_tbl ep dp ~overrides
+          prog
+      in
       (ep, dp, candidates, rejected)
     end
   in
@@ -523,7 +649,7 @@ let compile_spt (config : Config.t) src : spt_compilation =
   let transformed = ref [] in
   let transform_records = ref [] in
   let is_svp c = Hashtbl.mem svp_loops (c.c_func.Ir.fname, c.c_loop.Loops.header) in
-  let record_of c (decision : decision) cost prefork loop_id =
+  let record_of ?(chosen = []) c (decision : decision) cost prefork loop_id =
     {
       lr_func = c.c_func.Ir.fname;
       lr_header = c.c_loop.Loops.header;
@@ -537,6 +663,12 @@ let compile_spt (config : Config.t) src : spt_compilation =
       lr_prefork_size = prefork;
       lr_loop_id = loop_id;
       lr_svp = is_svp c;
+      lr_vcs =
+        List.map
+          (fun vc ->
+            (vc, vc_region c.c_graph vc, Depgraph.violation_prob c.c_graph vc))
+          (Depgraph.violation_candidates c.c_graph);
+      lr_chosen = chosen;
     }
   in
   (* process by decreasing benefit; a loop only yields to a conflicting
@@ -622,7 +754,8 @@ let compile_spt (config : Config.t) src : spt_compilation =
           Obs.Metrics.inc m_pass2_selected;
           transformed := (c, r_used, info) :: !transformed;
           transform_records :=
-            record_of c Selected (Some r_used.Partition.cost)
+            record_of ~chosen:(Partition.chosen r_used) c Selected
+              (Some r_used.Partition.cost)
               (Some r_used.Partition.prefork_size) (Some loop_id)
             :: !transform_records
         | Error rej ->
@@ -719,7 +852,8 @@ let compile_spt (config : Config.t) src : spt_compilation =
 (* ------------------------------------------------------------------ *)
 (* Evaluation: SPT build vs the non-SPT baseline *)
 
-let evaluate ?(config = Config.best) src : eval =
+let evaluate ?(config = Config.best) ?profile_seed ?observations ?divergence
+    src : eval =
   let base_prog =
     Obs.Trace.span "compile.base" (fun () ->
         compile_base ~unroll:config.Config.unroll ~inline:config.Config.inline
@@ -729,7 +863,7 @@ let evaluate ?(config = Config.best) src : eval =
     Obs.Trace.span "simulate.base" (fun () ->
         Tls_machine.run ~config:config.Config.sim base_prog)
   in
-  let spt = compile_spt config src in
+  let spt = compile_spt ?profile_seed ?observations ?divergence config src in
   let spt_res =
     Obs.Trace.span "simulate.spt" (fun () ->
         Tls_machine.run ~config:config.Config.sim ~spt_loops:spt.spt_loops
@@ -760,11 +894,12 @@ type parallel_run = {
   pr_seq_wall : float;  (** sequential interpreter wall time, seconds *)
   pr_measured_speedup : float;  (** sequential wall / parallel wall *)
   pr_runtime : Spt_runtime.Runtime.result;
+  pr_spt : spt_compilation;  (** the compilation that was executed *)
 }
 
-let run_parallel ?(config = Config.best) ?jobs ?runtime_config src :
-    parallel_run =
-  let spt = compile_spt config src in
+let run_parallel ?(config = Config.best) ?jobs ?runtime_config ?profile_seed
+    ?observations ?divergence src : parallel_run =
+  let spt = compile_spt ?profile_seed ?observations ?divergence config src in
   let loops =
     List.map
       (fun (sl : Tls_machine.spt_loop) ->
@@ -815,4 +950,5 @@ let run_parallel ?(config = Config.best) ?jobs ?runtime_config src :
          pr_seq_wall /. r.Spt_runtime.Runtime.wall_time
        else 1.0);
     pr_runtime = r;
+    pr_spt = spt;
   }

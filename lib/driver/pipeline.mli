@@ -11,6 +11,29 @@ open Spt_tlsim
 
 type decision = Selected | Rejected of Select.reject_reason
 
+(** Observed runtime behaviour of one transformed loop, as exported by
+    the feedback subsystem ({!Spt_feedback}) and fed back into the
+    analysis: observed misspeculation rates override compile-time
+    violation probabilities that diverge beyond a threshold. *)
+type loop_obs = {
+  ob_iters : int;  (** iterations retired *)
+  ob_forks : int;
+  ob_commits : int;
+  ob_violations : int;  (** validation failures *)
+  ob_faults : int;  (** speculative faults *)
+  ob_kills : int;  (** tasks discarded behind a misspeculation *)
+  ob_serial_reexecs : int;
+  ob_stale_regions : (int * int) list;
+      (** validation failures per store region sid *)
+  ob_stale_other : int;  (** register / RNG failures (unattributable) *)
+}
+
+(** Minimum observed−predicted misspeculation-probability excess before
+    a feedback override replaces the compile-time estimate (overrides
+    only ever raise a probability — a candidate moved pre-fork cannot
+    fail validation, so its zero observed rate is not evidence). *)
+val default_divergence_threshold : float
+
 (** One analyzed loop, as reported by the compilation (the Fig. 15–19
     record). *)
 type loop_record = {
@@ -26,6 +49,10 @@ type loop_record = {
   lr_prefork_size : int option;
   lr_loop_id : int option;  (** simulator id when transformed *)
   lr_svp : bool;  (** value prediction was applied *)
+  lr_vcs : (int * int option * float) list;
+      (** violation candidates: (iid, store-region sid, effective
+          violation probability after any feedback override) *)
+  lr_chosen : int list;  (** candidates moved pre-fork, when selected *)
 }
 
 (** Result of evaluating one program under one configuration. *)
@@ -62,6 +89,14 @@ val profile_all :
   max_steps:int ->
   Spt_profile.Edge_profile.t * Spt_profile.Dep_profile.t * Spt_profile.Value_profile.t
 
+(** Run the front half of {!compile_spt} — front end, inlining,
+    unrolling, SSA, profiling — and return the three profilers.  This
+    is the program state the persistent profile store captures. *)
+val profile_source :
+  ?config:Config.t ->
+  string ->
+  Spt_profile.Edge_profile.t * Spt_profile.Dep_profile.t * Spt_profile.Value_profile.t
+
 (** A fully SPT-compiled program with its simulator registrations and
     per-loop records. *)
 type spt_compilation = {
@@ -70,10 +105,36 @@ type spt_compilation = {
   records : loop_record list;
 }
 
-val compile_spt : Config.t -> string -> spt_compilation
+(** [profile_seed] is called on the freshly built profilers after every
+    profiling pass (including the SVP re-profile) so stored counts can
+    be merged in before analysis; [observations], keyed by
+    (function, loop header), injects observed misspeculation rates;
+    [divergence] tunes the override threshold
+    ({!default_divergence_threshold}). *)
+val compile_spt :
+  ?profile_seed:
+    (Spt_profile.Edge_profile.t ->
+    Spt_profile.Dep_profile.t ->
+    Spt_profile.Value_profile.t ->
+    unit) ->
+  ?observations:((string * int) * loop_obs) list ->
+  ?divergence:float ->
+  Config.t ->
+  string ->
+  spt_compilation
 
 (** Compile both ways, simulate both, compare. *)
-val evaluate : ?config:Config.t -> string -> eval
+val evaluate :
+  ?config:Config.t ->
+  ?profile_seed:
+    (Spt_profile.Edge_profile.t ->
+    Spt_profile.Dep_profile.t ->
+    Spt_profile.Value_profile.t ->
+    unit) ->
+  ?observations:((string * int) * loop_obs) list ->
+  ?divergence:float ->
+  string ->
+  eval
 
 (** An SPT compilation executed for real on the speculative runtime
     ({!Spt_runtime.Runtime}), next to a sequential run of the same
@@ -84,14 +145,24 @@ type parallel_run = {
   pr_seq_wall : float;  (** sequential interpreter wall time, seconds *)
   pr_measured_speedup : float;  (** sequential wall / parallel wall *)
   pr_runtime : Spt_runtime.Runtime.result;
+  pr_spt : spt_compilation;  (** the compilation that was executed *)
 }
 
 (** Compile with [config], then execute on OCaml 5 domains.
     [runtime_config] replaces the default runtime configuration; [jobs]
-    then overrides its worker count (else [SPT_JOBS] / 1). *)
+    then overrides its worker count (else [SPT_JOBS] / 1).
+    [profile_seed] / [observations] / [divergence] are passed to
+    {!compile_spt}. *)
 val run_parallel :
   ?config:Config.t ->
   ?jobs:int ->
   ?runtime_config:Spt_runtime.Runtime.config ->
+  ?profile_seed:
+    (Spt_profile.Edge_profile.t ->
+    Spt_profile.Dep_profile.t ->
+    Spt_profile.Value_profile.t ->
+    unit) ->
+  ?observations:((string * int) * loop_obs) list ->
+  ?divergence:float ->
   string ->
   parallel_run

@@ -366,7 +366,9 @@ let fig19_points (results : (string * Pipeline.eval) list) =
                   f19_loop =
                     Printf.sprintf "%s@bb%d" lr.Pipeline.lr_func
                       lr.Pipeline.lr_header;
-                  f19_estimated = cost /. Float.max 1.0 lr.Pipeline.lr_body_size;
+                  f19_estimated =
+                    Spt_cost.Cost_model.predicted_fraction ~cost
+                      ~body_size:lr.Pipeline.lr_body_size;
                   f19_actual =
                     lm.Tls_machine.lm_reexec_units /. lm.Tls_machine.lm_spec_units;
                 }
@@ -461,6 +463,19 @@ let loop_json (e : Pipeline.eval) (lr : Pipeline.loop_record) =
          json_opt (fun s -> Json.Int s) lr.Pipeline.lr_prefork_size );
        ("loop_id", json_opt (fun i -> Json.Int i) lr.Pipeline.lr_loop_id);
        ("svp", Json.Bool lr.Pipeline.lr_svp);
+       ( "vcs",
+         Json.List
+           (List.map
+              (fun (iid, region, prob) ->
+                Json.Obj
+                  [
+                    ("iid", Json.Int iid);
+                    ("region", json_opt (fun s -> Json.Int s) region);
+                    ("prob", Json.Float prob);
+                  ])
+              lr.Pipeline.lr_vcs) );
+       ( "chosen_vcs",
+         Json.List (List.map (fun v -> Json.Int v) lr.Pipeline.lr_chosen) );
      ]
     @ runtime)
 
@@ -506,6 +521,24 @@ let eval_json ~name (e : Pipeline.eval) =
       ("loops", Json.List (List.map (loop_json e) e.Pipeline.loops));
     ]
 
+(* the profile-guided feedback loop's counters, pulled from the metrics
+   registry (zero when the feedback subsystem is not linked or idle);
+   the per-loop observed kill rates live in the runtime section
+   ({!Spt_runtime.Runtime.stats_json}) *)
+let feedback_json () =
+  let c name =
+    match Spt_obs.Metrics.get name with
+    | Some (Spt_obs.Metrics.Counter n) -> n
+    | _ -> 0
+  in
+  Json.Obj
+    [
+      ("profiles_loaded", Json.Int (c "feedback.profiles_loaded"));
+      ("profiles_merged", Json.Int (c "feedback.profiles_merged"));
+      ("divergences", Json.Int (c "feedback.divergences"));
+      ("adapt_iterations", Json.Int (c "feedback.adapt_iterations"));
+    ]
+
 let metrics_json_of ?(runtime = []) (evals : Json.t list) =
   Json.Obj
     ([
@@ -513,7 +546,10 @@ let metrics_json_of ?(runtime = []) (evals : Json.t list) =
        ("workloads", Json.List evals);
      ]
     @ (if runtime = [] then [] else [ ("runtime", Json.List runtime) ])
-    @ [ ("counters", Spt_obs.Metrics.to_json ()) ])
+    @ [
+        ("feedback", feedback_json ());
+        ("counters", Spt_obs.Metrics.to_json ());
+      ])
 
 let metrics_json ?(parallel = []) (results : (string * Pipeline.eval) list) =
   metrics_json_of
@@ -525,7 +561,7 @@ let metrics_json ?(parallel = []) (results : (string * Pipeline.eval) list) =
          parallel)
     (List.map (fun (name, e) -> eval_json ~name e) results)
 
-let bench_json ~quick ~per_config ~parallel =
+let bench_json ?(feedback = []) ~quick ~per_config ~parallel () =
   Json.Obj
     [
       ("schema", Json.Str "spt-bench-v2");
@@ -537,6 +573,7 @@ let bench_json ~quick ~per_config ~parallel =
                Json.prepend ("config", Json.Str cname) (metrics_json results))
              per_config) );
       ("parallel", Json.List parallel);
+      ("feedback", Json.List feedback);
     ]
 
 (* ------------------------------------------------------------------ *)

@@ -85,12 +85,15 @@ val metrics_json :
 val metrics_json_of : ?runtime:Spt_obs.Json.t list -> Spt_obs.Json.t list -> Spt_obs.Json.t
 
 (** The `spt-bench-v2` summary `bench/main.exe` writes: one
-    {!metrics_json} object per configuration plus the measured-speedup
-    records of the real parallel runs. *)
+    {!metrics_json} object per configuration, the measured-speedup
+    records of the real parallel runs, and the static-vs-profile-guided
+    misspeculation-cost comparison rows ([feedback]). *)
 val bench_json :
+  ?feedback:Spt_obs.Json.t list ->
   quick:bool ->
   per_config:(string * (string * Pipeline.eval) list) list ->
   parallel:Spt_obs.Json.t list ->
+  unit ->
   Spt_obs.Json.t
 
 (** The human-readable [sptc compile] summary.  The CLI prints this and

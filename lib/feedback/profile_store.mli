@@ -1,0 +1,89 @@
+(** The persistent profile store: a versioned on-disk rendering of the
+    three compile-time profiles (edge / dependence / value) plus the
+    runtime's per-loop misspeculation telemetry, keyed by function and
+    loop header.
+
+    The store is the medium of the profile-guided feedback loop: a run
+    exports what it measured, later compilations merge it back in
+    ([seed]) and override diverging violation probabilities from the
+    observed rates.  Counts add under {!merge}, so merging two runs
+    behaves as one longer run, and the JSON rendering is canonical —
+    sorted keys, minified digest input — so {!digest} is a stable
+    fingerprint suitable for cache keys
+    ({!Spt_driver.Config.cache_key}).
+
+    Like the artifact cache, the store never turns corruption into an
+    error: {!load} of a missing, unreadable, mis-versioned or malformed
+    file degrades to the empty store. *)
+
+(** On-disk schema tag ([spt-profile-v1]); a file under any other tag
+    loads as empty. *)
+val schema : string
+
+(** Observed runtime behaviour of one transformed loop, in the
+    runtime's §3 vocabulary ({!Spt_runtime.Runtime.loop_stats}). *)
+type obs = {
+  o_iters : int;
+  o_forks : int;
+  o_commits : int;
+  o_violations : int;
+  o_faults : int;
+  o_kills : int;
+  o_despecs : int;
+  o_serial_reexecs : int;
+  o_stale_other : int;  (** register / RNG validation failures *)
+  o_stale_regions : (int * int) list;
+      (** per store-region sid, sorted — memory validation failures *)
+}
+
+type t
+
+val empty : unit -> t
+
+(** No profile counts and no telemetry at all. *)
+val is_empty : t -> bool
+
+(** Any edge / dependence / value counts present (telemetry aside). *)
+val has_profiles : t -> bool
+
+(** Export the three profilers' counters into the store (adds). *)
+val absorb_profiles :
+  t ->
+  Spt_profile.Edge_profile.t ->
+  Spt_profile.Dep_profile.t ->
+  Spt_profile.Value_profile.t ->
+  unit
+
+(** Merge the store's counts into freshly built profilers — the
+    [profile_seed] callback of {!Spt_driver.Pipeline.compile_spt}. *)
+val seed :
+  t ->
+  Spt_profile.Edge_profile.t ->
+  Spt_profile.Dep_profile.t ->
+  Spt_profile.Value_profile.t ->
+  unit
+
+(** Add one loop's observed outcomes (counts add on repeat). *)
+val add_observation : t -> func:string -> header:int -> obs -> unit
+
+(** Every recorded loop observation, sorted by (function, header). *)
+val observations : t -> ((string * int) * obs) list
+
+(** Fresh store holding the sums of both arguments ([merge] is
+    commutative and associative up to {!digest}). *)
+val merge : t -> t -> t
+
+(** Canonical JSON rendering (sorted keys, schema-tagged). *)
+val to_json : t -> Spt_obs.Json.t
+
+val of_json : Spt_obs.Json.t -> (t, string) result
+
+(** MD5 over the canonical minified JSON: equal iff the counts are. *)
+val digest : t -> string
+
+(** Write the canonical rendering; [save]/[load]/[save] round-trips
+    byte-identically. *)
+val save : t -> string -> unit
+
+(** Read a store back; any malfunction degrades to {!empty}. *)
+val load : string -> t

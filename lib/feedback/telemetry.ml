@@ -1,0 +1,57 @@
+(** Runtime telemetry export — see telemetry.mli. *)
+
+open Spt_driver
+module Runtime = Spt_runtime.Runtime
+
+let loops_of (spt : Pipeline.spt_compilation) =
+  List.filter_map
+    (fun (lr : Pipeline.loop_record) ->
+      match lr.Pipeline.lr_loop_id with
+      | Some id -> Some (id, (lr.Pipeline.lr_func, lr.Pipeline.lr_header))
+      | None -> None)
+    spt.Pipeline.records
+
+let obs_of (st : Runtime.loop_stats) : Profile_store.obs =
+  {
+    o_iters = st.Runtime.iters;
+    o_forks = st.Runtime.forks;
+    o_commits = st.Runtime.commits;
+    o_violations = st.Runtime.violations;
+    o_faults = st.Runtime.faults;
+    o_kills = st.Runtime.kills;
+    o_despecs = st.Runtime.despecs;
+    o_serial_reexecs = st.Runtime.serial_reexecs;
+    o_stale_other = st.Runtime.stale_reg + st.Runtime.stale_rng;
+    o_stale_regions =
+      List.sort compare
+        (Hashtbl.fold
+           (fun sid n acc -> (sid, n) :: acc)
+           st.Runtime.stale_regions []);
+  }
+
+let record store (spt : Pipeline.spt_compilation) (r : Runtime.result) =
+  let loops = loops_of spt in
+  List.iter
+    (fun (lid, st) ->
+      match List.assoc_opt lid loops with
+      | Some (func, header) ->
+        Profile_store.add_observation store ~func ~header (obs_of st)
+      | None -> ())
+    r.Runtime.stats
+
+let observations store =
+  List.map
+    (fun ((func, header), (o : Profile_store.obs)) ->
+      ( (func, header),
+        {
+          Pipeline.ob_iters = o.Profile_store.o_iters;
+          ob_forks = o.Profile_store.o_forks;
+          ob_commits = o.Profile_store.o_commits;
+          ob_violations = o.Profile_store.o_violations;
+          ob_faults = o.Profile_store.o_faults;
+          ob_kills = o.Profile_store.o_kills;
+          ob_serial_reexecs = o.Profile_store.o_serial_reexecs;
+          ob_stale_regions = o.Profile_store.o_stale_regions;
+          ob_stale_other = o.Profile_store.o_stale_other;
+        } ))
+    (Profile_store.observations store)

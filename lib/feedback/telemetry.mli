@@ -1,0 +1,22 @@
+(** Bridging runtime results and the profile store: exports the
+    runtime's per-loop misspeculation counters
+    ({!Spt_runtime.Runtime.loop_stats}) into {!Profile_store} keyed by
+    (function, loop header), and renders stored observations in the
+    shape the compilation pipeline consumes
+    ({!Spt_driver.Pipeline.loop_obs}). *)
+
+(** Map runtime loop ids to (function, header) — one entry per
+    transformed loop of the compilation. *)
+val loops_of : Spt_driver.Pipeline.spt_compilation -> (int * (string * int)) list
+
+(** Record every loop's observed outcome from one runtime execution
+    into the store (counts add across runs). *)
+val record :
+  Profile_store.t ->
+  Spt_driver.Pipeline.spt_compilation ->
+  Spt_runtime.Runtime.result ->
+  unit
+
+(** The store's observations as pipeline feedback input. *)
+val observations :
+  Profile_store.t -> ((string * int) * Spt_driver.Pipeline.loop_obs) list

@@ -39,3 +39,16 @@ let address t s idx = base t s + (idx * element_size)
 let element_address t s idx = address t s idx / element_size
 
 let total_elements t = (t.total_bytes + element_size - 1) / element_size
+
+(** Region holding an element-granular address — the inverse of
+    [element_address], used by the runtime to attribute speculative
+    read violations to the region that changed. *)
+let owner_of_element t (globals : Ir.sym list) ea =
+  List.find_opt
+    (fun (s : Ir.sym) ->
+      match Hashtbl.find_opt t.bases s.Ir.sid with
+      | None -> false
+      | Some b ->
+        let b = b / element_size in
+        ea >= b && ea < b + s.Ir.ssize)
+    globals

@@ -23,3 +23,8 @@ val address : t -> Ir.sym -> int -> int
 val element_address : t -> Ir.sym -> int -> int
 
 val total_elements : t -> int
+
+(** Region holding an element-granular address — the inverse of
+    {!element_address} over [globals]; [None] for addresses outside
+    every region. *)
+val owner_of_element : t -> Ir.sym list -> int -> Ir.sym option

@@ -150,6 +150,8 @@ type result = {
   exhausted : bool;  (** search completed within the node budget *)
 }
 
+let chosen r = Iset.elements r.chosen_vcs
+
 type outcome = Found of result | Too_many_vcs of int
 
 (** Find the minimum-misspeculation-cost legal partition of [g] whose

@@ -66,6 +66,10 @@ type result = {
   exhausted : bool;  (** completed within the node budget *)
 }
 
+(** Chosen violation candidates of a partition, sorted by iid — the
+    stable signature the feedback loop compares across recompiles. *)
+val chosen : result -> int list
+
 type outcome = Found of result | Too_many_vcs of int
 
 (** Find the minimum-cost legal partition whose pre-fork region fits

@@ -225,3 +225,54 @@ let pairs t key kind =
 
 (** True when [key] was observed executing at all. *)
 let observed t key = Hashtbl.mem t.instance_gen key
+
+(* ------------------------------------------------------------------ *)
+(* Persistence (the feedback loop's profile store).  Only the count
+   tables travel: the shadow memory and loop/call stacks are live
+   interpreter state and meaningless across runs. *)
+
+let string_of_kind = function
+  | Intra -> "intra"
+  | Cross1 -> "cross1"
+  | Cross_far -> "crossfar"
+
+let kind_of_string = function
+  | "intra" -> Some Intra
+  | "cross1" -> Some Cross1
+  | "crossfar" -> Some Cross_far
+  | _ -> None
+
+type dump = {
+  d_deps : ((loop_key * int * int * dep_kind) * int) list;
+  d_writes : ((loop_key * int) * int) list;
+}
+
+let export t =
+  let pairs tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
+  {
+    d_deps = List.sort compare (pairs t.dep_counts);
+    d_writes = List.sort compare (pairs t.w_execs);
+  }
+
+let add tbl key n =
+  if n > 0 then
+    Hashtbl.replace tbl key (n + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+let absorb t (d : dump) =
+  (* mark every loop in the dump as observed, so {!observed} (which
+     gates the profiled-probability path in the dependence graph)
+     honours absorbed data even when this run never reached the loop *)
+  let mark key =
+    if not (Hashtbl.mem t.instance_gen key) then
+      Hashtbl.replace t.instance_gen key 1
+  in
+  List.iter
+    (fun (((key, _, _, _) as k), n) ->
+      mark key;
+      add t.dep_counts k n)
+    d.d_deps;
+  List.iter
+    (fun (((key, _) as k), n) ->
+      mark key;
+      add t.w_execs k n)
+    d.d_writes

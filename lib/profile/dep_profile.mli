@@ -34,3 +34,22 @@ val pairs : t -> loop_key -> dep_kind -> (int * int * float) list
 
 (** True when the loop executed during profiling. *)
 val observed : t -> loop_key -> bool
+
+val string_of_kind : dep_kind -> string
+val kind_of_string : string -> dep_kind option
+
+(** A flat, sorted rendering of the count tables for the on-disk
+    profile store.  The shadow memory (live interpreter state) does not
+    travel. *)
+type dump = {
+  d_deps : ((loop_key * int * int * dep_kind) * int) list;
+      (** (loop, writer owner, reader owner, kind) -> events *)
+  d_writes : ((loop_key * int) * int) list;
+      (** (loop, writer owner) -> write executions *)
+}
+
+val export : t -> dump
+
+(** Add the dump's counts into [t]; loops present in the dump count as
+    {!observed} even if this run never reached them. *)
+val absorb : t -> dump -> unit

@@ -24,6 +24,32 @@ let create () =
 
 let bump tbl key = Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
 
+let add tbl key n =
+  if n > 0 then
+    Hashtbl.replace tbl key (n + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+(* ------------------------------------------------------------------ *)
+(* Persistence (the feedback loop's profile store) *)
+
+type dump = {
+  d_blocks : ((string * int) * int) list;
+  d_edges : ((string * int * int) * int) list;
+  d_entries : (string * int) list;
+}
+
+let export t =
+  let pairs tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
+  {
+    d_blocks = List.sort compare (pairs t.blocks);
+    d_edges = List.sort compare (pairs t.edges);
+    d_entries = List.sort compare (pairs t.entries);
+  }
+
+let absorb t (d : dump) =
+  List.iter (fun (k, n) -> add t.blocks k n) d.d_blocks;
+  List.iter (fun (k, n) -> add t.edges k n) d.d_edges;
+  List.iter (fun (k, n) -> add t.entries k n) d.d_entries
+
 let hooks t =
   {
     Interp.null_hooks with

@@ -30,3 +30,17 @@ val avg_trip_count : ?default:float -> t -> Ir.func -> Loops.loop -> float
 
 (** Dynamic operation count spent inside the loop's own blocks. *)
 val weight_of_loop : t -> Ir.func -> Loops.loop -> int
+
+(** A flat, sorted rendering of every counter, for the on-disk profile
+    store ({!Spt_feedback.Profile_store}). *)
+type dump = {
+  d_blocks : ((string * int) * int) list;  (** (function, block) -> count *)
+  d_edges : ((string * int * int) * int) list;  (** (function, src, dst) *)
+  d_entries : (string * int) list;  (** function -> call count *)
+}
+
+val export : t -> dump
+
+(** Add the dump's counts into [t] (counts add, so absorbing two runs
+    behaves as one longer run). *)
+val absorb : t -> dump -> unit

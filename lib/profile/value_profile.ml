@@ -70,6 +70,54 @@ let hooks t =
           | _ -> ()));
   }
 
+(* ------------------------------------------------------------------ *)
+(* Persistence (the feedback loop's profile store).  Stride counts are
+   the whole story: [transitions] is their sum, and [last] /
+   [instance_mark] are live interpreter state. *)
+
+type dump = { d_strides : ((string * int) * (int64 * int) list) list }
+
+let export t =
+  Hashtbl.fold
+    (fun key s acc ->
+      let strides =
+        Hashtbl.fold (fun st n acc -> (st, n) :: acc) s.strides []
+      in
+      match List.filter (fun (_, n) -> n > 0) strides with
+      | [] -> acc
+      | strides -> ((key, List.sort compare strides) :: acc))
+    t.targets []
+  |> List.sort compare
+  |> fun d_strides -> { d_strides }
+
+let absorb t (d : dump) =
+  List.iter
+    (fun ((tfunc, tiid), strides) ->
+      let s =
+        match Hashtbl.find_opt t.targets (tfunc, tiid) with
+        | Some s -> s
+        | None ->
+          let s =
+            {
+              last = None;
+              instance_mark = -1;
+              strides = Hashtbl.create 8;
+              transitions = 0;
+            }
+          in
+          Hashtbl.replace t.targets (tfunc, tiid) s;
+          s
+      in
+      List.iter
+        (fun (stride, n) ->
+          if n > 0 then begin
+            Hashtbl.replace s.strides stride
+              (n + Option.value ~default:0 (Hashtbl.find_opt s.strides stride));
+            s.transitions <- s.transitions + n
+          end)
+        strides)
+    d.d_strides
+
 type prediction = {
   stride : int64;
   hit_rate : float;

@@ -28,3 +28,13 @@ val min_hit_rate : float
 (** [best_prediction] filtered by the hit-rate bar and a minimum
     observation count — "the values are found to be predictable". *)
 val predictable : ?threshold:float -> t -> func:string -> iid:int -> prediction option
+
+(** Stride histograms per target, sorted, for the on-disk profile
+    store; targets with no transitions are omitted. *)
+type dump = { d_strides : ((string * int) * (int64 * int) list) list }
+
+val export : t -> dump
+
+(** Add the dump's stride counts into [t], creating targets the current
+    run does not watch. *)
+val absorb : t -> dump -> unit

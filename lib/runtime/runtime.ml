@@ -40,6 +40,10 @@ type loop_stats = {
   mutable serial_reexecs : int;
   mutable iters : int;
   mutable wall : float;
+  mutable stale_mem : int;
+  mutable stale_reg : int;
+  mutable stale_rng : int;
+  stale_regions : (int, int) Hashtbl.t;
 }
 
 (* global observability counters (no-ops unless metrics are enabled);
@@ -80,6 +84,8 @@ type rt = {
   specs : (int, loop_spec) Hashtbl.t;
   despec : (int, unit) Hashtbl.t;
   stats : (int, loop_stats) Hashtbl.t;
+  region_of : int -> int option;
+      (** element address -> region sid, for violation attribution *)
   mutable committed_steps : int;
 }
 
@@ -98,10 +104,29 @@ let loop_stats rt lid =
         serial_reexecs = 0;
         iters = 0;
         wall = 0.0;
+        stale_mem = 0;
+        stale_reg = 0;
+        stale_rng = 0;
+        stale_regions = Hashtbl.create 4;
       }
     in
     Hashtbl.replace rt.stats lid s;
     s
+
+(* attribute a validation failure to its cause — per-region for memory
+   (the compiler's violation candidates store into named regions, so
+   region-level rates are what the feedback loop joins against) *)
+let record_stale rt (st : loop_stats) (stale : Specmem.stale) =
+  match stale with
+  | Specmem.Stale_mem a -> (
+    st.stale_mem <- st.stale_mem + 1;
+    match rt.region_of a with
+    | Some sid ->
+      Hashtbl.replace st.stale_regions sid
+        (1 + Option.value ~default:0 (Hashtbl.find_opt st.stale_regions sid))
+    | None -> ())
+  | Specmem.Stale_reg _ -> st.stale_reg <- st.stale_reg + 1
+  | Specmem.Stale_rng -> st.stale_rng <- st.stale_rng + 1
 
 (* ------------------------------------------------------------------ *)
 (* Task execution (workers and the speculative P runs on main) *)
@@ -238,25 +263,36 @@ let run_spt_loop rt (frame : Interp.frame) (spec : loop_spec)
     let head = Queue.pop pending in
     let outcome = wait_for rt head in
     (* resolve the head to its definitive sequential stop *)
-    let stop, clean =
+    let resolution =
       match outcome with
-      | Stopped (stop, steps) when Result.is_ok (Specmem.validate head.tview)
-        ->
+      | Stopped (stop, steps) -> (
+        match Specmem.validate head.tview with
+        | Ok () -> `Commit (stop, steps)
+        | Error stale -> `Stale stale)
+      | Fault msg -> `Fault msg
+    in
+    let stop, clean =
+      match resolution with
+      | `Commit (stop, steps) ->
         Specmem.commit head.tview;
         rt.committed_steps <- rt.committed_steps + steps;
         st.commits <- st.commits + 1;
         Obs.Metrics.inc m_commits;
         consec := 0;
         (stop, true)
-      | Stopped _ | Fault _ ->
-        (match outcome with
-        | Fault msg ->
+      | `Stale _ | `Fault _ ->
+        (match resolution with
+        | `Fault msg ->
           st.faults <- st.faults + 1;
           Obs.Metrics.inc m_faults;
           Obs.Log.debug "[runtime] loop %d: speculative fault: %s" lid msg
-        | Stopped _ ->
+        | `Stale stale ->
           st.violations <- st.violations + 1;
-          Obs.Metrics.inc m_violations);
+          Obs.Metrics.inc m_violations;
+          record_stale rt st stale;
+          Obs.Log.debug "[runtime] loop %d: %s" lid
+            (Specmem.string_of_stale stale)
+        | `Commit _ -> assert false);
         incr consec;
         st.serial_reexecs <- st.serial_reexecs + 1;
         Obs.Metrics.inc m_serial;
@@ -381,6 +417,28 @@ let stats_json (r : result) =
                    ("serial_reexecs", J.Int s.serial_reexecs);
                    ("iters", J.Int s.iters);
                    ("wall_s", J.Float s.wall);
+                   ( "kill_rate",
+                     J.Float
+                       (if s.forks > 0 then
+                          float_of_int s.kills /. float_of_int s.forks
+                        else 0.0) );
+                   ( "reexec_fraction",
+                     J.Float
+                       (if s.forks > 0 then
+                          float_of_int s.serial_reexecs /. float_of_int s.forks
+                        else 0.0) );
+                   ("stale_mem", J.Int s.stale_mem);
+                   ("stale_reg", J.Int s.stale_reg);
+                   ("stale_rng", J.Int s.stale_rng);
+                   ( "stale_regions",
+                     J.List
+                       (Hashtbl.fold
+                          (fun sid n acc -> (sid, n) :: acc)
+                          s.stale_regions []
+                       |> List.sort compare
+                       |> List.map (fun (sid, n) ->
+                              J.Obj
+                                [ ("sid", J.Int sid); ("count", J.Int n) ])) );
                  ])
              r.stats) );
     ]
@@ -413,6 +471,11 @@ let run ?config ?(loops = []) (program : Ir.program) : result =
     Interp.make ~max_steps:cfg.max_steps ~memio:(Interp.store_memio store)
       program
   in
+  let region_of a =
+    Option.map
+      (fun (s : Ir.sym) -> s.Ir.sid)
+      (Layout.owner_of_element layout program.Ir.globals a)
+  in
   let rt =
     {
       program;
@@ -425,6 +488,7 @@ let run ?config ?(loops = []) (program : Ir.program) : result =
       specs;
       despec = Hashtbl.create 4;
       stats = Hashtbl.create 4;
+      region_of;
       committed_steps = 0;
     }
   in

@@ -45,6 +45,13 @@ type loop_stats = {
   mutable serial_reexecs : int;  (** serial recoveries *)
   mutable iters : int;  (** loop iterations retired *)
   mutable wall : float;  (** seconds spent inside the loop *)
+  mutable stale_mem : int;  (** validation failures on a memory read *)
+  mutable stale_reg : int;  (** … on a register read *)
+  mutable stale_rng : int;  (** … on the RNG state *)
+  stale_regions : (int, int) Hashtbl.t;
+      (** memory validation failures per region sid — the observed
+          counterpart of the compiler's per-candidate violation
+          probabilities, exported to the feedback loop *)
 }
 
 type result = {

@@ -127,27 +127,37 @@ let memio v =
 
 let regio v = { Interp.rio_get = reg_get v; rio_set = reg_set v }
 
+type stale =
+  | Stale_mem of int  (** element address whose read proved stale *)
+  | Stale_reg of int  (** register vid *)
+  | Stale_rng
+
+let string_of_stale s =
+  (match s with
+  | Stale_mem a -> Printf.sprintf "mem[%d]" a
+  | Stale_reg vid -> Printf.sprintf "reg %%%d" vid
+  | Stale_rng -> "rng")
+  ^ " changed under speculation"
+
 let validate v =
   let bad = ref None in
   Hashtbl.iter
     (fun a x ->
       if !bad = None && not (value_eq v.master.m_mem.(a) x) then
-        bad := Some (Printf.sprintf "mem[%d]" a))
+        bad := Some (Stale_mem a))
     v.mem_r;
   Hashtbl.iter
     (fun vid x ->
       if !bad = None then
         match v.master.m_regs.(vid) with
         | Some y when value_eq x y -> ()
-        | _ -> bad := Some (Printf.sprintf "reg %%%d" vid))
+        | _ -> bad := Some (Stale_reg vid))
     v.reg_r;
   (match v.rng_r with
   | Some s when !bad = None && not (Int64.equal s (v.master.m_rng_get ())) ->
-    bad := Some "rng"
+    bad := Some Stale_rng
   | _ -> ());
-  match !bad with
-  | None -> Ok ()
-  | Some what -> Error (what ^ " changed under speculation")
+  match !bad with None -> Ok () | Some what -> Error what
 
 let commit v =
   Hashtbl.iter (fun a x -> v.master.m_mem.(a) <- x) v.mem_w;

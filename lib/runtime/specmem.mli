@@ -46,9 +46,20 @@ val memio : view -> Interp.memio
 
 val regio : view -> Interp.regio
 
+(** The first stale observation found by {!validate}, in a form the
+    runtime can attribute: a memory violation carries the element
+    address (mappable back to its region), a register violation the
+    vid. *)
+type stale =
+  | Stale_mem of int  (** element address whose read proved stale *)
+  | Stale_reg of int  (** register vid *)
+  | Stale_rng
+
+val string_of_stale : stale -> string
+
 (** Replay the read log against master.  [Error] describes the first
     stale observation. *)
-val validate : view -> (unit, string) result
+val validate : view -> (unit, stale) result
 
 (** Apply the write buffer and buffered output to master and mark the
     view committed (release-ordered: readers that see the flag see the

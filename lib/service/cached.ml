@@ -3,7 +3,7 @@
 module Json = Spt_obs.Json
 open Spt_driver
 
-let tool_version = "1.2.0"
+let tool_version = "1.3.0"
 let payload_schema = "spt-artifact-v1"
 
 let m_compiles = Spt_obs.Metrics.counter "service.compiles"
@@ -18,10 +18,19 @@ type outcome = {
   elapsed_s : float;
 }
 
-let key_of ~config source =
+(* a non-empty profile store changes analysis results, so its digest
+   must be part of the key; an empty store behaves as no store *)
+let profile_digest = function
+  | Some p when not (Spt_feedback.Profile_store.is_empty p) ->
+    Some (Spt_feedback.Profile_store.digest p)
+  | Some _ | None -> None
+
+let key_of ~config ?profile source =
   let prog = Pipeline.front_end source in
   Fingerprint.key
-    ~config_key:(Config.cache_key config ^ ";tool=" ^ tool_version)
+    ~config_key:
+      (Config.cache_key ?profile:(profile_digest profile) config
+      ^ ";tool=" ^ tool_version)
     prog
 
 (* the per-loop artifacts of pass 1/2: what the partition search chose
@@ -51,10 +60,10 @@ let partition_artifacts (e : Pipeline.eval) =
            ])
        e.Pipeline.loops)
 
-let compile ~cache ~config ~name ~source =
+let compile ~cache ~config ?profile ~name source =
   let t0 = Unix.gettimeofday () in
   Spt_obs.Metrics.inc m_compiles;
-  let key = key_of ~config source in
+  let key = key_of ~config ?profile source in
   let finish hit eval report_text =
     let elapsed_s = Unix.gettimeofday () -. t0 in
     Spt_obs.Metrics.observe h_latency elapsed_s;
@@ -62,7 +71,14 @@ let compile ~cache ~config ~name ~source =
     { key; hit; eval; report_text; elapsed_s }
   in
   let cold () =
-    let e = Pipeline.evaluate ~config source in
+    let profile_seed, observations =
+      match profile with
+      | Some p when not (Spt_feedback.Profile_store.is_empty p) ->
+        ( Some (Spt_feedback.Profile_store.seed p),
+          Some (Spt_feedback.Telemetry.observations p) )
+      | Some _ | None -> (None, None)
+    in
+    let e = Pipeline.evaluate ~config ?profile_seed ?observations source in
     let eval = Report.eval_json ~name e in
     let report_text = Report.compile_text ~name e in
     Artifact_cache.store cache key

@@ -27,15 +27,25 @@ type outcome = {
 }
 
 (** The cache key [compile] would use for [source] under [config] —
-    exposed for tests and for request de-duplication. *)
-val key_of : config:Spt_driver.Config.t -> string -> string
+    exposed for tests and for request de-duplication.  A non-empty
+    [profile] store folds its digest into the key
+    ({!Spt_driver.Config.cache_key}); an empty one keys as no store. *)
+val key_of :
+  config:Spt_driver.Config.t ->
+  ?profile:Spt_feedback.Profile_store.t ->
+  string ->
+  string
 
 (** Compile [source] (displayed as [name]) under [config], through
-    [cache].  Raises whatever the front end raises on invalid source;
-    cache malfunctions never raise (they recompute). *)
+    [cache].  A non-empty [profile] store seeds the compilation's
+    profilers and injects its telemetry as feedback observations on the
+    cold path (and keys warm hits separately from cold ones).  Raises
+    whatever the front end raises on invalid source; cache malfunctions
+    never raise (they recompute). *)
 val compile :
   cache:Artifact_cache.t ->
   config:Spt_driver.Config.t ->
+  ?profile:Spt_feedback.Profile_store.t ->
   name:string ->
-  source:string ->
+  string ->
   outcome

@@ -114,9 +114,15 @@ let handle t req =
   in
   let timed_compile ~op ~name ~source =
     let t0 = Unix.gettimeofday () in
+    (* optional persistent profile store; a missing or corrupt file
+       loads as the empty store, i.e. an unguided compile *)
+    let profile =
+      Option.map Spt_feedback.Profile_store.load (str_member "profile" req)
+    in
     let reply =
       match
-        Cached.compile ~cache:t.cache ~config:(config_of req) ~name ~source
+        Cached.compile ~cache:t.cache ~config:(config_of req) ?profile ~name
+          source
       with
       | o -> compile_reply ~op ~name o
       | exception e -> err (describe_error e)

@@ -14,6 +14,7 @@ let () =
       ("tlsim", Test_tlsim.suite);
       ("driver", Test_driver.suite);
       ("runtime", Test_runtime.suite);
+      ("feedback", Test_feedback.suite);
       ("service", Test_service.suite);
       ("cli", Test_cli.suite);
       ("workloads", Test_workloads.suite);

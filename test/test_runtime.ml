@@ -110,8 +110,10 @@ let test_specmem_violation_rollback () =
   mem.(0) <- vi 6;
   (match Specmem.validate v with
   | Ok () -> Alcotest.fail "stale read not detected"
-  | Error msg ->
-    Alcotest.(check bool) "names the address" true (contains msg "mem[0]"));
+  | Error stale ->
+    Alcotest.(check bool)
+      "names the address" true
+      (contains (Specmem.string_of_stale stale) "mem[0]"));
   (* rollback = simply not committing: no speculative effect escaped *)
   Alcotest.(check bool) "mem untouched" true
     (Specmem.value_eq mem.(1) (vi 0));

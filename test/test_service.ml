@@ -72,6 +72,35 @@ let test_fingerprint_config_sensitive () =
     (Cached.key_of ~config:Config.best loop_src
     = Cached.key_of ~config:Config.basic loop_src)
 
+let test_fingerprint_profile_sensitive () =
+  let module Store = Spt_feedback.Profile_store in
+  let bare = Cached.key_of ~config:Config.best loop_src in
+  Alcotest.(check string)
+    "an empty profile store keys as no store" bare
+    (Cached.key_of ~config:Config.best ~profile:(Store.empty ()) loop_src);
+  let s = Store.empty () in
+  let ep, dp, vp = Spt_driver.Pipeline.profile_source loop_src in
+  Store.absorb_profiles s ep dp vp;
+  Alcotest.(check bool)
+    "a non-empty store changes the key" false
+    (bare = Cached.key_of ~config:Config.best ~profile:s loop_src);
+  (* and warm hits under a profile replay byte-identically *)
+  with_tmpdir (fun dir ->
+      let cache = Cache.create ~dir () in
+      let compile () =
+        Cached.compile ~cache ~config:Config.best ~profile:s ~name:"loop.c"
+          loop_src
+      in
+      let cold = compile () in
+      let warm = compile () in
+      Alcotest.(check bool) "cold misses" false cold.Cached.hit;
+      Alcotest.(check bool) "warm hits" true warm.Cached.hit;
+      Alcotest.(check string) "byte-identical report"
+        cold.Cached.report_text warm.Cached.report_text;
+      Alcotest.(check string) "byte-identical eval JSON"
+        (Json.to_string cold.Cached.eval)
+        (Json.to_string warm.Cached.eval))
+
 let test_fingerprint_is_hex () =
   let k = Cached.key_of ~config:Config.best tiny_src in
   Alcotest.(check int) "32 hex chars" 32 (String.length k);
@@ -204,7 +233,7 @@ let test_cached_compile_determinism () =
       let cache = Cache.create ~dir () in
       let compile () =
         Cached.compile ~cache ~config:Config.best ~name:"loop.c"
-          ~source:loop_src
+          loop_src
       in
       let cold = compile () in
       let warm = compile () in
@@ -219,7 +248,7 @@ let test_cached_compile_determinism () =
       (* a reformatted copy of the source is still warm *)
       let reform =
         Cached.compile ~cache ~config:Config.best ~name:"loop.c"
-          ~source:loop_src_reformatted
+          loop_src_reformatted
       in
       Alcotest.(check bool) "reformatted source hits" true reform.Cached.hit)
 
@@ -229,7 +258,7 @@ let test_cached_compile_raises_on_bad_source () =
       let raised =
         match
           Cached.compile ~cache ~config:Config.best ~name:"bad.c"
-            ~source:"int ("
+            "int ("
         with
         | _ -> false
         | exception Spt_srclang.Parser.Parse_error _ -> true
@@ -321,6 +350,8 @@ let suite =
       test_fingerprint_layout_independent;
     Alcotest.test_case "fingerprint config-sensitive" `Quick
       test_fingerprint_config_sensitive;
+    Alcotest.test_case "fingerprint profile-sensitive" `Quick
+      test_fingerprint_profile_sensitive;
     Alcotest.test_case "fingerprint is hex" `Quick test_fingerprint_is_hex;
     Alcotest.test_case "cache roundtrip + persistence" `Quick test_cache_roundtrip;
     Alcotest.test_case "corruption is a miss" `Quick test_cache_corruption_is_a_miss;
