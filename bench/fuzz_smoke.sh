@@ -1,0 +1,65 @@
+#!/bin/sh
+# Smoke test for the differential fuzzer:
+#   1. a clean campaign (seed 42, 25 cases) over the full oracle matrix
+#      must find zero divergences and emit a valid spt-fuzz-v1 report;
+#   2. an injected transform fault (drop-prefork-stmt) must be caught
+#      (exit 2) and shrunk to a <= 15-line reproducer;
+#   3. the committed corpus under test/corpus must replay clean.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build bin/sptc.exe"
+dune build bin/sptc.exe
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+clean="$tmpdir/clean.json"
+inject="$tmpdir/inject.json"
+
+fail() {
+  echo "fuzz_smoke: FAIL: $1" >&2
+  exit 1
+}
+
+# pull a top-level numeric field out of a pretty-printed spt-fuzz-v1
+# report ("key": value)
+field() {
+  sed -n "s/^.*\"$2\": *\([0-9]*\),*$/\1/p" "$1" | head -n 1
+}
+
+echo "== clean campaign: seed 42, 25 cases, full matrix"
+dune exec bin/sptc.exe -- fuzz --seed 42 --count 25 --json "$clean" \
+  --log-level warn \
+  || fail "clean campaign exited non-zero (divergence or error)"
+
+[ -s "$clean" ] || fail "report $clean missing or empty"
+grep -q '"spt-fuzz-v1"' "$clean" || fail "report lacks the spt-fuzz-v1 schema tag"
+[ "$(field "$clean" cases)" = 25 ] || fail "report does not cover 25 cases"
+[ "$(field "$clean" divergent)" = 0 ] \
+  || fail "clean campaign reported $(field "$clean" divergent) divergence(s)"
+[ "$(field "$clean" skipped)" = 0 ] \
+  || fail "clean campaign skipped $(field "$clean" skipped) case(s)"
+[ "$(field "$clean" spt_loops)" -gt 0 ] \
+  || fail "campaign speculated no loops at all"
+
+echo "== injected fault: drop-prefork-stmt must be caught and shrunk"
+set +e
+dune exec bin/sptc.exe -- fuzz --seed 42 --index 0 --count 1 \
+  --inject drop-prefork-stmt --json "$inject" --log-level warn \
+  >"$tmpdir/inject.out" 2>&1
+code=$?
+set -e
+[ "$code" = 2 ] || fail "injected fault run exited $code, want 2"
+[ "$(field "$inject" fault_fired)" -gt 0 ] || fail "fault never fired"
+shrunk=$(field "$inject" shrunk_loc)
+[ -n "$shrunk" ] || fail "no shrunk reproducer in the report"
+[ "$shrunk" -le 15 ] || fail "reproducer is $shrunk lines, want <= 15"
+grep -q "sptc fuzz --seed 42 --index 0" "$tmpdir/inject.out" \
+  || fail "summary lacks the reproduce line"
+
+echo "== corpus replay: test/corpus must stay clean"
+dune exec bin/sptc.exe -- fuzz --replay test/corpus --log-level warn \
+  || fail "corpus replay diverged"
+
+echo "fuzz_smoke: OK (25 clean cases; fault caught, shrunk to ${shrunk} lines; corpus clean)"

@@ -10,6 +10,7 @@
     - [serve]          line-delimited JSON compile service on stdin
     - [profile FILE]   persist edge/dep/value profiles to a store
     - [adapt FILE]     compile → run → re-partition until convergence
+    - [fuzz]           differential fuzzing across all execution paths
 *)
 
 open Cmdliner
@@ -263,7 +264,10 @@ let run_cmd =
           | `Mismatch m ->
             Format.eprintf "oracle FAILED: %s@." m;
             finish ();
-            exit 1
+            (* 2, not 1: the program compiled and ran — what failed is
+               sequential equivalence, the same class of verdict as a
+               fuzz divergence *)
+            exit 2
         end)
   in
   Cmd.v
@@ -684,6 +688,125 @@ let adapt_cmd =
       const run $ file_arg $ config_arg $ iters_arg $ jobs_arg $ threshold_arg
       $ store_arg $ json_arg $ log_level_arg)
 
+let fuzz_cmd =
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Campaign seed; each case derives its own generator seed from it")
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 50
+      & info [ "count" ] ~docv:"K" ~doc:"Number of generated cases")
+  in
+  let index_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "index" ] ~docv:"I"
+          ~doc:
+            "Run only case $(docv) of the campaign (what the reproduce line \
+             of a failure uses)")
+  in
+  let matrix_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "matrix" ] ~docv:"SPEC"
+          ~doc:
+            "Comma-separated oracle points: any of $(b,seq), $(b,par), \
+             $(b,cache), $(b,feedback) (default: all of them)")
+  in
+  let inject_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "inject" ] ~docv:"FAULT"
+          ~doc:
+            "Arm a transform fault (currently $(b,drop-prefork-stmt)) — the \
+             oracle is then expected to diverge; exercises the harness itself")
+  in
+  let corpus_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:
+            "Persist shrunk failing cases and a few interesting clean ones \
+             (that actually misspeculated) into $(docv) as commented .c files")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"DIR"
+          ~doc:
+            "Replay every .c under $(docv) through the oracle instead of \
+             generating (corpus regression mode); --seed/--count are ignored")
+  in
+  let shrink_budget_arg =
+    Arg.(
+      value & opt int 300
+      & info [ "shrink-budget" ] ~docv:"N"
+          ~doc:"Oracle re-checks the shrinker may spend per failing case")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the machine-readable report (schema $(b,spt-fuzz-v1))")
+  in
+  let run seed count index matrix inject corpus replay shrink_budget config
+      json_out log_level =
+    handle_errors (fun () ->
+        Option.iter Spt_obs.Log.set_level log_level;
+        let matrix =
+          Option.map
+            (fun spec ->
+              match Spt_fuzz.Oracle.matrix_of_string spec with
+              | Ok m -> m
+              | Error msg ->
+                Format.eprintf "error: %s@." msg;
+                exit 1)
+            matrix
+        in
+        (match inject with
+        | Some f when not (List.mem f Spt_fuzz.Oracle.known_faults) ->
+          Format.eprintf "error: unknown fault %S (known: %s)@." f
+            (String.concat ", " Spt_fuzz.Oracle.known_faults);
+          exit 1
+        | _ -> ());
+        let c =
+          match replay with
+          | Some dir -> Spt_fuzz.Harness.replay_corpus ~config ?matrix ~dir ()
+          | None ->
+            Spt_fuzz.Harness.run_campaign ~config ?matrix ?inject ?index
+              ?corpus_dir:corpus ~shrink_budget ~seed ~count ()
+        in
+        print_string (Spt_fuzz.Harness.summary c);
+        Option.iter
+          (fun path ->
+            Json.to_file path (Spt_fuzz.Harness.report_json c);
+            Spt_obs.Log.info "fuzz report written to %s" path)
+          json_out;
+        (* divergence is the fuzz analogue of an oracle mismatch: 2 *)
+        if Spt_fuzz.Harness.divergent c then exit 2)
+  in
+  Cmd.v
+    (Cmd.info "fuzz" ~version
+       ~doc:
+         "Differential fuzzing: generate random MiniC programs and check \
+          every execution path (sequential, parallel runtime, cache replay, \
+          feedback-guided recompile) against the sequential reference; \
+          failures are shrunk and reported with a reproduce line (exit 2 on \
+          divergence)")
+    Term.(
+      const run $ seed_arg $ count_arg $ index_arg $ matrix_arg $ inject_arg
+      $ corpus_arg $ replay_arg $ shrink_budget_arg $ config_arg $ json_arg
+      $ log_level_arg)
+
 let () =
   let doc = "cost-driven speculative parallelization (PLDI 2004 reproduction)" in
   let info = Cmd.info "sptc" ~version ~doc in
@@ -691,7 +814,7 @@ let () =
     Cmd.group info
       [
         run_cmd; dump_ir_cmd; loops_cmd; compile_cmd; workload_cmd; batch_cmd;
-        serve_cmd; graph_cmd; profile_cmd; adapt_cmd;
+        serve_cmd; graph_cmd; profile_cmd; adapt_cmd; fuzz_cmd;
       ]
   in
   (* distinct exit codes: 0 = success, 2 = usage error, 1 = compile/run

@@ -22,11 +22,7 @@ let obs_of (st : Runtime.loop_stats) : Profile_store.obs =
     o_despecs = st.Runtime.despecs;
     o_serial_reexecs = st.Runtime.serial_reexecs;
     o_stale_other = st.Runtime.stale_reg + st.Runtime.stale_rng;
-    o_stale_regions =
-      List.sort compare
-        (Hashtbl.fold
-           (fun sid n acc -> (sid, n) :: acc)
-           st.Runtime.stale_regions []);
+    o_stale_regions = Runtime.sorted_regions st;
   }
 
 let record store (spt : Pipeline.spt_compilation) (r : Runtime.result) =

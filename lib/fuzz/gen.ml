@@ -1,0 +1,343 @@
+(** Seeded random MiniC generator — see gen.mli. *)
+
+open Spt_srclang
+
+type tuning = {
+  t_dep_prob : float;
+  t_branch_prob : float;
+  t_reduction_prob : float;
+  t_call_prob : float;
+  t_print_prob : float;
+  t_rand_prob : float;
+  t_nested_prob : float;
+  t_max_loops : int;
+  t_max_body : int;
+  t_max_trip : int;
+  t_max_arrays : int;
+  t_max_arr_len : int;
+}
+
+let default_tuning =
+  {
+    t_dep_prob = 0.4;
+    t_branch_prob = 0.35;
+    t_reduction_prob = 0.6;
+    t_call_prob = 0.25;
+    t_print_prob = 0.15;
+    t_rand_prob = 0.1;
+    t_nested_prob = 0.25;
+    t_max_loops = 3;
+    t_max_body = 6;
+    t_max_trip = 24;
+    t_max_arrays = 3;
+    t_max_arr_len = 24;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* splitmix64: tiny, platform-independent, splittable *)
+
+type rng = { mutable s : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next r =
+  r.s <- Int64.add r.s golden;
+  let z = r.s in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let rng_of_seed seed = { s = Int64.of_int seed }
+
+let int_below r n =
+  if n <= 1 then 0
+  else Int64.to_int (Int64.rem (Int64.shift_right_logical (next r) 1) (Int64.of_int n))
+
+let chance r p = float_of_int (int_below r 1_000_000) < p *. 1_000_000.0
+let pick r l = List.nth l (int_below r (List.length l))
+
+let case_seed ~seed ~index =
+  (* one splitmix step over (seed, index) — distinct indices land far
+     apart, and --index replays a single case without the prefix *)
+  let r = { s = Int64.add (Int64.of_int seed) (Int64.mul 0x5851F42DL (Int64.of_int (index + 1))) } in
+  Int64.to_int (Int64.shift_right_logical (next r) 2)
+
+(* ------------------------------------------------------------------ *)
+(* AST helpers *)
+
+let e d = Ast.mk_expr d
+let s d = Ast.mk_stmt d
+let ilit n = e (Ast.Int_lit (Int64.of_int n))
+let var n = e (Ast.Var n)
+let bin op a b = e (Ast.Binary (op, a, b))
+let assign name x = s (Ast.Assign (Ast.Lvar name, x))
+let astore arr idx x = s (Ast.Assign (Ast.Lindex (arr, idx), x))
+let decl name x = s (Ast.Decl (Ast.Tint, name, Some x))
+let call_stmt name args = s (Ast.Expr_stmt (e (Ast.Call (name, args))))
+
+(* ------------------------------------------------------------------ *)
+(* Generation environment *)
+
+type env = {
+  rng : rng;
+  tn : tuning;
+  arrays : (string * int) list;  (** name, length *)
+  helpers : (string * int) list;  (** name, arity *)
+  mutable scalars : string list;  (** assignable int locals/globals *)
+  mutable counters : string list;  (** loop counters: readable only *)
+  mutable gensym : int;
+}
+
+let fresh env prefix =
+  let n = env.gensym in
+  env.gensym <- n + 1;
+  Printf.sprintf "%s%d" prefix n
+
+(* ------------------------------------------------------------------ *)
+(* Expressions.
+
+   Indices are a separate, restricted grammar: affine in a loop counter
+   with non-negative coefficients, reduced [% len] — always in bounds,
+   never a negative dividend.  Value expressions may read arrays (via
+   the same safe indices), divide and take remainders only by positive
+   constants, and consult [rand()] with low probability. *)
+
+let gen_index env counter len =
+  match int_below env.rng 4 with
+  | 0 -> bin Ast.Mod (var counter) (ilit len)
+  | 1 -> bin Ast.Mod (bin Ast.Add (var counter) (ilit (int_below env.rng len))) (ilit len)
+  | 2 ->
+    (* previous element, wrapped: the canonical cross-iteration read *)
+    bin Ast.Mod (bin Ast.Add (var counter) (ilit (len - 1))) (ilit len)
+  | _ ->
+    bin Ast.Mod
+      (bin Ast.Add
+         (bin Ast.Mul (var counter) (ilit (1 + int_below env.rng 3)))
+         (ilit (int_below env.rng 7)))
+      (ilit len)
+
+let rec gen_expr env ~counter depth =
+  let leaf () =
+    match int_below env.rng 5 with
+    | 0 -> ilit (int_below env.rng 25 - 8)
+    | 1 when env.scalars <> [] -> var (pick env.rng env.scalars)
+    | 2 when counter <> None -> var (Option.get counter)
+    | 3 when env.arrays <> [] && counter <> None ->
+      let arr, len = pick env.rng env.arrays in
+      e (Ast.Index (arr, gen_index env (Option.get counter) len))
+    | _ -> ilit (int_below env.rng 17)
+  in
+  if depth <= 0 then leaf ()
+  else
+    match int_below env.rng 10 with
+    | 0 | 1 -> leaf ()
+    | 2 ->
+      e (Ast.Unary (Ast.Neg, gen_expr env ~counter (depth - 1)))
+    | 3 ->
+      bin Ast.Div (gen_expr env ~counter (depth - 1)) (ilit (2 + int_below env.rng 8))
+    | 4 ->
+      bin Ast.Mod (gen_expr env ~counter (depth - 1)) (ilit (2 + int_below env.rng 8))
+    | 5 when env.helpers <> [] && chance env.rng env.tn.t_call_prob ->
+      let h, arity = pick env.rng env.helpers in
+      e (Ast.Call (h, List.init arity (fun _ -> gen_expr env ~counter (depth - 1))))
+    | 6 when chance env.rng env.tn.t_rand_prob ->
+      bin Ast.Mod (e (Ast.Call ("rand", []))) (ilit (3 + int_below env.rng 14))
+    | 7 ->
+      e (Ast.Call (pick env.rng [ "min"; "max" ],
+           [ gen_expr env ~counter (depth - 1); gen_expr env ~counter (depth - 1) ]))
+    | _ ->
+      let op = pick env.rng Ast.[ Add; Add; Sub; Mul; Band; Bor; Bxor ] in
+      bin op (gen_expr env ~counter (depth - 1)) (gen_expr env ~counter (depth - 1))
+
+let gen_cond env ~counter =
+  match int_below env.rng 3 with
+  | 0 -> bin (pick env.rng Ast.[ Lt; Le; Gt; Ge ])
+           (gen_expr env ~counter 1) (gen_expr env ~counter 1)
+  | 1 -> bin Ast.Eq (bin Ast.Band (gen_expr env ~counter 1) (ilit 1)) (ilit 0)
+  | _ -> bin Ast.Ne (gen_expr env ~counter 1) (ilit (int_below env.rng 5))
+
+(* ------------------------------------------------------------------ *)
+(* Statements *)
+
+(* one plain body statement (no control flow) *)
+let gen_simple_stmt env ~counter =
+  match int_below env.rng 5 with
+  | 0 | 1 when env.arrays <> [] && counter <> None ->
+    let arr, len = pick env.rng env.arrays in
+    astore arr (gen_index env (Option.get counter) len) (gen_expr env ~counter 2)
+  | 2 when chance env.rng env.tn.t_print_prob ->
+    call_stmt "print_int" [ gen_expr env ~counter 1 ]
+  | _ when env.scalars <> [] ->
+    let v = pick env.rng env.scalars in
+    if chance env.rng env.tn.t_dep_prob then
+      (* carried scalar dependence: read-modify-write of the same var *)
+      assign v (bin (pick env.rng Ast.[ Add; Sub; Bxor ]) (var v) (gen_expr env ~counter 2))
+    else assign v (gen_expr env ~counter 2)
+  | _ -> call_stmt "print_int" [ gen_expr env ~counter 1 ]
+
+(* a cross-iteration memory dependence: write element i, read the
+   previous one — the flow the speculative runtime must get right *)
+let gen_carried_mem env ~counter =
+  match (env.arrays, counter) with
+  | (arr, len) :: _, Some i ->
+    let prev = bin Ast.Mod (bin Ast.Add (var i) (ilit (len - 1))) (ilit len) in
+    [
+      astore arr
+        (bin Ast.Mod (var i) (ilit len))
+        (bin Ast.Add (e (Ast.Index (arr, prev))) (gen_expr env ~counter 1));
+    ]
+  | _ -> []
+
+let rec gen_body env ~counter ~depth n =
+  List.concat
+    (List.init n (fun _ ->
+         match int_below env.rng 10 with
+         | 0 | 1 | 2 | 3 -> [ gen_simple_stmt env ~counter ]
+         | 4 when chance env.rng env.tn.t_dep_prob -> gen_carried_mem env ~counter
+         | 5 when chance env.rng env.tn.t_branch_prob ->
+           let then_ = gen_body env ~counter ~depth (1 + int_below env.rng 2) in
+           let else_ =
+             if chance env.rng 0.5 then gen_body env ~counter ~depth 1 else []
+           in
+           [ s (Ast.If (gen_cond env ~counter, then_, else_)) ]
+         | 6 when depth = 0 && chance env.rng env.tn.t_nested_prob ->
+           [ gen_loop env ~depth:1 ]
+         | 7 when chance env.rng env.tn.t_reduction_prob && env.scalars <> [] ->
+           let v = pick env.rng env.scalars in
+           [ assign v (bin Ast.Add (var v) (gen_expr env ~counter 1)) ]
+         | _ -> [ gen_simple_stmt env ~counter ]))
+
+(* one loop nest; counters never re-enter the assignable scope, so the
+   induction is always a plain +1 to a constant bound: termination by
+   construction *)
+and gen_loop env ~depth =
+  let trip = 2 + int_below env.rng (max 1 (env.tn.t_max_trip - 1)) in
+  let trip = if depth > 0 then min trip 8 else trip in
+  let i = fresh env "i" in
+  let body_n = 1 + int_below env.rng (max 1 env.tn.t_max_body) in
+  let saved_counters = env.counters in
+  env.counters <- i :: env.counters;
+  let body = gen_body env ~counter:(Some i) ~depth (max 1 body_n) in
+  env.counters <- saved_counters;
+  let incr_i = assign i (bin Ast.Add (var i) (ilit 1)) in
+  match int_below env.rng 4 with
+  | 0 ->
+    s (Ast.Block
+         [ decl i (ilit 0); s (Ast.While (bin Ast.Lt (var i) (ilit trip), body @ [ incr_i ])) ])
+  | 1 ->
+    s (Ast.Block
+         [ decl i (ilit 0); s (Ast.Do_while (body @ [ incr_i ], bin Ast.Lt (var i) (ilit trip))) ])
+  | _ ->
+    s (Ast.For
+         ( Some (decl i (ilit 0)),
+           Some (bin Ast.Lt (var i) (ilit trip)),
+           Some (assign i (bin Ast.Add (var i) (ilit 1))),
+           body ))
+
+(* ------------------------------------------------------------------ *)
+(* Whole programs *)
+
+let gen_helper env idx =
+  let name = Printf.sprintf "h%d" idx in
+  let x = var "x" and y = var "y" in
+  let body =
+    [
+      decl "t"
+        (bin (pick env.rng Ast.[ Add; Sub; Mul ])
+           (bin Ast.Mul x (ilit (1 + int_below env.rng 5)))
+           y);
+      s (Ast.If (bin Ast.Lt (var "t") (ilit 0), [ assign "t" (bin Ast.Sub (ilit 0) (var "t")) ], []));
+      s (Ast.Return (Some (bin Ast.Mod (var "t") (ilit (17 + int_below env.rng 100)))));
+    ]
+  in
+  {
+    Ast.fname = name;
+    fparams = [ (Ast.Tint, "x"); (Ast.Tint, "y") ];
+    fret = Ast.Tint;
+    fbody = body;
+    floc = Ast.no_loc;
+  }
+
+let generate ?(tuning = default_tuning) ~seed () =
+  let rng = rng_of_seed seed in
+  let n_arrays = 1 + int_below rng (max 1 tuning.t_max_arrays) in
+  let arrays =
+    List.init n_arrays (fun k ->
+        (Printf.sprintf "a%d" k, 4 + int_below rng (max 1 (tuning.t_max_arr_len - 3))))
+  in
+  let n_helpers = int_below rng 3 in
+  let helpers = List.init n_helpers (fun k -> (Printf.sprintf "h%d" k, 2)) in
+  let env =
+    { rng; tn = tuning; arrays; helpers; scalars = []; counters = []; gensym = 0 }
+  in
+  let helper_defs = List.init n_helpers (gen_helper env) in
+  let n_globals = int_below rng 3 in
+  let globals_scalars =
+    List.init n_globals (fun k -> Printf.sprintf "g%d" k)
+  in
+  let n_locals = 2 + int_below rng 3 in
+  let locals = List.init n_locals (fun k -> Printf.sprintf "s%d" k) in
+  env.scalars <- globals_scalars @ locals;
+  let local_decls =
+    List.map (fun v -> decl v (ilit (int_below rng 9))) locals
+  in
+  let n_loops = 1 + int_below rng (max 1 tuning.t_max_loops) in
+  let loops = List.init n_loops (fun _ -> gen_loop env ~depth:0) in
+  (* observe the full final state: every scalar, and a checksum of
+     every array, so silent memory divergence becomes output divergence
+     even where heap digests are not comparable *)
+  let observe_scalars =
+    List.map (fun v -> call_stmt "print_int" [ var v ]) (globals_scalars @ locals)
+  in
+  let observe_arrays =
+    List.concat_map
+      (fun (arr, len) ->
+        let cs = fresh env "cs" and ci = fresh env "ci" in
+        [
+          decl cs (ilit 0);
+          s (Ast.For
+               ( Some (decl ci (ilit 0)),
+                 Some (bin Ast.Lt (var ci) (ilit len)),
+                 Some (assign ci (bin Ast.Add (var ci) (ilit 1))),
+                 [
+                   assign cs
+                     (bin Ast.Add (var cs)
+                        (bin Ast.Mul (e (Ast.Index (arr, var ci)))
+                           (bin Ast.Add (var ci) (ilit 1))));
+                 ] ));
+          call_stmt "print_int" [ var cs ];
+        ])
+      arrays
+  in
+  let main =
+    {
+      Ast.fname = "main";
+      fparams = [];
+      fret = Ast.Tvoid;
+      fbody = local_decls @ loops @ observe_scalars @ observe_arrays;
+      floc = Ast.no_loc;
+    }
+  in
+  let globals =
+    List.map
+      (fun (a, len) ->
+        let init =
+          if chance rng 0.5 then
+            Some (List.init len (fun _ -> Int64.of_int (int_below rng 33 - 8)))
+          else None
+        in
+        Ast.Garray (Ast.Tint, a, len, init))
+      arrays
+    @ List.map
+        (fun gname -> Ast.Gscalar (Ast.Tint, gname, Some (ilit (int_below rng 13))))
+        globals_scalars
+  in
+  { Ast.globals; funcs = helper_defs @ [ main ] }
+
+let to_source = Src_pretty.to_string
+
+let loc src =
+  List.length
+    (List.filter
+       (fun l -> String.trim l <> "")
+       (String.split_on_char '\n' src))

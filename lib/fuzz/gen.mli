@@ -1,0 +1,57 @@
+(** Seeded random MiniC program generator.
+
+    Programs are built to stress exactly the shapes the cost-driven
+    partitioner reasons about — loops with cross-iteration memory and
+    scalar dependences of tunable probability, data-dependent branches,
+    array stores through computed indices, reductions, nested loops,
+    helper calls and speculative-unfriendly [rand()] use — while
+    staying inside the differential oracle's comparability envelope:
+    every generated program type-checks, terminates, stays in bounds,
+    never divides by zero and never reads an uninitialized scalar, so
+    any cross-configuration divergence observed on it is a bug in the
+    framework, not in the input.
+
+    Generation is deterministic: the same seed always yields the same
+    program, on any platform (the PRNG is a self-contained
+    splitmix64). *)
+
+(** Generation knobs.  Probabilities are in [0, 1]. *)
+type tuning = {
+  t_dep_prob : float;  (** chance a loop carries a cross-iteration dependence *)
+  t_branch_prob : float;  (** chance of an [if] inside a loop body *)
+  t_reduction_prob : float;  (** chance a loop accumulates into a scalar *)
+  t_call_prob : float;  (** chance a body statement calls a helper *)
+  t_print_prob : float;  (** chance of a print inside a loop body *)
+  t_rand_prob : float;  (** chance an expression consults [rand()] *)
+  t_nested_prob : float;  (** chance a top-level loop nests another *)
+  t_max_loops : int;  (** top-level loop nests in [main] (>= 1) *)
+  t_max_body : int;  (** statements per loop body (>= 1) *)
+  t_max_trip : int;  (** loop trip counts drawn from [2, t_max_trip] *)
+  t_max_arrays : int;  (** global int arrays (>= 1) *)
+  t_max_arr_len : int;  (** array lengths drawn from [4, t_max_arr_len] *)
+}
+
+val default_tuning : tuning
+
+(** Splitmix64 PRNG state. *)
+type rng
+
+val rng_of_seed : int -> rng
+
+(** [int_below r n] is uniform in [[0, n-1]] ([n >= 1]). *)
+val int_below : rng -> int -> int
+
+(** The per-case seed of case [index] in a campaign started at [seed] —
+    a bijective-ish mix, so [--index] reproduces one case without
+    replaying the sequence before it. *)
+val case_seed : seed:int -> index:int -> int
+
+(** Generate one program. *)
+val generate : ?tuning:tuning -> seed:int -> unit -> Spt_srclang.Ast.program
+
+(** Render to parseable MiniC concrete syntax. *)
+val to_source : Spt_srclang.Ast.program -> string
+
+(** Non-empty source lines — the size metric shrinking minimizes and
+    reports ("a <= 15-line reproducer"). *)
+val loc : string -> int

@@ -1,0 +1,375 @@
+(** Fuzz campaign driver — see harness.mli. *)
+
+module Json = Spt_obs.Json
+module Config = Spt_driver.Config
+
+type case_result = {
+  cr_index : int;
+  cr_seed : int;
+  cr_name : string option;
+  cr_loc : int;
+  cr_spt_loops : int;
+  cr_misspecs : int;
+  cr_status : [ `Clean | `Divergent | `Skipped of string ];
+  cr_fault_fired : bool;
+  cr_divergences : Oracle.divergence list;
+  cr_shrunk : (string * int) option;
+  cr_reproduce : string option;
+}
+
+type campaign = {
+  c_seed : int;
+  c_count : int;
+  c_matrix : Oracle.point list;
+  c_config : string;
+  c_inject : string option;
+  c_cases : case_result list;
+  c_clean : int;
+  c_skipped : int;
+  c_divergent : int;
+  c_elapsed_s : float;
+}
+
+let divergent c = c.c_divergent > 0
+
+(* the --matrix spec that reproduces [points] (inject is a separate
+   flag, not a matrix family) *)
+let matrix_spec points =
+  let fams =
+    List.filter
+      (fun f ->
+        List.exists
+          (fun p ->
+            match (f, p) with
+            | "par", Oracle.P_par _ -> true
+            | "cache", Oracle.P_cache -> true
+            | "feedback", Oracle.P_feedback -> true
+            | _ -> false)
+          points)
+      [ "par"; "cache"; "feedback" ]
+  in
+  String.concat "," ("seq" :: fams)
+
+let reproduce_line ~seed ~index ~matrix ~config ~inject =
+  String.concat ""
+    [
+      Printf.sprintf "sptc fuzz --seed %d --index %d --count 1" seed index;
+      Printf.sprintf " --matrix %s" (matrix_spec matrix);
+      (if config = Config.best.Config.name then ""
+       else Printf.sprintf " --config %s" config);
+      (match inject with None -> "" | Some f -> Printf.sprintf " --inject %s" f);
+    ]
+
+(* ------------------------------------------------------------------ *)
+
+(* shrink predicate: the candidate still diverges at (one of) the
+   points the original failure touched — re-running only those keeps
+   shrinking ~5x cheaper than the full matrix.  Mutant checks also run
+   under a 20x tighter step budget: a mutant that loops forever (a
+   common fault symptom — the dropped statement is often the induction
+   update) then costs ~100k steps to reject instead of 2M, and any
+   mutant whose reference needs more than 100k steps is skipped, i.e.
+   treated as not-failing, which only makes the shrinker less greedy,
+   never wrong. *)
+let shrink_max_steps = Oracle.default_max_steps / 20
+
+let shrink_failure ~config ~matrix ~budget (v : Oracle.verdict) src =
+  let failing_points =
+    List.filter
+      (fun pt ->
+        List.exists
+          (fun (d : Oracle.divergence) ->
+            String.equal d.Oracle.d_point (Oracle.string_of_point pt))
+          v.Oracle.v_divergences)
+      matrix
+  in
+  let pred s =
+    match
+      Oracle.check ~config ~max_steps:shrink_max_steps ~matrix:failing_points s
+    with
+    | { Oracle.v_status = `Divergent; _ } -> true
+    | _ -> false
+  in
+  Shrink.minimize ~budget pred src
+
+let write_corpus_file ~dir ~name ~header src =
+  (try
+     if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+   with Unix.Unix_error _ -> ());
+  let oc = open_out (Filename.concat dir name) in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      List.iter (fun l -> Printf.fprintf oc "// %s\n" l) header;
+      output_string oc src;
+      if src = "" || src.[String.length src - 1] <> '\n' then
+        output_char oc '\n')
+
+let check_one ~config ~matrix src =
+  let v = Oracle.check ~config ~matrix src in
+  let status =
+    match v.Oracle.v_status with
+    | `Ok -> `Clean
+    | `Divergent -> `Divergent
+    | `Skipped r -> `Skipped r
+  in
+  (v, status)
+
+let tally cases =
+  List.fold_left
+    (fun (cl, sk, dv) c ->
+      match c.cr_status with
+      | `Clean -> (cl + 1, sk, dv)
+      | `Skipped _ -> (cl, sk + 1, dv)
+      | `Divergent -> (cl, sk, dv + 1))
+    (0, 0, 0) cases
+
+let run_campaign ?(config = Config.best) ?(tuning = Gen.default_tuning)
+    ?(matrix = Oracle.default_matrix) ?inject ?index ?corpus_dir
+    ?(shrink_budget = 300) ?(keep_interesting = 3) ~seed ~count () =
+  let t0 = Unix.gettimeofday () in
+  let matrix =
+    matrix @ match inject with None -> [] | Some f -> [ Oracle.P_inject f ]
+  in
+  let indices =
+    match index with Some i -> [ i ] | None -> List.init count (fun i -> i)
+  in
+  let kept_interesting = ref 0 in
+  let cases =
+    List.map
+      (fun i ->
+        let case_seed = Gen.case_seed ~seed ~index:i in
+        let src = Gen.to_source (Gen.generate ~tuning ~seed:case_seed ()) in
+        let v, status = check_one ~config ~matrix src in
+        let shrunk, reproduce =
+          match status with
+          | `Divergent ->
+            let small =
+              shrink_failure ~config ~matrix ~budget:shrink_budget v src
+            in
+            let line =
+              reproduce_line ~seed ~index:i ~matrix
+                ~config:config.Config.name ~inject
+            in
+            (Some (small, Gen.loc small), Some line)
+          | _ -> (None, None)
+        in
+        (match (corpus_dir, status, shrunk) with
+        | Some dir, `Divergent, Some (small, _) ->
+          write_corpus_file ~dir
+            ~name:(Printf.sprintf "div_s%d_c%d.c" seed i)
+            ~header:
+              ([
+                 "spt-fuzz divergence reproducer (minimized)";
+                 "reproduce: " ^ Option.value ~default:"" reproduce;
+               ]
+              @ List.map
+                  (fun (d : Oracle.divergence) ->
+                    Printf.sprintf "divergence at %s [%s]: %s" d.Oracle.d_point
+                      d.Oracle.d_kind d.Oracle.d_detail)
+                  v.Oracle.v_divergences)
+            small
+        | Some dir, `Clean, _
+          when v.Oracle.v_spt_loops > 0
+               && v.Oracle.v_misspecs > 0
+               && !kept_interesting < keep_interesting ->
+          incr kept_interesting;
+          write_corpus_file ~dir
+            ~name:(Printf.sprintf "int_s%d_c%d.c" seed i)
+            ~header:
+              [
+                Printf.sprintf
+                  "spt-fuzz interesting case: %d SPT loop(s), %d misspeculation(s) \
+                   observed, all matrix points agree"
+                  v.Oracle.v_spt_loops v.Oracle.v_misspecs;
+                Printf.sprintf "generated from: %s"
+                  (reproduce_line ~seed ~index:i ~matrix
+                     ~config:config.Config.name ~inject:None);
+              ]
+            src
+        | _ -> ());
+        {
+          cr_index = i;
+          cr_seed = case_seed;
+          cr_name = None;
+          cr_loc = Gen.loc src;
+          cr_spt_loops = v.Oracle.v_spt_loops;
+          cr_misspecs = v.Oracle.v_misspecs;
+          cr_status = status;
+          cr_fault_fired = v.Oracle.v_fault_fired;
+          cr_divergences = v.Oracle.v_divergences;
+          cr_shrunk = shrunk;
+          cr_reproduce = reproduce;
+        })
+      indices
+  in
+  let clean, skipped, div = tally cases in
+  {
+    c_seed = seed;
+    c_count = List.length indices;
+    c_matrix = matrix;
+    c_config = config.Config.name;
+    c_inject = inject;
+    c_cases = cases;
+    c_clean = clean;
+    c_skipped = skipped;
+    c_divergent = div;
+    c_elapsed_s = Unix.gettimeofday () -. t0;
+  }
+
+let replay_corpus ?(config = Config.best) ?(matrix = Oracle.default_matrix)
+    ~dir () =
+  let t0 = Unix.gettimeofday () in
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".c")
+    |> List.sort compare
+  in
+  let cases =
+    List.mapi
+      (fun i file ->
+        let path = Filename.concat dir file in
+        let ic = open_in_bin path in
+        let src =
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        in
+        let v, status = check_one ~config ~matrix src in
+        {
+          cr_index = i;
+          cr_seed = 0;
+          cr_name = Some file;
+          cr_loc = Gen.loc src;
+          cr_spt_loops = v.Oracle.v_spt_loops;
+          cr_misspecs = v.Oracle.v_misspecs;
+          cr_status = status;
+          cr_fault_fired = v.Oracle.v_fault_fired;
+          cr_divergences = v.Oracle.v_divergences;
+          cr_shrunk = None;
+          cr_reproduce = None;
+        })
+      files
+  in
+  let clean, skipped, div = tally cases in
+  {
+    c_seed = 0;
+    c_count = List.length cases;
+    c_matrix = matrix;
+    c_config = config.Config.name;
+    c_inject = None;
+    c_cases = cases;
+    c_clean = clean;
+    c_skipped = skipped;
+    c_divergent = div;
+    c_elapsed_s = Unix.gettimeofday () -. t0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Reporting *)
+
+let status_str = function
+  | `Clean -> "clean"
+  | `Divergent -> "divergent"
+  | `Skipped _ -> "skipped"
+
+let case_json c =
+  Json.Obj
+    (List.concat
+       [
+         [ ("index", Json.Int c.cr_index); ("seed", Json.Int c.cr_seed) ];
+         (match c.cr_name with
+         | Some n -> [ ("name", Json.Str n) ]
+         | None -> []);
+         [
+           ("loc", Json.Int c.cr_loc);
+           ("spt_loops", Json.Int c.cr_spt_loops);
+           ("misspecs", Json.Int c.cr_misspecs);
+           ("status", Json.Str (status_str c.cr_status));
+           ("fault_fired", Json.Bool c.cr_fault_fired);
+         ];
+         (match c.cr_status with
+         | `Skipped r -> [ ("skip_reason", Json.Str r) ]
+         | _ -> []);
+         [
+           ( "divergences",
+             Json.List (List.map Oracle.divergence_json c.cr_divergences) );
+         ];
+         (match c.cr_shrunk with
+         | Some (src, l) ->
+           [ ("shrunk_loc", Json.Int l); ("shrunk_source", Json.Str src) ]
+         | None -> []);
+         (match c.cr_reproduce with
+         | Some r -> [ ("reproduce", Json.Str r) ]
+         | None -> []);
+       ])
+
+let report_json c =
+  Json.Obj
+    [
+      ("schema", Json.Str "spt-fuzz-v1");
+      ("seed", Json.Int c.c_seed);
+      ("count", Json.Int c.c_count);
+      ( "matrix",
+        Json.List
+          (List.map (fun p -> Json.Str (Oracle.string_of_point p)) c.c_matrix)
+      );
+      ("config", Json.Str c.c_config);
+      ( "inject",
+        match c.c_inject with Some f -> Json.Str f | None -> Json.Null );
+      ( "totals",
+        Json.Obj
+          [
+            ("cases", Json.Int (List.length c.c_cases));
+            ("clean", Json.Int c.c_clean);
+            ("skipped", Json.Int c.c_skipped);
+            ("divergent", Json.Int c.c_divergent);
+            ( "spt_loops",
+              Json.Int
+                (List.fold_left (fun a x -> a + x.cr_spt_loops) 0 c.c_cases) );
+            ( "misspecs",
+              Json.Int
+                (List.fold_left (fun a x -> a + x.cr_misspecs) 0 c.c_cases) );
+            ( "fault_fired",
+              Json.Int
+                (List.length (List.filter (fun x -> x.cr_fault_fired) c.c_cases))
+            );
+          ] );
+      ("cases", Json.List (List.map case_json c.c_cases));
+      ("elapsed_s", Json.Float c.c_elapsed_s);
+    ]
+
+let summary c =
+  let b = Buffer.create 256 in
+  Printf.bprintf b
+    "fuzz: %d case(s), %d clean, %d skipped, %d divergent (matrix %s%s, \
+     config %s, %.1fs)\n"
+    (List.length c.c_cases) c.c_clean c.c_skipped c.c_divergent
+    (matrix_spec c.c_matrix)
+    (match c.c_inject with Some f -> " + inject:" ^ f | None -> "")
+    c.c_config c.c_elapsed_s;
+  List.iter
+    (fun cc ->
+      match cc.cr_status with
+      | `Clean -> ()
+      | `Skipped r ->
+        Printf.bprintf b "  case %d%s: skipped (%s)\n" cc.cr_index
+          (match cc.cr_name with Some n -> " [" ^ n ^ "]" | None -> "")
+          r
+      | `Divergent ->
+        Printf.bprintf b "  case %d%s: DIVERGENT\n" cc.cr_index
+          (match cc.cr_name with Some n -> " [" ^ n ^ "]" | None -> "");
+        List.iter
+          (fun (d : Oracle.divergence) ->
+            Printf.bprintf b "    %s [%s]: %s\n" d.Oracle.d_point
+              d.Oracle.d_kind d.Oracle.d_detail)
+          cc.cr_divergences;
+        (match cc.cr_shrunk with
+        | Some (_, l) ->
+          Printf.bprintf b "    shrunk to %d line(s)\n" l
+        | None -> ());
+        (match cc.cr_reproduce with
+        | Some r -> Printf.bprintf b "    reproduce: %s\n" r
+        | None -> ()))
+    c.c_cases;
+  Buffer.contents b

@@ -1,0 +1,71 @@
+(** Campaign driver for the differential fuzzer: generates (or replays)
+    cases, runs each through {!Oracle.check}, shrinks failures with
+    {!Shrink.minimize}, persists corpus-worthy programs, and renders
+    the [spt-fuzz-v1] report. *)
+
+type case_result = {
+  cr_index : int;
+  cr_seed : int;  (** per-case generator seed; 0 for corpus replays *)
+  cr_name : string option;  (** corpus file name, for replays *)
+  cr_loc : int;  (** non-empty source lines *)
+  cr_spt_loops : int;
+  cr_misspecs : int;
+  cr_status : [ `Clean | `Divergent | `Skipped of string ];
+  cr_fault_fired : bool;
+  cr_divergences : Oracle.divergence list;
+  cr_shrunk : (string * int) option;  (** minimized source and its loc *)
+  cr_reproduce : string option;  (** CLI line reproducing this failure *)
+}
+
+type campaign = {
+  c_seed : int;
+  c_count : int;
+  c_matrix : Oracle.point list;  (** including any inject point *)
+  c_config : string;
+  c_inject : string option;
+  c_cases : case_result list;
+  c_clean : int;
+  c_skipped : int;
+  c_divergent : int;
+  c_elapsed_s : float;
+}
+
+val divergent : campaign -> bool
+
+(** Run a generative campaign: cases [0 .. count-1] (or just [index]),
+    each from seed {!Gen.case_seed}[ ~seed ~index].  [inject] adds an
+    {!Oracle.P_inject} point to [matrix].  Divergent cases are shrunk
+    (the predicate re-runs only the matrix points that diverged) within
+    [shrink_budget] predicate calls.  When [corpus_dir] is given,
+    shrunk failing cases — and up to [keep_interesting] clean cases
+    that actually speculated and misspeculated — are written there as
+    commented [.c] files. *)
+val run_campaign :
+  ?config:Spt_driver.Config.t ->
+  ?tuning:Gen.tuning ->
+  ?matrix:Oracle.point list ->
+  ?inject:string ->
+  ?index:int ->
+  ?corpus_dir:string ->
+  ?shrink_budget:int ->
+  ?keep_interesting:int ->
+  seed:int ->
+  count:int ->
+  unit ->
+  campaign
+
+(** Replay every [*.c] under [dir] (sorted by name) through the clean
+    matrix — the corpus regression mode. *)
+val replay_corpus :
+  ?config:Spt_driver.Config.t ->
+  ?matrix:Oracle.point list ->
+  dir:string ->
+  unit ->
+  campaign
+
+(** The [spt-fuzz-v1] machine-readable report. *)
+val report_json : campaign -> Spt_obs.Json.t
+
+(** Human-readable summary, one line per non-clean case plus a
+    reproduce line per divergence. *)
+val summary : campaign -> string

@@ -1,0 +1,197 @@
+(** Greedy MiniC minimizer — see shrink.mli. *)
+
+open Spt_srclang
+
+(* ------------------------------------------------------------------ *)
+(* Index-addressed rewriting.
+
+   Statements are numbered depth-first, pre-order, across all function
+   bodies.  [rewrite_stmt_at] rebuilds the program with the [target]-th
+   statement replaced by [f stmt] (a list, so deletion is [[]]); every
+   other node is rebuilt structurally.  The same trick, over integer
+   literals, drives literal shrinking. *)
+
+let rewrite_stmt_at (p : Ast.program) ~target (f : Ast.stmt -> Ast.stmt list) :
+    Ast.program =
+  let n = ref (-1) in
+  let rec stmts ss = List.concat_map stmt ss
+  and stmt s =
+    incr n;
+    if !n = target then f s
+    else
+      let sdesc =
+        match s.Ast.sdesc with
+        | Ast.If (c, t, e) -> Ast.If (c, stmts t, stmts e)
+        | Ast.While (c, b) -> Ast.While (c, stmts b)
+        | Ast.Do_while (b, c) -> Ast.Do_while (stmts b, c)
+        | Ast.For (i, c, st, b) ->
+          (* init/step are stmt options but not independently numbered:
+             deleting them rarely helps and breaks most loops *)
+          Ast.For (i, c, st, stmts b)
+        | Ast.Block b -> Ast.Block (stmts b)
+        | d -> d
+      in
+      [ { s with Ast.sdesc } ]
+  in
+  {
+    p with
+    Ast.funcs =
+      List.map (fun fd -> { fd with Ast.fbody = stmts fd.Ast.fbody }) p.Ast.funcs;
+  }
+
+let fold_stmts (p : Ast.program) init f =
+  let acc = ref init in
+  let n = ref (-1) in
+  let rec stmts ss = List.iter stmt ss
+  and stmt s =
+    incr n;
+    acc := f !acc !n s;
+    match s.Ast.sdesc with
+    | Ast.If (_, t, e) ->
+      stmts t;
+      stmts e
+    | Ast.While (_, b) | Ast.Do_while (b, _) | Ast.For (_, _, _, b) | Ast.Block b
+      ->
+      stmts b
+    | _ -> ()
+  in
+  List.iter (fun fd -> stmts fd.Ast.fbody) p.Ast.funcs;
+  !acc
+
+(* literals, depth-first across the whole program (bodies, globals,
+   loop heads) *)
+let rewrite_lit_at (p : Ast.program) ~target (f : int64 -> int64) : Ast.program
+    =
+  let n = ref (-1) in
+  let rec expr e =
+    let edesc =
+      match e.Ast.edesc with
+      | Ast.Int_lit v ->
+        incr n;
+        if !n = target then Ast.Int_lit (f v) else Ast.Int_lit v
+      | Ast.Index (a, i) -> Ast.Index (a, expr i)
+      | Ast.Call (g, args) -> Ast.Call (g, List.map expr args)
+      | Ast.Unary (op, a) -> Ast.Unary (op, expr a)
+      | Ast.Binary (op, a, b) ->
+        let a = expr a in
+        Ast.Binary (op, a, expr b)
+      | d -> d
+    in
+    { e with Ast.edesc }
+  in
+  let rec stmt s =
+    let sdesc =
+      match s.Ast.sdesc with
+      | Ast.Decl (t, v, init) -> Ast.Decl (t, v, Option.map expr init)
+      | Ast.Assign (Ast.Lvar v, e) -> Ast.Assign (Ast.Lvar v, expr e)
+      | Ast.Assign (Ast.Lindex (a, i), e) ->
+        let i = expr i in
+        Ast.Assign (Ast.Lindex (a, i), expr e)
+      | Ast.If (c, t, e) -> Ast.If (expr c, List.map stmt t, List.map stmt e)
+      | Ast.While (c, b) -> Ast.While (expr c, List.map stmt b)
+      | Ast.Do_while (b, c) -> Ast.Do_while (List.map stmt b, expr c)
+      | Ast.For (i, c, st, b) ->
+        let i = Option.map stmt i in
+        let c = Option.map expr c in
+        let st = Option.map stmt st in
+        Ast.For (i, c, st, List.map stmt b)
+      | Ast.Return e -> Ast.Return (Option.map expr e)
+      | Ast.Expr_stmt e -> Ast.Expr_stmt (expr e)
+      | Ast.Block b -> Ast.Block (List.map stmt b)
+      | (Ast.Break | Ast.Continue) as d -> d
+    in
+    { s with Ast.sdesc }
+  in
+  {
+    p with
+    Ast.funcs =
+      List.map (fun fd -> { fd with Ast.fbody = List.map stmt fd.Ast.fbody }) p.Ast.funcs;
+  }
+
+let count_lits p =
+  let n = ref 0 in
+  ignore (rewrite_lit_at p ~target:(-2) (fun v -> incr n; v));
+  !n
+
+(* ------------------------------------------------------------------ *)
+(* One-step reduction candidates, biggest bites first. *)
+
+let candidates (p : Ast.program) : Ast.program Seq.t =
+  let drop_funcs =
+    List.filter_map
+      (fun fd ->
+        if fd.Ast.fname = "main" then None
+        else
+          Some
+            {
+              p with
+              Ast.funcs = List.filter (fun g -> g.Ast.fname <> fd.Ast.fname) p.Ast.funcs;
+            })
+      p.Ast.funcs
+  in
+  let drop_globals =
+    List.map
+      (fun g ->
+        { p with Ast.globals = List.filter (fun h -> h != g) p.Ast.globals })
+      p.Ast.globals
+  in
+  let stmt_edits =
+    fold_stmts p [] (fun acc k s ->
+        let at f = rewrite_stmt_at p ~target:k f in
+        let more =
+          match s.Ast.sdesc with
+          | Ast.If (_, t, e) ->
+            [ at (fun _ -> t) ] @ if e = [] then [] else [ at (fun _ -> e) ]
+          | Ast.While (_, b) | Ast.Do_while (b, _) -> [ at (fun _ -> b) ]
+          | Ast.For (i, _, _, b) ->
+            [ at (fun _ -> Option.to_list i @ b) ]
+          | Ast.Block b -> [ at (fun _ -> b) ]
+          | _ -> []
+        in
+        acc @ (at (fun _ -> []) :: more))
+  in
+  let lit_edits =
+    List.concat
+      (List.init (count_lits p) (fun k ->
+           [
+             rewrite_lit_at p ~target:k (fun _ -> 0L);
+             rewrite_lit_at p ~target:k (fun v -> Int64.div v 2L);
+           ]))
+  in
+  List.to_seq (drop_funcs @ drop_globals @ stmt_edits @ lit_edits)
+
+(* ------------------------------------------------------------------ *)
+
+let loc src =
+  List.length
+    (List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' src))
+
+let minimize ?(budget = 300) pred src0 =
+  let calls = ref 0 in
+  let still_fails s =
+    if !calls >= budget then false
+    else begin
+      incr calls;
+      try pred s with _ -> false
+    end
+  in
+  let rec improve cur =
+    if !calls >= budget then cur
+    else
+      match Parser.parse_program cur with
+      | exception _ -> cur
+      | prog ->
+        let cur_loc = loc cur in
+        let next =
+          Seq.find_map
+            (fun cand ->
+              let s = Src_pretty.to_string cand in
+              (* strictly smaller, to guarantee termination *)
+              if loc s < cur_loc || (loc s = cur_loc && String.length s < String.length cur)
+              then if still_fails s then Some s else None
+              else None)
+            (candidates prog)
+        in
+        (match next with Some s -> improve s | None -> cur)
+  in
+  improve src0

@@ -1,0 +1,19 @@
+(** Greedy structural minimizer for failing MiniC programs.
+
+    Given a predicate ("still fails") and a failing source, repeatedly
+    tries one-step reductions — dropping a helper function or global,
+    deleting a statement, replacing an [if] by one of its arms or a
+    loop by its body, shrinking integer literals towards zero — keeping
+    any candidate for which the predicate still holds, until a fixpoint
+    or the predicate-call budget is exhausted.
+
+    Candidates that no longer parse, type-check or terminate are
+    rejected by the predicate itself (an oracle-based predicate reports
+    such programs as skipped, not failing), so the reducer needs no
+    validity checking of its own. *)
+
+(** [minimize ?budget pred src] — [pred src] is assumed to hold.
+    [budget] caps predicate calls (default 300).  The result always
+    satisfies [pred] (it is [src] itself if nothing smaller does).
+    Exceptions from [pred] count as "does not fail". *)
+val minimize : ?budget:int -> (string -> bool) -> string -> string

@@ -276,11 +276,21 @@ let run_spt_loop rt (frame : Interp.frame) (spec : loop_spec)
       | `Commit (stop, steps) ->
         Specmem.commit head.tview;
         rt.committed_steps <- rt.committed_steps + steps;
+        (* committed speculative work counts against the same budget a
+           sequential run would have spent on it — otherwise a
+           transformed program that loops forever commits forever (the
+           master only steps between SPT regions and never hits its own
+           limit) *)
+        if Interp.steps rt.master + rt.committed_steps > rt.cfg.max_steps then
+          raise
+            (Interp.Runtime_error
+               (Printf.sprintf "step limit exceeded (%d)" rt.cfg.max_steps));
         st.commits <- st.commits + 1;
         Obs.Metrics.inc m_commits;
         consec := 0;
         (stop, true)
       | `Stale _ | `Fault _ ->
+        Specmem.rollback head.tview;
         (match resolution with
         | `Fault msg ->
           st.faults <- st.faults + 1;
@@ -339,6 +349,9 @@ let run_spt_loop rt (frame : Interp.frame) (spec : loop_spec)
         st.kills <- st.kills + killed;
         Obs.Metrics.add m_kills killed
       end;
+      (* roll the dead views back so late writes from abandoned workers
+         are dropped and descendants stop reading their buffers *)
+      Queue.iter (fun t -> Specmem.rollback t.tview) pending;
       Queue.clear pending;
       finish :=
         Some
@@ -377,16 +390,29 @@ type result = {
   oracle : [ `Match | `Mismatch of string | `Skipped ];
 }
 
+(* [No_sharing]: the default marshaller encodes physical sharing, so
+   two structurally equal stores can digest differently depending on
+   which boxed values execution happened to reuse — exactly what a
+   cross-configuration comparison must not be sensitive to *)
 let heap_digest (store : Interp.store) =
   Digest.to_hex
     (Digest.string
-       (Marshal.to_string (store.Interp.smem, store.Interp.srng) []))
+       (Marshal.to_string
+          (store.Interp.smem, store.Interp.srng)
+          [ Marshal.No_sharing ]))
 
 let opt_value_eq a b =
   match (a, b) with
   | None, None -> true
   | Some x, Some y -> Specmem.value_eq x y
   | _ -> false
+
+(* per-region telemetry keys sorted before every JSON emit: worker
+   scheduling order must never show through in a report, or the fuzz
+   oracle's cross-jobs report diffs go nondeterministic *)
+let sorted_regions (st : loop_stats) =
+  List.sort compare
+    (Hashtbl.fold (fun sid n acc -> (sid, n) :: acc) st.stale_regions [])
 
 let stats_json (r : result) =
   let module J = Obs.Json in
@@ -432,13 +458,10 @@ let stats_json (r : result) =
                    ("stale_rng", J.Int s.stale_rng);
                    ( "stale_regions",
                      J.List
-                       (Hashtbl.fold
-                          (fun sid n acc -> (sid, n) :: acc)
-                          s.stale_regions []
-                       |> List.sort compare
-                       |> List.map (fun (sid, n) ->
-                              J.Obj
-                                [ ("sid", J.Int sid); ("count", J.Int n) ])) );
+                       (List.map
+                          (fun (sid, n) ->
+                            J.Obj [ ("sid", J.Int sid); ("count", J.Int n) ])
+                          (sorted_regions s)) );
                  ])
              r.stats) );
     ]

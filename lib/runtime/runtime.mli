@@ -64,6 +64,18 @@ type result = {
   oracle : [ `Match | `Mismatch of string | `Skipped ];
 }
 
+(** Per-region validation-failure counts, {e sorted by region sid}.
+    The table fills in worker-scheduling order; every consumer (JSON
+    emit, telemetry export, oracle comparisons) must go through this
+    accessor so reports are byte-stable across domain interleavings. *)
+val sorted_regions : loop_stats -> (int * int) list
+
+(** Digest of a store's final memory image and RNG state — the same
+    rendering {!result.heap_digest} uses, so an external sequential
+    reference (e.g. the differential fuzz oracle) can compare memory
+    images with the runtime's. *)
+val heap_digest : Spt_interp.Interp.store -> string
+
 val stats_json : result -> Spt_obs.Json.t
 
 (** Execute [main].  Loops whose function still contains phis are

@@ -20,6 +20,7 @@ type view = {
   mutable rng_w : int64 option;  (* last LCG state written *)
   vout : Buffer.t;
   committed : bool Atomic.t;
+  rolled_back : bool Atomic.t;
 }
 
 let create ?parent master =
@@ -34,9 +35,19 @@ let create ?parent master =
     rng_w = None;
     vout = Buffer.create 64;
     committed = Atomic.make false;
+    rolled_back = Atomic.make false;
   }
 
 let is_committed v = Atomic.get v.committed
+let is_rolled_back v = Atomic.get v.rolled_back
+
+(* Killing a view only flips a flag: the kill may race with an
+   abandoned worker still executing into the view, so the buffers are
+   left for the GC rather than cleared under its feet.  Idempotent. *)
+let rollback v =
+  if Atomic.get v.committed then
+    invalid_arg "Specmem.rollback: view already committed";
+  Atomic.set v.rolled_back true
 
 let value_eq a b =
   match (a, b) with
@@ -55,6 +66,10 @@ let rec chain_find sel v =
   | None -> None
   | Some v ->
     if Atomic.get v.committed then None
+    else if Atomic.get v.rolled_back then
+      (* a killed ancestor's buffered writes are void, but earlier
+         ancestors may still hold live uncommitted values *)
+      chain_find sel v.parent
     else (
       match sel v with Some _ as r -> r | None -> chain_find sel v.parent)
 
@@ -73,7 +88,10 @@ let mem_load v a =
       Hashtbl.replace v.mem_r a x;
       x)
 
-let mem_store v a x = Hashtbl.replace v.mem_w a x
+(* writes after a kill are dropped: the task is dead, and nothing may
+   repopulate a buffer the commit path will never drain *)
+let mem_store v a x =
+  if not (Atomic.get v.rolled_back) then Hashtbl.replace v.mem_w a x
 
 let reg_get v (var : Spt_ir.Ir.var) =
   let vid = var.Spt_ir.Ir.vid in
@@ -97,7 +115,9 @@ let reg_get v (var : Spt_ir.Ir.var) =
              re-executed serially, no need to log *)
           None)))
 
-let reg_set v (var : Spt_ir.Ir.var) x = Hashtbl.replace v.reg_w var.Spt_ir.Ir.vid x
+let reg_set v (var : Spt_ir.Ir.var) x =
+  if not (Atomic.get v.rolled_back) then
+    Hashtbl.replace v.reg_w var.Spt_ir.Ir.vid x
 
 let rng_read v =
   match v.rng_w with
@@ -114,7 +134,7 @@ let rng_read v =
       v.rng_r <- Some s;
       s)
 
-let rng_write v s = v.rng_w <- Some s
+let rng_write v s = if not (Atomic.get v.rolled_back) then v.rng_w <- Some s
 
 let memio v =
   {
@@ -122,7 +142,8 @@ let memio v =
     mio_store = mem_store v;
     mio_rng = (fun () -> rng_read v);
     mio_set_rng = rng_write v;
-    mio_print = Buffer.add_string v.vout;
+    mio_print =
+      (fun s -> if not (Atomic.get v.rolled_back) then Buffer.add_string v.vout s);
   }
 
 let regio v = { Interp.rio_get = reg_get v; rio_set = reg_set v }
@@ -160,6 +181,8 @@ let validate v =
   match !bad with None -> Ok () | Some what -> Error what
 
 let commit v =
+  if Atomic.get v.rolled_back then
+    invalid_arg "Specmem.commit: view was rolled back";
   Hashtbl.iter (fun a x -> v.master.m_mem.(a) <- x) v.mem_w;
   Hashtbl.iter (fun vid x -> v.master.m_regs.(vid) <- Some x) v.reg_w;
   (match v.rng_w with Some s -> v.master.m_rng_set s | None -> ());

@@ -64,10 +64,23 @@ val validate : view -> (unit, stale) result
 (** Apply the write buffer and buffered output to master and mark the
     view committed (release-ordered: readers that see the flag see the
     master writes).  Must only be called after [validate], from the
-    sequential thread, in order. *)
+    sequential thread, in order.
+    @raise Invalid_argument on a rolled-back view. *)
 val commit : view -> unit
 
 val is_committed : view -> bool
+
+(** Kill the view: its buffered writes, output and RNG advance are
+    discarded (they never reach master, and descendants skip them
+    during chained reads), and any write arriving {e after} the
+    rollback — an abandoned worker still finishing into the dead view —
+    is dropped.  Idempotent: rolling back twice is the first rollback.
+    Only flips a flag, so it is safe to call while the task's domain is
+    still executing.
+    @raise Invalid_argument on a committed view. *)
+val rollback : view -> unit
+
+val is_rolled_back : view -> bool
 
 (** (reads, writes) logged so far — memory + registers + RNG. *)
 val footprint : view -> int * int

@@ -86,8 +86,17 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+(* content digest over the canonical minified payload rendering: stored
+   next to the payload and recomputed on load, so silent corruption that
+   still parses as JSON (a flipped byte inside a value, a truncated
+   list spliced back together, manual edits) degrades to a miss instead
+   of replaying a wrong artifact *)
+let payload_digest payload =
+  Digest.to_hex (Digest.string (Json.to_string ~minify:true payload))
+
 (* a miss on *any* malfunction: absent, unreadable, unparsable, wrong
-   schema, wrong key (hash collision or tampering) *)
+   schema, wrong key (hash collision or tampering), or a payload whose
+   recomputed content digest disagrees with the stored one *)
 let disk_find t key =
   match file_of t key with
   | None -> None
@@ -95,8 +104,12 @@ let disk_find t key =
     match Json.of_string (read_file path) with
     | Ok entry
       when Json.member "schema" entry = Some (Json.Str schema)
-           && Json.member "key" entry = Some (Json.Str key) ->
-      Json.member "payload" entry
+           && Json.member "key" entry = Some (Json.Str key) -> (
+      match (Json.member "payload" entry, Json.member "digest" entry) with
+      | (Some payload as found), Some (Json.Str d)
+        when String.equal d (payload_digest payload) ->
+        found
+      | _ -> None)
     | Ok _ | Error _ -> None
     | exception _ -> None)
 
@@ -117,6 +130,7 @@ let disk_store t key payload =
           [
             ("schema", Json.Str schema);
             ("key", Json.Str key);
+            ("digest", Json.Str (payload_digest payload));
             ("payload", payload);
           ]
       in

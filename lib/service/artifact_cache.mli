@@ -8,7 +8,11 @@
 
     The store is *never* a source of failure: disk entries are written
     atomically (write-temp-then-rename), and a corrupt, truncated,
-    unreadable or schema-mismatched entry simply reads as a miss.  All
+    unreadable or schema-mismatched entry simply reads as a miss.
+    Every entry additionally carries a content digest of its canonical
+    payload rendering, recomputed on load — corruption that still
+    parses as JSON (a flipped byte inside a value, manual edits) is
+    rejected the same way instead of replaying a wrong artifact.  All
     operations are safe to call concurrently from multiple domains
     (the {!Batch} scheduler does). *)
 

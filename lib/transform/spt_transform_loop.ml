@@ -87,6 +87,13 @@ type region = {
 
 exception Reject of reject
 
+(* Fault injection for the differential fuzz harness: when armed, one
+   moved statement is detached but never re-emitted into the pre-fork
+   region — the region-construction bug class the harness must be able
+   to catch (losing the paper's temp-variable writes, Fig. 10–11). *)
+let fault_drop_moved = ref false
+let fault_fired = ref false
+
 (** Apply the transformation.  [graph] must be the dependence graph the
     partition was computed on (its instruction table must not be
     stale). *)
@@ -304,9 +311,29 @@ let apply (f : Ir.func) (graph : Depgraph.t) ~(prefork : Iset.t) ~loop_id :
           rest_blk.Ir.term <- header.Ir.term;
           header.Ir.instrs <- phis;
           header.Ir.term <- Ir.Jump first_p.Ir.bid;
+          (* the header's terminator (and with it every outgoing edge)
+             now lives in [rest_blk]: successors' phis still name the
+             header as their incoming predecessor and must be
+             retargeted, or SSA destruction later places their carrier
+             writes in the pre-fork header — before the values they
+             copy exist *)
+          List.iter
+            (fun s ->
+              Cfg.retarget_phis (Ir.block f s) ~old_pred:header_bid
+                ~new_pred:rest_blk.Ir.bid)
+            (Ir.term_succs rest_blk.Ir.term);
           (rest_blk.Ir.bid, rest_blk)
       in
       let cur = ref first_p in
+      (* after the surgery above, the header's original terminator (and
+         instruction suffix) live in [header_stmt_owner]; any lookup of
+         a classified branch must follow it there *)
+      let branch_of_block_now bid =
+        let b = if bid = header_bid then header_stmt_owner else Ir.block f bid in
+        match b.Ir.term with
+        | Ir.Br (c, t, e) -> Some (c, t, e)
+        | _ -> None
+      in
       let detach iid =
         let bid = Depgraph.block_of graph iid in
         let owner = if bid = header_bid then header_stmt_owner else Ir.block f bid in
@@ -339,7 +366,7 @@ let apply (f : Ir.func) (graph : Depgraph.t) ~(prefork : Iset.t) ~loop_id :
         List.iter
           (fun g ->
             emitted_guards := Iset.add g !emitted_guards;
-            match branch_of_block g with
+            match branch_of_block_now g with
             | Some (c, t, _e) ->
               let next = Ir.add_block f in
               next.Ir.term <- Ir.Jump fork_blk.Ir.bid;
@@ -360,7 +387,7 @@ let apply (f : Ir.func) (graph : Depgraph.t) ~(prefork : Iset.t) ~loop_id :
         p_then.Ir.term <- Ir.Jump p_join.Ir.bid;
         p_else.Ir.term <- Ir.Jump p_join.Ir.bid;
         let t_succ =
-          match branch_of_block r.rbranch with
+          match branch_of_block_now r.rbranch with
           | Some (_, t, _) -> t
           | None -> assert false
         in
@@ -407,15 +434,25 @@ let apply (f : Ir.func) (graph : Depgraph.t) ~(prefork : Iset.t) ~loop_id :
               (first_key, `Region r))
             regions
       in
+      let sorted_items = List.sort compare items in
+      let drop_victim =
+        if not !fault_drop_moved then None
+        else
+          List.fold_left
+            (fun acc (_, item) ->
+              match item with `Plain iid -> Some iid | `Region _ -> acc)
+            None sorted_items
+      in
       List.iter
         (fun (_, item) ->
           match item with
           | `Plain iid ->
             ensure_guards (guards_of (Depgraph.block_of graph iid));
             let i = detach iid in
-            Ir.append_instr !cur i
+            if drop_victim = Some iid then fault_fired := true
+            else Ir.append_instr !cur i
           | `Region r -> emit_region r)
-        (List.sort compare items);
+        sorted_items;
       (* ---- SPT_FORK, then the rest of the iteration ---- *)
       !cur.Ir.term <- Ir.Jump fork_blk.Ir.bid;
       Ir.append_instr fork_blk (Ir.mk_instr f (Ir.Spt_fork loop_id));

@@ -39,6 +39,20 @@ type info = {
     cannot move (exposed for the driver's search filter). *)
 val inner_loop_blocks : Ir.func -> Loops.loop -> Loops.Iset.t
 
+(** {2 Fault injection (test-only)}
+
+    When [fault_drop_moved] is armed, {!apply} silently *drops* the last
+    plain moved statement instead of re-emitting it in the pre-fork
+    region — emulating the region-construction bug class (a lost
+    temp-variable write, Figs. 10–11) the differential fuzz harness is
+    required to catch.  [fault_fired] is set (never cleared) when a
+    statement was actually dropped, so a caller can tell whether the
+    armed fault was applicable to this compile.  Not for production
+    use; not thread-safe. *)
+
+val fault_drop_moved : bool ref
+val fault_fired : bool ref
+
 (** Apply the transformation in place.  [graph] must be the dependence
     graph the partition was computed on.  All rejection checks run
     before any mutation, so a failed [apply] leaves the function

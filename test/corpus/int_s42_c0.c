@@ -1,0 +1,33 @@
+// spt-fuzz interesting case: 3 SPT loop(s), 48 misspeculation(s) observed, all matrix points agree
+// generated from: sptc fuzz --seed 42 --index 0 --count 1 --matrix seq,par,cache,feedback
+int a0[24];
+int g0 = 4;
+
+void main() {
+  int s0 = 3;
+  int s1 = 2;
+  int s2 = 7;
+  int s3 = 7;
+  for (int i0 = 0; (i0 < 15); i0 = (i0 + 1)) {
+    g0 = ((i0 % 9) + (7 + 9));
+    g0 = (-1 + (i0 / 5));
+  }
+  for (int i1 = 0; (i1 < 19); i1 = (i1 + 1)) {
+    a0[((i1 + 4) % 24)] = ((5 ^ 8) / 3);
+    print_int((i1 + i1));
+    a0[(((i1 * 1) + 3) % 24)] = i1;
+    s0 = ((1 ^ s3) + (-5 + 4));
+    s2 = (s2 + (14 % 3));
+    a0[(((i1 * 3) + 2) % 24)] = ((s1 - a0[(((i1 * 2) + 2) % 24)]) ^ s1);
+  }
+  print_int(g0);
+  print_int(s0);
+  print_int(s1);
+  print_int(s2);
+  print_int(s3);
+  int cs2 = 0;
+  for (int ci3 = 0; (ci3 < 24); ci3 = (ci3 + 1)) {
+    cs2 = (cs2 + (a0[ci3] * (ci3 + 1)));
+  }
+  print_int(cs2);
+}

@@ -1,0 +1,58 @@
+// spt-fuzz interesting case: 2 SPT loop(s), 33 misspeculation(s) observed, all matrix points agree
+// generated from: sptc fuzz --seed 42 --index 1 --count 1 --matrix seq,par,cache,feedback
+int a0[17];
+int a1[11];
+int g0 = 7;
+int g1 = 3;
+
+int h0(int x, int y) {
+  int t = ((x * 3) * y);
+  if ((t < 0)) {
+    t = (0 - t);
+  }
+  return (t % 32);
+}
+
+int h1(int x, int y) {
+  int t = ((x * 1) * y);
+  if ((t < 0)) {
+    t = (0 - t);
+  }
+  return (t % 69);
+}
+
+void main() {
+  int s0 = 5;
+  int s1 = 3;
+  int s2 = 7;
+  for (int i0 = 0; (i0 < 15); i0 = (i0 + 1)) {
+    g0 = (g0 - ((7 / 7) / 9));
+    g0 = (g0 ^ ((12 * a1[(((i0 * 2) + 0) % 11)]) + h1(s1, s2)));
+  }
+  {
+    int i1 = 0;
+    do {
+      s2 = 7;
+      a1[((i1 + 1) % 11)] = ((16 & 3) + (s2 | 0));
+      s0 = (s0 + g0);
+      a1[(((i1 * 1) + 0) % 11)] = 1;
+      a0[(i1 % 17)] = (a0[((i1 + 16) % 17)] + (a0[(i1 % 17)] & 14));
+      i1 = (i1 + 1);
+    } while ((i1 < 11));
+  }
+  print_int(g0);
+  print_int(g1);
+  print_int(s0);
+  print_int(s1);
+  print_int(s2);
+  int cs2 = 0;
+  for (int ci3 = 0; (ci3 < 17); ci3 = (ci3 + 1)) {
+    cs2 = (cs2 + (a0[ci3] * (ci3 + 1)));
+  }
+  print_int(cs2);
+  int cs4 = 0;
+  for (int ci5 = 0; (ci5 < 11); ci5 = (ci5 + 1)) {
+    cs4 = (cs4 + (a1[ci5] * (ci5 + 1)));
+  }
+  print_int(cs4);
+}

@@ -1,0 +1,60 @@
+// spt-fuzz interesting case: 1 SPT loop(s), 18 misspeculation(s) observed, all matrix points agree
+// generated from: sptc fuzz --seed 42 --index 2 --count 1 --matrix seq,par,cache,feedback
+int a0[11] = {-4, -2, 6, 21, -6, 19, -1, 14, 18, 5, 8};
+
+int h0(int x, int y) {
+  int t = ((x * 1) - y);
+  if ((t < 0)) {
+    t = (0 - t);
+  }
+  return (t % 35);
+}
+
+int h1(int x, int y) {
+  int t = ((x * 5) * y);
+  if ((t < 0)) {
+    t = (0 - t);
+  }
+  return (t % 103);
+}
+
+void main() {
+  int s0 = 6;
+  int s1 = 7;
+  int s2 = 3;
+  {
+    int i0 = 0;
+    do {
+      if (((i0 % 5) > (15 % 6))) {
+        a0[(((i0 * 2) + 1) % 11)] = ((-3 - a0[(i0 % 11)]) * (7 / 7));
+        if ((s0 <= max(s0, a0[(i0 % 11)]))) {
+          a0[(((i0 * 2) + 4) % 11)] = ((9 & 13) / 9);
+          print_int(max(a0[(((i0 * 3) + 6) % 11)], i0));
+        }
+      } else {
+        s1 = ((5 - 8) / 5);
+      }
+      i0 = (i0 + 1);
+    } while ((i0 < 8));
+  }
+  for (int i1 = 0; (i1 < 2); i1 = (i1 + 1)) {
+    for (int i2 = 0; (i2 < 6); i2 = (i2 + 1)) {
+      a0[(i2 % 11)] = ((s0 + 9) + min(a0[((i2 + 10) % 11)], -2));
+      s0 = -((a0[(i2 % 11)] + s1));
+      s0 = (s0 ^ ((s1 % 9) * (s0 + 2)));
+      s2 = (s2 ^ (max(i2, 10) % 6));
+    }
+    s2 = (s2 + ((14 % 4) - (a0[(i1 % 11)] * a0[((i1 + 0) % 11)])));
+  }
+  for (int i3 = 0; (i3 < 16); i3 = (i3 + 1)) {
+    a0[((i3 + 10) % 11)] = 1;
+  }
+  print_int(s0);
+  print_int(s1);
+  print_int(s2);
+  int cs4 = 0;
+  for (int ci5 = 0; (ci5 < 11); ci5 = (ci5 + 1)) {
+    cs4 = (cs4 + (a0[ci5] * (ci5 + 1)));
+  }
+  print_int(cs4);
+}

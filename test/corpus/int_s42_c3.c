@@ -1,0 +1,69 @@
+// spt-fuzz interesting case: 3 SPT loop(s), 55 misspeculation(s) observed, all matrix points agree
+// generated from: sptc fuzz --seed 42 --index 3 --count 1 --matrix seq,par,cache,feedback
+int a0[8] = {-4, 22, 6, 5, 20, 21, 0, 21};
+int a1[24] = {23, 21, 11, 6, 9, 20, 15, 22, 18, 15, 6, 22, -8, -1, 11, 2, 12, 14, 18, 22, 14, 21, 5, -3};
+int a2[18] = {7, 1, 10, 1, -1, 15, -4, 3, 14, 1, 6, 20, -8, 5, 6, -6, -8, 15};
+
+int h0(int x, int y) {
+  int t = ((x * 4) - y);
+  if ((t < 0)) {
+    t = (0 - t);
+  }
+  return (t % 44);
+}
+
+int h1(int x, int y) {
+  int t = ((x * 5) + y);
+  if ((t < 0)) {
+    t = (0 - t);
+  }
+  return (t % 61);
+}
+
+void main() {
+  int s0 = 2;
+  int s1 = 1;
+  int s2 = 0;
+  int s3 = 1;
+  for (int i0 = 0; (i0 < 5); i0 = (i0 + 1)) {
+    s0 = (s0 ^ -(max(12, 11)));
+  }
+  for (int i1 = 0; (i1 < 7); i1 = (i1 + 1)) {
+    s2 = (s2 ^ (max(s1, a0[(((i1 * 2) + 0) % 8)]) / 9));
+    s2 = (8 + s3);
+    a2[(i1 % 18)] = min((6 - 7), s3);
+    print_int(-(s2));
+    s0 = s3;
+  }
+  {
+    int i2 = 0;
+    while ((i2 < 7)) {
+      s1 = ((i2 / 8) - (i2 / 4));
+      s1 = (s1 ^ a1[((i2 + 23) % 24)]);
+      s1 = (s1 + -((a2[(i2 % 18)] + i2)));
+      a0[(((i2 * 1) + 5) % 8)] = ((a0[(i2 % 8)] + s0) | (s3 & 4));
+      a1[(i2 % 24)] = -((12 * i2));
+      a1[(i2 % 24)] = ((s2 % 2) + 3);
+      i2 = (i2 + 1);
+    }
+  }
+  print_int(s0);
+  print_int(s1);
+  print_int(s2);
+  print_int(s3);
+  int cs3 = 0;
+  for (int ci4 = 0; (ci4 < 8); ci4 = (ci4 + 1)) {
+    cs3 = (cs3 + (a0[ci4] * (ci4 + 1)));
+  }
+  print_int(cs3);
+  int cs5 = 0;
+  for (int ci6 = 0; (ci6 < 24); ci6 = (ci6 + 1)) {
+    cs5 = (cs5 + (a1[ci6] * (ci6 + 1)));
+  }
+  print_int(cs5);
+  int cs7 = 0;
+  for (int ci8 = 0; (ci8 < 18); ci8 = (ci8 + 1)) {
+    cs7 = (cs7 + (a2[ci8] * (ci8 + 1)));
+  }
+  print_int(cs7);
+}

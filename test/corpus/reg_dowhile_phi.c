@@ -1,0 +1,28 @@
+// regression: do-while loops with a nested while used to miscompile —
+// splitting the do-while header for the pre-fork region left the
+// successors' phi predecessors pointing at the old header, so SSA
+// destruction placed the inner loop's carrier copies before their
+// definitions (read of uninitialized register at runtime).
+// found by: sptc fuzz --seed 42 (pre-fix case 7), shrunk by hand
+int a1[20];
+int a2[16] = {15, 10, 9, 12, 6, 7, 21, 4, 2, 24, 0, 1, 0, 14, 8, 2};
+int g0 = 10;
+
+void main() {
+  int s0 = 4;
+  int s1 = 8;
+  int i0 = 0;
+  do {
+    s1 = (s1 ^ (max(a2[((i0 + 15) % 16)], 3) - (i0 ^ i0)));
+    int i1 = 0;
+    while ((i1 < 5)) {
+      g0 = a2[((i1 + 15) % 16)];
+      s1 = (s1 + -(13));
+      i1 = (i1 + 1);
+    }
+    s0 = (s0 ^ ((13 % 8) * max(a1[(i0 % 20)], 12)));
+    i0 = (i0 + 1);
+  } while ((i0 < 13));
+  print_int(s0);
+  print_int(s1);
+}

@@ -1,0 +1,73 @@
+// regression: a speculated region whose controlling branch was the loop
+// header itself used to crash the transform (assert false): after the
+// header split moved the branch into the rest block, the region emitter
+// still looked the branch up under the old header block id.
+// found by: sptc fuzz --seed 42 (pre-fix case 10)
+int a0[14] = {24, 20, 20, 5, -7, 17, 23, 22, 7, 8, -5, 22, 4, -2};
+int a1[8];
+int g0 = 1;
+
+int h0(int x, int y) {
+  int t = ((x * 2) - y);
+  if ((t < 0)) {
+    t = (0 - t);
+  }
+  return (t % 90);
+}
+
+int h1(int x, int y) {
+  int t = ((x * 5) * y);
+  if ((t < 0)) {
+    t = (0 - t);
+  }
+  return (t % 95);
+}
+
+void main() {
+  int s0 = 3;
+  int s1 = 0;
+  int s2 = 0;
+  int s3 = 5;
+  {
+    int i0 = 0;
+    do {
+      if ((((a1[((i0 + 7) % 8)] | -5) & 1) == 0)) {
+        s0 = ((a0[((i0 + 0) % 14)] - s2) % 6);
+        s0 = (s0 - (i0 / 3));
+      } else {
+        s2 = (rand() % 10);
+      }
+      a0[(i0 % 14)] = ((i0 % 6) / 7);
+      {
+        int i1 = 0;
+        do {
+          if (((min(i1, g0) & 1) == 0)) {
+            s3 = a0[(i1 % 14)];
+            s3 = i1;
+          } else {
+            s0 = a0[((i1 + 1) % 14)];
+          }
+          a1[(((i1 * 2) + 0) % 8)] = (min(a1[((i1 + 0) % 8)], 3) & max(a1[(i1 % 8)], s0));
+          s3 = (s3 + (s1 % 2));
+          i1 = (i1 + 1);
+        } while ((i1 < 8));
+      }
+      i0 = (i0 + 1);
+    } while ((i0 < 2));
+  }
+  print_int(g0);
+  print_int(s0);
+  print_int(s1);
+  print_int(s2);
+  print_int(s3);
+  int cs2 = 0;
+  for (int ci3 = 0; (ci3 < 14); ci3 = (ci3 + 1)) {
+    cs2 = (cs2 + (a0[ci3] * (ci3 + 1)));
+  }
+  print_int(cs2);
+  int cs4 = 0;
+  for (int ci5 = 0; (ci5 < 8); ci5 = (ci5 + 1)) {
+    cs4 = (cs4 + (a1[ci5] * (ci5 + 1)));
+  }
+  print_int(cs4);
+}

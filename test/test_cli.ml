@@ -177,6 +177,68 @@ let test_parallel_run () =
       Alcotest.(check int) "run --parallel exits 0" 0
         (exec [ "run"; path; "--parallel"; "--jobs"; "2" ]))
 
+(* the exit-code contract, subcommand by subcommand: success → 0,
+   malformed input file → 1, and the equivalence-verdict class
+   (oracle mismatch, fuzz divergence) → 2 *)
+
+let bad_src = "int main( { return }"
+
+let test_compile_exit_codes () =
+  with_tmpdir (fun dir ->
+      let cache = Filename.concat dir "cache" in
+      with_source ok_src (fun path ->
+          Alcotest.(check int) "compile ok exits 0" 0
+            (exec [ "compile"; path; "--cache-dir"; cache ]));
+      with_source bad_src (fun path ->
+          Alcotest.(check int) "compile malformed exits 1" 1
+            (exec [ "compile"; path; "--cache-dir"; cache ])))
+
+let test_workload_exit_codes () =
+  with_tmpdir (fun dir ->
+      let cache = Filename.concat dir "cache" in
+      Alcotest.(check int) "workload ok exits 0" 0
+        (exec [ "workload"; "vortex"; "--cache-dir"; cache ]);
+      Alcotest.(check int) "unknown workload exits 2" 2
+        (exec [ "workload"; "quake3"; "--cache-dir"; cache ]))
+
+let test_profile_exit_codes () =
+  with_tmpdir (fun dir ->
+      let store = Filename.concat dir "p.json" in
+      with_source ok_src (fun path ->
+          Alcotest.(check int) "profile ok exits 0" 0
+            (exec [ "profile"; path; "--profile-out"; store ]));
+      with_source bad_src (fun path ->
+          Alcotest.(check int) "profile malformed exits 1" 1
+            (exec [ "profile"; path; "--profile-out"; store ]));
+      Alcotest.(check int) "profile without --profile-out exits 2" 2
+        (with_source ok_src (fun path -> exec [ "profile"; path ])))
+
+let test_adapt_exit_codes () =
+  with_source ok_src (fun path ->
+      Alcotest.(check int) "adapt ok exits 0" 0
+        (exec [ "adapt"; path; "--iters"; "1"; "--jobs"; "1" ]));
+  with_source bad_src (fun path ->
+      Alcotest.(check int) "adapt malformed exits 1" 1
+        (exec [ "adapt"; path; "--iters"; "1" ]))
+
+let test_fuzz_exit_codes () =
+  Alcotest.(check int) "clean fuzz run exits 0" 0
+    (exec [ "fuzz"; "--seed"; "42"; "--count"; "2" ]);
+  (* a divergence — here provoked by arming the transform fault — is
+     the fuzz analogue of an oracle mismatch: 2, not 1 *)
+  Alcotest.(check int) "injected divergence exits 2" 2
+    (exec
+       [
+         "fuzz"; "--seed"; "42"; "--index"; "0"; "--count"; "1"; "--matrix";
+         "seq"; "--inject"; "drop-prefork-stmt"; "--shrink-budget"; "0";
+       ]);
+  Alcotest.(check int) "bad matrix spec exits 1" 1
+    (exec [ "fuzz"; "--count"; "1"; "--matrix"; "seq,warp" ]);
+  Alcotest.(check int) "unknown fault exits 1" 1
+    (exec [ "fuzz"; "--count"; "1"; "--inject"; "no-such-fault" ]);
+  Alcotest.(check int) "replay of missing dir exits 1" 1
+    (exec [ "fuzz"; "--replay"; "/nonexistent-corpus-dir" ])
+
 let suite =
   [
     Alcotest.test_case "--version" `Quick test_version;
@@ -188,4 +250,9 @@ let suite =
     Alcotest.test_case "batch cache roundtrip" `Quick test_batch_cache_roundtrip;
     Alcotest.test_case "batch bad file exit 1" `Quick test_batch_bad_file_exits_1;
     Alcotest.test_case "serve shutdown/EOF exit 0" `Quick test_serve_shutdown;
+    Alcotest.test_case "compile exit codes" `Quick test_compile_exit_codes;
+    Alcotest.test_case "workload exit codes" `Slow test_workload_exit_codes;
+    Alcotest.test_case "profile exit codes" `Quick test_profile_exit_codes;
+    Alcotest.test_case "adapt exit codes" `Quick test_adapt_exit_codes;
+    Alcotest.test_case "fuzz exit codes" `Slow test_fuzz_exit_codes;
   ]

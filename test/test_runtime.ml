@@ -153,6 +153,77 @@ let test_specmem_rng_and_floats () =
   Alcotest.(check bool) "signed zero" false
     (Specmem.value_eq (Eval.Vf 0.0) (Eval.Vf (-0.0)))
 
+(* rollback edge cases: the kill path races abandoned workers, so its
+   exact semantics (drop late writes, stay idempotent) are what keeps
+   the scheduler's "finish into dead views" pattern sound *)
+
+let test_specmem_write_after_kill () =
+  let master, mem, _, out = fresh_master () in
+  let v = Specmem.create master in
+  let mio = Specmem.memio v in
+  mio.Interp.mio_store 2 (vi 21);
+  Specmem.rollback v;
+  (* an abandoned worker still finishing into the dead view *)
+  mio.Interp.mio_store 3 (vi 33);
+  mio.Interp.mio_print "late";
+  Alcotest.(check bool) "rolled back" true (Specmem.is_rolled_back v);
+  Alcotest.(check bool) "pre-kill write never reaches master" true
+    (Specmem.value_eq mem.(2) (vi 0));
+  Alcotest.(check bool) "late write dropped" true
+    (Specmem.value_eq mem.(3) (vi 0));
+  Alcotest.(check string) "late output dropped" "" (Buffer.contents out);
+  (* a descendant chained through the dead view must read master,
+     not the dead buffer *)
+  let s = Specmem.create ~parent:v master in
+  Alcotest.(check bool) "descendant skips dead buffer" true
+    (Specmem.value_eq ((Specmem.memio s).Interp.mio_load 2) (vi 0));
+  (* committing a killed view is a programming error *)
+  Alcotest.check_raises "commit after rollback rejected"
+    (Invalid_argument "Specmem.commit: view was rolled back") (fun () ->
+      Specmem.commit v)
+
+let test_specmem_double_rollback () =
+  let master, mem, _, _ = fresh_master () in
+  let v = Specmem.create master in
+  (Specmem.memio v).Interp.mio_store 1 (vi 11);
+  Specmem.rollback v;
+  (* idempotent: the second rollback is the first rollback *)
+  Specmem.rollback v;
+  Alcotest.(check bool) "still rolled back" true (Specmem.is_rolled_back v);
+  Alcotest.(check bool) "still not committed" false (Specmem.is_committed v);
+  Alcotest.(check bool) "write still dropped" true
+    (Specmem.value_eq mem.(1) (vi 0))
+
+let test_specmem_empty_commit () =
+  let master, mem, _, out = fresh_master () in
+  mem.(0) <- vi 5;
+  let v = Specmem.create master in
+  (* no reads, no writes: a task that immediately hit the header *)
+  Alcotest.(check bool) "empty view validates" true
+    (Result.is_ok (Specmem.validate v));
+  Specmem.commit v;
+  Alcotest.(check bool) "committed" true (Specmem.is_committed v);
+  Alcotest.(check bool) "master untouched" true
+    (Specmem.value_eq mem.(0) (vi 5));
+  Alcotest.(check string) "no output" "" (Buffer.contents out);
+  let r, w = Specmem.footprint v in
+  Alcotest.(check (pair int int)) "empty footprint" (0, 0) (r, w)
+
+let test_specmem_validate_empty_read_log () =
+  let master, mem, regs, _ = fresh_master () in
+  let v = Specmem.create master in
+  (* write-only task: master may change arbitrarily underneath it and
+     validation must still pass — nothing was observed *)
+  (Specmem.memio v).Interp.mio_store 4 (vi 44);
+  mem.(4) <- vi 99;
+  mem.(0) <- vi 1;
+  regs.(0) <- Some (vi 2);
+  Alcotest.(check bool) "no reads, nothing stale" true
+    (Result.is_ok (Specmem.validate v));
+  Specmem.commit v;
+  Alcotest.(check bool) "buffered write lands over the interim value" true
+    (Specmem.value_eq mem.(4) (vi 44))
+
 (* ------------------------------------------------------------------ *)
 (* Whole-program speculation *)
 
@@ -324,6 +395,13 @@ let suite =
     Alcotest.test_case "specmem view chain" `Quick test_specmem_chain;
     Alcotest.test_case "specmem rng + floats" `Quick
       test_specmem_rng_and_floats;
+    Alcotest.test_case "specmem write after kill" `Quick
+      test_specmem_write_after_kill;
+    Alcotest.test_case "specmem double rollback" `Quick
+      test_specmem_double_rollback;
+    Alcotest.test_case "specmem empty commit" `Quick test_specmem_empty_commit;
+    Alcotest.test_case "specmem validate empty read log" `Quick
+      test_specmem_validate_empty_read_log;
     Alcotest.test_case "stress misspeculates, still matches" `Slow
       test_stress_misspeculates_and_matches;
     Alcotest.test_case "despeculation valve" `Slow test_despeculation_valve;

@@ -145,6 +145,47 @@ let test_cache_corruption_is_a_miss () =
       Alcotest.(check bool) "corrupt entry reads as a miss" true
         (Cache.find fresh key = None))
 
+let test_cache_flipped_byte_is_a_miss () =
+  with_tmpdir (fun dir ->
+      let c = Cache.create ~dir () in
+      Cache.store c key payload;
+      (* flip one byte inside the payload *value* — the file still
+         parses as JSON with the right schema and key, so only the
+         stored-vs-recomputed content digest can catch it *)
+      let path = entry_path dir in
+      let ic = open_in_bin path in
+      let text =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let i =
+        let rec find j =
+          if j + 5 > String.length text then
+            Alcotest.fail "payload value not found in entry"
+          else if String.sub text j 5 = "\"two\"" then j + 3
+          else find (j + 1)
+        in
+        find 0
+      in
+      let flipped = Bytes.of_string text in
+      Bytes.set flipped i 'q';
+      let oc = open_out_bin path in
+      output_bytes oc flipped;
+      close_out oc;
+      (match Json.of_string (Bytes.to_string flipped) with
+      | Ok _ -> ()
+      | Error _ -> Alcotest.fail "flipped entry should still parse as JSON");
+      let fresh = Cache.create ~dir () in
+      Alcotest.(check bool) "digest mismatch reads as a miss" true
+        (Cache.find fresh key = None);
+      (* and the slot is usable again: a re-store over the bad entry
+         heals it *)
+      Cache.store fresh key payload;
+      let healed = Cache.create ~dir () in
+      Alcotest.(check bool) "re-store heals the entry" true
+        (Cache.find healed key = Some payload))
+
 let test_cache_schema_mismatch_is_a_miss () =
   with_tmpdir (fun dir ->
       let c = Cache.create ~dir () in
@@ -355,6 +396,8 @@ let suite =
     Alcotest.test_case "fingerprint is hex" `Quick test_fingerprint_is_hex;
     Alcotest.test_case "cache roundtrip + persistence" `Quick test_cache_roundtrip;
     Alcotest.test_case "corruption is a miss" `Quick test_cache_corruption_is_a_miss;
+    Alcotest.test_case "flipped payload byte is a miss" `Quick
+      test_cache_flipped_byte_is_a_miss;
     Alcotest.test_case "schema mismatch is a miss" `Quick
       test_cache_schema_mismatch_is_a_miss;
     Alcotest.test_case "no-cache object" `Quick test_no_cache;
