@@ -90,8 +90,11 @@ let measure_parallel best =
   let t =
     Spt_util.Table.create
       ~aligns:
-        [ Spt_util.Table.Left; Spt_util.Table.Right; Spt_util.Table.Right ]
-      [ "program"; "predicted"; "measured" ]
+        [
+          Spt_util.Table.Left; Spt_util.Table.Right; Spt_util.Table.Right;
+          Spt_util.Table.Right;
+        ]
+      [ "program"; "predicted"; "measured"; "achieved" ]
   in
   let rows =
     List.map
@@ -107,31 +110,41 @@ let measure_parallel best =
         let runtime_config =
           { (Spt_runtime.Runtime.default_config ()) with oracle = false }
         in
+        let timeline = Spt_obs.Timeline.create () in
         let pr =
-          Pipeline.run_parallel ~jobs:parallel_jobs ~runtime_config
+          Pipeline.run_parallel ~jobs:parallel_jobs ~runtime_config ~timeline
             w.Spt_workloads.Suite.source
         in
+        let measured = pr.Pipeline.pr_measured_speedup in
         Spt_util.Table.add_row t
           [
             name;
             Printf.sprintf "%.2fx" predicted;
-            Printf.sprintf "%.2fx" pr.Pipeline.pr_measured_speedup;
+            Printf.sprintf "%.2fx" measured;
+            (if predicted > 0.0 then
+               Printf.sprintf "%.0f%%" (100.0 *. measured /. predicted)
+             else "-");
           ];
-        ( name,
-          Spt_obs.Json.Obj
+        let attrib =
+          Report.attrib_json ~predicted ~workload:name ~timeline pr
+        in
+        ( Spt_obs.Json.Obj
             [
               ("workload", Spt_obs.Json.Str name);
               ("jobs", Spt_obs.Json.Int pr.Pipeline.pr_jobs);
               ("predicted_speedup", Spt_obs.Json.Float predicted);
-              ( "measured_speedup",
-                Spt_obs.Json.Float pr.Pipeline.pr_measured_speedup );
+              ("measured_speedup", Spt_obs.Json.Float measured);
               ( "runtime",
                 Spt_runtime.Runtime.stats_json pr.Pipeline.pr_runtime );
-            ] ))
+              ("attrib", attrib);
+            ],
+          Spt_obs.Json.prepend
+            ("workload", Spt_obs.Json.Str name)
+            (Report.gap_json ~predicted ~measured ()) ))
       workloads
   in
   Spt_util.Table.print t;
-  List.map snd rows
+  (List.map fst rows, List.map snd rows)
 
 (* ------------------------------------------------------------------ *)
 (* Feedback: the static cost model's predicted misspeculation next to
@@ -518,13 +531,13 @@ let () =
   section "Evaluating the workloads under 3 compiler configurations";
   let per_config = evaluate_all () in
   let best = List.assoc "best" per_config in
-  let parallel = measure_parallel best in
+  let parallel, gap = measure_parallel best in
   let feedback = feedback_comparison () in
 
   (* machine-readable summary next to the text tables, one entry per
      configuration; counters are cumulative over the whole run *)
   Spt_obs.Json.to_file json_path
-    (Report.bench_json ~quick ~per_config ~parallel ~feedback ());
+    (Report.bench_json ~quick ~per_config ~parallel ~gap ~feedback ());
   Printf.printf "\nmachine-readable summary written to %s\n" json_path;
 
   section

@@ -7,6 +7,7 @@
     - [compile FILE]   run the full cost-driven SPT pipeline and report
     - [workload NAME]  evaluate one of the built-in SPEC-like workloads
     - [batch FILES…]   compile many programs concurrently, cache-warm
+    - [top FILE]       render a JSON report as aligned text tables
     - [serve]          line-delimited JSON compile service on stdin
     - [profile FILE]   persist edge/dep/value profiles to a store
     - [adapt FILE]     compile → run → re-partition until convergence
@@ -192,12 +193,28 @@ let run_cmd =
              telemetry into the profile store at $(docv) (created when \
              missing), for later profile-guided compiles")
   in
-  let run file parallel jobs config profile_in feedback_out trace metrics
-      log_level =
+  let attrib_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "attrib" ] ~docv:"FILE"
+          ~doc:
+            "With $(b,--parallel): write an overhead-attribution report \
+             (schema $(b,spt-attrib-v1)) to $(docv) — per-domain wall-time \
+             buckets over the speculation lifecycle, iteration-latency \
+             percentiles and the predicted-vs-measured speedup gap; render \
+             it with $(b,sptc top)")
+  in
+  let run file parallel jobs config profile_in feedback_out attrib trace
+      metrics log_level =
     handle_errors (fun () ->
         let finish = setup_obs trace metrics log_level in
         if (not parallel) && feedback_out <> None then begin
           Format.eprintf "error: --feedback-out requires --parallel@.";
+          exit 2
+        end;
+        if (not parallel) && attrib <> None then begin
+          Format.eprintf "error: --attrib requires --parallel@.";
           exit 2
         end;
         if not parallel then begin
@@ -208,15 +225,36 @@ let run_cmd =
           finish []
         end
         else begin
+          let src = read_file file in
           let profile = load_profile profile_in in
           let profile_seed = Option.map Spt_feedback.Profile_store.seed profile in
           let observations =
             Option.map Spt_feedback.Telemetry.observations profile
           in
-          let pr =
-            Spt_driver.Pipeline.run_parallel ~config ?jobs ?profile_seed
-              ?observations (read_file file)
+          let timeline =
+            Option.map (fun _ -> Spt_obs.Timeline.create ()) attrib
           in
+          let pr =
+            Spt_driver.Pipeline.run_parallel ~config ?jobs ?timeline
+              ?profile_seed ?observations src
+          in
+          Option.iter
+            (fun path ->
+              let tl = Option.get timeline in
+              (* the TLS simulator's predicted speedup for the same
+                 config, so the report can state the gap *)
+              let predicted =
+                let e =
+                  Spt_driver.Pipeline.evaluate ~config ?profile_seed
+                    ?observations src
+                in
+                e.Spt_driver.Pipeline.speedup
+              in
+              Json.to_file path
+                (Spt_driver.Report.attrib_json ~predicted
+                   ~workload:(Filename.basename file) ~timeline:tl pr);
+              Spt_obs.Log.info "attribution report written to %s" path)
+            attrib;
           Option.iter
             (fun path ->
               let store = Spt_feedback.Profile_store.load path in
@@ -276,8 +314,8 @@ let run_cmd =
          "Interpret a MiniC program, or execute it speculatively in parallel")
     Term.(
       const run $ file_arg $ parallel_flag $ jobs_arg $ config_arg
-      $ profile_in_arg $ feedback_out_arg $ trace_arg $ metrics_arg
-      $ log_level_arg)
+      $ profile_in_arg $ feedback_out_arg $ attrib_arg $ trace_arg
+      $ metrics_arg $ log_level_arg)
 
 let dump_ir_cmd =
   let ssa_flag =
@@ -416,15 +454,19 @@ let batch_cmd =
   in
   let result_json (file, outcome) =
     match outcome with
-    | Spt_service.Batch.Done (o : Spt_service.Cached.outcome) ->
+    | Spt_service.Batch.Done ((o : Spt_service.Cached.outcome), counters) ->
       Json.Obj
-        [
-          ("file", Json.Str file);
-          ("status", Json.Str "ok");
-          ("cache_hit", Json.Bool o.Spt_service.Cached.hit);
-          ("key", Json.Str o.Spt_service.Cached.key);
-          ("elapsed_s", Json.Float o.Spt_service.Cached.elapsed_s);
-        ]
+        ([
+           ("file", Json.Str file);
+           ("status", Json.Str "ok");
+           ("cache_hit", Json.Bool o.Spt_service.Cached.hit);
+           ("key", Json.Str o.Spt_service.Cached.key);
+           ("elapsed_s", Json.Float o.Spt_service.Cached.elapsed_s);
+         ]
+        @
+        match counters with
+        | Some c -> [ ("counters", c) ]
+        | None -> [])
     | Spt_service.Batch.Failed msg ->
       Json.Obj
         [
@@ -436,18 +478,30 @@ let batch_cmd =
       Json.Obj [ ("file", Json.Str file); ("status", Json.Str "timed_out") ]
   in
   let run files config profile_in cache_dir no_cache jobs timeout_s summary
-      metrics log_level =
+      trace metrics log_level =
     handle_errors (fun () ->
-        let finish = setup_obs None metrics log_level in
+        let finish = setup_obs trace metrics log_level in
         let cache = make_cache ~cache_dir ~no_cache in
         (* one shared load: seeding only reads the store's tables, so
            concurrent compiles are safe *)
         let profile = load_profile profile_in in
+        (* per-job counter deltas: snapshot the registry around each
+           compile so a job's summary row reports its own work, not the
+           whole batch's cumulative totals.  Exact at -j1 (the regression
+           mode); approximate when jobs overlap, since the registry is
+           process-global. *)
+        let with_counters = metrics <> None in
         let thunks =
           List.map
             (fun file () ->
-              Spt_service.Cached.compile ~cache ~config ?profile
-                ~name:(Filename.basename file) (read_file file))
+              let base =
+                if with_counters then Some (Spt_obs.Metrics.since ()) else None
+              in
+              let o =
+                Spt_service.Cached.compile ~cache ~config ?profile
+                  ~name:(Filename.basename file) (read_file file)
+              in
+              (o, Option.map Spt_obs.Metrics.delta_json base))
             files
         in
         let outcomes, bs = Spt_service.Batch.run ?jobs ~timeout_s thunks in
@@ -455,7 +509,8 @@ let batch_cmd =
         let evals =
           List.filter_map
             (function
-              | _, Spt_service.Batch.Done (o : Spt_service.Cached.outcome) ->
+              | _, Spt_service.Batch.Done ((o : Spt_service.Cached.outcome), _)
+                ->
                 Some o.Spt_service.Cached.eval
               | _ -> None)
             results
@@ -463,7 +518,7 @@ let batch_cmd =
         List.iter
           (fun (file, outcome) ->
             match outcome with
-            | Spt_service.Batch.Done (o : Spt_service.Cached.outcome) ->
+            | Spt_service.Batch.Done ((o : Spt_service.Cached.outcome), _) ->
               Format.printf "[%s] %-32s %8.3fs  %s@."
                 (if o.Spt_service.Cached.hit then "hit " else "miss")
                 file o.Spt_service.Cached.elapsed_s
@@ -494,6 +549,14 @@ let batch_cmd =
           (if bs.Spt_service.Batch.degraded then " (degraded to sequential)"
            else "")
           bs.Spt_service.Batch.wall_s;
+        let lat = bs.Spt_service.Batch.latency in
+        if Spt_obs.Metrics.Hist.count lat > 0 then
+          Format.printf
+            "batch: job latency p50 %.3fs, p95 %.3fs, p99 %.3fs (max %.3fs)@."
+            (Spt_obs.Metrics.Hist.percentile lat 0.50)
+            (Spt_obs.Metrics.Hist.percentile lat 0.95)
+            (Spt_obs.Metrics.Hist.percentile lat 0.99)
+            (Spt_obs.Metrics.Hist.max_value lat);
         Option.iter
           (fun path ->
             Json.to_file path
@@ -514,6 +577,9 @@ let batch_cmd =
                    ( "max_queue_depth",
                      Json.Int bs.Spt_service.Batch.max_queue_depth );
                    ("wall_s", Json.Float bs.Spt_service.Batch.wall_s);
+                   ( "latency_s",
+                     Spt_obs.Metrics.Hist.to_json bs.Spt_service.Batch.latency
+                   );
                    ("results", Json.List (List.map result_json results));
                    ("cache", Spt_service.Artifact_cache.stats_json cache);
                    ("counters", Spt_obs.Metrics.to_json ());
@@ -532,8 +598,40 @@ let batch_cmd =
           exits 1 if any file fails or times out")
     Term.(
       const run $ files_arg $ config_arg $ profile_in_arg $ cache_dir_arg
-      $ no_cache_arg $ jobs_arg $ timeout_arg $ summary_arg $ metrics_arg
-      $ log_level_arg)
+      $ no_cache_arg $ jobs_arg $ timeout_arg $ summary_arg $ trace_arg
+      $ metrics_arg $ log_level_arg)
+
+let top_cmd =
+  let report_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "A machine-readable spt report: $(b,spt-attrib-v1) ($(b,sptc run \
+             --parallel --attrib)), $(b,spt-metrics-v1) ($(b,--metrics)), \
+             $(b,spt-batch-v1) ($(b,sptc batch --summary)) or \
+             $(b,spt-bench-v2) ($(b,bench/main.exe))")
+  in
+  let run file =
+    handle_errors (fun () ->
+        match Json.of_string (read_file file) with
+        | Error msg ->
+          Format.eprintf "error: %s: bad JSON: %s@." file msg;
+          exit 1
+        | Ok j -> (
+          match Spt_driver.Report.top_text j with
+          | Ok text -> print_string text
+          | Error msg ->
+            Format.eprintf "error: %s: %s@." file msg;
+            exit 1))
+  in
+  Cmd.v
+    (Cmd.info "top" ~version
+       ~doc:
+         "Render a machine-readable report (attribution, metrics, batch or \
+          bench JSON) as aligned text tables")
+    Term.(const run $ report_arg)
 
 let serve_cmd =
   let run cache_dir no_cache log_level =
@@ -814,7 +912,7 @@ let () =
     Cmd.group info
       [
         run_cmd; dump_ir_cmd; loops_cmd; compile_cmd; workload_cmd; batch_cmd;
-        serve_cmd; graph_cmd; profile_cmd; adapt_cmd; fuzz_cmd;
+        top_cmd; serve_cmd; graph_cmd; profile_cmd; adapt_cmd; fuzz_cmd;
       ]
   in
   (* distinct exit codes: 0 = success, 2 = usage error, 1 = compile/run

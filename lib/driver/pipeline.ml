@@ -897,8 +897,8 @@ type parallel_run = {
   pr_spt : spt_compilation;  (** the compilation that was executed *)
 }
 
-let run_parallel ?(config = Config.best) ?jobs ?runtime_config ?profile_seed
-    ?observations ?divergence src : parallel_run =
+let run_parallel ?(config = Config.best) ?jobs ?runtime_config ?timeline
+    ?profile_seed ?observations ?divergence src : parallel_run =
   let spt = compile_spt ?profile_seed ?observations ?divergence config src in
   let loops =
     List.map
@@ -916,10 +916,15 @@ let run_parallel ?(config = Config.best) ?jobs ?runtime_config ?profile_seed
       | Some c -> c
       | None -> Spt_runtime.Runtime.default_config ()
     in
-    match jobs with
-    | Some j ->
-      let j = max 1 j in
-      { base with Spt_runtime.Runtime.jobs = j; window = 2 * j }
+    let base =
+      match jobs with
+      | Some j ->
+        let j = max 1 j in
+        { base with Spt_runtime.Runtime.jobs = j; window = 2 * j }
+      | None -> base
+    in
+    match timeline with
+    | Some t -> { base with Spt_runtime.Runtime.timeline = Some t }
     | None -> base
   in
   (* measured-speedup baseline: the same program run sequentially
@@ -933,6 +938,13 @@ let run_parallel ?(config = Config.best) ?jobs ?runtime_config ?profile_seed
     Obs.Trace.span "run.parallel" (fun () ->
         Spt_runtime.Runtime.run ~config:rcfg ~loops spt.program)
   in
+  (* the runtime's workers have joined; merge their lanes into the
+     pipeline trace so chrome://tracing shows the parallel execution *)
+  (match rcfg.Spt_runtime.Runtime.timeline with
+  | Some t when Obs.Trace.enabled () ->
+    Obs.Trace.append_events
+      (Obs.Timeline.to_trace_events ~epoch:(Obs.Trace.epoch_s ()) t)
+  | _ -> ());
   Obs.Log.info
     "run_parallel: %d SPT loops, jobs=%d, seq %.3fs vs par %.3fs, oracle %s"
     (List.length loops) rcfg.Spt_runtime.Runtime.jobs pr_seq_wall

@@ -150,13 +150,16 @@ type parallel_run = {
 
 (** Compile with [config], then execute on OCaml 5 domains.
     [runtime_config] replaces the default runtime configuration; [jobs]
-    then overrides its worker count (else [SPT_JOBS] / 1).
-    [profile_seed] / [observations] / [divergence] are passed to
-    {!compile_spt}. *)
+    then overrides its worker count (else [SPT_JOBS] / 1); [timeline]
+    overrides its timeline — the per-domain speculation events land
+    there, and (when tracing is enabled) are merged into the pipeline
+    trace as extra lanes.  [profile_seed] / [observations] /
+    [divergence] are passed to {!compile_spt}. *)
 val run_parallel :
   ?config:Config.t ->
   ?jobs:int ->
   ?runtime_config:Spt_runtime.Runtime.config ->
+  ?timeline:Spt_obs.Timeline.t ->
   ?profile_seed:
     (Spt_profile.Edge_profile.t ->
     Spt_profile.Dep_profile.t ->

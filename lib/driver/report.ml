@@ -561,20 +561,327 @@ let metrics_json ?(parallel = []) (results : (string * Pipeline.eval) list) =
          parallel)
     (List.map (fun (name, e) -> eval_json ~name e) results)
 
-let bench_json ?(feedback = []) ~quick ~per_config ~parallel () =
+let bench_json ?(feedback = []) ?(gap = []) ~quick ~per_config ~parallel () =
+  Json.Obj
+    ([
+       ("schema", Json.Str "spt-bench-v2");
+       ("quick", Json.Bool quick);
+       ( "configs",
+         Json.List
+           (List.map
+              (fun (cname, results) ->
+                Json.prepend ("config", Json.Str cname) (metrics_json results))
+              per_config) );
+       ("parallel", Json.List parallel);
+     ]
+    @ (if gap = [] then [] else [ ("gap", Json.List gap) ])
+    @ [ ("feedback", Json.List feedback) ])
+
+(* ------------------------------------------------------------------ *)
+(* Overhead attribution (spt-attrib-v1): where a parallel run's wall
+   time went, per domain, bucketed into the speculation lifecycle, and
+   how far the measured speedup fell from the prediction. *)
+
+module Timeline = Spt_obs.Timeline
+
+let bucket_names = [ "dispatch"; "fork"; "validate"; "commit"; "rollback" ]
+
+(* exec time is the interpreter dispatching the task's instructions;
+   kills and serial re-executions are both prices of misspeculation,
+   so they land in the rollback bucket *)
+let bucket_of_kind = function
+  | Timeline.Exec -> "dispatch"
+  | Timeline.Fork -> "fork"
+  | Timeline.Validate -> "validate"
+  | Timeline.Commit -> "commit"
+  | Timeline.Rollback | Timeline.Reexec | Timeline.Kill -> "rollback"
+
+let lane_buckets (lane : Timeline.lane_summary) =
+  List.map
+    (fun b ->
+      ( b,
+        List.fold_left
+          (fun acc (k, s, _) -> if bucket_of_kind k = b then acc +. s else acc)
+          0.0 lane.Timeline.ls_by_kind ))
+    bucket_names
+
+let gap_json ?predicted ~measured () =
   Json.Obj
     [
-      ("schema", Json.Str "spt-bench-v2");
-      ("quick", Json.Bool quick);
-      ( "configs",
-        Json.List
-          (List.map
-             (fun (cname, results) ->
-               Json.prepend ("config", Json.Str cname) (metrics_json results))
-             per_config) );
-      ("parallel", Json.List parallel);
-      ("feedback", Json.List feedback);
+      ( "predicted_speedup",
+        match predicted with Some p -> Json.Float p | None -> Json.Null );
+      ("measured_speedup", Json.Float measured);
+      ( "achieved_fraction",
+        match predicted with
+        | Some p when p > 0.0 -> Json.Float (measured /. p)
+        | _ -> Json.Null );
     ]
+
+let attrib_json ?predicted ~workload ~timeline (pr : Pipeline.parallel_run) =
+  let wall = pr.Pipeline.pr_runtime.Spt_runtime.Runtime.wall_time in
+  let lanes = Timeline.summary timeline in
+  let n_lanes = List.length lanes in
+  let idle_of busy = Float.max 0.0 (wall -. busy) in
+  let domain_json (lane : Timeline.lane_summary) =
+    let buckets = lane_buckets lane in
+    let busy = lane.Timeline.ls_busy_s in
+    Json.Obj
+      [
+        ("domain", Json.Str (Printf.sprintf "lane-%d" lane.Timeline.ls_lane));
+        ("busy_s", Json.Float busy);
+        ( "buckets",
+          Json.Obj
+            (List.map (fun (b, s) -> (b, Json.Float s)) buckets
+            @ [ ("idle", Json.Float (idle_of busy)) ]) );
+        ("events", Json.Int lane.Timeline.ls_events);
+        ("dropped", Json.Int lane.Timeline.ls_dropped);
+      ]
+  in
+  let total b =
+    List.fold_left
+      (fun acc lane -> acc +. List.assoc b (lane_buckets lane))
+      0.0 lanes
+  in
+  let total_idle =
+    List.fold_left
+      (fun acc lane -> acc +. idle_of lane.Timeline.ls_busy_s)
+      0.0 lanes
+  in
+  (* buckets-sum / (wall x lanes): how much of the domains' wall time
+     the attribution accounts for (busy clamped to the wall, so a lane
+     cannot account for more than the run took) *)
+  let accounted =
+    List.fold_left
+      (fun acc lane ->
+        let busy = lane.Timeline.ls_busy_s in
+        acc +. Float.min busy wall +. idle_of busy)
+      0.0 lanes
+  in
+  let coverage =
+    if n_lanes = 0 || wall <= 0.0 then 1.0
+    else accounted /. (wall *. float_of_int n_lanes)
+  in
+  let iter_hist = Spt_obs.Metrics.Hist.create () in
+  Timeline.iter_events timeline (fun k ~lane:_ ~lid:_ ~t0 ~t1 ->
+      if k = Timeline.Exec then
+        Spt_obs.Metrics.Hist.observe iter_hist (t1 -. t0));
+  let overhead = Timeline.overhead_s timeline in
+  Json.Obj
+    [
+      ("schema", Json.Str "spt-attrib-v1");
+      ("workload", Json.Str workload);
+      ("jobs", Json.Int pr.Pipeline.pr_jobs);
+      ("n_spt_loops", Json.Int pr.Pipeline.pr_n_loops);
+      ("wall_s", Json.Float wall);
+      ("seq_wall_s", Json.Float pr.Pipeline.pr_seq_wall);
+      ("gap", gap_json ?predicted ~measured:pr.Pipeline.pr_measured_speedup ());
+      ("domains", Json.List (List.map domain_json lanes));
+      ( "totals",
+        Json.Obj
+          (List.map (fun b -> (b, Json.Float (total b))) bucket_names
+          @ [ ("idle", Json.Float total_idle) ]) );
+      ("coverage", Json.Float coverage);
+      ("iter_latency_s", Spt_obs.Metrics.Hist.to_json iter_hist);
+      ("events", Json.Int (Timeline.events timeline));
+      ("dropped", Json.Int (Timeline.dropped timeline));
+      ("overhead_s", Json.Float overhead);
+      ( "overhead_fraction",
+        Json.Float (if wall > 0.0 then overhead /. wall else 0.0) );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* [sptc top]: offline rendering of the JSON reports as text tables *)
+
+let num = function
+  | Some (Json.Float f) -> Some f
+  | Some (Json.Int i) -> Some (float_of_int i)
+  | _ -> None
+
+let num0 j = Option.value ~default:0.0 (num j)
+let str_of = function Some (Json.Str s) -> s | _ -> "-"
+
+let fmt_s s =
+  if Float.abs s >= 1.0 then Printf.sprintf "%.3fs" s
+  else if Float.abs s >= 1e-3 then Printf.sprintf "%.2fms" (s *. 1e3)
+  else Printf.sprintf "%.1fus" (s *. 1e6)
+
+let latency_line j =
+  Printf.sprintf
+    "count %.0f  mean %s  p50 %s  p95 %s  p99 %s  max %s"
+    (num0 (Json.member "count" j))
+    (fmt_s (num0 (Json.member "mean" j)))
+    (fmt_s (num0 (Json.member "p50" j)))
+    (fmt_s (num0 (Json.member "p95" j)))
+    (fmt_s (num0 (Json.member "p99" j)))
+    (fmt_s (num0 (Json.member "max" j)))
+
+let top_attrib j =
+  let buf = Buffer.create 512 in
+  let wall = num0 (Json.member "wall_s" j) in
+  Buffer.add_string buf
+    (Printf.sprintf "workload %s: %d job(s), %d SPT loop(s), wall %s (seq %s)\n"
+       (str_of (Json.member "workload" j))
+       (int_of_float (num0 (Json.member "jobs" j)))
+       (int_of_float (num0 (Json.member "n_spt_loops" j)))
+       (fmt_s wall)
+       (fmt_s (num0 (Json.member "seq_wall_s" j))));
+  (match Json.member "gap" j with
+  | Some gap ->
+    let measured = num0 (Json.member "measured_speedup" gap) in
+    Buffer.add_string buf
+      (match num (Json.member "predicted_speedup" gap) with
+      | Some p ->
+        Printf.sprintf
+          "speedup: predicted %.2fx, measured %.2fx (%.0f%% of prediction)\n"
+          p measured
+          (100.0 *. num0 (Json.member "achieved_fraction" gap))
+      | None -> Printf.sprintf "speedup: measured %.2fx\n" measured)
+  | None -> ());
+  let cols = bucket_names @ [ "idle" ] in
+  let t =
+    Table.create
+      ~aligns:(Table.Left :: List.map (fun _ -> Table.Right) (cols @ [ "" ]))
+      ("domain" :: cols @ [ "busy" ])
+  in
+  let row label buckets busy =
+    Table.add_row t
+      (label
+      :: List.map (fun b -> fmt_s (num0 (Json.member b buckets))) cols
+      @ [ fmt_s busy ])
+  in
+  (match Json.member "domains" j with
+  | Some (Json.List ds) ->
+    List.iter
+      (fun d ->
+        match Json.member "buckets" d with
+        | Some buckets ->
+          row (str_of (Json.member "domain" d)) buckets
+            (num0 (Json.member "busy_s" d))
+        | None -> ())
+      ds
+  | _ -> ());
+  (match Json.member "totals" j with
+  | Some totals ->
+    let busy =
+      List.fold_left (fun acc b -> acc +. num0 (Json.member b totals)) 0.0
+        bucket_names
+    in
+    row "total" totals busy
+  | None -> ());
+  Buffer.add_string buf (Table.render t);
+  Buffer.add_string buf
+    (Printf.sprintf "coverage %.1f%%  (%d events, %d dropped, overhead %.2f%%)\n"
+       (100.0 *. num0 (Json.member "coverage" j))
+       (int_of_float (num0 (Json.member "events" j)))
+       (int_of_float (num0 (Json.member "dropped" j)))
+       (100.0 *. num0 (Json.member "overhead_fraction" j)));
+  (match Json.member "iter_latency_s" j with
+  | Some h -> Buffer.add_string buf ("iter latency: " ^ latency_line h ^ "\n")
+  | None -> ());
+  Buffer.contents buf
+
+let top_metrics j =
+  let buf = Buffer.create 512 in
+  (match Json.member "counters" j with
+  | Some (Json.Obj fields) ->
+    let t =
+      Table.create ~aligns:[ Table.Left; Table.Right ] [ "metric"; "value" ]
+    in
+    List.iter
+      (fun (name, v) ->
+        let rendered =
+          match v with
+          | Json.Int i -> string_of_int i
+          | Json.Float f -> Printf.sprintf "%g" f
+          | Json.Obj _ ->
+            Printf.sprintf "n=%.0f mean %s p95 %s"
+              (num0 (Json.member "count" v))
+              (fmt_s (num0 (Json.member "mean" v)))
+              (fmt_s (num0 (Json.member "p95" v)))
+          | _ -> "-"
+        in
+        Table.add_row t [ name; rendered ])
+      fields;
+    Buffer.add_string buf (Table.render t)
+  | _ -> Buffer.add_string buf "(no counters section)\n");
+  Buffer.contents buf
+
+let top_batch j =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "batch: %.0f file(s), %.0f ok, %.0f failed, %.0f timed out; hit rate \
+        %.0f%%; wall %s\n"
+       (num0 (Json.member "files" j))
+       (num0 (Json.member "ok" j))
+       (num0 (Json.member "failed" j))
+       (num0 (Json.member "timed_out" j))
+       (100.0 *. num0 (Json.member "hit_rate" j))
+       (fmt_s (num0 (Json.member "wall_s" j))));
+  (match Json.member "latency_s" j with
+  | Some h -> Buffer.add_string buf ("job latency: " ^ latency_line h ^ "\n")
+  | None -> ());
+  (match Json.member "results" j with
+  | Some (Json.List rs) ->
+    let t =
+      Table.create
+        ~aligns:[ Table.Left; Table.Left; Table.Right ]
+        [ "file"; "status"; "elapsed" ]
+    in
+    List.iter
+      (fun r ->
+        Table.add_row t
+          [
+            str_of (Json.member "file" r);
+            (let s = str_of (Json.member "status" r) in
+             match Json.member "cache_hit" r with
+             | Some (Json.Bool true) -> s ^ " (hit)"
+             | _ -> s);
+            (match num (Json.member "elapsed_s" r) with
+            | Some e -> fmt_s e
+            | None -> "-");
+          ])
+      rs;
+    Buffer.add_string buf (Table.render t)
+  | _ -> ());
+  Buffer.contents buf
+
+let top_bench j =
+  let buf = Buffer.create 512 in
+  (match Json.member "gap" j with
+  | Some (Json.List rows) when rows <> [] ->
+    let t =
+      Table.create
+        ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right ]
+        [ "workload"; "predicted"; "measured"; "achieved" ]
+    in
+    List.iter
+      (fun r ->
+        Table.add_row t
+          [
+            str_of (Json.member "workload" r);
+            (match num (Json.member "predicted_speedup" r) with
+            | Some p -> Printf.sprintf "%.2fx" p
+            | None -> "-");
+            Printf.sprintf "%.2fx" (num0 (Json.member "measured_speedup" r));
+            (match num (Json.member "achieved_fraction" r) with
+            | Some f -> Printf.sprintf "%.0f%%" (100.0 *. f)
+            | None -> "-");
+          ])
+      rows;
+    Buffer.add_string buf "predicted vs measured speedup (gap)\n";
+    Buffer.add_string buf (Table.render t)
+  | _ -> Buffer.add_string buf "(no gap section; re-run bench/main.exe)\n");
+  Buffer.contents buf
+
+let top_text j =
+  match Json.member "schema" j with
+  | Some (Json.Str "spt-attrib-v1") -> Ok (top_attrib j)
+  | Some (Json.Str "spt-metrics-v1") -> Ok (top_metrics j)
+  | Some (Json.Str "spt-batch-v1") -> Ok (top_batch j)
+  | Some (Json.Str "spt-bench-v2") -> Ok (top_bench j)
+  | Some (Json.Str s) -> Error (Printf.sprintf "unsupported schema %S" s)
+  | _ -> Error "not an spt report (no \"schema\" field)"
 
 (* ------------------------------------------------------------------ *)
 (* The [sptc compile] report text.

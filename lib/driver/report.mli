@@ -90,11 +90,40 @@ val metrics_json_of : ?runtime:Spt_obs.Json.t list -> Spt_obs.Json.t list -> Spt
     misspeculation-cost comparison rows ([feedback]). *)
 val bench_json :
   ?feedback:Spt_obs.Json.t list ->
+  ?gap:Spt_obs.Json.t list ->
   quick:bool ->
   per_config:(string * (string * Pipeline.eval) list) list ->
   parallel:Spt_obs.Json.t list ->
   unit ->
   Spt_obs.Json.t
+
+(** The predicted-vs-measured speedup record shared by the attribution
+    report and the bench [gap] section: [predicted_speedup] (null when
+    no prediction is available), [measured_speedup] and
+    [achieved_fraction] (measured / predicted). *)
+val gap_json : ?predicted:float -> measured:float -> unit -> Spt_obs.Json.t
+
+(** The `spt-attrib-v1` overhead-attribution report for one parallel
+    run: per-domain wall-time buckets (dispatch / fork / validate /
+    commit / rollback, plus idle as the unaccounted remainder against
+    the run's wall clock), totals, the fraction of [lanes × wall] the
+    buckets account for ([coverage]), an iteration-latency histogram
+    built from the timeline's exec spans, the predicted-vs-measured
+    [gap], and the timeline's own estimated recording overhead.
+    [timeline] must be the one the run executed with (pass it to
+    {!Pipeline.run_parallel}). *)
+val attrib_json :
+  ?predicted:float ->
+  workload:string ->
+  timeline:Spt_obs.Timeline.t ->
+  Pipeline.parallel_run ->
+  Spt_obs.Json.t
+
+(** Render a machine-readable report (`spt-attrib-v1`, `spt-metrics-v1`,
+    `spt-batch-v1` or `spt-bench-v2`) as aligned text tables — the
+    [sptc top] analyzer.  [Error] explains an unknown or missing
+    [schema] field. *)
+val top_text : Spt_obs.Json.t -> (string, string) result
 
 (** The human-readable [sptc compile] summary.  The CLI prints this and
     the artifact cache replays it verbatim on a warm hit, so cold and

@@ -172,6 +172,16 @@ type marker_action =
   | Jump_to of cursor  (** resume this frame at the given cursor *)
   | Return_now of value option  (** unwind the frame with this value *)
 
+(* Dispatch-time sampling: every [s_mask + 1] block entries the machine
+   reads the clock and books the ns-per-instruction of the window into
+   the "interp.dispatch_ns_per_instr" histogram.  Off ([None]) the cost
+   is one load and one branch per block entry. *)
+type sampler = {
+  s_mask : int;
+  mutable s_last_t : float;
+  mutable s_last_steps : int;
+}
+
 type state = {
   program : Ir.program;
   layout : Layout.t;
@@ -182,6 +192,7 @@ type state = {
   hooks : hooks;
   mutable on_marker :
     (state -> frame -> marker -> cursor -> marker_action) option;
+  mutable sampler : sampler option;
 }
 
 type result = {
@@ -201,7 +212,14 @@ let make ?(hooks = null_hooks) ?(max_steps = 200_000_000) ~memio
     max_steps;
     hooks;
     on_marker = None;
+    sampler = None;
   }
+
+let h_dispatch = Spt_obs.Metrics.histogram "interp.dispatch_ns_per_instr"
+
+let set_sampler ?(mask = 1023) st =
+  st.sampler <-
+    Some { s_mask = mask; s_last_t = Unix.gettimeofday (); s_last_steps = st.steps }
 
 let layout st = st.layout
 let steps st = st.steps
@@ -353,6 +371,16 @@ and exec_segment st frame ?stop_block ~watch_markers (cur : cursor) : seg_stop
   in
   if cur.cpos = 0 then begin
     st.block_entries <- st.block_entries + 1;
+    (match st.sampler with
+    | Some s when st.block_entries land s.s_mask = 0 ->
+      let t = Unix.gettimeofday () in
+      let ds = st.steps - s.s_last_steps in
+      if ds > 0 then
+        Spt_obs.Metrics.observe h_dispatch
+          ((t -. s.s_last_t) /. float_of_int ds *. 1e9);
+      s.s_last_t <- t;
+      s.s_last_steps <- st.steps
+    | _ -> ());
     st.hooks.on_block frame.func bid;
     if prev >= 0 then st.hooks.on_edge frame.func ~src:prev ~dst:bid;
     let phi_values =
@@ -546,8 +574,10 @@ let run ?(hooks = null_hooks) ?(max_steps = 200_000_000) (program : Ir.program) 
       max_steps;
       hooks;
       on_marker = None;
+      sampler = None;
     }
   in
+  if Spt_obs.Metrics.enabled () then set_sampler st;
   let mainf = Ir.func_of_program program "main" in
   let return_value = exec_call st mainf [] [] in
   Spt_obs.Metrics.inc m_runs;

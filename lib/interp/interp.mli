@@ -140,6 +140,14 @@ val make :
 val layout : state -> Layout.t
 val steps : state -> int  (** dynamic instructions executed so far *)
 
+(** Arm dispatch-time sampling on this machine: every [mask + 1] block
+    entries (default 1024; [mask] must be [2^k - 1]) the machine books
+    the observed ns-per-instruction of the window into the
+    ["interp.dispatch_ns_per_instr"] registry histogram.  Install only
+    on machines driven by the metrics-owning thread — the registry is
+    not thread-safe.  [run] arms itself when metrics are enabled. *)
+val set_sampler : ?mask:int -> state -> unit
+
 (** Install (or clear, with [None]) the SPT-marker interceptor.  When
     set, every [`Fork]/[`Kill] executed by a frame driven by [call]
     is dispatched to it; segment execution inside the handler must use

@@ -14,7 +14,43 @@
 
 type counter
 type gauge
-type histogram
+
+(** Standalone fixed-bucket histograms with quantile estimation.
+
+    96 log-spaced buckets (8 per decade, 1e-9 .. 1e3) cover every
+    latency the system produces.  Unlike registry handles, a [Hist.t]
+    is {e always on}: the service layer keeps one per server/batch so
+    p50/p95/p99 request latency works even with the global registry
+    disabled.  Not thread-safe — observe from one thread (the runtime
+    and service layers funnel worker timings back to the coordinating
+    thread). *)
+module Hist : sig
+  type t
+
+  val create : unit -> t
+  val reset : t -> unit
+  val observe : t -> float -> unit
+  val count : t -> int
+  val sum : t -> float
+
+  (** 0 when empty. *)
+  val min_value : t -> float
+
+  val max_value : t -> float
+  val mean : t -> float
+
+  (** [percentile h q] for [q] in [0,1]: cumulative-count walk with
+      geometric interpolation inside the landing bucket, clamped to the
+      observed min/max.  0 when empty. *)
+  val percentile : t -> float -> float
+
+  (** [{"count","sum","min","max","mean","p50","p95","p99"}]. *)
+  val to_json : t -> Json.t
+end
+
+(** Registry histograms are {!Hist.t}s whose [observe] is gated on the
+    enabled flag. *)
+type histogram = Hist.t
 
 (** Disabled by default; [sptc --metrics] and the test suite turn it
     on. *)
@@ -49,5 +85,19 @@ val get : string -> value option
 val reset : unit -> unit
 
 (** Object mapping each metric name to its value; histograms become
-    [{"count":..,"sum":..,"min":..,"max":..,"mean":..}]. *)
+    [{"count":..,"sum":..,"min":..,"max":..,"mean":..,"p50":..,
+    "p95":..,"p99":..}]. *)
 val to_json : unit -> Json.t
+
+(** [since ()] captures the registry for a later {!delta_json} —
+    the snapshot/delta pair that isolates one batch job's metrics from
+    the cumulative process-wide registry. *)
+val since : unit -> (string * value) list
+
+(** Current registry minus a {!since} snapshot: counters and histogram
+    count/sum subtract, gauges report their current level, and
+    histogram deltas carry only count/sum/mean (min/max and quantiles
+    are not recoverable for a window).  Exact when the window saw no
+    concurrent instrumented work (e.g. [sptc batch -j 1]); with
+    concurrent jobs a window also counts their overlapping updates. *)
+val delta_json : (string * value) list -> Json.t

@@ -54,6 +54,19 @@ let span ?cat name f =
       f
   end
 
+let epoch_s () =
+  match !epoch with
+  | Some e -> e
+  | None ->
+    let t = Unix.gettimeofday () in
+    epoch := Some t;
+    t
+
+(* pre-rendered events (e.g. a Timeline's lanes) merge into the same
+   stream; [events] re-sorts by ts, so arrival order is irrelevant *)
+let append_events evs =
+  if !on then recorded := List.rev_append evs !recorded
+
 let instant ?cat name =
   if !on then
     recorded :=

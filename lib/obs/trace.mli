@@ -20,6 +20,16 @@ val span : ?cat:string -> string -> (unit -> 'a) -> 'a
 (** A zero-duration instant event (["ph":"i"]), for marking moments. *)
 val instant : ?cat:string -> string -> unit
 
+(** The absolute time (seconds) event timestamps are relative to,
+    establishing it now if no event has been recorded yet.  External
+    emitters ({!Timeline.to_trace_events}) rebase against this. *)
+val epoch_s : unit -> float
+
+(** Merge pre-rendered trace events (already carrying [ts]/[tid]
+    fields relative to {!epoch_s}) into the stream.  No-op when
+    tracing is disabled. *)
+val append_events : Json.t list -> unit
+
 (** Recorded events in chronological start order (oldest first). *)
 val events : unit -> Json.t list
 

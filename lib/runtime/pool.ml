@@ -20,7 +20,7 @@ let rec worker t () =
     worker t ()
   end
 
-let create ~jobs =
+let create ?(on_start = fun () -> ()) ~jobs () =
   let t =
     {
       domains = [||];
@@ -30,7 +30,11 @@ let create ~jobs =
       stopping = false;
     }
   in
-  t.domains <- Array.init (max 1 jobs) (fun _ -> Domain.spawn (worker t));
+  t.domains <-
+    Array.init (max 1 jobs) (fun _ ->
+        Domain.spawn (fun () ->
+            (try on_start () with _ -> ());
+            worker t ()));
   t
 
 let size t = Array.length t.domains

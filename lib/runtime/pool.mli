@@ -7,8 +7,11 @@
 
 type t
 
-(** [create ~jobs] spawns [max 1 jobs] worker domains. *)
-val create : jobs:int -> t
+(** [create ~jobs ()] spawns [max 1 jobs] worker domains.  [on_start]
+    runs once in each worker domain before it takes jobs (exceptions
+    swallowed) — the runtime uses it to register timeline lanes so
+    even never-scheduled workers show up as idle in attribution. *)
+val create : ?on_start:(unit -> unit) -> jobs:int -> unit -> t
 
 (** Number of worker domains. *)
 val size : t -> int

@@ -12,6 +12,7 @@ type config = {
   spec_fuel : int;
   max_steps : int;
   oracle : bool;
+  timeline : Obs.Timeline.t option;
 }
 
 let default_jobs () =
@@ -28,6 +29,7 @@ let default_config () =
     spec_fuel = 2_000_000;
     max_steps = 200_000_000;
     oracle = true;
+    timeline = None;
   }
 
 type loop_stats = {
@@ -56,6 +58,21 @@ let m_faults = Obs.Metrics.counter "runtime.faults"
 let m_despecs = Obs.Metrics.counter "runtime.despeculations"
 let m_serial = Obs.Metrics.counter "runtime.serial_reexecs"
 
+(* seconds one task (one loop-iteration segment) spent executing on its
+   view; workers report the duration through the task record, the
+   sequential thread observes it at the task's turn, so the registry is
+   only ever touched from one thread *)
+let h_iter = Obs.Metrics.histogram "runtime.iter_latency_s"
+
+(* timeline instrumentation: with no timeline configured, [tl_now] is a
+   branch returning a dummy and [tl_rec] a branch doing nothing *)
+let tl_now = function None -> 0.0 | Some _ -> Unix.gettimeofday ()
+
+let tl_rec tl kind ~lid t0 =
+  match tl with
+  | None -> ()
+  | Some t -> Obs.Timeline.record t kind ~lid ~t0 ~t1:(Unix.gettimeofday ())
+
 (* where execution of a task (or its serial replay) sequentially ends *)
 type stop =
   | Looped of Interp.cursor  (** back at the loop header *)
@@ -71,6 +88,7 @@ type task = {
   tview : Specmem.view;
   tstart : Interp.cursor;
   mutable tstatus : status;
+  mutable texec_s : float;  (** seconds the task ran on its view *)
 }
 
 type rt = {
@@ -205,6 +223,7 @@ let run_spt_loop rt (frame : Interp.frame) (spec : loop_spec)
   let t0 = Unix.gettimeofday () in
   let lid = spec.ls_id in
   let header = spec.ls_header in
+  let tl = rt.cfg.timeline in
   let st = loop_stats rt lid in
   let master =
     {
@@ -224,27 +243,50 @@ let run_spt_loop rt (frame : Interp.frame) (spec : loop_spec)
   let finish = ref None in
   let last_pos = ref after0 in
   let spawn_s start =
+    let tf0 = tl_now tl in
     let view = Specmem.create ?parent:!chain master in
-    let t = { tkind = `S; tview = view; tstart = start; tstatus = Pending } in
+    let t =
+      { tkind = `S; tview = view; tstart = start; tstatus = Pending;
+        texec_s = 0.0 }
+    in
     Queue.push t pending;
     st.forks <- st.forks + 1;
     Obs.Metrics.inc m_forks;
     Pool.submit rt.pool (fun () ->
+        (* the Exec span lands on the worker domain's own lane *)
+        let e0 = Unix.gettimeofday () in
         let o = run_task rt ~frame ~header ~lid view start in
+        let e1 = Unix.gettimeofday () in
+        (match tl with
+        | Some tline -> Obs.Timeline.record tline Obs.Timeline.Exec ~lid ~t0:e0 ~t1:e1
+        | None -> ());
         Mutex.lock rt.mu;
+        t.texec_s <- e1 -. e0;
         t.tstatus <- Finished o;
         Condition.broadcast rt.cond;
-        Mutex.unlock rt.mu)
+        Mutex.unlock rt.mu);
+    tl_rec tl Obs.Timeline.Fork ~lid tf0
   in
   (* the sequential thread itself speculates the next pre-fork segment
      while the workers chew on the post-fork ones *)
   let run_p () =
+    let tf0 = tl_now tl in
     let view = Specmem.create ?parent:!chain master in
+    tl_rec tl Obs.Timeline.Fork ~lid tf0;
     let start = { Interp.cbid = header; cprev = -1; cpos = 0 } in
-    let t = { tkind = `P; tview = view; tstart = start; tstatus = Pending } in
+    let t =
+      { tkind = `P; tview = view; tstart = start; tstatus = Pending;
+        texec_s = 0.0 }
+    in
     st.forks <- st.forks + 1;
     Obs.Metrics.inc m_forks;
+    let e0 = Unix.gettimeofday () in
     let o = run_task rt ~frame ~header ~lid view start in
+    let e1 = Unix.gettimeofday () in
+    (match tl with
+    | Some tline -> Obs.Timeline.record tline Obs.Timeline.Exec ~lid ~t0:e0 ~t1:e1
+    | None -> ());
+    t.texec_s <- e1 -. e0;
     t.tstatus <- Finished o;
     Queue.push t pending;
     match o with
@@ -262,11 +304,15 @@ let run_spt_loop rt (frame : Interp.frame) (spec : loop_spec)
     done;
     let head = Queue.pop pending in
     let outcome = wait_for rt head in
+    Obs.Metrics.observe h_iter head.texec_s;
     (* resolve the head to its definitive sequential stop *)
     let resolution =
       match outcome with
       | Stopped (stop, steps) -> (
-        match Specmem.validate head.tview with
+        let tv0 = tl_now tl in
+        let v = Specmem.validate head.tview in
+        tl_rec tl Obs.Timeline.Validate ~lid tv0;
+        match v with
         | Ok () -> `Commit (stop, steps)
         | Error stale -> `Stale stale)
       | Fault msg -> `Fault msg
@@ -274,7 +320,9 @@ let run_spt_loop rt (frame : Interp.frame) (spec : loop_spec)
     let stop, clean =
       match resolution with
       | `Commit (stop, steps) ->
+        let tc0 = tl_now tl in
         Specmem.commit head.tview;
+        tl_rec tl Obs.Timeline.Commit ~lid tc0;
         rt.committed_steps <- rt.committed_steps + steps;
         (* committed speculative work counts against the same budget a
            sequential run would have spent on it — otherwise a
@@ -290,7 +338,9 @@ let run_spt_loop rt (frame : Interp.frame) (spec : loop_spec)
         consec := 0;
         (stop, true)
       | `Stale _ | `Fault _ ->
+        let tr0 = tl_now tl in
         Specmem.rollback head.tview;
+        tl_rec tl Obs.Timeline.Rollback ~lid tr0;
         (match resolution with
         | `Fault msg ->
           st.faults <- st.faults + 1;
@@ -306,7 +356,10 @@ let run_spt_loop rt (frame : Interp.frame) (spec : loop_spec)
         incr consec;
         st.serial_reexecs <- st.serial_reexecs + 1;
         Obs.Metrics.inc m_serial;
-        (serial_reexec rt ~frame ~header ~lid head.tstart, false)
+        let tx0 = tl_now tl in
+        let stop = serial_reexec rt ~frame ~header ~lid head.tstart in
+        tl_rec tl Obs.Timeline.Reexec ~lid tx0;
+        (stop, false)
     in
     if head.tkind = `S then st.iters <- st.iters + 1;
     if !consec >= rt.cfg.despec_after && not (Hashtbl.mem rt.despec lid)
@@ -351,8 +404,10 @@ let run_spt_loop rt (frame : Interp.frame) (spec : loop_spec)
       end;
       (* roll the dead views back so late writes from abandoned workers
          are dropped and descendants stop reading their buffers *)
+      let tk0 = tl_now tl in
       Queue.iter (fun t -> Specmem.rollback t.tview) pending;
       Queue.clear pending;
+      if killed > 0 then tl_rec tl Obs.Timeline.Kill ~lid tk0;
       finish :=
         Some
           (match stop with
@@ -499,11 +554,20 @@ let run ?config ?(loops = []) (program : Ir.program) : result =
       (fun (s : Ir.sym) -> s.Ir.sid)
       (Layout.owner_of_element layout program.Ir.globals a)
   in
+  (* metrics-enabled runs sample the master machine's dispatch time;
+     worker machines never sample (the registry is single-threaded) *)
+  if Obs.Metrics.enabled () then Interp.set_sampler master;
   let rt =
     {
       program;
       cfg;
-      pool = Pool.create ~jobs:cfg.jobs;
+      pool =
+        Pool.create
+          ~on_start:(fun () ->
+            match cfg.timeline with
+            | Some t -> Obs.Timeline.touch t
+            | None -> ())
+          ~jobs:cfg.jobs ();
       store;
       master;
       mu = Mutex.create ();

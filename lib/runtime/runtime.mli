@@ -29,6 +29,10 @@ type config = {
   spec_fuel : int;  (** step budget of one speculative task *)
   max_steps : int;  (** overall sequential step budget *)
   oracle : bool;  (** check against a sequential reference run *)
+  timeline : Spt_obs.Timeline.t option;
+      (** when set, every fork/exec/validate/commit/rollback/reexec/kill
+          is recorded per domain; drain it only after {!run} returns
+          (the pool has then joined its workers) *)
 }
 
 (** [jobs] honours [SPT_JOBS]; window is [2 * jobs]. *)

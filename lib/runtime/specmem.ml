@@ -160,7 +160,15 @@ let string_of_stale s =
   | Stale_rng -> "rng")
   ^ " changed under speculation"
 
+(* validation/commit footprint counters; validate and commit run only
+   on the sequential thread, so plain registry updates are safe *)
+let m_reads_validated = Spt_obs.Metrics.counter "runtime.specmem.reads_validated"
+let m_writes_committed = Spt_obs.Metrics.counter "runtime.specmem.writes_committed"
+
 let validate v =
+  let rng_r = if v.rng_r = None then 0 else 1 in
+  Spt_obs.Metrics.add m_reads_validated
+    (Hashtbl.length v.mem_r + Hashtbl.length v.reg_r + rng_r);
   let bad = ref None in
   Hashtbl.iter
     (fun a x ->
@@ -183,6 +191,9 @@ let validate v =
 let commit v =
   if Atomic.get v.rolled_back then
     invalid_arg "Specmem.commit: view was rolled back";
+  let rng_w = if v.rng_w = None then 0 else 1 in
+  Spt_obs.Metrics.add m_writes_committed
+    (Hashtbl.length v.mem_w + Hashtbl.length v.reg_w + rng_w);
   Hashtbl.iter (fun a x -> v.master.m_mem.(a) <- x) v.mem_w;
   Hashtbl.iter (fun vid x -> v.master.m_regs.(vid) <- Some x) v.reg_w;
   (match v.rng_w with Some s -> v.master.m_rng_set s | None -> ());

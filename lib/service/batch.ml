@@ -20,6 +20,7 @@ type stats = {
   degraded : bool;
   max_queue_depth : int;
   wall_s : float;
+  latency : Spt_obs.Metrics.Hist.t;
 }
 
 let default_jobs () =
@@ -27,13 +28,26 @@ let default_jobs () =
   | Some s -> ( match int_of_string_opt s with Some j when j > 0 -> j | _ -> 2)
   | None -> 2
 
-let observe_run work =
+(* runs on a worker domain: measure only — the metrics registry and
+   [Hist.t] are not thread-safe, so all observes happen in [finish] on
+   the calling domain *)
+let timed_run work =
   let t0 = Unix.gettimeofday () in
   let r = try Done (work ()) with e -> Failed (Printexc.to_string e) in
-  Spt_obs.Metrics.observe h_latency (Unix.gettimeofday () -. t0);
-  r
+  (r, Unix.gettimeofday () -. t0)
 
-let finish ~jobs ~degraded ~max_queue_depth ~t0 (results : _ outcome array) =
+let finish ~jobs ~degraded ~max_queue_depth ~t0
+    (timed : (_ outcome * float option) array) =
+  let latency = Spt_obs.Metrics.Hist.create () in
+  Array.iter
+    (fun (_, dt) ->
+      match dt with
+      | Some dt ->
+        Spt_obs.Metrics.Hist.observe latency dt;
+        Spt_obs.Metrics.observe h_latency dt
+      | None -> ())
+    timed;
+  let results = Array.map fst timed in
   let count p = Array.fold_left (fun n r -> if p r then n + 1 else n) 0 results in
   let failed = count (function Failed _ -> true | _ -> false) in
   let timed_out = count (function Timed_out -> true | _ -> false) in
@@ -49,6 +63,7 @@ let finish ~jobs ~degraded ~max_queue_depth ~t0 (results : _ outcome array) =
       degraded;
       max_queue_depth;
       wall_s = Unix.gettimeofday () -. t0;
+      latency;
     } )
 
 let run ?jobs ?(timeout_s = 600.0) thunks =
@@ -59,19 +74,26 @@ let run ?jobs ?(timeout_s = 600.0) thunks =
   if n = 0 then
     finish ~jobs ~degraded:false ~max_queue_depth:0 ~t0 [||]
   else
-    match Pool.create ~jobs with
+    match Pool.create ~jobs () with
     | exception _ ->
       (* graceful degradation: no pool, run in the calling domain *)
       Spt_obs.Metrics.inc m_degraded;
-      let results = Array.of_list (List.map observe_run thunks) in
-      finish ~jobs:1 ~degraded:true ~max_queue_depth:0 ~t0 results
+      let timed =
+        Array.of_list
+          (List.map
+             (fun work ->
+               let r, dt = timed_run work in
+               (r, Some dt))
+             thunks)
+      in
+      finish ~jobs:1 ~degraded:true ~max_queue_depth:0 ~t0 timed
     | pool ->
       let results = Array.make n None in
       let mu = Mutex.create () in
       List.iteri
         (fun i work ->
           Pool.submit pool (fun () ->
-              let r = observe_run work in
+              let r = timed_run work in
               Mutex.lock mu;
               (* a late worker must not resurrect a job already
                  declared timed out *)
@@ -99,7 +121,7 @@ let run ?jobs ?(timeout_s = 600.0) thunks =
         (fun i r ->
           if r = None then begin
             any_timeout := true;
-            results.(i) <- Some Timed_out
+            results.(i) <- Some (Timed_out, nan)
           end)
         results;
       Mutex.unlock mu;
@@ -108,4 +130,8 @@ let run ?jobs ?(timeout_s = 600.0) thunks =
          timeout.  An abandoned pool's domains die with the process. *)
       if not !any_timeout then Pool.shutdown pool;
       finish ~jobs ~degraded:false ~max_queue_depth:!max_depth ~t0
-        (Array.map (function Some r -> r | None -> Timed_out) results)
+        (Array.map
+           (function
+             | Some (Timed_out, _) | None -> (Timed_out, None)
+             | Some (r, dt) -> (r, Some dt))
+           results)

@@ -28,6 +28,11 @@ type stats = {
   degraded : bool;  (** pool creation failed; ran sequentially *)
   max_queue_depth : int;
   wall_s : float;
+  latency : Spt_obs.Metrics.Hist.t;
+      (** per-job wall time of every job that ran to completion or
+          failure (timed-out jobs have no measurement), built on the
+          calling domain after the run — render percentiles with
+          {!Spt_obs.Metrics.Hist.to_json} *)
 }
 
 (** [run ~jobs ~timeout_s thunks] evaluates every thunk and returns the

@@ -13,10 +13,7 @@ type t = {
   mutable errors : int;
   (* request-latency histogram, kept locally so [stats] works even with
      the global metrics registry disabled *)
-  mutable lat_n : int;
-  mutable lat_sum : float;
-  mutable lat_min : float;
-  mutable lat_max : float;
+  latency : Spt_obs.Metrics.Hist.t;
 }
 
 let create ?cache () =
@@ -24,10 +21,7 @@ let create ?cache () =
     cache = (match cache with Some c -> c | None -> Artifact_cache.create ());
     requests = 0;
     errors = 0;
-    lat_n = 0;
-    lat_sum = 0.0;
-    lat_min = infinity;
-    lat_max = neg_infinity;
+    latency = Spt_obs.Metrics.Hist.create ();
   }
 
 let describe_error = function
@@ -58,10 +52,7 @@ let config_of req =
   | Some name -> Config.by_name name (* Invalid_argument -> error reply *)
 
 let observe t dt =
-  t.lat_n <- t.lat_n + 1;
-  t.lat_sum <- t.lat_sum +. dt;
-  if dt < t.lat_min then t.lat_min <- dt;
-  if dt > t.lat_max then t.lat_max <- dt;
+  Spt_obs.Metrics.Hist.observe t.latency dt;
   Spt_obs.Metrics.observe h_latency dt
 
 let compile_reply ~op ~name (o : Cached.outcome) =
@@ -85,18 +76,7 @@ let stats_reply t =
       ("requests", Json.Int t.requests);
       ("errors", Json.Int t.errors);
       ("cache", Artifact_cache.stats_json t.cache);
-      ( "latency_s",
-        Json.Obj
-          [
-            ("count", Json.Int t.lat_n);
-            ("sum", Json.Float t.lat_sum);
-            ("min", Json.Float (if t.lat_n = 0 then 0.0 else t.lat_min));
-            ("max", Json.Float (if t.lat_n = 0 then 0.0 else t.lat_max));
-            ( "mean",
-              Json.Float
-                (if t.lat_n = 0 then 0.0
-                 else t.lat_sum /. float_of_int t.lat_n) );
-          ] );
+      ("latency_s", Spt_obs.Metrics.Hist.to_json t.latency);
     ]
 
 let handle t req =

@@ -183,6 +183,138 @@ let test_parallel_run () =
 
 let bad_src = "int main( { return }"
 
+(* a program with a real SPT loop, so --parallel runs produce timeline
+   events for the attribution report *)
+let loopy_src =
+  {|
+int n = 400;
+int a[400];
+int b[400];
+void main() {
+  int i = 0;
+  while (i < n) {
+    a[i] = b[i] * 3 + 1;
+    i = i + 1;
+  }
+  print_int(a[13]);
+}
+|}
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_json path =
+  match Spt_obs.Json.of_string (read_file path) with
+  | Ok j -> j
+  | Error msg -> Alcotest.failf "%s unparsable: %s" path msg
+
+(* --trace / --metrics parity: run and batch accept both and write
+   well-formed files *)
+let test_run_obs_flags () =
+  with_source ok_src (fun path ->
+      with_tmpdir (fun dir ->
+          let trace = Filename.concat dir "trace.json" in
+          let metrics = Filename.concat dir "metrics.json" in
+          Alcotest.(check int) "run --trace --metrics exits 0" 0
+            (exec [ "run"; path; "--trace"; trace; "--metrics"; metrics ]);
+          (match Spt_obs.Json.member "traceEvents" (parse_json trace) with
+          | Some (Spt_obs.Json.List _) -> ()
+          | _ -> Alcotest.fail "trace file lacks traceEvents");
+          Alcotest.(check bool) "metrics file tagged" true
+            (Spt_obs.Json.member "schema" (parse_json metrics)
+            = Some (Spt_obs.Json.Str "spt-metrics-v1"))))
+
+let test_batch_obs_flags () =
+  with_source ok_src (fun path ->
+      with_tmpdir (fun dir ->
+          let trace = Filename.concat dir "trace.json" in
+          let metrics = Filename.concat dir "metrics.json" in
+          Alcotest.(check int) "batch --trace --metrics exits 0" 0
+            (exec
+               [
+                 "batch"; path; "--no-cache"; "-j"; "1"; "--trace"; trace;
+                 "--metrics"; metrics;
+               ]);
+          Alcotest.(check bool) "trace file written" true (Sys.file_exists trace);
+          Alcotest.(check bool) "metrics file written" true
+            (Sys.file_exists metrics)))
+
+(* per-job counter isolation: two identical compiles in one -j1 batch
+   must report (approximately) identical per-job counters — cumulative
+   leakage would double the second one's *)
+let test_batch_per_job_counters () =
+  with_source loopy_src (fun a ->
+      with_source loopy_src (fun b ->
+          with_tmpdir (fun dir ->
+              let summary = Filename.concat dir "summary.json" in
+              let metrics = Filename.concat dir "metrics.json" in
+              Alcotest.(check int) "batch exits 0" 0
+                (exec
+                   [
+                     "batch"; a; b; "--no-cache"; "-j"; "1"; "--summary";
+                     summary; "--metrics"; metrics;
+                   ]);
+              let j = parse_json summary in
+              match Spt_obs.Json.member "results" j with
+              | Some (Spt_obs.Json.List [ r1; r2 ]) ->
+                let steps r =
+                  match Spt_obs.Json.member "counters" r with
+                  | Some c -> (
+                    match Spt_obs.Json.member "interp.steps" c with
+                    | Some (Spt_obs.Json.Int n) -> n
+                    | _ -> Alcotest.fail "interp.steps missing from job counters")
+                  | None -> Alcotest.fail "per-job counters missing"
+                in
+                let s1 = steps r1 and s2 = steps r2 in
+                Alcotest.(check bool) "jobs did work" true (s1 > 0);
+                Alcotest.(check int) "identical jobs, identical deltas" s1 s2
+              | _ -> Alcotest.fail "results array missing")))
+
+let test_attrib_exit_codes () =
+  with_source loopy_src (fun path ->
+      with_tmpdir (fun dir ->
+          let out = Filename.concat dir "attrib.json" in
+          Alcotest.(check int) "--attrib without --parallel exits 2" 2
+            (exec [ "run"; path; "--attrib"; out ]);
+          Alcotest.(check int) "--parallel --attrib exits 0" 0
+            (exec
+               [ "run"; path; "--parallel"; "-j"; "2"; "--attrib"; out ]);
+          let j = parse_json out in
+          Alcotest.(check bool) "attrib schema" true
+            (Spt_obs.Json.member "schema" j
+            = Some (Spt_obs.Json.Str "spt-attrib-v1"));
+          (match Spt_obs.Json.member "coverage" j with
+          | Some (Spt_obs.Json.Float c) ->
+            Alcotest.(check bool) "buckets cover ≥95% of wall" true (c >= 0.95)
+          | _ -> Alcotest.fail "coverage missing");
+          (match Spt_obs.Json.member "gap" j with
+          | Some gap ->
+            Alcotest.(check bool) "gap carries both speedups" true
+              (Spt_obs.Json.member "predicted_speedup" gap <> None
+              && Spt_obs.Json.member "measured_speedup" gap <> None)
+          | None -> Alcotest.fail "gap missing");
+          (* the analyzer renders it *)
+          Alcotest.(check int) "top renders attrib" 0 (exec [ "top"; out ])))
+
+let test_top_exit_codes () =
+  with_tmpdir (fun dir ->
+      let bad = Filename.concat dir "bad.json" in
+      let oc = open_out bad in
+      output_string oc "this is not json";
+      close_out oc;
+      Alcotest.(check int) "top on garbage exits 1" 1 (exec [ "top"; bad ]);
+      let noschema = Filename.concat dir "noschema.json" in
+      let oc = open_out noschema in
+      output_string oc "{\"x\": 1}";
+      close_out oc;
+      Alcotest.(check int) "top without schema exits 1" 1
+        (exec [ "top"; noschema ]);
+      Alcotest.(check int) "top on missing file exits 2" 2
+        (exec [ "top"; Filename.concat dir "absent.json" ]))
+
 let test_compile_exit_codes () =
   with_tmpdir (fun dir ->
       let cache = Filename.concat dir "cache" in
@@ -247,6 +379,11 @@ let suite =
     Alcotest.test_case "compile errors exit 1" `Quick test_compile_errors;
     Alcotest.test_case "runtime errors exit 1" `Quick test_runtime_errors;
     Alcotest.test_case "parallel run exit 0" `Quick test_parallel_run;
+    Alcotest.test_case "run --trace/--metrics" `Quick test_run_obs_flags;
+    Alcotest.test_case "batch --trace/--metrics" `Quick test_batch_obs_flags;
+    Alcotest.test_case "batch per-job counters" `Quick test_batch_per_job_counters;
+    Alcotest.test_case "run --attrib + top" `Slow test_attrib_exit_codes;
+    Alcotest.test_case "top exit codes" `Quick test_top_exit_codes;
     Alcotest.test_case "batch cache roundtrip" `Quick test_batch_cache_roundtrip;
     Alcotest.test_case "batch bad file exit 1" `Quick test_batch_bad_file_exits_1;
     Alcotest.test_case "serve shutdown/EOF exit 0" `Quick test_serve_shutdown;

@@ -141,9 +141,63 @@ let test_workloads_all_parse () =
              (Printexc.to_string e)))
     Spt_workloads.Suite.all
 
+(* the observability tentpole, end to end: a real parallel run records
+   per-domain timeline events, and the attribution report accounts for
+   (almost) all of the run's wall time *)
+let test_parallel_attrib () =
+  let timeline = Spt_obs.Timeline.create () in
+  let pr = Pipeline.run_parallel ~jobs:2 ~timeline mixed_program in
+  Alcotest.(check bool) "timeline recorded events" true
+    (Spt_obs.Timeline.events timeline > 0);
+  Alcotest.(check bool) "worker lanes registered" true
+    (List.length (Spt_obs.Timeline.summary timeline) >= 2);
+  let j =
+    Report.attrib_json ~predicted:1.5 ~workload:"mixed" ~timeline pr
+  in
+  (* reparses, carries the schema, and the buckets account for the run *)
+  let module Json = Spt_obs.Json in
+  match Json.of_string (Json.to_string j) with
+  | Error msg -> Alcotest.fail ("attrib JSON does not reparse: " ^ msg)
+  | Ok j ->
+    Alcotest.(check bool) "schema" true
+      (Json.member "schema" j = Some (Json.Str "spt-attrib-v1"));
+    (match Json.member "coverage" j with
+    | Some (Json.Float c) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "coverage %.3f ≥ 0.95" c)
+        true (c >= 0.95);
+      Alcotest.(check bool)
+        (Printf.sprintf "coverage %.3f sane" c)
+        true (c <= 1.05)
+    | _ -> Alcotest.fail "coverage missing");
+    (match Json.member "totals" j with
+    | Some totals ->
+      List.iter
+        (fun b ->
+          match Json.member b totals with
+          | Some (Json.Float v) ->
+            Alcotest.(check bool) (b ^ " non-negative") true (v >= 0.0)
+          | _ -> Alcotest.fail (b ^ " missing from totals"))
+        [ "dispatch"; "fork"; "validate"; "commit"; "rollback"; "idle" ]
+    | None -> Alcotest.fail "totals missing");
+    (match Json.member "iter_latency_s" j with
+    | Some h ->
+      Alcotest.(check bool) "iteration latencies observed" true
+        (match Json.member "count" h with
+        | Some (Json.Int n) -> n > 0
+        | _ -> false)
+    | None -> Alcotest.fail "iter_latency_s missing");
+    match Json.member "overhead_fraction" j with
+    | Some (Json.Float f) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "overhead %.4f ≤ 5%%" f)
+        true (f <= 0.05)
+    | _ -> Alcotest.fail "overhead_fraction missing"
+
 let suite =
   [
     Alcotest.test_case "all configs correct" `Slow test_all_configs_correct;
+    Alcotest.test_case "parallel attrib report" `Slow test_parallel_attrib;
     Alcotest.test_case "config ordering" `Slow test_config_ordering;
     Alcotest.test_case "loop records complete" `Slow test_loop_records_complete;
     Alcotest.test_case "sim accounting" `Slow test_sim_accounting;

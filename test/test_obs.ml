@@ -105,6 +105,62 @@ let test_histogram_accumulation () =
   Alcotest.(check bool) "gauge" true
     (Metrics.get "test.gauge" = Some (Metrics.Gauge 2.5))
 
+let test_hist_quantiles () =
+  let h = Metrics.Hist.create () in
+  Alcotest.(check (float 0.0)) "empty p50" 0.0 (Metrics.Hist.percentile h 0.5);
+  (* a single observation reports itself exactly: interpolation is
+     clamped to the observed min/max *)
+  Metrics.Hist.observe h 0.25;
+  Alcotest.(check (float 1e-12)) "single p50" 0.25 (Metrics.Hist.percentile h 0.5);
+  Alcotest.(check (float 1e-12)) "single p99" 0.25 (Metrics.Hist.percentile h 0.99);
+  Metrics.Hist.reset h;
+  (* 100 observations spanning 1ms .. 100ms: quantiles must land in the
+     right decade and stay ordered *)
+  for i = 1 to 100 do
+    Metrics.Hist.observe h (float_of_int i *. 1e-3)
+  done;
+  Alcotest.(check int) "count" 100 (Metrics.Hist.count h);
+  Alcotest.(check (float 1e-9)) "sum" 5.05 (Metrics.Hist.sum h);
+  Alcotest.(check (float 1e-9)) "min" 1e-3 (Metrics.Hist.min_value h);
+  Alcotest.(check (float 1e-9)) "max" 0.1 (Metrics.Hist.max_value h);
+  let p50 = Metrics.Hist.percentile h 0.50 in
+  let p95 = Metrics.Hist.percentile h 0.95 in
+  let p99 = Metrics.Hist.percentile h 0.99 in
+  Alcotest.(check bool) "p50 in its bucket neighbourhood" true
+    (p50 > 0.025 && p50 < 0.1);
+  Alcotest.(check bool) "quantiles ordered" true (p50 <= p95 && p95 <= p99);
+  Alcotest.(check bool) "p99 near the top" true (p99 > 0.05 && p99 <= 0.1);
+  (* out-of-range and degenerate inputs neither crash nor escape the
+     observed range *)
+  Metrics.Hist.observe h 0.0;
+  Metrics.Hist.observe h 1e12;
+  let p100 = Metrics.Hist.percentile h 1.5 in
+  Alcotest.(check bool) "clamped to max" true (p100 <= Metrics.Hist.max_value h);
+  match Json.member "p95" (Metrics.Hist.to_json h) with
+  | Some (Json.Float _) -> ()
+  | _ -> Alcotest.fail "to_json lacks p95"
+
+let test_metrics_delta () =
+  with_metrics @@ fun () ->
+  let c = Metrics.counter "test.delta.counter" in
+  let h = Metrics.histogram "test.delta.hist" in
+  Metrics.add c 5;
+  Metrics.observe h 1.0;
+  let base = Metrics.since () in
+  Metrics.add c 3;
+  Metrics.observe h 2.0;
+  Metrics.observe h 4.0;
+  let d = Metrics.delta_json base in
+  Alcotest.(check bool) "counter delta" true
+    (Json.member "test.delta.counter" d = Some (Json.Int 3));
+  (match Json.member "test.delta.hist" d with
+  | Some hd ->
+    Alcotest.(check bool) "hist delta count" true
+      (Json.member "count" hd = Some (Json.Int 2));
+    Alcotest.(check bool) "hist delta sum" true
+      (Json.member "sum" hd = Some (Json.Float 6.0))
+  | None -> Alcotest.fail "histogram delta missing")
+
 let test_kind_mismatch () =
   ignore (Metrics.counter "test.kind");
   match Metrics.histogram "test.kind" with
@@ -191,6 +247,115 @@ let test_disabled_trace_noop () =
   Alcotest.(check int) "disabled span records nothing"
     5 (Trace.span "quiet" (fun () -> 5));
   Alcotest.(check int) "no events" 0 (List.length (Trace.events ()))
+
+(* ------------------------------------------------------------------ *)
+(* Timeline *)
+
+module Timeline = Spt_obs.Timeline
+
+let test_timeline_multidomain () =
+  let tl = Timeline.create () in
+  (* the coordinator lane *)
+  let t0 = Timeline.now () in
+  Timeline.record tl Timeline.Commit ~lid:0 ~t0 ~t1:(t0 +. 0.25);
+  (* two worker domains, each its own lane, no interleaving hazards *)
+  let work k () =
+    for i = 1 to 10 do
+      let t0 = float_of_int (k * 100 + i) in
+      Timeline.record tl Timeline.Exec ~lid:k ~t0 ~t1:(t0 +. 0.5)
+    done
+  in
+  let d1 = Domain.spawn (work 1) and d2 = Domain.spawn (work 2) in
+  Domain.join d1;
+  Domain.join d2;
+  Alcotest.(check int) "all events kept" 21 (Timeline.events tl);
+  Alcotest.(check int) "nothing dropped" 0 (Timeline.dropped tl);
+  let lanes = Timeline.summary tl in
+  Alcotest.(check int) "three lanes" 3 (List.length lanes);
+  (* per-kind sums are exact regardless of ring layout *)
+  let total_exec =
+    List.fold_left
+      (fun acc l ->
+        List.fold_left
+          (fun acc (k, s, _) -> if k = Timeline.Exec then acc +. s else acc)
+          acc l.Timeline.ls_by_kind)
+      0.0 lanes
+  in
+  Alcotest.(check (float 1e-9)) "exec sum exact" 10.0 total_exec;
+  let n_seen = ref 0 in
+  Timeline.iter_events tl (fun _ ~lane:_ ~lid:_ ~t0 ~t1 ->
+      incr n_seen;
+      Alcotest.(check bool) "span has extent" true (t1 > t0));
+  Alcotest.(check int) "iter_events visits all" 21 !n_seen
+
+let test_timeline_capacity () =
+  let tl = Timeline.create ~capacity:16 () in
+  for i = 0 to 99 do
+    Timeline.record tl Timeline.Validate ~lid:0 ~t0:(float_of_int i)
+      ~t1:(float_of_int i +. 1.0)
+  done;
+  Alcotest.(check int) "every record counted" 100 (Timeline.events tl);
+  Alcotest.(check int) "overflow counted" 84 (Timeline.dropped tl);
+  let detail = ref 0 in
+  Timeline.iter_events tl (fun _ ~lane:_ ~lid:_ ~t0:_ ~t1:_ -> incr detail);
+  Alcotest.(check int) "detail capped at capacity" 16 !detail;
+  (* sums stay exact even past capacity *)
+  match Timeline.summary tl with
+  | [ lane ] ->
+    Alcotest.(check (float 1e-9)) "busy time exact" 100.0 lane.Timeline.ls_busy_s
+  | lanes -> Alcotest.fail (Printf.sprintf "%d lanes" (List.length lanes))
+
+let test_timeline_trace_roundtrip () =
+  with_trace @@ fun () ->
+  Trace.span "run.parallel" (fun () -> ());
+  let tl = Timeline.create () in
+  let epoch = Trace.epoch_s () in
+  Timeline.record tl Timeline.Fork ~lid:3 ~t0:(epoch +. 0.1) ~t1:(epoch +. 0.2);
+  Timeline.record tl Timeline.Rollback ~lid:3 ~t0:(epoch +. 0.3)
+    ~t1:(epoch +. 0.4);
+  Trace.append_events (Timeline.to_trace_events ~epoch tl);
+  (* the merged file must still parse as Chrome trace_events JSON *)
+  let tmp = Filename.temp_file "spt_test_trace" ".json" in
+  Fun.protect ~finally:(fun () -> Sys.remove tmp) @@ fun () ->
+  Trace.to_file tmp;
+  let ic = open_in_bin tmp in
+  let raw =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Json.of_string raw with
+  | Error msg -> Alcotest.fail ("trace file does not reparse: " ^ msg)
+  | Ok j -> (
+    match Json.member "traceEvents" j with
+    | Some (Json.List evs) ->
+      Alcotest.(check int) "pipeline span + 2 timeline spans" 3
+        (List.length evs);
+      let name ev =
+        match Json.member "name" ev with Some (Json.Str s) -> s | _ -> "?"
+      in
+      List.iter
+        (fun n ->
+          Alcotest.(check bool) (n ^ " present") true
+            (List.exists (fun ev -> name ev = n) evs))
+        [ "run.parallel"; "fork"; "rollback" ];
+      (* timeline lanes live on distinct tids with µs timestamps *)
+      List.iter
+        (fun ev ->
+          if name ev = "fork" then begin
+            (match Json.member "ts" ev with
+            | Some (Json.Float ts) ->
+              Alcotest.(check bool) "ts is relative µs" true
+                (ts > 0.0 && ts < 1e6)
+            | _ -> Alcotest.fail "ts missing");
+            match Json.member "args" ev with
+            | Some args ->
+              Alcotest.(check bool) "loop id carried" true
+                (Json.member "loop" args = Some (Json.Int 3))
+            | None -> Alcotest.fail "args missing"
+          end)
+        evs
+    | _ -> Alcotest.fail "traceEvents missing")
 
 (* ------------------------------------------------------------------ *)
 (* Log *)
@@ -316,6 +481,8 @@ let suite =
     Alcotest.test_case "json non-finite" `Quick test_json_nonfinite;
     Alcotest.test_case "counter accumulation" `Quick test_counter_accumulation;
     Alcotest.test_case "histogram accumulation" `Quick test_histogram_accumulation;
+    Alcotest.test_case "histogram quantiles" `Quick test_hist_quantiles;
+    Alcotest.test_case "metrics delta" `Quick test_metrics_delta;
     Alcotest.test_case "kind mismatch" `Quick test_kind_mismatch;
     Alcotest.test_case "disabled metrics no-op" `Quick test_disabled_noop;
     Alcotest.test_case "reset keeps registrations" `Quick test_reset_keeps_registrations;
@@ -323,6 +490,9 @@ let suite =
     Alcotest.test_case "span on exception" `Quick test_span_exception;
     Alcotest.test_case "trace json wellformed" `Quick test_trace_json_wellformed;
     Alcotest.test_case "disabled trace no-op" `Quick test_disabled_trace_noop;
+    Alcotest.test_case "timeline multi-domain" `Quick test_timeline_multidomain;
+    Alcotest.test_case "timeline capacity" `Quick test_timeline_capacity;
+    Alcotest.test_case "timeline trace roundtrip" `Quick test_timeline_trace_roundtrip;
     Alcotest.test_case "log levels" `Quick test_log_levels;
     Alcotest.test_case "pipeline counters" `Slow test_pipeline_counters;
   ]

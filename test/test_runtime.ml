@@ -17,7 +17,7 @@ module Suite = Spt_workloads.Suite
 (* Pool *)
 
 let test_pool_runs_jobs () =
-  let pool = Pool.create ~jobs:4 in
+  let pool = Pool.create ~jobs:4 () in
   Alcotest.(check int) "size" 4 (Pool.size pool);
   let hits = Atomic.make 0 in
   for _ = 1 to 200 do
@@ -27,7 +27,7 @@ let test_pool_runs_jobs () =
   Alcotest.(check int) "all jobs ran" 200 (Atomic.get hits)
 
 let test_pool_survives_exceptions () =
-  let pool = Pool.create ~jobs:2 in
+  let pool = Pool.create ~jobs:2 () in
   let hits = Atomic.make 0 in
   for _ = 1 to 10 do
     Pool.submit pool (fun () -> failwith "boom");
@@ -265,7 +265,7 @@ let loops_of (spt : Pipeline.spt_compilation) =
       })
     spt.Pipeline.spt_loops
 
-let rt_config ?(despec_after = 3) jobs =
+let rt_config ?(despec_after = 3) ?timeline jobs =
   {
     Runtime.jobs;
     window = 2 * jobs;
@@ -273,6 +273,7 @@ let rt_config ?(despec_after = 3) jobs =
     spec_fuel = 2_000_000;
     max_steps = 200_000_000;
     oracle = true;
+    timeline;
   }
 
 let run_spt ?despec_after ~jobs (spt : Pipeline.spt_compilation) =

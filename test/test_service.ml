@@ -255,6 +255,38 @@ let test_batch_outcomes () =
   Alcotest.(check int) "failed" 1 stats.Batch.failed;
   Alcotest.(check int) "timed out" 0 stats.Batch.timed_out
 
+let test_batch_latency () =
+  let outcomes, stats =
+    Batch.run ~jobs:2 ~timeout_s:60.0
+      [
+        (fun () -> Unix.sleepf 0.02);
+        (fun () -> Unix.sleepf 0.05);
+        (fun () -> failwith "boom");
+      ]
+  in
+  Alcotest.(check int) "three outcomes" 3 (Array.length outcomes);
+  let module Hist = Spt_obs.Metrics.Hist in
+  (* completed and failed jobs both ran, so both were measured *)
+  Alcotest.(check int) "latency observed per job" 3
+    (Hist.count stats.Batch.latency);
+  Alcotest.(check bool) "p50 at least the shortest sleep" true
+    (Hist.percentile stats.Batch.latency 0.50 >= 0.01);
+  Alcotest.(check bool) "quantiles ordered" true
+    (Hist.percentile stats.Batch.latency 0.50
+    <= Hist.percentile stats.Batch.latency 0.99);
+  Alcotest.(check bool) "max covers the longest sleep" true
+    (Hist.max_value stats.Batch.latency >= 0.05)
+
+let test_batch_timeout_latency_skipped () =
+  (* a timed-out job has no measurement; the histogram must not invent
+     one *)
+  let _, stats =
+    Batch.run ~jobs:1 ~timeout_s:0.2
+      [ (fun () -> Unix.sleepf 5.0) ]
+  in
+  Alcotest.(check int) "timed-out job unmeasured" 0
+    (Spt_obs.Metrics.Hist.count stats.Batch.latency)
+
 let test_batch_timeout () =
   let outcomes, stats =
     Batch.run ~jobs:1 ~timeout_s:0.2
@@ -348,6 +380,41 @@ let test_server_compile_and_stats () =
         | Some (Json.Int n) -> n = 3
         | _ -> false))
 
+let test_server_latency_percentiles () =
+  with_tmpdir (fun dir ->
+      let t = Server.create ~cache:(Cache.create ~dir ()) () in
+      let compile name =
+        ignore
+          (Server.handle t
+             (Json.Obj
+                [
+                  ("op", Json.Str "compile");
+                  ("source", Json.Str tiny_src);
+                  ("name", Json.Str name);
+                ]))
+      in
+      compile "a.c";
+      compile "b.c";
+      let stats =
+        reply_of (Server.handle t (Json.Obj [ ("op", Json.Str "stats") ]))
+      in
+      match Json.member "latency_s" stats with
+      | None -> Alcotest.fail "latency_s missing from stats"
+      | Some lat ->
+        Alcotest.(check bool) "count = 2" true
+          (Json.member "count" lat = Some (Json.Int 2));
+        let fnum k =
+          match Json.member k lat with
+          | Some (Json.Float f) -> f
+          | Some (Json.Int i) -> float_of_int i
+          | _ -> Alcotest.fail (k ^ " missing from latency_s")
+        in
+        let p50 = fnum "p50" and p95 = fnum "p95" and p99 = fnum "p99" in
+        Alcotest.(check bool) "percentiles positive and ordered" true
+          (p50 > 0.0 && p50 <= p95 && p95 <= p99);
+        Alcotest.(check bool) "p99 within observed max" true
+          (p99 <= fnum "max" +. 1e-9))
+
 let test_server_errors_keep_loop_alive () =
   let t = Server.create ~cache:(Cache.no_cache ()) () in
   let check_err name req =
@@ -402,7 +469,12 @@ let suite =
       test_cache_schema_mismatch_is_a_miss;
     Alcotest.test_case "no-cache object" `Quick test_no_cache;
     Alcotest.test_case "batch outcomes in order" `Quick test_batch_outcomes;
+    Alcotest.test_case "batch latency histogram" `Quick test_batch_latency;
+    Alcotest.test_case "batch timeout latency skipped" `Quick
+      test_batch_timeout_latency_skipped;
     Alcotest.test_case "batch timeout" `Quick test_batch_timeout;
+    Alcotest.test_case "server latency percentiles" `Quick
+      test_server_latency_percentiles;
     Alcotest.test_case "cached compile determinism" `Quick
       test_cached_compile_determinism;
     Alcotest.test_case "cached compile raises on bad source" `Quick
