@@ -42,7 +42,7 @@ for src in examples/src/scan.c examples/src/histogram.c; do
   [ -s "$attrib" ] || fail "$name: attribution report missing or empty"
   require_key "$attrib" spt-attrib-v1
   for key in domains totals coverage gap iter_latency_s overhead_fraction \
-    dispatch fork validate commit rollback idle \
+    compile dispatch chunk fork validate commit rollback idle engine \
     predicted_speedup measured_speedup p50 p95 p99; do
     require_key "$attrib" "$key"
   done
@@ -56,7 +56,7 @@ for src in examples/src/scan.c examples/src/histogram.c; do
   # domain bucket lines appear before the totals object; take only the
   # per-domain ones (totals would double-count)
   bucket_sum=$(sed -n '1,/"totals"/p' "$attrib" \
-    | sed -n 's/.*"\(dispatch\|fork\|validate\|commit\|rollback\|idle\)": \([0-9][0-9.e+-]*\).*/\2/p' \
+    | sed -n 's/.*"\(compile\|dispatch\|chunk\|fork\|validate\|commit\|rollback\|idle\)": \([0-9][0-9.e+-]*\).*/\2/p' \
     | awk '{ s += $1 } END { printf "%.9f", s }')
 
   awk -v sum="$bucket_sum" -v wall="$wall" -v lanes="$lanes" 'BEGIN {

@@ -1,0 +1,80 @@
+#!/bin/sh
+# Smoke test for the flat-bytecode execution engine: run the sequential
+# tree-vs-bytecode comparison over every workload (SPT_BENCH_ONLY=engines
+# keeps it to seconds) and assert, per workload, that the bytecode engine
+# is strictly faster than the tree-walking interpreter.  Also checks the
+# CLI surface: --engine selects an engine, bad --engine/--chunk exit 2.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build"
+dune build bin/sptc.exe bench/main.exe
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+fail() {
+  echo "engine_smoke: FAIL: $1" >&2
+  exit 1
+}
+
+bench_json="$tmpdir/engines.json"
+echo "== bench engine comparison (all workloads)"
+SPT_BENCH_ONLY=engines SPT_BENCH_JSON="$bench_json" dune exec bench/main.exe \
+  > "$tmpdir/bench.out" 2>&1 || {
+  tail -n 30 "$tmpdir/bench.out" >&2
+  fail "engine comparison run failed"
+}
+
+[ -s "$bench_json" ] || fail "engine summary missing or empty"
+grep -q '"engines"' "$bench_json" || fail "summary lacks the engines section"
+
+# one pretty-printed "key": value pair per line; every workload row must
+# report bytecode_speedup > 1 (bytecode strictly faster than tree)
+rows=$(grep -c '"bytecode_speedup"' "$bench_json" || true)
+[ "$rows" -ge 10 ] || fail "expected >= 10 workload rows, saw $rows"
+
+sed -n 's/.*"bytecode_speedup": \(-\{0,1\}[0-9][0-9.e+-]*\).*/\1/p' "$bench_json" \
+  | awk '{ if ($1 <= 1.0) { bad++ } n++ }
+         END {
+           if (n == 0) { print "no speedup rows"; exit 1 }
+           if (bad > 0) { printf "%d/%d workload(s) not faster on bytecode\n", bad, n; exit 1 }
+         }' || fail "bytecode engine lost to the tree interpreter"
+
+echo "== per-workload speedups"
+sed -n 's/.*"workload": "\([a-z0-9_]*\)".*/\1/p' "$bench_json" > "$tmpdir/names"
+sed -n 's/.*"bytecode_speedup": \([0-9][0-9.e+-]*\).*/\1/p' "$bench_json" > "$tmpdir/ratios"
+paste "$tmpdir/names" "$tmpdir/ratios" | while read -r name ratio; do
+  echo "  $name: ${ratio}x"
+done
+
+echo "== CLI: --engine tree/bytecode run the same program"
+src=examples/src/histogram.c
+dune exec bin/sptc.exe -- run "$src" --engine tree > "$tmpdir/tree.out" \
+  || fail "run --engine tree failed"
+dune exec bin/sptc.exe -- run "$src" --engine bytecode > "$tmpdir/bc.out" \
+  || fail "run --engine bytecode failed"
+cmp -s "$tmpdir/tree.out" "$tmpdir/bc.out" \
+  || fail "tree and bytecode runs disagree on $src"
+
+echo "== CLI: bad --engine / --chunk exit 2"
+if dune exec bin/sptc.exe -- run "$src" --engine warp >/dev/null 2>&1; then
+  fail "--engine warp should exit nonzero"
+fi
+dune exec bin/sptc.exe -- run "$src" --engine warp >/dev/null 2>&1 || st=$?
+[ "${st:-0}" -eq 2 ] || fail "--engine warp exited ${st:-0}, want 2"
+st=0
+dune exec bin/sptc.exe -- run "$src" --parallel --chunk 0 >/dev/null 2>&1 || st=$?
+[ "$st" -eq 2 ] || fail "--chunk 0 exited $st, want 2"
+st=0
+dune exec bin/sptc.exe -- run "$src" --parallel --chunk=-3 >/dev/null 2>&1 || st=$?
+[ "$st" -eq 2 ] || fail "--chunk=-3 exited $st, want 2"
+
+echo "== CLI: forced chunk on the runtime"
+dune exec bin/sptc.exe -- run "$src" --parallel --jobs 2 --chunk 8 \
+  --log-level warn > "$tmpdir/chunk.out" || fail "run --parallel --chunk 8 failed"
+grep -q "oracle: parallel run matches sequential" "$tmpdir/chunk.out" \
+  || fail "chunked parallel run did not pass the oracle"
+
+echo "engine_smoke: OK"

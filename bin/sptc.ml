@@ -67,6 +67,49 @@ let config_arg =
         ~doc:"Compiler configuration: basic, best or anticipated")
 
 (* ------------------------------------------------------------------ *)
+(* Execution-engine flags: --engine, --chunk.  Validated manually
+   (stderr + exit 2) so bad values report like the other usage
+   errors. *)
+
+let engine_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Execution engine for real (non-simulated) runs: $(b,bytecode) \
+           (flat bytecode compiled once per run, the default) or $(b,tree) \
+           (the tree-walking reference interpreter).  Part of the \
+           artifact-cache key.")
+
+let chunk_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "chunk" ] ~docv:"N"
+        ~doc:
+          "With $(b,--parallel): iterations each speculative fork covers \
+           (default: auto-sized from the cost model's per-iteration \
+           estimate)")
+
+(* resolve --engine into the compiler configuration (it is part of the
+   cache key, like every other config field) *)
+let resolve_engine config = function
+  | None -> config
+  | Some s -> (
+    match Spt_exec.Engine.kind_of_string s with
+    | Ok k -> { config with Spt_driver.Config.engine = k }
+    | Error msg ->
+      Format.eprintf "error: %s@." msg;
+      exit 2)
+
+let validate_chunk = function
+  | Some n when n <= 0 ->
+    Format.eprintf "error: --chunk must be at least 1 (got %d)@." n;
+    exit 2
+  | c -> c
+
+(* ------------------------------------------------------------------ *)
 (* Artifact-cache flags: --cache-dir, --no-cache *)
 
 let cache_dir_arg =
@@ -205,10 +248,12 @@ let run_cmd =
              percentiles and the predicted-vs-measured speedup gap; render \
              it with $(b,sptc top)")
   in
-  let run file parallel jobs config profile_in feedback_out attrib trace
-      metrics log_level =
+  let run file parallel jobs config engine chunk profile_in feedback_out
+      attrib trace metrics log_level =
     handle_errors (fun () ->
         let finish = setup_obs trace metrics log_level in
+        let config = resolve_engine config engine in
+        let chunk = validate_chunk chunk in
         if (not parallel) && feedback_out <> None then begin
           Format.eprintf "error: --feedback-out requires --parallel@.";
           exit 2
@@ -217,8 +262,18 @@ let run_cmd =
           Format.eprintf "error: --attrib requires --parallel@.";
           exit 2
         end;
+        if (not parallel) && chunk <> None then begin
+          Format.eprintf "error: --chunk requires --parallel@.";
+          exit 2
+        end;
         if not parallel then begin
-          let r = Spt_interp.Interp.run_source (read_file file) in
+          let src = read_file file in
+          let r =
+            match config.Spt_driver.Config.engine with
+            | Spt_exec.Engine.Tree -> Spt_interp.Interp.run_source src
+            | Spt_exec.Engine.Bytecode ->
+              Spt_exec.Engine.run (Spt_driver.Pipeline.front_end src)
+          in
           print_string r.Spt_interp.Interp.output;
           Format.printf "; %d instructions executed@."
             r.Spt_interp.Interp.dynamic_instrs;
@@ -235,7 +290,7 @@ let run_cmd =
             Option.map (fun _ -> Spt_obs.Timeline.create ()) attrib
           in
           let pr =
-            Spt_driver.Pipeline.run_parallel ~config ?jobs ?timeline
+            Spt_driver.Pipeline.run_parallel ~config ?jobs ?chunk ?timeline
               ?profile_seed ?observations src
           in
           Option.iter
@@ -314,8 +369,8 @@ let run_cmd =
          "Interpret a MiniC program, or execute it speculatively in parallel")
     Term.(
       const run $ file_arg $ parallel_flag $ jobs_arg $ config_arg
-      $ profile_in_arg $ feedback_out_arg $ attrib_arg $ trace_arg
-      $ metrics_arg $ log_level_arg)
+      $ engine_arg $ chunk_arg $ profile_in_arg $ feedback_out_arg
+      $ attrib_arg $ trace_arg $ metrics_arg $ log_level_arg)
 
 let dump_ir_cmd =
   let ssa_flag =
@@ -363,10 +418,11 @@ let loops_cmd =
     Term.(const show $ file_arg $ config_arg)
 
 let compile_cmd =
-  let compile file config profile_in cache_dir no_cache trace metrics log_level
-      =
+  let compile file config engine profile_in cache_dir no_cache trace metrics
+      log_level =
     handle_errors (fun () ->
         let finish = setup_obs trace metrics log_level in
+        let config = resolve_engine config engine in
         (* --trace wants the real per-phase spans, which a warm hit
            would skip entirely — tracing always recompiles *)
         let cache =
@@ -387,8 +443,8 @@ let compile_cmd =
          "Run the cost-driven SPT pipeline and simulate the result (warm \
           results come from the artifact cache)")
     Term.(
-      const compile $ file_arg $ config_arg $ profile_in_arg $ cache_dir_arg
-      $ no_cache_arg $ trace_arg $ metrics_arg $ log_level_arg)
+      const compile $ file_arg $ config_arg $ engine_arg $ profile_in_arg
+      $ cache_dir_arg $ no_cache_arg $ trace_arg $ metrics_arg $ log_level_arg)
 
 let workload_cmd =
   let name_arg =
@@ -398,9 +454,11 @@ let workload_cmd =
       & pos 0 (some (enum (List.map (fun n -> (n, n)) names))) None
       & info [] ~docv:"NAME" ~doc:"Workload name (bzip2, crafty, ...)")
   in
-  let run name config profile_in cache_dir no_cache trace metrics log_level =
+  let run name config engine profile_in cache_dir no_cache trace metrics
+      log_level =
     handle_errors (fun () ->
         let finish = setup_obs trace metrics log_level in
+        let config = resolve_engine config engine in
         let cache =
           if trace <> None then Spt_service.Artifact_cache.no_cache ()
           else make_cache ~cache_dir ~no_cache
@@ -420,8 +478,8 @@ let workload_cmd =
   Cmd.v
     (Cmd.info "workload" ~version ~doc:"Evaluate a built-in SPEC2000Int-like workload")
     Term.(
-      const run $ name_arg $ config_arg $ profile_in_arg $ cache_dir_arg
-      $ no_cache_arg $ trace_arg $ metrics_arg $ log_level_arg)
+      const run $ name_arg $ config_arg $ engine_arg $ profile_in_arg
+      $ cache_dir_arg $ no_cache_arg $ trace_arg $ metrics_arg $ log_level_arg)
 
 let batch_cmd =
   let files_arg =
@@ -477,10 +535,11 @@ let batch_cmd =
     | Spt_service.Batch.Timed_out ->
       Json.Obj [ ("file", Json.Str file); ("status", Json.Str "timed_out") ]
   in
-  let run files config profile_in cache_dir no_cache jobs timeout_s summary
-      trace metrics log_level =
+  let run files config engine profile_in cache_dir no_cache jobs timeout_s
+      summary trace metrics log_level =
     handle_errors (fun () ->
         let finish = setup_obs trace metrics log_level in
+        let config = resolve_engine config engine in
         let cache = make_cache ~cache_dir ~no_cache in
         (* one shared load: seeding only reads the store's tables, so
            concurrent compiles are safe *)
@@ -597,9 +656,9 @@ let batch_cmd =
          "Compile many programs concurrently through the artifact cache; \
           exits 1 if any file fails or times out")
     Term.(
-      const run $ files_arg $ config_arg $ profile_in_arg $ cache_dir_arg
-      $ no_cache_arg $ jobs_arg $ timeout_arg $ summary_arg $ trace_arg
-      $ metrics_arg $ log_level_arg)
+      const run $ files_arg $ config_arg $ engine_arg $ profile_in_arg
+      $ cache_dir_arg $ no_cache_arg $ jobs_arg $ timeout_arg $ summary_arg
+      $ trace_arg $ metrics_arg $ log_level_arg)
 
 let top_cmd =
   let report_arg =
@@ -634,11 +693,21 @@ let top_cmd =
     Term.(const run $ report_arg)
 
 let serve_cmd =
-  let run cache_dir no_cache log_level =
+  let run engine cache_dir no_cache log_level =
     handle_errors (fun () ->
         Option.iter Spt_obs.Log.set_level log_level;
+        let engine =
+          Option.map
+            (fun s ->
+              match Spt_exec.Engine.kind_of_string s with
+              | Ok k -> k
+              | Error msg ->
+                Format.eprintf "error: %s@." msg;
+                exit 2)
+            engine
+        in
         let cache = make_cache ~cache_dir ~no_cache in
-        let t = Spt_service.Server.create ~cache () in
+        let t = Spt_service.Server.create ~cache ?engine () in
         Spt_service.Server.serve t stdin stdout)
   in
   Cmd.v
@@ -646,7 +715,7 @@ let serve_cmd =
        ~doc:
          "Serve compile requests as line-delimited JSON on stdin/stdout \
           until a shutdown request or end of input")
-    Term.(const run $ cache_dir_arg $ no_cache_arg $ log_level_arg)
+    Term.(const run $ engine_arg $ cache_dir_arg $ no_cache_arg $ log_level_arg)
 
 let graph_cmd =
   let kind_arg =

@@ -29,6 +29,9 @@ type t = {
   static_mem_prob : float;
   include_control : bool;
   sim : Spt_tlsim.Tls_machine.config;
+  engine : Spt_exec.Engine.kind;
+      (** execution engine for real (non-simulated) runs: the tree
+          interpreter or the flat bytecode engine *)
 }
 
 let basic =
@@ -44,6 +47,7 @@ let basic =
     static_mem_prob = 1.0;
     include_control = true;
     sim = Spt_tlsim.Tls_machine.default_config;
+    engine = Spt_exec.Engine.Bytecode;
   }
 
 let best =

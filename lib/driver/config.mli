@@ -17,6 +17,9 @@ type t = {
   static_mem_prob : float;
   include_control : bool;
   sim : Spt_tlsim.Tls_machine.config;
+  engine : Spt_exec.Engine.kind;
+      (** execution engine for real (non-simulated) runs — part of the
+          cache key like every other field *)
 }
 
 (** Cost model + code reordering + DO-loop unrolling, control-flow edge

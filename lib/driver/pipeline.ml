@@ -227,8 +227,13 @@ let apply_feedback ~divergence (graph : Depgraph.t) (ob : loop_obs) =
     let amp =
       float_of_int (misspecs + ob.ob_kills) /. float_of_int (max 1 misspecs)
     in
-    let iters = float_of_int (max 1 ob.ob_iters) in
-    let rate n = Float.min 1.0 (amp *. (float_of_int n /. iters)) in
+    (* one validation per *chunk*, so the per-candidate probability is
+       stale count over validation attempts (commits + misspecs), not
+       over retired iterations — with chunk size 1 the two coincide,
+       with larger chunks the iteration denominator would dilute a
+       once-per-chunk failure by the chunk size *)
+    let attempts = float_of_int (max 1 (ob.ob_commits + misspecs)) in
+    let rate n = Float.min 1.0 (amp *. (float_of_int n /. attempts)) in
     let other = rate ob.ob_stale_other in
     let overrides =
       List.filter_map
@@ -890,15 +895,17 @@ let evaluate ?(config = Config.best) ?profile_seed ?observations ?divergence
 
 type parallel_run = {
   pr_jobs : int;
+  pr_engine : Spt_exec.Engine.kind;  (** engine both runs executed on *)
+  pr_chunk : int option;  (** forced chunk size ([None] = auto) *)
   pr_n_loops : int;  (** SPT loops handed to the runtime *)
-  pr_seq_wall : float;  (** sequential interpreter wall time, seconds *)
+  pr_seq_wall : float;  (** sequential engine wall time, seconds *)
   pr_measured_speedup : float;  (** sequential wall / parallel wall *)
   pr_runtime : Spt_runtime.Runtime.result;
   pr_spt : spt_compilation;  (** the compilation that was executed *)
 }
 
-let run_parallel ?(config = Config.best) ?jobs ?runtime_config ?timeline
-    ?profile_seed ?observations ?divergence src : parallel_run =
+let run_parallel ?(config = Config.best) ?jobs ?chunk ?runtime_config
+    ?timeline ?profile_seed ?observations ?divergence src : parallel_run =
   let spt = compile_spt ?profile_seed ?observations ?divergence config src in
   let loops =
     List.map
@@ -907,6 +914,17 @@ let run_parallel ?(config = Config.best) ?jobs ?runtime_config ?timeline
           Spt_runtime.Runtime.ls_id = sl.Tls_machine.sl_id;
           ls_fname = sl.Tls_machine.sl_fname;
           ls_header = sl.Tls_machine.sl_header;
+          (* the cost model's per-iteration estimate sizes the chunk *)
+          ls_iter_ops =
+            (match
+               List.find_opt
+                 (fun (r : loop_record) ->
+                   String.equal r.lr_func sl.Tls_machine.sl_fname
+                   && r.lr_header = sl.Tls_machine.sl_header)
+                 spt.records
+             with
+            | Some r -> r.lr_body_size
+            | None -> 0.0);
         })
       spt.spt_loops
   in
@@ -917,10 +935,18 @@ let run_parallel ?(config = Config.best) ?jobs ?runtime_config ?timeline
       | None -> Spt_runtime.Runtime.default_config ()
     in
     let base =
+      { base with Spt_runtime.Runtime.engine = config.Config.engine }
+    in
+    let base =
       match jobs with
       | Some j ->
         let j = max 1 j in
         { base with Spt_runtime.Runtime.jobs = j; window = 2 * j }
+      | None -> base
+    in
+    let base =
+      match chunk with
+      | Some n -> { base with Spt_runtime.Runtime.chunk = Some (max 1 n) }
       | None -> base
     in
     match timeline with
@@ -928,10 +954,16 @@ let run_parallel ?(config = Config.best) ?jobs ?runtime_config ?timeline
     | None -> base
   in
   (* measured-speedup baseline: the same program run sequentially
-     (markers are no-ops), on this machine, right now *)
+     (markers are no-ops), on the same engine, on this machine, right
+     now *)
+  let seq_run =
+    match rcfg.Spt_runtime.Runtime.engine with
+    | Spt_exec.Engine.Tree -> Spt_interp.Interp.run ?hooks:None
+    | Spt_exec.Engine.Bytecode -> Spt_exec.Engine.run
+  in
   let t0 = Unix.gettimeofday () in
   let _seq = Obs.Trace.span "run.sequential" (fun () ->
-      Spt_interp.Interp.run ~max_steps:rcfg.Spt_runtime.Runtime.max_steps
+      seq_run ~max_steps:rcfg.Spt_runtime.Runtime.max_steps
         spt.program) in
   let pr_seq_wall = Unix.gettimeofday () -. t0 in
   let r =
@@ -955,6 +987,8 @@ let run_parallel ?(config = Config.best) ?jobs ?runtime_config ?timeline
     | `Skipped -> "skipped");
   {
     pr_jobs = rcfg.Spt_runtime.Runtime.jobs;
+    pr_engine = rcfg.Spt_runtime.Runtime.engine;
+    pr_chunk = rcfg.Spt_runtime.Runtime.chunk;
     pr_n_loops = List.length loops;
     pr_seq_wall;
     pr_measured_speedup =

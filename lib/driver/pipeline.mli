@@ -141,8 +141,10 @@ val evaluate :
     program for the measured (wall-clock) speedup. *)
 type parallel_run = {
   pr_jobs : int;
+  pr_engine : Spt_exec.Engine.kind;  (** engine both runs executed on *)
+  pr_chunk : int option;  (** forced chunk size ([None] = auto) *)
   pr_n_loops : int;  (** SPT loops handed to the runtime *)
-  pr_seq_wall : float;  (** sequential interpreter wall time, seconds *)
+  pr_seq_wall : float;  (** sequential engine wall time, seconds *)
   pr_measured_speedup : float;  (** sequential wall / parallel wall *)
   pr_runtime : Spt_runtime.Runtime.result;
   pr_spt : spt_compilation;  (** the compilation that was executed *)
@@ -150,14 +152,18 @@ type parallel_run = {
 
 (** Compile with [config], then execute on OCaml 5 domains.
     [runtime_config] replaces the default runtime configuration; [jobs]
-    then overrides its worker count (else [SPT_JOBS] / 1); [timeline]
-    overrides its timeline — the per-domain speculation events land
-    there, and (when tracing is enabled) are merged into the pipeline
-    trace as extra lanes.  [profile_seed] / [observations] /
-    [divergence] are passed to {!compile_spt}. *)
+    then overrides its worker count (else [SPT_JOBS] / 1); [chunk]
+    forces the iterations-per-fork chunk size (else auto-sized from the
+    cost model); [timeline] overrides its timeline — the per-domain
+    speculation events land there, and (when tracing is enabled) are
+    merged into the pipeline trace as extra lanes.  Both the parallel
+    run and its sequential baseline execute on [config]'s engine.
+    [profile_seed] / [observations] / [divergence] are passed to
+    {!compile_spt}. *)
 val run_parallel :
   ?config:Config.t ->
   ?jobs:int ->
+  ?chunk:int ->
   ?runtime_config:Spt_runtime.Runtime.config ->
   ?timeline:Spt_obs.Timeline.t ->
   ?profile_seed:

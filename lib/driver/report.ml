@@ -561,7 +561,8 @@ let metrics_json ?(parallel = []) (results : (string * Pipeline.eval) list) =
          parallel)
     (List.map (fun (name, e) -> eval_json ~name e) results)
 
-let bench_json ?(feedback = []) ?(gap = []) ~quick ~per_config ~parallel () =
+let bench_json ?(feedback = []) ?(gap = []) ?(engines = []) ~quick ~per_config
+    ~parallel () =
   Json.Obj
     ([
        ("schema", Json.Str "spt-bench-v2");
@@ -575,7 +576,19 @@ let bench_json ?(feedback = []) ?(gap = []) ~quick ~per_config ~parallel () =
        ("parallel", Json.List parallel);
      ]
     @ (if gap = [] then [] else [ ("gap", Json.List gap) ])
+    @ (if engines = [] then [] else [ ("engines", Json.List engines) ])
     @ [ ("feedback", Json.List feedback) ])
+
+(** One row of the bench's tree-vs-bytecode sequential comparison. *)
+let engine_row ~workload ~tree_s ~bytecode_s =
+  Json.Obj
+    [
+      ("workload", Json.Str workload);
+      ("tree_seq_s", Json.Float tree_s);
+      ("bytecode_seq_s", Json.Float bytecode_s);
+      ( "bytecode_speedup",
+        Json.Float (if bytecode_s > 0.0 then tree_s /. bytecode_s else 0.0) );
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Overhead attribution (spt-attrib-v1): where a parallel run's wall
@@ -584,13 +597,18 @@ let bench_json ?(feedback = []) ?(gap = []) ~quick ~per_config ~parallel () =
 
 module Timeline = Spt_obs.Timeline
 
-let bucket_names = [ "dispatch"; "fork"; "validate"; "commit"; "rollback" ]
+let bucket_names =
+  [ "compile"; "dispatch"; "chunk"; "fork"; "validate"; "commit"; "rollback" ]
 
-(* exec time is the interpreter dispatching the task's instructions;
-   kills and serial re-executions are both prices of misspeculation,
-   so they land in the rollback bucket *)
+(* exec time is the engine dispatching the chunk's instructions, split
+   from the one-off compile-to-bytecode cost; chunk is the sequential
+   thread predicting the next chunk's pre-fork backbone; kills and
+   serial re-executions are both prices of misspeculation, so they land
+   in the rollback bucket *)
 let bucket_of_kind = function
+  | Timeline.Compile -> "compile"
   | Timeline.Exec -> "dispatch"
+  | Timeline.Chunk -> "chunk"
   | Timeline.Fork -> "fork"
   | Timeline.Validate -> "validate"
   | Timeline.Commit -> "commit"
@@ -671,6 +689,12 @@ let attrib_json ?predicted ~workload ~timeline (pr : Pipeline.parallel_run) =
       ("schema", Json.Str "spt-attrib-v1");
       ("workload", Json.Str workload);
       ("jobs", Json.Int pr.Pipeline.pr_jobs);
+      ( "engine",
+        Json.Str (Spt_exec.Engine.string_of_kind pr.Pipeline.pr_engine) );
+      ( "chunk",
+        match pr.Pipeline.pr_chunk with
+        | Some n -> Json.Int n
+        | None -> Json.Str "auto" );
       ("n_spt_loops", Json.Int pr.Pipeline.pr_n_loops);
       ("wall_s", Json.Float wall);
       ("seq_wall_s", Json.Float pr.Pipeline.pr_seq_wall);
@@ -725,6 +749,15 @@ let top_attrib j =
        (int_of_float (num0 (Json.member "n_spt_loops" j)))
        (fmt_s wall)
        (fmt_s (num0 (Json.member "seq_wall_s" j))));
+  (match (Json.member "engine" j, Json.member "chunk" j) with
+  | None, None -> ()
+  | engine, chunk ->
+    Buffer.add_string buf
+      (Printf.sprintf "engine %s, chunk %s\n" (str_of engine)
+         (match chunk with
+         | Some (Json.Int n) -> string_of_int n
+         | Some (Json.Str s) -> s
+         | _ -> "-")));
   (match Json.member "gap" j with
   | Some gap ->
     let measured = num0 (Json.member "measured_speedup" gap) in
@@ -872,6 +905,26 @@ let top_bench j =
     Buffer.add_string buf "predicted vs measured speedup (gap)\n";
     Buffer.add_string buf (Table.render t)
   | _ -> Buffer.add_string buf "(no gap section; re-run bench/main.exe)\n");
+  (match Json.member "engines" j with
+  | Some (Json.List rows) when rows <> [] ->
+    let t =
+      Table.create
+        ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right ]
+        [ "workload"; "tree seq"; "bytecode seq"; "speedup" ]
+    in
+    List.iter
+      (fun r ->
+        Table.add_row t
+          [
+            str_of (Json.member "workload" r);
+            fmt_s (num0 (Json.member "tree_seq_s" r));
+            fmt_s (num0 (Json.member "bytecode_seq_s" r));
+            Printf.sprintf "%.2fx" (num0 (Json.member "bytecode_speedup" r));
+          ])
+      rows;
+    Buffer.add_string buf "sequential engines (tree vs bytecode)\n";
+    Buffer.add_string buf (Table.render t)
+  | _ -> ());
   Buffer.contents buf
 
 let top_text j =

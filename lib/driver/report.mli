@@ -86,16 +86,25 @@ val metrics_json_of : ?runtime:Spt_obs.Json.t list -> Spt_obs.Json.t list -> Spt
 
 (** The `spt-bench-v2` summary `bench/main.exe` writes: one
     {!metrics_json} object per configuration, the measured-speedup
-    records of the real parallel runs, and the static-vs-profile-guided
-    misspeculation-cost comparison rows ([feedback]). *)
+    records of the real parallel runs, the static-vs-profile-guided
+    misspeculation-cost comparison rows ([feedback]), and the
+    tree-vs-bytecode sequential engine comparison rows ([engines],
+    {!engine_row}). *)
 val bench_json :
   ?feedback:Spt_obs.Json.t list ->
   ?gap:Spt_obs.Json.t list ->
+  ?engines:Spt_obs.Json.t list ->
   quick:bool ->
   per_config:(string * (string * Pipeline.eval) list) list ->
   parallel:Spt_obs.Json.t list ->
   unit ->
   Spt_obs.Json.t
+
+(** One row of the bench [engines] section: sequential wall time of the
+    same workload on the tree-walking and bytecode engines, with the
+    bytecode speedup over tree. *)
+val engine_row :
+  workload:string -> tree_s:float -> bytecode_s:float -> Spt_obs.Json.t
 
 (** The predicted-vs-measured speedup record shared by the attribution
     report and the bench [gap] section: [predicted_speedup] (null when

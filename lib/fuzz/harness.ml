@@ -42,11 +42,12 @@ let matrix_spec points =
           (fun p ->
             match (f, p) with
             | "par", Oracle.P_par _ -> true
+            | "engine", Oracle.P_engine _ -> true
             | "cache", Oracle.P_cache -> true
             | "feedback", Oracle.P_feedback -> true
             | _ -> false)
           points)
-      [ "par"; "cache"; "feedback" ]
+      [ "par"; "engine"; "cache"; "feedback" ]
   in
   String.concat "," ("seq" :: fams)
 

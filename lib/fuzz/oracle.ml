@@ -10,13 +10,33 @@ module Select = Spt_transform.Select
 module Tloop = Spt_transform.Spt_transform_loop
 module Json = Spt_obs.Json
 
-type point = P_par of int | P_cache | P_feedback | P_inject of string
+module Engine = Spt_exec.Engine
 
-let default_matrix = [ P_par 1; P_par 2; P_par 4; P_cache; P_feedback ]
+type point =
+  | P_par of int
+  | P_engine of Engine.kind * [ `Seq | `Par ]
+  | P_cache
+  | P_feedback
+  | P_inject of string
+
+let engine_axis =
+  [
+    P_engine (Engine.Tree, `Seq);
+    P_engine (Engine.Bytecode, `Seq);
+    P_engine (Engine.Tree, `Par);
+    P_engine (Engine.Bytecode, `Par);
+  ]
+
+let default_matrix =
+  [ P_par 1; P_par 2; P_par 4 ] @ engine_axis @ [ P_cache; P_feedback ]
+
 let known_faults = [ "drop-prefork-stmt" ]
 
 let string_of_point = function
   | P_par j -> Printf.sprintf "par:%d" j
+  | P_engine (k, m) ->
+    Printf.sprintf "engine:%s:%s" (Engine.string_of_kind k)
+      (match m with `Seq -> "seq" | `Par -> "par")
   | P_cache -> "cache"
   | P_feedback -> "feedback"
   | P_inject f -> "inject:" ^ f
@@ -31,6 +51,7 @@ let matrix_of_string spec =
     | [] -> Ok (List.rev acc)
     | "seq" :: rest -> go acc rest (* the implicit basis *)
     | "par" :: rest -> go (P_par 4 :: P_par 2 :: P_par 1 :: acc) rest
+    | "engine" :: rest -> go (List.rev_append engine_axis acc) rest
     | "cache" :: rest -> go (P_cache :: acc) rest
     | "feedback" :: rest -> go (P_feedback :: acc) rest
     | p :: _ -> Error (Printf.sprintf "unknown matrix point %S" p)
@@ -174,17 +195,20 @@ let invariant_divergences ~point (config : Config.t) (spt : Pipeline.spt_compila
 (* ------------------------------------------------------------------ *)
 (* Matrix points *)
 
-let runtime_config ~max_steps ~jobs =
+let runtime_config ?engine ~max_steps ~jobs () =
   let c = Runtime.default_config () in
-  {
-    c with
-    Runtime.jobs;
-    window = 2 * jobs;
-    max_steps;
-    spec_fuel = min c.Runtime.spec_fuel max_steps;
-  }
+  let c =
+    {
+      c with
+      Runtime.jobs;
+      window = 2 * jobs;
+      max_steps;
+      spec_fuel = min c.Runtime.spec_fuel max_steps;
+    }
+  in
+  match engine with None -> c | Some e -> { c with Runtime.engine = e }
 
-let run_on_runtime ~max_steps ~jobs (spt : Pipeline.spt_compilation) =
+let run_on_runtime ?engine ~max_steps ~jobs (spt : Pipeline.spt_compilation) =
   let loops =
     List.map
       (fun (l : Spt_tlsim.Tls_machine.spt_loop) ->
@@ -192,10 +216,21 @@ let run_on_runtime ~max_steps ~jobs (spt : Pipeline.spt_compilation) =
           Runtime.ls_id = l.Spt_tlsim.Tls_machine.sl_id;
           ls_fname = l.Spt_tlsim.Tls_machine.sl_fname;
           ls_header = l.Spt_tlsim.Tls_machine.sl_header;
+          ls_iter_ops =
+            (match
+               List.find_opt
+                 (fun (r : Pipeline.loop_record) ->
+                   String.equal r.Pipeline.lr_func
+                     l.Spt_tlsim.Tls_machine.sl_fname
+                   && r.Pipeline.lr_header = l.Spt_tlsim.Tls_machine.sl_header)
+                 spt.Pipeline.records
+             with
+            | Some r -> r.Pipeline.lr_body_size
+            | None -> 0.0);
         })
       spt.Pipeline.spt_loops
   in
-  Runtime.run ~config:(runtime_config ~max_steps ~jobs) ~loops
+  Runtime.run ~config:(runtime_config ?engine ~max_steps ~jobs ()) ~loops
     spt.Pipeline.program
 
 let par_point ~max_steps ~reference:ref_oc ~spt jobs =
@@ -217,6 +252,58 @@ let par_point ~max_steps ~reference:ref_oc ~spt jobs =
         [ { d_point = point; d_kind = "runtime-oracle"; d_detail = m } ]
     in
     (diff_outcomes ~point ~reference:ref_oc (outcome_of_runtime r) @ internal, misspecs)
+
+(* the *transformed* program executed sequentially on one engine:
+   markers are no-ops without a handler, so this checks both that the
+   SPT transformation preserved sequential semantics and that the two
+   engines agree instruction-for-instruction on real (fuzzed) code *)
+let engine_seq_outcome ~max_steps kind (spt : Pipeline.spt_compilation) =
+  let prog = spt.Pipeline.program in
+  let layout = Layout.build prog.Ir.globals in
+  let store = Interp.new_store layout prog in
+  let m = Interp.make ~max_steps ~memio:(Interp.store_memio store) prog in
+  let main = Ir.func_of_program prog "main" in
+  let ret =
+    match kind with
+    | Engine.Tree -> Interp.call m main [] []
+    | Engine.Bytecode ->
+      let eng = Engine.compile m in
+      Engine.call eng m main [] []
+  in
+  {
+    oc_output = Buffer.contents store.Interp.sout;
+    oc_return = render_ret ret;
+    oc_digest = Runtime.heap_digest store;
+    oc_error = None;
+  }
+
+let engine_point ~max_steps ~reference:ref_oc ~spt kind mode =
+  let point = string_of_point (P_engine (kind, mode)) in
+  let err m = [ { d_point = point; d_kind = "error"; d_detail = m } ] in
+  match mode with
+  | `Seq -> (
+    match engine_seq_outcome ~max_steps kind spt with
+    | exception e -> (err (Printexc.to_string e), 0)
+    | o -> (diff_outcomes ~point ~reference:ref_oc o, 0))
+  | `Par -> (
+    match run_on_runtime ~engine:kind ~max_steps ~jobs:2 spt with
+    | exception Interp.Runtime_error m -> (err m, 0)
+    | r ->
+      let misspecs =
+        List.fold_left
+          (fun acc (_, (s : Runtime.loop_stats)) ->
+            acc + s.Runtime.violations + s.Runtime.faults + s.Runtime.kills)
+          0 r.Runtime.stats
+      in
+      let internal =
+        match r.Runtime.oracle with
+        | `Match | `Skipped -> []
+        | `Mismatch m ->
+          [ { d_point = point; d_kind = "runtime-oracle"; d_detail = m } ]
+      in
+      ( diff_outcomes ~point ~reference:ref_oc (outcome_of_runtime r)
+        @ internal,
+        misspecs ))
 
 (* cold/warm replay through a throwaway on-disk cache *)
 let tmp_counter = ref 0
@@ -331,7 +418,9 @@ let check ?(config = Config.best) ?(max_steps = default_max_steps) ~matrix src
        hundreds of times; the base compile would double its cost). *)
     let needs_base =
       List.exists
-        (function P_par _ | P_feedback -> true | P_cache | P_inject _ -> false)
+        (function
+          | P_par _ | P_engine _ | P_feedback -> true
+          | P_cache | P_inject _ -> false)
         matrix
     in
     let base =
@@ -364,6 +453,13 @@ let check ?(config = Config.best) ?(max_steps = default_max_steps) ~matrix src
               | P_par jobs ->
                 let ds, m =
                   par_point ~max_steps ~reference:ref_oc ~spt:(spt ()) jobs
+                in
+                misspecs := !misspecs + m;
+                ds
+              | P_engine (kind, mode) ->
+                let ds, m =
+                  engine_point ~max_steps ~reference:ref_oc ~spt:(spt ()) kind
+                    mode
                 in
                 misspecs := !misspecs + m;
                 ds

@@ -12,6 +12,12 @@
       at 1, 2 and 4 worker domains (one compile, three executions); the
       runtime's own internal sequential-equivalence oracle must also
       report [`Match].
+    - [engine] — the execution-engine axis: the {e transformed} program
+      run on each {!Spt_exec.Engine.kind} (tree-walking and bytecode),
+      both sequentially (markers as no-ops — a direct
+      instruction-for-instruction parity check between the two engines)
+      and on the speculative runtime at 2 domains with that engine
+      selected.
     - [cache] — a cold then warm {!Spt_service.Cached.compile} through
       a throwaway on-disk cache: the warm request must hit and replay
       the report byte-identically.
@@ -37,17 +43,23 @@
 
 type point =
   | P_par of int  (** speculative runtime at this many worker domains *)
+  | P_engine of Spt_exec.Engine.kind * [ `Seq | `Par ]
+      (** one engine, sequentially or on the 2-domain runtime *)
   | P_cache
   | P_feedback
   | P_inject of string  (** fault name, e.g. ["drop-prefork-stmt"] *)
 
-(** [seq] plus the given parallel job counts, cache and feedback — the
-    full clean matrix ([par] at 1, 2 and 4). *)
+(** The four tree/bytecode × seq/par combinations — what the [engine]
+    matrix family expands to. *)
+val engine_axis : point list
+
+(** [seq] plus the given parallel job counts, the full engine axis,
+    cache and feedback — the full clean matrix ([par] at 1, 2 and 4). *)
 val default_matrix : point list
 
-(** Parse a [--matrix] spec: comma-separated [seq]/[par]/[cache]/
-    [feedback] (unknown names rejected).  [seq] is the implicit basis
-    and always accepted. *)
+(** Parse a [--matrix] spec: comma-separated [seq]/[par]/[engine]/
+    [cache]/[feedback] (unknown names rejected).  [seq] is the implicit
+    basis and always accepted. *)
 val matrix_of_string : string -> (point list, string) result
 
 val string_of_point : point -> string

@@ -554,6 +554,22 @@ and exec_instr st frame bid (i : Ir.instr) =
 let call = exec_call
 
 (* ------------------------------------------------------------------ *)
+(* Engine support — accessors used by the bytecode engine ({!Spt_exec})
+   so it can drive a [state] through the same backends, budgets and
+   marker handlers without this module exposing its representation *)
+
+let memio_of st = st.memio
+let program_of st = st.program
+let max_steps_of st = st.max_steps
+let marker_handler_of st = st.on_marker
+let hooks_are_null st = st.hooks == null_hooks
+let counts st = (st.steps, st.block_entries)
+
+let set_counts st ~steps ~block_entries =
+  st.steps <- steps;
+  st.block_entries <- block_entries
+
+(* ------------------------------------------------------------------ *)
 (* Entry points *)
 
 (* observability counters (no-ops unless metrics are enabled); charged

@@ -173,3 +173,30 @@ val exec_segment :
     it (and its callees) to completion, dispatching markers to the
     machine's handler. *)
 val call : state -> Ir.func -> value list -> Ir.sym list -> value option
+
+(** {1 Engine support}
+
+    Accessors used by the bytecode engine ({!Spt_exec}) to drive a
+    machine through the same backends, budgets and marker handlers as
+    this interpreter.  Not intended for general use. *)
+
+val memio_of : state -> memio
+val program_of : state -> Ir.program
+val max_steps_of : state -> int
+
+val marker_handler_of :
+  state -> (state -> frame -> marker -> cursor -> marker_action) option
+
+(** [true] when no instrumentation hooks are installed — the only
+    machines the bytecode engine may drive (it fires no hooks). *)
+val hooks_are_null : state -> bool
+
+(** Current [(steps, block_entries)] counters. *)
+val counts : state -> int * int
+
+val set_counts : state -> steps:int -> block_entries:int -> unit
+
+(** Execute a builtin against the machine's backend ([rand]/[srand]
+    use its RNG, prints its output buffer).
+    @raise Runtime_error on unknown builtins or bad arguments. *)
+val exec_builtin : state -> string -> value list -> value option

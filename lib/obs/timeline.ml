@@ -1,8 +1,17 @@
 (** Per-domain speculation timelines — see timeline.mli. *)
 
-type kind = Fork | Exec | Validate | Commit | Rollback | Reexec | Kill
+type kind =
+  | Fork
+  | Exec
+  | Validate
+  | Commit
+  | Rollback
+  | Reexec
+  | Kill
+  | Chunk
+  | Compile
 
-let n_kinds = 7
+let n_kinds = 9
 
 let kind_index = function
   | Fork -> 0
@@ -12,8 +21,11 @@ let kind_index = function
   | Rollback -> 4
   | Reexec -> 5
   | Kill -> 6
+  | Chunk -> 7
+  | Compile -> 8
 
-let kind_of_index = [| Fork; Exec; Validate; Commit; Rollback; Reexec; Kill |]
+let kind_of_index =
+  [| Fork; Exec; Validate; Commit; Rollback; Reexec; Kill; Chunk; Compile |]
 
 let kind_name = function
   | Fork -> "fork"
@@ -23,6 +35,8 @@ let kind_name = function
   | Rollback -> "rollback"
   | Reexec -> "reexec"
   | Kill -> "kill"
+  | Chunk -> "chunk"
+  | Compile -> "compile"
 
 (* One ring per recording domain, owned exclusively by that domain:
    the hot path touches no lock and no shared structure.  Per-kind

@@ -26,6 +26,10 @@ type kind =
   | Rollback  (** discarding a failed view *)
   | Reexec  (** serial recovery on master state *)
   | Kill  (** control divergence discarding downstream tasks *)
+  | Chunk
+      (** the sequential thread predicting the pre-fork backbone of the
+          next iteration chunk *)
+  | Compile  (** compiling the program to bytecode ({!Spt_exec}) *)
 
 val kind_name : kind -> string
 

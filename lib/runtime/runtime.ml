@@ -3,7 +3,12 @@ module Layout = Spt_interp.Layout
 module Ir = Spt_ir.Ir
 module Obs = Spt_obs
 
-type loop_spec = { ls_id : int; ls_fname : string; ls_header : int }
+type loop_spec = {
+  ls_id : int;
+  ls_fname : string;
+  ls_header : int;
+  ls_iter_ops : float;
+}
 
 type config = {
   jobs : int;
@@ -13,6 +18,8 @@ type config = {
   max_steps : int;
   oracle : bool;
   timeline : Obs.Timeline.t option;
+  engine : Spt_exec.Engine.kind;
+  chunk : int option;
 }
 
 let default_jobs () =
@@ -30,9 +37,28 @@ let default_config () =
     max_steps = 200_000_000;
     oracle = true;
     timeline = None;
+    engine = Spt_exec.Engine.Bytecode;
+    chunk = None;
   }
 
+(* One speculative fork covers a block of [chunk_size] iterations: the
+   per-fork overhead (view creation, validation, commit, the scheduler
+   turn) is paid once per chunk instead of once per iteration.  The
+   auto size targets ~2048 dynamic operations per chunk, from the cost
+   model's per-iteration estimate, clamped to [1, 256]. *)
+let chunk_target_ops = 2048.0
+
+let chunk_size cfg spec =
+  match cfg.chunk with
+  | Some n -> max 1 n
+  | None ->
+    if spec.ls_iter_ops <= 0.0 then 16
+    else
+      max 1
+        (min 256 (int_of_float (ceil (chunk_target_ops /. spec.ls_iter_ops))))
+
 type loop_stats = {
+  mutable chunk : int;
   mutable forks : int;
   mutable commits : int;
   mutable violations : int;
@@ -73,27 +99,68 @@ let tl_rec tl kind ~lid t0 =
   | None -> ()
   | Some t -> Obs.Timeline.record t kind ~lid ~t0 ~t1:(Unix.gettimeofday ())
 
-(* where execution of a task (or its serial replay) sequentially ends *)
+(* where execution of a chunk (or its serial replay) sequentially ends *)
 type stop =
-  | Looped of Interp.cursor  (** back at the loop header *)
-  | Forked of Interp.cursor  (** past this loop's SPT_FORK (P tasks) *)
+  | Forked of Interp.cursor  (** past this loop's Nth SPT_FORK *)
   | Exited of Interp.cursor  (** past this loop's SPT_KILL *)
   | Returned of Interp.value option
 
-type outcome = Stopped of stop * int (* speculative steps *) | Fault of string
+type outcome =
+  | Stopped of stop * int * int  (** speculative steps, iterations *)
+  | Fault of string
+
 type status = Pending | Finished of outcome
 
 type task = {
-  tkind : [ `P | `S ];
   tview : Specmem.view;
+  tbv : Specmem.view option;
+      (** the backbone (predictor) view this chunk reads through;
+          sealed once the chunk resolves *)
   tstart : Interp.cursor;
   mutable tstatus : status;
   mutable texec_s : float;  (** seconds the task ran on its view *)
 }
 
+(* How segments and calls are executed: the tree interpreter or the
+   bytecode engine, chosen by [config.engine].  Both implement the same
+   segment-machine contract, so the scheduler is engine-agnostic. *)
+type exec_iface = {
+  x_seg :
+    Interp.state ->
+    Interp.frame ->
+    ?stop_block:int ->
+    watch_markers:bool ->
+    Interp.cursor ->
+    Interp.seg_stop;
+  x_call :
+    Interp.state ->
+    Ir.func ->
+    Interp.value list ->
+    Ir.sym list ->
+    Interp.value option;
+}
+
+let tree_iface =
+  {
+    x_seg =
+      (fun st frame ?stop_block ~watch_markers cur ->
+        Interp.exec_segment st frame ?stop_block ~watch_markers cur);
+    x_call = Interp.call;
+  }
+
+let bytecode_iface eng =
+  {
+    x_seg =
+      (fun st frame ?stop_block ~watch_markers cur ->
+        Spt_exec.Engine.exec_segment eng st frame ?stop_block ~watch_markers
+          cur);
+    x_call = (fun st f scalars arrays -> Spt_exec.Engine.call eng st f scalars arrays);
+  }
+
 type rt = {
   program : Ir.program;
   cfg : config;
+  x : exec_iface;
   pool : Pool.t;
   store : Interp.store;
   master : Interp.state;
@@ -113,6 +180,7 @@ let loop_stats rt lid =
   | None ->
     let s =
       {
+        chunk = 1;
         forks = 0;
         commits = 0;
         violations = 0;
@@ -147,57 +215,102 @@ let record_stale rt (st : loop_stats) (stale : Specmem.stale) =
   | Specmem.Stale_rng -> st.stale_rng <- st.stale_rng + 1
 
 (* ------------------------------------------------------------------ *)
-(* Task execution (workers and the speculative P runs on main) *)
+(* Chunk execution (workers) and backbone prediction (main thread) *)
 
-(* Drive a fresh machine over the view from [start] until this loop's
-   next fork, its kill, the header, or a return.  Markers of other
-   loops are sequential no-ops.  All exceptions — out-of-bounds reads
-   through stale speculative state, uninitialized registers, the
-   [spec_fuel] step limit — surface as [Fault] and cost only a serial
-   replay. *)
-let run_task rt ~(frame : Interp.frame) ~header ~lid view start : outcome =
+(* Drive a fresh machine over the view from just past the loop's fork,
+   through [n] whole fork-to-fork spans — the post-fork slice of one
+   iteration followed by the pre-fork slice of the next, repeated —
+   stopping past the [n]th SPT_FORK, past the loop's SPT_KILL, or at a
+   return.  Internal header transitions do NOT stop the chunk: a chunk
+   is sequential execution of [n] iterations against one view, with one
+   validation at its turn.  Markers of other loops are sequential
+   no-ops.  All exceptions — out-of-bounds reads through stale
+   speculative state, uninitialized registers, the fuel limit — surface
+   as [Fault] and cost only a serial replay. *)
+let run_chunk rt ~(frame : Interp.frame) ~lid ~n ~fuel view start : outcome =
   try
-    let tm =
-      Interp.make ~max_steps:rt.cfg.spec_fuel ~memio:(Specmem.memio view)
-        rt.program
-    in
+    let tm = Interp.make ~max_steps:fuel ~memio:(Specmem.memio view) rt.program in
     let tframe =
       Interp.mk_frame frame.Interp.func ~arr_args:frame.Interp.arr_args
         ~regio:(Specmem.regio view)
     in
-    let rec go cur =
-      match
-        Interp.exec_segment tm tframe ~stop_block:header ~watch_markers:true
-          cur
-      with
-      | Interp.Seg_stop_block c -> Stopped (Looped c, Interp.steps tm)
-      | Interp.Seg_return v -> Stopped (Returned v, Interp.steps tm)
+    let rec go forks cur =
+      match rt.x.x_seg tm tframe ~watch_markers:true cur with
+      | Interp.Seg_return v ->
+        Stopped (Returned v, Interp.steps tm, forks + 1)
+      | Interp.Seg_stop_block _ -> assert false (* no stop_block given *)
       | Interp.Seg_marker (`Fork id, after) when id = lid ->
-        Stopped (Forked after, Interp.steps tm)
+        if forks + 1 >= n then Stopped (Forked after, Interp.steps tm, n)
+        else go (forks + 1) after
       | Interp.Seg_marker (`Kill id, after) when id = lid ->
-        Stopped (Exited after, Interp.steps tm)
-      | Interp.Seg_marker (_, after) -> go after
+        Stopped (Exited after, Interp.steps tm, forks + 1)
+      | Interp.Seg_marker (_, after) -> go forks after
     in
-    go start
+    go 0 start
   with e -> Fault (Printexc.to_string e)
 
-(* Serial recovery: replay the task's segment on master state, in the
-   engaged frame, on the master machine (its marker handler is not
-   consulted by [exec_segment], so no re-entry).  Genuine program
-   errors propagate from here exactly as a sequential run would. *)
-let serial_reexec rt ~(frame : Interp.frame) ~header ~lid start : stop =
-  let rec go cur =
-    match
-      Interp.exec_segment rt.master frame ~stop_block:header
-        ~watch_markers:true cur
-    with
-    | Interp.Seg_stop_block c -> Looped c
-    | Interp.Seg_return v -> Returned v
-    | Interp.Seg_marker (`Fork id, after) when id = lid -> Forked after
-    | Interp.Seg_marker (`Kill id, after) when id = lid -> Exited after
-    | Interp.Seg_marker (_, after) -> go after
+(* The backbone predictor: before spawning the next chunk, the
+   sequential thread runs [n] pre-fork slices — header to fork, then
+   back to the header, skipping every post-fork slice — into [view].
+   Chained under the next chunk's view, it supplies the loop-carried
+   pre-fork state (induction variables above all) that chunk needs to
+   start [n] iterations ahead of the last one spawned.  The skip is
+   exactly the paper's speculation assumption: pre-fork work of later
+   iterations is independent of earlier post-fork work.  The view is
+   pure prediction — never validated, never merged (the chunks
+   re-execute and commit those slices); a wrong prediction surfaces as
+   a validation failure of the chunk that read it.  Returns [false]
+   when prediction says the loop exits (or faults) within the next
+   chunk, i.e. speculation should stop extending. *)
+let run_backbone rt ~(frame : Interp.frame) ~header ~lid ~n ~fuel view : bool =
+  try
+    let tm = Interp.make ~max_steps:fuel ~memio:(Specmem.memio view) rt.program in
+    let tframe =
+      Interp.mk_frame frame.Interp.func ~arr_args:frame.Interp.arr_args
+        ~regio:(Specmem.regio view)
+    in
+    let start = { Interp.cbid = header; cprev = -1; cpos = 0 } in
+    let rec round k cur =
+      if k = n then true
+      else
+        match rt.x.x_seg tm tframe ~stop_block:header ~watch_markers:true cur with
+        | Interp.Seg_marker (`Fork id, _) when id = lid -> round (k + 1) start
+        | Interp.Seg_marker (`Kill id, _) when id = lid ->
+          Obs.Log.debug "[runtime] loop %d: backbone predicts exit at round %d/%d"
+            lid k n;
+          false
+        | Interp.Seg_marker (_, after) -> round k after
+        | Interp.Seg_stop_block _ ->
+          Obs.Log.debug
+            "[runtime] loop %d: backbone re-reached header without a fork" lid;
+          false (* header reached without a fork *)
+        | Interp.Seg_return _ ->
+          Obs.Log.debug "[runtime] loop %d: backbone predicts a return" lid;
+          false
+    in
+    round 0 start
+  with e ->
+    Obs.Log.debug "[runtime] loop %d: backbone fault: %s" lid
+      (Printexc.to_string e);
+    false
+
+(* Serial recovery: replay the chunk's whole span on master state, in
+   the engaged frame, on the master machine (its marker handler is not
+   consulted by [x_seg], so no re-entry).  Returns where the replay
+   stopped and how many iterations it retired.  Genuine program errors
+   propagate from here exactly as a sequential run would. *)
+let serial_reexec rt ~(frame : Interp.frame) ~lid ~n start : stop * int =
+  let rec go forks cur =
+    match rt.x.x_seg rt.master frame ~watch_markers:true cur with
+    | Interp.Seg_return v -> (Returned v, forks + 1)
+    | Interp.Seg_stop_block _ -> assert false
+    | Interp.Seg_marker (`Fork id, after) when id = lid ->
+      if forks + 1 >= n then (Forked after, n) else go (forks + 1) after
+    | Interp.Seg_marker (`Kill id, after) when id = lid ->
+      (Exited after, forks + 1)
+    | Interp.Seg_marker (_, after) -> go forks after
   in
-  go start
+  go 0 start
 
 let wait_for rt task =
   Mutex.lock rt.mu;
@@ -215,16 +328,31 @@ let wait_for rt task =
 (* ------------------------------------------------------------------ *)
 (* The per-loop scheduler *)
 
-(* Runs the whole loop: pipelines P/S tasks, commits them in sequential
-   order, recovers serially from misspeculation, and returns where the
-   sequential thread resumes. *)
+(* Runs the whole loop: pipelines iteration chunks onto the worker
+   pool, predicts their loop-carried pre-fork state on the sequential
+   thread (the backbone), commits chunks in sequential order, recovers
+   serially from misspeculation, and returns where the sequential
+   thread resumes.
+
+   With chunk size [n], chunk C_k covers the [n] fork-to-fork spans
+   starting at iteration [k*n]; every chunk starts from the static
+   post-fork cursor [after0] (valid because speculated functions are
+   phi-free, so [cprev] never matters).  C_{k+1}'s view parents the
+   backbone view B_k written while C_k ran; backbone views chain
+   B_k -> B_{k-1} -> ... and are sealed — not merged — once their
+   reader chunk resolves, since master then already holds every value
+   they predicted. *)
 let run_spt_loop rt (frame : Interp.frame) (spec : loop_spec)
     (after0 : Interp.cursor) : Interp.marker_action =
   let t0 = Unix.gettimeofday () in
   let lid = spec.ls_id in
   let header = spec.ls_header in
+  let n = chunk_size rt.cfg spec in
+  (* a chunk (and a backbone fill) is n iterations of speculative work *)
+  let fuel = min rt.cfg.max_steps (rt.cfg.spec_fuel * n) in
   let tl = rt.cfg.timeline in
   let st = loop_stats rt lid in
+  st.chunk <- n;
   let master =
     {
       Specmem.m_mem = rt.store.Interp.smem;
@@ -235,18 +363,19 @@ let run_spt_loop rt (frame : Interp.frame) (spec : loop_spec)
     }
   in
   let pending : task Queue.t = Queue.create () in
-  (* tail of the pre-fork view chain: tasks see all earlier P writes,
-     and no S writes — that independence IS the speculation *)
-  let chain = ref None in
+  (* tail of the backbone view chain: chunks see all earlier pre-fork
+     (predictor) writes, and no post-fork writes — that independence IS
+     the speculation *)
+  let bchain = ref None in
   let consec = ref 0 in
   let filling = ref true in
   let finish = ref None in
   let last_pos = ref after0 in
-  let spawn_s start =
+  let spawn_chunk ~bv =
     let tf0 = tl_now tl in
-    let view = Specmem.create ?parent:!chain master in
+    let view = Specmem.create ?parent:bv master in
     let t =
-      { tkind = `S; tview = view; tstart = start; tstatus = Pending;
+      { tview = view; tbv = bv; tstart = after0; tstatus = Pending;
         texec_s = 0.0 }
     in
     Queue.push t pending;
@@ -255,7 +384,7 @@ let run_spt_loop rt (frame : Interp.frame) (spec : loop_spec)
     Pool.submit rt.pool (fun () ->
         (* the Exec span lands on the worker domain's own lane *)
         let e0 = Unix.gettimeofday () in
-        let o = run_task rt ~frame ~header ~lid view start in
+        let o = run_chunk rt ~frame ~lid ~n ~fuel view after0 in
         let e1 = Unix.gettimeofday () in
         (match tl with
         | Some tline -> Obs.Timeline.record tline Obs.Timeline.Exec ~lid ~t0:e0 ~t1:e1
@@ -267,59 +396,41 @@ let run_spt_loop rt (frame : Interp.frame) (spec : loop_spec)
         Mutex.unlock rt.mu);
     tl_rec tl Obs.Timeline.Fork ~lid tf0
   in
-  (* the sequential thread itself speculates the next pre-fork segment
-     while the workers chew on the post-fork ones *)
-  let run_p () =
-    let tf0 = tl_now tl in
-    let view = Specmem.create ?parent:!chain master in
-    tl_rec tl Obs.Timeline.Fork ~lid tf0;
-    let start = { Interp.cbid = header; cprev = -1; cpos = 0 } in
-    let t =
-      { tkind = `P; tview = view; tstart = start; tstatus = Pending;
-        texec_s = 0.0 }
-    in
-    st.forks <- st.forks + 1;
-    Obs.Metrics.inc m_forks;
-    let e0 = Unix.gettimeofday () in
-    let o = run_task rt ~frame ~header ~lid view start in
-    let e1 = Unix.gettimeofday () in
-    (match tl with
-    | Some tline -> Obs.Timeline.record tline Obs.Timeline.Exec ~lid ~t0:e0 ~t1:e1
-    | None -> ());
-    t.texec_s <- e1 -. e0;
-    t.tstatus <- Finished o;
-    Queue.push t pending;
-    match o with
-    | Stopped (Forked after, _) ->
-      chain := Some view;
-      spawn_s after
-    | _ ->
-      (* predicted exit, divergence or fault: stop extending *)
-      filling := false
+  (* run one backbone fill on the sequential thread, then spawn the
+     chunk that reads through it *)
+  let extend () =
+    let tb0 = tl_now tl in
+    let bv = Specmem.create ?parent:!bchain master in
+    let complete = run_backbone rt ~frame ~header ~lid ~n ~fuel bv in
+    tl_rec tl Obs.Timeline.Chunk ~lid tb0;
+    bchain := Some bv;
+    (* spawn even past a predicted exit: the chunk stops at the loop's
+       kill (or return) on its own, so the exit is itself speculated *)
+    spawn_chunk ~bv:(Some bv);
+    if not complete then filling := false
   in
-  spawn_s after0;
+  spawn_chunk ~bv:None;
   while !finish = None && not (Queue.is_empty pending) do
     while !filling && Queue.length pending < rt.cfg.window do
-      run_p ()
+      extend ()
     done;
     let head = Queue.pop pending in
     let outcome = wait_for rt head in
-    Obs.Metrics.observe h_iter head.texec_s;
     (* resolve the head to its definitive sequential stop *)
     let resolution =
       match outcome with
-      | Stopped (stop, steps) -> (
+      | Stopped (stop, steps, iters) -> (
         let tv0 = tl_now tl in
         let v = Specmem.validate head.tview in
         tl_rec tl Obs.Timeline.Validate ~lid tv0;
         match v with
-        | Ok () -> `Commit (stop, steps)
+        | Ok () -> `Commit (stop, steps, iters)
         | Error stale -> `Stale stale)
       | Fault msg -> `Fault msg
     in
-    let stop, clean =
+    let stop, clean, retired =
       match resolution with
-      | `Commit (stop, steps) ->
+      | `Commit (stop, steps, iters) ->
         let tc0 = tl_now tl in
         Specmem.commit head.tview;
         tl_rec tl Obs.Timeline.Commit ~lid tc0;
@@ -336,7 +447,7 @@ let run_spt_loop rt (frame : Interp.frame) (spec : loop_spec)
         st.commits <- st.commits + 1;
         Obs.Metrics.inc m_commits;
         consec := 0;
-        (stop, true)
+        (stop, true, iters)
       | `Stale _ | `Fault _ ->
         let tr0 = tl_now tl in
         Specmem.rollback head.tview;
@@ -357,11 +468,23 @@ let run_spt_loop rt (frame : Interp.frame) (spec : loop_spec)
         st.serial_reexecs <- st.serial_reexecs + 1;
         Obs.Metrics.inc m_serial;
         let tx0 = tl_now tl in
-        let stop = serial_reexec rt ~frame ~header ~lid head.tstart in
+        let stop, iters = serial_reexec rt ~frame ~lid ~n head.tstart in
         tl_rec tl Obs.Timeline.Reexec ~lid tx0;
-        (stop, false)
+        (stop, false, iters)
     in
-    if head.tkind = `S then st.iters <- st.iters + 1;
+    Obs.Log.debug "[runtime] loop %d: head %s: retired %d iter(s)" lid
+      (match stop with
+      | Forked _ -> if clean then "committed" else "replayed"
+      | Exited _ -> "exited"
+      | Returned _ -> "returned")
+      retired;
+    st.iters <- st.iters + retired;
+    if retired > 0 then
+      Obs.Metrics.observe h_iter (head.texec_s /. float_of_int retired);
+    (* master now holds everything the head's backbone predicted *)
+    (match head.tbv with
+    | Some bv when not (Specmem.is_rolled_back bv) -> Specmem.seal bv
+    | _ -> ());
     if !consec >= rt.cfg.despec_after && not (Hashtbl.mem rt.despec lid)
     then begin
       Hashtbl.replace rt.despec lid ();
@@ -372,47 +495,50 @@ let run_spt_loop rt (frame : Interp.frame) (spec : loop_spec)
         lid !consec;
       filling := false
     end;
-    (* did the head end the way downstream speculation assumed? *)
+    (* did the head end the way downstream speculation assumed?  every
+       downstream chunk starts from the static [after0], so a head that
+       forked its [n]th time — committed, or replayed to the same
+       static cursor — upholds them *)
     let downstream_ok =
-      match (head.tkind, stop) with
-      | `S, Looped _ -> true
-      | `P, Forked after -> (
-        (* a committed P stopped exactly as speculated; a replayed one
-           must still have forked at the same point for its S (spawned
-           from the speculative cursor) to stand *)
+      match stop with
+      | Forked after ->
         clean
-        ||
-        match outcome with
-        | Stopped (Forked safter, _) ->
-          safter.Interp.cbid = after.Interp.cbid
-          && safter.Interp.cpos = after.Interp.cpos
-        | _ -> false)
+        || after.Interp.cbid = after0.Interp.cbid
+           && after.Interp.cpos = after0.Interp.cpos
       | _ -> false
     in
     if downstream_ok then
       last_pos :=
         (match stop with
-        | Looped c | Forked c | Exited c -> c
+        | Forked c | Exited c -> c
         | Returned _ -> !last_pos)
     else begin
-      (* control diverged: kill everything speculated beyond this
-         point (abandoned workers finish into dead views) *)
+      (* control diverged (or the loop exited): kill everything
+         speculated beyond this point (abandoned workers finish into
+         dead views) *)
       let killed = Queue.length pending in
       if killed > 0 then begin
         st.kills <- st.kills + killed;
         Obs.Metrics.add m_kills killed
       end;
-      (* roll the dead views back so late writes from abandoned workers
-         are dropped and descendants stop reading their buffers *)
+      (* roll the dead views back — and their backbones — so late
+         writes from abandoned workers are dropped and descendants stop
+         reading their buffers *)
       let tk0 = tl_now tl in
-      Queue.iter (fun t -> Specmem.rollback t.tview) pending;
+      Queue.iter
+        (fun t ->
+          Specmem.rollback t.tview;
+          match t.tbv with
+          | Some bv when not (Specmem.is_committed bv) -> Specmem.rollback bv
+          | _ -> ())
+        pending;
       Queue.clear pending;
       if killed > 0 then tl_rec tl Obs.Timeline.Kill ~lid tk0;
       finish :=
         Some
           (match stop with
           | Returned v -> Interp.Return_now v
-          | Exited c | Looped c | Forked c -> Interp.Jump_to c)
+          | Exited c | Forked c -> Interp.Jump_to c)
     end
   done;
   st.wall <- st.wall +. (Unix.gettimeofday () -. t0);
@@ -420,8 +546,9 @@ let run_spt_loop rt (frame : Interp.frame) (spec : loop_spec)
   | Some action -> action
   | None ->
     (* drained cleanly (despeculation wind-down): resume where the last
-       committed task left off; if that is the header the next SPT_FORK
-       re-enters the scheduler *)
+       committed chunk left off; if that is just past the fork, the
+       master executes sequentially to the next SPT_FORK, whose handler
+       sees the despec flag and proceeds *)
     Interp.Jump_to !last_pos
 
 (* ------------------------------------------------------------------ *)
@@ -489,6 +616,7 @@ let stats_json (r : result) =
                J.Obj
                  [
                    ("loop_id", J.Int lid);
+                   ("chunk", J.Int s.chunk);
                    ("forks", J.Int s.forks);
                    ("commits", J.Int s.commits);
                    ("violations", J.Int s.violations);
@@ -521,13 +649,13 @@ let stats_json (r : result) =
              r.stats) );
     ]
 
-let sequential_reference cfg layout program =
+let sequential_reference x cfg layout program =
   let store = Interp.new_store layout program in
   let m =
     Interp.make ~max_steps:cfg.max_steps ~memio:(Interp.store_memio store)
       program
   in
-  let ret = Interp.call m (Ir.func_of_program program "main") [] [] in
+  let ret = x.x_call m (Ir.func_of_program program "main") [] [] in
   (ret, Buffer.contents store.Interp.sout, heap_digest store)
 
 let run ?config ?(loops = []) (program : Ir.program) : result =
@@ -555,12 +683,24 @@ let run ?config ?(loops = []) (program : Ir.program) : result =
       (Layout.owner_of_element layout program.Ir.globals a)
   in
   (* metrics-enabled runs sample the master machine's dispatch time;
-     worker machines never sample (the registry is single-threaded) *)
+     worker machines never sample (the registry is single-threaded).
+     The bytecode engine does not advance the sampler, so the histogram
+     only fills on the tree engine. *)
   if Obs.Metrics.enabled () then Interp.set_sampler master;
+  let x =
+    match cfg.engine with
+    | Spt_exec.Engine.Tree -> tree_iface
+    | Spt_exec.Engine.Bytecode ->
+      let tc0 = tl_now cfg.timeline in
+      let eng = Spt_exec.Engine.compile master in
+      tl_rec cfg.timeline Obs.Timeline.Compile ~lid:(-1) tc0;
+      bytecode_iface eng
+  in
   let rt =
     {
       program;
       cfg;
+      x;
       pool =
         Pool.create
           ~on_start:(fun () ->
@@ -595,7 +735,7 @@ let run ?config ?(loops = []) (program : Ir.program) : result =
   let return_value =
     Fun.protect
       ~finally:(fun () -> Pool.shutdown rt.pool)
-      (fun () -> Interp.call master (Ir.func_of_program program "main") [] [])
+      (fun () -> x.x_call master (Ir.func_of_program program "main") [] [])
   in
   let wall_time = Unix.gettimeofday () -. t0 in
   let output = Buffer.contents store.Interp.sout in
@@ -603,7 +743,7 @@ let run ?config ?(loops = []) (program : Ir.program) : result =
   let oracle =
     if not cfg.oracle then `Skipped
     else begin
-      let sret, sout, sdigest = sequential_reference cfg layout program in
+      let sret, sout, sdigest = sequential_reference x cfg layout program in
       if not (String.equal sout output) then
         `Mismatch
           (Printf.sprintf "output differs (%d bytes vs %d sequential)"

@@ -2,49 +2,78 @@
     OCaml 5 domains with genuine fork / validate / commit / kill.
 
     One iteration of an SPT loop splits at its [SPT_FORK] into a
-    pre-fork task P (the violation candidates the partitioner moved
-    up) and a post-fork task S (the rest of the body).  The sequential
-    thread commits in order P₀ S₀ P₁ S₁ …; P₀ runs non-speculatively,
-    each Sₖ is forked onto the worker pool, and the sequential thread
-    immediately runs Pₖ₊₁ speculatively — the assumption, exactly the
-    paper's §3 execution model, being that pre-fork work of the next
-    iteration is independent of the previous iteration's post-fork
-    work.  Every task runs against a {!Specmem.view}; at its turn it
-    is validated and committed, or — on a read violation or a
-    speculative fault — killed and re-executed serially on master
-    state.  A loop that misspeculates [despec_after] times in a row is
-    de-speculated for the rest of the run. *)
+    pre-fork slice (the violation candidates the partitioner moved up)
+    and a post-fork slice (the rest of the body).  The runtime forks in
+    {e chunks}: one speculative task covers [chunk] whole fork-to-fork
+    spans — the post-fork slice of one iteration followed by the
+    pre-fork slice of the next, [chunk] times — executed sequentially
+    against a single {!Specmem.view}, so view creation, validation and
+    commit are paid once per chunk instead of once per iteration.
+    Chunks run on the worker pool; the sequential thread meanwhile
+    predicts the loop-carried pre-fork state the {e next} chunk starts
+    from by running only the pre-fork slices (the {e backbone}) into
+    predictor views the chunks read through — the assumption, exactly
+    the paper's §3 execution model, being that pre-fork work of later
+    iterations is independent of earlier post-fork work.  Chunks are
+    validated and committed strictly in order; on a read violation or
+    a speculative fault the chunk is killed and its whole span is
+    re-executed serially on master state (a mispredicted backbone
+    surfaces this way too — prediction can cost time, never
+    correctness).  A loop that misspeculates [despec_after] times in a
+    row is de-speculated for the rest of the run. *)
 
 module Interp = Spt_interp.Interp
 
 (** A transformed loop, as registered by the driver: the id carried by
     its [SPT_FORK]/[SPT_KILL] markers, its function and its header
-    block in the final (post-SSA-destruction) CFG. *)
-type loop_spec = { ls_id : int; ls_fname : string; ls_header : int }
+    block in the final (post-SSA-destruction) CFG.  [ls_iter_ops] is
+    the cost model's dynamic-operations-per-iteration estimate
+    ([<= 0.0] when unknown), used to auto-size chunks. *)
+type loop_spec = {
+  ls_id : int;
+  ls_fname : string;
+  ls_header : int;
+  ls_iter_ops : float;
+}
 
 type config = {
   jobs : int;  (** worker domains (≥ 1) *)
-  window : int;  (** max speculative tasks in flight *)
+  window : int;  (** max speculative chunks in flight *)
   despec_after : int;  (** consecutive misspeculations before the valve *)
-  spec_fuel : int;  (** step budget of one speculative task *)
+  spec_fuel : int;  (** step budget of one speculative {e iteration};
+      a chunk's fuel is [spec_fuel * chunk], capped at [max_steps] *)
   max_steps : int;  (** overall sequential step budget *)
   oracle : bool;  (** check against a sequential reference run *)
   timeline : Spt_obs.Timeline.t option;
-      (** when set, every fork/exec/validate/commit/rollback/reexec/kill
-          is recorded per domain; drain it only after {!run} returns
-          (the pool has then joined its workers) *)
+      (** when set, every fork/exec/validate/commit/rollback/reexec/
+          kill/chunk/compile is recorded per domain; drain it only
+          after {!run} returns (the pool has then joined its workers) *)
+  engine : Spt_exec.Engine.kind;
+      (** how segments execute: the tree interpreter or the flat
+          bytecode engine (identical semantics; see {!Spt_exec}) *)
+  chunk : int option;
+      (** iterations per speculative fork; [None] auto-sizes from
+          [ls_iter_ops] (targeting ~2048 dynamic ops per chunk,
+          clamped to [1, 256]; 16 when the estimate is unknown) *)
 }
 
-(** [jobs] honours [SPT_JOBS]; window is [2 * jobs]. *)
+(** [jobs] honours [SPT_JOBS]; window is [2 * jobs]; engine is
+    [Bytecode]; chunk is auto-sized. *)
 val default_config : unit -> config
 
-(** Mutable per-loop counters, in the paper's §3 vocabulary. *)
+(** Chunk size [run] will use for a loop under this config. *)
+val chunk_size : config -> loop_spec -> int
+
+(** Mutable per-loop counters, in the paper's §3 vocabulary.  [forks],
+    [commits], [violations], [faults], [kills] and [serial_reexecs]
+    count {e chunks}; [iters] counts retired iterations. *)
 type loop_stats = {
-  mutable forks : int;  (** speculative tasks started (P and S) *)
-  mutable commits : int;  (** tasks validated and committed *)
+  mutable chunk : int;  (** iterations per speculative fork *)
+  mutable forks : int;  (** speculative chunks started *)
+  mutable commits : int;  (** chunks validated and committed *)
   mutable violations : int;  (** validation failures *)
   mutable faults : int;  (** speculative runtime faults *)
-  mutable kills : int;  (** tasks discarded on control divergence *)
+  mutable kills : int;  (** chunks discarded on control divergence *)
   mutable despecs : int;  (** de-speculation valve trips *)
   mutable serial_reexecs : int;  (** serial recoveries *)
   mutable iters : int;  (** loop iterations retired *)

@@ -201,6 +201,15 @@ let commit v =
   (* release: readers that observe the flag observe the writes above *)
   Atomic.set v.committed true
 
+(* A predictor (backbone) view is never merged: the iterations it
+   predicted are re-executed — and committed — by the chunk that read
+   through it, so once that chunk resolves, master already holds every
+   value the view could supply and the chain walk may skip it. *)
+let seal v =
+  if Atomic.get v.rolled_back then
+    invalid_arg "Specmem.seal: view was rolled back";
+  Atomic.set v.committed true
+
 let footprint v =
   let rng_r = if v.rng_r = None then 0 else 1 in
   let rng_w = if v.rng_w = None then 0 else 1 in

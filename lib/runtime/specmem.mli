@@ -82,6 +82,15 @@ val rollback : view -> unit
 
 val is_rolled_back : view -> bool
 
+(** Mark the view committed {e without} merging its buffers.  For
+    predictor (backbone) views whose writes are re-executed by the
+    chunk that reads through them: call it from the sequential thread
+    once that chunk has resolved — master then already holds every
+    value the view could supply, so descendants may skip it during
+    chained reads (release-ordered, like {!commit}).
+    @raise Invalid_argument on a rolled-back view. *)
+val seal : view -> unit
+
 (** (reads, writes) logged so far — memory + registers + RNG. *)
 val footprint : view -> int * int
 

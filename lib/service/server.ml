@@ -9,6 +9,8 @@ let h_latency = Spt_obs.Metrics.histogram "service.server.request_latency_s"
 
 type t = {
   cache : Artifact_cache.t;
+  engine : Spt_exec.Engine.kind option;
+      (* server-wide default engine; a request's own "engine" field wins *)
   mutable requests : int;
   mutable errors : int;
   (* request-latency histogram, kept locally so [stats] works even with
@@ -16,9 +18,10 @@ type t = {
   latency : Spt_obs.Metrics.Hist.t;
 }
 
-let create ?cache () =
+let create ?cache ?engine () =
   {
     cache = (match cache with Some c -> c | None -> Artifact_cache.create ());
+    engine;
     requests = 0;
     errors = 0;
     latency = Spt_obs.Metrics.Hist.create ();
@@ -46,10 +49,21 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let config_of req =
-  match str_member "config" req with
-  | None -> Config.best
-  | Some name -> Config.by_name name (* Invalid_argument -> error reply *)
+let config_of t req =
+  let c =
+    match str_member "config" req with
+    | None -> Config.best
+    | Some name -> Config.by_name name (* Invalid_argument -> error reply *)
+  in
+  match str_member "engine" req with
+  | Some s -> (
+    match Spt_exec.Engine.kind_of_string s with
+    | Ok k -> { c with Config.engine = k }
+    | Error msg -> invalid_arg msg (* -> error reply *))
+  | None -> (
+    match t.engine with
+    | Some k -> { c with Config.engine = k }
+    | None -> c)
 
 let observe t dt =
   Spt_obs.Metrics.Hist.observe t.latency dt;
@@ -101,7 +115,7 @@ let handle t req =
     in
     let reply =
       match
-        Cached.compile ~cache:t.cache ~config:(config_of req) ?profile ~name
+        Cached.compile ~cache:t.cache ~config:(config_of t req) ?profile ~name
           source
       with
       | o -> compile_reply ~op ~name o

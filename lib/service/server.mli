@@ -7,9 +7,10 @@
     echoed into the reply for client-side correlation:
 
     - [{"op":"compile","source":SRC}] or [{"op":"compile","file":PATH}]
-      — optional ["config"] (default "best") and ["name"]; replies with
-      [cache_hit], the cache [key], [elapsed_s], the report text and
-      the full eval JSON.
+      — optional ["config"] (default "best"), ["engine"] ("tree" or
+      "bytecode", overriding the server default) and ["name"]; replies
+      with [cache_hit], the cache [key], [elapsed_s], the report text
+      and the full eval JSON.
     - [{"op":"workload","name":N}] — compile a built-in workload.
     - [{"op":"stats"}] — request/error counts, cache hit/miss/rate and
       the request-latency histogram.
@@ -21,7 +22,9 @@
 
 type t
 
-val create : ?cache:Artifact_cache.t -> unit -> t
+(** [engine] overrides the execution engine of every resolved
+    configuration (a request's own ["engine"] field wins over it). *)
+val create : ?cache:Artifact_cache.t -> ?engine:Spt_exec.Engine.kind -> unit -> t
 
 (** Handle one decoded request. *)
 val handle : t -> Spt_obs.Json.t -> [ `Reply of Spt_obs.Json.t | `Shutdown of Spt_obs.Json.t ]

@@ -1,0 +1,241 @@
+(** Bytecode engine parity tests: the flat-bytecode engine must agree
+    with the tree-walking interpreter observable-for-observable —
+    output, return value, dynamic instruction count, and the exact
+    error message on every runtime failure. *)
+
+open Spt_interp
+module Engine = Spt_exec.Engine
+module Pipeline = Spt_driver.Pipeline
+
+let both ?max_steps src =
+  let prog = Pipeline.front_end src in
+  (Interp.run ?max_steps prog, Engine.run ?max_steps prog)
+
+(* value options compare structurally: ints and floats are immediate *)
+let parity name ?max_steps src =
+  let tree, bc = both ?max_steps src in
+  Alcotest.(check string) (name ^ ": output") tree.Interp.output
+    bc.Interp.output;
+  Alcotest.(check bool)
+    (name ^ ": return value") true
+    (tree.Interp.return_value = bc.Interp.return_value);
+  Alcotest.(check int)
+    (name ^ ": dynamic instrs") tree.Interp.dynamic_instrs
+    bc.Interp.dynamic_instrs
+
+let error_of ?max_steps run prog =
+  match run ?max_steps prog with
+  | (_ : Interp.result) -> None
+  | exception Interp.Runtime_error m -> Some m
+
+let err_parity name ?max_steps src =
+  let prog = Pipeline.front_end src in
+  let te = error_of ?max_steps (fun ?max_steps p -> Interp.run ?max_steps p) prog in
+  let be = error_of ?max_steps Engine.run prog in
+  Alcotest.(check bool) (name ^ ": tree raises") true (te <> None);
+  Alcotest.(check (option string)) (name ^ ": same message") te be
+
+(* ------------------------------------------------------------------ *)
+
+let test_arith_and_bits () =
+  parity "arith"
+    {|
+void main() {
+  print_int(7 + 3 * 2);
+  print_int(-7 / 2);
+  print_int(-7 % 3);
+  print_int(1 << 12);
+  print_int(255 & 15);
+  print_int(5 ^ 3);
+  print_int(5 | 3);
+  print_int(~0);
+  print_int(100 > 99);
+  print_int(100 <= 99);
+}
+|}
+
+let test_floats_and_builtins () =
+  parity "floats"
+    {|
+void main() {
+  float x = 1.5;
+  float y = x * 4.0 - 2.0;
+  print_float(y);
+  print_float(sqrt(81.0));
+  print_float(fabs(0.0 - 3.25));
+  print_int(int_of_float(y));
+  print_float(float_of_int(41));
+}
+|}
+
+let test_phis () =
+  (* loop-carried values updated under branches: phi-heavy control *)
+  parity "phis"
+    {|
+void main() {
+  int i;
+  int even = 0;
+  int odd = 0;
+  int m = 1;
+  for (i = 0; i < 50; i = i + 1) {
+    if ((i & 1) == 0) { even = even + i; } else { odd = odd + i; m = m * 2; }
+    if (m > 1000) { m = m - 999; }
+  }
+  print_int(even);
+  print_int(odd);
+  print_int(m);
+}
+|}
+
+let test_arrays_nested_loops () =
+  parity "arrays"
+    {|
+int a[40];
+int b[40];
+void main() {
+  int i;
+  int j;
+  for (i = 0; i < 40; i = i + 1) { a[i] = i * i - 3 * i; }
+  for (i = 0; i < 40; i = i + 1) {
+    int s = 0;
+    for (j = 0; j <= i; j = j + 1) { s = s + a[j]; }
+    b[i] = s;
+  }
+  print_int(b[0] + b[17] + b[39]);
+}
+|}
+
+let test_calls_and_recursion () =
+  parity "calls"
+    {|
+int fib(int n) {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+int sum3(int x, int y, int z) { return x + y + z; }
+void main() {
+  print_int(fib(15));
+  print_int(sum3(fib(5), fib(6), fib(7)));
+}
+|}
+
+let test_array_args () =
+  parity "array args"
+    {|
+int buf[16];
+int fill(int v[], int n) {
+  int i;
+  for (i = 0; i < n; i = i + 1) { v[i] = 2 * i + 1; }
+  return v[n - 1];
+}
+void main() {
+  print_int(fill(buf, 16));
+  print_int(buf[3]);
+}
+|}
+
+let test_rand_determinism () =
+  (* the fixed-seed LCG must advance identically on both engines *)
+  parity "rand"
+    {|
+void main() {
+  int i;
+  int s = 0;
+  srand(42);
+  for (i = 0; i < 100; i = i + 1) { s = s + (rand() % 7); }
+  print_int(s);
+  srand(42);
+  print_int(rand());
+}
+|}
+
+let test_while_loops () =
+  parity "while"
+    {|
+void main() {
+  int n = 100000;
+  int steps = 0;
+  while (n != 1) {
+    if ((n & 1) == 0) { n = n / 2; } else { n = 3 * n + 1; }
+    steps = steps + 1;
+  }
+  print_int(steps);
+}
+|}
+
+(* ------------------------------------------------------------------ *)
+(* Error-message parity *)
+
+let test_err_out_of_bounds () =
+  err_parity "oob store"
+    {|
+int a[3];
+void main() {
+  int i;
+  for (i = 0; i < 10; i = i + 1) { a[i] = i; }
+}
+|};
+  err_parity "oob load"
+    {|
+int a[3];
+void main() { print_int(a[7]); }
+|}
+
+let test_err_division_by_zero () =
+  err_parity "div by zero"
+    {|
+void main() {
+  int z = 0;
+  print_int(10 / z);
+}
+|};
+  err_parity "mod by zero"
+    {|
+void main() {
+  int z = 0;
+  print_int(10 % z);
+}
+|}
+
+let test_err_step_limit () =
+  err_parity "step limit" ~max_steps:500
+    {|
+void main() {
+  int i;
+  int s = 0;
+  for (i = 0; i < 100000; i = i + 1) { s = s + i; }
+  print_int(s);
+}
+|}
+
+let test_compile_code_size () =
+  let prog =
+    Pipeline.front_end
+      {|
+int f(int x) { return x * x; }
+void main() { print_int(f(9)); }
+|}
+  in
+  let layout = Layout.build prog.Spt_ir.Ir.globals in
+  let store = Interp.new_store layout prog in
+  let m = Interp.make ~memio:(Interp.store_memio store) prog in
+  let eng = Engine.compile m in
+  Alcotest.(check bool) "code compiled" true (Engine.code_size eng > 0)
+
+let suite =
+  [
+    Alcotest.test_case "arith + bit ops" `Quick test_arith_and_bits;
+    Alcotest.test_case "floats + builtins" `Quick test_floats_and_builtins;
+    Alcotest.test_case "phi-heavy control" `Quick test_phis;
+    Alcotest.test_case "arrays + nested loops" `Quick
+      test_arrays_nested_loops;
+    Alcotest.test_case "calls + recursion" `Quick test_calls_and_recursion;
+    Alcotest.test_case "array arguments" `Quick test_array_args;
+    Alcotest.test_case "rand determinism" `Quick test_rand_determinism;
+    Alcotest.test_case "while loops" `Quick test_while_loops;
+    Alcotest.test_case "error: out of bounds" `Quick test_err_out_of_bounds;
+    Alcotest.test_case "error: division by zero" `Quick
+      test_err_division_by_zero;
+    Alcotest.test_case "error: step limit" `Quick test_err_step_limit;
+    Alcotest.test_case "compile + code size" `Quick test_compile_code_size;
+  ]

@@ -5,6 +5,7 @@ let () =
       ("obs", Test_obs.suite);
       ("frontend", Test_frontend.suite);
       ("interp", Test_interp.suite);
+      ("exec", Test_exec.suite);
       ("ir", Test_ir.suite);
       ("cost", Test_cost.suite);
       ("depgraph", Test_depgraph.suite);
