@@ -1,0 +1,60 @@
+#!/bin/sh
+# Smoke test for the service load generator: run `sptc loadtest` with a
+# handful of concurrent clients against a fresh cache and check that the
+# spt-loadtest-v1 report is well-formed, that no reply errored in either
+# phase, and that the concurrent phase beat the serial replay of the
+# same stream.  Finally render the report through `sptc top`.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build bin/sptc.exe"
+dune build bin/sptc.exe
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+cache="$tmpdir/cache"
+report="$tmpdir/loadtest.json"
+
+fail() {
+  echo "loadtest_smoke: FAIL: $1" >&2
+  exit 1
+}
+
+# pull a numeric field out of the report ("key": value); first match
+field() {
+  sed -n "s/^.*\"$2\": *\(-\{0,1\}[0-9.][0-9.e+-]*\).*$/\1/p" "$1" | head -n 1
+}
+
+echo "== sptc loadtest (6 clients, fresh --cache-dir)"
+# `sptc loadtest` itself exits non-zero on any errored reply
+dune exec bin/sptc.exe -- loadtest \
+  --clients 6 --requests 96 --seed 42 \
+  --cache-dir "$cache" --json "$report" --log-level warn
+
+[ -s "$report" ] || fail "report $report missing or empty"
+grep -q '"spt-loadtest-v1"' "$report" \
+  || fail "report lacks the spt-loadtest-v1 schema tag"
+
+errors=$(field "$report" errors)
+requests=$(field "$report" requests)
+throughput=$(field "$report" throughput_rps)
+speedup=$(field "$report" speedup_vs_serial)
+p99=$(sed -n 's/^.*"p99": *\([0-9.][0-9.e+-]*\).*$/\1/p' "$report" | head -n 1)
+
+[ "$errors" = 0 ] || fail "concurrent phase reported $errors errored replies"
+[ "$requests" = 96 ] || fail "expected 96 measured requests, got $requests"
+[ -n "$p99" ] || fail "latency p99 missing from the report"
+
+awk "BEGIN { exit !($throughput > 0) }" \
+  || fail "throughput not positive: $throughput req/s"
+
+awk "BEGIN { exit !($speedup > 1.0) }" \
+  || fail "concurrent phase not faster than serial: ${speedup}x"
+
+echo "== sptc top renders the report"
+top=$(dune exec bin/sptc.exe -- top "$report")
+echo "$top" | grep -q "speedup vs serial" \
+  || fail "sptc top did not render the loadtest report"
+
+echo "loadtest_smoke: OK (${throughput} req/s concurrent, speedup ${speedup}x, p99 ${p99}s)"

@@ -9,6 +9,7 @@
     - [batch FILES…]   compile many programs concurrently, cache-warm
     - [top FILE]       render a JSON report as aligned text tables
     - [serve]          line-delimited JSON compile service on stdin
+    - [loadtest]       drive the compile server with concurrent clients
     - [profile FILE]   persist edge/dep/value profiles to a store
     - [adapt FILE]     compile → run → re-partition until convergence
     - [fuzz]           differential fuzzing across all execution paths
@@ -127,9 +128,26 @@ let no_cache_arg =
     & info [ "no-cache" ]
         ~doc:"Disable the artifact cache (always recompile, never store)")
 
-let make_cache ~cache_dir ~no_cache =
+let cache_max_bytes_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "cache-max-bytes" ] ~docv:"BYTES"
+        ~doc:
+          "Bound the on-disk cache footprint; least-recently-used entries \
+           are evicted before a store that would exceed it")
+
+let cache_max_entries_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "cache-max-entries" ] ~docv:"N"
+        ~doc:"Bound the on-disk cache entry count (LRU eviction)")
+
+let make_cache ?max_bytes ?max_entries ~cache_dir ~no_cache () =
   if no_cache then Spt_service.Artifact_cache.no_cache ()
-  else Spt_service.Artifact_cache.create ?dir:cache_dir ()
+  else
+    Spt_service.Artifact_cache.create ?dir:cache_dir ?max_bytes ?max_entries ()
 
 (* ------------------------------------------------------------------ *)
 (* Persistent-profile flags: --profile-in (guided compiles) *)
@@ -427,7 +445,7 @@ let compile_cmd =
            would skip entirely — tracing always recompiles *)
         let cache =
           if trace <> None then Spt_service.Artifact_cache.no_cache ()
-          else make_cache ~cache_dir ~no_cache
+          else make_cache ~cache_dir ~no_cache ()
         in
         let o =
           Spt_service.Cached.compile ~cache ~config
@@ -461,7 +479,7 @@ let workload_cmd =
         let config = resolve_engine config engine in
         let cache =
           if trace <> None then Spt_service.Artifact_cache.no_cache ()
-          else make_cache ~cache_dir ~no_cache
+          else make_cache ~cache_dir ~no_cache ()
         in
         let w = Spt_workloads.Suite.find name in
         let o =
@@ -510,6 +528,15 @@ let batch_cmd =
             "Write a machine-readable batch summary (schema \
              $(b,spt-batch-v1)) to $(docv)")
   in
+  let cluster_arg =
+    Arg.(
+      value & flag
+      & info [ "cluster" ]
+          ~doc:
+            "Cluster files whose canonical fingerprints share per-function \
+             digests and schedule each cluster as one job, so \
+             near-duplicates compile back to back against a warm cache")
+  in
   let result_json (file, outcome) =
     match outcome with
     | Spt_service.Batch.Done ((o : Spt_service.Cached.outcome), counters) ->
@@ -536,11 +563,11 @@ let batch_cmd =
       Json.Obj [ ("file", Json.Str file); ("status", Json.Str "timed_out") ]
   in
   let run files config engine profile_in cache_dir no_cache jobs timeout_s
-      summary trace metrics log_level =
+      summary cluster trace metrics log_level =
     handle_errors (fun () ->
         let finish = setup_obs trace metrics log_level in
         let config = resolve_engine config engine in
-        let cache = make_cache ~cache_dir ~no_cache in
+        let cache = make_cache ~cache_dir ~no_cache () in
         (* one shared load: seeding only reads the store's tables, so
            concurrent compiles are safe *)
         let profile = load_profile profile_in in
@@ -563,7 +590,28 @@ let batch_cmd =
               (o, Option.map Spt_obs.Metrics.delta_json base))
             files
         in
-        let outcomes, bs = Spt_service.Batch.run ?jobs ~timeout_s thunks in
+        (* with --cluster, tag each file with its canonical sub-structure
+           digests (whole program + one per function); files sharing a
+           digest schedule as one unit.  Unreadable or unparsable files
+           get no digests — a singleton cluster whose job reports the
+           real error *)
+        let digests file =
+          if not cluster then []
+          else
+            try
+              let prog = Spt_driver.Pipeline.front_end (read_file file) in
+              Spt_service.Fingerprint.program prog
+              :: List.map
+                   (fun (_, f) -> Spt_service.Fingerprint.func f)
+                   prog.Spt_ir.Ir.funcs
+            with _ -> []
+        in
+        let items =
+          List.map2 (fun file thunk -> (thunk, digests file)) files thunks
+        in
+        let outcomes, bs =
+          Spt_service.Batch.run_clustered ?jobs ~timeout_s items
+        in
         let results = List.mapi (fun i file -> (file, outcomes.(i))) files in
         let evals =
           List.filter_map
@@ -599,11 +647,11 @@ let batch_cmd =
             /. float_of_int lookups
         in
         Format.printf
-          "batch: %d file(s), %d ok, %d failed, %d timed out; %d hit(s) / %d \
-           miss(es); %d job(s)%s, %.3fs@."
-          bs.Spt_service.Batch.submitted bs.Spt_service.Batch.completed
-          bs.Spt_service.Batch.failed bs.Spt_service.Batch.timed_out
-          cs.Spt_service.Artifact_cache.hits
+          "batch: %d file(s) in %d cluster(s), %d ok, %d failed, %d timed \
+           out; %d hit(s) / %d miss(es); %d job(s)%s, %.3fs@."
+          bs.Spt_service.Batch.submitted bs.Spt_service.Batch.clusters
+          bs.Spt_service.Batch.completed bs.Spt_service.Batch.failed
+          bs.Spt_service.Batch.timed_out cs.Spt_service.Artifact_cache.hits
           cs.Spt_service.Artifact_cache.misses bs.Spt_service.Batch.jobs
           (if bs.Spt_service.Batch.degraded then " (degraded to sequential)"
            else "")
@@ -632,6 +680,7 @@ let batch_cmd =
                      Json.Int cs.Spt_service.Artifact_cache.misses );
                    ("hit_rate", Json.Float hit_rate);
                    ("jobs", Json.Int bs.Spt_service.Batch.jobs);
+                   ("clusters", Json.Int bs.Spt_service.Batch.clusters);
                    ("degraded", Json.Bool bs.Spt_service.Batch.degraded);
                    ( "max_queue_depth",
                      Json.Int bs.Spt_service.Batch.max_queue_depth );
@@ -658,7 +707,7 @@ let batch_cmd =
     Term.(
       const run $ files_arg $ config_arg $ engine_arg $ profile_in_arg
       $ cache_dir_arg $ no_cache_arg $ jobs_arg $ timeout_arg $ summary_arg
-      $ trace_arg $ metrics_arg $ log_level_arg)
+      $ cluster_arg $ trace_arg $ metrics_arg $ log_level_arg)
 
 let top_cmd =
   let report_arg =
@@ -693,7 +742,33 @@ let top_cmd =
     Term.(const run $ report_arg)
 
 let serve_cmd =
-  let run engine cache_dir no_cache log_level =
+  let jobs_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains handling compile requests concurrently (1 = \
+             sequential)")
+  in
+  let queue_max_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-max" ] ~docv:"N"
+          ~doc:
+            "In-flight high-water mark: past $(docv) pending requests, new \
+             work is refused with an $(b,overloaded) error reply")
+  in
+  let timeout_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-request budget; an overdue request gets a $(b,timeout) \
+             error reply (default: no timeout)")
+  in
+  let run engine cache_dir no_cache max_bytes max_entries jobs queue_max
+      timeout_s log_level =
     handle_errors (fun () ->
         Option.iter Spt_obs.Log.set_level log_level;
         let engine =
@@ -706,16 +781,208 @@ let serve_cmd =
                 exit 2)
             engine
         in
-        let cache = make_cache ~cache_dir ~no_cache in
-        let t = Spt_service.Server.create ~cache ?engine () in
+        let cache = make_cache ?max_bytes ?max_entries ~cache_dir ~no_cache () in
+        let t =
+          Spt_service.Server.create ~cache ?engine ~jobs ~queue_max ?timeout_s
+            ()
+        in
         Spt_service.Server.serve t stdin stdout)
   in
   Cmd.v
     (Cmd.info "serve" ~version
        ~doc:
          "Serve compile requests as line-delimited JSON on stdin/stdout \
-          until a shutdown request or end of input")
-    Term.(const run $ engine_arg $ cache_dir_arg $ no_cache_arg $ log_level_arg)
+          until a shutdown request or end of input; requests are handled \
+          concurrently on a domain pool with backpressure, per-request \
+          timeouts and single-flight coalescing")
+    Term.(
+      const run $ engine_arg $ cache_dir_arg $ no_cache_arg
+      $ cache_max_bytes_arg $ cache_max_entries_arg $ jobs_arg $ queue_max_arg
+      $ timeout_arg $ log_level_arg)
+
+let loadtest_cmd =
+  let clients_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "clients" ] ~docv:"N" ~doc:"Concurrent simulated clients")
+  in
+  let requests_arg =
+    Arg.(
+      value & opt int 128
+      & info [ "requests" ] ~docv:"N"
+          ~doc:"Requests per measured phase (serial and concurrent)")
+  in
+  let blend_arg =
+    let blend_conv =
+      Arg.conv
+        ( (fun s ->
+            match Spt_loadgen.Loadgen.Blend.of_string s with
+            | Ok b -> Ok b
+            | Error msg -> Error (`Msg msg)),
+          fun ppf b ->
+            Format.pp_print_string ppf
+              (Spt_loadgen.Loadgen.Blend.to_string b) )
+    in
+    Arg.(
+      value
+      & opt blend_conv Spt_loadgen.Loadgen.Blend.default
+      & info [ "blend" ] ~docv:"SPEC"
+          ~doc:
+            "Request mix as KIND=WEIGHT pairs, e.g. \
+             $(b,warm=7,cold=1,guided=1,engine=1); kinds are cold (unique \
+             source, cache miss), warm (fixed family, cache hit), guided \
+             (profile-directed) and engine (tree-walking engine)")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N" ~doc:"Request-stream RNG seed")
+  in
+  let server_jobs_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "server-jobs" ] ~docv:"N" ~doc:"Server worker domains")
+  in
+  let mode_arg =
+    Arg.(
+      value
+      & opt (enum [ ("serve", `Serve); ("inproc", `Inproc) ]) `Serve
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:
+            "$(b,serve) drives the real serve loop over pipes; $(b,inproc) \
+             calls the request handler directly from client domains")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the $(b,spt-loadtest-v1) report to $(docv)")
+  in
+  let bench_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bench-out" ] ~docv:"FILE"
+          ~doc:
+            "Merge the report into $(docv) as its $(b,loadtest) section \
+             (made for BENCH_results.json)")
+  in
+  (* Compiles allocate hard, and every minor collection is a stop-the-
+     world rendezvous of all running domains; with several compile
+     workers per core the default 256k-word minor heap makes those
+     rendezvous the dominant cost and poisons the measurement.  OCaml
+     fixes each domain's minor-heap size at spawn from the startup
+     runtime parameters — [Gc.set] cannot grow it for domains spawned
+     later — so grow it the only way possible: re-exec ourselves once
+     with OCAMLRUNPARAM extended before measuring anything. *)
+  let maybe_reexec () =
+    if
+      (Gc.get ()).Gc.minor_heap_size < 8 * 1024 * 1024
+      && Sys.getenv_opt "SPT_LOADTEST_REEXECED" = None
+    then begin
+      let runparam =
+        match Sys.getenv_opt "OCAMLRUNPARAM" with
+        | Some p when String.trim p <> "" -> p ^ ",s=8M"
+        | _ -> "s=8M"
+      in
+      let keep kv =
+        not
+          (String.starts_with ~prefix:"OCAMLRUNPARAM=" kv
+          || String.starts_with ~prefix:"SPT_LOADTEST_REEXECED=" kv)
+      in
+      let env =
+        Array.append
+          (Array.of_list (List.filter keep (Array.to_list (Unix.environment ()))))
+          [| "OCAMLRUNPARAM=" ^ runparam; "SPT_LOADTEST_REEXECED=1" |]
+      in
+      (* if the exec fails we measure anyway, just on the small heap *)
+      try Unix.execve Sys.executable_name Sys.argv env with _ -> ()
+    end
+  in
+  let run clients requests blend seed server_jobs mode cache_dir json_out
+      bench_out log_level =
+    handle_errors (fun () ->
+        maybe_reexec ();
+        Option.iter Spt_obs.Log.set_level log_level;
+        if clients < 1 || requests < 1 then begin
+          Format.eprintf "error: --clients and --requests must be >= 1@.";
+          exit 2
+        end;
+        let cache =
+          Option.map
+            (fun dir -> Spt_service.Artifact_cache.create ~dir ())
+            cache_dir
+        in
+        let r =
+          Spt_loadgen.Loadgen.run ~mode ~clients ~requests ~blend ~seed
+            ~server_jobs ?cache ()
+        in
+        let lt = Spt_loadgen.Loadgen.to_json r in
+        Format.printf
+          "loadtest: %s mode, %d client(s), %d server job(s), %d+%d \
+           request(s), blend %s, seed %d@."
+          (match r.Spt_loadgen.Loadgen.mode with
+          | `Serve -> "serve"
+          | `Inproc -> "inproc")
+          r.Spt_loadgen.Loadgen.clients r.Spt_loadgen.Loadgen.server_jobs
+          r.Spt_loadgen.Loadgen.serial_requests r.Spt_loadgen.Loadgen.requests
+          (Spt_loadgen.Loadgen.Blend.to_string r.Spt_loadgen.Loadgen.blend)
+          r.Spt_loadgen.Loadgen.seed;
+        Format.printf
+          "loadtest: serial     %8.1f req/s  (%.3fs wall, %d error(s))@."
+          r.Spt_loadgen.Loadgen.serial_rps r.Spt_loadgen.Loadgen.serial_wall_s
+          r.Spt_loadgen.Loadgen.serial_errors;
+        Format.printf
+          "loadtest: concurrent %8.1f req/s  (%.3fs wall, %d error(s), %d \
+           coalesced)@."
+          r.Spt_loadgen.Loadgen.throughput_rps r.Spt_loadgen.Loadgen.wall_s
+          r.Spt_loadgen.Loadgen.errors r.Spt_loadgen.Loadgen.coalesced;
+        let lat = r.Spt_loadgen.Loadgen.latency in
+        Format.printf
+          "loadtest: latency p50 %.4fs, p95 %.4fs, p99 %.4fs; speedup vs \
+           serial %.2fx@."
+          (Spt_obs.Metrics.Hist.percentile lat 0.50)
+          (Spt_obs.Metrics.Hist.percentile lat 0.95)
+          (Spt_obs.Metrics.Hist.percentile lat 0.99)
+          r.Spt_loadgen.Loadgen.speedup_vs_serial;
+        Option.iter
+          (fun path ->
+            Json.to_file path lt;
+            Format.printf "loadtest: report written to %s@." path)
+          json_out;
+        Option.iter
+          (fun path ->
+            (* graft the report into an existing bench object (replacing
+               any previous loadtest section); a missing or unreadable
+               file gets a fresh object holding just this section *)
+            let base =
+              match Json.of_string (read_file path) with
+              | Ok (Json.Obj fields) ->
+                List.filter (fun (k, _) -> k <> "loadtest") fields
+              | Ok _ | Error _ | (exception Sys_error _) -> []
+            in
+            Json.to_file path (Json.Obj (base @ [ ("loadtest", lt) ]));
+            Format.printf "loadtest: merged into %s@." path)
+          bench_out;
+        if
+          r.Spt_loadgen.Loadgen.errors > 0
+          || r.Spt_loadgen.Loadgen.serial_errors > 0
+        then begin
+          Format.eprintf "error: load test saw errored replies@.";
+          exit 1
+        end)
+  in
+  Cmd.v
+    (Cmd.info "loadtest" ~version
+       ~doc:
+         "Load-test the compile server: replay a mixed request stream \
+          serially and with many concurrent clients, and report throughput, \
+          latency percentiles and the concurrent-vs-serial speedup")
+    Term.(
+      const run $ clients_arg $ requests_arg $ blend_arg $ seed_arg
+      $ server_jobs_arg $ mode_arg $ cache_dir_arg $ json_arg $ bench_out_arg
+      $ log_level_arg)
 
 let graph_cmd =
   let kind_arg =
@@ -981,7 +1248,8 @@ let () =
     Cmd.group info
       [
         run_cmd; dump_ir_cmd; loops_cmd; compile_cmd; workload_cmd; batch_cmd;
-        top_cmd; serve_cmd; graph_cmd; profile_cmd; adapt_cmd; fuzz_cmd;
+        top_cmd; serve_cmd; loadtest_cmd; graph_cmd; profile_cmd; adapt_cmd;
+        fuzz_cmd;
       ]
   in
   (* distinct exit codes: 0 = success, 2 = usage error, 1 = compile/run

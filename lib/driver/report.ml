@@ -879,6 +879,58 @@ let top_batch j =
   | _ -> ());
   Buffer.contents buf
 
+let top_loadtest j =
+  let buf = Buffer.create 512 in
+  let inti k = int_of_float (num0 (Json.member k j)) in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "loadtest (%s): %d client(s), %d server job(s), blend %s, seed %d\n"
+       (str_of (Json.member "mode" j))
+       (inti "clients") (inti "server_jobs")
+       (match Json.member "blend" j with
+       | Some b ->
+         Printf.sprintf "cold=%d,warm=%d,guided=%d,engine=%d"
+           (int_of_float (num0 (Json.member "cold" b)))
+           (int_of_float (num0 (Json.member "warm" b)))
+           (int_of_float (num0 (Json.member "guided" b)))
+           (int_of_float (num0 (Json.member "engine" b)))
+       | None -> "-")
+       (inti "seed"));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "concurrent: %d request(s), %d error(s), %d coalesced; wall %s; %.1f \
+        req/s\n"
+       (inti "requests") (inti "errors") (inti "coalesced")
+       (fmt_s (num0 (Json.member "wall_s" j)))
+       (num0 (Json.member "throughput_rps" j)));
+  (match Json.member "latency_s" j with
+  | Some h -> Buffer.add_string buf ("latency: " ^ latency_line h ^ "\n")
+  | None -> ());
+  (match Json.member "serial" j with
+  | Some s ->
+    Buffer.add_string buf
+      (Printf.sprintf
+         "serial:     %d request(s), %d error(s); wall %s; %.1f req/s\n"
+         (int_of_float (num0 (Json.member "requests" s)))
+         (int_of_float (num0 (Json.member "errors" s)))
+         (fmt_s (num0 (Json.member "wall_s" s)))
+         (num0 (Json.member "throughput_rps" s)))
+  | None -> ());
+  Buffer.add_string buf
+    (Printf.sprintf "speedup vs serial: %.2fx\n"
+       (num0 (Json.member "speedup_vs_serial" j)));
+  (match Json.member "cache" j with
+  | Some c ->
+    Buffer.add_string buf
+      (Printf.sprintf
+         "cache: %d entr(ies), %d byte(s), %d eviction(s), hit rate %.0f%%\n"
+         (int_of_float (num0 (Json.member "entries" c)))
+         (int_of_float (num0 (Json.member "bytes" c)))
+         (int_of_float (num0 (Json.member "evictions" c)))
+         (100.0 *. num0 (Json.member "hit_rate" c)))
+  | None -> ());
+  Buffer.contents buf
+
 let top_bench j =
   let buf = Buffer.create 512 in
   (match Json.member "gap" j with
@@ -925,6 +977,11 @@ let top_bench j =
     Buffer.add_string buf "sequential engines (tree vs bytecode)\n";
     Buffer.add_string buf (Table.render t)
   | _ -> ());
+  (match Json.member "loadtest" j with
+  | Some lt ->
+    Buffer.add_string buf "service load test\n";
+    Buffer.add_string buf (top_loadtest lt)
+  | None -> ());
   Buffer.contents buf
 
 let top_text j =
@@ -932,6 +989,7 @@ let top_text j =
   | Some (Json.Str "spt-attrib-v1") -> Ok (top_attrib j)
   | Some (Json.Str "spt-metrics-v1") -> Ok (top_metrics j)
   | Some (Json.Str "spt-batch-v1") -> Ok (top_batch j)
+  | Some (Json.Str "spt-loadtest-v1") -> Ok (top_loadtest j)
   | Some (Json.Str "spt-bench-v2") -> Ok (top_bench j)
   | Some (Json.Str s) -> Error (Printf.sprintf "unsupported schema %S" s)
   | _ -> Error "not an spt report (no \"schema\" field)"

@@ -4,6 +4,7 @@ type t = {
   mu : Mutex.t;
   cond : Condition.t;
   mutable stopping : bool;
+  running : int Atomic.t;
 }
 
 let rec worker t () =
@@ -16,7 +17,9 @@ let rec worker t () =
   else begin
     let job = Queue.pop t.q in
     Mutex.unlock t.mu;
+    Atomic.incr t.running;
     (try job () with _ -> ());
+    Atomic.decr t.running;
     worker t ()
   end
 
@@ -28,6 +31,7 @@ let create ?(on_start = fun () -> ()) ~jobs () =
       mu = Mutex.create ();
       cond = Condition.create ();
       stopping = false;
+      running = Atomic.make 0;
     }
   in
   t.domains <-
@@ -54,6 +58,8 @@ let queued t =
   let n = Queue.length t.q in
   Mutex.unlock t.mu;
   n
+
+let active t = Atomic.get t.running
 
 let shutdown t =
   Mutex.lock t.mu;

@@ -22,6 +22,11 @@ val submit : t -> (unit -> unit) -> unit
 (** Jobs submitted and not yet picked up by a worker. *)
 val queued : t -> int
 
+(** Jobs currently executing on a worker domain — [queued t + active t]
+    is the pool's total in-flight load, what the compile server's
+    backpressure watches. *)
+val active : t -> int
+
 (** Drain the queue (remaining jobs still run), stop the workers and
     join their domains.  Idempotent. *)
 val shutdown : t -> unit

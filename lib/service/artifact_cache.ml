@@ -1,25 +1,47 @@
-(** Content-addressed artifact store — see artifact_cache.mli. *)
+(** Sharded, size-bounded content-addressed artifact store — see
+    artifact_cache.mli. *)
 
 module Json = Spt_obs.Json
 
-let schema = "spt-cache-v1"
+let schema = "spt-cache-v2"
+let index_schema = "spt-cache-index-v1"
 
 (* process-wide counters (no-ops unless metrics are enabled); per-cache
    counts live in [t] so hit rates survive a disabled registry *)
 let m_hits = Spt_obs.Metrics.counter "service.cache.hits"
 let m_misses = Spt_obs.Metrics.counter "service.cache.misses"
 let m_stores = Spt_obs.Metrics.counter "service.cache.stores"
+let m_evictions = Spt_obs.Metrics.counter "service.cache.evictions"
 let m_disk_errors = Spt_obs.Metrics.counter "service.cache.disk_errors"
 
-type stats = { hits : int; misses : int; stores : int }
+type stats = {
+  hits : int;
+  misses : int;
+  stores : int;
+  evictions : int;
+  entries : int;
+  bytes : int;
+}
+
+(* one on-disk entry as the index tracks it: its size and a logical
+   last-use tick (monotonic per cache instance) for LRU ordering *)
+type dentry = { mutable d_bytes : int; mutable d_used : int }
 
 type t = {
   cdir : string option;  (** [None] iff the cache is disabled *)
+  shards : int;
+  max_bytes : int option;
+  max_entries : int option;
   mem : (string, Json.t) Hashtbl.t;
+  disk : (string, dentry) Hashtbl.t;  (** the in-memory index image *)
+  mutable disk_loaded : bool;
+  mutable total_bytes : int;
+  mutable tick : int;
   mu : Mutex.t;
   mutable hits : int;
   mutable misses : int;
   mutable stores : int;
+  mutable evictions : int;
 }
 
 let default_dir () =
@@ -36,22 +58,34 @@ let default_dir () =
     in
     Filename.concat base "spt"
 
-let make cdir =
+let default_shards = 16
+
+let make ?(shards = default_shards) ?max_bytes ?max_entries cdir =
   {
     cdir;
+    shards = max 1 shards;
+    max_bytes;
+    max_entries;
     mem = Hashtbl.create 64;
+    disk = Hashtbl.create 64;
+    disk_loaded = false;
+    total_bytes = 0;
+    tick = 0;
     mu = Mutex.create ();
     hits = 0;
     misses = 0;
     stores = 0;
+    evictions = 0;
   }
 
-let create ?dir () =
-  make (Some (match dir with Some d -> d | None -> default_dir ()))
+let create ?dir ?shards ?max_bytes ?max_entries () =
+  make ?shards ?max_bytes ?max_entries
+    (Some (match dir with Some d -> d | None -> default_dir ()))
 
 let no_cache () = make None
 let enabled t = t.cdir <> None
 let dir t = t.cdir
+let shards t = t.shards
 
 let locked t f =
   Mutex.lock t.mu;
@@ -75,16 +109,64 @@ let safe_key key =
       match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> c | _ -> '_')
     key
 
+(* shard fan-out: the key's leading hex byte modulo the shard count, so
+   a given key lands in the same shard directory in every process *)
+let shard_of t key =
+  let k = safe_key key in
+  let hex c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | c -> Char.code c land 0xf
+  in
+  let b =
+    match String.length k with
+    | 0 -> 0
+    | 1 -> hex k.[0]
+    | _ -> (hex k.[0] * 16) + hex k.[1]
+  in
+  b mod t.shards
+
+let root t = Option.map (fun d -> Filename.concat d schema) t.cdir
+
 let file_of t key =
-  match t.cdir with
+  match root t with
   | None -> None
-  | Some d -> Some (Filename.concat (Filename.concat d schema) (safe_key key ^ ".json"))
+  | Some r ->
+    Some
+      (Filename.concat
+         (Filename.concat r (Printf.sprintf "%02x" (shard_of t key)))
+         (safe_key key ^ ".json"))
+
+let file_path = file_of
+let index_path t = Option.map (fun r -> Filename.concat r "index.json") t
 
 let read_file path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
+
+let tmp_seq = Atomic.make 0
+
+(* every on-disk write in this module is write-temp-then-rename, so a
+   reader never sees a half-written file *)
+let atomic_write path text =
+  mkdir_p (Filename.dirname path);
+  let tmp =
+    Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+      (Atomic.fetch_and_add tmp_seq 1)
+  in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc text;
+     output_char oc '\n';
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  Sys.rename tmp path
 
 (* content digest over the canonical minified payload rendering: stored
    next to the payload and recomputed on load, so silent corruption that
@@ -93,6 +175,16 @@ let read_file path =
    of replaying a wrong artifact *)
 let payload_digest payload =
   Digest.to_hex (Digest.string (Json.to_string ~minify:true payload))
+
+let render_entry key payload =
+  Json.to_string ~minify:true
+    (Json.Obj
+       [
+         ("schema", Json.Str schema);
+         ("key", Json.Str key);
+         ("digest", Json.Str (payload_digest payload));
+         ("payload", payload);
+       ])
 
 (* a miss on *any* malfunction: absent, unreadable, unparsable, wrong
    schema, wrong key (hash collision or tampering), or a payload whose
@@ -113,36 +205,189 @@ let disk_find t key =
     | Ok _ | Error _ -> None
     | exception _ -> None)
 
-let tmp_seq = Atomic.make 0
+(* ------------------------------------------------------------------ *)
+(* Index: one JSON file per cache root recording every entry's size and
+   last-use tick.  The index is a *performance* structure, never a
+   source of truth — entries it lists are still verified on read, and a
+   corrupt or missing index is rebuilt by scanning the shard
+   directories (sizes from [stat], recency from mtime order). *)
+
+let index_json t =
+  let entries =
+    Hashtbl.fold
+      (fun key e acc ->
+        Json.Obj
+          [
+            ("key", Json.Str key);
+            ("bytes", Json.Int e.d_bytes);
+            ("used", Json.Int e.d_used);
+          ]
+        :: acc)
+      t.disk []
+  in
+  Json.Obj
+    [ ("schema", Json.Str index_schema); ("entries", Json.List entries) ]
+
+(* persisted on store and evict (not on every find: recency bumps are
+   flushed with the next write).  Best-effort: a failed write leaves
+   the previous index, which rebuild-on-mismatch tolerates. *)
+let persist_index t =
+  match index_path (root t) with
+  | None -> ()
+  | Some path -> (
+    try atomic_write path (Json.to_string ~minify:true (index_json t))
+    with _ -> Spt_obs.Metrics.inc m_disk_errors)
+
+let scan_rebuild t r =
+  Hashtbl.reset t.disk;
+  t.total_bytes <- 0;
+  let files = ref [] in
+  Array.iter
+    (fun shard ->
+      let sdir = Filename.concat r shard in
+      if Sys.file_exists sdir && Sys.is_directory sdir then
+        Array.iter
+          (fun f ->
+            if Filename.check_suffix f ".json" then begin
+              let path = Filename.concat sdir f in
+              match Unix.stat path with
+              | { Unix.st_kind = Unix.S_REG; st_size; st_mtime; _ } ->
+                files :=
+                  (st_mtime, Filename.chop_suffix f ".json", st_size) :: !files
+              | _ | (exception _) -> ()
+            end)
+          (try Sys.readdir sdir with _ -> [||]))
+    (try Sys.readdir r with _ -> [||]);
+  (* oldest first, so ticks reconstruct mtime order *)
+  List.iter
+    (fun (_, key, bytes) ->
+      t.tick <- t.tick + 1;
+      Hashtbl.replace t.disk key { d_bytes = bytes; d_used = t.tick };
+      t.total_bytes <- t.total_bytes + bytes)
+    (List.sort compare !files)
+
+let load_index t r =
+  let from_file () =
+    match index_path (Some r) with
+    | None -> false
+    | Some path -> (
+      match Json.of_string (read_file path) with
+      | Ok j when Json.member "schema" j = Some (Json.Str index_schema) -> (
+        match Json.member "entries" j with
+        | Some (Json.List es) ->
+          List.iter
+            (fun e ->
+              match
+                ( Json.member "key" e,
+                  Json.member "bytes" e,
+                  Json.member "used" e )
+              with
+              | Some (Json.Str key), Some (Json.Int bytes), Some (Json.Int used)
+                ->
+                Hashtbl.replace t.disk key { d_bytes = bytes; d_used = used };
+                t.total_bytes <- t.total_bytes + bytes;
+                if used > t.tick then t.tick <- used
+              | _ -> ())
+            es;
+          true
+        | _ -> false)
+      | Ok _ | Error _ -> false
+      | exception _ -> false)
+  in
+  if not (from_file ()) then scan_rebuild t r
+
+(* called with [t.mu] held before any disk bookkeeping *)
+let ensure_loaded t =
+  if (not t.disk_loaded) && enabled t then begin
+    t.disk_loaded <- true;
+    match root t with None -> () | Some r -> (try load_index t r with _ -> ())
+  end
+
+let touch t key =
+  match Hashtbl.find_opt t.disk key with
+  | Some e ->
+    t.tick <- t.tick + 1;
+    e.d_used <- t.tick
+  | None -> ()
+
+let drop_entry t key =
+  (match Hashtbl.find_opt t.disk key with
+  | Some e ->
+    t.total_bytes <- t.total_bytes - e.d_bytes;
+    Hashtbl.remove t.disk key
+  | None -> ());
+  Hashtbl.remove t.mem key;
+  match file_of t key with
+  | None -> ()
+  | Some path -> ( try Sys.remove path with _ -> ())
+
+let lru_key t =
+  Hashtbl.fold
+    (fun key e acc ->
+      match acc with
+      | Some (_, used) when used <= e.d_used -> acc
+      | _ -> Some (key, e.d_used))
+    t.disk None
+
+(* evict least-recently-used entries until [incoming] more bytes and
+   one more entry fit under the configured bounds.  Eviction happens
+   *before* the new entry is written, so the on-disk total never
+   exceeds the bound, even transiently. *)
+let evict_for t ~incoming ~fresh_key =
+  let over () =
+    let need_entry = if Hashtbl.mem t.disk fresh_key then 0 else 1 in
+    let over_bytes =
+      match t.max_bytes with
+      | Some b -> t.total_bytes + incoming > b
+      | None -> false
+    in
+    let over_entries =
+      match t.max_entries with
+      | Some n -> Hashtbl.length t.disk + need_entry > n
+      | None -> false
+    in
+    over_bytes || over_entries
+  in
+  let rec loop () =
+    if over () then
+      match lru_key t with
+      | Some (key, _) ->
+        drop_entry t key;
+        t.evictions <- t.evictions + 1;
+        Spt_obs.Metrics.inc m_evictions;
+        loop ()
+      | None -> ()
+  in
+  loop ()
 
 let disk_store t key payload =
   match file_of t key with
   | None -> ()
   | Some path -> (
     try
-      mkdir_p (Filename.dirname path);
-      let tmp =
-        Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
-          (Atomic.fetch_and_add tmp_seq 1)
+      let text = render_entry key payload in
+      (* +1 for the trailing newline [atomic_write] appends *)
+      let incoming = String.length text + 1 in
+      (* an entry that alone exceeds the byte bound is not written at
+         all (it would evict everything and still break the bound);
+         the artifact stays served from memory for this process *)
+      let fits =
+        match t.max_bytes with Some b -> incoming <= b | None -> true
       in
-      let entry =
-        Json.Obj
-          [
-            ("schema", Json.Str schema);
-            ("key", Json.Str key);
-            ("digest", Json.Str (payload_digest payload));
-            ("payload", payload);
-          ]
-      in
-      let oc = open_out_bin tmp in
-      (try
-         output_string oc (Json.to_string ~minify:true entry);
-         output_char oc '\n';
-         close_out oc
-       with e ->
-         close_out_noerr oc;
-         raise e);
-      Sys.rename tmp path
+      if fits then begin
+        (* replacing an entry: its old bytes leave the total first *)
+        (match Hashtbl.find_opt t.disk key with
+        | Some e ->
+          t.total_bytes <- t.total_bytes - e.d_bytes;
+          Hashtbl.remove t.disk key
+        | None -> ());
+        evict_for t ~incoming ~fresh_key:key;
+        atomic_write path text;
+        t.tick <- t.tick + 1;
+        Hashtbl.replace t.disk key { d_bytes = incoming; d_used = t.tick };
+        t.total_bytes <- t.total_bytes + incoming;
+        persist_index t
+      end
     with _ -> Spt_obs.Metrics.inc m_disk_errors)
 
 (* ------------------------------------------------------------------ *)
@@ -151,15 +396,35 @@ let find t key =
   if not (enabled t) then None
   else
     locked t (fun () ->
+        ensure_loaded t;
         let found =
           match Hashtbl.find_opt t.mem key with
-          | Some payload -> Some payload
+          | Some payload ->
+            touch t key;
+            Some payload
           | None -> (
             match disk_find t key with
             | Some payload ->
               Hashtbl.replace t.mem key payload;
+              (* a hit from disk the index never saw (another process
+                 wrote it) joins the index so eviction can see it *)
+              if not (Hashtbl.mem t.disk key) then begin
+                let bytes =
+                  match file_of t key with
+                  | Some p -> ( try (Unix.stat p).Unix.st_size with _ -> 0)
+                  | None -> 0
+                in
+                Hashtbl.replace t.disk key { d_bytes = bytes; d_used = 0 };
+                t.total_bytes <- t.total_bytes + bytes
+              end;
+              touch t key;
               Some payload
-            | None -> None)
+            | None ->
+              (* a listed entry that fails verification is dead weight:
+                 drop it from the index and the disk so its bytes stop
+                 counting against the bound *)
+              if Hashtbl.mem t.disk key then drop_entry t key;
+              None)
         in
         (match found with
         | Some _ ->
@@ -173,13 +438,23 @@ let find t key =
 let store t key payload =
   if enabled t then
     locked t (fun () ->
+        ensure_loaded t;
         Hashtbl.replace t.mem key payload;
         t.stores <- t.stores + 1;
         Spt_obs.Metrics.inc m_stores;
         disk_store t key payload)
 
 let stats t =
-  locked t (fun () -> { hits = t.hits; misses = t.misses; stores = t.stores })
+  locked t (fun () ->
+      ensure_loaded t;
+      {
+        hits = t.hits;
+        misses = t.misses;
+        stores = t.stores;
+        evictions = t.evictions;
+        entries = Hashtbl.length t.disk;
+        bytes = t.total_bytes;
+      })
 
 let stats_json t =
   let s = stats t in
@@ -188,9 +463,17 @@ let stats_json t =
     [
       ("enabled", Json.Bool (enabled t));
       ("dir", match t.cdir with Some d -> Json.Str d | None -> Json.Null);
+      ("shards", Json.Int t.shards);
       ("hits", Json.Int s.hits);
       ("misses", Json.Int s.misses);
       ("stores", Json.Int s.stores);
+      ("evictions", Json.Int s.evictions);
+      ("entries", Json.Int s.entries);
+      ("bytes", Json.Int s.bytes);
+      ( "max_bytes",
+        match t.max_bytes with Some b -> Json.Int b | None -> Json.Null );
+      ( "max_entries",
+        match t.max_entries with Some n -> Json.Int n | None -> Json.Null );
       ( "hit_rate",
         Json.Float
           (if looked_up = 0 then 0.0

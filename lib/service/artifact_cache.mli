@@ -6,6 +6,17 @@
     [$XDG_CACHE_HOME/spt], else [~/.cache/spt]; overridable per cache
     with [create ~dir]).
 
+    On disk, entries fan out over [shards] subdirectories keyed by the
+    leading byte of the fingerprint (uniform, since keys are content
+    hashes) so a hot cache never piles thousands of files into one
+    directory.  A cache may be bounded ([max_bytes] and/or
+    [max_entries]); when a store would exceed a bound the
+    least-recently-used entries are evicted {e first}, so the on-disk
+    total never exceeds the bound, even transiently.  Recency and sizes
+    are tracked in an atomically-written [index.json]; the index is
+    purely a performance structure — if it is corrupt or missing it is
+    rebuilt by scanning the shard directories.
+
     The store is *never* a source of failure: disk entries are written
     atomically (write-temp-then-rename), and a corrupt, truncated,
     unreadable or schema-mismatched entry simply reads as a miss.
@@ -14,11 +25,14 @@
     parses as JSON (a flipped byte inside a value, manual edits) is
     rejected the same way instead of replaying a wrong artifact.  All
     operations are safe to call concurrently from multiple domains
-    (the {!Batch} scheduler does). *)
+    (the {!Batch} scheduler and the concurrent {!Server} do). *)
 
 (** On-disk entry format version; entries written under a different
-    schema are misses.  Bump when the envelope changes. *)
+    schema are misses.  Bump when the envelope or layout changes. *)
 val schema : string
+
+(** Schema tag of [index.json]. *)
+val index_schema : string
 
 type t
 
@@ -26,8 +40,16 @@ type t
     [$XDG_CACHE_HOME/spt] > [~/.cache/spt]). *)
 val default_dir : unit -> string
 
-(** A live cache persisting under [dir] (default {!default_dir}). *)
-val create : ?dir:string -> unit -> t
+(** Default shard fan-out (16). *)
+val default_shards : int
+
+(** A live cache persisting under [dir] (default {!default_dir}).
+    [shards] (default {!default_shards}, clamped to ≥ 1) fixes the
+    directory fan-out — all processes sharing a directory must agree on
+    it.  [max_bytes]/[max_entries] bound the on-disk footprint; omitted
+    means unbounded. *)
+val create :
+  ?dir:string -> ?shards:int -> ?max_bytes:int -> ?max_entries:int -> unit -> t
 
 (** A disabled cache: [find] always misses without counting, [store]
     is a no-op — the [--no-cache] object. *)
@@ -38,17 +60,36 @@ val enabled : t -> bool
 (** The backing directory, when enabled. *)
 val dir : t -> string option
 
+val shards : t -> int
+
+(** Where [key]'s entry lives (or would live) on disk; [None] when the
+    cache is disabled.  Exposed so tests and tools can corrupt or
+    inspect specific entries without re-deriving the shard layout. *)
+val file_path : t -> string -> string option
+
 (** Look [key] up, memory first, then disk (a disk hit is promoted to
-    memory).  Counts a hit or a miss unless the cache is disabled. *)
+    memory and bumps the entry's recency).  Counts a hit or a miss
+    unless the cache is disabled. *)
 val find : t -> string -> Spt_obs.Json.t option
 
-(** Bind [key] to [payload] in memory and on disk.  Disk errors are
-    swallowed (counted on [service.cache.disk_errors]). *)
+(** Bind [key] to [payload] in memory and on disk, evicting LRU entries
+    first if a bound requires it.  A payload that alone exceeds
+    [max_bytes] is kept in memory only.  Disk errors are swallowed
+    (counted on [service.cache.disk_errors]). *)
 val store : t -> string -> Spt_obs.Json.t -> unit
 
-type stats = { hits : int; misses : int; stores : int }
+type stats = {
+  hits : int;
+  misses : int;
+  stores : int;
+  evictions : int;
+  entries : int;  (** live on-disk entries *)
+  bytes : int;  (** their total on-disk size *)
+}
 
 val stats : t -> stats
 
-(** [{"enabled":…,"dir":…,"hits":…,"misses":…,"stores":…,"hit_rate":…}] *)
+(** [{"enabled":…,"dir":…,"shards":…,"hits":…,"misses":…,"stores":…,
+    "evictions":…,"entries":…,"bytes":…,"max_bytes":…,"max_entries":…,
+    "hit_rate":…}] *)
 val stats_json : t -> Spt_obs.Json.t

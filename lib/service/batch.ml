@@ -6,6 +6,7 @@ let m_submitted = Spt_obs.Metrics.counter "service.batch.jobs_submitted"
 let m_failed = Spt_obs.Metrics.counter "service.batch.jobs_failed"
 let m_timed_out = Spt_obs.Metrics.counter "service.batch.jobs_timed_out"
 let m_degraded = Spt_obs.Metrics.counter "service.batch.degraded_runs"
+let m_clusters = Spt_obs.Metrics.counter "service.batch.clusters"
 let g_queue = Spt_obs.Metrics.gauge "service.batch.queue_depth"
 let h_latency = Spt_obs.Metrics.histogram "service.batch.job_latency_s"
 
@@ -17,6 +18,7 @@ type stats = {
   completed : int;
   failed : int;
   timed_out : int;
+  clusters : int;
   degraded : bool;
   max_queue_depth : int;
   wall_s : float;
@@ -28,6 +30,50 @@ let default_jobs () =
   | Some s -> ( match int_of_string_opt s with Some j when j > 0 -> j | _ -> 2)
   | None -> 2
 
+(* union-find over shared digests: two items whose digest lists
+   intersect land in the same cluster (transitively).  Union keeps the
+   smaller index as root, so a cluster's root is its earliest member —
+   clusters come out ordered by first appearance, members in
+   submission order. *)
+let cluster items =
+  let n = List.length items in
+  let parent = Array.init n Fun.id in
+  let rec find i =
+    if parent.(i) = i then i
+    else begin
+      let r = find parent.(i) in
+      parent.(i) <- r;
+      r
+    end
+  in
+  let union i j =
+    let ri = find i and rj = find j in
+    if ri <> rj then
+      if ri < rj then parent.(rj) <- ri else parent.(ri) <- rj
+  in
+  let by_digest = Hashtbl.create 16 in
+  List.iteri
+    (fun i (_, digests) ->
+      List.iter
+        (fun d ->
+          match Hashtbl.find_opt by_digest d with
+          | Some j -> union i j
+          | None -> Hashtbl.add by_digest d i)
+        digests)
+    items;
+  let arr = Array.of_list (List.map fst items) in
+  let members = Array.make (max n 1) [] in
+  for i = n - 1 downto 0 do
+    let r = find i in
+    members.(r) <- i :: members.(r)
+  done;
+  List.filter_map
+    (fun r ->
+      match members.(r) with
+      | [] -> None
+      | ms -> Some (List.map (fun i -> arr.(i)) ms))
+    (List.init n Fun.id)
+
 (* runs on a worker domain: measure only — the metrics registry and
    [Hist.t] are not thread-safe, so all observes happen in [finish] on
    the calling domain *)
@@ -36,7 +82,7 @@ let timed_run work =
   let r = try Done (work ()) with e -> Failed (Printexc.to_string e) in
   (r, Unix.gettimeofday () -. t0)
 
-let finish ~jobs ~degraded ~max_queue_depth ~t0
+let finish ~jobs ~clusters ~degraded ~max_queue_depth ~t0
     (timed : (_ outcome * float option) array) =
   let latency = Spt_obs.Metrics.Hist.create () in
   Array.iter
@@ -60,19 +106,24 @@ let finish ~jobs ~degraded ~max_queue_depth ~t0
       completed = count (function Done _ -> true | _ -> false);
       failed;
       timed_out;
+      clusters;
       degraded;
       max_queue_depth;
       wall_s = Unix.gettimeofday () -. t0;
       latency;
     } )
 
-let run ?jobs ?(timeout_s = 600.0) thunks =
+let run_clustered ?jobs ?(timeout_s = 600.0) items =
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
-  let n = List.length thunks in
+  let n = List.length items in
   let t0 = Unix.gettimeofday () in
   Spt_obs.Metrics.add m_submitted n;
+  let indexed = List.mapi (fun i (work, digests) -> ((i, work), digests)) items in
+  let groups = cluster indexed in
+  let n_clusters = List.length groups in
+  Spt_obs.Metrics.add m_clusters n_clusters;
   if n = 0 then
-    finish ~jobs ~degraded:false ~max_queue_depth:0 ~t0 [||]
+    finish ~jobs ~clusters:0 ~degraded:false ~max_queue_depth:0 ~t0 [||]
   else
     match Pool.create ~jobs () with
     | exception _ ->
@@ -81,30 +132,41 @@ let run ?jobs ?(timeout_s = 600.0) thunks =
       let timed =
         Array.of_list
           (List.map
-             (fun work ->
+             (fun (work, _) ->
                let r, dt = timed_run work in
                (r, Some dt))
-             thunks)
+             items)
       in
-      finish ~jobs:1 ~degraded:true ~max_queue_depth:0 ~t0 timed
+      finish ~jobs:1 ~clusters:n_clusters ~degraded:true ~max_queue_depth:0 ~t0
+        timed
     | pool ->
       let results = Array.make n None in
       let mu = Mutex.create () in
-      List.iteri
-        (fun i work ->
+      (* one pool job per cluster: members run back to back on the same
+         worker, so a member's artifact is already warm in the cache
+         when its near-duplicates compile right after it *)
+      List.iter
+        (fun members ->
           Pool.submit pool (fun () ->
-              let r = timed_run work in
-              Mutex.lock mu;
-              (* a late worker must not resurrect a job already
-                 declared timed out *)
-              (match results.(i) with None -> results.(i) <- Some r | Some _ -> ());
-              Mutex.unlock mu))
-        thunks;
+              List.iter
+                (fun (i, work) ->
+                  let r = timed_run work in
+                  Mutex.lock mu;
+                  (* a late worker must not resurrect a job already
+                     declared timed out *)
+                  (match results.(i) with
+                  | None -> results.(i) <- Some r
+                  | Some _ -> ());
+                  Mutex.unlock mu)
+                members))
+        groups;
       let deadline = t0 +. timeout_s in
       let max_depth = ref (Pool.queued pool) in
       let incomplete () =
         Mutex.lock mu;
-        let k = Array.fold_left (fun k r -> if r = None then k + 1 else k) 0 results in
+        let k =
+          Array.fold_left (fun k r -> if r = None then k + 1 else k) 0 results
+        in
         Mutex.unlock mu;
         k
       in
@@ -129,9 +191,13 @@ let run ?jobs ?(timeout_s = 600.0) thunks =
          queue and waits for running jobs, which would nullify the
          timeout.  An abandoned pool's domains die with the process. *)
       if not !any_timeout then Pool.shutdown pool;
-      finish ~jobs ~degraded:false ~max_queue_depth:!max_depth ~t0
+      finish ~jobs ~clusters:n_clusters ~degraded:false
+        ~max_queue_depth:!max_depth ~t0
         (Array.map
            (function
              | Some (Timed_out, _) | None -> (Timed_out, None)
              | Some (r, dt) -> (r, Some dt))
            results)
+
+let run ?jobs ?timeout_s thunks =
+  run_clustered ?jobs ?timeout_s (List.map (fun w -> (w, [])) thunks)

@@ -1,31 +1,74 @@
 (** Line-delimited JSON compile server — see server.mli. *)
 
 module Json = Spt_obs.Json
+module Pool = Spt_runtime.Pool
 open Spt_driver
 
 let m_requests = Spt_obs.Metrics.counter "service.server.requests"
 let m_errors = Spt_obs.Metrics.counter "service.server.errors"
+let m_timeouts = Spt_obs.Metrics.counter "service.server.timeouts"
+let m_overloaded = Spt_obs.Metrics.counter "service.server.overloaded"
+let m_coalesced = Spt_obs.Metrics.counter "service.server.coalesced"
 let h_latency = Spt_obs.Metrics.histogram "service.server.request_latency_s"
+
+let protocol_version = 2
+
+(* one dispatched compile: the leader request plus every identical
+   request that arrived while it was in flight (single-flight
+   coalescing — followers reuse the leader's reply body) *)
+type pending = {
+  p_leader : Json.t option;  (** leader's ["id"], echoed back *)
+  mutable p_followers : Json.t option list;  (** reverse attach order *)
+  p_deadline : float option;
+  mutable p_done : bool;  (** a reply for this work has been emitted *)
+}
 
 type t = {
   cache : Artifact_cache.t;
   engine : Spt_exec.Engine.kind option;
       (* server-wide default engine; a request's own "engine" field wins *)
+  jobs : int;
+  queue_max : int;
+  timeout_s : float option;
+  (* [mu] guards the stats: counters and the latency histogram (kept
+     locally so [stats] works even with the global registry disabled) *)
+  mu : Mutex.t;
   mutable requests : int;
   mutable errors : int;
-  (* request-latency histogram, kept locally so [stats] works even with
-     the global metrics registry disabled *)
+  mutable timeouts : int;
+  mutable overloaded : int;
+  mutable coalesced : int;
   latency : Spt_obs.Metrics.Hist.t;
+  (* [smu] guards the dispatch state of the concurrent serve loop:
+     the single-flight table and the in-flight count.  Never held
+     while [mu] is — both are leaves *)
+  smu : Mutex.t;
+  scond : Condition.t;
+  pending : (string, pending) Hashtbl.t;
+  mutable inflight : int;
 }
 
-let create ?cache ?engine () =
+let create ?cache ?engine ?(jobs = 1) ?(queue_max = 64) ?timeout_s () =
   {
     cache = (match cache with Some c -> c | None -> Artifact_cache.create ());
     engine;
+    jobs = max 1 jobs;
+    queue_max = max 1 queue_max;
+    timeout_s;
+    mu = Mutex.create ();
     requests = 0;
     errors = 0;
+    timeouts = 0;
+    overloaded = 0;
+    coalesced = 0;
     latency = Spt_obs.Metrics.Hist.create ();
+    smu = Mutex.create ();
+    scond = Condition.create ();
+    pending = Hashtbl.create 16;
+    inflight = 0;
   }
+
+let jobs t = t.jobs
 
 let describe_error = function
   | Spt_srclang.Lexer.Lex_error (msg, loc) ->
@@ -65,9 +108,29 @@ let config_of t req =
     | Some k -> { c with Config.engine = k }
     | None -> c)
 
+(* ------------------------------------------------------------------ *)
+(* Thread-safe counting.  [handle] may run concurrently on pool worker
+   domains, so every [t] mutation goes through [t.mu]. *)
+
+let count_request t =
+  Mutex.lock t.mu;
+  t.requests <- t.requests + 1;
+  Mutex.unlock t.mu;
+  Spt_obs.Metrics.inc m_requests
+
+let count_error t =
+  Mutex.lock t.mu;
+  t.errors <- t.errors + 1;
+  Mutex.unlock t.mu;
+  Spt_obs.Metrics.inc m_errors
+
 let observe t dt =
+  Mutex.lock t.mu;
   Spt_obs.Metrics.Hist.observe t.latency dt;
-  Spt_obs.Metrics.observe h_latency dt
+  Spt_obs.Metrics.observe h_latency dt;
+  Mutex.unlock t.mu
+
+(* ------------------------------------------------------------------ *)
 
 let compile_reply ~op ~name (o : Cached.outcome) =
   Json.Obj
@@ -83,28 +146,39 @@ let compile_reply ~op ~name (o : Cached.outcome) =
     ]
 
 let stats_reply t =
-  Json.Obj
+  Mutex.lock t.mu;
+  let counts =
     [
-      ("ok", Json.Bool true);
-      ("op", Json.Str "stats");
       ("requests", Json.Int t.requests);
       ("errors", Json.Int t.errors);
-      ("cache", Artifact_cache.stats_json t.cache);
-      ("latency_s", Spt_obs.Metrics.Hist.to_json t.latency);
+      ("timeouts", Json.Int t.timeouts);
+      ("overloaded", Json.Int t.overloaded);
+      ("coalesced", Json.Int t.coalesced);
     ]
+  and latency = Spt_obs.Metrics.Hist.to_json t.latency in
+  Mutex.unlock t.mu;
+  Mutex.lock t.smu;
+  let inflight = t.inflight in
+  Mutex.unlock t.smu;
+  Json.Obj
+    (("ok", Json.Bool true) :: ("op", Json.Str "stats") :: counts
+    @ [
+        ("jobs", Json.Int t.jobs);
+        ("queue_max", Json.Int t.queue_max);
+        ("in_flight", Json.Int inflight);
+        ( "timeout_s",
+          match t.timeout_s with Some s -> Json.Float s | None -> Json.Null );
+        ("cache", Artifact_cache.stats_json t.cache);
+        ("latency_s", latency);
+      ])
 
-let handle t req =
-  t.requests <- t.requests + 1;
-  Spt_obs.Metrics.inc m_requests;
+(* compute the reply body for one decoded request — everything except
+   the "id" echo and the "proto" tag, which [finalize] adds.  Never
+   raises; never counts a request (callers do, at ingest). *)
+let reply_of t req =
   let err msg =
-    t.errors <- t.errors + 1;
-    Spt_obs.Metrics.inc m_errors;
+    count_error t;
     Json.Obj [ ("ok", Json.Bool false); ("error", Json.Str msg) ]
-  in
-  let with_id reply =
-    match Json.member "id" req with
-    | Some id -> Json.prepend ("id", id) reply
-    | None -> reply
   in
   let timed_compile ~op ~name ~source =
     let t0 = Unix.gettimeofday () in
@@ -124,63 +198,75 @@ let handle t req =
     observe t (Unix.gettimeofday () -. t0);
     reply
   in
-  let reply =
-    match str_member "op" req with
-    | Some "compile" -> (
-      match (str_member "source" req, str_member "file" req) with
-      | None, None -> err "compile: need a \"source\" or \"file\" field"
-      | Some _, Some _ -> err "compile: \"source\" and \"file\" are exclusive"
-      | Some source, None ->
-        let name = Option.value ~default:"<inline>" (str_member "name" req) in
-        timed_compile ~op:"compile" ~name ~source
-      | None, Some file -> (
-        let name =
-          Option.value ~default:(Filename.basename file)
-            (str_member "name" req)
-        in
-        match read_file file with
-        | source -> timed_compile ~op:"compile" ~name ~source
-        | exception Sys_error msg -> err msg))
-    | Some "workload" -> (
-      match str_member "name" req with
-      | None -> err "workload: need a \"name\" field"
-      | Some name -> (
-        match
-          List.find_opt
-            (fun w -> w.Spt_workloads.Suite.name = name)
-            Spt_workloads.Suite.all
-        with
-        | None -> err (Printf.sprintf "workload: unknown workload %S" name)
-        | Some w ->
-          timed_compile ~op:"workload" ~name
-            ~source:w.Spt_workloads.Suite.source))
-    | Some "stats" -> stats_reply t
-    | Some "shutdown" -> Json.Obj [ ("ok", Json.Bool true); ("op", Json.Str "shutdown") ]
-    | Some op -> err (Printf.sprintf "unknown op %S" op)
-    | None -> err "request must be an object with an \"op\" field"
-  in
   match str_member "op" req with
-  | Some "shutdown" -> `Shutdown (with_id reply)
-  | _ -> `Reply (with_id reply)
+  | Some "compile" -> (
+    match (str_member "source" req, str_member "file" req) with
+    | None, None -> err "compile: need a \"source\" or \"file\" field"
+    | Some _, Some _ -> err "compile: \"source\" and \"file\" are exclusive"
+    | Some source, None ->
+      let name = Option.value ~default:"<inline>" (str_member "name" req) in
+      timed_compile ~op:"compile" ~name ~source
+    | None, Some file -> (
+      let name =
+        Option.value ~default:(Filename.basename file) (str_member "name" req)
+      in
+      match read_file file with
+      | source -> timed_compile ~op:"compile" ~name ~source
+      | exception Sys_error msg -> err msg))
+  | Some "workload" -> (
+    match str_member "name" req with
+    | None -> err "workload: need a \"name\" field"
+    | Some name -> (
+      match
+        List.find_opt
+          (fun w -> w.Spt_workloads.Suite.name = name)
+          Spt_workloads.Suite.all
+      with
+      | None -> err (Printf.sprintf "workload: unknown workload %S" name)
+      | Some w ->
+        timed_compile ~op:"workload" ~name ~source:w.Spt_workloads.Suite.source
+      ))
+  | Some "stats" -> stats_reply t
+  | Some "shutdown" ->
+    Json.Obj [ ("ok", Json.Bool true); ("op", Json.Str "shutdown") ]
+  | Some op -> err (Printf.sprintf "unknown op %S" op)
+  | None -> err "request must be an object with an \"op\" field"
+
+let with_id_opt id reply =
+  match id with Some id -> Json.prepend ("id", id) reply | None -> reply
+
+let proto_tag reply = Json.prepend ("proto", Json.Int protocol_version) reply
+let finalize req reply = with_id_opt (Json.member "id" req) (proto_tag reply)
+
+let handle t req =
+  count_request t;
+  let reply = finalize req (reply_of t req) in
+  match str_member "op" req with
+  | Some "shutdown" -> `Shutdown reply
+  | _ -> `Reply reply
 
 let handle_line t line =
   let result =
     match Json.of_string line with
     | Ok req -> handle t req
     | Error msg ->
-      t.requests <- t.requests + 1;
-      t.errors <- t.errors + 1;
-      Spt_obs.Metrics.inc m_requests;
-      Spt_obs.Metrics.inc m_errors;
+      count_request t;
+      count_error t;
       `Reply
-        (Json.Obj
-           [ ("ok", Json.Bool false); ("error", Json.Str ("bad JSON: " ^ msg)) ])
+        (proto_tag
+           (Json.Obj
+              [
+                ("ok", Json.Bool false); ("error", Json.Str ("bad JSON: " ^ msg));
+              ]))
   in
   match result with
   | `Reply j -> `Reply (Json.to_string ~minify:true j)
   | `Shutdown j -> `Shutdown (Json.to_string ~minify:true j)
 
-let serve t ic oc =
+(* ------------------------------------------------------------------ *)
+(* Serve loops *)
+
+let serve_sequential t ic oc =
   let emit line =
     output_string oc line;
     output_char oc '\n';
@@ -197,8 +283,251 @@ let serve t ic oc =
         loop ()
       | `Shutdown out -> emit out)
   in
-  Spt_obs.Log.info "serve: listening on stdin (cache %s)"
+  loop ()
+
+(* single-flight key: the request minus its "id" — two requests that
+   differ only in correlation id are the same work *)
+let coalesce_key req =
+  Json.to_string ~minify:true
+    (match req with
+    | Json.Obj fields ->
+      Json.Obj (List.filter (fun (k, _) -> not (String.equal k "id")) fields)
+    | j -> j)
+
+let async_op req =
+  match str_member "op" req with
+  | Some ("compile" | "workload") -> true
+  | _ -> false
+
+let serve_concurrent t pool ic oc =
+  let wmu = Mutex.create () in
+  let emit j =
+    let line = Json.to_string ~minify:true j in
+    Mutex.lock wmu;
+    output_string oc line;
+    output_char oc '\n';
+    flush oc;
+    Mutex.unlock wmu
+  in
+  (* wait until every accepted request has had its reply emitted *)
+  let drain () =
+    Mutex.lock t.smu;
+    while t.inflight > 0 do
+      Condition.wait t.scond t.smu
+    done;
+    Mutex.unlock t.smu
+  in
+  (* watchdog domain: emits timeout error replies for overdue pending
+     records.  The timed-out pool job keeps running (domains cannot be
+     preempted) but finds [p_done] set and stays silent — exactly one
+     reply per request id either way. *)
+  let wd_stop = Atomic.make false in
+  let watchdog =
+    match t.timeout_s with
+    | None -> None
+    | Some timeout ->
+      Some
+        (Domain.spawn (fun () ->
+             while not (Atomic.get wd_stop) do
+               Unix.sleepf 0.005;
+               let now = Unix.gettimeofday () in
+               Mutex.lock t.smu;
+               let expired =
+                 Hashtbl.fold
+                   (fun key p acc ->
+                     match p.p_deadline with
+                     | Some d when now > d && not p.p_done -> (key, p) :: acc
+                     | _ -> acc)
+                   t.pending []
+               in
+               (* mark done under the lock so the racing worker stays
+                  silent, but only count the request as drained after
+                  its reply is on the wire — [drain] must not let the
+                  shutdown ack overtake a timeout reply *)
+               List.iter
+                 (fun (key, p) ->
+                   p.p_done <- true;
+                   Hashtbl.remove t.pending key)
+                 expired;
+               Mutex.unlock t.smu;
+               List.iter
+                 (fun (_, p) ->
+                   let ids = p.p_leader :: List.rev p.p_followers in
+                   let n = List.length ids in
+                   Mutex.lock t.mu;
+                   t.timeouts <- t.timeouts + n;
+                   t.errors <- t.errors + n;
+                   Mutex.unlock t.mu;
+                   Spt_obs.Metrics.add m_timeouts n;
+                   Spt_obs.Metrics.add m_errors n;
+                   let body =
+                     Json.Obj
+                       [
+                         ("ok", Json.Bool false);
+                         ( "error",
+                           Json.Str
+                             (Printf.sprintf "request timed out after %gs"
+                                timeout) );
+                         ("code", Json.Str "timeout");
+                       ]
+                   in
+                   List.iter
+                     (fun id -> emit (with_id_opt id (proto_tag body)))
+                     ids)
+                 expired;
+               if expired <> [] then begin
+                 Mutex.lock t.smu;
+                 t.inflight <- t.inflight - List.length expired;
+                 Condition.signal t.scond;
+                 Mutex.unlock t.smu
+               end
+             done))
+  in
+  let dispatch req =
+    count_request t;
+    let key = coalesce_key req in
+    let id = Json.member "id" req in
+    Mutex.lock t.smu;
+    let action =
+      match Hashtbl.find_opt t.pending key with
+      | Some p ->
+        (* identical work already in flight: attach, reuse its reply *)
+        p.p_followers <- id :: p.p_followers;
+        `Attached
+      | None ->
+        if t.inflight >= t.queue_max then `Overloaded
+        else begin
+          let p =
+            {
+              p_leader = id;
+              p_followers = [];
+              p_deadline =
+                Option.map (fun s -> Unix.gettimeofday () +. s) t.timeout_s;
+              p_done = false;
+            }
+          in
+          Hashtbl.replace t.pending key p;
+          t.inflight <- t.inflight + 1;
+          `Run p
+        end
+    in
+    Mutex.unlock t.smu;
+    match action with
+    | `Attached -> ()
+    | `Overloaded ->
+      Mutex.lock t.mu;
+      t.overloaded <- t.overloaded + 1;
+      t.errors <- t.errors + 1;
+      Mutex.unlock t.mu;
+      Spt_obs.Metrics.inc m_overloaded;
+      Spt_obs.Metrics.inc m_errors;
+      emit
+        (with_id_opt id
+           (proto_tag
+              (Json.Obj
+                 [
+                   ("ok", Json.Bool false);
+                   ( "error",
+                     Json.Str
+                       (Printf.sprintf
+                          "server overloaded: %d requests in flight" t.queue_max)
+                   );
+                   ("code", Json.Str "overloaded");
+                 ])))
+    | `Run p ->
+      Pool.submit pool (fun () ->
+          let body =
+            try reply_of t req
+            with e ->
+              count_error t;
+              Json.Obj
+                [ ("ok", Json.Bool false); ("error", Json.Str (describe_error e)) ]
+          in
+          Mutex.lock t.smu;
+          let finish =
+            if p.p_done then None
+            else begin
+              (* claim the reply under the lock; the in-flight count
+                 drops only once the replies are on the wire, so
+                 [drain] (and the shutdown ack behind it) cannot
+                 overtake them *)
+              p.p_done <- true;
+              Hashtbl.remove t.pending key;
+              Some (p.p_leader, List.rev p.p_followers)
+            end
+          in
+          Mutex.unlock t.smu;
+          match finish with
+          | None -> () (* timed out; the watchdog already replied *)
+          | Some (leader, followers) ->
+            emit (with_id_opt leader (proto_tag body));
+            List.iter
+              (fun fid ->
+                Mutex.lock t.mu;
+                t.coalesced <- t.coalesced + 1;
+                Mutex.unlock t.mu;
+                Spt_obs.Metrics.inc m_coalesced;
+                emit
+                  (with_id_opt fid
+                     (proto_tag (Json.prepend ("coalesced", Json.Bool true) body))))
+              followers;
+            Mutex.lock t.smu;
+            t.inflight <- t.inflight - 1;
+            Condition.signal t.scond;
+            Mutex.unlock t.smu)
+  in
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | line when String.trim line = "" -> loop ()
+    | line -> (
+      match Json.of_string line with
+      | Error msg ->
+        count_request t;
+        count_error t;
+        emit
+          (proto_tag
+             (Json.Obj
+                [
+                  ("ok", Json.Bool false);
+                  ("error", Json.Str ("bad JSON: " ^ msg));
+                ]));
+        loop ()
+      | Ok req ->
+        if async_op req then begin
+          dispatch req;
+          loop ()
+        end
+        else begin
+          match handle t req with
+          | `Reply j ->
+            emit j;
+            loop ()
+          | `Shutdown j ->
+            (* the ack is the last reply: everything accepted before
+               the shutdown drains first *)
+            drain ();
+            emit j
+        end)
+  in
+  loop ();
+  drain ();
+  Atomic.set wd_stop true;
+  Option.iter Domain.join watchdog;
+  Pool.shutdown pool
+
+let serve t ic oc =
+  Spt_obs.Log.info "serve: listening on stdin (cache %s, jobs %d)"
     (match Artifact_cache.dir t.cache with
     | Some d -> d
-    | None -> "disabled");
-  loop ()
+    | None -> "disabled")
+    t.jobs;
+  if t.jobs <= 1 then serve_sequential t ic oc
+  else
+    match Pool.create ~jobs:t.jobs () with
+    | pool -> serve_concurrent t pool ic oc
+    | exception _ ->
+      (* cannot spawn domains here: degrade to the sequential loop
+         rather than refuse service *)
+      Spt_obs.Log.warn "serve: domain pool unavailable, serving sequentially";
+      serve_sequential t ic oc

@@ -1,0 +1,79 @@
+(** Load-generator tests: blend parsing, deterministic request streams
+    and a small end-to-end run (in-process, so the 1-core CI box isn't
+    asked to produce a speedup — only correctness: every request
+    answered, none errored). *)
+
+module Json = Spt_obs.Json
+module Loadgen = Spt_loadgen.Loadgen
+module Blend = Loadgen.Blend
+module Hist = Spt_obs.Metrics.Hist
+
+let test_blend_parse () =
+  (match Blend.of_string "warm=3,cold=1" with
+  | Ok b ->
+    Alcotest.(check int) "warm" 3 b.Blend.warm;
+    Alcotest.(check int) "cold" 1 b.Blend.cold;
+    Alcotest.(check int) "unlisted kinds weigh zero" 0 b.Blend.guided
+  | Error e -> Alcotest.fail e);
+  (match Blend.of_string (Blend.to_string Blend.default) with
+  | Ok b ->
+    Alcotest.(check string) "round-trips" (Blend.to_string Blend.default)
+      (Blend.to_string b)
+  | Error e -> Alcotest.fail e);
+  let rejects s =
+    match Blend.of_string s with
+    | Ok _ -> Alcotest.fail (Printf.sprintf "%S should not parse" s)
+    | Error _ -> ()
+  in
+  rejects "";
+  rejects "warm";
+  rejects "warm=-1";
+  rejects "warm=0,cold=0";
+  rejects "tepid=3"
+
+let test_run_inproc () =
+  let dir = Filename.temp_file "spt_loadgen" ".d" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let r =
+    Fun.protect
+      ~finally:(fun () ->
+        ignore (Sys.command (Filename.quote_command "rm" [ "-rf"; dir ])))
+      (fun () ->
+        Loadgen.run ~mode:`Inproc ~clients:2 ~requests:12 ~seed:7
+          ~server_jobs:1
+          ~cache:(Spt_service.Artifact_cache.create ~dir ())
+          ())
+  in
+  Alcotest.(check int) "every request measured" 12 r.Loadgen.requests;
+  Alcotest.(check int) "no errored replies" 0 r.Loadgen.errors;
+  Alcotest.(check int) "serial phase same size" 12 r.Loadgen.serial_requests;
+  Alcotest.(check int) "serial phase clean" 0 r.Loadgen.serial_errors;
+  Alcotest.(check int) "latency histogram covers the phase" 12
+    (Hist.count r.Loadgen.latency);
+  Alcotest.(check bool) "throughput positive" true
+    (r.Loadgen.throughput_rps > 0.0);
+  let j = Loadgen.to_json r in
+  Alcotest.(check bool) "schema tagged" true
+    (Json.member "schema" j = Some (Json.Str Loadgen.schema));
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) (k ^ " present") true (Json.member k j <> None))
+    [
+      "mode"; "clients"; "server_jobs"; "blend"; "seed"; "requests"; "errors";
+      "coalesced"; "wall_s"; "throughput_rps"; "latency_s"; "serial";
+      "speedup_vs_serial"; "cache";
+    ];
+  (match Json.member "latency_s" j with
+  | Some h ->
+    List.iter
+      (fun k ->
+        Alcotest.(check bool) ("latency " ^ k) true (Json.member k h <> None))
+      [ "count"; "p50"; "p95"; "p99" ]
+  | None -> Alcotest.fail "latency_s missing")
+
+let suite =
+  [
+    Alcotest.test_case "blend parsing" `Quick test_blend_parse;
+    Alcotest.test_case "small in-process run" `Quick test_run_inproc;
+  ]

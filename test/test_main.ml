@@ -17,6 +17,7 @@ let () =
       ("runtime", Test_runtime.suite);
       ("feedback", Test_feedback.suite);
       ("service", Test_service.suite);
+      ("loadgen", Test_loadgen.suite);
       ("fuzz", Test_fuzz.suite);
       ("cli", Test_cli.suite);
       ("workloads", Test_workloads.suite);

@@ -131,14 +131,18 @@ let test_cache_roundtrip () =
       Alcotest.(check int) "one miss" 1 s.Cache.misses;
       Alcotest.(check int) "one store" 1 s.Cache.stores)
 
-let entry_path dir = Filename.concat (Filename.concat dir Cache.schema) (key ^ ".json")
+(* the on-disk location is shard-dependent; ask the cache *)
+let entry_path c =
+  match Cache.file_path c key with
+  | Some p -> p
+  | None -> Alcotest.fail "cache has no directory"
 
 let test_cache_corruption_is_a_miss () =
   with_tmpdir (fun dir ->
       let c = Cache.create ~dir () in
       Cache.store c key payload;
       (* truncate the on-disk entry mid-JSON *)
-      let oc = open_out_bin (entry_path dir) in
+      let oc = open_out_bin (entry_path c) in
       output_string oc "{\"schema\":\"spt-cache";
       close_out oc;
       let fresh = Cache.create ~dir () in
@@ -152,7 +156,7 @@ let test_cache_flipped_byte_is_a_miss () =
       (* flip one byte inside the payload *value* — the file still
          parses as JSON with the right schema and key, so only the
          stored-vs-recomputed content digest can catch it *)
-      let path = entry_path dir in
+      let path = entry_path c in
       let ic = open_in_bin path in
       let text =
         Fun.protect
@@ -191,7 +195,7 @@ let test_cache_schema_mismatch_is_a_miss () =
       let c = Cache.create ~dir () in
       Cache.store c key payload;
       (* rewrite the entry under a future schema version *)
-      let oc = open_out_bin (entry_path dir) in
+      let oc = open_out_bin (entry_path c) in
       output_string oc
         (Json.to_string ~minify:true
            (Json.Obj
@@ -205,7 +209,7 @@ let test_cache_schema_mismatch_is_a_miss () =
       Alcotest.(check bool) "version-bumped entry reads as a miss" true
         (Cache.find fresh key = None);
       (* and a wrong-key entry (tampering / collision) too *)
-      let oc = open_out_bin (entry_path dir) in
+      let oc = open_out_bin (entry_path c) in
       output_string oc
         (Json.to_string ~minify:true
            (Json.Obj
@@ -226,6 +230,136 @@ let test_no_cache () =
   Alcotest.(check bool) "never finds" true (Cache.find c key = None);
   let s = Cache.stats c in
   Alcotest.(check int) "counts nothing" 0 (s.Cache.hits + s.Cache.misses + s.Cache.stores)
+
+(* ------------------------------------------------------------------ *)
+(* Sharded layout, LRU eviction and size bounds *)
+
+let key_n i = Printf.sprintf "%026dabcdef" i
+
+let test_cache_sharded_layout () =
+  with_tmpdir (fun dir ->
+      let c = Cache.create ~dir ~shards:4 () in
+      Alcotest.(check int) "shard count" 4 (Cache.shards c);
+      let keys = List.init 8 key_n in
+      List.iter (fun k -> Cache.store c k payload) keys;
+      List.iter
+        (fun k ->
+          match Cache.file_path c k with
+          | None -> Alcotest.fail "entry has no path"
+          | Some p ->
+            Alcotest.(check bool) "entry on disk" true (Sys.file_exists p);
+            Alcotest.(check int) "two-hex shard dir" 2
+              (String.length (Filename.basename (Filename.dirname p))))
+        keys;
+      (* a fresh instance over the same sharded tree is warm *)
+      let c2 = Cache.create ~dir ~shards:4 () in
+      List.iter
+        (fun k ->
+          Alcotest.(check bool) "warm across restart" true
+            (Cache.find c2 k = Some payload))
+        keys)
+
+let test_cache_lru_eviction_order () =
+  with_tmpdir (fun dir ->
+      let c = Cache.create ~dir ~max_entries:2 () in
+      Cache.store c (key_n 1) payload;
+      Cache.store c (key_n 2) payload;
+      (* touching 1 makes 2 the least recently used *)
+      ignore (Cache.find c (key_n 1));
+      Cache.store c (key_n 3) payload;
+      Alcotest.(check bool) "LRU entry evicted" true
+        (Cache.find c (key_n 2) = None);
+      Alcotest.(check bool) "recently-used entry kept" true
+        (Cache.find c (key_n 1) = Some payload);
+      Alcotest.(check bool) "new entry kept" true
+        (Cache.find c (key_n 3) = Some payload);
+      let s = Cache.stats c in
+      Alcotest.(check int) "one eviction" 1 s.Cache.evictions;
+      Alcotest.(check int) "entry bound held" 2 s.Cache.entries;
+      (* the evicted entry's file is gone, not just unlisted *)
+      match Cache.file_path c (key_n 2) with
+      | Some p -> Alcotest.(check bool) "file removed" false (Sys.file_exists p)
+      | None -> Alcotest.fail "entry has no path")
+
+(* the shard tree's entry files (the index is bookkeeping, not payload) *)
+let disk_entry_bytes dir =
+  let root = Filename.concat dir Cache.schema in
+  if not (Sys.file_exists root) then 0
+  else
+    Array.fold_left
+      (fun acc shard ->
+        let sd = Filename.concat root shard in
+        if Sys.is_directory sd then
+          Array.fold_left
+            (fun acc f ->
+              acc + (Unix.stat (Filename.concat sd f)).Unix.st_size)
+            acc (Sys.readdir sd)
+        else acc)
+      0
+      (Sys.readdir (Filename.concat dir Cache.schema))
+
+let test_cache_byte_bound () =
+  with_tmpdir (fun dir ->
+      let big tag =
+        Json.Obj [ ("tag", Json.Int tag); ("blob", Json.Str (String.make 2000 'z')) ]
+      in
+      let bound = 9000 in
+      let c = Cache.create ~dir ~max_bytes:bound () in
+      for i = 1 to 12 do
+        Cache.store c (key_n i) (big i);
+        Alcotest.(check bool) "on-disk bytes within bound" true
+          (disk_entry_bytes dir <= bound)
+      done;
+      let s = Cache.stats c in
+      Alcotest.(check bool) "evictions happened" true (s.Cache.evictions > 0);
+      Alcotest.(check bool) "accounted bytes within bound" true
+        (s.Cache.bytes <= bound);
+      (* the retained entries are still warm, from a fresh instance *)
+      let c2 = Cache.create ~dir ~max_bytes:bound () in
+      let retained = ref 0 in
+      for i = 1 to 12 do
+        match Cache.find c2 (key_n i) with
+        | Some v ->
+          incr retained;
+          Alcotest.(check bool) "retained entry intact" true (v = big i)
+        | None -> ()
+      done;
+      Alcotest.(check bool) "some entries retained" true (!retained > 0);
+      (* most-recent store always survives *)
+      Alcotest.(check bool) "newest entry retained" true
+        (Cache.find c2 (key_n 12) = Some (big 12));
+      (* an entry alone larger than the bound is refused, not stored *)
+      let huge = Json.Obj [ ("blob", Json.Str (String.make 20_000 'w')) ] in
+      Cache.store c (key_n 99) huge;
+      Alcotest.(check bool) "oversized entry not stored" true
+        (disk_entry_bytes dir <= bound))
+
+let test_cache_concurrent_writers () =
+  with_tmpdir (fun dir ->
+      let c = Cache.create ~dir ~shards:8 () in
+      let n_domains = 4 and per = 16 in
+      let worker d =
+        Domain.spawn (fun () ->
+            for i = 0 to per - 1 do
+              let k = key_n ((d * 100) + i) in
+              Cache.store c k (Json.Obj [ ("v", Json.Int ((d * 1000) + i)) ]);
+              ignore (Cache.find c k)
+            done)
+      in
+      List.iter Domain.join (List.init n_domains worker);
+      let s = Cache.stats c in
+      Alcotest.(check int) "every store counted" (n_domains * per) s.Cache.stores;
+      Alcotest.(check int) "every entry listed" (n_domains * per) s.Cache.entries;
+      (* a fresh instance loads the index every writer raced on and
+         finds every entry *)
+      let c2 = Cache.create ~dir ~shards:8 () in
+      for d = 0 to n_domains - 1 do
+        for i = 0 to per - 1 do
+          Alcotest.(check bool) "entry readable after racing writers" true
+            (Cache.find c2 (key_n ((d * 100) + i))
+            = Some (Json.Obj [ ("v", Json.Int ((d * 1000) + i)) ]))
+        done
+      done)
 
 (* ------------------------------------------------------------------ *)
 (* Batch scheduler *)
@@ -297,6 +431,45 @@ let test_batch_timeout () =
     (fun o ->
       Alcotest.(check bool) "outcome is Timed_out" true (o = Batch.Timed_out))
     outcomes
+
+(* ------------------------------------------------------------------ *)
+(* Digest clustering *)
+
+let test_batch_cluster () =
+  (* a-b share d1, b-c share d2 → one transitive cluster; e is apart;
+     f has no digests → singleton *)
+  let groups =
+    Batch.cluster
+      [
+        ("a", [ "d1" ]);
+        ("b", [ "d1"; "d2" ]);
+        ("c", [ "d2" ]);
+        ("e", [ "d9" ]);
+        ("f", []);
+      ]
+  in
+  Alcotest.(check (list (list string)))
+    "transitive grouping, earliest-member order"
+    [ [ "a"; "b"; "c" ]; [ "e" ]; [ "f" ] ]
+    groups;
+  Alcotest.(check (list (list string))) "empty input" [] (Batch.cluster [])
+
+let test_batch_run_clustered () =
+  let item v digests = ((fun () -> v * 10), digests) in
+  let outcomes, stats =
+    Batch.run_clustered ~jobs:2 ~timeout_s:60.0
+      [ item 1 [ "x" ]; item 2 [ "x" ]; item 3 [ "y" ]; item 4 [] ]
+  in
+  Alcotest.(check int) "outcomes in submission order" 4 (Array.length outcomes);
+  Array.iteri
+    (fun i o ->
+      match o with
+      | Batch.Done v -> Alcotest.(check int) "value" ((i + 1) * 10) v
+      | _ -> Alcotest.fail "all jobs should be Done")
+    outcomes;
+  Alcotest.(check int) "three scheduling units" 3 stats.Batch.clusters;
+  Alcotest.(check int) "submitted counts jobs, not clusters" 4
+    stats.Batch.submitted
 
 (* ------------------------------------------------------------------ *)
 (* Cached compiles: warm replays byte-identically *)
@@ -452,6 +625,217 @@ let test_server_errors_keep_loop_alive () =
     Alcotest.(check (option bool)) "shutdown acks" (Some true) (bool_member "ok" j)
   | `Reply _ -> Alcotest.fail "shutdown must end the loop"
 
+(* ------------------------------------------------------------------ *)
+(* Concurrent serving *)
+
+(* a source heavy enough (many functions, full pipeline + simulation)
+   that its compile comfortably outlasts pipe writes and watchdog
+   scans *)
+let heavy_src tag =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "int n = 40;\n";
+  for i = 0 to 23 do
+    Buffer.add_string b (Printf.sprintf "int arr%d[40];\n" i);
+    Buffer.add_string b
+      (Printf.sprintf
+         "int f%d(int k) { int i = 0; int acc = 0; while (i < n) { arr%d[i] \
+          = i * %d + k; if (arr%d[i] > acc) { acc = arr%d[i]; } i = i + 1; } \
+          return acc; }\n"
+         i i (tag + i + 2) i i)
+  done;
+  Buffer.add_string b "void main() {\n  int t = 0;\n";
+  for i = 0 to 23 do
+    Buffer.add_string b (Printf.sprintf "  t = t + f%d(%d);\n" i tag)
+  done;
+  Buffer.add_string b "  print_int(t);\n}\n";
+  Buffer.contents b
+
+let compile_req ?(extra = []) ~id src =
+  Json.to_string ~minify:true
+    (Json.Obj
+       ([
+          ("op", Json.Str "compile");
+          ("source", Json.Str src);
+          ("name", Json.Str (Printf.sprintf "req-%d.c" id));
+          ("id", Json.Int id);
+        ]
+       @ extra))
+
+(* write every line, close (EOF → drain), read replies until the server
+   closes its end *)
+let serve_session server lines =
+  let r_req, w_req = Unix.pipe () and r_rep, w_rep = Unix.pipe () in
+  let srv_ic = Unix.in_channel_of_descr r_req
+  and srv_oc = Unix.out_channel_of_descr w_rep in
+  let srv =
+    Domain.spawn (fun () ->
+        Server.serve server srv_ic srv_oc;
+        close_out_noerr srv_oc)
+  in
+  let to_srv = Unix.out_channel_of_descr w_req
+  and from_srv = Unix.in_channel_of_descr r_rep in
+  List.iter
+    (fun l ->
+      output_string to_srv l;
+      output_char to_srv '\n')
+    lines;
+  close_out to_srv;
+  let rec read acc =
+    match input_line from_srv with
+    | l -> read (l :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  let replies = read [] in
+  Domain.join srv;
+  close_in_noerr from_srv;
+  close_in_noerr srv_ic;
+  List.map
+    (fun l ->
+      match Json.of_string l with
+      | Ok j -> j
+      | Error e -> Alcotest.fail ("reply is not JSON: " ^ e))
+    replies
+
+let int_member k j =
+  match Json.member k j with Some (Json.Int n) -> Some n | _ -> None
+
+let test_server_concurrent_handle_stress () =
+  with_tmpdir (fun dir ->
+      let t = Server.create ~cache:(Cache.create ~dir ()) () in
+      let n_domains = 4 and per = 12 in
+      let worker d =
+        Domain.spawn (fun () ->
+            for i = 0 to per - 1 do
+              let req =
+                if i mod 3 = 0 then
+                  Json.Obj
+                    [
+                      ("op", Json.Str "compile");
+                      ("source", Json.Str tiny_src);
+                      ("name", Json.Str (Printf.sprintf "d%d.c" d));
+                    ]
+                else Json.Obj [ ("op", Json.Str "stats") ]
+              in
+              match Server.handle t req with
+              | `Reply r ->
+                if bool_member "ok" r <> Some true then
+                  Alcotest.fail "concurrent request failed"
+              | `Shutdown _ -> Alcotest.fail "unexpected shutdown"
+            done)
+      in
+      List.iter Domain.join (List.init n_domains worker);
+      let stats =
+        reply_of (Server.handle t (Json.Obj [ ("op", Json.Str "stats") ]))
+      in
+      Alcotest.(check (option int)) "no request lost or double-counted"
+        (Some ((n_domains * per) + 1))
+        (int_member "requests" stats);
+      Alcotest.(check (option int)) "no errors" (Some 0)
+        (int_member "errors" stats))
+
+let test_server_serve_concurrent_pipes () =
+  with_tmpdir (fun dir ->
+      let server = Server.create ~cache:(Cache.create ~dir ()) ~jobs:2 () in
+      let lines =
+        List.init 4 (fun i -> compile_req ~id:i (heavy_src (100 + (7 * i))))
+        @ [ {|{"op":"shutdown"}|} ]
+      in
+      let replies = serve_session server lines in
+      Alcotest.(check int) "one reply per request plus the ack" 5
+        (List.length replies);
+      List.iter
+        (fun r ->
+          Alcotest.(check (option int)) "protocol version tagged"
+            (Some Server.protocol_version) (int_member "proto" r);
+          Alcotest.(check (option bool)) "reply ok" (Some true)
+            (bool_member "ok" r))
+        replies;
+      let ids = List.filter_map (int_member "id") replies in
+      Alcotest.(check (list int)) "every id answered exactly once"
+        [ 0; 1; 2; 3 ]
+        (List.sort compare ids);
+      (* the ack leaves last: outstanding work drains before shutdown *)
+      match List.rev replies with
+      | last :: _ ->
+        Alcotest.(check bool) "shutdown ack is the final reply" true
+          (Json.member "op" last = Some (Json.Str "shutdown"))
+      | [] -> Alcotest.fail "no replies")
+
+let test_server_coalescing () =
+  with_tmpdir (fun dir ->
+      let server = Server.create ~cache:(Cache.create ~dir ()) ~jobs:2 () in
+      let src = heavy_src 555 in
+      (* identical requests modulo id: one leader compiles, the rest
+         attach to it in flight *)
+      let lines =
+        List.init 6 (fun i ->
+            Json.to_string ~minify:true
+              (Json.Obj
+                 [
+                   ("op", Json.Str "compile");
+                   ("source", Json.Str src);
+                   ("name", Json.Str "same.c");
+                   ("id", Json.Int i);
+                 ]))
+      in
+      let replies = serve_session server lines in
+      Alcotest.(check int) "all replied" 6 (List.length replies);
+      List.iter
+        (fun r ->
+          Alcotest.(check (option bool)) "all ok" (Some true)
+            (bool_member "ok" r))
+        replies;
+      let coalesced =
+        List.length
+          (List.filter (fun r -> bool_member "coalesced" r = Some true) replies)
+      in
+      Alcotest.(check bool) "followers coalesced onto the leader" true
+        (coalesced >= 1);
+      Alcotest.(check bool) "the leader itself is never coalesced" true
+        (coalesced < 6))
+
+let test_server_overloaded () =
+  with_tmpdir (fun dir ->
+      let server =
+        Server.create ~cache:(Cache.create ~dir ()) ~jobs:2 ~queue_max:1 ()
+      in
+      (* distinct heavy sources sent back-to-back: the loop ingests them
+         far faster than one worker slot can drain *)
+      let lines =
+        List.init 6 (fun i -> compile_req ~id:i (heavy_src (300 + (11 * i))))
+      in
+      let replies = serve_session server lines in
+      Alcotest.(check int) "all replied" 6 (List.length replies);
+      let code r =
+        match Json.member "code" r with Some (Json.Str s) -> Some s | _ -> None
+      in
+      let shed =
+        List.filter (fun r -> code r = Some "overloaded") replies
+      in
+      Alcotest.(check bool) "backpressure sheds load" true (shed <> []);
+      List.iter
+        (fun r ->
+          Alcotest.(check (option bool)) "shed replies are errors" (Some false)
+            (bool_member "ok" r))
+        shed;
+      Alcotest.(check bool) "some requests still served" true
+        (List.exists (fun r -> bool_member "ok" r = Some true) replies))
+
+let test_server_timeout () =
+  with_tmpdir (fun dir ->
+      let server =
+        Server.create ~cache:(Cache.create ~dir ()) ~jobs:2 ~timeout_s:0.005 ()
+      in
+      let replies = serve_session server [ compile_req ~id:9 (heavy_src 777) ] in
+      Alcotest.(check int) "one reply" 1 (List.length replies);
+      let r = List.hd replies in
+      Alcotest.(check (option bool)) "timed-out reply is an error" (Some false)
+        (bool_member "ok" r);
+      Alcotest.(check bool) "code is timeout" true
+        (Json.member "code" r = Some (Json.Str "timeout"));
+      Alcotest.(check (option int)) "id echoed on the timeout reply" (Some 9)
+        (int_member "id" r))
+
 let suite =
   [
     Alcotest.test_case "fingerprint layout-independent" `Quick
@@ -468,7 +852,13 @@ let suite =
     Alcotest.test_case "schema mismatch is a miss" `Quick
       test_cache_schema_mismatch_is_a_miss;
     Alcotest.test_case "no-cache object" `Quick test_no_cache;
+    Alcotest.test_case "sharded layout" `Quick test_cache_sharded_layout;
+    Alcotest.test_case "LRU eviction order" `Quick test_cache_lru_eviction_order;
+    Alcotest.test_case "byte bound held on disk" `Quick test_cache_byte_bound;
+    Alcotest.test_case "concurrent writers" `Quick test_cache_concurrent_writers;
     Alcotest.test_case "batch outcomes in order" `Quick test_batch_outcomes;
+    Alcotest.test_case "digest clustering" `Quick test_batch_cluster;
+    Alcotest.test_case "clustered run" `Quick test_batch_run_clustered;
     Alcotest.test_case "batch latency histogram" `Quick test_batch_latency;
     Alcotest.test_case "batch timeout latency skipped" `Quick
       test_batch_timeout_latency_skipped;
@@ -482,4 +872,11 @@ let suite =
     Alcotest.test_case "server compile + stats" `Quick test_server_compile_and_stats;
     Alcotest.test_case "server errors keep loop alive" `Quick
       test_server_errors_keep_loop_alive;
+    Alcotest.test_case "concurrent handle stress" `Quick
+      test_server_concurrent_handle_stress;
+    Alcotest.test_case "concurrent serve over pipes" `Quick
+      test_server_serve_concurrent_pipes;
+    Alcotest.test_case "single-flight coalescing" `Quick test_server_coalescing;
+    Alcotest.test_case "backpressure sheds load" `Quick test_server_overloaded;
+    Alcotest.test_case "request timeout" `Quick test_server_timeout;
   ]
