@@ -34,11 +34,13 @@ let json_path =
 
 (* SPT_BENCH_ONLY=engines runs just the sequential engine comparison
    (what bench/engine_smoke.sh consumes) and still writes the JSON
-   summary — the full evaluation takes minutes, the comparison seconds *)
-let engines_only =
-  match Sys.getenv_opt "SPT_BENCH_ONLY" with
-  | Some "engines" -> true
-  | _ -> false
+   summary — the full evaluation takes minutes, the comparison seconds.
+   SPT_BENCH_ONLY=profdb likewise runs just the profile-database
+   generations scenario (what bench/profdb_smoke.sh consumes), grafting
+   its section into an existing summary when one is present. *)
+let bench_only = Sys.getenv_opt "SPT_BENCH_ONLY"
+let engines_only = bench_only = Some "engines"
+let profdb_only = bench_only = Some "profdb"
 
 let workloads =
   if quick then
@@ -360,6 +362,103 @@ let feedback_comparison () =
   rows
 
 (* ------------------------------------------------------------------ *)
+(* Profile database: the repeated-workload scenario.  The same program
+   is run --parallel several times against a fresh database; each run
+   ingests its misspeculation telemetry, so from generation 2 on the
+   compile is guided by the accumulated entry and the misspeculation
+   cost drops — with zero client-side flags beyond the cache dir.
+   bench/profdb_smoke.sh asserts the non-increase in CI. *)
+
+let profdb_generations () =
+  section
+    (Printf.sprintf
+       "Profile database: misspeculation across generations (%d job(s))"
+       parallel_jobs);
+  let root = Option.value ~default:(Sys.getcwd ()) (repo_root ()) in
+  let src = read_file (Filename.concat root "examples/src/feedback_loop.c") in
+  let dir =
+    let base = Filename.temp_file "spt_bench_profdb" "" in
+    Sys.remove base;
+    Unix.mkdir base 0o755;
+    base
+  in
+  let db =
+    Spt_profdb.Profdb.create ~tool:Spt_service.Cached.tool_version
+      ~dir:(Spt_profdb.Profdb.subdir dir) ()
+  in
+  let fingerprint = Spt_service.Fingerprint.program (Pipeline.front_end src) in
+  let runtime_config =
+    { (Spt_runtime.Runtime.default_config ()) with oracle = false }
+  in
+  let t =
+    Spt_util.Table.create
+      ~aligns:
+        [
+          Spt_util.Table.Right; Spt_util.Table.Left; Spt_util.Table.Right;
+          Spt_util.Table.Right; Spt_util.Table.Right; Spt_util.Table.Right;
+        ]
+      [ "gen"; "guided"; "spt loops"; "misspec"; "cost"; "speedup" ]
+  in
+  let rows = ref [] in
+  let gens = 3 in
+  for gen = 1 to gens do
+    let profile_seed, observations, guided =
+      match Spt_profdb.Profdb.lookup db ~fingerprint with
+      | Some (store, _) when not (Store.is_empty store) ->
+        (Some (Store.seed store), Some (Telemetry.observations store), true)
+      | Some _ | None -> (None, None, false)
+    in
+    let pr =
+      Pipeline.run_parallel ~jobs:parallel_jobs ~runtime_config ?profile_seed
+        ?observations src
+    in
+    let fresh = Store.empty () in
+    Telemetry.record fresh pr.Pipeline.pr_spt pr.Pipeline.pr_runtime;
+    ignore (Spt_profdb.Profdb.ingest db ~fingerprint fresh);
+    let module R = Spt_runtime.Runtime in
+    let events, cost =
+      List.fold_left
+        (fun (e, c) ((_, st) : int * R.loop_stats) ->
+          let bad = st.R.violations + st.R.faults + st.R.kills in
+          (e + bad, c + bad + st.R.serial_reexecs))
+        (0, 0) pr.Pipeline.pr_runtime.R.stats
+    in
+    Spt_util.Table.add_row t
+      [
+        string_of_int gen;
+        (if guided then "yes" else "no");
+        string_of_int pr.Pipeline.pr_n_loops;
+        string_of_int events;
+        string_of_int cost;
+        Printf.sprintf "%.2fx" pr.Pipeline.pr_measured_speedup;
+      ];
+    rows :=
+      Spt_obs.Json.Obj
+        [
+          ("generation", Spt_obs.Json.Int gen);
+          ("guided", Spt_obs.Json.Bool guided);
+          ("n_spt_loops", Spt_obs.Json.Int pr.Pipeline.pr_n_loops);
+          ("misspec_events", Spt_obs.Json.Int events);
+          ("misspec_cost", Spt_obs.Json.Int cost);
+          ("measured_speedup", Spt_obs.Json.Float pr.Pipeline.pr_measured_speedup);
+        ]
+      :: !rows
+  done;
+  Spt_util.Table.print t;
+  print_endline
+    "(same program, fresh database: generation 1 compiles unguided and\n\
+     misspeculates; every run ingests telemetry, so later generations\n\
+     compile against the accumulated profile with no client-side flags)";
+  Spt_obs.Json.Obj
+    [
+      ("schema", Spt_obs.Json.Str Spt_profdb.Profdb.schema);
+      ("workload", Spt_obs.Json.Str "feedback_loop");
+      ("jobs", Spt_obs.Json.Int parallel_jobs);
+      ("generations", Spt_obs.Json.List (List.rev !rows));
+      ("db", Spt_profdb.Profdb.stats_json db);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Ablation 1: cost-combination rules (Independent vs Per_seed vs Max) *)
 
 let ablation_cost_rules () =
@@ -601,17 +700,37 @@ let () =
     Printf.printf "\nmachine-readable summary written to %s\n" json_path;
     exit 0
   end;
+  if profdb_only then begin
+    let profdb = profdb_generations () in
+    (* graft the section into an existing summary (the committed
+       baseline keeps its other sections); fresh summary otherwise *)
+    let summary =
+      match
+        if Sys.file_exists json_path then
+          Spt_obs.Json.of_string (read_file json_path)
+        else Error "absent"
+      with
+      | Ok (Spt_obs.Json.Obj _ as j) -> Spt_obs.Json.set ("profdb", profdb) j
+      | Ok _ | Error _ ->
+        Report.bench_json ~quick:true ~profdb ~per_config:[] ~parallel:[] ()
+    in
+    Spt_obs.Json.to_file json_path summary;
+    Printf.printf "\nmachine-readable summary written to %s\n" json_path;
+    exit 0
+  end;
   section "Evaluating the workloads under 3 compiler configurations";
   let per_config = evaluate_all () in
   let best = List.assoc "best" per_config in
   let parallel, gap = measure_parallel best in
   let engines = engine_comparison () in
   let feedback = feedback_comparison () in
+  let profdb = profdb_generations () in
 
   (* machine-readable summary next to the text tables, one entry per
      configuration; counters are cumulative over the whole run *)
   Spt_obs.Json.to_file json_path
-    (Report.bench_json ~quick ~per_config ~parallel ~gap ~feedback ~engines ());
+    (Report.bench_json ~quick ~per_config ~parallel ~gap ~feedback ~engines
+       ~profdb ());
   Printf.printf "\nmachine-readable summary written to %s\n" json_path;
 
   section

@@ -1,0 +1,97 @@
+#!/bin/sh
+# Smoke test for the fleet profile database: run the misspeculating
+# demo workload three times against a fresh database with *no*
+# client-side profile flags — only --cache-dir.  Every run ingests its
+# telemetry, so generation 2+ compiles guided by the accumulated entry
+# and the misspeculation cost (violations + faults + kills) must never
+# increase across generations, and must strictly drop from generation
+# 1 to the last.  Then check the profdb CLI surface (stat/export/gc)
+# and the bench scenario's committed JSON section.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build bin/sptc.exe bench/main.exe"
+dune build bin/sptc.exe bench/main.exe
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+src=examples/src/feedback_loop.c
+gens=3
+
+fail() {
+  echo "profdb_smoke: FAIL: $1" >&2
+  exit 1
+}
+
+# misspeculation cost of one run: sum of violations+faults+kills over
+# every "; loop N: ..." line (a guided run that rejects the loop prints
+# none, which sums to 0)
+misspec_cost() {
+  awk '/^; loop /{
+    for (i = 1; i <= NF; i++) {
+      if ($(i+1) ~ /^violations/ || $(i+1) ~ /^faults/ || $(i+1) ~ /^kills/)
+        sum += $(i)
+    }
+  } END { print sum + 0 }' "$1"
+}
+
+echo "== $gens generations of: sptc run --parallel --cache-dir (no profile flags)"
+prev=""
+first=""
+last=""
+for gen in $(seq 1 "$gens"); do
+  out="$tmpdir/gen$gen.txt"
+  SPT_JOBS=2 dune exec bin/sptc.exe -- run "$src" --parallel -c best -j 2 \
+    --cache-dir "$tmpdir/cache" --log-level warn > "$out"
+  grep -q "^; profdb: generation $gen" "$out" \
+    || fail "generation $gen not acknowledged by the database"
+  cost=$(misspec_cost "$out")
+  echo "   gen $gen: misspec cost $cost"
+  [ -z "$prev" ] || [ "$cost" -le "$prev" ] \
+    || fail "misspeculation cost increased across generations ($prev -> $cost)"
+  [ -n "$first" ] || first=$cost
+  prev=$cost
+  last=$cost
+done
+[ "$first" -gt 0 ] || fail "generation 1 never misspeculated (demo is broken)"
+[ "$last" -lt "$first" ] \
+  || fail "misspeculation cost never dropped ($first -> $last)"
+grep -q "compile guided by gen" "$tmpdir/gen$gens.txt" \
+  || fail "generation $gens compile was not database-guided"
+
+echo "== sptc profdb stat"
+dune exec bin/sptc.exe -- profdb stat --cache-dir "$tmpdir/cache" \
+  --json "$tmpdir/stat.json" > "$tmpdir/stat.txt"
+grep -q '"spt-profdb-v1"' "$tmpdir/stat.json" || fail "stat JSON lacks schema tag"
+grep -q '"max_generation": '"$gens" "$tmpdir/stat.json" \
+  || fail "database entry is not at generation $gens"
+grep -q 'profile db:' "$tmpdir/stat.txt" || fail "stat rendered no census"
+
+echo "== sptc profdb export round-trips into --profile-in"
+dune exec bin/sptc.exe -- profdb export --cache-dir "$tmpdir/cache" \
+  -o "$tmpdir/exported.json" > /dev/null
+grep -q '"spt-profile-v1"' "$tmpdir/exported.json" \
+  || fail "exported store lacks the profile schema tag"
+dune exec bin/sptc.exe -- compile "$src" -c best \
+  --profile-in "$tmpdir/exported.json" --no-cache --log-level warn \
+  > "$tmpdir/guided.txt"
+guided_loops=$(sed -n 's/^SPT loops *: *\([0-9]*\).*$/\1/p' "$tmpdir/guided.txt" | head -n 1)
+[ "$guided_loops" -eq 0 ] \
+  || fail "exported profile did not steer the compile ($guided_loops SPT loops)"
+
+echo "== sptc profdb gc drops a corrupt entry"
+echo 'not json' > "$tmpdir/cache/spt-profdb-v1/corrupt.json"
+dune exec bin/sptc.exe -- profdb gc --cache-dir "$tmpdir/cache" > "$tmpdir/gc.txt"
+grep -q '1 invalid file(s) dropped' "$tmpdir/gc.txt" \
+  || fail "gc did not drop the corrupt entry"
+
+echo "== bench scenario (SPT_BENCH_ONLY=profdb) + sptc top render"
+SPT_BENCH_ONLY=profdb SPT_BENCH_JSON="$tmpdir/bench.json" \
+  dune exec bench/main.exe > "$tmpdir/bench.txt"
+grep -q '"spt-profdb-v1"' "$tmpdir/bench.json" || fail "bench JSON lacks profdb section"
+dune exec bin/sptc.exe -- top "$tmpdir/bench.json" > "$tmpdir/top.txt"
+grep -q 'misspeculation across generations' "$tmpdir/top.txt" \
+  || fail "sptc top did not render the generations table"
+
+echo "profdb_smoke: OK (misspec cost $first -> $last over $gens generations, zero client flags)"

@@ -11,6 +11,7 @@
     - [serve]          line-delimited JSON compile service on stdin
     - [loadtest]       drive the compile server with concurrent clients
     - [profile FILE]   persist edge/dep/value profiles to a store
+    - [profdb]         inspect/export/gc the shared profile database
     - [adapt FILE]     compile → run → re-partition until convergence
     - [fuzz]           differential fuzzing across all execution paths
 *)
@@ -150,6 +151,25 @@ let make_cache ?max_bytes ?max_entries ~cache_dir ~no_cache () =
     Spt_service.Artifact_cache.create ?dir:cache_dir ?max_bytes ?max_entries ()
 
 (* ------------------------------------------------------------------ *)
+(* Profile-database flags.  The database lives under the cache dir
+   (spt-profdb-v1/) and follows --cache-dir / --no-cache. *)
+
+let profdb_max_entries_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "profdb-max-entries" ] ~docv:"N"
+        ~doc:
+          "Bound the profile-database entry count (least-recently-updated \
+           entries are evicted on ingest)")
+
+(* the database an enabled cache implies: shares its directory, stamps
+   entries with this tool version *)
+let make_profdb ?max_entries cache =
+  Spt_profdb.Profdb.for_cache ?max_entries ~tool:version
+    (Spt_service.Artifact_cache.dir cache)
+
+(* ------------------------------------------------------------------ *)
 (* Persistent-profile flags: --profile-in (guided compiles) *)
 
 let profile_in_arg =
@@ -266,8 +286,20 @@ let run_cmd =
              percentiles and the predicted-vs-measured speedup gap; render \
              it with $(b,sptc top)")
   in
-  let run file parallel jobs config engine chunk profile_in feedback_out
-      attrib trace metrics log_level =
+  let cache_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "With $(b,--parallel): use the shared profile database under \
+             $(docv) — the compile is guided by the accumulated profile \
+             for this program (unless $(b,--profile-in) overrides it) and \
+             the run's misspeculation telemetry is ingested back \
+             afterwards, so repeated runs keep getting better")
+  in
+  let run file parallel jobs config engine chunk profile_in cache_dir
+      feedback_out attrib trace metrics log_level =
     handle_errors (fun () ->
         let finish = setup_obs trace metrics log_level in
         let config = resolve_engine config engine in
@@ -282,6 +314,10 @@ let run_cmd =
         end;
         if (not parallel) && chunk <> None then begin
           Format.eprintf "error: --chunk requires --parallel@.";
+          exit 2
+        end;
+        if (not parallel) && cache_dir <> None then begin
+          Format.eprintf "error: --cache-dir requires --parallel@.";
           exit 2
         end;
         if not parallel then begin
@@ -299,7 +335,29 @@ let run_cmd =
         end
         else begin
           let src = read_file file in
-          let profile = load_profile profile_in in
+          let db = Spt_profdb.Profdb.for_cache ~tool:version cache_dir in
+          let fingerprint =
+            if Spt_profdb.Profdb.enabled db then
+              Some
+                (Spt_service.Fingerprint.program
+                   (Spt_driver.Pipeline.front_end src))
+            else None
+          in
+          (* an explicit --profile-in always wins; otherwise the profile
+             database's accumulated entry guides the compile *)
+          let profile, db_gen =
+            match load_profile profile_in with
+            | Some _ as p -> (p, None)
+            | None -> (
+              match fingerprint with
+              | None -> (None, None)
+              | Some fp -> (
+                match Spt_profdb.Profdb.lookup db ~fingerprint:fp with
+                | Some (store, g)
+                  when not (Spt_feedback.Profile_store.is_empty store) ->
+                  (Some store, Some g)
+                | Some _ | None -> (None, None)))
+          in
           let profile_seed = Option.map Spt_feedback.Profile_store.seed profile in
           let observations =
             Option.map Spt_feedback.Telemetry.observations profile
@@ -339,6 +397,22 @@ let run_cmd =
                 path
                 (Spt_feedback.Profile_store.digest store))
             feedback_out;
+          (* always feed the run's telemetry back to the database, so the
+             next run of the same program is better guided *)
+          Option.iter
+            (fun fp ->
+              let fresh = Spt_feedback.Profile_store.empty () in
+              Spt_feedback.Telemetry.record fresh
+                pr.Spt_driver.Pipeline.pr_spt
+                pr.Spt_driver.Pipeline.pr_runtime;
+              match Spt_profdb.Profdb.ingest db ~fingerprint:fp fresh with
+              | Some g ->
+                Format.printf "; profdb: generation %d%s@." g
+                  (match db_gen with
+                  | Some g_in -> Printf.sprintf " (compile guided by gen %d)" g_in
+                  | None -> " (unguided compile)")
+              | None -> ())
+            fingerprint;
           let open Spt_runtime.Runtime in
           let r = pr.Spt_driver.Pipeline.pr_runtime in
           print_string r.output;
@@ -387,8 +461,9 @@ let run_cmd =
          "Interpret a MiniC program, or execute it speculatively in parallel")
     Term.(
       const run $ file_arg $ parallel_flag $ jobs_arg $ config_arg
-      $ engine_arg $ chunk_arg $ profile_in_arg $ feedback_out_arg
-      $ attrib_arg $ trace_arg $ metrics_arg $ log_level_arg)
+      $ engine_arg $ chunk_arg $ profile_in_arg $ cache_dir_arg
+      $ feedback_out_arg $ attrib_arg $ trace_arg $ metrics_arg
+      $ log_level_arg)
 
 let dump_ir_cmd =
   let ssa_flag =
@@ -436,8 +511,8 @@ let loops_cmd =
     Term.(const show $ file_arg $ config_arg)
 
 let compile_cmd =
-  let compile file config engine profile_in cache_dir no_cache trace metrics
-      log_level =
+  let compile file config engine profile_in cache_dir no_cache
+      profdb_max_entries trace metrics log_level =
     handle_errors (fun () ->
         let finish = setup_obs trace metrics log_level in
         let config = resolve_engine config engine in
@@ -450,6 +525,7 @@ let compile_cmd =
         let o =
           Spt_service.Cached.compile ~cache ~config
             ?profile:(load_profile profile_in)
+            ~profdb:(make_profdb ?max_entries:profdb_max_entries cache)
             ~name:(Filename.basename file) (read_file file)
         in
         print_string o.Spt_service.Cached.report_text;
@@ -459,10 +535,12 @@ let compile_cmd =
     (Cmd.info "compile" ~version
        ~doc:
          "Run the cost-driven SPT pipeline and simulate the result (warm \
-          results come from the artifact cache)")
+          results come from the artifact cache; a fingerprint warmed in the \
+          profile database gets a guided compile automatically)")
     Term.(
       const compile $ file_arg $ config_arg $ engine_arg $ profile_in_arg
-      $ cache_dir_arg $ no_cache_arg $ trace_arg $ metrics_arg $ log_level_arg)
+      $ cache_dir_arg $ no_cache_arg $ profdb_max_entries_arg $ trace_arg
+      $ metrics_arg $ log_level_arg)
 
 let workload_cmd =
   let name_arg =
@@ -472,8 +550,8 @@ let workload_cmd =
       & pos 0 (some (enum (List.map (fun n -> (n, n)) names))) None
       & info [] ~docv:"NAME" ~doc:"Workload name (bzip2, crafty, ...)")
   in
-  let run name config engine profile_in cache_dir no_cache trace metrics
-      log_level =
+  let run name config engine profile_in cache_dir no_cache profdb_max_entries
+      trace metrics log_level =
     handle_errors (fun () ->
         let finish = setup_obs trace metrics log_level in
         let config = resolve_engine config engine in
@@ -484,8 +562,9 @@ let workload_cmd =
         let w = Spt_workloads.Suite.find name in
         let o =
           Spt_service.Cached.compile ~cache ~config
-            ?profile:(load_profile profile_in) ~name
-            w.Spt_workloads.Suite.source
+            ?profile:(load_profile profile_in)
+            ~profdb:(make_profdb ?max_entries:profdb_max_entries cache)
+            ~name w.Spt_workloads.Suite.source
         in
         (* no cache-status marker here: warm and cold runs must print
            byte-identical reports *)
@@ -497,7 +576,8 @@ let workload_cmd =
     (Cmd.info "workload" ~version ~doc:"Evaluate a built-in SPEC2000Int-like workload")
     Term.(
       const run $ name_arg $ config_arg $ engine_arg $ profile_in_arg
-      $ cache_dir_arg $ no_cache_arg $ trace_arg $ metrics_arg $ log_level_arg)
+      $ cache_dir_arg $ no_cache_arg $ profdb_max_entries_arg $ trace_arg
+      $ metrics_arg $ log_level_arg)
 
 let batch_cmd =
   let files_arg =
@@ -562,8 +642,8 @@ let batch_cmd =
     | Spt_service.Batch.Timed_out ->
       Json.Obj [ ("file", Json.Str file); ("status", Json.Str "timed_out") ]
   in
-  let run files config engine profile_in cache_dir no_cache jobs timeout_s
-      summary cluster trace metrics log_level =
+  let run files config engine profile_in cache_dir no_cache profdb_max_entries
+      jobs timeout_s summary cluster trace metrics log_level =
     handle_errors (fun () ->
         let finish = setup_obs trace metrics log_level in
         let config = resolve_engine config engine in
@@ -571,6 +651,9 @@ let batch_cmd =
         (* one shared load: seeding only reads the store's tables, so
            concurrent compiles are safe *)
         let profile = load_profile profile_in in
+        (* one shared database instance: lookups are lock-free reads
+           and the census counters are mutex-guarded *)
+        let profdb = make_profdb ?max_entries:profdb_max_entries cache in
         (* per-job counter deltas: snapshot the registry around each
            compile so a job's summary row reports its own work, not the
            whole batch's cumulative totals.  Exact at -j1 (the regression
@@ -584,7 +667,7 @@ let batch_cmd =
                 if with_counters then Some (Spt_obs.Metrics.since ()) else None
               in
               let o =
-                Spt_service.Cached.compile ~cache ~config ?profile
+                Spt_service.Cached.compile ~cache ~config ?profile ~profdb
                   ~name:(Filename.basename file) (read_file file)
               in
               (o, Option.map Spt_obs.Metrics.delta_json base))
@@ -706,8 +789,9 @@ let batch_cmd =
           exits 1 if any file fails or times out")
     Term.(
       const run $ files_arg $ config_arg $ engine_arg $ profile_in_arg
-      $ cache_dir_arg $ no_cache_arg $ jobs_arg $ timeout_arg $ summary_arg
-      $ cluster_arg $ trace_arg $ metrics_arg $ log_level_arg)
+      $ cache_dir_arg $ no_cache_arg $ profdb_max_entries_arg $ jobs_arg
+      $ timeout_arg $ summary_arg $ cluster_arg $ trace_arg $ metrics_arg
+      $ log_level_arg)
 
 let top_cmd =
   let report_arg =
@@ -767,8 +851,8 @@ let serve_cmd =
             "Per-request budget; an overdue request gets a $(b,timeout) \
              error reply (default: no timeout)")
   in
-  let run engine cache_dir no_cache max_bytes max_entries jobs queue_max
-      timeout_s log_level =
+  let run engine cache_dir no_cache max_bytes max_entries profdb_max_entries
+      jobs queue_max timeout_s log_level =
     handle_errors (fun () ->
         Option.iter Spt_obs.Log.set_level log_level;
         let engine =
@@ -782,9 +866,10 @@ let serve_cmd =
             engine
         in
         let cache = make_cache ?max_bytes ?max_entries ~cache_dir ~no_cache () in
+        let profdb = make_profdb ?max_entries:profdb_max_entries cache in
         let t =
-          Spt_service.Server.create ~cache ?engine ~jobs ~queue_max ?timeout_s
-            ()
+          Spt_service.Server.create ~cache ~profdb ?engine ~jobs ~queue_max
+            ?timeout_s ()
         in
         Spt_service.Server.serve t stdin stdout)
   in
@@ -797,8 +882,8 @@ let serve_cmd =
           timeouts and single-flight coalescing")
     Term.(
       const run $ engine_arg $ cache_dir_arg $ no_cache_arg
-      $ cache_max_bytes_arg $ cache_max_entries_arg $ jobs_arg $ queue_max_arg
-      $ timeout_arg $ log_level_arg)
+      $ cache_max_bytes_arg $ cache_max_entries_arg $ profdb_max_entries_arg
+      $ jobs_arg $ queue_max_arg $ timeout_arg $ log_level_arg)
 
 let loadtest_cmd =
   let clients_arg =
@@ -1096,18 +1181,65 @@ let adapt_cmd =
       & info [ "json" ] ~docv:"FILE"
           ~doc:"Write a machine-readable summary (schema $(b,spt-adapt-v1))")
   in
-  let run file config iters jobs threshold store_path json_out log_level =
+  let cache_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Share the adaptation through the profile database under \
+             $(docv): the starting store is seeded from the accumulated \
+             entry for this program, and the converged store is published \
+             back for every later compile to pick up")
+  in
+  let run file config iters jobs threshold store_path cache_dir json_out
+      log_level =
     handle_errors (fun () ->
         Option.iter Spt_obs.Log.set_level log_level;
+        let src = read_file file in
+        let db = Spt_profdb.Profdb.for_cache ~tool:version cache_dir in
+        let fingerprint =
+          if Spt_profdb.Profdb.enabled db then
+            Some
+              (Spt_service.Fingerprint.program
+                 (Spt_driver.Pipeline.front_end src))
+          else None
+        in
         let store = Option.map Spt_feedback.Profile_store.load store_path in
+        (* seed from the database's accumulated entry; the converged
+           store then *contains* it, which is why the write-back below
+           is a publish (replace), not an ingest (additive merge) *)
+        let store =
+          match fingerprint with
+          | None -> store
+          | Some fp -> (
+            match Spt_profdb.Profdb.lookup db ~fingerprint:fp with
+            | Some (dbs, g) when not (Spt_feedback.Profile_store.is_empty dbs)
+              ->
+              Spt_obs.Log.info "adapt seeded from profdb generation %d" g;
+              Some
+                (match store with
+                | Some s -> Spt_feedback.Profile_store.merge s dbs
+                | None -> dbs)
+            | Some _ | None -> store)
+        in
         let o =
-          Spt_feedback.Adapt.run ~config ?jobs ~iters ?threshold ?store
-            (read_file file)
+          Spt_feedback.Adapt.run ~config ?jobs ~iters ?threshold ?store src
         in
         print_string (Spt_feedback.Adapt.report o);
         Option.iter
           (fun path -> Spt_feedback.Profile_store.save o.Spt_feedback.Adapt.store path)
           store_path;
+        Option.iter
+          (fun fp ->
+            match
+              Spt_profdb.Profdb.publish db ~fingerprint:fp
+                o.Spt_feedback.Adapt.store
+            with
+            | Some g ->
+              Format.printf "; profdb: published generation %d@." g
+            | None -> ())
+          fingerprint;
         Option.iter
           (fun path -> Json.to_file path (Spt_feedback.Adapt.to_json o))
           json_out)
@@ -1120,7 +1252,7 @@ let adapt_cmd =
           store and recompile, until the partitions converge")
     Term.(
       const run $ file_arg $ config_arg $ iters_arg $ jobs_arg $ threshold_arg
-      $ store_arg $ json_arg $ log_level_arg)
+      $ store_arg $ cache_dir_arg $ json_arg $ log_level_arg)
 
 let fuzz_cmd =
   let seed_arg =
@@ -1241,6 +1373,113 @@ let fuzz_cmd =
       $ corpus_arg $ replay_arg $ shrink_budget_arg $ config_arg $ json_arg
       $ log_level_arg)
 
+(* ------------------------------------------------------------------ *)
+(* profdb: inspect, export and garbage-collect the profile database *)
+
+let profdb_cmd =
+  let open_db cache_dir =
+    let dir =
+      match cache_dir with
+      | Some d -> d
+      | None -> Spt_service.Artifact_cache.default_dir ()
+    in
+    Spt_profdb.Profdb.create ~tool:version
+      ~dir:(Spt_profdb.Profdb.subdir dir) ()
+  in
+  let stat_cmd =
+    let json_arg =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "json" ] ~docv:"FILE"
+            ~doc:
+              "Also write the raw census (schema $(b,spt-profdb-v1)) to \
+               $(docv)")
+    in
+    let run cache_dir json_out =
+      handle_errors (fun () ->
+          let db = open_db cache_dir in
+          let stats = Spt_profdb.Profdb.stats_json db in
+          (match Spt_driver.Report.top_text stats with
+          | Ok text -> print_string text
+          | Error msg ->
+            Format.eprintf "error: %s@." msg;
+            exit 1);
+          Option.iter (fun path -> Json.to_file path stats) json_out)
+    in
+    Cmd.v
+      (Cmd.info "stat" ~version
+         ~doc:
+           "Show the profile database census: per-program generations, \
+            telemetry footprint and entries another tool version left \
+            behind")
+      Term.(const run $ cache_dir_arg $ json_arg)
+  in
+  let export_cmd =
+    let fingerprint_arg =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "fingerprint" ] ~docv:"HEX"
+            ~doc:
+              "Export only this program's entry (fingerprints are listed by \
+               $(b,sptc profdb stat))")
+    in
+    let out_arg =
+      Arg.(
+        required
+        & opt (some string) None
+        & info [ "o"; "out" ] ~docv:"FILE"
+            ~doc:
+              "Write the merged store (schema $(b,spt-profile-v1)) to \
+               $(docv), usable anywhere $(b,--profile-in) is")
+    in
+    let run cache_dir fingerprint out =
+      handle_errors (fun () ->
+          let db = open_db cache_dir in
+          let store = Spt_profdb.Profdb.export ?fingerprint db in
+          if Spt_feedback.Profile_store.is_empty store then begin
+            Format.eprintf "error: no matching profile-database entries under %s@."
+              (Option.value ~default:"?" (Spt_profdb.Profdb.dir db));
+            exit 1
+          end;
+          Spt_feedback.Profile_store.save store out;
+          Format.printf "exported profile store to %s (digest %s)@." out
+            (Spt_feedback.Profile_store.digest store))
+    in
+    Cmd.v
+      (Cmd.info "export" ~version
+         ~doc:
+           "Merge database entries into a portable profile store — one \
+            program's or the whole fleet's")
+      Term.(const run $ cache_dir_arg $ fingerprint_arg $ out_arg)
+  in
+  let gc_cmd =
+    let run cache_dir max_entries =
+      handle_errors (fun () ->
+          let db = open_db cache_dir in
+          let invalid, evicted = Spt_profdb.Profdb.gc ?max_entries db in
+          Format.printf
+            "profdb gc: %d invalid file(s) dropped, %d entr%s evicted@."
+            invalid evicted
+            (if evicted = 1 then "y" else "ies"))
+    in
+    Cmd.v
+      (Cmd.info "gc" ~version
+         ~doc:
+           "Delete invalid database files (corrupt, wrong tool version) and, \
+            with $(b,--profdb-max-entries), evict least-recently-updated \
+            entries over the bound")
+      Term.(const run $ cache_dir_arg $ profdb_max_entries_arg)
+  in
+  Cmd.group
+    (Cmd.info "profdb" ~version
+       ~doc:
+         "Inspect and maintain the shared profile database (the \
+          $(b,spt-profdb-v1) directory under the cache dir) that \
+          auto-guides compiles from accumulated run telemetry")
+    [ stat_cmd; export_cmd; gc_cmd ]
+
 let () =
   let doc = "cost-driven speculative parallelization (PLDI 2004 reproduction)" in
   let info = Cmd.info "sptc" ~version ~doc in
@@ -1248,8 +1487,8 @@ let () =
     Cmd.group info
       [
         run_cmd; dump_ir_cmd; loops_cmd; compile_cmd; workload_cmd; batch_cmd;
-        top_cmd; serve_cmd; loadtest_cmd; graph_cmd; profile_cmd; adapt_cmd;
-        fuzz_cmd;
+        top_cmd; serve_cmd; loadtest_cmd; graph_cmd; profile_cmd; profdb_cmd;
+        adapt_cmd; fuzz_cmd;
       ]
   in
   (* distinct exit codes: 0 = success, 2 = usage error, 1 = compile/run

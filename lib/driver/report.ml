@@ -561,8 +561,8 @@ let metrics_json ?(parallel = []) (results : (string * Pipeline.eval) list) =
          parallel)
     (List.map (fun (name, e) -> eval_json ~name e) results)
 
-let bench_json ?(feedback = []) ?(gap = []) ?(engines = []) ~quick ~per_config
-    ~parallel () =
+let bench_json ?(feedback = []) ?(gap = []) ?(engines = []) ?profdb ~quick
+    ~per_config ~parallel () =
   Json.Obj
     ([
        ("schema", Json.Str "spt-bench-v2");
@@ -577,6 +577,7 @@ let bench_json ?(feedback = []) ?(gap = []) ?(engines = []) ~quick ~per_config
      ]
     @ (if gap = [] then [] else [ ("gap", Json.List gap) ])
     @ (if engines = [] then [] else [ ("engines", Json.List engines) ])
+    @ (match profdb with Some p -> [ ("profdb", p) ] | None -> [])
     @ [ ("feedback", Json.List feedback) ])
 
 (** One row of the bench's tree-vs-bytecode sequential comparison. *)
@@ -931,6 +932,91 @@ let top_loadtest j =
   | None -> ());
   Buffer.contents buf
 
+(* spt-profdb-v1 renders in two shapes: the database census (`sptc
+   profdb stat --json`, serve stats) and the bench's repeated-workload
+   generations scenario, which embeds a census under "db".  Render
+   whichever parts are present. *)
+let top_profdb j =
+  let buf = Buffer.create 512 in
+  (match Json.member "generations" j with
+  | Some (Json.List rows) when rows <> [] ->
+    Buffer.add_string buf
+      (Printf.sprintf
+         "misspeculation across generations (workload %s, %d job(s))\n"
+         (str_of (Json.member "workload" j))
+         (int_of_float (num0 (Json.member "jobs" j))));
+    let t =
+      Table.create
+        ~aligns:
+          [
+            Table.Right; Table.Left; Table.Right; Table.Right; Table.Right;
+            Table.Right;
+          ]
+        [ "gen"; "guided"; "spt loops"; "misspec"; "cost"; "speedup" ]
+    in
+    List.iter
+      (fun r ->
+        Table.add_row t
+          [
+            string_of_int (int_of_float (num0 (Json.member "generation" r)));
+            (match Json.member "guided" r with
+            | Some (Json.Bool true) -> "yes"
+            | _ -> "no");
+            string_of_int (int_of_float (num0 (Json.member "n_spt_loops" r)));
+            string_of_int (int_of_float (num0 (Json.member "misspec_events" r)));
+            string_of_int (int_of_float (num0 (Json.member "misspec_cost" r)));
+            Printf.sprintf "%.2fx" (num0 (Json.member "measured_speedup" r));
+          ])
+      rows;
+    Buffer.add_string buf (Table.render t)
+  | _ -> ());
+  let census = match Json.member "db" j with Some d -> d | None -> j in
+  (match Json.member "entries" census with
+  | Some _ ->
+    Buffer.add_string buf
+      (Printf.sprintf
+         "profile db: %s; tool %s, decay %.2f; %d entr(ies) (%d invalid), %d \
+          byte(s)\n"
+         (str_of (Json.member "dir" census))
+         (str_of (Json.member "tool" census))
+         (num0 (Json.member "decay" census))
+         (int_of_float (num0 (Json.member "entries" census)))
+         (int_of_float (num0 (Json.member "invalid" census)))
+         (int_of_float (num0 (Json.member "bytes" census))));
+    Buffer.add_string buf
+      (Printf.sprintf
+         "lookups %d (hits %d, misses %d); ingests %d, publishes %d, \
+          evictions %d, rejected %d\n"
+         (int_of_float (num0 (Json.member "lookups" census)))
+         (int_of_float (num0 (Json.member "hits" census)))
+         (int_of_float (num0 (Json.member "misses" census)))
+         (int_of_float (num0 (Json.member "ingests" census)))
+         (int_of_float (num0 (Json.member "publishes" census)))
+         (int_of_float (num0 (Json.member "evictions" census)))
+         (int_of_float (num0 (Json.member "rejected" census))));
+    (match Json.member "profiles" census with
+    | Some (Json.List rows) when rows <> [] ->
+      let t =
+        Table.create
+          ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right ]
+          [ "fingerprint"; "gen"; "loops"; "bytes" ]
+      in
+      List.iter
+        (fun r ->
+          let fp = str_of (Json.member "fingerprint" r) in
+          Table.add_row t
+            [
+              (if String.length fp > 12 then String.sub fp 0 12 else fp);
+              string_of_int (int_of_float (num0 (Json.member "generation" r)));
+              string_of_int (int_of_float (num0 (Json.member "loops" r)));
+              string_of_int (int_of_float (num0 (Json.member "bytes" r)));
+            ])
+        rows;
+      Buffer.add_string buf (Table.render t)
+    | _ -> ())
+  | None -> ());
+  Buffer.contents buf
+
 let top_bench j =
   let buf = Buffer.create 512 in
   (match Json.member "gap" j with
@@ -977,6 +1063,11 @@ let top_bench j =
     Buffer.add_string buf "sequential engines (tree vs bytecode)\n";
     Buffer.add_string buf (Table.render t)
   | _ -> ());
+  (match Json.member "profdb" j with
+  | Some p ->
+    Buffer.add_string buf "profile database (fleet feedback)\n";
+    Buffer.add_string buf (top_profdb p)
+  | None -> ());
   (match Json.member "loadtest" j with
   | Some lt ->
     Buffer.add_string buf "service load test\n";
@@ -990,6 +1081,7 @@ let top_text j =
   | Some (Json.Str "spt-metrics-v1") -> Ok (top_metrics j)
   | Some (Json.Str "spt-batch-v1") -> Ok (top_batch j)
   | Some (Json.Str "spt-loadtest-v1") -> Ok (top_loadtest j)
+  | Some (Json.Str "spt-profdb-v1") -> Ok (top_profdb j)
   | Some (Json.Str "spt-bench-v2") -> Ok (top_bench j)
   | Some (Json.Str s) -> Error (Printf.sprintf "unsupported schema %S" s)
   | _ -> Error "not an spt report (no \"schema\" field)"

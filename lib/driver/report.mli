@@ -87,13 +87,15 @@ val metrics_json_of : ?runtime:Spt_obs.Json.t list -> Spt_obs.Json.t list -> Spt
 (** The `spt-bench-v2` summary `bench/main.exe` writes: one
     {!metrics_json} object per configuration, the measured-speedup
     records of the real parallel runs, the static-vs-profile-guided
-    misspeculation-cost comparison rows ([feedback]), and the
+    misspeculation-cost comparison rows ([feedback]), the
     tree-vs-bytecode sequential engine comparison rows ([engines],
-    {!engine_row}). *)
+    {!engine_row}), and the profile-database repeated-workload
+    generations scenario ([profdb], an `spt-profdb-v1` object). *)
 val bench_json :
   ?feedback:Spt_obs.Json.t list ->
   ?gap:Spt_obs.Json.t list ->
   ?engines:Spt_obs.Json.t list ->
+  ?profdb:Spt_obs.Json.t ->
   quick:bool ->
   per_config:(string * (string * Pipeline.eval) list) list ->
   parallel:Spt_obs.Json.t list ->
@@ -129,11 +131,11 @@ val attrib_json :
   Spt_obs.Json.t
 
 (** Render a machine-readable report (`spt-attrib-v1`, `spt-metrics-v1`,
-    `spt-batch-v1`, `spt-loadtest-v1` or `spt-bench-v2`) as aligned
-    text tables — the [sptc top] analyzer.  A bench report with an
-    embedded [loadtest] section (written by [sptc loadtest
-    --bench-out]) renders that section too.  [Error] explains an
-    unknown or missing [schema] field. *)
+    `spt-batch-v1`, `spt-loadtest-v1`, `spt-profdb-v1` or
+    `spt-bench-v2`) as aligned text tables — the [sptc top] analyzer.
+    A bench report with an embedded [loadtest] or [profdb] section
+    renders those too.  [Error] explains an unknown or missing
+    [schema] field. *)
 val top_text : Spt_obs.Json.t -> (string, string) result
 
 (** The human-readable [sptc compile] summary.  The CLI prints this and

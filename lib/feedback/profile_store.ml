@@ -164,6 +164,52 @@ let merge a b =
   t
 
 (* ------------------------------------------------------------------ *)
+(* Decay *)
+
+let obs_is_zero o =
+  o.o_iters = 0 && o.o_forks = 0 && o.o_commits = 0 && o.o_violations = 0
+  && o.o_faults = 0 && o.o_kills = 0 && o.o_despecs = 0
+  && o.o_serial_reexecs = 0 && o.o_stale_other = 0 && o.o_stale_regions = []
+
+let scaled t f =
+  (* floor, never round: decay must be monotone and must reach zero,
+     otherwise a count of 1 at factor 0.5 would survive forever *)
+  let s n = if n <= 0 then 0 else int_of_float (floor (float_of_int n *. f)) in
+  let dst = empty () in
+  if f > 0.0 then begin
+    Hashtbl.iter (fun k n -> bump dst.blocks k (s n)) t.blocks;
+    Hashtbl.iter (fun k n -> bump dst.edges k (s n)) t.edges;
+    Hashtbl.iter (fun k n -> bump dst.entries k (s n)) t.entries;
+    Hashtbl.iter (fun k n -> bump dst.deps k (s n)) t.deps;
+    Hashtbl.iter (fun k n -> bump dst.writes k (s n)) t.writes;
+    Hashtbl.iter (fun k n -> bump dst.strides k (s n)) t.strides;
+    Hashtbl.iter
+      (fun (func, header) o ->
+        let o' =
+          {
+            o_iters = s o.o_iters;
+            o_forks = s o.o_forks;
+            o_commits = s o.o_commits;
+            o_violations = s o.o_violations;
+            o_faults = s o.o_faults;
+            o_kills = s o.o_kills;
+            o_despecs = s o.o_despecs;
+            o_serial_reexecs = s o.o_serial_reexecs;
+            o_stale_other = s o.o_stale_other;
+            o_stale_regions =
+              List.filter_map
+                (fun (sid, n) ->
+                  let n = s n in
+                  if n > 0 then Some (sid, n) else None)
+                o.o_stale_regions;
+          }
+        in
+        if not (obs_is_zero o') then add_observation dst ~func ~header o')
+      t.telem
+  end;
+  dst
+
+(* ------------------------------------------------------------------ *)
 (* Canonical JSON *)
 
 let to_json t =

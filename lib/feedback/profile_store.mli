@@ -73,6 +73,15 @@ val observations : t -> ((string * int) * obs) list
     commutative and associative up to {!digest}). *)
 val merge : t -> t -> t
 
+(** [scaled t f] is a fresh store with every counter of [t] multiplied
+    by [f] and floored.  Flooring (never rounding) makes repeated decay
+    monotone — a count can only shrink, and any count eventually
+    reaches zero and drops out of the store entirely — which is what
+    lets the profile database age stale telemetry out instead of
+    letting a single ancient observation linger forever.  [f <= 0]
+    yields the empty store; [scaled t 1.0] is a copy. *)
+val scaled : t -> float -> t
+
 (** Canonical JSON rendering (sorted keys, schema-tagged). *)
 val to_json : t -> Spt_obs.Json.t
 

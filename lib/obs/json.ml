@@ -95,6 +95,13 @@ let prepend field = function
   | Obj fields -> Obj (field :: fields)
   | other -> other
 
+let set ((key, _) as field) = function
+  | Obj fields ->
+    if List.mem_assoc key fields then
+      Obj (List.map (fun (k, v) -> if String.equal k key then field else (k, v)) fields)
+    else Obj (fields @ [ field ])
+  | other -> other
+
 (* ------------------------------------------------------------------ *)
 (* Reading: recursive descent *)
 

@@ -32,5 +32,12 @@ val member : string -> t -> t option
     its own discriminator field. *)
 val prepend : string * t -> t -> t
 
+(** [set (key, v) j] replaces the binding of [key] in place when [j]
+    is an object that has one, appends it otherwise, and returns [j]
+    unchanged when it is not an object — how a committed report file
+    (BENCH_results.json) has one section refreshed without disturbing
+    the others' order. *)
+val set : string * t -> t -> t
+
 (** Write [to_string j] (plus a trailing newline) to [path]. *)
 val to_file : string -> t -> unit

@@ -1,0 +1,29 @@
+(** Advisory cross-process file locks, safe for OCaml 5 domains.
+
+    POSIX [lockf]/[fcntl] record locks are held *per process*: two
+    domains of the same process both "acquire" the same lock and walk
+    straight through each other.  So a lock here is two locks taken in
+    order — a process-wide per-path mutex (domains of one process
+    exclude each other) and then an exclusive [lockf] region on the
+    lock file (processes exclude each other).  Record locks die with
+    the owning process, so a crashed writer never wedges the database:
+    the next acquirer simply wins the region.
+
+    Acquisition polls with a deadline rather than blocking forever;
+    callers decide what contention degrades to (the profile database
+    skips an ingest, the artifact cache falls back to the old unlocked
+    index write). *)
+
+type t
+
+(** [acquire ?timeout_s path] takes the lock, creating [path] (and its
+    parent directories) as needed.  [None] when the lock could not be
+    taken within [timeout_s] (default 10s). *)
+val acquire : ?timeout_s:float -> string -> t option
+
+(** Release both layers.  Idempotent. *)
+val release : t -> unit
+
+(** [with_lock ?timeout_s path f] runs [f] under the lock and releases
+    it on any exit.  [None] iff acquisition timed out ([f] not run). *)
+val with_lock : ?timeout_s:float -> string -> (unit -> 'a) -> 'a option

@@ -212,7 +212,7 @@ let disk_find t key =
    corrupt or missing index is rebuilt by scanning the shard
    directories (sizes from [stat], recency from mtime order). *)
 
-let index_json t =
+let index_json disk =
   let entries =
     Hashtbl.fold
       (fun key e acc ->
@@ -223,20 +223,58 @@ let index_json t =
             ("used", Json.Int e.d_used);
           ]
         :: acc)
-      t.disk []
+      disk []
   in
   Json.Obj
     [ ("schema", Json.Str index_schema); ("entries", Json.List entries) ]
 
 (* persisted on store and evict (not on every find: recency bumps are
    flushed with the next write).  Best-effort: a failed write leaves
-   the previous index, which rebuild-on-mismatch tolerates. *)
+   the previous index, which rebuild-on-mismatch tolerates.
+
+   Two processes sharing the root (two serve instances on one cache
+   dir) race this write, and the index is whole-file replace — so the
+   write happens under a cross-process lock file and merges first:
+   entries only the on-disk index knows (the other process stored
+   them) are kept, our own image wins per key.  If the lock cannot be
+   taken promptly the old clobbering write is still better than no
+   index at all. *)
 let persist_index t =
   match index_path (root t) with
   | None -> ()
-  | Some path -> (
-    try atomic_write path (Json.to_string ~minify:true (index_json t))
-    with _ -> Spt_obs.Metrics.inc m_disk_errors)
+  | Some path ->
+    let write () =
+      let merged = Hashtbl.copy t.disk in
+      (match Json.of_string (read_file path) with
+      | Ok j when Json.member "schema" j = Some (Json.Str index_schema) -> (
+        match Json.member "entries" j with
+        | Some (Json.List es) ->
+          List.iter
+            (fun e ->
+              match
+                ( Json.member "key" e,
+                  Json.member "bytes" e,
+                  Json.member "used" e )
+              with
+              | Some (Json.Str key), Some (Json.Int bytes), Some (Json.Int used)
+                when not (Hashtbl.mem merged key) ->
+                Hashtbl.replace merged key { d_bytes = bytes; d_used = used }
+              | _ -> ())
+            es
+        | _ -> ())
+      | Ok _ | Error _ -> ()
+      | exception _ -> ());
+      atomic_write path (Json.to_string ~minify:true (index_json merged))
+    in
+    let lock = Filename.concat (Filename.dirname path) "index.lock" in
+    (try
+       match Spt_profdb.Lockfile.with_lock ~timeout_s:0.5 lock write with
+       | Some () -> ()
+       | None ->
+         (* lock starvation: the old clobbering write still beats
+            leaving a stale index behind *)
+         write ()
+     with _ -> Spt_obs.Metrics.inc m_disk_errors)
 
 let scan_rebuild t r =
   Hashtbl.reset t.disk;

@@ -3,7 +3,7 @@
 module Json = Spt_obs.Json
 open Spt_driver
 
-let tool_version = "1.4.0"
+let tool_version = "1.5.0"
 let payload_schema = "spt-artifact-v1"
 
 let m_compiles = Spt_obs.Metrics.counter "service.compiles"
@@ -16,6 +16,7 @@ type outcome = {
   eval : Json.t;
   report_text : string;
   elapsed_s : float;
+  profile_gen : int option;
 }
 
 (* a non-empty profile store changes analysis results, so its digest
@@ -25,13 +26,15 @@ let profile_digest = function
     Some (Spt_feedback.Profile_store.digest p)
   | Some _ | None -> None
 
-let key_of ~config ?profile source =
-  let prog = Pipeline.front_end source in
+let key_of_prog ~config ?profile prog =
   Fingerprint.key
     ~config_key:
       (Config.cache_key ?profile:(profile_digest profile) config
       ^ ";tool=" ^ tool_version)
     prog
+
+let key_of ~config ?profile source =
+  key_of_prog ~config ?profile (Pipeline.front_end source)
 
 (* the per-loop artifacts of pass 1/2: what the partition search chose
    and what selection decided, one record per analyzed loop *)
@@ -60,15 +63,39 @@ let partition_artifacts (e : Pipeline.eval) =
            ])
        e.Pipeline.loops)
 
-let compile ~cache ~config ?profile ~name source =
+let compile ~cache ~config ?profile ?profdb ~name source =
   let t0 = Unix.gettimeofday () in
   Spt_obs.Metrics.inc m_compiles;
-  let key = key_of ~config ?profile source in
+  let prog = Pipeline.front_end source in
+  (* profile resolution: an explicit store always wins; with none, the
+     profile database under the cache dir is consulted by the
+     config-independent program fingerprint, so warm traffic gets
+     guided compiles with zero client changes *)
+  let profile, profile_gen =
+    match profile with
+    | Some _ as p -> (p, None)
+    | None -> (
+      let db =
+        match profdb with
+        | Some db -> db
+        | None ->
+          Spt_profdb.Profdb.for_cache ~tool:tool_version
+            (Artifact_cache.dir cache)
+      in
+      match
+        Spt_profdb.Profdb.lookup db ~fingerprint:(Fingerprint.program prog)
+      with
+      | Some (store, gen) when not (Spt_feedback.Profile_store.is_empty store)
+        ->
+        (Some store, Some gen)
+      | Some _ | None -> (None, None))
+  in
+  let key = key_of_prog ~config ?profile prog in
   let finish hit eval report_text =
     let elapsed_s = Unix.gettimeofday () -. t0 in
     Spt_obs.Metrics.observe h_latency elapsed_s;
     if hit then Spt_obs.Metrics.inc m_warm;
-    { key; hit; eval; report_text; elapsed_s }
+    { key; hit; eval; report_text; elapsed_s; profile_gen }
   in
   let cold () =
     let profile_seed, observations =

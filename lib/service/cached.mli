@@ -24,6 +24,10 @@ type outcome = {
   eval : Spt_obs.Json.t;  (** {!Spt_driver.Report.eval_json} payload *)
   report_text : string;  (** {!Spt_driver.Report.compile_text} output *)
   elapsed_s : float;  (** this request's latency, warm or cold *)
+  profile_gen : int option;
+      (** generation of the profile-database entry that guided this
+          compile, when the profile came from automatic lookup (never
+          set for an explicit [?profile]) *)
 }
 
 (** The cache key [compile] would use for [source] under [config] —
@@ -39,13 +43,24 @@ val key_of :
 (** Compile [source] (displayed as [name]) under [config], through
     [cache].  A non-empty [profile] store seeds the compilation's
     profilers and injects its telemetry as feedback observations on the
-    cold path (and keys warm hits separately from cold ones).  Raises
-    whatever the front end raises on invalid source; cache malfunctions
-    never raise (they recompute). *)
+    cold path (and keys warm hits separately from cold ones).
+
+    With no explicit [profile], the profile database is consulted by
+    the config-independent program fingerprint
+    ({!Spt_profdb.Profdb.lookup}): a warmed fingerprint gets a guided
+    compile with zero client changes, and the guiding store's digest
+    still folds into the key, so guided and unguided artifacts never
+    collide.  [profdb] overrides the database (servers pass their
+    long-lived instance); the default is the database under [cache]'s
+    directory, disabled when the cache is.
+
+    Raises whatever the front end raises on invalid source; cache and
+    database malfunctions never raise (they recompute / miss). *)
 val compile :
   cache:Artifact_cache.t ->
   config:Spt_driver.Config.t ->
   ?profile:Spt_feedback.Profile_store.t ->
+  ?profdb:Spt_profdb.Profdb.t ->
   name:string ->
   string ->
   outcome

@@ -25,6 +25,9 @@ type pending = {
 
 type t = {
   cache : Artifact_cache.t;
+  profdb : Spt_profdb.Profdb.t;
+      (* the fleet profile database under the cache dir: consulted on
+         every compile, fed by every workload run *)
   engine : Spt_exec.Engine.kind option;
       (* server-wide default engine; a request's own "engine" field wins *)
   jobs : int;
@@ -48,9 +51,18 @@ type t = {
   mutable inflight : int;
 }
 
-let create ?cache ?engine ?(jobs = 1) ?(queue_max = 64) ?timeout_s () =
+let create ?cache ?profdb ?engine ?(jobs = 1) ?(queue_max = 64) ?timeout_s () =
+  let cache =
+    match cache with Some c -> c | None -> Artifact_cache.create ()
+  in
   {
-    cache = (match cache with Some c -> c | None -> Artifact_cache.create ());
+    cache;
+    profdb =
+      (match profdb with
+      | Some db -> db
+      | None ->
+        Spt_profdb.Profdb.for_cache ~tool:Cached.tool_version
+          (Artifact_cache.dir cache));
     engine;
     jobs = max 1 jobs;
     queue_max = max 1 queue_max;
@@ -134,16 +146,22 @@ let observe t dt =
 
 let compile_reply ~op ~name (o : Cached.outcome) =
   Json.Obj
-    [
-      ("ok", Json.Bool true);
-      ("op", Json.Str op);
-      ("name", Json.Str name);
-      ("key", Json.Str o.Cached.key);
-      ("cache_hit", Json.Bool o.Cached.hit);
-      ("elapsed_s", Json.Float o.Cached.elapsed_s);
-      ("report_text", Json.Str o.Cached.report_text);
-      ("eval", o.Cached.eval);
-    ]
+    ([
+       ("ok", Json.Bool true);
+       ("op", Json.Str op);
+       ("name", Json.Str name);
+       ("key", Json.Str o.Cached.key);
+       ("cache_hit", Json.Bool o.Cached.hit);
+       ("elapsed_s", Json.Float o.Cached.elapsed_s);
+       ("report_text", Json.Str o.Cached.report_text);
+       ("eval", o.Cached.eval);
+     ]
+    @
+    (* only present when the profile database guided the compile, so
+       pre-profdb clients see byte-identical replies *)
+    match o.Cached.profile_gen with
+    | Some g -> [ ("profdb_gen", Json.Int g) ]
+    | None -> [])
 
 let stats_reply t =
   Mutex.lock t.mu;
@@ -169,6 +187,7 @@ let stats_reply t =
         ( "timeout_s",
           match t.timeout_s with Some s -> Json.Float s | None -> Json.Null );
         ("cache", Artifact_cache.stats_json t.cache);
+        ("profdb", Spt_profdb.Profdb.stats_json t.profdb);
         ("latency_s", latency);
       ])
 
@@ -189,10 +208,82 @@ let reply_of t req =
     in
     let reply =
       match
-        Cached.compile ~cache:t.cache ~config:(config_of t req) ?profile ~name
-          source
+        Cached.compile ~cache:t.cache ~config:(config_of t req) ?profile
+          ~profdb:t.profdb ~name source
       with
       | o -> compile_reply ~op ~name o
+      | exception e -> err (describe_error e)
+    in
+    observe t (Unix.gettimeofday () -. t0);
+    reply
+  in
+  (* a workload request with "run":true executes the compilation on
+     the speculative runtime and ingests the observed misspeculation
+     telemetry back into the profile database — the write half of the
+     fleet feedback loop (compiles are the read half) *)
+  let timed_run ~name ~source =
+    let t0 = Unix.gettimeofday () in
+    let reply =
+      match
+        let config = config_of t req in
+        let jobs =
+          match Json.member "jobs" req with
+          | Some (Json.Int n) -> max 1 n
+          | _ -> 1
+        in
+        let fingerprint = Fingerprint.program (Pipeline.front_end source) in
+        let profile, gen_in =
+          match
+            Option.map Spt_feedback.Profile_store.load
+              (str_member "profile" req)
+          with
+          | Some _ as p -> (p, None)
+          | None -> (
+            match Spt_profdb.Profdb.lookup t.profdb ~fingerprint with
+            | Some (s, g) when not (Spt_feedback.Profile_store.is_empty s) ->
+              (Some s, Some g)
+            | Some _ | None -> (None, None))
+        in
+        let profile_seed, observations =
+          match profile with
+          | Some p when not (Spt_feedback.Profile_store.is_empty p) ->
+            ( Some (Spt_feedback.Profile_store.seed p),
+              Some (Spt_feedback.Telemetry.observations p) )
+          | Some _ | None -> (None, None)
+        in
+        let runtime_config =
+          { (Spt_runtime.Runtime.default_config ()) with oracle = false }
+        in
+        let pr =
+          Pipeline.run_parallel ~config ~jobs ~runtime_config ?profile_seed
+            ?observations source
+        in
+        let fresh = Spt_feedback.Profile_store.empty () in
+        Spt_feedback.Telemetry.record fresh pr.Pipeline.pr_spt
+          pr.Pipeline.pr_runtime;
+        (pr, gen_in, Spt_profdb.Profdb.ingest t.profdb ~fingerprint fresh)
+      with
+      | pr, gen_in, gen_out ->
+        Json.Obj
+          ([
+             ("ok", Json.Bool true);
+             ("op", Json.Str "workload");
+             ("name", Json.Str name);
+             ("run", Json.Bool true);
+             ("jobs", Json.Int pr.Pipeline.pr_jobs);
+             ("n_spt_loops", Json.Int pr.Pipeline.pr_n_loops);
+             ( "measured_speedup",
+               Json.Float pr.Pipeline.pr_measured_speedup );
+             ("guided", Json.Bool (gen_in <> None));
+             ("runtime", Spt_runtime.Runtime.stats_json pr.Pipeline.pr_runtime);
+           ]
+          @ (match gen_in with
+            | Some g -> [ ("profdb_gen_in", Json.Int g) ]
+            | None -> [])
+          @
+          match gen_out with
+          | Some g -> [ ("profdb_gen", Json.Int g) ]
+          | None -> [])
       | exception e -> err (describe_error e)
     in
     observe t (Unix.gettimeofday () -. t0);
@@ -224,8 +315,10 @@ let reply_of t req =
       with
       | None -> err (Printf.sprintf "workload: unknown workload %S" name)
       | Some w ->
-        timed_compile ~op:"workload" ~name ~source:w.Spt_workloads.Suite.source
-      ))
+        let source = w.Spt_workloads.Suite.source in
+        if Json.member "run" req = Some (Json.Bool true) then
+          timed_run ~name ~source
+        else timed_compile ~op:"workload" ~name ~source))
   | Some "stats" -> stats_reply t
   | Some "shutdown" ->
     Json.Obj [ ("ok", Json.Bool true); ("op", Json.Str "shutdown") ]

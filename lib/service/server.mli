@@ -16,9 +16,15 @@
       with [cache_hit], the cache [key], [elapsed_s], the report text
       and the full eval JSON.
     - [{"op":"workload","name":N}] — compile a built-in workload.
+      With ["run":true] (optional ["jobs"]), the compilation is also
+      executed on the speculative runtime and its misspeculation
+      telemetry ingested into the profile database — the reply carries
+      the measured speedup, runtime stats, ["guided"] and the entry's
+      new ["profdb_gen"].
     - [{"op":"stats"}] — request/error/timeout/overloaded/coalesced
       counts, concurrency settings, in-flight depth, cache
-      hit/miss/rate and the request-latency histogram.
+      hit/miss/rate, the profile-database census ([spt-profdb-v1])
+      and the request-latency histogram.
     - [{"op":"shutdown"}] — drain in-flight work, then acknowledge
       (the ack is the final reply) and end the loop.
 
@@ -57,9 +63,13 @@ type t
     configuration (a request's own ["engine"] field wins over it).
     [jobs] (default 1 = sequential) sets the worker-domain count for
     {!serve}; [queue_max] (default 64) the in-flight high-water mark;
-    [timeout_s] (default none) the per-request timeout. *)
+    [timeout_s] (default none) the per-request timeout.  [profdb]
+    (default: the database under the cache's directory, disabled when
+    the cache is) is consulted on every compile without an explicit
+    ["profile"] and fed by every ["run":true] workload. *)
 val create :
   ?cache:Artifact_cache.t ->
+  ?profdb:Spt_profdb.Profdb.t ->
   ?engine:Spt_exec.Engine.kind ->
   ?jobs:int ->
   ?queue_max:int ->

@@ -16,6 +16,7 @@ let () =
       ("driver", Test_driver.suite);
       ("runtime", Test_runtime.suite);
       ("feedback", Test_feedback.suite);
+      ("profdb", Test_profdb.suite);
       ("service", Test_service.suite);
       ("loadgen", Test_loadgen.suite);
       ("fuzz", Test_fuzz.suite);
