@@ -1,0 +1,114 @@
+#!/bin/sh
+# Smoke test for K-deep DOACROSS pipelining: the CLI's --depth surface
+# must reject nonsense (0, negative, non-integer, sequential runs) and
+# accept forced depths end-to-end; the bench's depth sweep must produce
+# its spt-depth-v1 section with rows for depths 1/2/4; the accumulator
+# workload must never trip the despeculation valve (runtime value
+# prediction keeps it speculative); and depth 4 must not lose to
+# depth 1 — strictly on a machine with cores to pipeline across, within
+# a bounded overhead factor on a core-starved box (the recorded "cores"
+# field tells which regime the numbers were measured in).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build bin/sptc.exe bench/main.exe"
+dune build bin/sptc.exe bench/main.exe
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+sptc=_build/default/bin/sptc.exe
+
+fail() {
+  echo "depth_smoke: FAIL: $1" >&2
+  exit 1
+}
+
+cat > "$tmpdir/loop.c" <<'EOF'
+int n = 2000;
+int a[2000];
+void main() {
+  int i;
+  int s = 0;
+  for (i = 0; i < n; i = i + 1) { a[i] = i * 3 + 1; }
+  for (i = 0; i < n; i = i + 1) { s = s + (a[i] & 7); }
+  print_int(s);
+}
+EOF
+
+echo "== --depth validation (exit codes)"
+expect_usage() {
+  # $1 = label, rest = sptc args; must exit 2 with a message on stderr
+  label=$1; shift
+  set +e
+  "$sptc" "$@" > /dev/null 2> "$tmpdir/err.txt"
+  code=$?
+  set -e
+  [ "$code" -eq 2 ] || fail "$label exited $code, want 2"
+  [ -s "$tmpdir/err.txt" ] || fail "$label printed no error"
+}
+expect_usage "--depth 0" run --parallel --depth 0 "$tmpdir/loop.c"
+expect_usage "--depth -1" run --parallel --depth=-1 "$tmpdir/loop.c"
+expect_usage "--depth four" run --parallel --depth four "$tmpdir/loop.c"
+expect_usage "sequential --depth" run --depth 2 "$tmpdir/loop.c"
+"$sptc" run --parallel -j 2 --depth 4 --log-level warn "$tmpdir/loop.c" \
+  > /dev/null || fail "a valid forced depth was rejected"
+
+echo "== bench scenario (SPT_BENCH_ONLY=depth)"
+json="$tmpdir/bench.json"
+SPT_BENCH_ONLY=depth SPT_BENCH_JSON="$json" dune exec bench/main.exe \
+  > "$tmpdir/bench.txt"
+grep -q '"spt-depth-v1"' "$json" || fail "bench JSON lacks the depth section"
+
+# pull per-depth wall times out of the sweep rows ("depth": K precedes
+# "wall_s": S inside each row object; comma-split keeps it line-safe)
+walls=$(awk 'BEGIN { RS = "," }
+  /"depth":/  { s = $0; sub(/.*"depth": */, "", s);  sub(/[^0-9].*/, "", s); cur = s }
+  /"wall_s":/ { s = $0; sub(/.*"wall_s": */, "", s); sub(/[^0-9.].*/, "", s); wall[cur] = s }
+  END { print wall[1] + 0, wall[4] + 0 }' "$json")
+wall1=${walls% *}
+wall4=${walls#* }
+cores=$(awk 'BEGIN { RS = "," } /"cores":/ {
+  s = $0; sub(/.*"cores": */, "", s); sub(/[^0-9].*/, "", s); print s; exit
+}' "$json")
+[ -n "$cores" ] || fail "depth section records no core count"
+awk -v a="$wall1" -v b="$wall4" 'BEGIN { exit !(a > 0 && b > 0) }' \
+  || fail "sweep rows are missing depth-1/depth-4 wall times"
+
+if [ "$cores" -ge 2 ]; then
+  # the machine can actually overlap chunks: depth 4 must not be slower
+  # than depth 1 (5% noise floor)
+  awk -v a="$wall1" -v b="$wall4" 'BEGIN { exit !(b <= a * 1.05) }' \
+    || fail "depth-4 slower than depth-1 on $cores cores (${wall1}s -> ${wall4}s)"
+  echo "   depth 1 -> 4: ${wall1}s -> ${wall4}s on $cores core(s)"
+else
+  # one usable core: every domain time-shares it, so the sweep measures
+  # pipelining overhead; keep that overhead bounded
+  awk -v a="$wall1" -v b="$wall4" 'BEGIN { exit !(b <= a * 1.75) }' \
+    || fail "depth-4 overhead unbounded on 1 core (${wall1}s -> ${wall4}s)"
+  echo "   depth 1 -> 4: ${wall1}s -> ${wall4}s (1 core: overhead regime)"
+fi
+
+echo "== accumulator stays speculative (runtime SVP)"
+acc=$(awk 'BEGIN { RS = "," }
+  /"accumulator"/ { inacc = 1 }
+  inacc && /"despecs":/      { s = $0; sub(/.*"despecs": */, "", s);      sub(/[^0-9].*/, "", s); d = s }
+  inacc && /"svp_predicts":/ { s = $0; sub(/.*"svp_predicts": */, "", s); sub(/[^0-9].*/, "", s); p = s }
+  inacc && /"svp_hits":/     { s = $0; sub(/.*"svp_hits": */, "", s);     sub(/[^0-9].*/, "", s); h = s }
+  END { print d + 0, p + 0, h + 0 }' "$json")
+acc_despecs=$(echo "$acc" | cut -d' ' -f1)
+acc_predicts=$(echo "$acc" | cut -d' ' -f2)
+acc_hits=$(echo "$acc" | cut -d' ' -f3)
+[ "$acc_despecs" -eq 0 ] \
+  || fail "accumulator workload despeculated ($acc_despecs valve trips)"
+[ "$acc_predicts" -gt 0 ] || fail "accumulator never exercised value prediction"
+[ "$acc_hits" -gt 0 ] || fail "value prediction never hit on the accumulator"
+
+echo "== sptc top renders the depth section"
+"$sptc" top "$json" > "$tmpdir/top.txt"
+grep -q 'depth sweep' "$tmpdir/top.txt" \
+  || fail "sptc top did not render the depth sweep"
+grep -q 'accumulator' "$tmpdir/top.txt" \
+  || fail "sptc top did not render the accumulator line"
+
+echo "depth_smoke: OK (depth 1 -> 4: ${wall1}s -> ${wall4}s on $cores core(s), accumulator despecs 0, svp $acc_hits/$acc_predicts)"

@@ -42,6 +42,10 @@ let bench_only = Sys.getenv_opt "SPT_BENCH_ONLY"
 let engines_only = bench_only = Some "engines"
 let profdb_only = bench_only = Some "profdb"
 
+(* SPT_BENCH_ONLY=depth runs just the K-deep pipelining sweep (what
+   bench/depth_smoke.sh consumes), grafting its section like profdb. *)
+let depth_only = bench_only = Some "depth"
+
 let workloads =
   if quick then
     List.filter
@@ -459,6 +463,163 @@ let profdb_generations () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Speculation depth: the same pipeline-friendly program executed with
+   the in-flight window forced to 1 (the paper's main+1 model) and to
+   K > 1 chunks — K-deep DOACROSS pipelining with ordered commit.  The
+   accumulator workload rides along: its post-fork loop-carried sum
+   used to trip the despeculation valve; runtime value prediction must
+   now keep it speculative (despecs = 0).  bench/depth_smoke.sh
+   enforces both claims in CI: depth-4 throughput >= depth-1 and an
+   accumulator that never despeculates. *)
+
+(* independent iterations with a compute-dense, write-light body: the
+   workers do ~100x more work per chunk than the sequential thread
+   spends validating and committing it, so throughput is bounded by how
+   many chunks are in flight, not by the ordered-commit drain *)
+let depth_pipeline_src =
+  {|
+int n = 6000;
+int a[6000];
+int b[6000];
+void main() {
+  int i;
+  for (i = 0; i < n; i = i + 1) { a[i] = i * 7 + 3; }
+  for (i = 0; i < n; i = i + 1) {
+    int x = a[i];
+    int acc = 0;
+    int j;
+    for (j = 0; j < 48; j = j + 1) {
+      acc = acc + (((x + j) * (x - j)) & 255);
+    }
+    b[i] = acc;
+  }
+  print_int(b[0] + b[1234] + b[5999]);
+}
+|}
+
+(* a clean loop plus a loop carrying [s] through the post-fork region —
+   the pattern DESIGN.md 3f used to document as a known degradation *)
+let depth_accumulator_src =
+  {|
+int n = 20000;
+int a[20000];
+int b[20000];
+void main() {
+  int i;
+  for (i = 0; i < n; i = i + 1) { a[i] = i * 3 + 1; }
+  int s = 0;
+  for (i = 0; i < n; i = i + 1) {
+    int x = a[i];
+    int y = x * x + 7;
+    b[i] = y - (x & 31);
+    s = s + (y & 3);
+  }
+  print_int(s + b[0] + b[19999]);
+}
+|}
+
+let depth_sweep () =
+  section
+    (Printf.sprintf "Speculation depth: K-deep pipelining (%d job(s))"
+       parallel_jobs);
+  let module R = Spt_runtime.Runtime in
+  let runtime_config = { (R.default_config ()) with R.oracle = false } in
+  (* best of two runs per depth, like the engine comparison, to shave
+     scheduler noise off the smoke test's depth-4 >= depth-1 assertion *)
+  let run ?depth src =
+    let once () =
+      Pipeline.run_parallel ~jobs:parallel_jobs ?depth ~runtime_config src
+    in
+    let a = once () in
+    let b = once () in
+    if a.Pipeline.pr_runtime.R.wall_time <= b.Pipeline.pr_runtime.R.wall_time
+    then a
+    else b
+  in
+  let totals (pr : Pipeline.parallel_run) =
+    List.fold_left
+      (fun (c, k, v, d, (sp, sh, sm)) ((_, st) : int * R.loop_stats) ->
+        let p, h, m = R.svp_totals st in
+        ( c + st.R.commits,
+          k + st.R.kills,
+          v + st.R.violations,
+          d + st.R.despecs,
+          (sp + p, sh + h, sm + m) ))
+      (0, 0, 0, 0, (0, 0, 0))
+      pr.Pipeline.pr_runtime.R.stats
+  in
+  let t =
+    Spt_util.Table.create
+      ~aligns:
+        [
+          Spt_util.Table.Right; Spt_util.Table.Right; Spt_util.Table.Right;
+          Spt_util.Table.Right; Spt_util.Table.Right; Spt_util.Table.Right;
+          Spt_util.Table.Right;
+        ]
+      [ "depth"; "wall"; "speedup"; "commits"; "kills"; "violations"; "svp" ]
+  in
+  let rows =
+    List.map
+      (fun depth ->
+        let pr = run ~depth depth_pipeline_src in
+        let commits, kills, violations, despecs, svp = totals pr in
+        let predicts, hits, _ = svp in
+        Spt_util.Table.add_row t
+          [
+            string_of_int depth;
+            Printf.sprintf "%.3fs" pr.Pipeline.pr_runtime.R.wall_time;
+            Printf.sprintf "%.2fx" pr.Pipeline.pr_measured_speedup;
+            string_of_int commits;
+            string_of_int kills;
+            string_of_int violations;
+            Printf.sprintf "%d/%d" hits predicts;
+          ];
+        Report.depth_row ~depth ~wall_s:pr.Pipeline.pr_runtime.R.wall_time
+          ~speedup:pr.Pipeline.pr_measured_speedup ~commits ~kills ~violations
+          ~despecs ~svp)
+      [ 1; 2; 4 ]
+  in
+  Spt_util.Table.print t;
+  (* the accumulator runs at the cost model's depth: the claim is about
+     the default pipeline, not a hand-picked configuration *)
+  let acc = run depth_accumulator_src in
+  let _, _, _, despecs, (predicts, hits, _) = totals acc in
+  if despecs > 0 then
+    failwith
+      (Printf.sprintf
+         "accumulator workload despeculated (%d valve trip(s)): runtime \
+          value prediction regressed"
+         despecs);
+  Printf.printf
+    "\naccumulator workload: despecs %d, svp %d/%d hit(s) — the \n\
+     loop-carried sum stays speculative via runtime value prediction\n"
+    despecs hits predicts;
+  let accumulator =
+    Spt_obs.Json.Obj
+      [
+        ("workload", Spt_obs.Json.Str "accumulator");
+        ( "depth",
+          Spt_obs.Json.Int
+            (match acc.Pipeline.pr_runtime.R.stats with
+            | (_, st) :: _ -> st.R.depth
+            | [] -> 0) );
+        ("despecs", Spt_obs.Json.Int despecs);
+        ("svp_predicts", Spt_obs.Json.Int predicts);
+        ("svp_hits", Spt_obs.Json.Int hits);
+      ]
+  in
+  let cores = Domain.recommended_domain_count () in
+  if cores <= parallel_jobs then
+    Printf.printf
+      "(%d usable core(s) for %d worker(s) + the sequential thread: the \n\
+       deeper pipelines time-share one core, so the sweep measures \n\
+       K-deep overhead here, not speedup — depth_smoke.sh scales its \n\
+       assertion by the recorded core count)\n"
+      cores parallel_jobs;
+  Report.depth_json ~workload:"depth_pipeline" ~jobs:parallel_jobs ~cores
+    ~accumulator rows
+
+(* ------------------------------------------------------------------ *)
 (* Ablation 1: cost-combination rules (Independent vs Per_seed vs Max) *)
 
 let ablation_cost_rules () =
@@ -718,6 +879,24 @@ let () =
     Printf.printf "\nmachine-readable summary written to %s\n" json_path;
     exit 0
   end;
+  if depth_only then begin
+    let depth = depth_sweep () in
+    (* same grafting contract as profdb: keep the committed baseline's
+       other sections when one is present *)
+    let summary =
+      match
+        if Sys.file_exists json_path then
+          Spt_obs.Json.of_string (read_file json_path)
+        else Error "absent"
+      with
+      | Ok (Spt_obs.Json.Obj _ as j) -> Spt_obs.Json.set ("depth", depth) j
+      | Ok _ | Error _ ->
+        Report.bench_json ~quick:true ~depth ~per_config:[] ~parallel:[] ()
+    in
+    Spt_obs.Json.to_file json_path summary;
+    Printf.printf "\nmachine-readable summary written to %s\n" json_path;
+    exit 0
+  end;
   section "Evaluating the workloads under 3 compiler configurations";
   let per_config = evaluate_all () in
   let best = List.assoc "best" per_config in
@@ -725,12 +904,13 @@ let () =
   let engines = engine_comparison () in
   let feedback = feedback_comparison () in
   let profdb = profdb_generations () in
+  let depth = depth_sweep () in
 
   (* machine-readable summary next to the text tables, one entry per
      configuration; counters are cumulative over the whole run *)
   Spt_obs.Json.to_file json_path
     (Report.bench_json ~quick ~per_config ~parallel ~gap ~feedback ~engines
-       ~profdb ());
+       ~depth ~profdb ());
   Printf.printf "\nmachine-readable summary written to %s\n" json_path;
 
   section

@@ -111,6 +111,28 @@ let validate_chunk = function
     exit 2
   | c -> c
 
+let depth_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "depth" ] ~docv:"K"
+        ~doc:
+          "Speculative iterations/chunks in flight at once (K-deep \
+           pipelining).  Default: picked per loop by the cost model from \
+           the expected kill-cascade cost.  Forcing a depth also scales \
+           the selector's misspeculation pricing and is part of the \
+           artifact-cache key.")
+
+(* resolve --depth into the compiler configuration: like --engine it is
+   part of the cache key, and a forced depth also changes the
+   selector's misspeculation pricing *)
+let resolve_depth config = function
+  | None -> config
+  | Some k when k <= 0 ->
+    Format.eprintf "error: --depth must be at least 1 (got %d)@." k;
+    exit 2
+  | Some k -> { config with Spt_driver.Config.depth = Some k }
+
 (* ------------------------------------------------------------------ *)
 (* Artifact-cache flags: --cache-dir, --no-cache *)
 
@@ -298,12 +320,17 @@ let run_cmd =
              the run's misspeculation telemetry is ingested back \
              afterwards, so repeated runs keep getting better")
   in
-  let run file parallel jobs config engine chunk profile_in cache_dir
+  let run file parallel jobs config engine chunk depth profile_in cache_dir
       feedback_out attrib trace metrics log_level =
     handle_errors (fun () ->
         let finish = setup_obs trace metrics log_level in
         let config = resolve_engine config engine in
         let chunk = validate_chunk chunk in
+        if (not parallel) && depth <> None then begin
+          Format.eprintf "error: --depth requires --parallel@.";
+          exit 2
+        end;
+        let config = resolve_depth config depth in
         if (not parallel) && feedback_out <> None then begin
           Format.eprintf "error: --feedback-out requires --parallel@.";
           exit 2
@@ -461,7 +488,7 @@ let run_cmd =
          "Interpret a MiniC program, or execute it speculatively in parallel")
     Term.(
       const run $ file_arg $ parallel_flag $ jobs_arg $ config_arg
-      $ engine_arg $ chunk_arg $ profile_in_arg $ cache_dir_arg
+      $ engine_arg $ chunk_arg $ depth_arg $ profile_in_arg $ cache_dir_arg
       $ feedback_out_arg $ attrib_arg $ trace_arg $ metrics_arg
       $ log_level_arg)
 
@@ -511,11 +538,12 @@ let loops_cmd =
     Term.(const show $ file_arg $ config_arg)
 
 let compile_cmd =
-  let compile file config engine profile_in cache_dir no_cache
+  let compile file config engine depth profile_in cache_dir no_cache
       profdb_max_entries trace metrics log_level =
     handle_errors (fun () ->
         let finish = setup_obs trace metrics log_level in
         let config = resolve_engine config engine in
+        let config = resolve_depth config depth in
         (* --trace wants the real per-phase spans, which a warm hit
            would skip entirely — tracing always recompiles *)
         let cache =
@@ -538,9 +566,9 @@ let compile_cmd =
           results come from the artifact cache; a fingerprint warmed in the \
           profile database gets a guided compile automatically)")
     Term.(
-      const compile $ file_arg $ config_arg $ engine_arg $ profile_in_arg
-      $ cache_dir_arg $ no_cache_arg $ profdb_max_entries_arg $ trace_arg
-      $ metrics_arg $ log_level_arg)
+      const compile $ file_arg $ config_arg $ engine_arg $ depth_arg
+      $ profile_in_arg $ cache_dir_arg $ no_cache_arg
+      $ profdb_max_entries_arg $ trace_arg $ metrics_arg $ log_level_arg)
 
 let workload_cmd =
   let name_arg =
@@ -550,11 +578,12 @@ let workload_cmd =
       & pos 0 (some (enum (List.map (fun n -> (n, n)) names))) None
       & info [] ~docv:"NAME" ~doc:"Workload name (bzip2, crafty, ...)")
   in
-  let run name config engine profile_in cache_dir no_cache profdb_max_entries
-      trace metrics log_level =
+  let run name config engine depth profile_in cache_dir no_cache
+      profdb_max_entries trace metrics log_level =
     handle_errors (fun () ->
         let finish = setup_obs trace metrics log_level in
         let config = resolve_engine config engine in
+        let config = resolve_depth config depth in
         let cache =
           if trace <> None then Spt_service.Artifact_cache.no_cache ()
           else make_cache ~cache_dir ~no_cache ()
@@ -575,9 +604,9 @@ let workload_cmd =
   Cmd.v
     (Cmd.info "workload" ~version ~doc:"Evaluate a built-in SPEC2000Int-like workload")
     Term.(
-      const run $ name_arg $ config_arg $ engine_arg $ profile_in_arg
-      $ cache_dir_arg $ no_cache_arg $ profdb_max_entries_arg $ trace_arg
-      $ metrics_arg $ log_level_arg)
+      const run $ name_arg $ config_arg $ engine_arg $ depth_arg
+      $ profile_in_arg $ cache_dir_arg $ no_cache_arg
+      $ profdb_max_entries_arg $ trace_arg $ metrics_arg $ log_level_arg)
 
 let batch_cmd =
   let files_arg =
@@ -642,11 +671,13 @@ let batch_cmd =
     | Spt_service.Batch.Timed_out ->
       Json.Obj [ ("file", Json.Str file); ("status", Json.Str "timed_out") ]
   in
-  let run files config engine profile_in cache_dir no_cache profdb_max_entries
-      jobs timeout_s summary cluster trace metrics log_level =
+  let run files config engine depth profile_in cache_dir no_cache
+      profdb_max_entries jobs timeout_s summary cluster trace metrics
+      log_level =
     handle_errors (fun () ->
         let finish = setup_obs trace metrics log_level in
         let config = resolve_engine config engine in
+        let config = resolve_depth config depth in
         let cache = make_cache ~cache_dir ~no_cache () in
         (* one shared load: seeding only reads the store's tables, so
            concurrent compiles are safe *)
@@ -788,10 +819,10 @@ let batch_cmd =
          "Compile many programs concurrently through the artifact cache; \
           exits 1 if any file fails or times out")
     Term.(
-      const run $ files_arg $ config_arg $ engine_arg $ profile_in_arg
-      $ cache_dir_arg $ no_cache_arg $ profdb_max_entries_arg $ jobs_arg
-      $ timeout_arg $ summary_arg $ cluster_arg $ trace_arg $ metrics_arg
-      $ log_level_arg)
+      const run $ files_arg $ config_arg $ engine_arg $ depth_arg
+      $ profile_in_arg $ cache_dir_arg $ no_cache_arg
+      $ profdb_max_entries_arg $ jobs_arg $ timeout_arg $ summary_arg
+      $ cluster_arg $ trace_arg $ metrics_arg $ log_level_arg)
 
 let top_cmd =
   let report_arg =
@@ -1282,7 +1313,8 @@ let fuzz_cmd =
       & info [ "matrix" ] ~docv:"SPEC"
           ~doc:
             "Comma-separated oracle points: any of $(b,seq), $(b,par), \
-             $(b,cache), $(b,feedback) (default: all of them)")
+             $(b,engine), $(b,depth), $(b,cache), $(b,feedback) (default: \
+             all of them)")
   in
   let inject_arg =
     Arg.(

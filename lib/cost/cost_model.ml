@@ -264,6 +264,55 @@ let misspeculation_cost ?combine t ~prefork =
     detector both put next to observed runtime misspeculation. *)
 let predicted_fraction ~cost ~body_size = cost /. Float.max 1.0 body_size
 
+(* ------------------------------------------------------------------ *)
+(* K-deep misspeculation pricing.  The runtime keeps up to K chunks
+   (epochs) in flight; a violated head kills every in-flight successor
+   (they chained through its refuted state).  A violation therefore
+   costs the offender's re-execution plus, on average, half the window
+   of successor work thrown away — the kill cascade. *)
+
+let depth_candidates = [ 1; 2; 4; 8 ]
+
+(* Mirrors the runtime's chunk auto-size (~2048 dynamic ops per chunk,
+   clamped to [1, 256]; 16 when the body estimate is unknown) so the
+   compile-time depth choice prices the same chunks the runtime forks.
+   Deliberately independent of the worker count: a baked-in record must
+   not depend on SPT_JOBS (the artifact cache key does not carry it);
+   the runtime caps the effective depth at its window instead. *)
+let auto_chunk ~body_size =
+  if body_size <= 0.0 then 16
+  else max 1 (min 256 (int_of_float (2048.0 /. Float.max 1.0 body_size)))
+
+let chunk_violation_prob ~iter_prob ~chunk =
+  let p = Float.max 0.0 (Float.min 1.0 iter_prob) in
+  1.0 -. ((1.0 -. p) ** float_of_int (max 1 chunk))
+
+(* Expected kill-cascade cost of one violation at depth [k], in
+   chunk-execution units: the offender replays serially (1) and on
+   average (k-1)/2 in-flight successors die with it. *)
+let cascade_factor ~depth = 1.0 +. (float_of_int (max 1 depth - 1) /. 2.0)
+
+(* Expected relative cost per retired chunk at depth [k]: the 1/k term
+   is the pipelining gain (backbone prediction and ordered commit are
+   amortized over k in-flight epochs), the second term the expected
+   kill-cascade loss. *)
+let depth_cost ~chunk_prob ~depth =
+  let k = max 1 depth in
+  (1.0 /. float_of_int k) +. (chunk_prob *. cascade_factor ~depth:k)
+
+let pick_depth ~cost ~body_size =
+  let chunk = auto_chunk ~body_size in
+  let p_chunk =
+    chunk_violation_prob ~iter_prob:(predicted_fraction ~cost ~body_size) ~chunk
+  in
+  List.fold_left
+    (fun best k ->
+      if depth_cost ~chunk_prob:p_chunk ~depth:k
+         < depth_cost ~chunk_prob:p_chunk ~depth:best
+      then k
+      else best)
+    1 depth_candidates
+
 (** Cost graph rendered to DOT, mirroring Fig. 6 (pseudo-nodes boxed as
     ellipses). *)
 let to_dot t =

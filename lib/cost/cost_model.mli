@@ -87,5 +87,34 @@ val misspeculation_cost : ?combine:combine -> t -> prefork:Iset.t -> float
     detector). *)
 val predicted_fraction : cost:float -> body_size:float -> float
 
+(** The speculation depths the compile-time chooser considers. *)
+val depth_candidates : int list
+
+(** The runtime's chunk auto-size replicated at compile time (~2048
+    dynamic ops per chunk clamped to [1, 256]; 16 when [body_size] is
+    unknown), so depth pricing sees the chunks the runtime will fork. *)
+val auto_chunk : body_size:float -> int
+
+(** Probability at least one of [chunk] iterations violates, given the
+    per-iteration misspeculation probability [iter_prob]. *)
+val chunk_violation_prob : iter_prob:float -> chunk:int -> float
+
+(** Expected kill-cascade cost of one violation at [depth], in
+    chunk-execution units: the offender's serial replay plus, on
+    average, [(depth-1)/2] in-flight successors thrown away. *)
+val cascade_factor : depth:int -> float
+
+(** Expected relative cost per retired chunk at [depth]: a [1/depth]
+    pipelining-gain term plus the expected kill-cascade loss
+    [chunk_prob * cascade_factor]. *)
+val depth_cost : chunk_prob:float -> depth:int -> float
+
+(** The depth minimizing {!depth_cost} for a loop with optimal
+    misspeculation cost [cost] and dynamic body size [body_size] —
+    K-deep pipelining priced per region (smallest depth wins ties).
+    Independent of the worker count; the runtime caps the effective
+    depth at its in-flight window. *)
+val pick_depth : cost:float -> body_size:float -> int
+
 (** Render the cost graph as Graphviz DOT (Fig. 6 style). *)
 val to_dot : t -> string

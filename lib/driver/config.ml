@@ -32,6 +32,13 @@ type t = {
   engine : Spt_exec.Engine.kind;
       (** execution engine for real (non-simulated) runs: the tree
           interpreter or the flat bytecode engine *)
+  depth : int option;
+      (** forced speculation depth (chunks in flight per loop).  [None]
+          lets the cost model pick a depth per region
+          ({!Spt_cost.Cost_model.pick_depth}); [Some k] forces [k]
+          everywhere and makes final selection price the kill cascade
+          ([cost * cascade_factor k]) so marginal loops are not
+          speculated k-deep *)
 }
 
 let basic =
@@ -48,6 +55,7 @@ let basic =
     include_control = true;
     sim = Spt_tlsim.Tls_machine.default_config;
     engine = Spt_exec.Engine.Bytecode;
+    depth = None;
   }
 
 let best =

@@ -20,6 +20,12 @@ type t = {
   engine : Spt_exec.Engine.kind;
       (** execution engine for real (non-simulated) runs — part of the
           cache key like every other field *)
+  depth : int option;
+      (** forced speculation depth (chunks in flight per loop); [None]
+          lets the cost model price and pick a depth per region.
+          Part of the cache key: a forced depth changes both the
+          selector's kill-cascade pricing and the per-loop depth baked
+          into compile records *)
 }
 
 (** Cost model + code reordering + DO-loop unrolling, control-flow edge

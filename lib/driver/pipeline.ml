@@ -70,6 +70,10 @@ type loop_record = {
   lr_vcs : (int * int option * float) list;
       (** violation candidates: (iid, store-region sid, effective v(c)) *)
   lr_chosen : int list;  (** candidates moved pre-fork, when selected *)
+  lr_depth : int;
+      (** speculation depth priced for this loop: the forced
+          [Config.depth] if any, else the cost model's pick for
+          selected loops; 0 when unpriced (rejected / no partition) *)
 }
 
 type eval = {
@@ -323,6 +327,7 @@ let analyze (config : Config.t) ~observations ~divergence effects_tbl ep dp
               lr_svp = false;
               lr_vcs = [];
               lr_chosen = [];
+              lr_depth = 0;
             }
           in
           match
@@ -466,6 +471,17 @@ let compile_spt ?profile_seed ?(observations = [])
   let no_overrides : (string * int, (int * float) list) Hashtbl.t =
     Hashtbl.create 4
   in
+  (* K-deep selection pricing: under a forced depth every violation
+     costs its kill cascade, so the selector compares
+     [cost * cascade_factor] against the body instead of raw [cost] and
+     marginal loops are not speculated K-deep.  Auto depth leaves
+     selection alone — {!Cost_model.pick_depth} already balances the
+     cascade against the pipelining gain per region. *)
+  let sel_cost c =
+    match config.Config.depth with
+    | Some k -> c *. Cost_model.cascade_factor ~depth:(max 1 k)
+    | None -> c
+  in
   let candidates, rejected =
     analyze config ~observations ~divergence effects_tbl ep dp
       ~overrides:no_overrides prog
@@ -483,7 +499,7 @@ let compile_spt ?profile_seed ?(observations = [])
           when Result.is_error
                  (Select.final_check config.Config.thresholds
                     ~body_size:(int_of_float c.c_body_size)
-                    ~cost:r.Partition.cost
+                    ~cost:(sel_cost r.Partition.cost)
                     ~prefork_size:r.Partition.prefork_size) ->
           (* costly loop: try predicting its carried values *)
           List.iter
@@ -528,7 +544,7 @@ let compile_spt ?profile_seed ?(observations = [])
                             Result.is_ok
                               (Select.final_check config.Config.thresholds
                                  ~body_size:(int_of_float c.c_body_size)
-                                 ~cost:tr.Partition.cost
+                                 ~cost:(sel_cost tr.Partition.cost)
                                  ~prefork_size:tr.Partition.prefork_size)
                           in
                           Obs.Log.debug
@@ -624,7 +640,8 @@ let compile_spt ?profile_seed ?(observations = [])
         | Partition.Found r -> (
           match
             Select.final_check th ~body_size:(int_of_float c.c_body_size)
-              ~cost:r.Partition.cost ~prefork_size:r.Partition.prefork_size
+              ~cost:(sel_cost r.Partition.cost)
+              ~prefork_size:r.Partition.prefork_size
           with
           | Error reason -> (c, Error reason)
           | Ok () -> (c, Ok r)))
@@ -674,6 +691,14 @@ let compile_spt ?profile_seed ?(observations = [])
             (vc, vc_region c.c_graph vc, Depgraph.violation_prob c.c_graph vc))
           (Depgraph.violation_candidates c.c_graph);
       lr_chosen = chosen;
+      lr_depth =
+        (match config.Config.depth with
+        | Some k -> max 1 k
+        | None -> (
+          match (decision, cost) with
+          | Selected, Some cst ->
+            Cost_model.pick_depth ~cost:cst ~body_size:c.c_body_size
+          | _ -> 0));
     }
   in
   (* process by decreasing benefit; a loop only yields to a conflicting
@@ -739,7 +764,7 @@ let compile_spt ?profile_seed ?(observations = [])
               when Result.is_ok
                      (Select.final_check th
                         ~body_size:(int_of_float c.c_body_size)
-                        ~cost:r2.Partition.cost
+                        ~cost:(sel_cost r2.Partition.cost)
                         ~prefork_size:r2.Partition.prefork_size) -> (
               match attempt r2.Partition.prefork with
               | Ok info -> Ok (r2, info)
@@ -897,6 +922,7 @@ type parallel_run = {
   pr_jobs : int;
   pr_engine : Spt_exec.Engine.kind;  (** engine both runs executed on *)
   pr_chunk : int option;  (** forced chunk size ([None] = auto) *)
+  pr_depth : int option;  (** forced speculation depth ([None] = auto) *)
   pr_n_loops : int;  (** SPT loops handed to the runtime *)
   pr_seq_wall : float;  (** sequential engine wall time, seconds *)
   pr_measured_speedup : float;  (** sequential wall / parallel wall *)
@@ -904,27 +930,28 @@ type parallel_run = {
   pr_spt : spt_compilation;  (** the compilation that was executed *)
 }
 
-let run_parallel ?(config = Config.best) ?jobs ?chunk ?runtime_config
+let run_parallel ?(config = Config.best) ?jobs ?chunk ?depth ?runtime_config
     ?timeline ?profile_seed ?observations ?divergence src : parallel_run =
   let spt = compile_spt ?profile_seed ?observations ?divergence config src in
   let loops =
     List.map
       (fun (sl : Tls_machine.spt_loop) ->
+        let record =
+          List.find_opt
+            (fun (r : loop_record) ->
+              String.equal r.lr_func sl.Tls_machine.sl_fname
+              && r.lr_header = sl.Tls_machine.sl_header)
+            spt.records
+        in
         {
           Spt_runtime.Runtime.ls_id = sl.Tls_machine.sl_id;
           ls_fname = sl.Tls_machine.sl_fname;
           ls_header = sl.Tls_machine.sl_header;
-          (* the cost model's per-iteration estimate sizes the chunk *)
+          (* the cost model's per-iteration estimate sizes the chunk… *)
           ls_iter_ops =
-            (match
-               List.find_opt
-                 (fun (r : loop_record) ->
-                   String.equal r.lr_func sl.Tls_machine.sl_fname
-                   && r.lr_header = sl.Tls_machine.sl_header)
-                 spt.records
-             with
-            | Some r -> r.lr_body_size
-            | None -> 0.0);
+            (match record with Some r -> r.lr_body_size | None -> 0.0);
+          (* …and its priced speculation depth bounds the epoch window *)
+          ls_depth = (match record with Some r -> r.lr_depth | None -> 0);
         })
       spt.spt_loops
   in
@@ -948,6 +975,15 @@ let run_parallel ?(config = Config.best) ?jobs ?chunk ?runtime_config
       match chunk with
       | Some n -> { base with Spt_runtime.Runtime.chunk = Some (max 1 n) }
       | None -> base
+    in
+    let base =
+      (* explicit [depth] wins; else a forced compile-config depth
+         (the two arrive from the same --depth flag, but API callers
+         may set either) *)
+      match (depth, config.Config.depth) with
+      | Some k, _ | None, Some k ->
+        { base with Spt_runtime.Runtime.depth = Some (max 1 k) }
+      | None, None -> base
     in
     match timeline with
     | Some t -> { base with Spt_runtime.Runtime.timeline = Some t }
@@ -989,6 +1025,7 @@ let run_parallel ?(config = Config.best) ?jobs ?chunk ?runtime_config
     pr_jobs = rcfg.Spt_runtime.Runtime.jobs;
     pr_engine = rcfg.Spt_runtime.Runtime.engine;
     pr_chunk = rcfg.Spt_runtime.Runtime.chunk;
+    pr_depth = rcfg.Spt_runtime.Runtime.depth;
     pr_n_loops = List.length loops;
     pr_seq_wall;
     pr_measured_speedup =

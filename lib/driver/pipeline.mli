@@ -53,6 +53,10 @@ type loop_record = {
       (** violation candidates: (iid, store-region sid, effective
           violation probability after any feedback override) *)
   lr_chosen : int list;  (** candidates moved pre-fork, when selected *)
+  lr_depth : int;
+      (** speculation depth priced for this loop — the forced
+          [Config.depth] if any, else {!Spt_cost.Cost_model.pick_depth}
+          on the optimal partition for selected loops; 0 when unpriced *)
 }
 
 (** Result of evaluating one program under one configuration. *)
@@ -143,6 +147,9 @@ type parallel_run = {
   pr_jobs : int;
   pr_engine : Spt_exec.Engine.kind;  (** engine both runs executed on *)
   pr_chunk : int option;  (** forced chunk size ([None] = auto) *)
+  pr_depth : int option;
+      (** forced speculation depth ([None] = the cost model's per-loop
+          pick, capped at the runtime window) *)
   pr_n_loops : int;  (** SPT loops handed to the runtime *)
   pr_seq_wall : float;  (** sequential engine wall time, seconds *)
   pr_measured_speedup : float;  (** sequential wall / parallel wall *)
@@ -154,7 +161,9 @@ type parallel_run = {
     [runtime_config] replaces the default runtime configuration; [jobs]
     then overrides its worker count (else [SPT_JOBS] / 1); [chunk]
     forces the iterations-per-fork chunk size (else auto-sized from the
-    cost model); [timeline] overrides its timeline — the per-domain
+    cost model); [depth] forces the speculation depth — chunks in
+    flight — for every loop (else [config]'s forced depth, else the
+    cost model's per-loop pick); [timeline] overrides its timeline — the per-domain
     speculation events land there, and (when tracing is enabled) are
     merged into the pipeline trace as extra lanes.  Both the parallel
     run and its sequential baseline execute on [config]'s engine.
@@ -164,6 +173,7 @@ val run_parallel :
   ?config:Config.t ->
   ?jobs:int ->
   ?chunk:int ->
+  ?depth:int ->
   ?runtime_config:Spt_runtime.Runtime.config ->
   ?timeline:Spt_obs.Timeline.t ->
   ?profile_seed:

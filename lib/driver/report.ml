@@ -561,8 +561,8 @@ let metrics_json ?(parallel = []) (results : (string * Pipeline.eval) list) =
          parallel)
     (List.map (fun (name, e) -> eval_json ~name e) results)
 
-let bench_json ?(feedback = []) ?(gap = []) ?(engines = []) ?profdb ~quick
-    ~per_config ~parallel () =
+let bench_json ?(feedback = []) ?(gap = []) ?(engines = []) ?depth ?profdb
+    ~quick ~per_config ~parallel () =
   Json.Obj
     ([
        ("schema", Json.Str "spt-bench-v2");
@@ -577,6 +577,7 @@ let bench_json ?(feedback = []) ?(gap = []) ?(engines = []) ?profdb ~quick
      ]
     @ (if gap = [] then [] else [ ("gap", Json.List gap) ])
     @ (if engines = [] then [] else [ ("engines", Json.List engines) ])
+    @ (match depth with Some d -> [ ("depth", d) ] | None -> [])
     @ (match profdb with Some p -> [ ("profdb", p) ] | None -> [])
     @ [ ("feedback", Json.List feedback) ])
 
@@ -591,6 +592,44 @@ let engine_row ~workload ~tree_s ~bytecode_s =
         Json.Float (if bytecode_s > 0.0 then tree_s /. bytecode_s else 0.0) );
     ]
 
+(** One row of the bench's depth sweep ([spt-depth-v1]): one forced
+    speculation depth, its wall time and speedup, and the runtime's
+    misspeculation and value-prediction counters at that depth. *)
+let depth_row ~depth ~wall_s ~speedup ~commits ~kills ~violations ~despecs
+    ~svp =
+  let predicts, hits, mispredicts = svp in
+  Json.Obj
+    [
+      ("depth", Json.Int depth);
+      ("wall_s", Json.Float wall_s);
+      ("speedup", Json.Float speedup);
+      ("commits", Json.Int commits);
+      ("kills", Json.Int kills);
+      ("violations", Json.Int violations);
+      ("despecs", Json.Int despecs);
+      ("svp_predicts", Json.Int predicts);
+      ("svp_hits", Json.Int hits);
+      ("svp_mispredicts", Json.Int mispredicts);
+    ]
+
+(** The bench's [spt-depth-v1] section: the sweep rows plus the
+    accumulator sub-result (the workload whose loop-carried sum must
+    stay speculative through runtime value prediction).  [cores] is the
+    machine's usable core count — on a box with fewer cores than
+    domains, a deeper pipeline measures its own overhead rather than a
+    speedup, and consumers (bench/depth_smoke.sh) scale their
+    assertions by this field. *)
+let depth_json ~workload ~jobs ~cores ?accumulator rows =
+  Json.Obj
+    ([
+       ("schema", Json.Str "spt-depth-v1");
+       ("workload", Json.Str workload);
+       ("jobs", Json.Int jobs);
+       ("cores", Json.Int cores);
+       ("rows", Json.List rows);
+     ]
+    @ match accumulator with Some a -> [ ("accumulator", a) ] | None -> [])
+
 (* ------------------------------------------------------------------ *)
 (* Overhead attribution (spt-attrib-v1): where a parallel run's wall
    time went, per domain, bucketed into the speculation lifecycle, and
@@ -599,17 +638,22 @@ let engine_row ~workload ~tree_s ~bytecode_s =
 module Timeline = Spt_obs.Timeline
 
 let bucket_names =
-  [ "compile"; "dispatch"; "chunk"; "fork"; "validate"; "commit"; "rollback" ]
+  [
+    "compile"; "dispatch"; "chunk"; "svp"; "fork"; "validate"; "commit";
+    "rollback";
+  ]
 
 (* exec time is the engine dispatching the chunk's instructions, split
    from the one-off compile-to-bytecode cost; chunk is the sequential
-   thread predicting the next chunk's pre-fork backbone; kills and
-   serial re-executions are both prices of misspeculation, so they land
-   in the rollback bucket *)
+   thread predicting the next chunk's pre-fork backbone; svp is value
+   predictions injected into that backbone; kills and serial
+   re-executions are both prices of misspeculation, so they land in the
+   rollback bucket *)
 let bucket_of_kind = function
   | Timeline.Compile -> "compile"
   | Timeline.Exec -> "dispatch"
   | Timeline.Chunk -> "chunk"
+  | Timeline.Svp -> "svp"
   | Timeline.Fork -> "fork"
   | Timeline.Validate -> "validate"
   | Timeline.Commit -> "commit"
@@ -695,6 +739,10 @@ let attrib_json ?predicted ~workload ~timeline (pr : Pipeline.parallel_run) =
       ( "chunk",
         match pr.Pipeline.pr_chunk with
         | Some n -> Json.Int n
+        | None -> Json.Str "auto" );
+      ( "depth",
+        match pr.Pipeline.pr_depth with
+        | Some k -> Json.Int k
         | None -> Json.Str "auto" );
       ("n_spt_loops", Json.Int pr.Pipeline.pr_n_loops);
       ("wall_s", Json.Float wall);
@@ -1017,6 +1065,63 @@ let top_profdb j =
   | None -> ());
   Buffer.contents buf
 
+(* spt-depth-v1: the bench's K-deep pipelining sweep — one row per
+   forced depth, plus the accumulator workload the runtime value
+   predictor must keep speculative. *)
+let top_depth j =
+  let buf = Buffer.create 512 in
+  (match Json.member "rows" j with
+  | Some (Json.List rows) when rows <> [] ->
+    Buffer.add_string buf
+      (Printf.sprintf "depth sweep (workload %s, %d job(s)%s)\n"
+         (str_of (Json.member "workload" j))
+         (int_of_float (num0 (Json.member "jobs" j)))
+         (match Json.member "cores" j with
+         | Some (Json.Int c) -> Printf.sprintf ", %d core(s)" c
+         | _ -> ""));
+    let t =
+      Table.create
+        ~aligns:
+          [
+            Table.Right; Table.Right; Table.Right; Table.Right; Table.Right;
+            Table.Right; Table.Right;
+          ]
+        [ "depth"; "wall"; "speedup"; "commits"; "kills"; "violations";
+          "svp hit" ]
+    in
+    List.iter
+      (fun r ->
+        let inti k = int_of_float (num0 (Json.member k r)) in
+        let predicts = num0 (Json.member "svp_predicts" r)
+        and hits = num0 (Json.member "svp_hits" r) in
+        Table.add_row t
+          [
+            string_of_int (inti "depth");
+            fmt_s (num0 (Json.member "wall_s" r));
+            Printf.sprintf "%.2fx" (num0 (Json.member "speedup" r));
+            string_of_int (inti "commits");
+            string_of_int (inti "kills");
+            string_of_int (inti "violations");
+            (if predicts > 0.0 then
+               Printf.sprintf "%.0f%%" (100.0 *. hits /. predicts)
+             else "-");
+          ])
+      rows;
+    Buffer.add_string buf (Table.render t)
+  | _ -> ());
+  (match Json.member "accumulator" j with
+  | Some a ->
+    Buffer.add_string buf
+      (Printf.sprintf
+         "accumulator (%s): depth %d, despecs %d, svp %d/%d hit(s)\n"
+         (str_of (Json.member "workload" a))
+         (int_of_float (num0 (Json.member "depth" a)))
+         (int_of_float (num0 (Json.member "despecs" a)))
+         (int_of_float (num0 (Json.member "svp_hits" a)))
+         (int_of_float (num0 (Json.member "svp_predicts" a))))
+  | None -> ());
+  Buffer.contents buf
+
 let top_bench j =
   let buf = Buffer.create 512 in
   (match Json.member "gap" j with
@@ -1063,6 +1168,11 @@ let top_bench j =
     Buffer.add_string buf "sequential engines (tree vs bytecode)\n";
     Buffer.add_string buf (Table.render t)
   | _ -> ());
+  (match Json.member "depth" j with
+  | Some d ->
+    Buffer.add_string buf "speculation depth (K-deep pipelining)\n";
+    Buffer.add_string buf (top_depth d)
+  | None -> ());
   (match Json.member "profdb" j with
   | Some p ->
     Buffer.add_string buf "profile database (fleet feedback)\n";
@@ -1082,6 +1192,7 @@ let top_text j =
   | Some (Json.Str "spt-batch-v1") -> Ok (top_batch j)
   | Some (Json.Str "spt-loadtest-v1") -> Ok (top_loadtest j)
   | Some (Json.Str "spt-profdb-v1") -> Ok (top_profdb j)
+  | Some (Json.Str "spt-depth-v1") -> Ok (top_depth j)
   | Some (Json.Str "spt-bench-v2") -> Ok (top_bench j)
   | Some (Json.Str s) -> Error (Printf.sprintf "unsupported schema %S" s)
   | _ -> Error "not an spt report (no \"schema\" field)"

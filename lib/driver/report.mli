@@ -89,12 +89,15 @@ val metrics_json_of : ?runtime:Spt_obs.Json.t list -> Spt_obs.Json.t list -> Spt
     records of the real parallel runs, the static-vs-profile-guided
     misspeculation-cost comparison rows ([feedback]), the
     tree-vs-bytecode sequential engine comparison rows ([engines],
-    {!engine_row}), and the profile-database repeated-workload
-    generations scenario ([profdb], an `spt-profdb-v1` object). *)
+    {!engine_row}), the speculation-depth sweep ([depth], an
+    `spt-depth-v1` object from {!depth_json}), and the
+    profile-database repeated-workload generations scenario ([profdb],
+    an `spt-profdb-v1` object). *)
 val bench_json :
   ?feedback:Spt_obs.Json.t list ->
   ?gap:Spt_obs.Json.t list ->
   ?engines:Spt_obs.Json.t list ->
+  ?depth:Spt_obs.Json.t ->
   ?profdb:Spt_obs.Json.t ->
   quick:bool ->
   per_config:(string * (string * Pipeline.eval) list) list ->
@@ -107,6 +110,36 @@ val bench_json :
     bytecode speedup over tree. *)
 val engine_row :
   workload:string -> tree_s:float -> bytecode_s:float -> Spt_obs.Json.t
+
+(** One row of the bench [depth] section: the same workload run with
+    this speculation depth forced, with wall time, speedup over the
+    sequential reference, and the runtime's misspeculation and
+    value-prediction counters ([svp] = predicts, hits, mispredicts). *)
+val depth_row :
+  depth:int ->
+  wall_s:float ->
+  speedup:float ->
+  commits:int ->
+  kills:int ->
+  violations:int ->
+  despecs:int ->
+  svp:int * int * int ->
+  Spt_obs.Json.t
+
+(** The `spt-depth-v1` bench section: the sweep [rows] ({!depth_row})
+    plus an optional [accumulator] sub-object asserting the
+    loop-carried-accumulator workload stayed speculative (fields
+    [workload], [depth], [despecs], [svp_predicts], [svp_hits]).
+    [cores] records the usable core count so consumers can tell a
+    measured pipelining speedup (cores > jobs) from measured pipelining
+    overhead (a core-starved box). *)
+val depth_json :
+  workload:string ->
+  jobs:int ->
+  cores:int ->
+  ?accumulator:Spt_obs.Json.t ->
+  Spt_obs.Json.t list ->
+  Spt_obs.Json.t
 
 (** The predicted-vs-measured speedup record shared by the attribution
     report and the bench [gap] section: [predicted_speedup] (null when

@@ -18,6 +18,7 @@ type obs = {
   o_serial_reexecs : int;
   o_stale_other : int;
   o_stale_regions : (int * int) list;
+  o_svp : (int * (int * int * int)) list;
 }
 
 type t = {
@@ -117,6 +118,19 @@ let merge_counts a b =
   List.iter (fun (sid, n) -> bump tbl sid n) b;
   sorted_bindings tbl
 
+(* per-variable SVP triples add componentwise under the same vid *)
+let merge_svp a b =
+  let tbl = Hashtbl.create 8 in
+  let add (vid, (p, h, m)) =
+    let p0, h0, m0 =
+      Option.value ~default:(0, 0, 0) (Hashtbl.find_opt tbl vid)
+    in
+    Hashtbl.replace tbl vid (p0 + p, h0 + h, m0 + m)
+  in
+  List.iter add a;
+  List.iter add b;
+  sorted_bindings tbl
+
 let add_obs a b =
   {
     o_iters = a.o_iters + b.o_iters;
@@ -129,11 +143,16 @@ let add_obs a b =
     o_serial_reexecs = a.o_serial_reexecs + b.o_serial_reexecs;
     o_stale_other = a.o_stale_other + b.o_stale_other;
     o_stale_regions = merge_counts a.o_stale_regions b.o_stale_regions;
+    o_svp = merge_svp a.o_svp b.o_svp;
   }
 
 let add_observation t ~func ~header ob =
   let ob =
-    { ob with o_stale_regions = List.sort compare ob.o_stale_regions }
+    {
+      ob with
+      o_stale_regions = List.sort compare ob.o_stale_regions;
+      o_svp = List.sort compare ob.o_svp;
+    }
   in
   Hashtbl.replace t.telem (func, header)
     (match Hashtbl.find_opt t.telem (func, header) with
@@ -170,6 +189,7 @@ let obs_is_zero o =
   o.o_iters = 0 && o.o_forks = 0 && o.o_commits = 0 && o.o_violations = 0
   && o.o_faults = 0 && o.o_kills = 0 && o.o_despecs = 0
   && o.o_serial_reexecs = 0 && o.o_stale_other = 0 && o.o_stale_regions = []
+  && o.o_svp = []
 
 let scaled t f =
   (* floor, never round: decay must be monotone and must reach zero,
@@ -202,6 +222,13 @@ let scaled t f =
                   let n = s n in
                   if n > 0 then Some (sid, n) else None)
                 o.o_stale_regions;
+            o_svp =
+              List.filter_map
+                (fun (vid, (p, h, m)) ->
+                  let p = s p and h = s h and m = s m in
+                  if p > 0 || h > 0 || m > 0 then Some (vid, (p, h, m))
+                  else None)
+                o.o_svp;
           }
         in
         if not (obs_is_zero o') then add_observation dst ~func ~header o')
@@ -287,6 +314,16 @@ let to_json t =
                    (fun (sid, n) ->
                      Json.Obj [ ("sid", Json.Int sid); ("count", Json.Int n) ])
                    o.o_stale_regions) );
+            ( "svp",
+              Json.List
+                (List.map
+                   (fun (vid, (p, h, m)) ->
+                     Json.Obj
+                       [
+                         ("vid", Json.Int vid); ("predicts", Json.Int p);
+                         ("hits", Json.Int h); ("mispredicts", Json.Int m);
+                       ])
+                   o.o_svp) );
           ])
       (sorted_bindings t.telem)
   in
@@ -380,6 +417,17 @@ let of_json j =
               List.map
                 (fun r -> (int "sid" r, int "count" r))
                 (arr "stale_regions" e);
+            o_svp =
+              (* absent in pre-1.6 stores: default to no predictions *)
+              (match Json.member "svp" e with
+              | Some (Json.List l) ->
+                List.map
+                  (fun r ->
+                    ( int "vid" r,
+                      (int "predicts" r, int "hits" r, int "mispredicts" r) ))
+                  l
+              | Some _ -> fail "bad svp"
+              | None -> []);
           })
       (arr "telemetry" j);
     Ok t

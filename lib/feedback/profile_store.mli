@@ -34,6 +34,10 @@ type obs = {
   o_stale_other : int;  (** register / RNG validation failures *)
   o_stale_regions : (int * int) list;
       (** per store-region sid, sorted — memory validation failures *)
+  o_svp : (int * (int * int * int)) list;
+      (** per predicted variable id, sorted — software-value-prediction
+          (predicts, hits, mispredicts) from the runtime predictor;
+          absent (= empty) in stores written before 1.6 *)
 }
 
 type t

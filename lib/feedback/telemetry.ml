@@ -23,6 +23,11 @@ let obs_of (st : Runtime.loop_stats) : Profile_store.obs =
     o_serial_reexecs = st.Runtime.serial_reexecs;
     o_stale_other = st.Runtime.stale_reg + st.Runtime.stale_rng;
     o_stale_regions = Runtime.sorted_regions st;
+    o_svp =
+      List.map
+        (fun (vid, (s : Runtime.svp_stats)) ->
+          (vid, (s.Runtime.sv_predicts, s.Runtime.sv_hits, s.Runtime.sv_mispredicts)))
+        (Runtime.sorted_svp st);
   }
 
 let record store (spt : Pipeline.spt_compilation) (r : Runtime.result) =

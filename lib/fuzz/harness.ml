@@ -43,11 +43,12 @@ let matrix_spec points =
             match (f, p) with
             | "par", Oracle.P_par _ -> true
             | "engine", Oracle.P_engine _ -> true
+            | "depth", Oracle.P_depth _ -> true
             | "cache", Oracle.P_cache -> true
             | "feedback", Oracle.P_feedback -> true
             | _ -> false)
           points)
-      [ "par"; "engine"; "cache"; "feedback" ]
+      [ "par"; "engine"; "depth"; "cache"; "feedback" ]
   in
   String.concat "," ("seq" :: fams)
 

@@ -15,6 +15,7 @@ module Engine = Spt_exec.Engine
 type point =
   | P_par of int
   | P_engine of Engine.kind * [ `Seq | `Par ]
+  | P_depth of int
   | P_cache
   | P_feedback
   | P_inject of string
@@ -27,8 +28,12 @@ let engine_axis =
     P_engine (Engine.Bytecode, `Par);
   ]
 
+let depth_axis = [ P_depth 1; P_depth 2; P_depth 4 ]
+
 let default_matrix =
-  [ P_par 1; P_par 2; P_par 4 ] @ engine_axis @ [ P_cache; P_feedback ]
+  [ P_par 1; P_par 2; P_par 4 ]
+  @ engine_axis @ depth_axis
+  @ [ P_cache; P_feedback ]
 
 let known_faults = [ "drop-prefork-stmt" ]
 
@@ -37,6 +42,7 @@ let string_of_point = function
   | P_engine (k, m) ->
     Printf.sprintf "engine:%s:%s" (Engine.string_of_kind k)
       (match m with `Seq -> "seq" | `Par -> "par")
+  | P_depth k -> Printf.sprintf "depth:%d" k
   | P_cache -> "cache"
   | P_feedback -> "feedback"
   | P_inject f -> "inject:" ^ f
@@ -52,6 +58,7 @@ let matrix_of_string spec =
     | "seq" :: rest -> go acc rest (* the implicit basis *)
     | "par" :: rest -> go (P_par 4 :: P_par 2 :: P_par 1 :: acc) rest
     | "engine" :: rest -> go (List.rev_append engine_axis acc) rest
+    | "depth" :: rest -> go (List.rev_append depth_axis acc) rest
     | "cache" :: rest -> go (P_cache :: acc) rest
     | "feedback" :: rest -> go (P_feedback :: acc) rest
     | p :: _ -> Error (Printf.sprintf "unknown matrix point %S" p)
@@ -195,7 +202,7 @@ let invariant_divergences ~point (config : Config.t) (spt : Pipeline.spt_compila
 (* ------------------------------------------------------------------ *)
 (* Matrix points *)
 
-let runtime_config ?engine ~max_steps ~jobs () =
+let runtime_config ?engine ?depth ~max_steps ~jobs () =
   let c = Runtime.default_config () in
   let c =
     {
@@ -204,34 +211,39 @@ let runtime_config ?engine ~max_steps ~jobs () =
       window = 2 * jobs;
       max_steps;
       spec_fuel = min c.Runtime.spec_fuel max_steps;
+      depth;
     }
   in
   match engine with None -> c | Some e -> { c with Runtime.engine = e }
 
-let run_on_runtime ?engine ~max_steps ~jobs (spt : Pipeline.spt_compilation) =
+let run_on_runtime ?engine ?depth ~max_steps ~jobs
+    (spt : Pipeline.spt_compilation) =
   let loops =
     List.map
       (fun (l : Spt_tlsim.Tls_machine.spt_loop) ->
+        let record =
+          List.find_opt
+            (fun (r : Pipeline.loop_record) ->
+              String.equal r.Pipeline.lr_func l.Spt_tlsim.Tls_machine.sl_fname
+              && r.Pipeline.lr_header = l.Spt_tlsim.Tls_machine.sl_header)
+            spt.Pipeline.records
+        in
         {
           Runtime.ls_id = l.Spt_tlsim.Tls_machine.sl_id;
           ls_fname = l.Spt_tlsim.Tls_machine.sl_fname;
           ls_header = l.Spt_tlsim.Tls_machine.sl_header;
           ls_iter_ops =
-            (match
-               List.find_opt
-                 (fun (r : Pipeline.loop_record) ->
-                   String.equal r.Pipeline.lr_func
-                     l.Spt_tlsim.Tls_machine.sl_fname
-                   && r.Pipeline.lr_header = l.Spt_tlsim.Tls_machine.sl_header)
-                 spt.Pipeline.records
-             with
+            (match record with
             | Some r -> r.Pipeline.lr_body_size
             | None -> 0.0);
+          ls_depth =
+            (match record with Some r -> r.Pipeline.lr_depth | None -> 0);
         })
       spt.Pipeline.spt_loops
   in
-  Runtime.run ~config:(runtime_config ?engine ~max_steps ~jobs ()) ~loops
-    spt.Pipeline.program
+  Runtime.run
+    ~config:(runtime_config ?engine ?depth ~max_steps ~jobs ())
+    ~loops spt.Pipeline.program
 
 let par_point ~max_steps ~reference:ref_oc ~spt jobs =
   let point = string_of_point (P_par jobs) in
@@ -252,6 +264,30 @@ let par_point ~max_steps ~reference:ref_oc ~spt jobs =
         [ { d_point = point; d_kind = "runtime-oracle"; d_detail = m } ]
     in
     (diff_outcomes ~point ~reference:ref_oc (outcome_of_runtime r) @ internal, misspecs)
+
+(* K epochs in flight: the forced depth exercises the ordered-commit
+   queue, the kill cascade and the runtime value predictor at exactly
+   [k] deep, against the same sequential reference as every point *)
+let depth_point ~max_steps ~reference:ref_oc ~spt k =
+  let point = string_of_point (P_depth k) in
+  match run_on_runtime ~depth:k ~max_steps ~jobs:2 spt with
+  | exception Interp.Runtime_error m ->
+    ([ { d_point = point; d_kind = "error"; d_detail = m } ], 0)
+  | r ->
+    let misspecs =
+      List.fold_left
+        (fun acc (_, (s : Runtime.loop_stats)) ->
+          acc + s.Runtime.violations + s.Runtime.faults + s.Runtime.kills)
+        0 r.Runtime.stats
+    in
+    let internal =
+      match r.Runtime.oracle with
+      | `Match | `Skipped -> []
+      | `Mismatch m ->
+        [ { d_point = point; d_kind = "runtime-oracle"; d_detail = m } ]
+    in
+    ( diff_outcomes ~point ~reference:ref_oc (outcome_of_runtime r) @ internal,
+      misspecs )
 
 (* the *transformed* program executed sequentially on one engine:
    markers are no-ops without a handler, so this checks both that the
@@ -419,7 +455,7 @@ let check ?(config = Config.best) ?(max_steps = default_max_steps) ~matrix src
     let needs_base =
       List.exists
         (function
-          | P_par _ | P_engine _ | P_feedback -> true
+          | P_par _ | P_engine _ | P_depth _ | P_feedback -> true
           | P_cache | P_inject _ -> false)
         matrix
     in
@@ -460,6 +496,12 @@ let check ?(config = Config.best) ?(max_steps = default_max_steps) ~matrix src
                 let ds, m =
                   engine_point ~max_steps ~reference:ref_oc ~spt:(spt ()) kind
                     mode
+                in
+                misspecs := !misspecs + m;
+                ds
+              | P_depth k ->
+                let ds, m =
+                  depth_point ~max_steps ~reference:ref_oc ~spt:(spt ()) k
                 in
                 misspecs := !misspecs + m;
                 ds

@@ -18,6 +18,10 @@
       instruction-for-instruction parity check between the two engines)
       and on the speculative runtime at 2 domains with that engine
       selected.
+    - [depth] — K-deep pipelining: the 2-domain runtime with the
+      speculation depth forced to 1, 2 and 4 in-flight epochs,
+      exercising the ordered-commit queue, the kill cascade and the
+      runtime value predictor at each depth.
     - [cache] — a cold then warm {!Spt_service.Cached.compile} through
       a throwaway on-disk cache: the warm request must hit and replay
       the report byte-identically.
@@ -45,6 +49,8 @@ type point =
   | P_par of int  (** speculative runtime at this many worker domains *)
   | P_engine of Spt_exec.Engine.kind * [ `Seq | `Par ]
       (** one engine, sequentially or on the 2-domain runtime *)
+  | P_depth of int
+      (** the 2-domain runtime with this speculation depth forced *)
   | P_cache
   | P_feedback
   | P_inject of string  (** fault name, e.g. ["drop-prefork-stmt"] *)
@@ -53,13 +59,17 @@ type point =
     matrix family expands to. *)
 val engine_axis : point list
 
+(** Depths 1, 2 and 4 — what the [depth] matrix family expands to. *)
+val depth_axis : point list
+
 (** [seq] plus the given parallel job counts, the full engine axis,
-    cache and feedback — the full clean matrix ([par] at 1, 2 and 4). *)
+    the depth axis, cache and feedback — the full clean matrix ([par]
+    at 1, 2 and 4). *)
 val default_matrix : point list
 
 (** Parse a [--matrix] spec: comma-separated [seq]/[par]/[engine]/
-    [cache]/[feedback] (unknown names rejected).  [seq] is the implicit
-    basis and always accepted. *)
+    [depth]/[cache]/[feedback] (unknown names rejected).  [seq] is the
+    implicit basis and always accepted. *)
 val matrix_of_string : string -> (point list, string) result
 
 val string_of_point : point -> string

@@ -10,8 +10,9 @@ type kind =
   | Kill
   | Chunk
   | Compile
+  | Svp
 
-let n_kinds = 9
+let n_kinds = 10
 
 let kind_index = function
   | Fork -> 0
@@ -23,9 +24,12 @@ let kind_index = function
   | Kill -> 6
   | Chunk -> 7
   | Compile -> 8
+  | Svp -> 9
 
 let kind_of_index =
-  [| Fork; Exec; Validate; Commit; Rollback; Reexec; Kill; Chunk; Compile |]
+  [|
+    Fork; Exec; Validate; Commit; Rollback; Reexec; Kill; Chunk; Compile; Svp;
+  |]
 
 let kind_name = function
   | Fork -> "fork"
@@ -37,6 +41,7 @@ let kind_name = function
   | Kill -> "kill"
   | Chunk -> "chunk"
   | Compile -> "compile"
+  | Svp -> "svp"
 
 (* One ring per recording domain, owned exclusively by that domain:
    the hot path touches no lock and no shared structure.  Per-kind

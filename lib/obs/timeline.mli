@@ -30,6 +30,9 @@ type kind =
       (** the sequential thread predicting the pre-fork backbone of the
           next iteration chunk *)
   | Compile  (** compiling the program to bytecode ({!Spt_exec}) *)
+  | Svp
+      (** injecting software value predictions into the backbone view a
+          speculative chunk is about to read through *)
 
 val kind_name : kind -> string
 

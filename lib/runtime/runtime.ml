@@ -8,6 +8,7 @@ type loop_spec = {
   ls_fname : string;
   ls_header : int;
   ls_iter_ops : float;
+  ls_depth : int;
 }
 
 type config = {
@@ -20,6 +21,7 @@ type config = {
   timeline : Obs.Timeline.t option;
   engine : Spt_exec.Engine.kind;
   chunk : int option;
+  depth : int option;
 }
 
 let default_jobs () =
@@ -39,6 +41,7 @@ let default_config () =
     timeline = None;
     engine = Spt_exec.Engine.Bytecode;
     chunk = None;
+    depth = None;
   }
 
 (* One speculative fork covers a block of [chunk_size] iterations: the
@@ -57,8 +60,30 @@ let chunk_size cfg spec =
       max 1
         (min 256 (int_of_float (ceil (chunk_target_ops /. spec.ls_iter_ops))))
 
+(* Speculation depth K for a loop: the maximum number of speculative
+   chunks (epochs) in flight at once.  A forced [config.depth] wins;
+   otherwise the per-loop choice the cost model priced ([ls_depth],
+   0 = unpriced) bounded by the global window; [window] as the last
+   resort.  K = 1 is the paper's main+1 model. *)
+let depth_of cfg spec =
+  let window = max 1 cfg.window in
+  match cfg.depth with
+  | Some k -> max 1 (min k window)
+  | None ->
+    if spec.ls_depth > 0 then max 1 (min spec.ls_depth window) else window
+
+(* Per-variable software-value-prediction counters: how often a
+   forward-predicted register was injected, proved right (its reader
+   committed) and proved wrong (its reader failed validation on it). *)
+type svp_stats = {
+  mutable sv_predicts : int;
+  mutable sv_hits : int;
+  mutable sv_mispredicts : int;
+}
+
 type loop_stats = {
   mutable chunk : int;
+  mutable depth : int;
   mutable forks : int;
   mutable commits : int;
   mutable violations : int;
@@ -72,6 +97,7 @@ type loop_stats = {
   mutable stale_reg : int;
   mutable stale_rng : int;
   stale_regions : (int, int) Hashtbl.t;
+  svp_vars : (int, svp_stats) Hashtbl.t;
 }
 
 (* global observability counters (no-ops unless metrics are enabled);
@@ -83,6 +109,9 @@ let m_violations = Obs.Metrics.counter "runtime.violations"
 let m_faults = Obs.Metrics.counter "runtime.faults"
 let m_despecs = Obs.Metrics.counter "runtime.despeculations"
 let m_serial = Obs.Metrics.counter "runtime.serial_reexecs"
+let m_svp_predicts = Obs.Metrics.counter "runtime.svp.predicts"
+let m_svp_hits = Obs.Metrics.counter "runtime.svp.hits"
+let m_svp_mispredicts = Obs.Metrics.counter "runtime.svp.mispredicts"
 
 (* seconds one task (one loop-iteration segment) spent executing on its
    view; workers report the duration through the task record, the
@@ -117,6 +146,9 @@ type task = {
       (** the backbone (predictor) view this chunk reads through;
           sealed once the chunk resolves *)
   tstart : Interp.cursor;
+  tpreds : (int * Interp.value) list;
+      (** value predictions injected into [tbv] for this chunk:
+          (vid, predicted value); scored at the chunk's resolution *)
   mutable tstatus : status;
   mutable texec_s : float;  (** seconds the task ran on its view *)
 }
@@ -181,6 +213,7 @@ let loop_stats rt lid =
     let s =
       {
         chunk = 1;
+        depth = 1;
         forks = 0;
         commits = 0;
         violations = 0;
@@ -194,6 +227,7 @@ let loop_stats rt lid =
         stale_reg = 0;
         stale_rng = 0;
         stale_regions = Hashtbl.create 4;
+        svp_vars = Hashtbl.create 4;
       }
     in
     Hashtbl.replace rt.stats lid s;
@@ -328,10 +362,29 @@ let wait_for rt task =
 (* ------------------------------------------------------------------ *)
 (* The per-loop scheduler *)
 
-(* Runs the whole loop: pipelines iteration chunks onto the worker
-   pool, predicts their loop-carried pre-fork state on the sequential
-   thread (the backbone), commits chunks in sequential order, recovers
-   serially from misspeculation, and returns where the sequential
+(* Per-variable runtime value predictor (SVP): a register that failed
+   validation ([Stale_reg]) is a loop-carried scalar the backbone
+   cannot supply — typically a post-fork accumulator.  The predictor
+   tracks its master value at the end of each fully-resolved chunk and
+   the per-chunk stride between consecutive observations; once a stride
+   is known, spawns inject [last + stride * in_flight] into the new
+   chunk's backbone view ({!Specmem.reg_predict}), and the existing
+   read-log validation checks the prediction for free.  Recovery from a
+   mispredict is the ordinary violation path (rollback, serial replay,
+   kill cascade), which also re-observes the true value — so the state
+   machine is predict → check (validation) → recover (replay+relearn). *)
+type svp_pred = {
+  mutable sp_last : Interp.value option;
+      (* master value at the end of the last resolved chunk *)
+  mutable sp_stride : int64 option;  (* confirmed per-chunk stride *)
+}
+
+(* Runs the whole loop: pipelines up to K = [depth_of] iteration chunks
+   (epochs) onto the worker pool, predicts their loop-carried pre-fork
+   state on the sequential thread (the backbone), commits chunks
+   strictly in sequential order, recovers serially from misspeculation
+   — killing the offending epoch and exactly its in-flight successors,
+   never already-committed work — and returns where the sequential
    thread resumes.
 
    With chunk size [n], chunk C_k covers the [n] fork-to-fork spans
@@ -348,11 +401,13 @@ let run_spt_loop rt (frame : Interp.frame) (spec : loop_spec)
   let lid = spec.ls_id in
   let header = spec.ls_header in
   let n = chunk_size rt.cfg spec in
+  let depth = depth_of rt.cfg spec in
   (* a chunk (and a backbone fill) is n iterations of speculative work *)
   let fuel = min rt.cfg.max_steps (rt.cfg.spec_fuel * n) in
   let tl = rt.cfg.timeline in
   let st = loop_stats rt lid in
   st.chunk <- n;
+  st.depth <- depth;
   let master =
     {
       Specmem.m_mem = rt.store.Interp.smem;
@@ -371,12 +426,102 @@ let run_spt_loop rt (frame : Interp.frame) (spec : loop_spec)
   let filling = ref true in
   let finish = ref None in
   let last_pos = ref after0 in
+  (* vid -> predictor state; entries appear on the first [Stale_reg]
+     for that vid (prediction is demand-driven: only registers the
+     backbone demonstrably cannot supply are tracked) *)
+  let svp : (int, svp_pred) Hashtbl.t = Hashtbl.create 4 in
+  let svp_var vid =
+    match Hashtbl.find_opt st.svp_vars vid with
+    | Some s -> s
+    | None ->
+      let s = { sv_predicts = 0; sv_hits = 0; sv_mispredicts = 0 } in
+      Hashtbl.replace st.svp_vars vid s;
+      s
+  in
+  (* predictions for the chunk about to spawn, [in_flight] chunks ahead
+     of the last resolved one: last + stride * in_flight *)
+  let svp_predictions () =
+    if Hashtbl.length svp = 0 then []
+    else
+      Hashtbl.fold
+        (fun vid p acc ->
+          match (p.sp_last, p.sp_stride) with
+          | Some (Spt_ir.Eval.Vi last), Some stride ->
+            let d = Int64.of_int (Queue.length pending) in
+            (vid, Spt_ir.Eval.Vi (Int64.add last (Int64.mul stride d))) :: acc
+          | _ -> acc)
+        svp []
+  in
+  (* relearn after the head resolved: master now holds the true value
+     at the end of its span.  Only full chunks observe a stride (a
+     partial chunk ends the loop anyway); the stride confirms after one
+     observation, so an accumulator loop converges within two failed
+     chunks — under the despeculation valve's default of three. *)
+  let svp_learn ~full =
+    Hashtbl.iter
+      (fun vid p ->
+        if not full then begin
+          p.sp_last <- None;
+          p.sp_stride <- None
+        end
+        else begin
+          let cur =
+            if vid < Array.length frame.Interp.regs then
+              frame.Interp.regs.(vid)
+            else None
+          in
+          (match (p.sp_last, cur) with
+          | Some (Spt_ir.Eval.Vi a), Some (Spt_ir.Eval.Vi b) ->
+            p.sp_stride <- Some (Int64.sub b a)
+          | _ -> p.sp_stride <- None);
+          p.sp_last <- cur
+        end)
+      svp
+  in
+  let svp_score resolution (t : task) =
+    if t.tpreds <> [] then
+      match resolution with
+      | `Commit _ ->
+        List.iter
+          (fun (vid, _) ->
+            (svp_var vid).sv_hits <- (svp_var vid).sv_hits + 1;
+            Obs.Metrics.inc m_svp_hits)
+          t.tpreds
+      | `Stale (Specmem.Stale_reg bad) ->
+        List.iter
+          (fun (vid, _) ->
+            if vid = bad then begin
+              (svp_var vid).sv_mispredicts <- (svp_var vid).sv_mispredicts + 1;
+              Obs.Metrics.inc m_svp_mispredicts
+            end)
+          t.tpreds
+      | `Stale _ | `Fault _ -> ()
+  in
   let spawn_chunk ~bv =
     let tf0 = tl_now tl in
+    (* inject value predictions into the backbone view the chunk reads
+       through (never into a raw-master chunk: nothing to write to) *)
+    let preds =
+      match bv with
+      | None -> []
+      | Some bv ->
+        let ps = svp_predictions () in
+        if ps <> [] then begin
+          let tp0 = tl_now tl in
+          List.iter
+            (fun (vid, x) ->
+              Specmem.reg_predict bv vid x;
+              (svp_var vid).sv_predicts <- (svp_var vid).sv_predicts + 1;
+              Obs.Metrics.inc m_svp_predicts)
+            ps;
+          tl_rec tl Obs.Timeline.Svp ~lid tp0
+        end;
+        ps
+    in
     let view = Specmem.create ?parent:bv master in
     let t =
-      { tview = view; tbv = bv; tstart = after0; tstatus = Pending;
-        texec_s = 0.0 }
+      { tview = view; tbv = bv; tstart = after0; tpreds = preds;
+        tstatus = Pending; texec_s = 0.0 }
     in
     Queue.push t pending;
     st.forks <- st.forks + 1;
@@ -409,9 +554,34 @@ let run_spt_loop rt (frame : Interp.frame) (spec : loop_spec)
     spawn_chunk ~bv:(Some bv);
     if not complete then filling := false
   in
+  (* kill cascade: discard every in-flight successor epoch — exactly
+     the epochs ≥ the offender (the offender's own view was already
+     rolled back by the resolution), never committed work — and reset
+     the backbone chain so re-speculation restarts from master state *)
+  let kill_pending () =
+    let killed = Queue.length pending in
+    if killed > 0 then begin
+      st.kills <- st.kills + killed;
+      Obs.Metrics.add m_kills killed;
+      (* roll the dead views back — and their backbones — so late
+         writes from abandoned workers are dropped and descendants stop
+         reading their buffers *)
+      let tk0 = tl_now tl in
+      Queue.iter
+        (fun t ->
+          Specmem.rollback t.tview;
+          match t.tbv with
+          | Some bv when not (Specmem.is_committed bv) -> Specmem.rollback bv
+          | _ -> ())
+        pending;
+      Queue.clear pending;
+      tl_rec tl Obs.Timeline.Kill ~lid tk0
+    end;
+    bchain := None
+  in
   spawn_chunk ~bv:None;
   while !finish = None && not (Queue.is_empty pending) do
-    while !filling && Queue.length pending < rt.cfg.window do
+    while !filling && Queue.length pending < depth do
       extend ()
     done;
     let head = Queue.pop pending in
@@ -428,6 +598,14 @@ let run_spt_loop rt (frame : Interp.frame) (spec : loop_spec)
         | Error stale -> `Stale stale)
       | Fault msg -> `Fault msg
     in
+    svp_score resolution head;
+    (* demand-driven activation: a register the backbone demonstrably
+       cannot supply (a post-fork loop-carried scalar, DESIGN §3f)
+       enters the predictor table on its first violation *)
+    (match resolution with
+    | `Stale (Specmem.Stale_reg vid) when not (Hashtbl.mem svp vid) ->
+      Hashtbl.replace svp vid { sp_last = None; sp_stride = None }
+    | _ -> ());
     let stop, clean, retired =
       match resolution with
       | `Commit (stop, steps, iters) ->
@@ -446,7 +624,11 @@ let run_spt_loop rt (frame : Interp.frame) (spec : loop_spec)
                (Printf.sprintf "step limit exceeded (%d)" rt.cfg.max_steps));
         st.commits <- st.commits + 1;
         Obs.Metrics.inc m_commits;
-        consec := 0;
+        (* a master-fed head (first epoch, or the respawn after a kill
+           cascade) reads only true state and is guaranteed clean, so
+           its commit is no evidence speculation works — only a commit
+           of an epoch that read through backbones resets the valve *)
+        (match head.tbv with Some _ -> consec := 0 | None -> ());
         (stop, true, iters)
       | `Stale _ | `Fault _ ->
         let tr0 = tl_now tl in
@@ -481,6 +663,11 @@ let run_spt_loop rt (frame : Interp.frame) (spec : loop_spec)
     st.iters <- st.iters + retired;
     if retired > 0 then
       Obs.Metrics.observe h_iter (head.texec_s /. float_of_int retired);
+    (* master holds the true post-head register file now (commit merged
+       it, or the serial replay wrote it) — observe strides at chunk
+       granularity *)
+    svp_learn
+      ~full:(retired = n && match stop with Forked _ -> true | _ -> false);
     (* master now holds everything the head's backbone predicted *)
     (match head.tbv with
     | Some bv when not (Specmem.is_rolled_back bv) -> Specmem.seal bv
@@ -507,33 +694,29 @@ let run_spt_loop rt (frame : Interp.frame) (spec : loop_spec)
            && after.Interp.cpos = after0.Interp.cpos
       | _ -> false
     in
-    if downstream_ok then
+    if downstream_ok then begin
       last_pos :=
         (match stop with
         | Forked c | Exited c -> c
-        | Returned _ -> !last_pos)
+        | Returned _ -> !last_pos);
+      (* a misspeculated head poisons every in-flight successor — they
+         chained through its backbone's now-refuted state — so the
+         cascade kills exactly the epochs after it (committed work is
+         untouched) and re-speculates from the replayed master state,
+         which sits precisely at the fork the dead epochs assumed *)
+      if not clean then begin
+        kill_pending ();
+        if not (Hashtbl.mem rt.despec lid) then begin
+          filling := true;
+          spawn_chunk ~bv:None
+        end
+      end
+    end
     else begin
-      (* control diverged (or the loop exited): kill everything
-         speculated beyond this point (abandoned workers finish into
-         dead views) *)
-      let killed = Queue.length pending in
-      if killed > 0 then begin
-        st.kills <- st.kills + killed;
-        Obs.Metrics.add m_kills killed
-      end;
-      (* roll the dead views back — and their backbones — so late
-         writes from abandoned workers are dropped and descendants stop
-         reading their buffers *)
-      let tk0 = tl_now tl in
-      Queue.iter
-        (fun t ->
-          Specmem.rollback t.tview;
-          match t.tbv with
-          | Some bv when not (Specmem.is_committed bv) -> Specmem.rollback bv
-          | _ -> ())
-        pending;
-      Queue.clear pending;
-      if killed > 0 then tl_rec tl Obs.Timeline.Kill ~lid tk0;
+      (* control diverged (or the loop exited): everything speculated
+         beyond this point is dead (abandoned workers finish into dead
+         views), and the loop is over *)
+      kill_pending ();
       finish :=
         Some
           (match stop with
@@ -596,6 +779,16 @@ let sorted_regions (st : loop_stats) =
   List.sort compare
     (Hashtbl.fold (fun sid n acc -> (sid, n) :: acc) st.stale_regions [])
 
+let sorted_svp (st : loop_stats) =
+  List.sort compare
+    (Hashtbl.fold (fun vid s acc -> (vid, s) :: acc) st.svp_vars [])
+
+let svp_totals (st : loop_stats) =
+  Hashtbl.fold
+    (fun _ s (p, h, m) ->
+      (p + s.sv_predicts, h + s.sv_hits, m + s.sv_mispredicts))
+    st.svp_vars (0, 0, 0)
+
 let stats_json (r : result) =
   let module J = Obs.Json in
   J.Obj
@@ -617,6 +810,7 @@ let stats_json (r : result) =
                  [
                    ("loop_id", J.Int lid);
                    ("chunk", J.Int s.chunk);
+                   ("depth", J.Int s.depth);
                    ("forks", J.Int s.forks);
                    ("commits", J.Int s.commits);
                    ("violations", J.Int s.violations);
@@ -645,6 +839,26 @@ let stats_json (r : result) =
                           (fun (sid, n) ->
                             J.Obj [ ("sid", J.Int sid); ("count", J.Int n) ])
                           (sorted_regions s)) );
+                   ( "svp",
+                     let p, h, m = svp_totals s in
+                     J.Obj
+                       [
+                         ("predicts", J.Int p);
+                         ("hits", J.Int h);
+                         ("mispredicts", J.Int m);
+                         ( "vars",
+                           J.List
+                             (List.map
+                                (fun (vid, v) ->
+                                  J.Obj
+                                    [
+                                      ("vid", J.Int vid);
+                                      ("predicts", J.Int v.sv_predicts);
+                                      ("hits", J.Int v.sv_hits);
+                                      ("mispredicts", J.Int v.sv_mispredicts);
+                                    ])
+                                (sorted_svp s)) );
+                       ] );
                  ])
              r.stats) );
     ]

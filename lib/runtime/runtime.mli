@@ -19,8 +19,23 @@
     a speculative fault the chunk is killed and its whole span is
     re-executed serially on master state (a mispredicted backbone
     surfaces this way too — prediction can cost time, never
-    correctness).  A loop that misspeculates [despec_after] times in a
-    row is de-speculated for the rest of the run. *)
+    correctness).
+
+    Up to [depth] chunks (epochs) are in flight at once — K-deep
+    DOACROSS pipelining.  A misspeculated head cascades: every
+    in-flight successor chained through its refuted backbone state, so
+    the cascade kills exactly the epochs after the offender (committed
+    work is never touched) and re-speculates from the replayed master
+    state.  Registers the backbone demonstrably cannot supply (post-
+    fork loop-carried scalars) enter a per-loop software value
+    predictor on their first violation: the runtime learns their
+    per-chunk stride from committed master states and injects
+    [last + stride * in_flight] into the backbone view each new chunk
+    reads through; a wrong prediction is caught by the reader's
+    ordinary read-log validation.  A loop that misspeculates
+    [despec_after] times in a row — guaranteed-clean commits of
+    master-fed respawns don't reset the count — is de-speculated for
+    the rest of the run. *)
 
 module Interp = Spt_interp.Interp
 
@@ -34,6 +49,10 @@ type loop_spec = {
   ls_fname : string;
   ls_header : int;
   ls_iter_ops : float;
+  ls_depth : int;
+      (** cost-model-chosen speculation depth for this loop ([<= 0]
+          when unpriced); overridden by {!config.depth}, capped by
+          [window] *)
 }
 
 type config = {
@@ -55,20 +74,39 @@ type config = {
       (** iterations per speculative fork; [None] auto-sizes from
           [ls_iter_ops] (targeting ~2048 dynamic ops per chunk,
           clamped to [1, 256]; 16 when the estimate is unknown) *)
+  depth : int option;
+      (** forced speculation depth (chunks in flight) for every loop;
+          [None] uses the loop's cost-model-chosen [ls_depth], falling
+          back to [window].  The effective depth — forced or not — is
+          always capped at [window], the runtime's in-flight resource
+          bound. *)
 }
 
 (** [jobs] honours [SPT_JOBS]; window is [2 * jobs]; engine is
-    [Bytecode]; chunk is auto-sized. *)
+    [Bytecode]; chunk is auto-sized; depth is per-loop/auto. *)
 val default_config : unit -> config
 
 (** Chunk size [run] will use for a loop under this config. *)
 val chunk_size : config -> loop_spec -> int
+
+(** Speculation depth [run] will use for a loop under this config:
+    [config.depth] if forced, else [ls_depth] capped at [window], else
+    [window]. *)
+val depth_of : config -> loop_spec -> int
+
+(** Per-variable software-value-prediction counters. *)
+type svp_stats = {
+  mutable sv_predicts : int;  (** predictions injected *)
+  mutable sv_hits : int;  (** predictions the reader committed on *)
+  mutable sv_mispredicts : int;  (** predictions refuted by validation *)
+}
 
 (** Mutable per-loop counters, in the paper's §3 vocabulary.  [forks],
     [commits], [violations], [faults], [kills] and [serial_reexecs]
     count {e chunks}; [iters] counts retired iterations. *)
 type loop_stats = {
   mutable chunk : int;  (** iterations per speculative fork *)
+  mutable depth : int;  (** effective speculation depth used *)
   mutable forks : int;  (** speculative chunks started *)
   mutable commits : int;  (** chunks validated and committed *)
   mutable violations : int;  (** validation failures *)
@@ -85,6 +123,9 @@ type loop_stats = {
       (** memory validation failures per region sid — the observed
           counterpart of the compiler's per-candidate violation
           probabilities, exported to the feedback loop *)
+  svp_vars : (int, svp_stats) Hashtbl.t;
+      (** value-prediction outcomes per register vid — the fleet
+          database learns predictability from these *)
 }
 
 type result = {
@@ -102,6 +143,13 @@ type result = {
     emit, telemetry export, oracle comparisons) must go through this
     accessor so reports are byte-stable across domain interleavings. *)
 val sorted_regions : loop_stats -> (int * int) list
+
+(** Per-variable SVP counters, {e sorted by vid} — same byte-stability
+    contract as {!sorted_regions}. *)
+val sorted_svp : loop_stats -> (int * svp_stats) list
+
+(** (predicts, hits, mispredicts) summed over all predicted vids. *)
+val svp_totals : loop_stats -> int * int * int
 
 (** Digest of a store's final memory image and RNG state — the same
     rendering {!result.heap_digest} uses, so an external sequential

@@ -119,6 +119,14 @@ let reg_set v (var : Spt_ir.Ir.var) x =
   if not (Atomic.get v.rolled_back) then
     Hashtbl.replace v.reg_w var.Spt_ir.Ir.vid x
 
+(* A value-predicted register: written into a predictor (backbone) view
+   by raw vid, before the reading chunk spawns, so the chunk's chained
+   read observes the prediction instead of the (stale) master value.
+   Like any buffered write it is never merged from a sealed view; a
+   wrong prediction surfaces as the reader's validation failure. *)
+let reg_predict v vid x =
+  if not (Atomic.get v.rolled_back) then Hashtbl.replace v.reg_w vid x
+
 let rng_read v =
   match v.rng_w with
   | Some s -> s

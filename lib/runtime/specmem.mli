@@ -46,6 +46,15 @@ val memio : view -> Interp.memio
 
 val regio : view -> Interp.regio
 
+(** [reg_predict v vid x] buffers a value-predicted register write into
+    a predictor (backbone) view, keyed by raw [vid].  The chunk reading
+    through [v] observes [x] for that register instead of walking on to
+    master; the prediction is checked for free by the reader's
+    {!validate} (its read log records [x], replayed against master at
+    the reader's sequential turn).  Dropped on a rolled-back view, like
+    every post-kill write. *)
+val reg_predict : view -> int -> Interp.value -> unit
+
 (** The first stale observation found by {!validate}, in a form the
     runtime can attribute: a memory violation carries the element
     address (mappable back to its region), a register violation the

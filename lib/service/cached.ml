@@ -3,7 +3,7 @@
 module Json = Spt_obs.Json
 open Spt_driver
 
-let tool_version = "1.5.0"
+let tool_version = "1.6.0"
 let payload_schema = "spt-artifact-v1"
 
 let m_compiles = Spt_obs.Metrics.counter "service.compiles"

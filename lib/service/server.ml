@@ -104,21 +104,34 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+(* optional "depth" field: a forced speculation depth for the compile's
+   cost pricing and (on "run":true) the runtime's in-flight window *)
+let depth_of_req req =
+  match Json.member "depth" req with
+  | None -> None
+  | Some (Json.Int k) when k >= 1 -> Some k
+  | Some _ -> invalid_arg "depth must be a positive integer" (* -> error reply *)
+
 let config_of t req =
   let c =
     match str_member "config" req with
     | None -> Config.best
     | Some name -> Config.by_name name (* Invalid_argument -> error reply *)
   in
-  match str_member "engine" req with
-  | Some s -> (
-    match Spt_exec.Engine.kind_of_string s with
-    | Ok k -> { c with Config.engine = k }
-    | Error msg -> invalid_arg msg (* -> error reply *))
-  | None -> (
-    match t.engine with
-    | Some k -> { c with Config.engine = k }
-    | None -> c)
+  let c =
+    match str_member "engine" req with
+    | Some s -> (
+      match Spt_exec.Engine.kind_of_string s with
+      | Ok k -> { c with Config.engine = k }
+      | Error msg -> invalid_arg msg (* -> error reply *))
+    | None -> (
+      match t.engine with
+      | Some k -> { c with Config.engine = k }
+      | None -> c)
+  in
+  match depth_of_req req with
+  | Some k -> { c with Config.depth = Some k }
+  | None -> c
 
 (* ------------------------------------------------------------------ *)
 (* Thread-safe counting.  [handle] may run concurrently on pool worker
@@ -144,7 +157,7 @@ let observe t dt =
 
 (* ------------------------------------------------------------------ *)
 
-let compile_reply ~op ~name (o : Cached.outcome) =
+let compile_reply ~op ~name ?depth (o : Cached.outcome) =
   Json.Obj
     ([
        ("ok", Json.Bool true);
@@ -156,6 +169,9 @@ let compile_reply ~op ~name (o : Cached.outcome) =
        ("report_text", Json.Str o.Cached.report_text);
        ("eval", o.Cached.eval);
      ]
+    (* echoed only when the request forced a depth, so pre-depth
+       clients see byte-identical replies *)
+    @ (match depth with Some k -> [ ("depth", Json.Int k) ] | None -> [])
     @
     (* only present when the profile database guided the compile, so
        pre-profdb clients see byte-identical replies *)
@@ -211,7 +227,8 @@ let reply_of t req =
         Cached.compile ~cache:t.cache ~config:(config_of t req) ?profile
           ~profdb:t.profdb ~name source
       with
-      | o -> compile_reply ~op ~name o
+      (* depth_of_req cannot raise here: config_of already ran it *)
+      | o -> compile_reply ~op ~name ?depth:(depth_of_req req) o
       | exception e -> err (describe_error e)
     in
     observe t (Unix.gettimeofday () -. t0);
@@ -277,6 +294,11 @@ let reply_of t req =
              ("guided", Json.Bool (gen_in <> None));
              ("runtime", Spt_runtime.Runtime.stats_json pr.Pipeline.pr_runtime);
            ]
+          (* echoed only when the request forced a depth (pr_depth is
+             [None] otherwise), keeping pre-depth replies byte-identical *)
+          @ (match pr.Pipeline.pr_depth with
+            | Some k -> [ ("depth", Json.Int k) ]
+            | None -> [])
           @ (match gen_in with
             | Some g -> [ ("profdb_gen_in", Json.Int g) ]
             | None -> [])

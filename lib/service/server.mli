@@ -11,16 +11,19 @@
 
     - [{"op":"compile","source":SRC}] or [{"op":"compile","file":PATH}]
       — optional ["config"] (default "best"), ["engine"] ("tree" or
-      "bytecode", overriding the server default), ["profile"] (path to
-      a profile store for guided compilation) and ["name"]; replies
+      "bytecode", overriding the server default), ["depth"] (a positive
+      integer forcing the speculation depth — priced into the compile
+      and echoed back; invalid values are rejected), ["profile"] (path
+      to a profile store for guided compilation) and ["name"]; replies
       with [cache_hit], the cache [key], [elapsed_s], the report text
       and the full eval JSON.
     - [{"op":"workload","name":N}] — compile a built-in workload.
-      With ["run":true] (optional ["jobs"]), the compilation is also
-      executed on the speculative runtime and its misspeculation
-      telemetry ingested into the profile database — the reply carries
-      the measured speedup, runtime stats, ["guided"] and the entry's
-      new ["profdb_gen"].
+      With ["run":true] (optional ["jobs"] and ["depth"]), the
+      compilation is also executed on the speculative runtime and its
+      misspeculation telemetry ingested into the profile database — the
+      reply carries the measured speedup, runtime stats, ["guided"] and
+      the entry's new ["profdb_gen"], plus the forced ["depth"] when
+      the request carried one.
     - [{"op":"stats"}] — request/error/timeout/overloaded/coalesced
       counts, concurrency settings, in-flight depth, cache
       hit/miss/rate, the profile-database census ([spt-profdb-v1])

@@ -351,6 +351,35 @@ let test_engine_chunk_flags () =
           Alcotest.(check bool) "top output names the engine" true
             (has (read_file top) "engine")))
 
+let test_depth_flags () =
+  let has hay needle =
+    let n = String.length needle and l = String.length hay in
+    let rec go i = i + n <= l && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  with_source loopy_src (fun path ->
+      let code, err = exec_stderr [ "run"; path; "--parallel"; "--depth"; "0" ] in
+      Alcotest.(check int) "--depth 0 exits 2" 2 code;
+      Alcotest.(check bool) "error mentions --depth" true (has err "--depth");
+      let code, err = exec_stderr [ "run"; path; "--parallel"; "--depth=-1" ] in
+      Alcotest.(check int) "--depth=-1 exits 2" 2 code;
+      Alcotest.(check bool) "negative depth names the value" true
+        (has err "-1");
+      let code, err = exec_stderr [ "run"; path; "--parallel"; "--depth"; "four" ] in
+      Alcotest.(check int) "non-integer --depth exits 2" 2 code;
+      Alcotest.(check bool) "non-integer error names the flag" true
+        (has err "depth");
+      let code, err = exec_stderr [ "run"; path; "--depth"; "2" ] in
+      Alcotest.(check int) "--depth on a sequential run exits 2" 2 code;
+      Alcotest.(check bool) "sequential rejection explains itself" true
+        (has err "--parallel");
+      Alcotest.(check int) "forced depth runs" 0
+        (exec [ "run"; path; "--parallel"; "-j"; "2"; "--depth"; "4" ]);
+      Alcotest.(check int) "compile --depth exits 0" 0
+        (exec [ "compile"; path; "--no-cache"; "--depth"; "2" ]);
+      Alcotest.(check int) "compile --depth 0 exits 2" 2
+        (exec [ "compile"; path; "--no-cache"; "--depth"; "0" ]))
+
 let test_top_exit_codes () =
   with_tmpdir (fun dir ->
       let bad = Filename.concat dir "bad.json" in
@@ -437,6 +466,7 @@ let suite =
     Alcotest.test_case "run --attrib + top" `Slow test_attrib_exit_codes;
     Alcotest.test_case "--engine/--chunk hardening" `Slow
       test_engine_chunk_flags;
+    Alcotest.test_case "--depth hardening" `Slow test_depth_flags;
     Alcotest.test_case "top exit codes" `Quick test_top_exit_codes;
     Alcotest.test_case "batch cache roundtrip" `Quick test_batch_cache_roundtrip;
     Alcotest.test_case "batch bad file exit 1" `Quick test_batch_bad_file_exits_1;

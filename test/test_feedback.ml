@@ -101,6 +101,7 @@ let an_obs =
     o_serial_reexecs = 21;
     o_stale_other = 2;
     o_stale_regions = [ (4, 15); (7, 3) ];
+    o_svp = [ (3, (10, 8, 2)) ];
   }
 
 (* ------------------------------------------------------------------ *)

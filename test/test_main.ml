@@ -15,6 +15,7 @@ let () =
       ("tlsim", Test_tlsim.suite);
       ("driver", Test_driver.suite);
       ("runtime", Test_runtime.suite);
+      ("depth", Test_depth.suite);
       ("feedback", Test_feedback.suite);
       ("profdb", Test_profdb.suite);
       ("service", Test_service.suite);

@@ -39,6 +39,7 @@ let obs ~iters ~violations =
     o_serial_reexecs = 0;
     o_stale_other = 0;
     o_stale_regions = [];
+    o_svp = [];
   }
 
 (* a telemetry-only store: one loop observation under main@bb2 *)

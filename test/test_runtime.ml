@@ -258,26 +258,28 @@ void main() {
 let loops_of (spt : Pipeline.spt_compilation) =
   List.map
     (fun (sl : Spt_tlsim.Tls_machine.spt_loop) ->
+      let record =
+        List.find_opt
+          (fun (r : Pipeline.loop_record) ->
+            String.equal r.Pipeline.lr_func sl.Spt_tlsim.Tls_machine.sl_fname
+            && r.Pipeline.lr_header = sl.Spt_tlsim.Tls_machine.sl_header)
+          spt.Pipeline.records
+      in
       {
         Runtime.ls_id = sl.Spt_tlsim.Tls_machine.sl_id;
         ls_fname = sl.Spt_tlsim.Tls_machine.sl_fname;
         ls_header = sl.Spt_tlsim.Tls_machine.sl_header;
         ls_iter_ops =
-          (match
-             List.find_opt
-               (fun (r : Pipeline.loop_record) ->
-                 String.equal r.Pipeline.lr_func
-                   sl.Spt_tlsim.Tls_machine.sl_fname
-                 && r.Pipeline.lr_header = sl.Spt_tlsim.Tls_machine.sl_header)
-               spt.Pipeline.records
-           with
+          (match record with
           | Some r -> r.Pipeline.lr_body_size
           | None -> 0.0);
+        ls_depth =
+          (match record with Some r -> r.Pipeline.lr_depth | None -> 0);
       })
     spt.Pipeline.spt_loops
 
 let rt_config ?(despec_after = 3) ?(engine = Spt_exec.Engine.Bytecode) ?chunk
-    ?timeline jobs =
+    ?depth ?timeline jobs =
   {
     Runtime.jobs;
     window = 2 * jobs;
@@ -287,13 +289,14 @@ let rt_config ?(despec_after = 3) ?(engine = Spt_exec.Engine.Bytecode) ?chunk
     oracle = true;
     engine;
     chunk;
+    depth;
     timeline;
   }
 
-let run_spt ?despec_after ?engine ?chunk ~jobs (spt : Pipeline.spt_compilation)
-    =
+let run_spt ?despec_after ?engine ?chunk ?depth ~jobs
+    (spt : Pipeline.spt_compilation) =
   Runtime.run
-    ~config:(rt_config ?despec_after ?engine ?chunk jobs)
+    ~config:(rt_config ?despec_after ?engine ?chunk ?depth jobs)
     ~loops:(loops_of spt) spt.Pipeline.program
 
 let check_oracle name (r : Runtime.result) =
@@ -359,8 +362,9 @@ void main() {
      loop is genuinely independent and must speculate its whole trip
      without a single violation; the compute loop carries an accumulator
      through the post-fork region, which backbone prediction cannot
-     supply, so it is expected to despeculate via the valve — the
-     designed degradation, never a wrong answer. *)
+     supply — the runtime value predictor learns its chunk stride after
+     the first violations and keeps it speculative (test_depth.ml pins
+     despecs = 0 for exactly this shape). *)
   let commits = total (fun s -> s.Runtime.commits) r.Runtime.stats in
   Alcotest.(check bool) "speculation commits" true (commits > 10);
   let clean_full =

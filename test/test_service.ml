@@ -588,6 +588,78 @@ let test_server_latency_percentiles () =
         Alcotest.(check bool) "p99 within observed max" true
           (p99 <= fnum "max" +. 1e-9))
 
+let test_server_depth_field () =
+  with_tmpdir (fun dir ->
+      let t = Server.create ~cache:(Cache.create ~dir ()) () in
+      (* a compile without "depth" must not grow a depth echo *)
+      let plain =
+        reply_of
+          (Server.handle t
+             (Json.Obj
+                [
+                  ("op", Json.Str "compile");
+                  ("source", Json.Str tiny_src);
+                  ("name", Json.Str "tiny.c");
+                ]))
+      in
+      Alcotest.(check (option bool)) "plain compile ok" (Some true)
+        (bool_member "ok" plain);
+      Alcotest.(check bool) "no depth echo without the field" true
+        (Json.member "depth" plain = None);
+      (* forcing a depth is accepted, echoed, and keys a distinct
+         artifact (the first depth-2 compile must be cold) *)
+      let forced =
+        reply_of
+          (Server.handle t
+             (Json.Obj
+                [
+                  ("op", Json.Str "compile");
+                  ("source", Json.Str tiny_src);
+                  ("name", Json.Str "tiny.c");
+                  ("depth", Json.Int 2);
+                ]))
+      in
+      Alcotest.(check (option bool)) "forced compile ok" (Some true)
+        (bool_member "ok" forced);
+      Alcotest.(check bool) "depth echoed" true
+        (Json.member "depth" forced = Some (Json.Int 2));
+      Alcotest.(check (option bool)) "distinct cache key" (Some false)
+        (bool_member "cache_hit" forced);
+      (* invalid depths are error replies, never crashes *)
+      List.iter
+        (fun bad ->
+          let r =
+            reply_of
+              (Server.handle t
+                 (Json.Obj
+                    [
+                      ("op", Json.Str "compile");
+                      ("source", Json.Str tiny_src);
+                      ("depth", bad);
+                    ]))
+          in
+          Alcotest.(check (option bool)) "bad depth rejected" (Some false)
+            (bool_member "ok" r))
+        [ Json.Int 0; Json.Int (-3); Json.Str "four" ];
+      (* workload run: the forced depth reaches the runtime and is
+         echoed back *)
+      let run =
+        reply_of
+          (Server.handle t
+             (Json.Obj
+                [
+                  ("op", Json.Str "workload");
+                  ("name", Json.Str "mcf");
+                  ("run", Json.Bool true);
+                  ("jobs", Json.Int 2);
+                  ("depth", Json.Int 2);
+                ]))
+      in
+      Alcotest.(check (option bool)) "workload run ok" (Some true)
+        (bool_member "ok" run);
+      Alcotest.(check bool) "workload echoes depth" true
+        (Json.member "depth" run = Some (Json.Int 2)))
+
 let test_server_errors_keep_loop_alive () =
   let t = Server.create ~cache:(Cache.no_cache ()) () in
   let check_err name req =
@@ -870,6 +942,7 @@ let suite =
     Alcotest.test_case "cached compile raises on bad source" `Quick
       test_cached_compile_raises_on_bad_source;
     Alcotest.test_case "server compile + stats" `Quick test_server_compile_and_stats;
+    Alcotest.test_case "server depth field" `Slow test_server_depth_field;
     Alcotest.test_case "server errors keep loop alive" `Quick
       test_server_errors_keep_loop_alive;
     Alcotest.test_case "concurrent handle stress" `Quick
